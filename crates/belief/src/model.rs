@@ -1,0 +1,214 @@
+//! The belief model: speeches → per-aggregate normal distributions, and the
+//! sampling reward of paper Algorithm 3.
+
+use serde::{Deserialize, Serialize};
+
+use voxolap_engine::query::{AggIdx, ResultLayout};
+use voxolap_speech::scope::CompiledSpeech;
+use voxolap_speech::verbalize::round_significant;
+
+use crate::normal::Normal;
+
+/// The value range a listener associates with a spoken one-significant-digit
+/// number: the rounding bucket of `v`.
+///
+/// Example 4.3 of the paper: a rounded estimate of "90 K" corresponds to the
+/// interval `[85 K, 95 K)`. For `v = 0` (or non-finite `v`) the bucket
+/// degenerates; `fallback_width` supplies its width instead.
+pub fn rounding_bucket(v: f64, fallback_width: f64) -> (f64, f64) {
+    if !v.is_finite() || v == 0.0 {
+        let w = fallback_width.abs().max(f64::MIN_POSITIVE);
+        return (-w / 2.0, w / 2.0);
+    }
+    let r = round_significant(v, 1);
+    if r == 0.0 {
+        let w = fallback_width.abs().max(f64::MIN_POSITIVE);
+        return (-w / 2.0, w / 2.0);
+    }
+    let step = 10f64.powf(r.abs().log10().floor());
+    (r - step / 2.0, r + step / 2.0)
+}
+
+/// Maps compiled speeches to belief distributions and rewards.
+///
+/// σ is modeled "as a constant that is approximately proportional to 50 %
+/// of the mean when aggregating over the entire data set" (paper §3.4,
+/// footnote 1). Build one per scenario from the overall mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeliefModel {
+    sigma: f64,
+}
+
+impl BeliefModel {
+    /// Create a model with an explicit σ.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite σ.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive, got {sigma}");
+        BeliefModel { sigma }
+    }
+
+    /// The paper's σ choice: half the overall mean of the measure
+    /// (Example 3.4 chooses σ = 40 000 for an 80 000 average).
+    pub fn from_overall_mean(mean: f64) -> Self {
+        let sigma = (mean.abs() * 0.5).max(f64::MIN_POSITIVE);
+        Self::new(if sigma.is_finite() { sigma } else { 1.0 })
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// `B(a, t)`: the belief distribution a speech induces about one
+    /// aggregate — computable for a single aggregate without instantiating
+    /// the full model (paper §3.4, "important for the design of our
+    /// algorithm").
+    pub fn belief(&self, speech: &CompiledSpeech, agg: AggIdx, layout: &ResultLayout) -> Normal {
+        Normal::new(speech.mean_for(agg, layout), self.sigma)
+    }
+
+    /// The sampling reward of `SpeechDBEval`: the probability the belief
+    /// assigns to the rounding bucket of a cache estimate `estimate`
+    /// (Example 4.3: belief N(82 K, 40 K) and a rounded 90 K estimate give
+    /// reward ≈ 0.1, the mass of `[85 K, 95 K)`).
+    ///
+    /// Returns 0 for non-finite estimates (no cached rows yet).
+    pub fn reward(
+        &self,
+        speech: &CompiledSpeech,
+        agg: AggIdx,
+        layout: &ResultLayout,
+        estimate: f64,
+    ) -> f64 {
+        if !estimate.is_finite() {
+            return 0.0;
+        }
+        let belief = self.belief(speech, agg, layout);
+        let (lo, hi) = rounding_bucket(estimate, self.sigma / 10.0);
+        belief.prob_interval(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::{AggFct, Query};
+    use voxolap_speech::ast::{Baseline, Change, Direction, Predicate, Refinement, Speech};
+
+    #[test]
+    fn bucket_of_ninety_k_matches_example_4_3() {
+        let (lo, hi) = rounding_bucket(90.0, 1.0);
+        assert!((lo - 85.0).abs() < 1e-9);
+        assert!((hi - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_rounds_first() {
+        // 87.3 rounds to 90 at one significant digit.
+        let (lo, hi) = rounding_bucket(87.3, 1.0);
+        assert!((lo - 85.0).abs() < 1e-9);
+        assert!((hi - 95.0).abs() < 1e-9);
+        // Small fractions: 0.0231 -> 0.02, step 0.01 -> [0.015, 0.025].
+        let (lo, hi) = rounding_bucket(0.0231, 1.0);
+        assert!((lo - 0.015).abs() < 1e-12);
+        assert!((hi - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_nan_use_fallback_width() {
+        let (lo, hi) = rounding_bucket(0.0, 2.0);
+        assert_eq!((lo, hi), (-1.0, 1.0));
+        let (lo, hi) = rounding_bucket(f64::NAN, 2.0);
+        assert_eq!((lo, hi), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn negative_values_bucket_symmetrically() {
+        let (lo, hi) = rounding_bucket(-90.0, 1.0);
+        assert!((lo + 95.0).abs() < 1e-9);
+        assert!((hi + 85.0).abs() < 1e-9);
+    }
+
+    fn salary_setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    #[test]
+    fn example_4_3_reward_magnitude() {
+        // Belief N(82 K, 40 K); estimate rounds to 90 K; the paper reports
+        // a reward of ~0.1 (the mass of [85, 95)).
+        let model = BeliefModel::new(40.0);
+        let (table, q) = salary_setup();
+        let speech = Speech::baseline_only(82.0);
+        let cs = CompiledSpeech::compile(&speech, q.layout(), table.schema());
+        let r = model.reward(&cs, 0, q.layout(), 90.0);
+        assert!((r - 0.1).abs() < 0.01, "reward {r}");
+    }
+
+    #[test]
+    fn reward_peaks_when_speech_matches_estimate() {
+        let model = BeliefModel::new(40.0);
+        let (table, q) = salary_setup();
+        let schema = table.schema();
+        let exact_speech = Speech::baseline_only(90.0);
+        let off_speech = Speech::baseline_only(150.0);
+        let cs_exact = CompiledSpeech::compile(&exact_speech, q.layout(), schema);
+        let cs_off = CompiledSpeech::compile(&off_speech, q.layout(), schema);
+        let r_exact = model.reward(&cs_exact, 0, q.layout(), 90.0);
+        let r_off = model.reward(&cs_off, 0, q.layout(), 90.0);
+        assert!(r_exact > r_off, "{r_exact} > {r_off}");
+    }
+
+    #[test]
+    fn refinement_shifts_belief_mean() {
+        let model = BeliefModel::new(40.0);
+        let (table, q) = salary_setup();
+        let schema = table.schema();
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        let speech = Speech {
+            baseline: Baseline::point(80.0),
+            refinements: vec![Refinement {
+                predicates: vec![Predicate { dim: DimId(0), member: ne }],
+                change: Change { direction: Direction::Increase, percent: 50 },
+            }],
+        };
+        let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
+        let ne_idx = q.layout().coords(DimId(0)).iter().position(|&m| m == ne).unwrap() as u32;
+        let b = model.belief(&cs, ne_idx, q.layout());
+        assert!((b.mean - 120.0).abs() < 1e-9);
+        assert!((b.sigma - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_estimate_rewards_zero() {
+        let model = BeliefModel::new(40.0);
+        let (table, q) = salary_setup();
+        let cs = CompiledSpeech::compile(&Speech::baseline_only(80.0), q.layout(), table.schema());
+        assert_eq!(model.reward(&cs, 0, q.layout(), f64::NAN), 0.0);
+        assert_eq!(model.reward(&cs, 0, q.layout(), f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn from_overall_mean_halves() {
+        assert_eq!(BeliefModel::from_overall_mean(80.0).sigma(), 40.0);
+        assert_eq!(BeliefModel::from_overall_mean(-80.0).sigma(), 40.0);
+        // Degenerate means still yield a usable model.
+        assert!(BeliefModel::from_overall_mean(0.0).sigma() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn non_positive_sigma_rejected() {
+        BeliefModel::new(-1.0);
+    }
+}

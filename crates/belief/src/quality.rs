@@ -1,0 +1,188 @@
+//! Exact speech quality (paper Definition 2.2).
+//!
+//! The quality of a speech is the **average probability that users assign
+//! to actual query-result values after listening to it**:
+//!
+//! ```text
+//! quality(t) = Σ_{a ∈ q.aggs} Pr( a(D) | B(a, t) ) / |q.aggs|
+//! ```
+//!
+//! For the continuous belief distributions of our model, `Pr(a(D) | ·)` is
+//! the probability of a value range including the actual value — we use the
+//! one-significant-digit rounding bucket, the same range granularity the
+//! speech itself can express.
+
+use voxolap_engine::exact::ExactResult;
+use voxolap_engine::query::ResultLayout;
+use voxolap_speech::scope::CompiledSpeech;
+
+use crate::model::{rounding_bucket, BeliefModel};
+
+/// Compute the exact quality of a compiled speech against the full query
+/// result. Aggregates with undefined values (empty AVG scopes, `NaN`) are
+/// skipped; returns 0 when no aggregate is defined.
+pub fn speech_quality(
+    speech: &CompiledSpeech,
+    model: &BeliefModel,
+    exact: &ExactResult,
+    layout: &ResultLayout,
+) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for agg in 0..layout.n_aggregates() as u32 {
+        let actual = exact.value(agg);
+        if !actual.is_finite() {
+            continue;
+        }
+        let belief = model.belief(speech, agg, layout);
+        let (lo, hi) = rounding_bucket(actual, model.sigma() / 10.0);
+        total += belief.prob_interval(lo, hi);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::exact::evaluate;
+    use voxolap_engine::query::{AggFct, Query};
+    use voxolap_speech::ast::{Baseline, Change, Direction, Predicate, Refinement, Speech};
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    #[test]
+    fn accurate_baseline_beats_inaccurate() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let exact = evaluate(&q, &table);
+        let model = BeliefModel::from_overall_mean(exact.grand_mean());
+
+        let good = CompiledSpeech::compile(
+            &Speech::baseline_only(exact.grand_mean()),
+            q.layout(),
+            schema,
+        );
+        let bad = CompiledSpeech::compile(
+            &Speech::baseline_only(exact.grand_mean() * 3.0),
+            q.layout(),
+            schema,
+        );
+        let q_good = speech_quality(&good, &model, &exact, q.layout());
+        let q_bad = speech_quality(&bad, &model, &exact, q.layout());
+        assert!(q_good > q_bad, "{q_good} > {q_bad}");
+        assert!(q_good > 0.0 && q_good <= 1.0);
+    }
+
+    #[test]
+    fn truthful_refinement_improves_quality() {
+        // The salary generator lifts "at least 50 K" start salaries by 20%;
+        // saying so must increase quality over the bare baseline.
+        let (table, q) = setup();
+        let schema = table.schema();
+        let exact = evaluate(&q, &table);
+        let model = BeliefModel::from_overall_mean(exact.grand_mean());
+
+        let hi = schema.dimension(DimId(1)).member_by_phrase("at least 50 K").unwrap();
+        let baseline = Speech::baseline_only(exact.grand_mean());
+        let refined = Speech {
+            baseline: Baseline::point(exact.grand_mean()),
+            refinements: vec![Refinement {
+                predicates: vec![Predicate { dim: DimId(1), member: hi }],
+                change: Change { direction: Direction::Increase, percent: 10 },
+            }],
+        };
+        let q_base = speech_quality(
+            &CompiledSpeech::compile(&baseline, q.layout(), schema),
+            &model,
+            &exact,
+            q.layout(),
+        );
+        let q_ref = speech_quality(
+            &CompiledSpeech::compile(&refined, q.layout(), schema),
+            &model,
+            &exact,
+            q.layout(),
+        );
+        assert!(q_ref > q_base, "refined {q_ref} > baseline {q_base}");
+    }
+
+    #[test]
+    fn misleading_refinement_hurts_quality() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let exact = evaluate(&q, &table);
+        let model = BeliefModel::from_overall_mean(exact.grand_mean());
+
+        let hi = schema.dimension(DimId(1)).member_by_phrase("at least 50 K").unwrap();
+        let baseline = Speech::baseline_only(exact.grand_mean());
+        // Claim high start salaries pay LESS — the opposite of the data.
+        let lying = Speech {
+            baseline: Baseline::point(exact.grand_mean()),
+            refinements: vec![Refinement {
+                predicates: vec![Predicate { dim: DimId(1), member: hi }],
+                change: Change { direction: Direction::Decrease, percent: 50 },
+            }],
+        };
+        let q_base = speech_quality(
+            &CompiledSpeech::compile(&baseline, q.layout(), schema),
+            &model,
+            &exact,
+            q.layout(),
+        );
+        let q_lie = speech_quality(
+            &CompiledSpeech::compile(&lying, q.layout(), schema),
+            &model,
+            &exact,
+            q.layout(),
+        );
+        assert!(q_lie < q_base, "lying {q_lie} < baseline {q_base}");
+    }
+
+    #[test]
+    fn quality_is_bounded() {
+        let (table, q) = setup();
+        let exact = evaluate(&q, &table);
+        let model = BeliefModel::from_overall_mean(exact.grand_mean());
+        for v in [1.0, 50.0, 90.0, 500.0] {
+            let cs = CompiledSpeech::compile(
+                &Speech::baseline_only(v),
+                q.layout(),
+                table.schema(),
+            );
+            let quality = speech_quality(&cs, &model, &exact, q.layout());
+            assert!((0.0..=1.0).contains(&quality), "quality {quality} for baseline {v}");
+        }
+    }
+
+    #[test]
+    fn empty_aggregates_are_skipped() {
+        // Institution-level grouping at tiny row counts leaves empty AVG
+        // scopes; quality must remain finite.
+        let table = SalaryConfig { rows: 8, seed: 1 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(1), LevelId(2))
+            .build(table.schema())
+            .unwrap();
+        let exact = evaluate(&q, &table);
+        let model = BeliefModel::from_overall_mean(80.0);
+        let cs = CompiledSpeech::compile(&Speech::baseline_only(80.0), q.layout(), table.schema());
+        let quality = speech_quality(&cs, &model, &exact, q.layout());
+        assert!(quality.is_finite());
+    }
+}

@@ -1,0 +1,68 @@
+//! Belief-model benchmarks verifying Lemma A.2: evaluating a speech's
+//! belief for **one** aggregate costs `O(k)` in the number of fragments —
+//! independent of the number of result aggregates — while exact quality
+//! (Definition 2.2) scales with the full result size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use voxolap_belief::model::BeliefModel;
+use voxolap_belief::quality::speech_quality;
+use voxolap_bench::{flights_table, region_season_query, state_month_query};
+use voxolap_engine::exact::evaluate;
+use voxolap_speech::ast::{Baseline, Change, Direction, Predicate, Refinement, Speech};
+use voxolap_speech::scope::CompiledSpeech;
+
+/// Build a speech with `k` refinements cycling over region members.
+fn speech_with_k(table: &voxolap_data::Table, k: usize) -> Speech {
+    let airport = table.schema().dimension(voxolap_data::DimId(0));
+    let regions = airport.level_members(voxolap_data::dimension::LevelId(1));
+    Speech {
+        baseline: Baseline::point(0.02),
+        refinements: (0..k)
+            .map(|i| Refinement {
+                predicates: vec![Predicate {
+                    dim: voxolap_data::DimId(0),
+                    member: regions[i % regions.len()],
+                }],
+                change: Change { direction: Direction::Increase, percent: 20 + 10 * i as u32 },
+            })
+            .collect(),
+    }
+}
+
+fn single_aggregate_belief(c: &mut Criterion) {
+    let table = flights_table(5_000);
+    let query = region_season_query(&table);
+    let model = BeliefModel::new(0.01);
+    let mut group = c.benchmark_group("belief_single_aggregate");
+    for k in [1usize, 2, 4, 8] {
+        let speech = speech_with_k(&table, k);
+        let compiled = CompiledSpeech::compile(&speech, query.layout(), table.schema());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &compiled, |b, cs| {
+            b.iter(|| black_box(model.reward(cs, 7, query.layout(), 0.021)))
+        });
+    }
+    group.finish();
+}
+
+fn exact_quality(c: &mut Criterion) {
+    let table = flights_table(20_000);
+    let mut group = c.benchmark_group("exact_quality");
+    for (name, query) in [
+        ("20_fields", region_season_query(&table)),
+        ("288_fields", state_month_query(&table)),
+    ] {
+        let exact = evaluate(&query, &table);
+        let model = BeliefModel::from_overall_mean(exact.grand_mean().abs().max(0.001));
+        let speech = speech_with_k(&table, 2);
+        let compiled = CompiledSpeech::compile(&speech, query.layout(), table.schema());
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(speech_quality(&compiled, &model, &exact, query.layout())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_aggregate_belief, exact_quality);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end planner latency (Figure 3, left): how long each approach
+//! takes from query submission until voice output can start.
+//!
+//! The unmerged variant runs with an *iteration* budget here (its wall-clock
+//! 500 ms budget would swamp Criterion); the experiment binary `fig3` uses
+//! the paper's wall-clock budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use voxolap_bench::{experiment_candidates, fig3_queries, flights_table};
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::optimal::{Optimal, OptimalConfig};
+use voxolap_core::unmerged::{SamplingBudget, Unmerged, UnmergedConfig};
+use voxolap_core::voice::InstantVoice;
+
+fn planner_latency(c: &mut Criterion) {
+    let table = flights_table(50_000);
+    let queries = fig3_queries(&table);
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+
+    for label in [",RD", "N,DA"] {
+        let query = queries.iter().find(|(l, _)| l == label).map(|(_, q)| q.clone()).unwrap();
+
+        let optimal = Optimal::new(OptimalConfig {
+            candidates: experiment_candidates(),
+            max_tree_nodes: 120_000,
+            ..OptimalConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("optimal", label), &query, |b, q| {
+            b.iter(|| {
+                let mut voice = InstantVoice::default();
+                black_box(optimal.vocalize(&table, q, &mut voice))
+            })
+        });
+
+        let holistic = Holistic::new(HolisticConfig {
+            candidates: experiment_candidates(),
+            min_samples_per_sentence: 256,
+            max_tree_nodes: 120_000,
+            ..HolisticConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("holistic", label), &query, |b, q| {
+            b.iter(|| {
+                let mut voice = InstantVoice::default();
+                black_box(holistic.vocalize(&table, q, &mut voice))
+            })
+        });
+
+        let unmerged = Unmerged::new(UnmergedConfig {
+            candidates: experiment_candidates(),
+            budget: SamplingBudget::Iterations(1_500),
+            max_tree_nodes: 120_000,
+            ..UnmergedConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("unmerged", label), &query, |b, q| {
+            b.iter(|| {
+                let mut voice = InstantVoice::default();
+                black_box(unmerged.vocalize(&table, q, &mut voice))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planner_latency);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Speech-layer micro-benchmarks: rendering (per-sentence cost in the
+//! pipelined read-out path) and candidate enumeration (the per-node cost of
+//! tree expansion, which multiplies into Theorem A.4's `O(m^k)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use voxolap_bench::{flights_table, region_season_query, state_month_query};
+use voxolap_speech::ast::{Baseline, Change, Direction, Predicate, Refinement, Speech};
+use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
+use voxolap_speech::render::Renderer;
+
+fn render(c: &mut Criterion) {
+    let table = flights_table(1_000);
+    let query = region_season_query(&table);
+    let schema = table.schema();
+    let renderer = Renderer::new(schema, &query);
+    let airport = schema.dimension(voxolap_data::DimId(0));
+    let ne = airport.member_by_phrase("the North East").unwrap();
+    let speech = Speech {
+        baseline: Baseline::point(0.02),
+        refinements: vec![Refinement {
+            predicates: vec![Predicate { dim: voxolap_data::DimId(0), member: ne }],
+            change: Change { direction: Direction::Increase, percent: 100 },
+        }],
+    };
+    c.bench_function("render_full_speech", |b| {
+        b.iter(|| black_box(renderer.speech_text(&speech)))
+    });
+    c.bench_function("render_preamble", |b| b.iter(|| black_box(renderer.preamble())));
+}
+
+fn candidates(c: &mut Criterion) {
+    let table = flights_table(1_000);
+    let mut group = c.benchmark_group("candidate_enumeration");
+    for (name, query) in [
+        ("region_season", region_season_query(&table)),
+        ("state_month", state_month_query(&table)),
+    ] {
+        let generator =
+            CandidateGenerator::new(table.schema(), &query, CandidateConfig::default());
+        let prefix = Speech::baseline_only(0.02);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &generator,
+            |b, generator| b.iter(|| black_box(generator.refinements(&prefix).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, render, candidates);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! UCT search-tree benchmarks verifying the paper's complexity results:
+//!
+//! * Theorem A.4 — full tree expansion is `O(m^k)` (preprocessing);
+//! * Theorem A.3 — one sampling iteration is `O(k·m)`, i.e. grows
+//!   linearly in depth and branching, never with total tree size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use voxolap_mcts::Tree;
+
+/// Build a uniform tree with branching `m` and depth `k`.
+fn uniform_tree(m: usize, k: usize) -> Tree<u32> {
+    let mut tree = Tree::new(0u32);
+    let mut frontier = vec![Tree::<u32>::ROOT];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(frontier.len() * m);
+        for &n in &frontier {
+            for i in 0..m {
+                next.push(tree.add_child(n, i as u32));
+            }
+        }
+        frontier = next;
+    }
+    tree
+}
+
+fn expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_expand");
+    for (m, k) in [(10usize, 2usize), (30, 2), (10, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_k{k}")),
+            &(m, k),
+            |b, &(m, k)| b.iter(|| black_box(uniform_tree(m, k).node_count())),
+        );
+    }
+    group.finish();
+}
+
+fn sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_sample");
+    // Sampling cost must track k*m, not total node count: compare trees
+    // with equal k*m but very different sizes.
+    for (m, k) in [(10usize, 2usize), (30, 2), (10, 3), (30, 3)] {
+        let mut tree = uniform_tree(m, k);
+        // Pre-visit so the UCT formula (not unvisited-priority) dominates.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..tree.node_count() {
+            tree.sample(Tree::<u32>::ROOT, &mut rng, |&d| d as f64 / 30.0);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_k{k}_nodes{}", tree.node_count())),
+            &(),
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| {
+                    black_box(tree.sample(Tree::<u32>::ROOT, &mut rng, |&d| d as f64 / 30.0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, expansion, sampling);
+criterion_main!(benches);

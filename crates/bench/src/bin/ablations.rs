@@ -1,0 +1,11 @@
+//! Runs the design-choice ablations (pipelining budget, UCT vs random,
+//! resample size, sigma calibration).
+
+use voxolap_bench::{arg_usize, experiments::ablations, flights_table};
+
+fn main() {
+    let rows = arg_usize("--rows", 100_000);
+    let seed = arg_usize("--seed", 42) as u64;
+    let table = flights_table(rows);
+    print!("{}", ablations::run(&table, seed));
+}

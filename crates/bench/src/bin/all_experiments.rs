@@ -1,0 +1,51 @@
+//! Runs every experiment and prints an `EXPERIMENTS.md`-shaped report.
+//!
+//! Usage: `cargo run --release -p voxolap-bench --bin all_experiments
+//! [--rows N] [--seed S] [--tab11-rows N]`
+
+use voxolap_bench::{
+    arg_usize,
+    experiments::{fig3, tab11, tab12, tab2_tab10, tab5_tab13, tab6_tab14, tab7, tab8_tab9},
+    flights_table, salary_table, DEFAULT_FLIGHTS_ROWS,
+};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let tab11_rows = arg_usize("--tab11-rows", rows);
+    let seed = arg_usize("--seed", 42) as u64;
+
+    eprintln!("generating datasets ({rows} flight rows)...");
+    let flights = flights_table(rows);
+    let salary = salary_table();
+
+    println!("## Regenerated evaluation (flights scale: {rows} rows, seed {seed})\n");
+
+    eprintln!("tab11...");
+    let flights_for_stats =
+        if tab11_rows == rows { None } else { Some(flights_table(tab11_rows)) };
+    println!("{}\n", tab11::run(&salary, flights_for_stats.as_ref().unwrap_or(&flights)));
+    drop(flights_for_stats);
+
+    eprintln!("fig3...");
+    println!("{}\n", fig3::run(&flights, seed));
+
+    eprintln!("tab5 + tab6/tab14...");
+    let (tab5_md, comparison) = tab5_tab13::run_tab5(&flights, seed);
+    println!("{tab5_md}\n");
+    println!("{}\n", tab6_tab14::run(&flights, &comparison, seed));
+
+    eprintln!("tab12...");
+    println!("{}\n", tab12::run(&flights));
+
+    eprintln!("tab13...");
+    println!("{}\n", tab5_tab13::run_tab13(&flights, seed));
+
+    eprintln!("tab2/tab10...");
+    println!("{}\n", tab2_tab10::run(seed));
+
+    eprintln!("tab7...");
+    println!("{}\n", tab7::run(&flights, seed));
+
+    eprintln!("tab8/tab9...");
+    println!("{}\n", tab8_tab9::run(30_000.min(rows), seed));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 3: latency and speech quality of the vocalization
+//! variants on the flights dataset.
+//!
+//! Usage: `cargo run --release -p voxolap-bench --bin fig3 [--rows N] [--seed S]`
+
+use voxolap_bench::{arg_json, arg_usize, experiments::fig3, flights_table, DEFAULT_FLIGHTS_ROWS};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let seed = arg_usize("--seed", 42) as u64;
+    eprintln!("generating flights dataset ({rows} rows)...");
+    let table = flights_table(rows);
+    if arg_json() {
+        println!("{}", fig3::run_json(&table, seed));
+    } else {
+        print!("{}", fig3::run(&table, seed));
+    }
+}

@@ -1,0 +1,17 @@
+//! Latency/quality vs data scale (extends Figure 3).
+//!
+//! Usage: `cargo run --release -p voxolap-bench --bin scaling
+//! [--max-rows N] [--seed S]` — sweeps 50k, 200k, 800k, 3.2M rows up to
+//! the cap.
+
+use voxolap_bench::{arg_usize, experiments::scaling};
+
+fn main() {
+    let max_rows = arg_usize("--max-rows", 3_200_000);
+    let seed = arg_usize("--seed", 42) as u64;
+    let scales: Vec<usize> = [50_000, 200_000, 800_000, 3_200_000]
+        .into_iter()
+        .filter(|&r| r <= max_rows)
+        .collect();
+    print!("{}", scaling::run(&scales, seed));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 11: benchmark dataset statistics. Defaults to the
+//! paper's full 5.3M-row flights scale.
+
+use voxolap_bench::{arg_usize, experiments::tab11, flights_table, salary_table};
+
+fn main() {
+    let rows = arg_usize("--rows", 5_300_000);
+    eprintln!("generating flights dataset ({rows} rows)...");
+    let flights = flights_table(rows);
+    let salary = salary_table();
+    print!("{}", tab11::run(&salary, &flights));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 12: the full region x season cancellation result.
+
+use voxolap_bench::{arg_usize, experiments::tab12, flights_table, DEFAULT_FLIGHTS_ROWS};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let table = flights_table(rows);
+    print!("{}", tab12::run(&table));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 13: speeches for a query with hundreds of result
+//! fields (state x month).
+
+use voxolap_bench::{arg_usize, experiments::tab5_tab13, flights_table, DEFAULT_FLIGHTS_ROWS};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let seed = arg_usize("--seed", 42) as u64;
+    let table = flights_table(rows);
+    print!("{}", tab5_tab13::run_tab13(&table, seed));
+}

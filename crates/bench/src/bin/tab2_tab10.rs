@@ -1,0 +1,8 @@
+//! Regenerates Tables 2 and 10: the pilot study on implicit assumptions.
+
+use voxolap_bench::{arg_usize, experiments::tab2_tab10};
+
+fn main() {
+    let seed = arg_usize("--seed", 42) as u64;
+    print!("{}", tab2_tab10::run(seed));
+}

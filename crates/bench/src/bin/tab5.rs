@@ -1,0 +1,12 @@
+//! Regenerates Table 5: speeches of the three approaches for the
+//! region x season query.
+
+use voxolap_bench::{arg_usize, experiments::tab5_tab13, flights_table, DEFAULT_FLIGHTS_ROWS};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let seed = arg_usize("--seed", 42) as u64;
+    let table = flights_table(rows);
+    let (md, _) = tab5_tab13::run_tab5(&table, seed);
+    print!("{md}");
+}

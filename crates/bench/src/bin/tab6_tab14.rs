@@ -1,0 +1,16 @@
+//! Regenerates Tables 6 and 14: estimation errors and relative tendencies
+//! for the speeches of Table 5.
+
+use voxolap_bench::{
+    arg_usize,
+    experiments::{tab5_tab13, tab6_tab14},
+    flights_table, DEFAULT_FLIGHTS_ROWS,
+};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let seed = arg_usize("--seed", 42) as u64;
+    let table = flights_table(rows);
+    let (tab5_md, comparison) = tab5_tab13::run_tab5(&table, seed);
+    print!("{tab5_md}\n{}", tab6_tab14::run(&table, &comparison, seed));
+}

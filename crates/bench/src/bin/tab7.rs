@@ -1,0 +1,10 @@
+//! Regenerates Table 7: facts extracted via voice-based data analysis.
+
+use voxolap_bench::{arg_usize, experiments::tab7, flights_table};
+
+fn main() {
+    let rows = arg_usize("--rows", 50_000);
+    let seed = arg_usize("--seed", 42) as u64;
+    let table = flights_table(rows);
+    print!("{}", tab7::run(&table, seed));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Tables 8 and 9: vocalization preferences and speech
+//! lengths from the exploratory analysis study.
+
+use voxolap_bench::{arg_usize, experiments::tab8_tab9};
+
+fn main() {
+    let rows = arg_usize("--rows", 30_000);
+    let seed = arg_usize("--seed", 42) as u64;
+    print!("{}", tab8_tab9::run(rows, seed));
+}

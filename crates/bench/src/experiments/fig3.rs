@@ -1,0 +1,110 @@
+//! Figure 3: latency and speech quality of the vocalization variants.
+//!
+//! For each query of the Figure 3 set, runs Optimal, Holistic, and
+//! Unmerged on the flights dataset and reports (a) latency — time from
+//! query submission until voice output starts — and (b) exact speech
+//! quality over the full data set under the belief model.
+//!
+//! Expected shape (paper §5.1): Optimal latency far above the 500 ms
+//! interactivity threshold and growing with data size; Holistic latency
+//! near zero; Unmerged latency ≈ its 500 ms budget; Holistic quality ≈
+//! Optimal quality, Unmerged typically below both.
+
+use serde::Serialize;
+
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::voice::{InstantVoice, VirtualVoice};
+use voxolap_data::Table;
+
+use crate::{
+    experiment_holistic, experiment_optimal, experiment_unmerged, fig3_queries, markdown_table,
+    outcome_quality,
+};
+
+/// One measured cell of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    /// Query label in the paper's `X,Y` naming.
+    pub query: String,
+    /// (latency ms, quality) per approach: optimal, holistic, unmerged.
+    pub latency_ms: [f64; 3],
+    /// Exact speech quality per approach, same order.
+    pub quality: [f64; 3],
+}
+
+/// Run the experiment and return the measured rows.
+pub fn measure(table: &Table, seed: u64) -> Vec<Fig3Row> {
+    let optimal = experiment_optimal();
+    let holistic = experiment_holistic(seed);
+    let unmerged = experiment_unmerged(seed);
+
+    fig3_queries(table)
+        .into_iter()
+        .map(|(label, query)| {
+            let mut v = InstantVoice::default();
+            let o_opt = optimal.vocalize(table, &query, &mut v);
+            // Holistic overlaps sampling with (virtual) speaking time;
+            // 600 iterations/char is conservative for a 15 chars/s voice
+            // (see tab5_tab13).
+            let mut v = VirtualVoice::new(600.0);
+            let o_hol = holistic.vocalize(table, &query, &mut v);
+            let mut v = InstantVoice::default();
+            let o_unm = unmerged.vocalize(table, &query, &mut v);
+            Fig3Row {
+                query: label,
+                latency_ms: [
+                    o_opt.latency.as_secs_f64() * 1e3,
+                    o_hol.latency.as_secs_f64() * 1e3,
+                    o_unm.latency.as_secs_f64() * 1e3,
+                ],
+                quality: [
+                    outcome_quality(&o_opt, table, &query),
+                    outcome_quality(&o_hol, table, &query),
+                    outcome_quality(&o_unm, table, &query),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Run and render as JSON lines (one record per query).
+pub fn run_json(table: &Table, seed: u64) -> String {
+    measure(table, seed)
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("rows serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Run and render as markdown.
+pub fn run(table: &Table, seed: u64) -> String {
+    let rows = measure(table, seed);
+    let md_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query.clone(),
+                format!("{:.1}", r.latency_ms[0]),
+                format!("{:.1}", r.latency_ms[1]),
+                format!("{:.1}", r.latency_ms[2]),
+                format!("{:.3}", r.quality[0]),
+                format!("{:.3}", r.quality[1]),
+                format!("{:.3}", r.quality[2]),
+            ]
+        })
+        .collect();
+    let mut out = String::from("### Figure 3: latency (ms) and speech quality per approach\n\n");
+    out.push_str(&markdown_table(
+        &[
+            "query",
+            "latency optimal",
+            "latency holistic",
+            "latency unmerged",
+            "quality optimal",
+            "quality holistic",
+            "quality unmerged",
+        ],
+        &md_rows,
+    ));
+    out
+}

@@ -1,0 +1,60 @@
+//! Data-scale sweep (extends Figure 3): latency and quality of each
+//! approach as the flights dataset grows toward the paper's 5.3 M rows.
+//!
+//! Expected shape: Holistic stays sub-millisecond at every scale because
+//! nothing it does before the first spoken word depends on data size;
+//! Unmerged is pinned at its budget while its quality degrades with scale
+//! (500 ms covers a shrinking fraction of the data); Optimal pays a full
+//! scan plus exhaustive plan scoring — for this narrow 20-aggregate query
+//! the scoring term dominates, so its latency is large but flat; the
+//! data-size term shows on wide queries (Figure 3's `,RDA` at 11 s).
+
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::voice::{InstantVoice, VirtualVoice};
+
+use crate::{
+    experiment_holistic, experiment_optimal, experiment_unmerged, flights_table, markdown_table,
+    region_season_query,
+};
+
+/// Run the sweep over the given row counts.
+pub fn run(row_counts: &[usize], seed: u64) -> String {
+    let mut rows_md = Vec::new();
+    for &rows in row_counts {
+        eprintln!("scaling: {rows} rows...");
+        let table = flights_table(rows);
+        let query = region_season_query(&table);
+
+        let mut v = InstantVoice::default();
+        let o_opt = experiment_optimal().vocalize(&table, &query, &mut v);
+        let mut v = VirtualVoice::new(600.0);
+        let o_hol = experiment_holistic(seed).vocalize(&table, &query, &mut v);
+        let mut v = InstantVoice::default();
+        let o_unm = experiment_unmerged(seed).vocalize(&table, &query, &mut v);
+
+        rows_md.push(vec![
+            rows.to_string(),
+            format!("{:.1}", o_opt.latency.as_secs_f64() * 1e3),
+            format!("{:.1}", o_hol.latency.as_secs_f64() * 1e3),
+            format!("{:.1}", o_unm.latency.as_secs_f64() * 1e3),
+            format!("{:.3}", crate::outcome_quality(&o_opt, &table, &query)),
+            format!("{:.3}", crate::outcome_quality(&o_hol, &table, &query)),
+            format!("{:.3}", crate::outcome_quality(&o_unm, &table, &query)),
+        ]);
+    }
+    format!(
+        "### Data-scale sweep (region x season query)\n\n{}",
+        markdown_table(
+            &[
+                "rows",
+                "latency optimal",
+                "latency holistic",
+                "latency unmerged",
+                "quality optimal",
+                "quality holistic",
+                "quality unmerged",
+            ],
+            &rows_md,
+        )
+    )
+}

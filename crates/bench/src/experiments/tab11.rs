@@ -1,0 +1,26 @@
+//! Table 11: statistics of the benchmark datasets.
+
+use voxolap_data::stats::DatasetStats;
+use voxolap_data::Table;
+
+use crate::markdown_table;
+
+/// Render the dataset statistics table.
+pub fn run(salary: &Table, flights: &Table) -> String {
+    let rows: Vec<Vec<String>> = [salary, flights]
+        .iter()
+        .map(|t| {
+            let s = DatasetStats::of(t);
+            vec![
+                s.name.clone(),
+                s.dimensions.join(", "),
+                s.rows.to_string(),
+                s.size_display(),
+            ]
+        })
+        .collect();
+    format!(
+        "### Table 11: benchmark data statistics\n\n{}",
+        markdown_table(&["Data Set", "Dimensions", "#Rows", "Size"], &rows)
+    )
+}

@@ -1,0 +1,34 @@
+//! Tables 2 and 10: the pilot study on implicit assumptions.
+
+use voxolap_simuser::pilot::{questions, PilotStudy};
+
+use crate::markdown_table;
+
+/// Run the simulated pilot study and render both tables.
+pub fn run(seed: u64) -> String {
+    let result = PilotStudy { n_workers: 20, seed }.run();
+    let qs = questions();
+
+    let mut out = String::from("### Table 2: pilot study summary (consistent vs inconsistent)\n\n");
+    let t2: Vec<Vec<String>> = result
+        .per_aspect
+        .iter()
+        .map(|(a, c, i)| vec![a.clone(), c.to_string(), i.to_string()])
+        .collect();
+    out.push_str(&markdown_table(&["Model aspect", "#Consistent", "#Inconsistent"], &t2));
+
+    out.push_str("\n### Table 10: detailed replies per question\n\n");
+    let t10: Vec<Vec<String>> = qs
+        .iter()
+        .zip(&result.replies)
+        .map(|(q, counts)| {
+            vec![
+                q.aspect.to_string(),
+                q.question.to_string(),
+                format!("{}/{}/{}", counts[0], counts[1], counts[2]),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(&["Aspect", "Question", "#Replies (1/2/3)"], &t10));
+    out
+}

@@ -1,0 +1,47 @@
+//! Table 7: example facts extracted via voice-based data analysis.
+//!
+//! Drives scripted exploratory sessions on the flights dataset through the
+//! keyword parser and the holistic vocalizer, then extracts the facts a
+//! careful listener could state — analogous to the worker-stated facts of
+//! the paper's Table 7, annotated with the dimensions they refer to.
+
+use voxolap_core::voice::VirtualVoice;
+use voxolap_data::Table;
+use voxolap_simuser::explore::extract_facts;
+use voxolap_voice::session::Session;
+
+use crate::{experiment_holistic, markdown_table};
+
+/// The scripted sessions: each is a list of utterances ending in a
+/// vocalization of the final query state.
+fn scripts() -> Vec<Vec<&'static str>> {
+    vec![
+        vec!["break down by season"],
+        vec!["break down by airline", "break down by region"],
+        vec!["drill down into the start airport", "drill down into the start airport"],
+        vec!["break down by region", "break down by season", "winter"],
+    ]
+}
+
+/// Run the sessions and render the fact table.
+pub fn run(table: &Table, seed: u64) -> String {
+    let holistic = experiment_holistic(seed);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for script in scripts() {
+        let mut session = Session::new(table);
+        for cmd in &script {
+            // Scripted commands are all valid; ignore the response.
+            session.input(cmd).expect("scripted command parses");
+        }
+        let Ok(query) = session.query() else { continue };
+        let mut voice = VirtualVoice::default();
+        let Ok(outcome) = session.vocalize_with(&holistic, &mut voice) else { continue };
+        for fact in extract_facts(&outcome, &query, table.schema()) {
+            rows.push(vec![fact.dimensions.join(", "), fact.text]);
+        }
+    }
+    format!(
+        "### Table 7: facts extracted via voice-based analysis\n\n{}",
+        markdown_table(&["Dimensions", "Fact"], &rows)
+    )
+}

@@ -1,0 +1,55 @@
+//! Tables 8 and 9: vocalization preferences and speech lengths from the
+//! exploratory analysis study.
+
+use voxolap_simuser::preference::PreferenceStudy;
+
+use crate::markdown_table;
+
+/// Run the study and render both tables.
+pub fn run(flights_rows: usize, seed: u64) -> String {
+    let study = PreferenceStudy { flights_rows, seed, ..PreferenceStudy::default() };
+    let result = study.run();
+
+    let mut out = String::from("### Table 8: vocalization preferences (Prior vs This)\n\n");
+    let t8: Vec<Vec<String>> = result
+        .datasets
+        .iter()
+        .map(|d| {
+            let mut row = vec![d.dataset.clone()];
+            row.extend(d.counts.iter().map(|c| c.to_string()));
+            row
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &["Data", "Prior++", "Prior+", "Neutral", "This+", "This++"],
+        &t8,
+    ));
+
+    out.push_str("\n### Table 9: speech lengths (characters) during the study\n\n");
+    let mut t9: Vec<Vec<String>> = Vec::new();
+    for d in &result.datasets {
+        t9.push(vec![
+            d.dataset.clone(),
+            "Average".to_string(),
+            format!("{:.0}", d.this_len.avg),
+            format!("{:.0}", d.prior_len.avg),
+        ]);
+        t9.push(vec![
+            d.dataset.clone(),
+            "Maximum".to_string(),
+            d.this_len.max.to_string(),
+            d.prior_len.max.to_string(),
+        ]);
+    }
+    out.push_str(&markdown_table(&["Scenario", "Aggregate", "This", "Prior"], &t9));
+    out.push_str(&format!(
+        "\nQueries vocalized: {} (salary), {} (flights).\n",
+        result.datasets[0].queries, result.datasets[1].queries
+    ));
+    out.push_str(&format!(
+        "\nInput-method preferences (paper: 9 of 40 preferred keyboard): \
+         {} voice, {} keyboard.\n",
+        result.input.voice, result.input.keyboard
+    ));
+    out
+}

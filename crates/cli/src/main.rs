@@ -1,0 +1,319 @@
+//! `voxolap` — voice-based OLAP from the command line.
+//!
+//! ```text
+//! voxolap ask "how does the cancellation probability depend on region and season?"
+//! voxolap repl                      # interactive keyword session
+//! voxolap stats                     # dataset statistics
+//! voxolap compare "<question>"      # all four approaches side by side
+//! ```
+//!
+//! Options (before the subcommand):
+//!   --data flights|salary   dataset (default flights)
+//!   --rows N                generated rows for flights (default 200000)
+//!   --csv PATH              load a CSV exported by voxolap instead
+//!   --approach NAME         holistic|concurrent|optimal|unmerged|prior
+//!   --chars-per-sec R       printed "speaking" rate (default 15; 0 = instant)
+//!   --uncertainty MODE      off|warning|bounds
+//!   --seed N                RNG seed (default 42)
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::concurrent::ConcurrentHolistic;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::optimal::Optimal;
+use voxolap_core::prior::PriorGreedy;
+use voxolap_core::uncertainty::UncertaintyMode;
+use voxolap_core::unmerged::Unmerged;
+use voxolap_core::voice::{InstantVoice, VoiceOutput};
+use voxolap_data::flights::FlightsConfig;
+use voxolap_data::salary::SalaryConfig;
+use voxolap_data::stats::DatasetStats;
+use voxolap_data::Table;
+use voxolap_voice::question::parse_question;
+use voxolap_voice::session::{Response, Session};
+use voxolap_voice::tts::RealTimeVoice;
+
+/// Parsed command-line options.
+struct Options {
+    data: String,
+    rows: usize,
+    csv: Option<String>,
+    approach: String,
+    chars_per_sec: f64,
+    uncertainty: UncertaintyMode,
+    seed: u64,
+    command: String,
+    args: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: voxolap [options] <ask \"question\" | repl | stats | compare \"question\">\n\
+     options:\n\
+       --data flights|salary   dataset to generate (default flights)\n\
+       --rows N                rows for the flights dataset (default 200000)\n\
+       --csv PATH              load rows from a CSV exported by voxolap\n\
+       --approach NAME         holistic|concurrent|optimal|unmerged|prior (default holistic)\n\
+       --chars-per-sec R       speaking rate for printed output (default 15; 0 = instant)\n\
+       --uncertainty MODE      off|warning|bounds (default off)\n\
+       --seed N                RNG seed (default 42)"
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        data: "flights".into(),
+        rows: 200_000,
+        csv: None,
+        approach: "holistic".into(),
+        chars_per_sec: 15.0,
+        uncertainty: UncertaintyMode::Off,
+        seed: 42,
+        command: String::new(),
+        args: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--data" => opts.data = take_value(&mut i)?,
+            "--rows" => {
+                opts.rows = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --rows value".to_string())?
+            }
+            "--csv" => opts.csv = Some(take_value(&mut i)?),
+            "--approach" => opts.approach = take_value(&mut i)?,
+            "--chars-per-sec" => {
+                opts.chars_per_sec = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --chars-per-sec value".to_string())?
+            }
+            "--uncertainty" => {
+                opts.uncertainty = match take_value(&mut i)?.as_str() {
+                    "off" => UncertaintyMode::Off,
+                    "warning" => UncertaintyMode::Warning { max_relative_width: 0.5 },
+                    "bounds" => UncertaintyMode::SpokenBounds,
+                    other => return Err(format!("unknown uncertainty mode {other:?}")),
+                }
+            }
+            "--seed" => {
+                opts.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            arg if opts.command.is_empty() => opts.command = arg.to_string(),
+            arg => opts.args.push(arg.to_string()),
+        }
+        i += 1;
+    }
+    if opts.command.is_empty() {
+        opts.command = "repl".into();
+    }
+    Ok(opts)
+}
+
+fn load_table(opts: &Options) -> Result<Table, String> {
+    if let Some(path) = &opts.csv {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let schema = match opts.data.as_str() {
+            "flights" => FlightsConfig::schema(),
+            "salary" => SalaryConfig::schema(320),
+            other => return Err(format!("unknown --data {other:?}")),
+        };
+        return voxolap_data::csv::from_csv(schema, &text).map_err(|e| e.to_string());
+    }
+    match opts.data.as_str() {
+        "flights" => {
+            eprintln!("generating flights dataset ({} rows)...", opts.rows);
+            Ok(FlightsConfig { rows: opts.rows, seed: opts.seed }.generate())
+        }
+        "salary" => Ok(SalaryConfig::paper_scale().generate()),
+        other => Err(format!("unknown --data {other:?}")),
+    }
+}
+
+fn make_vocalizer(opts: &Options) -> Result<Box<dyn Vocalizer>, String> {
+    let config = HolisticConfig {
+        seed: opts.seed,
+        uncertainty: opts.uncertainty,
+        // The CLI's datasets include the 0/1 flights measure; a larger
+        // resample keeps estimates informative (see DESIGN.md).
+        resample_size: 200,
+        // With an instant voice (--chars-per-sec 0) there is no speaking
+        // time to overlap, so give each sentence a real sampling floor
+        // (~tens of milliseconds of planning).
+        min_samples_per_sentence: 8_000,
+        ..HolisticConfig::default()
+    };
+    Ok(match opts.approach.as_str() {
+        "holistic" => Box::new(Holistic::new(config)),
+        "concurrent" => Box::new(ConcurrentHolistic::new(config)),
+        "optimal" => Box::new(Optimal::default()),
+        "unmerged" => Box::new(Unmerged::new(voxolap_core::unmerged::UnmergedConfig {
+            seed: opts.seed,
+            // Same estimator configuration as the holistic approach so the
+            // in-CLI comparison isolates the planning strategy.
+            resample_size: 200,
+            ..Default::default()
+        })),
+        "prior" => Box::new(PriorGreedy),
+        other => return Err(format!("unknown --approach {other:?}")),
+    })
+}
+
+fn make_voice(opts: &Options) -> Box<dyn VoiceOutput> {
+    if opts.chars_per_sec <= 0.0 {
+        Box::new(InstantVoice::default())
+    } else {
+        Box::new(RealTimeVoice::new(opts.chars_per_sec))
+    }
+}
+
+fn speak_outcome(outcome: &voxolap_core::outcome::VocalizationOutcome) {
+    println!("{}", outcome.full_text());
+    eprintln!(
+        "[latency {:?} | {} rows sampled | {} planner iterations | {} chars]",
+        outcome.latency,
+        outcome.stats.rows_read,
+        outcome.stats.samples,
+        outcome.body_len()
+    );
+}
+
+fn cmd_ask(opts: &Options, table: &Table) -> Result<(), String> {
+    let question = opts.args.first().ok_or("ask needs a quoted question")?;
+    let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
+    let vocalizer = make_vocalizer(opts)?;
+    let mut voice = make_voice(opts);
+    let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
+    speak_outcome(&outcome);
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options, table: &Table) -> Result<(), String> {
+    let question = opts.args.first().ok_or("compare needs a quoted question")?;
+    let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
+    for name in ["holistic", "optimal", "unmerged", "prior"] {
+        let sub = Options { approach: name.into(), ..clone_options(opts) };
+        let vocalizer = make_vocalizer(&sub)?;
+        let mut voice: Box<dyn VoiceOutput> = Box::new(InstantVoice::default());
+        let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
+        println!("\n== {name} (latency {:?}, {} chars) ==", outcome.latency, outcome.body_len());
+        let text = outcome.full_text();
+        if text.len() > 600 {
+            println!("{}…", &text[..600]);
+        } else {
+            println!("{text}");
+        }
+    }
+    Ok(())
+}
+
+fn clone_options(o: &Options) -> Options {
+    Options {
+        data: o.data.clone(),
+        rows: o.rows,
+        csv: o.csv.clone(),
+        approach: o.approach.clone(),
+        chars_per_sec: o.chars_per_sec,
+        uncertainty: o.uncertainty,
+        seed: o.seed,
+        command: o.command.clone(),
+        args: o.args.clone(),
+    }
+}
+
+fn cmd_stats(table: &Table) {
+    let s = DatasetStats::of(table);
+    println!("dataset:    {}", s.name);
+    println!("dimensions: {}", s.dimensions.join(", "));
+    println!("rows:       {}", s.rows);
+    println!("size:       {}", s.size_display());
+}
+
+fn cmd_repl(opts: &Options, table: &Table) -> Result<(), String> {
+    let vocalizer = make_vocalizer(opts)?;
+    let mut voice = make_voice(opts);
+    let mut session = Session::new(table);
+    eprintln!("voxolap repl — say \"help\" for keywords, \"quit\" to leave.");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Session keywords take priority — "break down by region" must
+        // accumulate state, not spawn a one-shot question. Only inputs
+        // that look like full questions take the question path.
+        let lower = line.to_lowercase();
+        let looks_like_question = line.contains('?')
+            || lower.starts_with("how ")
+            || lower.starts_with("what ")
+            || lower.contains("depend");
+        if looks_like_question {
+            match parse_question(table.schema(), &line) {
+                Ok(query) => {
+                    let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
+                    speak_outcome(&outcome);
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    continue;
+                }
+            }
+        }
+        match session.input(&line) {
+            Ok(Response::Quit) => break,
+            Ok(Response::Help(text)) => println!("{text}"),
+            Ok(Response::Updated) => {
+                match session.vocalize_with(vocalizer.as_ref(), voice.as_mut()) {
+                    Ok(outcome) => speak_outcome(&outcome),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = match load_table(&opts) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match opts.command.as_str() {
+        "ask" => cmd_ask(&opts, &table),
+        "compare" => cmd_compare(&opts, &table),
+        "stats" => {
+            cmd_stats(&table);
+            Ok(())
+        }
+        "repl" => cmd_repl(&opts, &table),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The common interface all vocalization approaches implement.
+
+use voxolap_data::Table;
+use voxolap_engine::query::Query;
+
+use crate::outcome::VocalizationOutcome;
+use crate::voice::VoiceOutput;
+
+/// A query-evaluation-and-vocalization approach (paper §5 compares
+/// Holistic, Optimal, Unmerged, and the Prior greedy baseline).
+pub trait Vocalizer {
+    /// Short identifier used in experiment output (e.g. `"holistic"`).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate `query` against `table` and speak the result through
+    /// `voice`. Returns the spoken text and planner statistics.
+    fn vocalize(
+        &self,
+        table: &Table,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome;
+}

@@ -1,0 +1,286 @@
+//! Truly concurrent pipelined vocalization.
+//!
+//! [`Holistic`](crate::holistic::Holistic) interleaves sampling and voice
+//! output *cooperatively*: it polls `VO.IsPlaying` between iterations,
+//! which is exact and deterministic but occupies the calling thread. A
+//! deployment speaking through a real TTS engine wants the paper's literal
+//! architecture instead — "while the current sentence is spoken, we
+//! determine the best follow-up in the background". [`ConcurrentHolistic`]
+//! provides that: a background thread samples continuously while the
+//! calling thread sleeps on voice output and commits sentences.
+//!
+//! Trade-offs vs. the cooperative engine: wall-clock speaking time is
+//! genuinely overlapped (the planner never blocks output), but outcomes
+//! depend on thread scheduling and are therefore **not** bit-reproducible
+//! across runs. Experiments use the cooperative engine; interactive
+//! sessions can use either.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use voxolap_data::Table;
+use voxolap_engine::query::Query;
+use voxolap_mcts::NodeId;
+use voxolap_speech::candidates::CandidateGenerator;
+use voxolap_speech::render::Renderer;
+
+use crate::approach::Vocalizer;
+use crate::holistic::HolisticConfig;
+use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::sampler::PlannerCore;
+use crate::tree::SpeechTree;
+use crate::voice::VoiceOutput;
+
+/// How long the committing thread sleeps between `VO.IsPlaying` polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Sampling iterations per lock acquisition on the background thread —
+/// large enough to amortize locking, small enough to keep commit latency
+/// (time the main thread waits for the lock) negligible.
+const SAMPLER_BATCH: usize = 32;
+
+/// The concurrent variant of the holistic vocalizer.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrentHolistic {
+    config: HolisticConfig,
+}
+
+impl ConcurrentHolistic {
+    /// Create with the given configuration (shared with
+    /// [`Holistic`](crate::holistic::Holistic); the uncertainty mode is
+    /// currently ignored by the concurrent engine).
+    pub fn new(config: HolisticConfig) -> Self {
+        ConcurrentHolistic { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HolisticConfig {
+        &self.config
+    }
+}
+
+/// State shared between the sampler thread and the committing thread.
+struct Shared<'a> {
+    core: PlannerCore<'a>,
+    tree: SpeechTree,
+    /// The node sampling currently descends from (the last committed
+    /// sentence).
+    current: NodeId,
+}
+
+impl Vocalizer for ConcurrentHolistic {
+    fn name(&self) -> &'static str {
+        "holistic-concurrent"
+    }
+
+    fn vocalize(
+        &self,
+        table: &Table,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let schema = table.schema();
+        let renderer = Renderer::new(schema, query);
+
+        let preamble = renderer.preamble();
+        voice.start(&preamble);
+        let latency = t0.elapsed();
+
+        let mut core =
+            PlannerCore::with_resample_size(table, query, cfg.seed, cfg.resample_size);
+        core.set_policy(cfg.policy);
+        let Some(overall) = core.warmup(cfg.warmup_rows) else {
+            let sentence = "No data matches the query scope.".to_string();
+            voice.start(&sentence);
+            return VocalizationOutcome {
+                speech: None,
+                preamble,
+                sentences: vec![sentence],
+                latency,
+                stats: PlanStats {
+                    rows_read: core.rows_read(),
+                    samples: 0,
+                    tree_nodes: 0,
+                    truncated: false,
+                    planning_time: t0.elapsed(),
+                },
+            };
+        };
+        core.calibrate_sigma(overall, cfg.sigma_override);
+
+        let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
+        let tree = SpeechTree::build(
+            &generator,
+            &renderer,
+            &cfg.constraints,
+            overall,
+            cfg.max_tree_nodes,
+        );
+
+        let shared = Mutex::new(Shared { core, tree, current: SpeechTree::ROOT });
+        let stop = AtomicBool::new(false);
+        let mut sentences: Vec<String> = Vec::new();
+
+        std::thread::scope(|scope| {
+            // Background sampler: runs until told to stop, always rooted
+            // at the latest committed node (so prior statistics in the
+            // chosen subtree keep paying off).
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut s = shared.lock();
+                    let from = s.current;
+                    for _ in 0..SAMPLER_BATCH {
+                        let Shared { core, tree, .. } = &mut *s;
+                        core.sample_once(tree, from, cfg.rows_per_iteration);
+                    }
+                }
+            });
+
+            // Committing loop: sleep while the voice plays, then pick the
+            // best child (ensuring the minimum per-sentence sample count).
+            loop {
+                let sentence_started = shared.lock().core.samples();
+                while voice.is_playing() {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                // Progress floor for near-instant voices.
+                while shared.lock().core.samples()
+                    < sentence_started + cfg.min_samples_per_sentence
+                {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                let mut s = shared.lock();
+                if s.tree.tree().is_leaf(s.current) {
+                    break;
+                }
+                let Some(next) = s.tree.tree().best_child(s.current) else {
+                    break;
+                };
+                s.current = next;
+                let sentence = s
+                    .tree
+                    .sentence(next, &renderer)
+                    .expect("committed nodes are never the root");
+                drop(s);
+                sentences.push(sentence.clone());
+                voice.start(&sentence);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        let s = shared.into_inner();
+        VocalizationOutcome {
+            speech: Some(s.tree.speech_at(s.current)),
+            preamble,
+            sentences,
+            latency,
+            stats: PlanStats {
+                rows_read: s.core.rows_read(),
+                samples: s.core.samples(),
+                tree_nodes: s.tree.tree().node_count(),
+                truncated: s.tree.truncated(),
+                planning_time: t0.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::AggFct;
+    use voxolap_speech::constraints::SpeechConstraints;
+
+    /// A wall-clock voice local to these tests (the production one lives
+    /// in voxolap-voice, which sits above this crate).
+    struct SleepyVoice {
+        until: Option<Instant>,
+        per_char: Duration,
+        transcript: Vec<String>,
+    }
+
+    impl SleepyVoice {
+        fn new(per_char: Duration) -> Self {
+            SleepyVoice { until: None, per_char, transcript: Vec::new() }
+        }
+    }
+
+    impl VoiceOutput for SleepyVoice {
+        fn start(&mut self, sentence: &str) {
+            self.until = Some(Instant::now() + self.per_char * sentence.len() as u32);
+            self.transcript.push(sentence.to_string());
+        }
+        fn is_playing(&mut self) -> bool {
+            self.until.is_some_and(|t| Instant::now() < t)
+        }
+        fn transcript(&self) -> &[String] {
+            &self.transcript
+        }
+    }
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    #[test]
+    fn concurrent_engine_produces_valid_speech() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        let mut voice = SleepyVoice::new(Duration::from_micros(200));
+        let outcome = ConcurrentHolistic::new(cfg).vocalize(&table, &q, &mut voice);
+        let speech = outcome.speech.as_ref().expect("structured speech");
+        assert!(speech.refinements.len() <= 2);
+        assert!(!outcome.sentences.is_empty());
+        assert_eq!(voice.transcript().len(), 1 + outcome.sentences.len());
+        assert!(outcome.latency.as_millis() < 500);
+    }
+
+    #[test]
+    fn background_sampling_accumulates_during_speech() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            min_samples_per_sentence: 1,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        // ~20 ms of "speaking" per sentence buys thousands of iterations.
+        let mut voice = SleepyVoice::new(Duration::from_micros(300));
+        let outcome = ConcurrentHolistic::new(cfg).vocalize(&table, &q, &mut voice);
+        assert!(
+            outcome.stats.samples > 500,
+            "background thread sampled during speech: {}",
+            outcome.stats.samples
+        );
+    }
+
+    #[test]
+    fn respects_fragment_budget() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            constraints: SpeechConstraints { max_chars: 300, max_refinements: 1 },
+            min_samples_per_sentence: 100,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        let mut voice = SleepyVoice::new(Duration::from_micros(50));
+        let outcome = ConcurrentHolistic::new(cfg).vocalize(&table, &q, &mut voice);
+        assert!(outcome.speech.unwrap().refinements.len() <= 1);
+    }
+}

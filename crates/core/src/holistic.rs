@@ -1,0 +1,437 @@
+//! The holistic engine — paper Algorithm 1 (`EvalVocal`).
+//!
+//! Combined query evaluation and result vocalization:
+//!
+//! 1. speak the preamble immediately (it needs no data);
+//! 2. while it plays, warm up the sample cache and expand the full speech
+//!    search tree;
+//! 3. while each sentence plays, refine speech-quality estimates by UCT
+//!    sampling (`ST.Sample`) rooted at the current node;
+//! 4. when a sentence finishes, commit to the child with the best **mean**
+//!    reward (no exploration bonus — "Algorithm 1 cannot afford further
+//!    exploration when selecting the best child node"), speak it, and make
+//!    it the new sampling root so all previously collected statistics in
+//!    its subtree remain available ("we avoid redundant planning work").
+
+use std::time::Instant;
+
+use voxolap_data::Table;
+use voxolap_engine::query::{AggIdx, Query, ResultLayout};
+use voxolap_mcts::NodeId;
+use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
+use voxolap_speech::constraints::SpeechConstraints;
+use voxolap_speech::render::Renderer;
+
+use crate::approach::Vocalizer;
+use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::sampler::{PlannerCore, SelectionPolicy};
+use crate::tree::{NodeKind, SpeechTree};
+use crate::uncertainty::{annotate, UncertaintyMode};
+use crate::voice::VoiceOutput;
+
+/// Configuration of the holistic planner.
+#[derive(Debug, Clone)]
+pub struct HolisticConfig {
+    /// User-preference constraints (speech length, fragment count).
+    pub constraints: SpeechConstraints,
+    /// Candidate-space configuration (quantifier menu, predicate pool).
+    pub candidates: CandidateConfig,
+    /// RNG seed; same seed, same speech.
+    pub seed: u64,
+    /// Rows ingested before the tree is built (overlapped with the
+    /// preamble; estimates seed the baseline value grid).
+    pub warmup_rows: usize,
+    /// Rows streamed into the cache per sampling iteration.
+    pub rows_per_iteration: usize,
+    /// Minimum sampling iterations per sentence even when voice output has
+    /// already finished (guarantees progress under instant voices).
+    pub min_samples_per_sentence: u64,
+    /// Hard cap on search-tree size; expansion truncates beyond it.
+    pub max_tree_nodes: usize,
+    /// Override the belief σ (default: half the overall estimate).
+    pub sigma_override: Option<f64>,
+    /// Uncertainty transmission mode (paper §4.4).
+    pub uncertainty: UncertaintyMode,
+    /// Fixed resample size of the cache estimator. The paper uses 10; the
+    /// planner default is 100 because low-rate 0/1 measures (cancellation
+    /// flags) make 10-row resamples almost always all-zero, biasing
+    /// baseline selection low. Still O(1) per iteration.
+    pub resample_size: usize,
+    /// Tree-descent policy during sampling (UCT by default; uniform random
+    /// is the no-prioritization ablation).
+    pub policy: SelectionPolicy,
+}
+
+impl Default for HolisticConfig {
+    fn default() -> Self {
+        HolisticConfig {
+            constraints: SpeechConstraints { max_chars: 300, max_refinements: 2 },
+            candidates: CandidateConfig::default(),
+            seed: 42,
+            warmup_rows: 200,
+            rows_per_iteration: 8,
+            min_samples_per_sentence: 64,
+            max_tree_nodes: 500_000,
+            sigma_override: None,
+            uncertainty: UncertaintyMode::Off,
+            resample_size: 100,
+            policy: SelectionPolicy::Uct,
+        }
+    }
+}
+
+/// The holistic vocalizer (paper §4).
+#[derive(Debug, Clone, Default)]
+pub struct Holistic {
+    config: HolisticConfig,
+}
+
+impl Holistic {
+    /// Create with the given configuration.
+    pub fn new(config: HolisticConfig) -> Self {
+        Holistic { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HolisticConfig {
+        &self.config
+    }
+
+    /// Vocalize over a pre-built per-aggregate row index
+    /// ([`voxolap_engine::stratified::AggregateIndex`]) so that rare
+    /// aggregates receive cache entries from the first rows streamed.
+    /// The index plays the role of the "specialized indexing structures"
+    /// the paper suggests for particularly small data subsets (§4.3);
+    /// building it costs a full scan, so it is meant to be prepared ahead
+    /// of queries, like a materialized view. AVG queries only.
+    pub fn vocalize_with_index(
+        &self,
+        table: &Table,
+        query: &Query,
+        index: &voxolap_engine::stratified::AggregateIndex,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome {
+        let core =
+            PlannerCore::with_index(table, query, index, self.config.seed, self.config.resample_size);
+        self.run(table, query, voice, core)
+    }
+}
+
+/// The aggregates a node's sentence claims something about: all of them
+/// for a baseline, the refinement scope otherwise. Used only for
+/// uncertainty annotations.
+pub(crate) fn relevant_aggs(tree: &SpeechTree, node: NodeId, layout: &ResultLayout) -> Vec<AggIdx> {
+    match tree.tree().data(node) {
+        NodeKind::Root | NodeKind::Baseline(_) => (0..layout.n_aggregates() as u32).collect(),
+        NodeKind::Refinement { scope, .. } => (0..layout.n_aggregates() as u32)
+            .filter(|&a| scope.contains(a, layout))
+            .collect(),
+    }
+}
+
+impl Vocalizer for Holistic {
+    fn name(&self) -> &'static str {
+        "holistic"
+    }
+
+    fn vocalize(
+        &self,
+        table: &Table,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome {
+        let core = PlannerCore::with_resample_size(
+            table,
+            query,
+            self.config.seed,
+            self.config.resample_size,
+        );
+        self.run(table, query, voice, core)
+    }
+}
+
+impl Holistic {
+    /// Algorithm 1 over an already-constructed planner core.
+    fn run(
+        &self,
+        table: &Table,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+        mut core: PlannerCore<'_>,
+    ) -> VocalizationOutcome {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let schema = table.schema();
+        let renderer = Renderer::new(schema, query);
+
+        // Start voice output of the preamble; everything below overlaps it.
+        let preamble = renderer.preamble();
+        voice.start(&preamble);
+        let latency = t0.elapsed();
+
+        core.set_policy(cfg.policy);
+        let Some(overall) = core.warmup(cfg.warmup_rows) else {
+            // Entire table streamed, not one row in scope: report that.
+            let sentence = "No data matches the query scope.".to_string();
+            voice.start(&sentence);
+            return VocalizationOutcome {
+                speech: None,
+                preamble,
+                sentences: vec![sentence],
+                latency,
+                stats: PlanStats {
+                    rows_read: core.rows_read(),
+                    samples: 0,
+                    tree_nodes: 0,
+                    truncated: false,
+                    planning_time: t0.elapsed(),
+                },
+            };
+        };
+        core.calibrate_sigma(overall, cfg.sigma_override);
+
+        let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
+        let mut tree = SpeechTree::build(
+            &generator,
+            &renderer,
+            &cfg.constraints,
+            overall,
+            cfg.max_tree_nodes,
+        );
+
+        let layout = query.layout();
+        let mut current = SpeechTree::ROOT;
+        let mut sentences = Vec::new();
+        loop {
+            // Sample while the previous sentence plays (plus a progress
+            // floor for instant voices).
+            let mut iterations = 0u64;
+            while voice.is_playing() || iterations < cfg.min_samples_per_sentence {
+                core.sample_once(&mut tree, current, cfg.rows_per_iteration);
+                iterations += 1;
+            }
+            if tree.tree().is_leaf(current) {
+                break;
+            }
+            let Some(next) = tree.tree().best_child(current) else {
+                break;
+            };
+            current = next;
+            let mut sentence = tree
+                .sentence(current, &renderer)
+                .expect("committed nodes are never the root");
+            if !matches!(cfg.uncertainty, UncertaintyMode::Off) {
+                let aggs = relevant_aggs(&tree, current, layout);
+                if let Some(extra) = annotate(
+                    cfg.uncertainty,
+                    core.cache(),
+                    layout,
+                    &aggs,
+                    schema.measure(query.measure()).unit,
+                ) {
+                    sentence = format!("{sentence} {extra}");
+                }
+            }
+            sentences.push(sentence.clone());
+            voice.start(&sentence);
+        }
+
+        VocalizationOutcome {
+            speech: Some(tree.speech_at(current)),
+            preamble,
+            sentences,
+            latency,
+            stats: PlanStats {
+                rows_read: core.rows_read(),
+                samples: core.samples(),
+                tree_nodes: tree.tree().node_count(),
+                truncated: tree.truncated(),
+                planning_time: t0.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::AggFct;
+
+    use crate::voice::{InstantVoice, VirtualVoice};
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    fn fast_config() -> HolisticConfig {
+        HolisticConfig {
+            min_samples_per_sentence: 400,
+            max_tree_nodes: 60_000,
+            ..HolisticConfig::default()
+        }
+    }
+
+    #[test]
+    fn produces_grammatical_speech() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let outcome = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice);
+        assert!(outcome.preamble.starts_with("Considering"));
+        let speech = outcome.speech.as_ref().unwrap();
+        assert!(speech.refinements.len() <= 2);
+        // First body sentence is the baseline.
+        assert!(outcome.sentences[0].contains("is the average mid-career salary."));
+        // Voice transcript = preamble + body sentences.
+        assert_eq!(voice.transcript().len(), 1 + outcome.sentences.len());
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let cfg = HolisticConfig {
+            constraints: SpeechConstraints { max_chars: 300, max_refinements: 1 },
+            ..fast_config()
+        };
+        let outcome = Holistic::new(cfg).vocalize(&table, &q, &mut voice);
+        let speech = outcome.speech.as_ref().unwrap();
+        assert!(speech.refinements.len() <= 1);
+        assert!(outcome.body_len() <= 300 + 80, "uncertainty-free body near budget");
+    }
+
+    #[test]
+    fn is_deterministic_under_seed() {
+        let (table, q) = setup();
+        let run = || {
+            let mut voice = InstantVoice::default();
+            Holistic::new(fast_config()).vocalize(&table, &q, &mut voice).body_text()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn baseline_lands_near_truth() {
+        let (table, q) = setup();
+        let mut voice = VirtualVoice::new(20.0);
+        let outcome = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice);
+        let v = outcome.speech.unwrap().baseline.value;
+        // Exact grand mean is ~88-92 K; one-significant-digit planning must
+        // land on 80, 90, or 100.
+        assert!((70.0..=110.0).contains(&v), "baseline {v}");
+    }
+
+    #[test]
+    fn pipelining_grants_more_samples_with_longer_voice() {
+        let (table, q) = setup();
+        let mut slow_voice = VirtualVoice::new(50.0);
+        let slow = Holistic::new(fast_config()).vocalize(&table, &q, &mut slow_voice);
+        let mut instant_voice = InstantVoice::default();
+        let instant = Holistic::new(fast_config()).vocalize(&table, &q, &mut instant_voice);
+        assert!(
+            slow.stats.samples > instant.stats.samples,
+            "speaking time buys sampling: {} vs {}",
+            slow.stats.samples,
+            instant.stats.samples
+        );
+    }
+
+    #[test]
+    fn latency_is_far_below_interactivity_threshold() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let outcome = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice);
+        assert!(
+            outcome.latency.as_millis() < 500,
+            "latency {:?} under the 500 ms threshold",
+            outcome.latency
+        );
+    }
+
+    #[test]
+    fn uncertainty_warning_mode_appends_note() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let cfg = HolisticConfig {
+            uncertainty: UncertaintyMode::Warning { max_relative_width: 0.0001 },
+            ..fast_config()
+        };
+        let outcome = Holistic::new(cfg).vocalize(&table, &q, &mut voice);
+        assert!(
+            outcome.sentences.iter().any(|s| s.contains("confidence")),
+            "warning appended: {:?}",
+            outcome.sentences
+        );
+    }
+
+    #[test]
+    fn stratified_index_covers_rare_scopes_faster() {
+        use voxolap_engine::stratified::AggregateIndex;
+        use voxolap_data::flights::FlightsConfig;
+        // Region x season on flights: the US-territories cells are rare.
+        let table = FlightsConfig { rows: 20_000, seed: 42 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        let index = AggregateIndex::build(&table, &q, 42);
+        let holistic = Holistic::new(HolisticConfig {
+            min_samples_per_sentence: 400,
+            max_tree_nodes: 60_000,
+            ..HolisticConfig::default()
+        });
+        let mut voice = InstantVoice::default();
+        let outcome = holistic.vocalize_with_index(&table, &q, &index, &mut voice);
+        assert!(!outcome.sentences.is_empty());
+        assert!(outcome.speech.is_some());
+        // Same constraints as the shuffled path.
+        assert!(outcome.body_len() <= 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "only unbiased for AVG")]
+    fn stratified_rejects_count_queries() {
+        use voxolap_engine::stratified::AggregateIndex;
+        let (table, _) = setup();
+        let q = Query::builder(AggFct::Count)
+            .group_by(DimId(0), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        let avg_q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        let index = AggregateIndex::build(&table, &avg_q, 1);
+        let mut voice = InstantVoice::default();
+        let _ = Holistic::default().vocalize_with_index(&table, &q, &index, &mut voice);
+    }
+
+    #[test]
+    fn empty_scope_is_reported_gracefully() {
+        let table = SalaryConfig { rows: 8, seed: 1 }.generate();
+        let schema = table.schema();
+        let start = schema.dimension(DimId(1));
+        let empty_bin = start.leaves().iter().copied().find(|&bin| {
+            !(0..table.row_count()).any(|row| table.member_at(DimId(1), row) == bin)
+        });
+        let Some(bin) = empty_bin else { return };
+        let q = Query::builder(AggFct::Avg)
+            .filter(DimId(1), bin)
+            .group_by(DimId(0), LevelId(1))
+            .build(schema)
+            .unwrap();
+        let mut voice = InstantVoice::default();
+        let outcome = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice);
+        assert!(outcome.sentences[0].contains("No data"));
+        assert!(outcome.speech.is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! # voxolap-core
+//!
+//! The paper's primary contribution: **holistic query evaluation and result
+//! vocalization for voice-based OLAP** (paper §4), together with the
+//! comparison approaches of its evaluation (§5).
+//!
+//! Four vocalizers share the [`Vocalizer`] interface:
+//!
+//! * [`holistic::Holistic`] — Algorithm 1: pipelined sampling + UCT
+//!   planning overlapped with voice output; starts speaking the preamble
+//!   immediately and refines quality estimates while each sentence plays.
+//! * [`optimal::Optimal`] — evaluates the query exactly and scores every
+//!   valid speech before speaking; the quality gold standard, far above the
+//!   500 ms interactivity threshold on large data.
+//! * [`unmerged::Unmerged`] — samples and plans for a fixed 500 ms budget,
+//!   then commits to a whole speech; no overlap with voice output.
+//! * [`prior::PriorGreedy`] — reimplementation of the greedy relational
+//!   data-vocalization baseline (Trummer et al., VLDB'17) the paper
+//!   compares against: enumerates the full result in value groups with
+//!   greedy scope merging and no length budget.
+//!
+//! ```
+//! use voxolap_core::approach::Vocalizer;
+//! use voxolap_core::holistic::{Holistic, HolisticConfig};
+//! use voxolap_core::voice::VirtualVoice;
+//! use voxolap_data::salary::SalaryConfig;
+//! use voxolap_data::{DimId, dimension::LevelId};
+//! use voxolap_engine::query::{AggFct, Query};
+//!
+//! let table = SalaryConfig::paper_scale().generate();
+//! let query = Query::builder(AggFct::Avg)
+//!     .group_by(DimId(0), LevelId(1))
+//!     .group_by(DimId(1), LevelId(1))
+//!     .build(table.schema()).unwrap();
+//! let mut voice = VirtualVoice::default();
+//! let outcome = Holistic::new(HolisticConfig::default())
+//!     .vocalize(&table, &query, &mut voice);
+//! assert!(outcome.body_text().contains("mid-career salary"));
+//! ```
+
+pub mod approach;
+pub mod concurrent;
+pub mod holistic;
+pub mod optimal;
+pub mod outcome;
+pub mod prior;
+pub mod sampler;
+pub mod tree;
+pub mod uncertainty;
+pub mod unmerged;
+pub mod voice;
+
+pub use approach::Vocalizer;
+pub use concurrent::ConcurrentHolistic;
+pub use holistic::{Holistic, HolisticConfig};
+pub use optimal::Optimal;
+pub use outcome::{PlanStats, VocalizationOutcome};
+pub use prior::PriorGreedy;
+pub use uncertainty::UncertaintyMode;
+pub use unmerged::Unmerged;
+pub use voice::{InstantVoice, VirtualVoice, VoiceOutput};

@@ -1,0 +1,370 @@
+//! The speech search tree (paper Figure 2, Algorithm 2 `ST.Expand`).
+//!
+//! The tree is generated **in its entirety** during preprocessing — an
+//! unusual choice for MCTS that the paper justifies by the user-preference
+//! bound on speech length: the tree's height is at most the fragment budget
+//! and its size `O(m^k)` (Theorem A.4). Node payloads store only the
+//! *increment* each node adds to its parent's speech (a baseline value or a
+//! compiled refinement), so a path's belief mean for one aggregate is
+//! recovered in `O(k)` by walking ancestors (Lemma A.2).
+//!
+//! A configurable node cap guards against degenerate configurations
+//! (very large predicate pools with deep fragment budgets); hitting it
+//! marks the tree as truncated in the planner statistics.
+
+use voxolap_data::schema::Schema;
+use voxolap_engine::query::ResultLayout;
+use voxolap_mcts::{NodeId, Tree};
+use voxolap_speech::ast::{Baseline, Refinement, Speech};
+use voxolap_speech::candidates::CandidateGenerator;
+use voxolap_speech::constraints::SpeechConstraints;
+use voxolap_speech::render::Renderer;
+use voxolap_speech::scope::RefinementScope;
+
+/// Payload of one search-tree node: the increment over the parent's speech.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// The root — represents the preamble, which carries no choices.
+    Root,
+    /// A baseline statement with its claimed value.
+    Baseline(Baseline),
+    /// A refinement with its resolved scope and additive delta
+    /// (delta already accounts for reference chaining through subsuming
+    /// ancestors, paper §3.4).
+    Refinement {
+        /// The grammar-level refinement.
+        ast: Refinement,
+        /// Its aggregate scope.
+        scope: RefinementScope,
+        /// Additive change applied to in-scope aggregates.
+        delta: f64,
+        /// The aggregate value this refinement implies for its scope —
+        /// the reference for chained finer refinements.
+        implied_value: f64,
+    },
+}
+
+/// The fully expanded speech search tree for one query.
+#[derive(Debug)]
+pub struct SpeechTree {
+    tree: Tree<NodeKind>,
+    truncated: bool,
+    n_aggs: usize,
+}
+
+impl SpeechTree {
+    /// The root node (represents the preamble).
+    pub const ROOT: NodeId = Tree::<NodeKind>::ROOT;
+
+    /// Expand the full tree (`ST.Expand` from the root): one child per
+    /// baseline candidate around `overall_estimate`, then recursively one
+    /// child per valid refinement, bounded by `constraints` and `max_nodes`.
+    pub fn build(
+        generator: &CandidateGenerator<'_>,
+        renderer: &Renderer<'_>,
+        constraints: &SpeechConstraints,
+        overall_estimate: f64,
+        max_nodes: usize,
+    ) -> Self {
+        let schema = generator.schema();
+        let layout = generator.query().layout();
+        let mut st = SpeechTree {
+            tree: Tree::new(NodeKind::Root),
+            truncated: false,
+            n_aggs: layout.n_aggregates(),
+        };
+        for b in generator.baselines(overall_estimate) {
+            if st.tree.node_count() >= max_nodes {
+                st.truncated = true;
+                break;
+            }
+            let speech = Speech { baseline: b, refinements: Vec::new() };
+            if !constraints.is_valid(renderer, &speech) {
+                continue;
+            }
+            let node = st.tree.add_child(Self::ROOT, NodeKind::Baseline(b));
+            st.expand(node, generator, renderer, constraints, schema, layout, max_nodes);
+        }
+        st
+    }
+
+    /// Recursive expansion below `node` (paper Algorithm 2 `ST.Expand`).
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        node: NodeId,
+        generator: &CandidateGenerator<'_>,
+        renderer: &Renderer<'_>,
+        constraints: &SpeechConstraints,
+        schema: &Schema,
+        layout: &ResultLayout,
+        max_nodes: usize,
+    ) {
+        let prefix = self.speech_at(node);
+        if constraints.at_fragment_limit(&prefix) {
+            return;
+        }
+        for r in generator.refinements(&prefix) {
+            if self.tree.node_count() >= max_nodes {
+                self.truncated = true;
+                return;
+            }
+            let candidate = prefix.with_refinement(r.clone());
+            if !constraints.is_valid(renderer, &candidate) {
+                continue;
+            }
+            let (delta, implied) = self.resolve_reference(node, &r, schema);
+            let scope = RefinementScope::compile(&r, layout, schema);
+            let child = self.tree.add_child(
+                node,
+                NodeKind::Refinement { ast: r, scope, delta, implied_value: implied },
+            );
+            self.expand(child, generator, renderer, constraints, schema, layout, max_nodes);
+        }
+    }
+
+    /// Resolve the reference value for a new refinement under `parent`:
+    /// the implied value of the nearest ancestor refinement whose scope
+    /// subsumes the new one, or the path's baseline value.
+    fn resolve_reference(
+        &self,
+        parent: NodeId,
+        r: &Refinement,
+        schema: &Schema,
+    ) -> (f64, f64) {
+        let is_anc = |dim: voxolap_data::DimId,
+                      a: voxolap_data::MemberId,
+                      d: voxolap_data::MemberId| {
+            schema.dimension(dim).is_ancestor_or_self(a, d)
+        };
+        let mut reference = None;
+        let mut cur = Some(parent);
+        let mut baseline = 0.0;
+        while let Some(n) = cur {
+            match self.tree.data(n) {
+                NodeKind::Refinement { ast, implied_value, .. } => {
+                    if reference.is_none() && ast.subsumes(r, is_anc) {
+                        reference = Some(*implied_value);
+                    }
+                }
+                NodeKind::Baseline(b) => baseline = b.value,
+                NodeKind::Root => {}
+            }
+            cur = self.tree.parent(n);
+        }
+        let reference = reference.unwrap_or(baseline);
+        let implied = reference * r.change.factor();
+        (implied - reference, implied)
+    }
+
+    /// Reconstruct the speech a node represents by walking to the root.
+    pub fn speech_at(&self, node: NodeId) -> Speech {
+        let mut baseline = Baseline::point(0.0);
+        let mut refinements = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            match self.tree.data(n) {
+                NodeKind::Refinement { ast, .. } => refinements.push(ast.clone()),
+                NodeKind::Baseline(b) => baseline = *b,
+                NodeKind::Root => {}
+            }
+            cur = self.tree.parent(n);
+        }
+        refinements.reverse();
+        Speech { baseline, refinements }
+    }
+
+    /// Belief mean `M(a, t)` for the speech at `node` and the aggregate with
+    /// decomposed coordinates `coords` — `O(k)` ancestor walk (Lemma A.2).
+    pub fn mean_for(&self, node: NodeId, coords: &[u32]) -> f64 {
+        let n = self.n_aggs as f64;
+        let mut mean = 0.0;
+        let mut cur = Some(node);
+        while let Some(nid) = cur {
+            match self.tree.data(nid) {
+                NodeKind::Refinement { scope, delta, .. } => {
+                    let m = scope.size() as f64;
+                    if scope.contains_coords(coords) {
+                        mean += delta;
+                    } else if m < n {
+                        mean -= m * delta / (n - m);
+                    }
+                }
+                NodeKind::Baseline(b) => mean += b.value,
+                NodeKind::Root => {}
+            }
+            cur = self.tree.parent(nid);
+        }
+        mean
+    }
+
+    /// The sentence a node contributes when spoken (baseline or refinement
+    /// sentence; the root has none).
+    pub fn sentence(&self, node: NodeId, renderer: &Renderer<'_>) -> Option<String> {
+        match self.tree.data(node) {
+            NodeKind::Root => None,
+            NodeKind::Baseline(b) => {
+                let speech = Speech { baseline: *b, refinements: Vec::new() };
+                Some(renderer.baseline_sentence(&speech))
+            }
+            NodeKind::Refinement { ast, .. } => Some(renderer.refinement_sentence(ast)),
+        }
+    }
+
+    /// `true` if expansion hit the node cap.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Number of result aggregates (`n`).
+    pub fn n_aggregates(&self) -> usize {
+        self.n_aggs
+    }
+
+    /// Access the underlying UCT tree.
+    pub fn tree(&self) -> &Tree<NodeKind> {
+        &self.tree
+    }
+
+    /// Mutable access to the underlying UCT tree (for sampling updates).
+    pub fn tree_mut(&mut self) -> &mut Tree<NodeKind> {
+        &mut self.tree
+    }
+
+    /// All node ids, in creation order (root first).
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.tree.node_count() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::{AggFct, Query};
+    use voxolap_speech::candidates::CandidateConfig;
+    use voxolap_speech::scope::CompiledSpeech;
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    fn build_tree(
+        table: &voxolap_data::Table,
+        q: &Query,
+        constraints: SpeechConstraints,
+        max_nodes: usize,
+    ) -> SpeechTree {
+        let schema = table.schema();
+        let gen = CandidateGenerator::new(schema, q, CandidateConfig::default());
+        let renderer = Renderer::new(schema, q);
+        SpeechTree::build(&gen, &renderer, &constraints, 88.0, max_nodes)
+    }
+
+    #[test]
+    fn tree_layers_follow_grammar() {
+        let (table, q) = setup();
+        let st = build_tree(
+            &table,
+            &q,
+            SpeechConstraints { max_chars: 300, max_refinements: 1 },
+            1_000_000,
+        );
+        assert!(!st.truncated());
+        // Root children are baselines, grandchildren refinements.
+        for &b in st.tree().children(SpeechTree::ROOT) {
+            assert!(matches!(st.tree().data(b), NodeKind::Baseline(_)));
+            for &r in st.tree().children(b) {
+                assert!(matches!(st.tree().data(r), NodeKind::Refinement { .. }));
+                assert!(st.tree().is_leaf(r), "fragment budget 1 stops here");
+            }
+        }
+    }
+
+    #[test]
+    fn speech_at_reconstructs_path() {
+        let (table, q) = setup();
+        let st = build_tree(&table, &q, SpeechConstraints::paper_default(), 100_000);
+        let b = st.tree().children(SpeechTree::ROOT)[0];
+        let r = st.tree().children(b)[0];
+        let speech = st.speech_at(r);
+        assert_eq!(speech.refinements.len(), 1);
+        match st.tree().data(b) {
+            NodeKind::Baseline(base) => assert_eq!(speech.baseline.value, base.value),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mean_for_matches_compiled_speech() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let st = build_tree(&table, &q, SpeechConstraints::paper_default(), 50_000);
+        let layout = q.layout();
+        // Compare tree-incremental means with the reference CompiledSpeech
+        // implementation for a sample of nodes.
+        let mut checked = 0;
+        for node in st.all_nodes().step_by(97) {
+            let speech = st.speech_at(node);
+            if node == SpeechTree::ROOT {
+                continue;
+            }
+            let cs = CompiledSpeech::compile(&speech, layout, schema);
+            for agg in 0..layout.n_aggregates() as u32 {
+                let coords = layout.coords_of_agg(agg);
+                let tree_mean = st.mean_for(node, &coords);
+                let ref_mean = cs.mean_for(agg, layout);
+                assert!(
+                    (tree_mean - ref_mean).abs() < 1e-9,
+                    "node {node:?} agg {agg}: {tree_mean} vs {ref_mean}"
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 3, "checked {checked} nodes");
+    }
+
+    #[test]
+    fn node_cap_truncates() {
+        let (table, q) = setup();
+        let st = build_tree(&table, &q, SpeechConstraints::paper_default(), 50);
+        assert!(st.truncated());
+        assert!(st.tree().node_count() <= 51);
+    }
+
+    #[test]
+    fn sentences_render_per_node_kind() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let renderer = Renderer::new(schema, &q);
+        let st = build_tree(&table, &q, SpeechConstraints::paper_default(), 10_000);
+        assert_eq!(st.sentence(SpeechTree::ROOT, &renderer), None);
+        let b = st.tree().children(SpeechTree::ROOT)[0];
+        assert!(st.sentence(b, &renderer).unwrap().contains("is the average"));
+        let r = st.tree().children(b)[0];
+        assert!(st.sentence(r, &renderer).unwrap().starts_with("Values "));
+    }
+
+    #[test]
+    fn depth_respects_fragment_budget() {
+        let (table, q) = setup();
+        for budget in 0..=2 {
+            let st = build_tree(
+                &table,
+                &q,
+                SpeechConstraints { max_chars: 10_000, max_refinements: budget },
+                2_000_000,
+            );
+            // Depth = 1 (baseline layer) + refinement budget.
+            assert_eq!(st.tree().depth(SpeechTree::ROOT), 1 + budget);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The "unmerged" comparison approach (paper §5.1).
+//!
+//! Identical sampling strategy to the holistic planner, but **without**
+//! merging vocalization, sampling, and planning: it samples for a fixed
+//! budget (the 500 ms interactivity threshold), then commits to the speech
+//! with the highest quality estimates and speaks it in one go. Because it
+//! "cannot overlap sampling and planning time with vocalization, it has
+//! less time to read data and explore the search space" — which is exactly
+//! the quality gap Figure 3 shows.
+
+use std::time::{Duration, Instant};
+
+use voxolap_data::Table;
+use voxolap_engine::query::Query;
+use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
+use voxolap_speech::constraints::SpeechConstraints;
+use voxolap_speech::render::Renderer;
+
+use crate::approach::Vocalizer;
+use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::sampler::PlannerCore;
+use crate::tree::SpeechTree;
+use crate::voice::VoiceOutput;
+
+/// How long the unmerged planner may sample before it must speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingBudget {
+    /// Wall-clock budget (the paper uses 500 ms).
+    WallClock(Duration),
+    /// Fixed number of sampling iterations — deterministic, for tests and
+    /// reproducible experiments.
+    Iterations(u64),
+}
+
+/// Configuration of the unmerged planner.
+#[derive(Debug, Clone)]
+pub struct UnmergedConfig {
+    /// User-preference constraints.
+    pub constraints: SpeechConstraints,
+    /// Candidate-space configuration.
+    pub candidates: CandidateConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Warm-up rows before tree construction (counted inside the budget).
+    pub warmup_rows: usize,
+    /// Rows ingested per sampling iteration.
+    pub rows_per_iteration: usize,
+    /// The sampling budget before output starts.
+    pub budget: SamplingBudget,
+    /// Hard cap on search-tree size.
+    pub max_tree_nodes: usize,
+    /// Override the belief σ.
+    pub sigma_override: Option<f64>,
+    /// Fixed resample size of the cache estimator (paper: 10; planner
+    /// default 100 — see `HolisticConfig::resample_size`).
+    pub resample_size: usize,
+}
+
+impl Default for UnmergedConfig {
+    fn default() -> Self {
+        UnmergedConfig {
+            constraints: SpeechConstraints { max_chars: 300, max_refinements: 2 },
+            candidates: CandidateConfig::default(),
+            seed: 42,
+            warmup_rows: 200,
+            rows_per_iteration: 8,
+            budget: SamplingBudget::WallClock(Duration::from_millis(500)),
+            max_tree_nodes: 500_000,
+            sigma_override: None,
+            resample_size: 100,
+        }
+    }
+}
+
+/// The unmerged vocalizer.
+#[derive(Debug, Clone, Default)]
+pub struct Unmerged {
+    config: UnmergedConfig,
+}
+
+impl Unmerged {
+    /// Create with the given configuration.
+    pub fn new(config: UnmergedConfig) -> Self {
+        Unmerged { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &UnmergedConfig {
+        &self.config
+    }
+}
+
+impl Vocalizer for Unmerged {
+    fn name(&self) -> &'static str {
+        "unmerged"
+    }
+
+    fn vocalize(
+        &self,
+        table: &Table,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let schema = table.schema();
+        let renderer = Renderer::new(schema, query);
+        let preamble = renderer.preamble();
+
+        let mut core =
+            PlannerCore::with_resample_size(table, query, cfg.seed, cfg.resample_size);
+        let Some(overall) = core.warmup(cfg.warmup_rows) else {
+            let sentence = "No data matches the query scope.".to_string();
+            let latency = t0.elapsed();
+            voice.start(&preamble);
+            voice.start(&sentence);
+            return VocalizationOutcome {
+                speech: None,
+                preamble,
+                sentences: vec![sentence],
+                latency,
+                stats: PlanStats {
+                    rows_read: core.rows_read(),
+                    samples: 0,
+                    tree_nodes: 0,
+                    truncated: false,
+                    planning_time: t0.elapsed(),
+                },
+            };
+        };
+        core.calibrate_sigma(overall, cfg.sigma_override);
+
+        let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
+        let mut tree = SpeechTree::build(
+            &generator,
+            &renderer,
+            &cfg.constraints,
+            overall,
+            cfg.max_tree_nodes,
+        );
+
+        // Sample until the budget runs out — no voice output yet.
+        match cfg.budget {
+            SamplingBudget::WallClock(d) => {
+                let deadline = t0 + d;
+                while Instant::now() < deadline {
+                    core.sample_once(&mut tree, SpeechTree::ROOT, cfg.rows_per_iteration);
+                }
+            }
+            SamplingBudget::Iterations(n) => {
+                for _ in 0..n {
+                    core.sample_once(&mut tree, SpeechTree::ROOT, cfg.rows_per_iteration);
+                }
+            }
+        }
+
+        // Commit to the best path by mean reward; stop at unvisited nodes.
+        let mut current = SpeechTree::ROOT;
+        let mut sentences = Vec::new();
+        while let Some(next) = tree.tree().best_child(current) {
+            if tree.tree().visits(next) == 0 {
+                break;
+            }
+            current = next;
+            sentences.push(tree.sentence(current, &renderer).expect("non-root"));
+        }
+        // A budget too tight to sample even once (huge trees eat it during
+        // expansion) must still produce output: fall back to the baseline
+        // candidate nearest the warm-up estimate.
+        if current == SpeechTree::ROOT {
+            let nearest = tree
+                .tree()
+                .children(SpeechTree::ROOT)
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = (tree.speech_at(a).baseline.value - overall).abs();
+                    let db = (tree.speech_at(b).baseline.value - overall).abs();
+                    da.total_cmp(&db)
+                });
+            if let Some(node) = nearest {
+                current = node;
+                sentences.push(tree.sentence(current, &renderer).expect("non-root"));
+            }
+        }
+
+        // Only now does output start: latency includes the whole budget.
+        let latency = t0.elapsed();
+        voice.start(&preamble);
+        for s in &sentences {
+            voice.start(s);
+        }
+
+        VocalizationOutcome {
+            speech: Some(tree.speech_at(current)),
+            preamble,
+            sentences,
+            latency,
+            stats: PlanStats {
+                rows_read: core.rows_read(),
+                samples: core.samples(),
+                tree_nodes: tree.tree().node_count(),
+                truncated: tree.truncated(),
+                planning_time: t0.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::AggFct;
+
+    use crate::voice::InstantVoice;
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    fn fast_config(iterations: u64) -> UnmergedConfig {
+        UnmergedConfig {
+            budget: SamplingBudget::Iterations(iterations),
+            max_tree_nodes: 60_000,
+            ..UnmergedConfig::default()
+        }
+    }
+
+    #[test]
+    fn speaks_whole_speech_after_budget() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let outcome = Unmerged::new(fast_config(800)).vocalize(&table, &q, &mut voice);
+        assert!(outcome.speech.is_some());
+        assert!(!outcome.sentences.is_empty());
+        assert_eq!(outcome.stats.samples, 800);
+        // Preamble plus body sentences were all queued at once.
+        assert_eq!(voice.transcript().len(), 1 + outcome.sentences.len());
+    }
+
+    #[test]
+    fn iteration_budget_is_deterministic() {
+        let (table, q) = setup();
+        let run = || {
+            let mut voice = InstantVoice::default();
+            Unmerged::new(fast_config(500)).vocalize(&table, &q, &mut voice).body_text()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wall_clock_budget_dominates_latency() {
+        let (table, q) = setup();
+        let cfg = UnmergedConfig {
+            budget: SamplingBudget::WallClock(Duration::from_millis(60)),
+            max_tree_nodes: 60_000,
+            ..UnmergedConfig::default()
+        };
+        let mut voice = InstantVoice::default();
+        let outcome = Unmerged::new(cfg).vocalize(&table, &q, &mut voice);
+        assert!(
+            outcome.latency >= Duration::from_millis(60),
+            "latency {:?} at least the budget",
+            outcome.latency
+        );
+    }
+
+    #[test]
+    fn zero_budget_still_speaks_a_baseline() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let outcome = Unmerged::new(fast_config(0)).vocalize(&table, &q, &mut voice);
+        assert_eq!(outcome.sentences.len(), 1, "fallback baseline spoken");
+        let speech = outcome.speech.unwrap();
+        // Nearest grid value to the warm-up estimate (~88-92 K).
+        assert!((60.0..=120.0).contains(&speech.baseline.value));
+    }
+
+    #[test]
+    fn tiny_budget_still_commits_to_visited_nodes_only() {
+        let (table, q) = setup();
+        let mut voice = InstantVoice::default();
+        let outcome = Unmerged::new(fast_config(3)).vocalize(&table, &q, &mut voice);
+        // With 3 samples the committed path may be short, but every spoken
+        // sentence corresponds to a visited node (no blind commitments).
+        assert!(outcome.sentences.len() <= 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal CSV import/export for fact tables.
+//!
+//! A `Table` round-trips as a header row (dimension names + measure name)
+//! followed by one line per fact row with leaf member *phrases* and the
+//! measure value. This lets users load their own data against a schema they
+//! built with [`DimensionBuilder`](crate::dimension::DimensionBuilder), and
+//! lets experiments dump datasets for inspection.
+//!
+//! The dialect is deliberately simple: comma separated, fields must not
+//! contain commas or newlines (member phrases in the bundled datasets never
+//! do). This avoids pulling a CSV dependency for what is a debugging aid.
+
+use std::fmt::Write as _;
+
+use crate::error::DataError;
+use crate::schema::{DimId, MeasureId, Schema};
+use crate::table::{Table, TableBuilder};
+
+/// Serialize a table to CSV (header + rows; one trailing column per
+/// measure).
+pub fn to_csv(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let headers: Vec<&str> = schema
+        .dimensions()
+        .iter()
+        .map(|d| d.name())
+        .chain(schema.measures().iter().map(|m| m.name.as_str()))
+        .collect();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    let n_measures = schema.measure_count();
+    for row in 0..table.row_count() {
+        for (d, dim) in schema.dims() {
+            let m = table.member_at(d, row);
+            let _ = write!(out, "{},", dim.member(m).phrase);
+        }
+        for mi in 0..n_measures {
+            let sep = if mi + 1 == n_measures { "" } else { "," };
+            let _ = write!(out, "{}{sep}", table.measure_value(MeasureId(mi as u8), row));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV produced by [`to_csv`] (or hand-written in the same dialect)
+/// against a known schema.
+///
+/// Member phrases must resolve to **leaf** members of the corresponding
+/// dimension. Returns `DataError::Csv` with a 1-based line number on any
+/// malformed input.
+pub fn from_csv(schema: Schema, csv: &str) -> Result<Table, DataError> {
+    let n_dims = schema.dimensions().len();
+    let n_measures = schema.measure_count();
+    let n_cols = n_dims + n_measures;
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing header".to_string(),
+    })?;
+    let header_fields: Vec<&str> = header.split(',').collect();
+    if header_fields.len() != n_cols {
+        return Err(DataError::Csv {
+            line: 1,
+            message: format!("expected {n_cols} columns, got {}", header_fields.len()),
+        });
+    }
+
+    let mut tb = TableBuilder::new(schema);
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n_cols {
+            return Err(DataError::Csv {
+                line: lineno,
+                message: format!("expected {n_cols} fields, got {}", fields.len()),
+            });
+        }
+        let mut members = Vec::with_capacity(n_dims);
+        for (d, field) in fields.iter().take(n_dims).enumerate() {
+            let dim = tb.schema().dimension(DimId(d as u8));
+            let m = dim.member_by_phrase(field).map_err(|e| DataError::Csv {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+            members.push(m);
+        }
+        let mut values = Vec::with_capacity(n_measures);
+        for field in &fields[n_dims..] {
+            let value: f64 = field.trim().parse().map_err(|_| DataError::Csv {
+                line: lineno,
+                message: format!("bad measure value {field:?}"),
+            })?;
+            values.push(value);
+        }
+        tb.push_row_values(&members, &values).map_err(|e| DataError::Csv {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(tb.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::salary::SalaryConfig;
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let t = SalaryConfig { rows: 24, seed: 3 }.generate();
+        let csv = to_csv(&t);
+        let schema = SalaryConfig::schema(24);
+        let back = from_csv(schema, &csv).unwrap();
+        assert_eq!(back.row_count(), t.row_count());
+        for row in 0..t.row_count() {
+            assert_eq!(back.row_members(row), t.row_members(row));
+            assert!((back.value_at(row) - t.value_at(row)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_lists_dims_and_measure() {
+        let t = SalaryConfig { rows: 2, seed: 3 }.generate();
+        let csv = to_csv(&t);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "college location,start salary,mid-career salary");
+    }
+
+    #[test]
+    fn bad_member_is_reported_with_line() {
+        let schema = SalaryConfig::schema(4);
+        let csv = "college location,start salary,mid-career salary\n\
+                   Atlantis Tech,around 55 K,80\n";
+        let err = from_csv(schema, csv).unwrap_err();
+        match err {
+            DataError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_value_is_reported() {
+        let schema = SalaryConfig::schema(4);
+        let t = SalaryConfig { rows: 4, seed: 3 }.generate();
+        let inst = t.schema().dimension(DimId(0)).member(t.member_at(DimId(0), 0)).phrase.clone();
+        let bin = t.schema().dimension(DimId(1)).member(t.member_at(DimId(1), 0)).phrase.clone();
+        let csv = format!(
+            "college location,start salary,mid-career salary\n{inst},{bin},not-a-number\n"
+        );
+        let err = from_csv(schema, &csv).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn multi_measure_round_trip() {
+        use crate::flights::FlightsConfig;
+        use crate::schema::MeasureId;
+        let t = FlightsConfig { rows: 40, seed: 3 }.generate();
+        let csv = to_csv(&t);
+        assert!(csv.lines().next().unwrap().ends_with(
+            "cancellation probability,departure delay in minutes"
+        ));
+        let back = from_csv(FlightsConfig::schema(), &csv).unwrap();
+        assert_eq!(back.row_count(), 40);
+        for row in 0..40 {
+            assert_eq!(back.row_members(row), t.row_members(row));
+            for m in 0..2 {
+                let id = MeasureId(m);
+                assert!((back.measure_value(id, row) - t.measure_value(id, row)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = SalaryConfig { rows: 4, seed: 3 }.generate();
+        let mut csv = to_csv(&t);
+        csv.push_str("\n\n");
+        let back = from_csv(SalaryConfig::schema(4), &csv).unwrap();
+        assert_eq!(back.row_count(), 4);
+    }
+}

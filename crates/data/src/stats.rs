@@ -1,0 +1,78 @@
+//! Dataset statistics (reproduces paper Table 11).
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+/// Summary statistics of one dataset, mirroring the columns of the paper's
+/// Table 11 (dimensions, #rows, size).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Dimension names, in schema order.
+    pub dimensions: Vec<String>,
+    /// Number of fact rows.
+    pub rows: usize,
+    /// Approximate in-memory size in bytes.
+    pub bytes: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a table.
+    pub fn of(table: &Table) -> Self {
+        DatasetStats {
+            name: table.schema().name().to_string(),
+            dimensions: table
+                .schema()
+                .dimensions()
+                .iter()
+                .map(|d| d.name().to_string())
+                .collect(),
+            rows: table.row_count(),
+            bytes: table.approx_bytes(),
+        }
+    }
+
+    /// Human-readable size (e.g. `"36 KB"`, `"600 MB"`).
+    pub fn size_display(&self) -> String {
+        const KB: usize = 1024;
+        const MB: usize = 1024 * KB;
+        if self.bytes >= MB {
+            format!("{} MB", self.bytes / MB)
+        } else if self.bytes >= KB {
+            format!("{} KB", self.bytes / KB)
+        } else {
+            format!("{} B", self.bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::salary::SalaryConfig;
+
+    #[test]
+    fn stats_of_salary_dataset() {
+        let t = SalaryConfig::paper_scale().generate();
+        let s = DatasetStats::of(&t);
+        assert_eq!(s.name, "mid-career salary");
+        assert_eq!(s.rows, 320);
+        assert_eq!(s.dimensions, vec!["college location", "start salary"]);
+        assert!(!s.size_display().is_empty());
+    }
+
+    #[test]
+    fn size_display_units() {
+        let mk = |bytes| DatasetStats {
+            name: "x".into(),
+            dimensions: vec![],
+            rows: 0,
+            bytes,
+        };
+        assert_eq!(mk(10).size_display(), "10 B");
+        assert_eq!(mk(4096).size_display(), "4 KB");
+        assert_eq!(mk(3 * 1024 * 1024).size_display(), "3 MB");
+    }
+}

@@ -1,0 +1,338 @@
+//! Columnar in-memory fact tables and streaming scanners.
+//!
+//! A [`Table`] stores one leaf [`MemberId`] column per dimension plus one
+//! `f64` measure column. A [`RowScanner`] streams rows in a deterministic
+//! pseudo-random order — this is the row source the sampling cache consumes
+//! (paper §4.3 assumes rows arrive in random order so that cache contents
+//! form uniform samples).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dimension::MemberId;
+use crate::error::DataError;
+use crate::schema::{DimId, MeasureId, Schema};
+
+/// Borrowed view of one fact row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row<'a> {
+    /// Leaf member ids, one per dimension (schema order).
+    pub members: &'a [MemberId],
+    /// Value of the scanned measure.
+    pub value: f64,
+}
+
+/// An in-memory columnar fact table (one or more measure columns).
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    /// `dim_cols[d][r]` = leaf member of row `r` in dimension `d`.
+    dim_cols: Vec<Vec<MemberId>>,
+    /// `measures[m][r]` = value of measure `m` in row `r`.
+    measures: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of fact rows.
+    pub fn row_count(&self) -> usize {
+        self.measures[0].len()
+    }
+
+    /// Leaf member of row `row` in dimension `dim`.
+    #[inline]
+    pub fn member_at(&self, dim: DimId, row: usize) -> MemberId {
+        self.dim_cols[dim.index()][row]
+    }
+
+    /// Primary-measure value of row `row`.
+    #[inline]
+    pub fn value_at(&self, row: usize) -> f64 {
+        self.measures[0][row]
+    }
+
+    /// Value of measure `m` in row `row`.
+    #[inline]
+    pub fn measure_value(&self, m: MeasureId, row: usize) -> f64 {
+        self.measures[m.index()][row]
+    }
+
+    /// Materialize row `row` into per-dimension leaf ids.
+    pub fn row_members(&self, row: usize) -> Vec<MemberId> {
+        self.dim_cols.iter().map(|c| c[row]).collect()
+    }
+
+    /// Approximate in-memory size in bytes (for dataset statistics).
+    pub fn approx_bytes(&self) -> usize {
+        self.dim_cols.len() * self.row_count() * std::mem::size_of::<MemberId>()
+            + self.measures.len() * self.row_count() * std::mem::size_of::<f64>()
+    }
+
+    /// Full primary-measure column (read-only).
+    pub fn measure(&self) -> &[f64] {
+        &self.measures[0]
+    }
+
+    /// Full column of one measure (read-only).
+    pub fn measure_column(&self, m: MeasureId) -> &[f64] {
+        &self.measures[m.index()]
+    }
+
+    /// Create a scanner over the primary measure delivering rows in a
+    /// seeded pseudo-random order.
+    pub fn scan_shuffled(&self, seed: u64) -> RowScanner<'_> {
+        self.scan_shuffled_measure(seed, MeasureId::PRIMARY)
+    }
+
+    /// Create a shuffled scanner delivering values of measure `m`.
+    pub fn scan_shuffled_measure(&self, seed: u64, m: MeasureId) -> RowScanner<'_> {
+        let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        RowScanner {
+            table: self,
+            measure: m,
+            order,
+            pos: 0,
+            buf: vec![MemberId::ROOT; self.dim_cols.len()],
+        }
+    }
+
+    /// Create a scanner over the primary measure in storage order.
+    pub fn scan_sequential(&self) -> RowScanner<'_> {
+        let order: Vec<u32> = (0..self.row_count() as u32).collect();
+        RowScanner {
+            table: self,
+            measure: MeasureId::PRIMARY,
+            order,
+            pos: 0,
+            buf: vec![MemberId::ROOT; self.dim_cols.len()],
+        }
+    }
+}
+
+/// Streaming scanner over a [`Table`].
+///
+/// Not an `Iterator` because the row view borrows an internal buffer
+/// (a lending iterator); call [`RowScanner::next_row`] in a loop.
+#[derive(Debug)]
+pub struct RowScanner<'a> {
+    table: &'a Table,
+    measure: MeasureId,
+    order: Vec<u32>,
+    pos: usize,
+    buf: Vec<MemberId>,
+}
+
+impl<'a> RowScanner<'a> {
+    /// Number of rows delivered so far.
+    pub fn rows_read(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` when the whole table has been streamed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.order.len()
+    }
+
+    /// Deliver the next row, or `None` when exhausted.
+    pub fn next_row(&mut self) -> Option<Row<'_>> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let r = self.order[self.pos] as usize;
+        self.pos += 1;
+        for (d, col) in self.table.dim_cols.iter().enumerate() {
+            self.buf[d] = col[r];
+        }
+        Some(Row { members: &self.buf, value: self.table.measures[self.measure.index()][r] })
+    }
+
+    /// Restart the scan from the beginning (same order).
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// Builder accumulating rows for a [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    dim_cols: Vec<Vec<MemberId>>,
+    measures: Vec<Vec<f64>>,
+}
+
+impl TableBuilder {
+    /// Start building a table for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let n_dims = schema.dimensions().len();
+        let n_measures = schema.measure_count();
+        TableBuilder {
+            schema,
+            dim_cols: vec![Vec::new(); n_dims],
+            measures: vec![Vec::new(); n_measures],
+        }
+    }
+
+    /// Append one fact row with a single measure value (requires a
+    /// single-measure schema; use [`TableBuilder::push_row_values`] for
+    /// multi-measure tables).
+    ///
+    /// `members` must hold one **leaf** member per dimension, in schema
+    /// order. Returns an error on arity or level mismatches.
+    pub fn push_row(&mut self, members: &[MemberId], value: f64) -> Result<(), DataError> {
+        self.push_row_values(members, &[value])
+    }
+
+    /// Append one fact row with one value per measure column.
+    pub fn push_row_values(&mut self, members: &[MemberId], values: &[f64]) -> Result<(), DataError> {
+        if members.len() != self.dim_cols.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.dim_cols.len(),
+                actual: members.len(),
+            });
+        }
+        if values.len() != self.measures.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.measures.len(),
+                actual: values.len(),
+            });
+        }
+        for (d, &m) in members.iter().enumerate() {
+            let dim = self.schema.dimension(DimId(d as u8));
+            if m.index() >= dim.member_count() {
+                return Err(DataError::InvalidId { kind: "member", id: m.index() });
+            }
+            let level = dim.member(m).level;
+            if level != dim.leaf_level() {
+                return Err(DataError::LevelMismatch {
+                    expected: dim.leaf_level().index(),
+                    actual: level.index(),
+                });
+            }
+        }
+        for (d, &m) in members.iter().enumerate() {
+            self.dim_cols[d].push(m);
+        }
+        for (col, &v) in self.measures.iter_mut().zip(values) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Rows accumulated so far.
+    pub fn row_count(&self) -> usize {
+        self.measures[0].len()
+    }
+
+    /// Schema the table is being built against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Finalize the table.
+    pub fn build(self) -> Table {
+        Table { schema: self.schema, dim_cols: self.dim_cols, measures: self.measures }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::DimensionBuilder;
+    use crate::schema::MeasureUnit;
+
+    fn tiny_table() -> Table {
+        let mut b = DimensionBuilder::new("region", "in", "anywhere");
+        let l = b.add_level("region");
+        let ne = b.add_member(l, b.root(), "the North East");
+        let mw = b.add_member(l, b.root(), "the Midwest");
+        let dim = b.build();
+        let schema = Schema::new("t", vec![dim], "value", MeasureUnit::Plain);
+        let mut tb = TableBuilder::new(schema);
+        for (m, v) in [(ne, 1.0), (mw, 2.0), (ne, 3.0), (mw, 4.0)] {
+            tb.push_row(&[m], v).unwrap();
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn builder_and_access() {
+        let t = tiny_table();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.value_at(2), 3.0);
+        assert_eq!(t.row_members(0), vec![MemberId(1)]);
+        assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn push_row_rejects_wrong_arity() {
+        let t = tiny_table();
+        let mut tb = TableBuilder::new(t.schema().clone());
+        let err = tb.push_row(&[], 1.0).unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn push_row_rejects_non_leaf() {
+        let t = tiny_table();
+        let mut tb = TableBuilder::new(t.schema().clone());
+        let err = tb.push_row(&[MemberId::ROOT], 1.0).unwrap_err();
+        assert!(matches!(err, DataError::LevelMismatch { .. }));
+    }
+
+    #[test]
+    fn push_row_rejects_out_of_range_member() {
+        let t = tiny_table();
+        let mut tb = TableBuilder::new(t.schema().clone());
+        let err = tb.push_row(&[MemberId(99)], 1.0).unwrap_err();
+        assert!(matches!(err, DataError::InvalidId { .. }));
+    }
+
+    #[test]
+    fn sequential_scan_visits_all_rows_in_order() {
+        let t = tiny_table();
+        let mut s = t.scan_sequential();
+        let mut vals = Vec::new();
+        while let Some(r) = s.next_row() {
+            vals.push(r.value);
+        }
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(s.exhausted());
+        assert_eq!(s.rows_read(), 4);
+    }
+
+    #[test]
+    fn shuffled_scan_is_a_permutation_and_deterministic() {
+        let t = tiny_table();
+        let collect = |seed| {
+            let mut s = t.scan_shuffled(seed);
+            let mut vals = Vec::new();
+            while let Some(r) = s.next_row() {
+                vals.push(r.value);
+            }
+            vals
+        };
+        let a = collect(7);
+        let b = collect(7);
+        assert_eq!(a, b, "same seed, same order");
+        let mut sorted = a.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![1.0, 2.0, 3.0, 4.0], "permutation covers all rows");
+    }
+
+    #[test]
+    fn rewind_restarts_scan() {
+        let t = tiny_table();
+        let mut s = t.scan_shuffled(3);
+        let first = s.next_row().unwrap().value;
+        while s.next_row().is_some() {}
+        s.rewind();
+        assert_eq!(s.next_row().unwrap().value, first);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the query engine.
+
+use std::fmt;
+
+use voxolap_data::DataError;
+
+/// Errors raised while building or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced the same dimension twice in its GROUP BY.
+    DuplicateGroupDim {
+        /// Index of the duplicated dimension.
+        dim: usize,
+    },
+    /// A grouping level was the root level or out of range.
+    BadGroupLevel {
+        /// Index of the dimension.
+        dim: usize,
+        /// The offending level index.
+        level: usize,
+    },
+    /// A filter member does not belong to the named dimension.
+    BadFilterMember {
+        /// Index of the dimension.
+        dim: usize,
+        /// The offending member index.
+        member: usize,
+    },
+    /// The query referenced a measure column the schema does not have.
+    BadMeasure {
+        /// The offending measure index.
+        measure: usize,
+    },
+    /// The query produced zero aggregates (e.g. contradictory filters).
+    EmptyResult,
+    /// Underlying data-layer error.
+    Data(DataError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DuplicateGroupDim { dim } => {
+                write!(f, "dimension {dim} appears twice in GROUP BY")
+            }
+            EngineError::BadGroupLevel { dim, level } => {
+                write!(f, "invalid grouping level {level} for dimension {dim}")
+            }
+            EngineError::BadFilterMember { dim, member } => {
+                write!(f, "member {member} does not belong to dimension {dim}")
+            }
+            EngineError::BadMeasure { measure } => {
+                write!(f, "schema has no measure column {measure}")
+            }
+            EngineError::EmptyResult => write!(f, "query has no result aggregates"),
+            EngineError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::DuplicateGroupDim { dim: 1 }.to_string().contains("twice"));
+        assert!(EngineError::EmptyResult.to_string().contains("no result"));
+        let wrapped: EngineError =
+            DataError::InvalidId { kind: "member", id: 3 }.into();
+        assert!(wrapped.to_string().contains("data error"));
+        use std::error::Error as _;
+        assert!(wrapped.source().is_some());
+    }
+}

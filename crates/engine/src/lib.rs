@@ -1,0 +1,45 @@
+//! # voxolap-engine
+//!
+//! OLAP query model and evaluation substrate for VoxOLAP.
+//!
+//! A [`Query`] is characterized by an aggregation function,
+//! an (implicit) aggregation column — the table's measure — and a set of
+//! aggregates arising as the cross product of grouped dimension members
+//! under optional filter restrictions (paper §2).
+//!
+//! Two evaluation paths are provided:
+//!
+//! * [`exact`] — a full scan with group-by, used by the *Optimal* planner
+//!   variant and by exact speech-quality computation;
+//! * [`cache`] — the continuously-filled sample cache of paper Algorithm 3,
+//!   supplying unbiased count/sum/average estimates from row samples, used
+//!   by the *Holistic* and *Unmerged* planners.
+//!
+//! ```
+//! use voxolap_data::salary::SalaryConfig;
+//! use voxolap_engine::query::{AggFct, Query};
+//! use voxolap_engine::exact::evaluate;
+//! use voxolap_data::{DimId, dimension::LevelId};
+//!
+//! let table = SalaryConfig::paper_scale().generate();
+//! // AVG(midCareer) GROUP BY region, rough start salary
+//! let query = Query::builder(AggFct::Avg)
+//!     .group_by(DimId(0), LevelId(1))
+//!     .group_by(DimId(1), LevelId(1))
+//!     .build(table.schema())
+//!     .unwrap();
+//! let result = evaluate(&query, &table);
+//! assert_eq!(result.values().len(), 4 * 2); // 4 regions x 2 rough bins
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod exact;
+pub mod query;
+pub mod stratified;
+
+pub use cache::{CacheEstimate, SampleCache};
+pub use error::EngineError;
+pub use exact::{evaluate, ExactResult};
+pub use stratified::{AggregateIndex, StratifiedScanner};
+pub use query::{AggFct, AggIdx, Query, QueryBuilder, ResultLayout};

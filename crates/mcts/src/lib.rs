@@ -1,0 +1,410 @@
+//! # voxolap-mcts
+//!
+//! A generic UCT (Upper Confidence bounds applied to Trees) implementation
+//! over **pre-expanded** trees, following paper Algorithm 2.
+//!
+//! The paper's planner deviates from typical MCTS applications in that the
+//! search tree is generated *in its entirety* during preprocessing — user
+//! preference constraints bound its height, so the full tree of speech
+//! candidates fits in memory (Theorem A.4: `O(m^k)` nodes). Sampling then
+//! repeatedly descends from a root to a leaf, choosing at each node the
+//! child maximizing the UCT formula
+//!
+//! ```text
+//! reward/visits + sqrt(2 · ln(parent.visits) / visits)
+//! ```
+//!
+//! with unvisited children prioritized, evaluates the leaf with a
+//! caller-supplied reward function, and adds the observed reward to every
+//! node on the path.
+//!
+//! ```
+//! use voxolap_mcts::Tree;
+//! use rand::SeedableRng;
+//!
+//! let mut tree = Tree::new("root");
+//! let a = tree.add_child(Tree::<&str>::ROOT, "good");
+//! let b = tree.add_child(Tree::<&str>::ROOT, "bad");
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! for _ in 0..200 {
+//!     tree.sample(Tree::<&str>::ROOT, &mut rng,
+//!                 |&data| if data == "good" { 1.0 } else { 0.0 });
+//! }
+//! assert_eq!(tree.best_child(Tree::<&str>::ROOT), Some(a));
+//! let _ = b;
+//! ```
+
+use rand::Rng;
+
+/// Identifier of a node in a [`Tree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One search-tree node (paper Table 4: text fields live in `data`,
+/// `visits`/`reward` are the planner statistics).
+#[derive(Debug, Clone)]
+struct Node<T> {
+    data: T,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    visits: u64,
+    reward: f64,
+}
+
+/// An arena-allocated search tree with UCT sampling.
+#[derive(Debug, Clone)]
+pub struct Tree<T> {
+    nodes: Vec<Node<T>>,
+}
+
+impl<T> Tree<T> {
+    /// The root node id of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Create a tree holding only a root.
+    pub fn new(root_data: T) -> Self {
+        Tree {
+            nodes: vec![Node { data: root_data, parent: None, children: Vec::new(), visits: 0, reward: 0.0 }],
+        }
+    }
+
+    /// Add a child under `parent` (paper `ST.AddChild`), returning its id.
+    pub fn add_child(&mut self, parent: NodeId, data: T) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { data, parent: Some(parent), children: Vec::new(), visits: 0, reward: 0.0 });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Payload of a node.
+    pub fn data(&self, n: NodeId) -> &T {
+        &self.nodes[n.index()].data
+    }
+
+    /// Children of a node.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// `true` iff the node has no children (paper field `isLeaf`).
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].children.is_empty()
+    }
+
+    /// Number of times the node appeared on a sampled path.
+    pub fn visits(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].visits
+    }
+
+    /// Accumulated reward over all sampled paths through the node.
+    pub fn reward(&self, n: NodeId) -> f64 {
+        self.nodes[n.index()].reward
+    }
+
+    /// Mean observed reward (`NaN` before the first visit).
+    pub fn mean_reward(&self, n: NodeId) -> f64 {
+        let node = &self.nodes[n.index()];
+        node.reward / node.visits as f64
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `ST.MaxUctChild`: the child of `n` maximizing the UCT formula.
+    /// Unvisited children take absolute priority; ties are broken uniformly
+    /// at random (paper Algorithm 2 returns a "random pick" from the
+    /// maximizing set).
+    ///
+    /// Returns `None` for leaves.
+    pub fn max_uct_child<R: Rng + ?Sized>(&self, n: NodeId, rng: &mut R) -> Option<NodeId> {
+        let node = &self.nodes[n.index()];
+        if node.children.is_empty() {
+            return None;
+        }
+        // Reservoir-pick among unvisited children.
+        let mut unvisited_seen = 0usize;
+        let mut pick = None;
+        for &c in &node.children {
+            if self.nodes[c.index()].visits == 0 {
+                unvisited_seen += 1;
+                if rng.gen_range(0..unvisited_seen) == 0 {
+                    pick = Some(c);
+                }
+            }
+        }
+        if pick.is_some() {
+            return pick;
+        }
+        // All children visited: maximize the UCT bound, random tie-break.
+        let ln_n = (node.visits.max(1) as f64).ln();
+        let mut best_score = f64::NEG_INFINITY;
+        let mut ties = 0usize;
+        let mut best = node.children[0];
+        for &c in &node.children {
+            let ch = &self.nodes[c.index()];
+            let score = ch.reward / ch.visits as f64 + (2.0 * ln_n / ch.visits as f64).sqrt();
+            if score > best_score {
+                best_score = score;
+                best = c;
+                ties = 1;
+            } else if score == best_score {
+                ties += 1;
+                if rng.gen_range(0..ties) == 0 {
+                    best = c;
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// The child with the highest **mean** reward — exploitation only, used
+    /// by the main loop when committing to the next sentence (Algorithm 1
+    /// "cannot afford further exploration"). Unvisited children lose
+    /// against any visited one. Returns `None` for leaves.
+    pub fn best_child(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()]
+            .children
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let ma = self.mean_or_neg_inf(a);
+                let mb = self.mean_or_neg_inf(b);
+                ma.total_cmp(&mb)
+            })
+    }
+
+    fn mean_or_neg_inf(&self, n: NodeId) -> f64 {
+        let node = &self.nodes[n.index()];
+        if node.visits == 0 {
+            f64::NEG_INFINITY
+        } else {
+            node.reward / node.visits as f64
+        }
+    }
+
+    /// One sampling iteration (paper `ST.Sample` / Algorithm 2 `SAMPLE`):
+    /// descend from `from` by UCT until a leaf, evaluate the leaf's payload
+    /// with `eval`, and add the returned reward to every node on the path.
+    ///
+    /// Returns the observed reward.
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        rng: &mut R,
+        eval: impl FnOnce(&T) -> f64,
+    ) -> f64 {
+        let path = self.select_path(from, rng);
+        let leaf = *path.last().expect("path contains at least `from`");
+        let reward = eval(&self.nodes[leaf.index()].data);
+        self.update_path(&path, reward);
+        reward
+    }
+
+    /// Descend from `from` by UCT choices until a leaf, returning the full
+    /// path (including `from`). Callers that need the path's payloads to
+    /// compute the reward (as the speech planner does — the reward depends
+    /// on every fragment on the path, not just the leaf) use this together
+    /// with [`Tree::update_path`].
+    pub fn select_path<R: Rng + ?Sized>(&self, from: NodeId, rng: &mut R) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while let Some(next) = self.max_uct_child(cur, rng) {
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// Descend from `from` choosing children uniformly at random — the
+    /// no-prioritization ablation of UCT (pure Monte-Carlo sampling without
+    /// the exploration/exploitation balance the paper argues for).
+    pub fn random_path<R: Rng + ?Sized>(&self, from: NodeId, rng: &mut R) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        loop {
+            let children = self.children(cur);
+            if children.is_empty() {
+                return path;
+            }
+            cur = children[rng.gen_range(0..children.len())];
+            path.push(cur);
+        }
+    }
+
+    /// Add `reward` and one visit to every node in `path`
+    /// (the statistics update of Algorithm 2's `SAMPLE`).
+    pub fn update_path(&mut self, path: &[NodeId], reward: f64) {
+        for &n in path {
+            let node = &mut self.nodes[n.index()];
+            node.visits += 1;
+            node.reward += reward;
+        }
+    }
+
+    /// Depth of the subtree rooted at `n` (a leaf has depth 0).
+    pub fn depth(&self, n: NodeId) -> usize {
+        self.children(n)
+            .iter()
+            .map(|&c| 1 + self.depth(c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn arena_structure() {
+        let mut t = Tree::new(0u32);
+        let a = t.add_child(Tree::<u32>::ROOT, 1);
+        let b = t.add_child(Tree::<u32>::ROOT, 2);
+        let c = t.add_child(a, 3);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.children(Tree::<u32>::ROOT), &[a, b]);
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.parent(Tree::<u32>::ROOT), None);
+        assert!(t.is_leaf(b));
+        assert!(!t.is_leaf(a));
+        assert_eq!(*t.data(c), 3);
+        assert_eq!(t.depth(Tree::<u32>::ROOT), 2);
+    }
+
+    #[test]
+    fn unvisited_children_sampled_first() {
+        let mut t = Tree::new(());
+        for _ in 0..5 {
+            t.add_child(Tree::<()>::ROOT, ());
+        }
+        let mut r = rng(1);
+        for _ in 0..5 {
+            t.sample(Tree::<()>::ROOT, &mut r, |_| 0.5);
+        }
+        // After exactly 5 samples every child was visited exactly once.
+        for &c in t.children(Tree::<()>::ROOT) {
+            assert_eq!(t.visits(c), 1);
+        }
+    }
+
+    #[test]
+    fn sample_updates_whole_path() {
+        let mut t = Tree::new("root");
+        let mid = t.add_child(Tree::<&str>::ROOT, "mid");
+        let leaf = t.add_child(mid, "leaf");
+        let mut r = rng(2);
+        let reward = t.sample(Tree::<&str>::ROOT, &mut r, |_| 0.7);
+        assert_eq!(reward, 0.7);
+        for n in [Tree::<&str>::ROOT, mid, leaf] {
+            assert_eq!(t.visits(n), 1);
+            assert!((t.reward(n) - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uct_converges_to_better_arm() {
+        // Two-armed bandit: arm "a" pays 0.9, arm "b" pays 0.1.
+        let mut t = Tree::new("root");
+        let a = t.add_child(Tree::<&str>::ROOT, "a");
+        let b = t.add_child(Tree::<&str>::ROOT, "b");
+        let mut r = rng(3);
+        for _ in 0..500 {
+            t.sample(Tree::<&str>::ROOT, &mut r, |&d| if d == "a" { 0.9 } else { 0.1 });
+        }
+        assert!(
+            t.visits(a) > 5 * t.visits(b),
+            "exploitation dominates: {} vs {}",
+            t.visits(a),
+            t.visits(b)
+        );
+        assert_eq!(t.best_child(Tree::<&str>::ROOT), Some(a));
+    }
+
+    #[test]
+    fn exploration_revisits_inferior_arm() {
+        // UCT must not starve the worse arm completely.
+        let mut t = Tree::new("root");
+        let _a = t.add_child(Tree::<&str>::ROOT, "a");
+        let b = t.add_child(Tree::<&str>::ROOT, "b");
+        let mut r = rng(4);
+        for _ in 0..300 {
+            t.sample(Tree::<&str>::ROOT, &mut r, |&d| if d == "a" { 0.9 } else { 0.1 });
+        }
+        assert!(t.visits(b) >= 5, "inferior arm still explored: {}", t.visits(b));
+    }
+
+    #[test]
+    fn best_child_ignores_unvisited() {
+        let mut t = Tree::new(());
+        let a = t.add_child(Tree::<()>::ROOT, ());
+        let _b = t.add_child(Tree::<()>::ROOT, ());
+        let mut r = rng(5);
+        t.sample(a, &mut r, |_| 0.2);
+        assert_eq!(t.best_child(Tree::<()>::ROOT), Some(a));
+    }
+
+    #[test]
+    fn max_uct_child_none_for_leaf() {
+        let t = Tree::new(());
+        let mut r = rng(6);
+        assert_eq!(t.clone().max_uct_child(Tree::<()>::ROOT, &mut r), None);
+        assert_eq!(t.best_child(Tree::<()>::ROOT), None);
+    }
+
+    #[test]
+    fn select_path_reaches_leaf_and_update_path_accumulates() {
+        let mut t = Tree::new(0u8);
+        let a = t.add_child(Tree::<u8>::ROOT, 1);
+        let leaf = t.add_child(a, 2);
+        let mut r = rng(7);
+        let path = t.select_path(Tree::<u8>::ROOT, &mut r);
+        assert_eq!(path, vec![Tree::<u8>::ROOT, a, leaf]);
+        t.update_path(&path, 0.4);
+        t.update_path(&path[1..], 0.6);
+        assert_eq!(t.visits(Tree::<u8>::ROOT), 1);
+        assert_eq!(t.visits(a), 2);
+        assert!((t.reward(a) - 1.0).abs() < 1e-12);
+        assert!((t.mean_reward(a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = |seed| {
+            let mut t = Tree::new(());
+            for _ in 0..4 {
+                let c = t.add_child(Tree::<()>::ROOT, ());
+                for _ in 0..3 {
+                    t.add_child(c, ());
+                }
+            }
+            let mut r = rng(seed);
+            let mut rewards = Vec::new();
+            for i in 0..50 {
+                rewards.push(t.sample(Tree::<()>::ROOT, &mut r, |_| (i % 7) as f64 / 7.0));
+            }
+            (rewards, t.visits(Tree::<()>::ROOT))
+        };
+        assert_eq!(build(9), build(9));
+    }
+}

@@ -1,0 +1,300 @@
+//! The JSON API: questions, per-session keyword commands, statistics.
+//!
+//! Voice output is rendered client-side (the paper used ResponsiveVoiceJS
+//! in the browser), so the server returns *text* plus planner statistics;
+//! the `approach` field switches vocalization methods per request, the
+//! mechanism behind the paper's Table 8 study ("users can switch freely
+//! between the two compared vocalization methods for each single query").
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::optimal::Optimal;
+use voxolap_core::outcome::VocalizationOutcome;
+use voxolap_core::prior::PriorGreedy;
+use voxolap_core::unmerged::{Unmerged, UnmergedConfig};
+use voxolap_core::voice::InstantVoice;
+use voxolap_data::stats::DatasetStats;
+use voxolap_data::Table;
+use voxolap_voice::question::parse_question;
+use voxolap_voice::session::{Response as SessionResponse, Session};
+
+use crate::http::{Request, Response};
+
+/// Per-session state: the applied command log, replayed into a fresh
+/// [`Session`] per request (sessions are small — tens of commands).
+pub type SessionStore = Mutex<HashMap<String, Vec<String>>>;
+
+/// Shared application state.
+pub struct AppState {
+    table: Table,
+    sessions: SessionStore,
+}
+
+/// `POST /ask` body.
+#[derive(Debug, Deserialize)]
+struct AskRequest {
+    question: String,
+    #[serde(default)]
+    approach: Option<String>,
+}
+
+/// `POST /session/<id>/input` body.
+#[derive(Debug, Deserialize)]
+struct InputRequest {
+    text: String,
+    #[serde(default)]
+    approach: Option<String>,
+}
+
+/// A spoken answer.
+#[derive(Debug, Serialize)]
+struct AnswerResponse {
+    approach: String,
+    text: String,
+    preamble: String,
+    sentences: Vec<String>,
+    latency_ms: f64,
+    chars: usize,
+    rows_sampled: u64,
+    planner_iterations: u64,
+}
+
+impl AnswerResponse {
+    fn from_outcome(approach: &str, outcome: &VocalizationOutcome) -> Self {
+        AnswerResponse {
+            approach: approach.to_string(),
+            text: outcome.full_text(),
+            preamble: outcome.preamble.clone(),
+            sentences: outcome.sentences.clone(),
+            latency_ms: outcome.latency.as_secs_f64() * 1e3,
+            chars: outcome.body_len(),
+            rows_sampled: outcome.stats.rows_read,
+            planner_iterations: outcome.stats.samples,
+        }
+    }
+}
+
+/// Build the requested vocalizer (default: holistic).
+fn make_vocalizer(approach: &str) -> Result<Box<dyn Vocalizer>, String> {
+    let holistic_config = HolisticConfig {
+        min_samples_per_sentence: 8_000,
+        resample_size: 200,
+        ..HolisticConfig::default()
+    };
+    match approach {
+        "holistic" => Ok(Box::new(Holistic::new(holistic_config))),
+        "optimal" => Ok(Box::new(Optimal::default())),
+        "unmerged" => Ok(Box::new(Unmerged::new(UnmergedConfig {
+            resample_size: 200,
+            ..UnmergedConfig::default()
+        }))),
+        "prior" => Ok(Box::new(PriorGreedy)),
+        other => Err(format!("unknown approach {other:?}")),
+    }
+}
+
+impl AppState {
+    /// Create state over one dataset.
+    pub fn new(table: Table) -> Self {
+        AppState { table, sessions: Mutex::new(HashMap::new()) }
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_string()),
+            ("GET", "/stats") => {
+                let stats = DatasetStats::of(&self.table);
+                Response::ok(serde_json::to_string(&stats).expect("stats serialize"))
+            }
+            ("POST", "/ask") => self.handle_ask(req),
+            ("POST", path) => match path
+                .strip_prefix("/session/")
+                .and_then(|rest| rest.strip_suffix("/input"))
+            {
+                Some(id) if !id.is_empty() && !id.contains('/') => {
+                    self.handle_session_input(id, req)
+                }
+                _ => Response::error(404, "not found"),
+            },
+            ("GET", _) => Response::error(404, "not found"),
+            _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    fn handle_ask(&self, req: &Request) -> Response {
+        let Ok(ask) = serde_json::from_slice::<AskRequest>(&req.body) else {
+            return Response::error(400, "expected {\"question\": \"...\"}");
+        };
+        let approach = ask.approach.as_deref().unwrap_or("holistic");
+        let vocalizer = match make_vocalizer(approach) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e),
+        };
+        let query = match parse_question(self.table.schema(), &ask.question) {
+            Ok(q) => q,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let mut voice = InstantVoice::default();
+        let outcome = vocalizer.vocalize(&self.table, &query, &mut voice);
+        Response::ok(
+            serde_json::to_string(&AnswerResponse::from_outcome(approach, &outcome))
+                .expect("answer serialize"),
+        )
+    }
+
+    fn handle_session_input(&self, id: &str, req: &Request) -> Response {
+        let Ok(input) = serde_json::from_slice::<InputRequest>(&req.body) else {
+            return Response::error(400, "expected {\"text\": \"...\"}");
+        };
+        let approach = input.approach.as_deref().unwrap_or("holistic");
+        let vocalizer = match make_vocalizer(approach) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e),
+        };
+
+        // Replay the session's applied commands, then the new one. The
+        // lock is held across vocalization to keep per-session ordering;
+        // distinct sessions on distinct connections still run one request
+        // at a time here (matching the paper's per-worker sessions).
+        let mut sessions = self.sessions.lock();
+        let log = sessions.entry(id.to_string()).or_default();
+        let mut session = Session::new(&self.table);
+        for cmd in log.iter() {
+            let _ = session.input(cmd);
+        }
+        match session.input(&input.text) {
+            Ok(SessionResponse::Help(text)) => {
+                Response::ok(format!("{{\"help\":{}}}", serde_json::to_string(&text).unwrap()))
+            }
+            Ok(SessionResponse::Quit) => {
+                sessions.remove(id);
+                Response::ok("{\"ended\":true}".to_string())
+            }
+            Ok(SessionResponse::Updated) => {
+                log.push(input.text.clone());
+                let mut voice = InstantVoice::default();
+                match session.vocalize_with(vocalizer.as_ref(), &mut voice) {
+                    Ok(outcome) => Response::ok(
+                        serde_json::to_string(&AnswerResponse::from_outcome(approach, &outcome))
+                            .expect("answer serialize"),
+                    ),
+                    Err(e) => Response::error(400, &e.to_string()),
+                }
+            }
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::flights::FlightsConfig;
+
+    fn state() -> AppState {
+        AppState::new(FlightsConfig { rows: 8_000, seed: 42 }.generate())
+    }
+
+    fn post(state: &AppState, path: &str, body: &str) -> Response {
+        state.handle(&Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    fn get(state: &AppState, path: &str) -> Response {
+        state.handle(&Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn health_and_stats() {
+        let s = state();
+        assert_eq!(get(&s, "/health").body, "{\"status\":\"ok\"}");
+        let stats = get(&s, "/stats");
+        assert_eq!(stats.status, 200);
+        assert!(stats.body.contains("\"rows\":8000"), "{}", stats.body);
+    }
+
+    #[test]
+    fn ask_returns_spoken_answer() {
+        let s = state();
+        let r = post(
+            &s,
+            "/ask",
+            "{\"question\": \"how does the cancellation probability depend on region and season?\"}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        assert!(v["text"].as_str().unwrap().contains("cancellation probability"));
+        assert_eq!(v["approach"], "holistic");
+        assert!(v["latency_ms"].as_f64().unwrap() < 500.0);
+    }
+
+    #[test]
+    fn ask_with_prior_approach() {
+        let s = state();
+        let r = post(
+            &s,
+            "/ask",
+            "{\"question\": \"cancellation probability by season\", \"approach\": \"prior\"}",
+        );
+        assert_eq!(r.status, 200);
+        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v["approach"], "prior");
+    }
+
+    #[test]
+    fn session_accumulates_state() {
+        let s = state();
+        let r1 = post(&s, "/session/w1/input", "{\"text\": \"break down by region\"}");
+        assert_eq!(r1.status, 200, "{}", r1.body);
+        let r2 = post(&s, "/session/w1/input", "{\"text\": \"break down by season\"}");
+        let v: serde_json::Value = serde_json::from_str(&r2.body).unwrap();
+        assert!(
+            v["preamble"].as_str().unwrap().contains("region and season"),
+            "{}",
+            r2.body
+        );
+        // A different session starts fresh.
+        let r3 = post(&s, "/session/w2/input", "{\"text\": \"break down by season\"}");
+        let v: serde_json::Value = serde_json::from_str(&r3.body).unwrap();
+        assert!(!v["preamble"].as_str().unwrap().contains("region and"));
+    }
+
+    #[test]
+    fn session_help_and_quit() {
+        let s = state();
+        let help = post(&s, "/session/w1/input", "{\"text\": \"help\"}");
+        assert!(help.body.contains("\"help\""));
+        let quit = post(&s, "/session/w1/input", "{\"text\": \"quit\"}");
+        assert!(quit.body.contains("\"ended\":true"));
+    }
+
+    #[test]
+    fn bad_requests_get_400s() {
+        let s = state();
+        assert_eq!(post(&s, "/ask", "not json").status, 400);
+        assert_eq!(post(&s, "/ask", "{\"question\": \"gibberish xyz\"}").status, 400);
+        assert_eq!(
+            post(&s, "/ask", "{\"question\": \"by region\", \"approach\": \"quantum\"}").status,
+            400
+        );
+        assert_eq!(
+            post(&s, "/session/w1/input", "{\"text\": \"make me a sandwich\"}").status,
+            400
+        );
+        assert_eq!(post(&s, "/session//input", "{\"text\": \"help\"}").status, 404);
+        assert_eq!(get(&s, "/nope").status, 404);
+    }
+}

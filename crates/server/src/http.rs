@@ -1,0 +1,257 @@
+//! Minimal HTTP/1.1 server over `std::net`.
+//!
+//! Enough protocol for a JSON API: request line, headers,
+//! `Content-Length` bodies, one response per connection
+//! (`Connection: close`). No TLS, no chunked encoding, no keep-alive —
+//! this mirrors the paper's simple JEE servlet backend, not a production
+//! web server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on accepted request bodies (64 KiB — questions are short).
+const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (without query string).
+    pub path: String,
+    /// Request body (empty for bodyless methods).
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response to send.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with a JSON body.
+    pub fn ok(body: String) -> Self {
+        Response { status: 200, body }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            body: format!("{{\"error\":{}}}", serde_json::to_string(message).unwrap_or_default()),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Read and parse one request from a stream.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let method = method.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Ok(Some(Request { method, path, body: vec![0; MAX_BODY + 1] }));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.status_text(),
+        response.body.len(),
+        response.body
+    )
+}
+
+/// Handle to a running server: its bound address and a shutdown flag.
+pub struct ServerHandle {
+    /// The address the listener bound (useful with port 0).
+    pub addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal the accept loop to stop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving on `addr` (e.g. `"127.0.0.1:0"`), dispatching each
+/// request to `handler` on a per-connection thread. Returns once the
+/// listener is bound; the accept loop runs on a background thread until
+/// [`ServerHandle::shutdown`].
+pub fn serve<F>(addr: &str, handler: F) -> std::io::Result<ServerHandle>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handler = Arc::new(handler);
+    let thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop_flag.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            let handler = handler.clone();
+            std::thread::spawn(move || {
+                let response = match read_request(&mut stream) {
+                    Ok(Some(req)) if req.body.len() > MAX_BODY => {
+                        Response::error(413, "request body too large")
+                    }
+                    Ok(Some(req)) => handler(&req),
+                    Ok(None) => return,
+                    Err(_) => Response::error(400, "malformed request"),
+                };
+                let _ = write_response(&mut stream, &response);
+            });
+        }
+    });
+    Ok(ServerHandle { addr: bound, stop, thread: Some(thread) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn start_echo() -> ServerHandle {
+        serve("127.0.0.1:0", |req| {
+            Response::ok(format!(
+                "{{\"method\":{:?},\"path\":{:?},\"len\":{}}}",
+                req.method,
+                req.path,
+                req.body.len()
+            ))
+        })
+        .expect("bind")
+    }
+
+    fn raw_request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_method_path_and_body() {
+        let server = start_echo();
+        let out = raw_request(
+            server.addr,
+            "POST /ask?x=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        );
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("\"method\":\"POST\""));
+        assert!(out.contains("\"path\":\"/ask\""), "query string stripped: {out}");
+        assert!(out.contains("\"len\":4"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bodyless_get() {
+        let server = start_echo();
+        let out = raw_request(server.addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.contains("\"path\":\"/health\""));
+        assert!(out.contains("\"len\":0"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let server = start_echo();
+        let out = raw_request(
+            server.addr,
+            &format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 10),
+        );
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = start_echo();
+        let addr = server.addr;
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    raw_request(addr, &format!("GET /r{i} HTTP/1.1\r\n\r\n"))
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.join().unwrap();
+            assert!(out.contains(&format!("/r{i}")));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let server = start_echo();
+        let addr = server.addr;
+        server.shutdown();
+        // After shutdown the port refuses or resets; either way no 200.
+        let result = TcpStream::connect(addr);
+        if let Ok(mut s) = result {
+            let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(!out.contains("200 OK"), "{out}");
+        }
+    }
+}

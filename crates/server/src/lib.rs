@@ -1,0 +1,27 @@
+//! # voxolap-server
+//!
+//! The server-side component of a web interface for voice-based OLAP —
+//! the substrate behind the paper's exploratory user study (§B.2: a JEE
+//! server on Heroku whose JavaScript client sent asynchronous requests;
+//! "users can switch freely between the two compared vocalization methods
+//! for each single query").
+//!
+//! A deliberately dependency-free HTTP/1.1 implementation over
+//! `std::net::TcpListener` with a small JSON API:
+//!
+//! | Method & path | Body | Response |
+//! |---|---|---|
+//! | `GET /health` | — | `{"status":"ok"}` |
+//! | `GET /stats` | — | dataset statistics |
+//! | `POST /ask` | `{"question": "...", "approach": "holistic"?}` | spoken answer + planner stats |
+//! | `POST /session/<id>/input` | `{"text": "...", "approach": ...?}` | per-session keyword command → spoken answer |
+//!
+//! Sessions accumulate drill-down state per id, exactly like the paper's
+//! per-worker sessions; the `approach` field switches vocalization method
+//! per request, enabling the Table 8 comparison workflow.
+
+pub mod api;
+pub mod http;
+
+pub use api::{AppState, SessionStore};
+pub use http::{serve, Request, Response};

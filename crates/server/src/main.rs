@@ -1,0 +1,50 @@
+//! `voxolap-server` — serve the JSON API for voice-based OLAP.
+//!
+//! ```text
+//! voxolap-server [--port 8080] [--data flights|salary] [--rows N]
+//! ```
+//!
+//! Then:
+//!
+//! ```text
+//! curl -s localhost:8080/health
+//! curl -s localhost:8080/stats
+//! curl -s -X POST localhost:8080/ask \
+//!   -d '{"question": "how does the cancellation probability depend on region and season?"}'
+//! curl -s -X POST localhost:8080/session/worker7/input \
+//!   -d '{"text": "break down by region", "approach": "prior"}'
+//! ```
+
+use std::sync::Arc;
+
+use voxolap_data::flights::FlightsConfig;
+use voxolap_data::salary::SalaryConfig;
+use voxolap_server::{serve, AppState};
+
+fn arg(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let port: u16 = arg("--port").and_then(|v| v.parse().ok()).unwrap_or(8080);
+    let rows: usize = arg("--rows").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let data = arg("--data").unwrap_or_else(|| "flights".to_string());
+
+    let table = match data.as_str() {
+        "salary" => SalaryConfig::paper_scale().generate(),
+        _ => {
+            eprintln!("generating flights dataset ({rows} rows)...");
+            FlightsConfig { rows, seed: 42 }.generate()
+        }
+    };
+    let state = Arc::new(AppState::new(table));
+
+    let handle = serve(&format!("127.0.0.1:{port}"), move |req| state.handle(req))
+        .expect("bind server port");
+    eprintln!("voxolap-server listening on http://{}", handle.addr);
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

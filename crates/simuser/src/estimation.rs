@@ -1,0 +1,296 @@
+//! The estimation study (paper Tables 6 and 14).
+//!
+//! The paper asked eight crowd workers to estimate all 20 result fields of
+//! a flights query after listening to the speeches the three approaches
+//! generated (Table 5), then reports each worker's mean absolute error in
+//! percentage points (Table 6) and the share of correctly identified
+//! relative tendencies among all field pairs (Table 14).
+//!
+//! We reproduce the study with simulated listeners: six model followers
+//! with small estimate noise (the paper's users 2–7 landed within ~1 % of
+//! the belief means) and two "increase-to" misunderstanders (the paper's
+//! users 1 and 8, placed at the same positions). Listeners receive the
+//! **rendered text** and re-parse it, so verbalization round-off reaches
+//! them exactly as it reached the crowd workers.
+
+use serde::Serialize;
+
+use voxolap_data::schema::{MeasureUnit, Schema};
+use voxolap_data::Table;
+use voxolap_engine::exact::evaluate;
+use voxolap_engine::query::Query;
+use voxolap_speech::ast::Speech;
+use voxolap_speech::render::Renderer;
+
+use crate::listener::{ListenerConfig, SimulatedListener};
+
+/// Configuration of the estimation study.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimationStudy {
+    /// Number of simulated users (paper: 8, after dropping a duplicate).
+    pub n_users: usize,
+    /// Relative noise of the model-following listeners.
+    pub noise_rel: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EstimationStudy {
+    fn default() -> Self {
+        EstimationStudy { n_users: 8, noise_rel: 0.05, seed: 42 }
+    }
+}
+
+/// One user's results across the compared approaches.
+#[derive(Debug, Clone, Serialize)]
+pub struct UserRow {
+    /// 1-based user number (users 1 and 8 misunderstand, as in the paper).
+    pub user: usize,
+    /// Mean absolute error per approach, in measure units scaled for
+    /// display: percentage points for fractions, K$ for dollars.
+    pub abs_err: Vec<f64>,
+    /// Percentage of correctly identified relative tendencies per approach.
+    pub tendency_pct: Vec<f64>,
+}
+
+/// Study output.
+#[derive(Debug, Clone, Serialize)]
+pub struct EstimationResult {
+    /// Approach names, aligned with the per-user vectors.
+    pub approaches: Vec<String>,
+    /// One row per user.
+    pub per_user: Vec<UserRow>,
+    /// Median absolute error per approach (the paper's summary row).
+    pub median_abs_err: Vec<f64>,
+    /// Mean tendency accuracy per approach (Table 14's "Total" row).
+    pub total_tendency_pct: Vec<f64>,
+}
+
+/// Share of field pairs whose relative order the estimates preserve
+/// (paper's tendency criterion: `e1 < e2 ∧ v1 < v2` or `e1 ≥ e2 ∧ v1 ≥ v2`).
+pub fn tendency_accuracy(estimates: &[f64], actuals: &[f64]) -> f64 {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for i in 0..actuals.len() {
+        for j in (i + 1)..actuals.len() {
+            if !(actuals[i].is_finite() && actuals[j].is_finite()) {
+                continue;
+            }
+            total += 1;
+            let e_less = estimates[i] < estimates[j];
+            let v_less = actuals[i] < actuals[j];
+            if e_less == v_less {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    100.0 * correct as f64 / total as f64
+}
+
+impl EstimationStudy {
+    /// Run the study for a set of (approach name, speech) pairs on one
+    /// query.
+    pub fn run(
+        &self,
+        table: &Table,
+        query: &Query,
+        speeches: &[(String, Speech)],
+    ) -> EstimationResult {
+        let schema: &Schema = table.schema();
+        let exact = evaluate(query, table);
+        let actuals = exact.values();
+        // Display scale: percentage points for fraction measures.
+        let scale = match schema.measure(query.measure()).unit {
+            MeasureUnit::Fraction => 100.0,
+            _ => 1.0,
+        };
+
+        let mut per_user = Vec::with_capacity(self.n_users);
+        for u in 1..=self.n_users {
+            // Users 1 and n misunderstand, mirroring the paper's outliers.
+            let misunderstands = u == 1 || u == self.n_users;
+            let listener = SimulatedListener::new(
+                ListenerConfig { noise_rel: self.noise_rel, misunderstands },
+                self.seed.wrapping_add(u as u64 * 7919),
+            );
+            let mut abs_err = Vec::new();
+            let mut tendency = Vec::new();
+            let renderer = Renderer::new(schema, query);
+            for (_, speech) in speeches {
+                // Listeners hear the rendered text, not the internal AST.
+                let body = renderer.body_text(speech);
+                let estimates = listener
+                    .estimate_fields_from_text(&body, query, schema)
+                    .unwrap_or_else(|_| listener.estimate_fields(speech, query, schema));
+                let mut err_sum = 0.0;
+                let mut n = 0usize;
+                for (e, a) in estimates.iter().zip(&actuals) {
+                    if a.is_finite() {
+                        err_sum += (e - a).abs() * scale;
+                        n += 1;
+                    }
+                }
+                abs_err.push(if n == 0 { 0.0 } else { err_sum / n as f64 });
+                tendency.push(tendency_accuracy(&estimates, &actuals));
+            }
+            per_user.push(UserRow { user: u, abs_err, tendency_pct: tendency });
+        }
+
+        let n_app = speeches.len();
+        let median_abs_err = (0..n_app)
+            .map(|a| {
+                let mut v: Vec<f64> = per_user.iter().map(|r| r.abs_err[a]).collect();
+                v.sort_by(f64::total_cmp);
+                let mid = v.len() / 2;
+                if v.len().is_multiple_of(2) {
+                    (v[mid - 1] + v[mid]) / 2.0
+                } else {
+                    v[mid]
+                }
+            })
+            .collect();
+        let total_tendency_pct = (0..n_app)
+            .map(|a| {
+                per_user.iter().map(|r| r.tendency_pct[a]).sum::<f64>() / per_user.len() as f64
+            })
+            .collect();
+
+        EstimationResult {
+            approaches: speeches.iter().map(|(n, _)| n.clone()).collect(),
+            per_user,
+            median_abs_err,
+            total_tendency_pct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::flights::FlightsConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::AggFct;
+    use voxolap_speech::ast::{Baseline, Change, Direction, Predicate, Refinement};
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = FlightsConfig { rows: 60_000, seed: 42 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    /// A speech close to the paper's holistic one: baseline ~2%, Winter
+    /// +100%, North East +100%.
+    fn good_speech(schema: &Schema, baseline: f64) -> Speech {
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        let winter = schema.dimension(DimId(1)).member_by_phrase("Winter").unwrap();
+        Speech {
+            baseline: Baseline::point(baseline),
+            refinements: vec![
+                Refinement {
+                    predicates: vec![Predicate { dim: DimId(0), member: ne }],
+                    change: Change { direction: Direction::Increase, percent: 100 },
+                },
+                Refinement {
+                    predicates: vec![Predicate { dim: DimId(1), member: winter }],
+                    change: Change { direction: Direction::Increase, percent: 100 },
+                },
+            ],
+        }
+    }
+
+    /// A speech like the paper's unmerged one: wrong baseline, wrong region.
+    fn bad_speech(schema: &Schema) -> Speech {
+        let west = schema.dimension(DimId(0)).member_by_phrase("the West").unwrap();
+        let winter = schema.dimension(DimId(1)).member_by_phrase("Winter").unwrap();
+        Speech {
+            baseline: Baseline::point(0.12),
+            refinements: vec![
+                Refinement {
+                    predicates: vec![Predicate { dim: DimId(0), member: west }],
+                    change: Change { direction: Direction::Increase, percent: 100 },
+                },
+                Refinement {
+                    predicates: vec![Predicate { dim: DimId(1), member: winter }],
+                    change: Change { direction: Direction::Increase, percent: 50 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn good_speeches_yield_lower_errors_than_bad() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let speeches = vec![
+            ("holistic".to_string(), good_speech(schema, 0.015)),
+            ("unmerged".to_string(), bad_speech(schema)),
+        ];
+        let result = EstimationStudy::default().run(&table, &q, &speeches);
+        assert!(
+            result.median_abs_err[0] < result.median_abs_err[1],
+            "good {} < bad {}",
+            result.median_abs_err[0],
+            result.median_abs_err[1]
+        );
+        // Paper magnitudes: good speeches give ~1 percentage point error,
+        // bad ones give ~12.
+        assert!(result.median_abs_err[0] < 4.0, "good error {}", result.median_abs_err[0]);
+        assert!(result.median_abs_err[1] > 5.0, "bad error {}", result.median_abs_err[1]);
+    }
+
+    #[test]
+    fn misunderstanders_are_outliers() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let speeches = vec![("holistic".to_string(), good_speech(schema, 0.015))];
+        let result = EstimationStudy::default().run(&table, &q, &speeches);
+        let first = result.per_user.first().unwrap().abs_err[0];
+        let last = result.per_user.last().unwrap().abs_err[0];
+        let middle: f64 = result.per_user[1..7].iter().map(|r| r.abs_err[0]).sum::<f64>() / 6.0;
+        assert!(first > 5.0 * middle, "user 1 is an outlier: {first} vs {middle}");
+        assert!(last > 5.0 * middle, "user 8 is an outlier: {last} vs {middle}");
+    }
+
+    #[test]
+    fn tendency_accuracy_counts_ordered_pairs() {
+        let actuals = [1.0, 2.0, 3.0];
+        assert_eq!(tendency_accuracy(&[1.0, 2.0, 3.0], &actuals), 100.0);
+        assert_eq!(tendency_accuracy(&[3.0, 2.0, 1.0], &actuals), 0.0);
+        // One inversion out of three pairs.
+        let acc = tendency_accuracy(&[2.0, 1.0, 3.0], &actuals);
+        assert!((acc - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tendencies_beat_chance_for_truthful_speeches() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let speeches = vec![("holistic".to_string(), good_speech(schema, 0.015))];
+        let result = EstimationStudy::default().run(&table, &q, &speeches);
+        // Paper Table 14: ~70% for good speeches.
+        assert!(
+            result.total_tendency_pct[0] > 55.0,
+            "tendency accuracy {}",
+            result.total_tendency_pct[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let speeches = vec![("h".to_string(), good_speech(schema, 0.015))];
+        let study = EstimationStudy { seed: 3, ..EstimationStudy::default() };
+        let a = study.run(&table, &q, &speeches);
+        let b = study.run(&table, &q, &speeches);
+        assert_eq!(a.median_abs_err, b.median_abs_err);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fact extraction from vocalizations (paper Table 7 analogue).
+//!
+//! Table 7 shows facts crowd workers stated after voice-based analysis,
+//! annotated with the dimensions each fact refers to. We regenerate such
+//! facts mechanically from the structured speeches our system produces:
+//! every refinement becomes a claim about its predicate dimensions, and
+//! the baseline becomes an overall claim — the same information a careful
+//! listener could state after a session.
+
+use serde::Serialize;
+
+use voxolap_core::outcome::VocalizationOutcome;
+use voxolap_data::schema::Schema;
+use voxolap_engine::query::Query;
+use voxolap_speech::ast::Direction;
+use voxolap_speech::verbalize::verbalize_value;
+
+/// One extracted fact with the dimensions it refers to.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fact {
+    /// Dimension names the fact involves (Table 7's "Dimensions" column).
+    pub dimensions: Vec<String>,
+    /// The fact statement.
+    pub text: String,
+}
+
+/// Derive facts from one vocalization outcome.
+///
+/// Returns one overall fact (from the baseline) plus one per refinement.
+/// Outcomes without a structured speech (e.g. the prior baseline) yield no
+/// facts.
+pub fn extract_facts(
+    outcome: &VocalizationOutcome,
+    query: &Query,
+    schema: &Schema,
+) -> Vec<Fact> {
+    let Some(speech) = &outcome.speech else {
+        return Vec::new();
+    };
+    let mut facts = Vec::new();
+
+    let grouped_dims: Vec<String> = query
+        .group_by()
+        .iter()
+        .map(|&(d, _)| schema.dimension(d).name().to_string())
+        .collect();
+    let measure = schema.measure(query.measure());
+    let agg_name = voxolap_speech::render::aggregate_phrase(query.fct(), &measure.name);
+    let unit = voxolap_speech::render::render_unit(query.fct(), measure.unit);
+    facts.push(Fact {
+        dimensions: grouped_dims,
+        text: format!(
+            "{} is the typical {}.",
+            verbalize_value(speech.baseline.value, unit),
+            agg_name
+        ),
+    });
+
+    for r in &speech.refinements {
+        let dims: Vec<String> =
+            r.predicates.iter().map(|p| schema.dimension(p.dim).name().to_string()).collect();
+        let scope: Vec<String> = r
+            .predicates
+            .iter()
+            .map(|p| schema.dimension(p.dim).predicate_phrase(p.member))
+            .collect();
+        let verb = match r.change.direction {
+            Direction::Increase => "higher",
+            Direction::Decrease => "lower",
+        };
+        facts.push(Fact {
+            dimensions: dims,
+            text: format!(
+                "The {} is about {} percent {} than typical for {}.",
+                agg_name,
+                r.change.percent,
+                verb,
+                scope.join(" and ")
+            ),
+        });
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_core::approach::Vocalizer;
+    use voxolap_core::holistic::{Holistic, HolisticConfig};
+    use voxolap_core::voice::InstantVoice;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::flights::FlightsConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::AggFct;
+
+    #[test]
+    fn facts_cover_baseline_and_refinements() {
+        let table = FlightsConfig { rows: 20_000, seed: 42 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        let holistic = Holistic::new(HolisticConfig {
+            min_samples_per_sentence: 600,
+            ..HolisticConfig::default()
+        });
+        let mut voice = InstantVoice::default();
+        let outcome = holistic.vocalize(&table, &q, &mut voice);
+        let facts = extract_facts(&outcome, &q, table.schema());
+        assert!(!facts.is_empty());
+        assert!(facts[0].text.contains("typical average cancellation probability"));
+        // Every refinement fact names the dimensions it refers to.
+        for f in &facts[1..] {
+            assert!(!f.dimensions.is_empty());
+            assert!(f.text.contains("than typical for"));
+        }
+    }
+
+    #[test]
+    fn prior_outcomes_yield_no_structured_facts() {
+        use voxolap_core::prior::PriorGreedy;
+        let table = FlightsConfig { rows: 2_000, seed: 42 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        let mut voice = InstantVoice::default();
+        let outcome = PriorGreedy.vocalize(&table, &q, &mut voice);
+        assert!(extract_facts(&outcome, &q, table.schema()).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! The simulated listener.
+//!
+//! A listener hears a speech and forms per-aggregate value estimates. The
+//! *model-following* listener reports the belief mean `M(a, t)` (paper
+//! §3.4) perturbed by multiplicative noise — the paper's estimation study
+//! shows most workers land within ~1 % of the belief mean (Table 6, users
+//! 2–7). The *misunderstanding* listener reproduces the paper's observed
+//! outlier mode: interpreting "values increase **by** P percent" as
+//! "values increase **to** P percent", which produced the 27–56 % errors
+//! of users 1 and 8.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use voxolap_belief::normal::Normal;
+use voxolap_data::schema::{MeasureUnit, Schema};
+use voxolap_engine::query::Query;
+use voxolap_speech::ast::Speech;
+use voxolap_speech::parse::{parse_body, SpeechParseError};
+use voxolap_speech::scope::{CompiledSpeech, RefinementScope};
+
+/// Listener behaviour configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ListenerConfig {
+    /// Relative standard deviation of the estimate noise (0.05 = ±5 %).
+    pub noise_rel: f64,
+    /// Whether this listener misreads "increase by" as "increase to".
+    pub misunderstands: bool,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig { noise_rel: 0.05, misunderstands: false }
+    }
+}
+
+/// A simulated listener with a private RNG.
+#[derive(Debug, Clone)]
+pub struct SimulatedListener {
+    config: ListenerConfig,
+    seed: u64,
+}
+
+impl SimulatedListener {
+    /// Create a listener; `seed` individualizes its noise.
+    pub fn new(config: ListenerConfig, seed: u64) -> Self {
+        SimulatedListener { config, seed }
+    }
+
+    /// Like [`SimulatedListener::estimate_fields`], but from the **text**
+    /// the listener actually hears — the honest information boundary: the
+    /// spoken body is parsed back into a speech first, so any information
+    /// lost in verbalization (one-significant-digit rounding, range
+    /// midpoints) is lost for the listener too.
+    pub fn estimate_fields_from_text(
+        &self,
+        body_text: &str,
+        query: &Query,
+        schema: &Schema,
+    ) -> Result<Vec<f64>, SpeechParseError> {
+        let speech = parse_body(body_text, schema, query)?;
+        Ok(self.estimate_fields(&speech, query, schema))
+    }
+
+    /// The listener's estimates for every result field after hearing
+    /// `speech`, in aggregate-layout order.
+    pub fn estimate_fields(&self, speech: &Speech, query: &Query, schema: &Schema) -> Vec<f64> {
+        let layout = query.layout();
+        let compiled = CompiledSpeech::compile(speech, layout, schema);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let noise = Normal::new(1.0, self.config.noise_rel.max(f64::MIN_POSITIVE));
+
+        // Misunderstanders replace in-scope means with the literal spoken
+        // percentage ("increase to P percent").
+        let mis_scopes: Vec<(RefinementScope, f64)> = if self.config.misunderstands {
+            speech
+                .refinements
+                .iter()
+                .map(|r| {
+                    let literal = match schema.measure(query.measure()).unit {
+                        MeasureUnit::Fraction => r.change.percent as f64 / 100.0,
+                        _ => r.change.percent as f64,
+                    };
+                    (RefinementScope::compile(r, layout, schema), literal)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        (0..layout.n_aggregates() as u32)
+            .map(|agg| {
+                let mut mean = compiled.mean_for(agg, layout);
+                let coords = layout.coords_of_agg(agg);
+                for (scope, literal) in &mis_scopes {
+                    if scope.contains_coords(&coords) {
+                        mean = *literal;
+                    }
+                }
+                mean * noise.sample(&mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::flights::FlightsConfig;
+    use voxolap_data::DimId;
+    use voxolap_engine::query::AggFct;
+    use voxolap_speech::ast::{Baseline, Change, Direction, Predicate, Refinement};
+
+    fn flights_setup() -> (voxolap_data::Table, Query) {
+        let table = FlightsConfig { rows: 2_000, seed: 42 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    fn winter_speech(schema: &Schema) -> Speech {
+        let winter = schema.dimension(DimId(1)).member_by_phrase("Winter").unwrap();
+        Speech {
+            baseline: Baseline::point(0.02),
+            refinements: vec![Refinement {
+                predicates: vec![Predicate { dim: DimId(1), member: winter }],
+                change: Change { direction: Direction::Increase, percent: 100 },
+            }],
+        }
+    }
+
+    #[test]
+    fn follower_tracks_belief_means() {
+        let (table, q) = flights_setup();
+        let schema = table.schema();
+        let speech = winter_speech(schema);
+        let listener = SimulatedListener::new(
+            ListenerConfig { noise_rel: 0.01, misunderstands: false },
+            7,
+        );
+        let estimates = listener.estimate_fields(&speech, &q, schema);
+        let compiled = CompiledSpeech::compile(&speech, q.layout(), schema);
+        assert_eq!(estimates.len(), 20);
+        for (agg, &e) in estimates.iter().enumerate() {
+            let m = compiled.mean_for(agg as u32, q.layout());
+            assert!((e - m).abs() < m.abs() * 0.06 + 1e-6, "agg {agg}: {e} vs mean {m}");
+        }
+    }
+
+    #[test]
+    fn misunderstander_jumps_to_literal_percent() {
+        let (table, q) = flights_setup();
+        let schema = table.schema();
+        let speech = winter_speech(schema);
+        let listener = SimulatedListener::new(
+            ListenerConfig { noise_rel: 0.01, misunderstands: true },
+            9,
+        );
+        let estimates = listener.estimate_fields(&speech, &q, schema);
+        // Winter aggregates are read as "increase TO 100%" = 1.0.
+        let winter = schema.dimension(DimId(1)).member_by_phrase("Winter").unwrap();
+        let winter_coord = q.layout().coords(DimId(1)).iter().position(|&m| m == winter).unwrap();
+        for agg in 0..q.n_aggregates() as u32 {
+            let coords = q.layout().coords_of_agg(agg);
+            if coords[1] as usize == winter_coord {
+                assert!((estimates[agg as usize] - 1.0).abs() < 0.05, "{}", estimates[agg as usize]);
+            } else {
+                assert!(estimates[agg as usize] < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn text_listener_hears_only_what_was_spoken() {
+        use voxolap_speech::render::Renderer;
+        let (table, q) = flights_setup();
+        let schema = table.schema();
+        // A baseline of 0.0237 is *spoken* as "around two point four
+        // percent": the text listener's estimates center on the spoken
+        // value, not the internal one.
+        let speech = Speech::baseline_only(0.0237);
+        let renderer = Renderer::new(schema, &q);
+        let body = renderer.body_text(&speech);
+        let listener = SimulatedListener::new(
+            ListenerConfig { noise_rel: 0.001, misunderstands: false },
+            3,
+        );
+        let from_text = listener.estimate_fields_from_text(&body, &q, schema).unwrap();
+        for e in &from_text {
+            assert!((e - 0.024).abs() < 0.001, "heard 2.4 percent, estimated {e}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_noise() {
+        let (table, q) = flights_setup();
+        let schema = table.schema();
+        let speech = winter_speech(schema);
+        let a = SimulatedListener::new(ListenerConfig::default(), 1)
+            .estimate_fields(&speech, &q, schema);
+        let b = SimulatedListener::new(ListenerConfig::default(), 2)
+            .estimate_fields(&speech, &q, schema);
+        assert_ne!(a, b);
+        // Same seed reproduces exactly.
+        let a2 = SimulatedListener::new(ListenerConfig::default(), 1)
+            .estimate_fields(&speech, &q, schema);
+        assert_eq!(a, a2);
+    }
+}

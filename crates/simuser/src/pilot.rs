@@ -1,0 +1,281 @@
+//! The implicit-assumptions pilot study (paper Tables 2 and 10).
+//!
+//! The paper asked 20 AMT workers a battery of nine questions testing
+//! whether listeners fill information gaps with symmetric, unimodal,
+//! maximum-entropy-uniform, normal-like distributions and how they compose
+//! overlapping claims. We reproduce the study with simulated workers: a
+//! *model-following* worker answers each question the way the paper's
+//! belief model prescribes (the answer marked consistent below); per
+//! question, a calibrated fraction of workers deviates and answers among
+//! the remaining options uniformly. The calibration uses the paper's
+//! observed per-question consistency rates, so running the harness
+//! regenerates Table 10's reply distribution (up to sampling noise) and
+//! Table 2's per-aspect summary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One pilot-study question.
+#[derive(Debug, Clone, Serialize)]
+pub struct PilotQuestion {
+    /// The model aspect under test (Table 2 row).
+    pub aspect: &'static str,
+    /// The question text (abridged from Table 10).
+    pub question: &'static str,
+    /// Three answer options.
+    pub answers: [&'static str; 3],
+    /// Which options are consistent with the belief model.
+    pub consistent: [bool; 3],
+    /// Fraction of workers expected to answer consistently
+    /// (calibrated from the paper's observed counts).
+    pub p_consistent: f64,
+}
+
+/// The paper's question battery (Table 10), with consistency flags derived
+/// from the belief model:
+///
+/// * symmetry → "about half less, half more";
+/// * concentration → closer ranges are more likely;
+/// * variance → with σ = µ/2, `P(X > 1.5µ) = 1 − Φ(1) ≈ 16 %`, so both
+///   "0–20 %" and "20–40 %" are consistent with σ ≤ µ;
+/// * uniformity (MEP) → "about the same";
+/// * composition → claims compose (multiplicatively for the literal
+///   reading: 2× · 2× = 4×, 0.5× · 2× = same as average).
+pub fn questions() -> Vec<PilotQuestion> {
+    vec![
+        PilotQuestion {
+            aspect: "Symmetry",
+            question: "Assume the typical salary is $10. Which option seems most likely?",
+            answers: [
+                "Most people get more than $10",
+                "About half get less and half get more",
+                "Most people get less than $10",
+            ],
+            consistent: [false, true, false],
+            p_consistent: 0.75, // paper: 15/20
+        },
+        PilotQuestion {
+            aspect: "Concentration",
+            question: "Typical salary $10: is $10-15 or $15-20 more likely?",
+            answers: [
+                "$10 to $15 is more likely",
+                "Equally likely",
+                "$15 to $20 is more likely",
+            ],
+            consistent: [true, false, false],
+            p_consistent: 0.75, // paper: 15/20
+        },
+        PilotQuestion {
+            aspect: "Concentration",
+            question: "Typical salary $10: is $5-10 or $1-5 more likely?",
+            answers: [
+                "$5 to $10 is more likely",
+                "Equally likely",
+                "$1 to $5 is more likely",
+            ],
+            consistent: [true, false, false],
+            p_consistent: 0.65, // paper: 13/20
+        },
+        PilotQuestion {
+            aspect: "Variance",
+            question: "Typical salary $10: which percentage is paid more than $15?",
+            answers: ["Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%"],
+            consistent: [true, true, false],
+            p_consistent: 0.95, // paper: 19/20 in the first two options
+        },
+        PilotQuestion {
+            aspect: "Variance",
+            question: "Typical salary $10: which percentage is paid less than $5?",
+            answers: ["Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%"],
+            consistent: [true, true, false],
+            p_consistent: 1.0, // paper: 20/20
+        },
+        PilotQuestion {
+            aspect: "Variance",
+            question: "Typical salary $100: which percentage is paid more than $150?",
+            answers: ["Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%"],
+            consistent: [true, true, false],
+            p_consistent: 0.9, // paper: 18/20
+        },
+        PilotQuestion {
+            aspect: "Variance",
+            question: "Typical salary $100: which percentage is paid less than $50?",
+            answers: ["Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%"],
+            consistent: [true, true, false],
+            p_consistent: 0.85, // paper: 17/20
+        },
+        PilotQuestion {
+            aspect: "Uniformity",
+            question: "Average salary over cities A and B is $10. What do you assume?",
+            answers: [
+                "The salary in city A is higher",
+                "About the same in both cities",
+                "The salary in city B is higher",
+            ],
+            consistent: [false, true, false],
+            p_consistent: 0.75, // paper: 15/20
+        },
+        PilotQuestion {
+            aspect: "Composition",
+            question: "Salary doubles for profession A and doubles in city B. Estimate for both?",
+            answers: ["Same as average", "Two times higher", "Four times higher"],
+            consistent: [false, false, true],
+            p_consistent: 0.35, // paper: 7/20
+        },
+        PilotQuestion {
+            aspect: "Composition",
+            question: "Salary halves for profession A, doubles in city B. Estimate for both?",
+            answers: ["Same as average", "Two times higher", "Four times higher"],
+            consistent: [true, false, false],
+            p_consistent: 0.7, // paper: 14/20
+        },
+    ]
+}
+
+/// Pilot-study configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PilotStudy {
+    /// Number of simulated workers (paper: 20).
+    pub n_workers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PilotStudy {
+    fn default() -> Self {
+        PilotStudy { n_workers: 20, seed: 42 }
+    }
+}
+
+/// Study output: per-question reply counts (Table 10) and per-aspect
+/// consistency summary (Table 2).
+#[derive(Debug, Clone, Serialize)]
+pub struct PilotResult {
+    /// For each question, the number of workers picking each option.
+    pub replies: Vec<[usize; 3]>,
+    /// Per aspect: (aspect, consistent answers, inconsistent answers).
+    pub per_aspect: Vec<(String, usize, usize)>,
+}
+
+impl PilotStudy {
+    /// Run the study.
+    pub fn run(&self) -> PilotResult {
+        let qs = questions();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut replies = vec![[0usize; 3]; qs.len()];
+        for (qi, q) in qs.iter().enumerate() {
+            let consistent_opts: Vec<usize> =
+                (0..3).filter(|&i| q.consistent[i]).collect();
+            let inconsistent_opts: Vec<usize> =
+                (0..3).filter(|&i| !q.consistent[i]).collect();
+            for _ in 0..self.n_workers {
+                let follows = rng.gen::<f64>() < q.p_consistent;
+                let pick = if follows || inconsistent_opts.is_empty() {
+                    // Model followers prefer the first consistent option
+                    // strongly (the model's point prediction).
+                    if consistent_opts.len() > 1 && rng.gen::<f64>() < 0.4 {
+                        consistent_opts[1]
+                    } else {
+                        consistent_opts[0]
+                    }
+                } else {
+                    inconsistent_opts[rng.gen_range(0..inconsistent_opts.len())]
+                };
+                replies[qi][pick] += 1;
+            }
+        }
+
+        // Aggregate per aspect.
+        let mut per_aspect: Vec<(String, usize, usize)> = Vec::new();
+        for (qi, q) in qs.iter().enumerate() {
+            let consistent: usize =
+                (0..3).filter(|&i| q.consistent[i]).map(|i| replies[qi][i]).sum();
+            let inconsistent = self.n_workers - consistent;
+            match per_aspect.iter_mut().find(|(a, _, _)| a == q.aspect) {
+                Some((_, c, i)) => {
+                    *c += consistent;
+                    *i += inconsistent;
+                }
+                None => per_aspect.push((q.aspect.to_string(), consistent, inconsistent)),
+            }
+        }
+        PilotResult { replies, per_aspect }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_matches_paper_structure() {
+        let qs = questions();
+        assert_eq!(qs.len(), 10, "Table 10 has ten questions");
+        let aspects: Vec<&str> = {
+            let mut seen = Vec::new();
+            for q in &qs {
+                if !seen.contains(&q.aspect) {
+                    seen.push(q.aspect);
+                }
+            }
+            seen
+        };
+        assert_eq!(
+            aspects,
+            vec!["Symmetry", "Concentration", "Variance", "Uniformity", "Composition"]
+        );
+    }
+
+    #[test]
+    fn every_worker_answers_every_question() {
+        let r = PilotStudy::default().run();
+        for counts in &r.replies {
+            assert_eq!(counts.iter().sum::<usize>(), 20);
+        }
+    }
+
+    #[test]
+    fn majorities_support_hypotheses() {
+        // Table 2's headline: the majority of answers supports each
+        // hypothesis.
+        let r = PilotStudy::default().run();
+        for (aspect, consistent, inconsistent) in &r.per_aspect {
+            assert!(
+                consistent > inconsistent,
+                "{aspect}: {consistent} consistent vs {inconsistent}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_calibrated_to_paper_magnitudes() {
+        let r = PilotStudy::default().run();
+        let get = |aspect: &str| {
+            r.per_aspect.iter().find(|(a, _, _)| a == aspect).map(|(_, c, i)| (*c, *i)).unwrap()
+        };
+        // Paper Table 2: Symmetry 15/5, Concentration 28/12,
+        // Normal variance 74/6, Uniformity 15/5, Composition 21/19.
+        let (c, i) = get("Symmetry");
+        assert_eq!(c + i, 20);
+        assert!((c as i64 - 15).unsigned_abs() <= 4, "symmetry {c}/{i}");
+        let (c, i) = get("Concentration");
+        assert_eq!(c + i, 40);
+        assert!((c as i64 - 28).unsigned_abs() <= 7, "concentration {c}/{i}");
+        let (c, i) = get("Variance");
+        assert_eq!(c + i, 80);
+        assert!((c as i64 - 74).unsigned_abs() <= 8, "variance {c}/{i}");
+        let (c, i) = get("Composition");
+        assert_eq!(c + i, 40);
+        assert!((c as i64 - 21).unsigned_abs() <= 8, "composition {c}/{i}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = PilotStudy { n_workers: 20, seed: 5 }.run();
+        let b = PilotStudy { n_workers: 20, seed: 5 }.run();
+        assert_eq!(a.replies, b.replies);
+        let c = PilotStudy { n_workers: 20, seed: 6 }.run();
+        assert_ne!(a.replies, c.replies);
+    }
+}

@@ -1,0 +1,349 @@
+//! The exploratory preference study (paper Tables 8 and 9).
+//!
+//! The paper had 40 crowd workers (20 per dataset) analyze data through a
+//! web interface that could switch between the prior vocalization method
+//! and this paper's, then asked for a five-point preference and measured
+//! the speech lengths each method generated during the sessions.
+//!
+//! We reproduce the study with scripted sessions: each simulated worker
+//! issues a pseudo-random walk of keyword commands (drill down, roll up,
+//! filters — through the same parser real users would exercise), every
+//! resulting query is vocalized by **both** methods, and lengths are
+//! logged. Preferences follow the paper's observed driver — "many users
+//! based their preferences on speech length" — via a per-user weighting of
+//! the log length ratio, which regenerates Table 8's shape: a majority for
+//! this approach, stronger on the higher-dimensional flights dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use voxolap_belief::normal::Normal;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::prior::PriorGreedy;
+use voxolap_core::voice::InstantVoice;
+use voxolap_data::flights::FlightsConfig;
+use voxolap_data::salary::SalaryConfig;
+use voxolap_data::Table;
+use voxolap_voice::session::Session;
+
+/// Configuration of the preference study.
+#[derive(Debug, Clone, Copy)]
+pub struct PreferenceStudy {
+    /// Sessions (workers) per dataset (paper: 20).
+    pub sessions_per_dataset: usize,
+    /// Minimum and maximum commands issued per session.
+    pub commands_per_session: (usize, usize),
+    /// Rows of the generated flights dataset (full scale is slow in
+    /// debug-mode tests; experiments use larger values).
+    pub flights_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PreferenceStudy {
+    fn default() -> Self {
+        PreferenceStudy {
+            sessions_per_dataset: 20,
+            commands_per_session: (5, 12),
+            flights_rows: 30_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Length statistics of one method over one dataset (Table 9 row).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MethodLengths {
+    /// Average speech length in characters.
+    pub avg: f64,
+    /// Maximum speech length in characters.
+    pub max: usize,
+}
+
+/// Input-method preference counts across all workers (paper §5.2:
+/// "about one quarter of users (nine out of 40) preferred keyboard input
+/// over voice input", citing missing microphones, noisy environments,
+/// and recognition errors).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct InputPreference {
+    /// Workers preferring voice input.
+    pub voice: usize,
+    /// Workers preferring keyboard input.
+    pub keyboard: usize,
+}
+
+/// Study outcome for one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetOutcome {
+    /// Dataset name.
+    pub dataset: String,
+    /// Preference counts: `[Prior++, Prior+, Neutral, This+, This++]`.
+    pub counts: [usize; 5],
+    /// Length statistics of this paper's approach.
+    pub this_len: MethodLengths,
+    /// Length statistics of the prior approach.
+    pub prior_len: MethodLengths,
+    /// Total queries vocalized across sessions.
+    pub queries: usize,
+}
+
+/// Full study output.
+#[derive(Debug, Clone, Serialize)]
+pub struct PreferenceResult {
+    /// One outcome per dataset (salary first, as in Table 8).
+    pub datasets: Vec<DatasetOutcome>,
+    /// Input-method preferences across all workers.
+    pub input: InputPreference,
+}
+
+/// Command vocabulary per dataset: the walks workers take.
+fn command_pool(dataset: &str) -> Vec<&'static str> {
+    match dataset {
+        "salary" => vec![
+            "break down by region",
+            "break down by rough start salary",
+            "drill down into the college location",
+            "by precise start salary",
+            "at least 50 K",
+            "less than 50 K",
+            "clear filters",
+            "roll up the college location",
+            "the midwest",
+            "the north east",
+        ],
+        _ => vec![
+            "break down by region",
+            "break down by season",
+            "by month",
+            "drill down into the start airport",
+            "break down by airline",
+            "winter",
+            "summer",
+            "the north east",
+            "clear filters",
+            "roll up the start airport",
+            "roll up the flight date",
+            "texas",
+        ],
+    }
+}
+
+/// Study-scale holistic configuration: small per-sentence budgets keep 400+
+/// vocalizations tractable while preserving planner behaviour.
+fn study_holistic(seed: u64) -> Holistic {
+    Holistic::new(HolisticConfig {
+        min_samples_per_sentence: 48,
+        warmup_rows: 120,
+        max_tree_nodes: 20_000,
+        seed,
+        ..HolisticConfig::default()
+    })
+}
+
+impl PreferenceStudy {
+    /// Run the study over both datasets.
+    pub fn run(&self) -> PreferenceResult {
+        let salary = SalaryConfig::paper_scale().generate();
+        let flights = FlightsConfig { rows: self.flights_rows, seed: 42 }.generate();
+        PreferenceResult {
+            datasets: vec![
+                self.run_dataset("salary", &salary),
+                self.run_dataset("flights", &flights),
+            ],
+            input: self.input_preferences(),
+        }
+    }
+
+    /// Simulate input-method preferences: a worker prefers keyboard when
+    /// they lack a microphone, sit in a noisy environment, or experience
+    /// speech-recognition failures — the reasons the paper's workers
+    /// actually cited. Calibrated so ≈ one quarter prefer keyboard.
+    pub fn input_preferences(&self) -> InputPreference {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x17u64);
+        let mut out = InputPreference::default();
+        for _ in 0..(2 * self.sessions_per_dataset) {
+            let no_microphone = rng.gen::<f64>() < 0.08;
+            let noisy_environment = rng.gen::<f64>() < 0.10;
+            let recognition_failures = rng.gen::<f64>() < 0.12;
+            if no_microphone || noisy_environment || recognition_failures {
+                out.keyboard += 1;
+            } else {
+                out.voice += 1;
+            }
+        }
+        out
+    }
+
+    /// Run all sessions for one dataset.
+    pub fn run_dataset(&self, name: &str, table: &Table) -> DatasetOutcome {
+        let pool = command_pool(name);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ name.len() as u64);
+        let prior = PriorGreedy;
+
+        let mut this_lens: Vec<usize> = Vec::new();
+        let mut prior_lens: Vec<usize> = Vec::new();
+        let mut counts = [0usize; 5];
+        let mut queries = 0usize;
+
+        for s in 0..self.sessions_per_dataset {
+            let holistic = study_holistic(self.seed.wrapping_add(s as u64));
+            let mut session = Session::new(table);
+            let n_cmds =
+                rng.gen_range(self.commands_per_session.0..=self.commands_per_session.1);
+            let mut session_this = Vec::new();
+            let mut session_prior = Vec::new();
+            for _ in 0..n_cmds {
+                let cmd = pool[rng.gen_range(0..pool.len())];
+                if session.input(cmd).is_err() {
+                    continue;
+                }
+                let mut voice = InstantVoice::default();
+                let Ok(this_outcome) = session.vocalize_with(&holistic, &mut voice) else {
+                    continue;
+                };
+                let mut voice = InstantVoice::default();
+                let Ok(prior_outcome) = session.vocalize_with(&prior, &mut voice) else {
+                    continue;
+                };
+                session_this.push(this_outcome.body_len());
+                session_prior.push(prior_outcome.body_len());
+                queries += 1;
+            }
+            if session_this.is_empty() {
+                continue;
+            }
+            // Preference model: log length ratio weighted per user.
+            let avg_this: f64 =
+                session_this.iter().sum::<usize>() as f64 / session_this.len() as f64;
+            let avg_prior: f64 =
+                session_prior.iter().sum::<usize>() as f64 / session_prior.len() as f64;
+            let ratio = (avg_prior / avg_this.max(1.0)).max(1e-6);
+            let weight = Normal::new(0.6, 0.35).sample(&mut rng);
+            let bias = Normal::new(0.0, 0.35).sample(&mut rng);
+            let score = ratio.ln() * weight + bias;
+            let bucket = if score < -0.65 {
+                0 // Prior++
+            } else if score < -0.2 {
+                1 // Prior+
+            } else if score < 0.25 {
+                2 // Neutral
+            } else if score < 0.8 {
+                3 // This+
+            } else {
+                4 // This++
+            };
+            counts[bucket] += 1;
+            this_lens.extend(session_this);
+            prior_lens.extend(session_prior);
+        }
+
+        let stats = |lens: &[usize]| MethodLengths {
+            avg: if lens.is_empty() {
+                0.0
+            } else {
+                lens.iter().sum::<usize>() as f64 / lens.len() as f64
+            },
+            max: lens.iter().copied().max().unwrap_or(0),
+        };
+        DatasetOutcome {
+            dataset: name.to_string(),
+            counts,
+            this_len: stats(&this_lens),
+            prior_len: stats(&prior_lens),
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_study() -> PreferenceStudy {
+        PreferenceStudy {
+            sessions_per_dataset: 6,
+            commands_per_session: (3, 5),
+            flights_rows: 4_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn this_approach_is_shorter_on_both_datasets() {
+        let result = small_study().run();
+        for d in &result.datasets {
+            assert!(
+                d.prior_len.avg > d.this_len.avg,
+                "{}: prior avg {} > this avg {}",
+                d.dataset,
+                d.prior_len.avg,
+                d.this_len.avg
+            );
+            assert!(d.prior_len.max >= d.this_len.max, "{}", d.dataset);
+            assert!(d.queries > 0);
+        }
+    }
+
+    #[test]
+    fn length_gap_is_larger_for_flights() {
+        // Table 9: the difference "is more pronounced for the flights data
+        // set" because it has more dimensions.
+        let result = small_study().run();
+        let salary = &result.datasets[0];
+        let flights = &result.datasets[1];
+        let salary_ratio = salary.prior_len.avg / salary.this_len.avg;
+        let flights_ratio = flights.prior_len.avg / flights.this_len.avg;
+        assert!(
+            flights_ratio > salary_ratio,
+            "flights ratio {flights_ratio:.2} > salary ratio {salary_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn majority_prefers_this_approach() {
+        let result = small_study().run();
+        for d in &result.datasets {
+            let prior_side = d.counts[0] + d.counts[1];
+            let this_side = d.counts[3] + d.counts[4];
+            assert!(
+                this_side >= prior_side,
+                "{}: this {this_side} vs prior {prior_side}",
+                d.dataset
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_sum_to_preference_counts() {
+        let study = small_study();
+        let result = study.run();
+        for d in &result.datasets {
+            let total: usize = d.counts.iter().sum();
+            assert!(total <= study.sessions_per_dataset);
+            assert!(total > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small_study().run();
+        let b = small_study().run();
+        assert_eq!(a.datasets[0].counts, b.datasets[0].counts);
+        assert_eq!(a.datasets[1].this_len.max, b.datasets[1].this_len.max);
+        assert_eq!(a.input.keyboard, b.input.keyboard);
+    }
+
+    #[test]
+    fn about_a_quarter_prefer_keyboard() {
+        // Paper §5.2: nine of 40 workers preferred keyboard input.
+        let study = PreferenceStudy::default();
+        let input = study.input_preferences();
+        assert_eq!(input.voice + input.keyboard, 40);
+        assert!(
+            (4..=16).contains(&input.keyboard),
+            "keyboard preference near one quarter: {}",
+            input.keyboard
+        );
+    }
+}

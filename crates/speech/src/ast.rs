@@ -1,0 +1,215 @@
+//! Speech abstract syntax (paper Figure 1).
+//!
+//! ```text
+//! <Speech>     ::= <Pr> <B> <R>*
+//! <Pr>         ::= Considering <P> (, <P>)* and <P>.
+//!                  [Results are broken down by <L> (, <L>)* and <L>.]
+//! <B>          ::= <V> is the <A>.
+//! <R>          ::= Values <C> for <P> (, <P>)* and <P>.
+//! <C>          ::= (increase|decrease) by <Q>
+//! <P>          ::= <Dc> <M>
+//! ```
+//!
+//! The preamble is derived from the query and carries no free choices, so
+//! the AST holds only the baseline and the refinements. Changes are
+//! *relative* (a percentage of a reference value), which is what makes
+//! speeches extensible without contradiction (paper Example 3.2).
+
+use serde::{Deserialize, Serialize};
+
+use voxolap_data::dimension::MemberId;
+use voxolap_data::schema::DimId;
+
+/// Direction of a change descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Values increase relative to the reference.
+    Increase,
+    /// Values decrease relative to the reference.
+    Decrease,
+}
+
+/// Relative change descriptor (`<C>` with quantifier `<Q>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Change {
+    /// Increase or decrease.
+    pub direction: Direction,
+    /// Quantifier, in percent of the reference value.
+    pub percent: u32,
+}
+
+impl Change {
+    /// Signed multiplicative factor: `1 + percent/100` for increases,
+    /// `1 - percent/100` for decreases.
+    pub fn factor(&self) -> f64 {
+        let p = self.percent as f64 / 100.0;
+        match self.direction {
+            Direction::Increase => 1.0 + p,
+            Direction::Decrease => 1.0 - p,
+        }
+    }
+
+    /// Additive delta relative to `reference`.
+    pub fn delta(&self, reference: f64) -> f64 {
+        reference * (self.factor() - 1.0)
+    }
+}
+
+/// A predicate fixing one dimension to a member (`<P> ::= <Dc> <M>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The restricted dimension.
+    pub dim: DimId,
+    /// The member the dimension is fixed to (at or above grouping level).
+    pub member: MemberId,
+}
+
+/// The baseline statement (`<B>`): the only absolute claim in a speech.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// The claimed typical aggregate value (raw units of the measure).
+    /// For range baselines this is the range midpoint — the value the
+    /// belief semantics anchor on.
+    pub value: f64,
+    /// Optional spoken range (paper Table 13: "Five to ten percent is the
+    /// average cancellation probability"). Affects rendering only; belief
+    /// semantics use `value`.
+    pub spoken_range: Option<(f64, f64)>,
+}
+
+impl Baseline {
+    /// A point baseline.
+    pub fn point(value: f64) -> Self {
+        Baseline { value, spoken_range: None }
+    }
+
+    /// A range baseline anchored on the midpoint.
+    pub fn range(lo: f64, hi: f64) -> Self {
+        Baseline { value: (lo + hi) / 2.0, spoken_range: Some((lo, hi)) }
+    }
+}
+
+/// A refinement statement (`<R>`): predicates define its scope, the change
+/// descriptor its effect relative to the baseline or the last subsuming
+/// refinement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// Scope predicates (non-empty; at most one per dimension).
+    pub predicates: Vec<Predicate>,
+    /// The relative change.
+    pub change: Change,
+}
+
+impl Refinement {
+    /// `true` iff this refinement's scope subsumes `other`'s — i.e. every
+    /// predicate of `self` is implied by `other`'s predicates, checked with
+    /// the given ancestor test. A dimension without predicate is implicitly
+    /// the root (all rows), which subsumes everything.
+    pub fn subsumes(
+        &self,
+        other: &Refinement,
+        is_ancestor_or_self: impl Fn(DimId, MemberId, MemberId) -> bool,
+    ) -> bool {
+        self.predicates.iter().all(|p| {
+            other
+                .predicates
+                .iter()
+                .find(|q| q.dim == p.dim)
+                .is_some_and(|q| is_ancestor_or_self(p.dim, p.member, q.member))
+        })
+    }
+}
+
+/// A full speech: baseline plus refinements. The preamble is derived from
+/// the query at rendering time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Speech {
+    /// The baseline statement.
+    pub baseline: Baseline,
+    /// Refinements, in speaking order.
+    pub refinements: Vec<Refinement>,
+}
+
+impl Speech {
+    /// A speech consisting of only a (point) baseline.
+    pub fn baseline_only(value: f64) -> Self {
+        Speech { baseline: Baseline::point(value), refinements: Vec::new() }
+    }
+
+    /// Extend with one more refinement (returns a new speech — prefixes are
+    /// shared freely in the search tree).
+    pub fn with_refinement(&self, r: Refinement) -> Self {
+        let mut s = self.clone();
+        s.refinements.push(r);
+        s
+    }
+
+    /// Number of speech fragments: the baseline plus each refinement.
+    pub fn fragment_count(&self) -> usize {
+        1 + self.refinements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(dim: u8, member: u32) -> Predicate {
+        Predicate { dim: DimId(dim), member: MemberId(member) }
+    }
+
+    #[test]
+    fn change_factor_and_delta() {
+        let up = Change { direction: Direction::Increase, percent: 50 };
+        assert!((up.factor() - 1.5).abs() < 1e-12);
+        assert!((up.delta(80.0) - 40.0).abs() < 1e-12);
+        let down = Change { direction: Direction::Decrease, percent: 25 };
+        assert!((down.factor() - 0.75).abs() < 1e-12);
+        assert!((down.delta(100.0) + 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_refinement_is_persistent() {
+        let base = Speech::baseline_only(80.0);
+        let r = Refinement {
+            predicates: vec![p(0, 1)],
+            change: Change { direction: Direction::Increase, percent: 5 },
+        };
+        let extended = base.with_refinement(r);
+        assert_eq!(base.fragment_count(), 1);
+        assert_eq!(extended.fragment_count(), 2);
+    }
+
+    #[test]
+    fn subsumption_via_ancestor_test() {
+        // Pretend member 1 is an ancestor of member 2 in dim 0.
+        let anc = |_: DimId, a: MemberId, d: MemberId| a == d || (a.0 == 1 && d.0 == 2);
+        let coarse = Refinement {
+            predicates: vec![p(0, 1)],
+            change: Change { direction: Direction::Increase, percent: 10 },
+        };
+        let fine = Refinement {
+            predicates: vec![p(0, 2), p(1, 7)],
+            change: Change { direction: Direction::Increase, percent: 10 },
+        };
+        assert!(coarse.subsumes(&fine, anc), "coarser scope subsumes finer");
+        assert!(!fine.subsumes(&coarse, anc), "finer scope does not subsume coarser");
+        // A refinement subsumes itself.
+        assert!(coarse.subsumes(&coarse, anc));
+    }
+
+    #[test]
+    fn disjoint_dims_do_not_subsume() {
+        let anc = |_: DimId, a: MemberId, d: MemberId| a == d;
+        let on_dim0 = Refinement {
+            predicates: vec![p(0, 1)],
+            change: Change { direction: Direction::Increase, percent: 10 },
+        };
+        let on_dim1 = Refinement {
+            predicates: vec![p(1, 1)],
+            change: Change { direction: Direction::Increase, percent: 10 },
+        };
+        assert!(!on_dim0.subsumes(&on_dim1, anc));
+        assert!(!on_dim1.subsumes(&on_dim0, anc));
+    }
+}

@@ -1,0 +1,353 @@
+//! Candidate enumeration: the speech-generation functions `SG.Preamble`
+//! and `SG.Refinements` that span the planner's search space.
+//!
+//! * **Baseline candidates** come from the one-significant-digit value grid
+//!   around a (cache- or exact-) estimate of the overall aggregate value —
+//!   paper Figure 2 shows sibling baselines "70 K", "80 K", "90 K".
+//! * **Refinement candidates** combine a predicate pool (grouping-level
+//!   members of grouped dimensions plus their coarser ancestors within the
+//!   query scope) with change directions and a quantifier menu. The
+//!   quantifier menu {5, 10, 20, 25, 50, 100, 200} covers the changes seen
+//!   in all of the paper's example speeches.
+//!
+//! The pool size bounds `m`, the branching factor of the search tree; the
+//! paper's complexity results (Theorems A.3/A.4) are stated in terms of it.
+
+use voxolap_data::dimension::{LevelId, MemberId};
+use voxolap_data::schema::{DimId, Schema};
+use voxolap_engine::query::Query;
+
+use crate::ast::{Baseline, Change, Direction, Predicate, Refinement, Speech};
+use crate::verbalize::baseline_grid;
+
+/// Configuration of the candidate space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateConfig {
+    /// Change quantifiers, in percent.
+    pub quantifiers: Vec<u32>,
+    /// Allow "decrease" changes (decreases above 99 % are always excluded —
+    /// aggregate values would go non-positive).
+    pub allow_decrease: bool,
+    /// Maximum predicates per refinement (the paper's examples use one;
+    /// two-predicate refinements pinpoint single aggregates).
+    pub max_predicates: usize,
+    /// Also offer predicates at levels coarser than the grouping level
+    /// (e.g. region-level claims on a by-state breakdown).
+    pub include_coarser_levels: bool,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            quantifiers: vec![5, 10, 20, 25, 50, 100, 200],
+            allow_decrease: true,
+            max_predicates: 1,
+            include_coarser_levels: true,
+        }
+    }
+}
+
+/// Enumerates baseline and refinement candidates for one query.
+#[derive(Debug, Clone)]
+pub struct CandidateGenerator<'a> {
+    schema: &'a Schema,
+    query: &'a Query,
+    config: CandidateConfig,
+    /// Predicate pool, precomputed at construction.
+    pool: Vec<Predicate>,
+}
+
+impl<'a> CandidateGenerator<'a> {
+    /// Build a generator; the predicate pool is resolved eagerly.
+    pub fn new(schema: &'a Schema, query: &'a Query, config: CandidateConfig) -> Self {
+        let pool = predicate_pool(schema, query, &config);
+        CandidateGenerator { schema, query, config, pool }
+    }
+
+    /// The predicate pool (for introspection and size accounting).
+    pub fn pool(&self) -> &[Predicate] {
+        &self.pool
+    }
+
+    /// Baseline candidates around `estimate` (one per grid value).
+    ///
+    /// A zero estimate (e.g. no positive 0/1 measure observed yet) yields
+    /// the single candidate "0"; negative estimates mirror the positive
+    /// grid.
+    pub fn baselines(&self, estimate: f64) -> Vec<Baseline> {
+        if estimate == 0.0 {
+            return vec![Baseline::point(0.0)];
+        }
+        if estimate < 0.0 {
+            return baseline_grid(-estimate)
+                .into_iter()
+                .rev()
+                .map(|value| Baseline::point(-value))
+                .collect();
+        }
+        let grid = baseline_grid(estimate);
+        let mut out: Vec<Baseline> = grid.iter().map(|&v| Baseline::point(v)).collect();
+        // Range baselines over adjacent grid values ("five to ten percent",
+        // paper Table 13) — their belief anchors on the midpoint, trading
+        // precision for honesty about spread.
+        for w in grid.windows(2) {
+            out.push(Baseline::range(w[0], w[1]));
+        }
+        out
+    }
+
+    /// `SG.Refinements(q, t)`: candidate next sentences extending `prefix`.
+    ///
+    /// Refinements whose predicate set already occurs in the prefix are
+    /// excluded (repeating a scope re-states or contradicts the earlier
+    /// claim). Validity against user preferences is checked separately by
+    /// the caller (`SG.IsValid`).
+    pub fn refinements(&self, prefix: &Speech) -> Vec<Refinement> {
+        let mut out = Vec::new();
+        let used: Vec<&[Predicate]> =
+            prefix.refinements.iter().map(|r| r.predicates.as_slice()).collect();
+
+        let push_for_predicates = |predicates: &[Predicate], out: &mut Vec<Refinement>| {
+            if used.contains(&predicates) {
+                return;
+            }
+            for &q in &self.config.quantifiers {
+                out.push(Refinement {
+                    predicates: predicates.to_vec(),
+                    change: Change { direction: Direction::Increase, percent: q },
+                });
+                if self.config.allow_decrease && q < 100 {
+                    out.push(Refinement {
+                        predicates: predicates.to_vec(),
+                        change: Change { direction: Direction::Decrease, percent: q },
+                    });
+                }
+            }
+        };
+
+        for p in &self.pool {
+            push_for_predicates(std::slice::from_ref(p), &mut out);
+        }
+        if self.config.max_predicates >= 2 {
+            for (i, p) in self.pool.iter().enumerate() {
+                for q in &self.pool[i + 1..] {
+                    if p.dim != q.dim {
+                        push_for_predicates(&[*p, *q], &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Upper bound on the branching factor `m` of the search tree.
+    pub fn max_branching(&self) -> usize {
+        let per_predicate = self.config.quantifiers.len() * 2;
+        let single = self.pool.len();
+        let pairs = if self.config.max_predicates >= 2 {
+            single * single.saturating_sub(1) / 2
+        } else {
+            0
+        };
+        (single + pairs) * per_predicate
+    }
+
+    /// The schema this generator renders against.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// The query this generator plans for.
+    pub fn query(&self) -> &Query {
+        self.query
+    }
+}
+
+/// Build the predicate pool: for every grouped dimension, the members at
+/// its grouping level within the query scope, plus (optionally) members at
+/// strictly coarser levels below the scope member.
+fn predicate_pool(schema: &Schema, query: &Query, config: &CandidateConfig) -> Vec<Predicate> {
+    let layout = query.layout();
+    let mut pool = Vec::new();
+    for &(dim, group_level) in query.group_by() {
+        let d = schema.dimension(dim);
+        let scope = layout.scope(dim);
+        let scope_level = d.member(scope).level;
+        let first_level = if config.include_coarser_levels {
+            scope_level.index() + 1
+        } else {
+            group_level.index()
+        };
+        for li in first_level..=group_level.index() {
+            let level = LevelId(li as u8);
+            for m in d.level_members(level) {
+                if d.is_ancestor_or_self(scope, m) {
+                    pool.push(Predicate { dim, member: m });
+                }
+            }
+        }
+    }
+    pool
+}
+
+/// Convenience: the grouping-level coordinate members of one dimension
+/// (exposed for tests and baselines that need the exact aggregate grid).
+pub fn grouping_members(query: &Query, dim: DimId) -> &[MemberId] {
+    query.layout().coords(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::flights::FlightsConfig;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_engine::query::AggFct;
+
+    fn salary_query() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    #[test]
+    fn pool_contains_grouping_level_members() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        // 4 regions + 2 rough salary bins, nothing coarser exists above
+        // level 1 (the scope is the root).
+        assert_eq!(g.pool().len(), 6);
+    }
+
+    #[test]
+    fn pool_includes_coarser_levels_for_deep_groupings() {
+        let table = FlightsConfig { rows: 100, seed: 1 }.generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(2)) // by state
+            .build(table.schema())
+            .unwrap();
+        let with = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let without = CandidateGenerator::new(
+            table.schema(),
+            &q,
+            CandidateConfig { include_coarser_levels: false, ..CandidateConfig::default() },
+        );
+        // 24 states; the coarser pool adds the 5 regions.
+        assert_eq!(without.pool().len(), 24);
+        assert_eq!(with.pool().len(), 29);
+    }
+
+    #[test]
+    fn pool_respects_filter_scope() {
+        let table = FlightsConfig { rows: 100, seed: 1 }.generate();
+        let schema = table.schema();
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        let q = Query::builder(AggFct::Avg)
+            .filter(DimId(0), ne)
+            .group_by(DimId(0), LevelId(2))
+            .build(schema)
+            .unwrap();
+        let g = CandidateGenerator::new(schema, &q, CandidateConfig::default());
+        // Only the 5 NE states; the region level is the scope level itself
+        // so no coarser members are added.
+        assert_eq!(g.pool().len(), 5);
+        let airport = schema.dimension(DimId(0));
+        assert!(g
+            .pool()
+            .iter()
+            .all(|p| airport.is_ancestor_or_self(ne, p.member)));
+    }
+
+    #[test]
+    fn baselines_come_from_value_grid() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let b = g.baselines(88.0);
+        assert!(b.iter().any(|x| x.value == 90.0 && x.spoken_range.is_none()));
+        assert!(b.iter().any(|x| x.value == 80.0 && x.spoken_range.is_none()));
+        assert!(b.len() >= 4);
+    }
+
+    #[test]
+    fn baselines_include_adjacent_ranges() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let b = g.baselines(88.0);
+        let range = b
+            .iter()
+            .find(|x| x.spoken_range == Some((80.0, 90.0)))
+            .expect("80-90 K range candidate exists");
+        assert!((range.value - 85.0).abs() < 1e-9, "anchored on the midpoint");
+    }
+
+    #[test]
+    fn zero_estimate_yields_single_zero_baseline() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let b = g.baselines(0.0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].value, 0.0);
+    }
+
+    #[test]
+    fn refinements_cover_directions_and_quantifiers() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let prefix = Speech::baseline_only(90.0);
+        let refs = g.refinements(&prefix);
+        // 6 predicates x (7 increases + 5 decreases < 100%).
+        assert_eq!(refs.len(), 6 * (7 + 5));
+        assert!(refs.iter().any(|r| r.change.direction == Direction::Decrease));
+        // No decrease by >= 100%.
+        assert!(refs
+            .iter()
+            .all(|r| r.change.direction == Direction::Increase || r.change.percent < 100));
+    }
+
+    #[test]
+    fn used_predicates_are_not_reoffered() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let prefix = Speech::baseline_only(90.0);
+        let all = g.refinements(&prefix);
+        let extended = prefix.with_refinement(all[0].clone());
+        let rest = g.refinements(&extended);
+        assert!(rest.iter().all(|r| r.predicates != all[0].predicates));
+        assert!(rest.len() < all.len());
+    }
+
+    #[test]
+    fn two_predicate_refinements_span_dimension_pairs() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(
+            table.schema(),
+            &q,
+            CandidateConfig { max_predicates: 2, ..CandidateConfig::default() },
+        );
+        let refs = g.refinements(&Speech::baseline_only(90.0));
+        let pairs: Vec<_> = refs.iter().filter(|r| r.predicates.len() == 2).collect();
+        // 4 regions x 2 bins = 8 cross-dimension pairs, each with 12
+        // change variants.
+        assert_eq!(pairs.len(), 8 * 12);
+        assert!(pairs.iter().all(|r| r.predicates[0].dim != r.predicates[1].dim));
+    }
+
+    #[test]
+    fn max_branching_bounds_actual_candidates() {
+        let (table, q) = salary_query();
+        let g = CandidateGenerator::new(table.schema(), &q, CandidateConfig::default());
+        let refs = g.refinements(&Speech::baseline_only(90.0));
+        assert!(refs.len() <= g.max_branching());
+    }
+
+    #[test]
+    fn grouping_members_exposes_coords() {
+        let (_table, q) = salary_query();
+        assert_eq!(grouping_members(&q, DimId(0)).len(), 4);
+        assert_eq!(grouping_members(&q, DimId(1)).len(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Compilation of speeches against a query's result layout.
+//!
+//! A [`CompiledSpeech`] resolves, once per speech:
+//!
+//! * each refinement's **scope** — the set of result aggregates its
+//!   predicates cover, stored as per-dimension coordinate masks so that a
+//!   membership test costs `O(#dimensions)`;
+//! * each refinement's **additive delta** Δ — the paper's semantics make
+//!   changes relative "either to the baseline value or to the last
+//!   refinement whose scope subsumes the current one" (§3.2), so the
+//!   reference value chains through subsuming refinements;
+//! * the belief **mean** `M(a, t)` for any aggregate `a` (paper §3.4):
+//!   the baseline sets all means, an in-scope refinement adds Δ, and
+//!   out-of-scope aggregates absorb `−m·Δ/(n−m)` to keep the overall
+//!   average consistent with the baseline (Theorem A.1).
+//!
+//! Computing the mean for a *single* aggregate costs `O(k)` in the number
+//! of fragments (Lemma A.2) — the planner never instantiates the full
+//! belief model during sampling.
+
+use voxolap_data::schema::Schema;
+use voxolap_engine::query::{AggIdx, ResultLayout};
+
+use crate::ast::{Refinement, Speech};
+
+/// The aggregate scope of one refinement, as per-dimension coordinate masks.
+#[derive(Debug, Clone)]
+pub struct RefinementScope {
+    /// `masks[d]` is `None` when dimension `d` is unrestricted, else a
+    /// boolean mask over that dimension's coordinates.
+    masks: Vec<Option<Vec<bool>>>,
+    /// Number of aggregates in scope (`m` in the paper's formulas).
+    size: usize,
+}
+
+impl RefinementScope {
+    /// Resolve a refinement's predicates against a layout.
+    pub fn compile(r: &Refinement, layout: &ResultLayout, schema: &Schema) -> Self {
+        let n_dims = schema.dimensions().len();
+        let mut masks: Vec<Option<Vec<bool>>> = vec![None; n_dims];
+        let mut size = layout.n_aggregates();
+        for p in &r.predicates {
+            let radix = layout.radix(p.dim) as usize;
+            let mut mask = vec![false; radix];
+            let covered = layout.coord_indices_under(p.dim, p.member, schema);
+            for &c in &covered {
+                mask[c as usize] = true;
+            }
+            // Multiple predicates on one dimension intersect.
+            let merged = match masks[p.dim.index()].take() {
+                None => mask,
+                Some(prev) => prev.iter().zip(&mask).map(|(&a, &b)| a && b).collect(),
+            };
+            masks[p.dim.index()] = Some(merged);
+        }
+        // Scope size = product over dims of allowed coordinate counts.
+        size = masks.iter().enumerate().fold(size, |acc, (d, m)| match m {
+            None => acc,
+            Some(mask) => {
+                let radix = layout.radix(voxolap_data::DimId(d as u8)) as usize;
+                let allowed = mask.iter().filter(|&&b| b).count();
+                acc / radix * allowed
+            }
+        });
+        RefinementScope { masks, size }
+    }
+
+    /// Number of aggregates in scope (`m`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Membership test on decomposed aggregate coordinates.
+    #[inline]
+    pub fn contains_coords(&self, coords: &[u32]) -> bool {
+        self.masks.iter().zip(coords).all(|(m, &c)| match m {
+            None => true,
+            Some(mask) => mask[c as usize],
+        })
+    }
+
+    /// Membership test on an aggregate index.
+    pub fn contains(&self, agg: AggIdx, layout: &ResultLayout) -> bool {
+        self.contains_coords(&layout.coords_of_agg(agg))
+    }
+}
+
+/// One refinement with its resolved scope and additive delta.
+#[derive(Debug, Clone)]
+pub struct CompiledRefinement {
+    /// The resolved aggregate scope.
+    pub scope: RefinementScope,
+    /// The additive change Δ applied to in-scope aggregates.
+    pub delta: f64,
+}
+
+/// A speech compiled against a query layout: ready for O(k) belief-mean
+/// evaluation per aggregate.
+#[derive(Debug, Clone)]
+pub struct CompiledSpeech {
+    baseline_value: f64,
+    refinements: Vec<CompiledRefinement>,
+    n_aggs: usize,
+}
+
+impl CompiledSpeech {
+    /// Compile `speech` against `layout`.
+    pub fn compile(speech: &Speech, layout: &ResultLayout, schema: &Schema) -> Self {
+        let n_aggs = layout.n_aggregates();
+        let baseline = speech.baseline.value;
+
+        // Reference values chain through subsuming refinements: the
+        // reference of refinement j is the value implied by the *last*
+        // previous refinement whose scope subsumes j's, or the baseline.
+        let is_anc = |dim: voxolap_data::DimId,
+                      a: voxolap_data::MemberId,
+                      d: voxolap_data::MemberId| {
+            schema.dimension(dim).is_ancestor_or_self(a, d)
+        };
+        let mut implied_values: Vec<f64> = Vec::with_capacity(speech.refinements.len());
+        let mut compiled = Vec::with_capacity(speech.refinements.len());
+        for (j, r) in speech.refinements.iter().enumerate() {
+            let mut reference = baseline;
+            for i in (0..j).rev() {
+                if speech.refinements[i].subsumes(r, is_anc) {
+                    reference = implied_values[i];
+                    break;
+                }
+            }
+            let implied = reference * r.change.factor();
+            implied_values.push(implied);
+            compiled.push(CompiledRefinement {
+                scope: RefinementScope::compile(r, layout, schema),
+                delta: implied - reference,
+            });
+        }
+        CompiledSpeech { baseline_value: baseline, refinements: compiled, n_aggs }
+    }
+
+    /// The baseline value (absolute claim).
+    pub fn baseline_value(&self) -> f64 {
+        self.baseline_value
+    }
+
+    /// Compiled refinements in speaking order.
+    pub fn refinements(&self) -> &[CompiledRefinement] {
+        &self.refinements
+    }
+
+    /// Number of result aggregates (`n`).
+    pub fn n_aggregates(&self) -> usize {
+        self.n_aggs
+    }
+
+    /// Belief mean `M(a, t)` for one aggregate — O(k) (paper Lemma A.2).
+    pub fn mean_for(&self, agg: AggIdx, layout: &ResultLayout) -> f64 {
+        let coords = layout.coords_of_agg(agg);
+        let mut mean = self.baseline_value;
+        let n = self.n_aggs as f64;
+        for r in &self.refinements {
+            let m = r.scope.size() as f64;
+            if r.scope.contains_coords(&coords) {
+                mean += r.delta;
+            } else if m < n {
+                // Out-of-scope compensation keeping the baseline consistent.
+                mean -= m * r.delta / (n - m);
+            }
+        }
+        mean
+    }
+
+    /// Belief means for every aggregate (used for exact quality).
+    pub fn means_all(&self, layout: &ResultLayout) -> Vec<f64> {
+        (0..self.n_aggs as u32).map(|a| self.mean_for(a, layout)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::{DimId, Table};
+    use voxolap_engine::query::{AggFct, Query};
+
+    use crate::ast::{Baseline, Change, Direction, Predicate, Speech};
+
+    fn setup() -> (Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    fn ne_refinement(schema: &voxolap_data::Schema, percent: u32) -> crate::ast::Refinement {
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        crate::ast::Refinement {
+            predicates: vec![Predicate { dim: DimId(0), member: ne }],
+            change: Change { direction: Direction::Increase, percent },
+        }
+    }
+
+    #[test]
+    fn example_3_4_reproduced_exactly() {
+        // "The average salary is 80 K. Values increase by 50% for graduates
+        // from the Northeast." -> Northeast 120,000; others 66,667.
+        let (table, q) = setup();
+        let schema = table.schema();
+        let speech = Speech {
+            baseline: Baseline::point(80.0),
+            refinements: vec![ne_refinement(schema, 50)],
+        };
+        let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
+        assert_eq!(cs.n_aggregates(), 4);
+        let means = cs.means_all(q.layout());
+        // Find the Northeast aggregate.
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        let ne_idx = q
+            .layout()
+            .coords(DimId(0))
+            .iter()
+            .position(|&m| m == ne)
+            .unwrap();
+        assert!((means[ne_idx] - 120.0).abs() < 1e-9);
+        for (i, &m) in means.iter().enumerate() {
+            if i != ne_idx {
+                assert!((m - 200.0 / 3.0).abs() < 1e-6, "others get 66.667, got {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_consistency_theorem_a1() {
+        // The mean over all aggregates always equals the baseline value.
+        let (table, q) = setup();
+        let schema = table.schema();
+        let speech = Speech {
+            baseline: Baseline::point(80.0),
+            refinements: vec![ne_refinement(schema, 50), {
+                let mw = schema.dimension(DimId(0)).member_by_phrase("the Midwest").unwrap();
+                crate::ast::Refinement {
+                    predicates: vec![Predicate { dim: DimId(0), member: mw }],
+                    change: Change { direction: Direction::Decrease, percent: 25 },
+                }
+            }],
+        };
+        let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
+        let means = cs.means_all(q.layout());
+        let avg: f64 = means.iter().sum::<f64>() / means.len() as f64;
+        assert!((avg - 80.0).abs() < 1e-9, "average of means {avg} == baseline");
+    }
+
+    #[test]
+    fn scope_size_multiplies_across_dims() {
+        let table = SalaryConfig::paper_scale().generate();
+        let schema = table.schema();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1)) // 4 regions
+            .group_by(DimId(1), LevelId(1)) // 2 rough bins
+            .build(schema)
+            .unwrap();
+        let r = ne_refinement(schema, 10);
+        let scope = RefinementScope::compile(&r, q.layout(), schema);
+        // NE fixes the region coordinate: 1 x 2 = 2 of 8 aggregates.
+        assert_eq!(scope.size(), 2);
+        let n_in: usize = (0..q.n_aggregates() as u32)
+            .filter(|&a| scope.contains(a, q.layout()))
+            .count();
+        assert_eq!(n_in, 2);
+    }
+
+    #[test]
+    fn chained_reference_uses_subsuming_refinement() {
+        // Region-level claim then state-level claim under the same region:
+        // the second change is relative to the first's implied value.
+        let table = SalaryConfig::paper_scale().generate();
+        let schema = table.schema();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(2)) // by state (16 states)
+            .build(schema)
+            .unwrap();
+        let college = schema.dimension(DimId(0));
+        let ne = college.member_by_phrase("the North East").unwrap();
+        let ny = college.member_by_phrase("New York").unwrap();
+        let speech = Speech {
+            baseline: Baseline::point(100.0),
+            refinements: vec![
+                crate::ast::Refinement {
+                    predicates: vec![Predicate { dim: DimId(0), member: ne }],
+                    change: Change { direction: Direction::Increase, percent: 10 },
+                },
+                crate::ast::Refinement {
+                    predicates: vec![Predicate { dim: DimId(0), member: ny }],
+                    change: Change { direction: Direction::Increase, percent: 50 },
+                },
+            ],
+        };
+        let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
+        // First delta: 100 * 0.1 = 10. Second reference = 110, delta = 55.
+        assert!((cs.refinements()[0].delta - 10.0).abs() < 1e-9);
+        assert!((cs.refinements()[1].delta - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_subsuming_refinements_reference_baseline() {
+        let table = SalaryConfig::paper_scale().generate();
+        let schema = table.schema();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(schema)
+            .unwrap();
+        let hi = schema.dimension(DimId(1)).member_by_phrase("at least 50 K").unwrap();
+        let speech = Speech {
+            baseline: Baseline::point(80.0),
+            refinements: vec![ne_refinement(schema, 50), crate::ast::Refinement {
+                predicates: vec![Predicate { dim: DimId(1), member: hi }],
+                change: Change { direction: Direction::Increase, percent: 25 },
+            }],
+        };
+        let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
+        // Second refinement is on a different dimension: reference is the
+        // baseline, delta = 80 * 0.25 = 20.
+        assert!((cs.refinements()[1].delta - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_only_speech_means_are_uniform() {
+        let (table, q) = setup();
+        let cs = CompiledSpeech::compile(
+            &Speech::baseline_only(42.0),
+            q.layout(),
+            table.schema(),
+        );
+        assert!(cs.means_all(q.layout()).iter().all(|&m| (m - 42.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn full_scope_refinement_does_not_divide_by_zero() {
+        let (table, q) = setup();
+        let schema = table.schema();
+        let root = schema.dimension(DimId(0)).root();
+        let speech = Speech {
+            baseline: Baseline::point(10.0),
+            refinements: vec![crate::ast::Refinement {
+                predicates: vec![Predicate { dim: DimId(0), member: root }],
+                change: Change { direction: Direction::Increase, percent: 100 },
+            }],
+        };
+        let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
+        let means = cs.means_all(q.layout());
+        assert!(means.iter().all(|m| m.is_finite()));
+    }
+}

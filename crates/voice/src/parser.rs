@@ -1,0 +1,236 @@
+//! Keyword-based voice-input parsing.
+//!
+//! The paper's input component is deliberately simple: "users can drill
+//! down, roll up, and add or remove dimensions in the OLAP result by
+//! mentioning related keywords" and "can request help to obtain all
+//! available keywords" (§5.2). This module resolves free-form text against
+//! a schema's dimension names, level names, and member phrases.
+
+use std::fmt;
+
+use voxolap_data::dimension::{LevelId, MemberId};
+use voxolap_data::schema::{DimId, Schema};
+use voxolap_engine::query::AggFct;
+
+/// A parsed user command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Read out the available keywords.
+    Help,
+    /// End the session.
+    Quit,
+    /// Switch the aggregation function.
+    SetFct(AggFct),
+    /// Group by one more level of detail in a dimension (or start grouping
+    /// it at its coarsest level).
+    DrillDown(DimId),
+    /// Group one level coarser (or stop grouping the dimension).
+    RollUp(DimId),
+    /// Break results down by a specific level.
+    GroupBy(DimId, LevelId),
+    /// Remove a dimension from the breakdown (and any filter on it).
+    Remove(DimId),
+    /// Restrict the scope to one member.
+    Filter(DimId, MemberId),
+    /// Drop all filters.
+    ClearFilters,
+}
+
+/// Parse failure: no keyword matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "did not understand: {:?} (say \"help\" for keywords)", self.input)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Find a dimension whose name occurs in `text` (case-insensitive).
+fn find_dimension(schema: &Schema, text: &str) -> Option<DimId> {
+    schema
+        .dims()
+        .find(|(_, d)| text.contains(&d.name().to_lowercase()))
+        .map(|(id, _)| id)
+}
+
+/// Find a level (of any dimension) whose name occurs in `text`, together
+/// with the matched length. Longer names win so "rough start salary" beats
+/// the dimension "start salary".
+fn find_level(schema: &Schema, text: &str) -> Option<(DimId, LevelId, usize)> {
+    let mut best: Option<(DimId, LevelId, usize)> = None;
+    for (id, d) in schema.dims() {
+        for li in 1..d.level_count() {
+            let level = LevelId(li as u8);
+            let name = d.level_name(level).to_lowercase();
+            if text.contains(&name) && best.is_none_or(|(_, _, l)| name.len() > l) {
+                best = Some((id, level, name.len()));
+            }
+        }
+    }
+    best
+}
+
+/// Find a member (of any dimension) whose phrase occurs in `text`, together
+/// with the matched length. Longest phrase wins ("the North East" over
+/// "the North").
+fn find_member(schema: &Schema, text: &str) -> Option<(DimId, MemberId, usize)> {
+    let mut best: Option<(DimId, MemberId, usize)> = None;
+    for (id, d) in schema.dims() {
+        for mi in 1..d.member_count() {
+            let m = MemberId(mi as u32);
+            let phrase = d.member(m).phrase.to_lowercase();
+            if text.contains(&phrase) && best.is_none_or(|(_, _, l)| phrase.len() > l) {
+                best = Some((id, m, phrase.len()));
+            }
+        }
+    }
+    best
+}
+
+/// Parse one utterance against a schema.
+///
+/// Recognition order: explicit commands (help/quit/clear), aggregation
+/// keywords, structural verbs (drill/roll/remove) with a dimension mention,
+/// "break down"-style level mentions, then member mentions as filters.
+pub fn parse(schema: &Schema, input: &str) -> Result<Command, ParseError> {
+    let text = input.to_lowercase();
+    let unrecognized = || ParseError { input: input.to_string() };
+
+    if text.contains("help") {
+        return Ok(Command::Help);
+    }
+    if text.contains("quit") || text.contains("exit") || text.contains("goodbye") {
+        return Ok(Command::Quit);
+    }
+    if text.contains("clear filter") || text.contains("remove filter") {
+        return Ok(Command::ClearFilters);
+    }
+    if text.contains("drill down") || text.contains("drill into") {
+        return find_dimension(schema, &text)
+            .map(Command::DrillDown)
+            .ok_or_else(unrecognized);
+    }
+    if text.contains("roll up") {
+        return find_dimension(schema, &text).map(Command::RollUp).ok_or_else(unrecognized);
+    }
+    if text.contains("remove") || text.contains("without") {
+        return find_dimension(schema, &text).map(Command::Remove).ok_or_else(unrecognized);
+    }
+    if text.contains("break down by") || text.contains("group by") || text.contains(" by ") {
+        if let Some((d, l, _)) = find_level(schema, &text) {
+            return Ok(Command::GroupBy(d, l));
+        }
+    }
+    // Aggregation function switches.
+    if text.contains("how many") || text.contains("count") || text.contains("number of") {
+        return Ok(Command::SetFct(AggFct::Count));
+    }
+    if text.contains("total") || text.contains("sum") {
+        return Ok(Command::SetFct(AggFct::Sum));
+    }
+    if text.contains("average") || text.contains("mean") {
+        return Ok(Command::SetFct(AggFct::Avg));
+    }
+    // A bare level mention groups; a member mention filters. When both
+    // match ("new york city" contains the level name "city"), the longer
+    // match wins.
+    let level = find_level(schema, &text);
+    let member = find_member(schema, &text);
+    match (level, member) {
+        (Some((d, l, ll)), Some((_, _, ml))) if ll >= ml => Ok(Command::GroupBy(d, l)),
+        (_, Some((d, m, _))) => Ok(Command::Filter(d, m)),
+        (Some((d, l, _)), None) => Ok(Command::GroupBy(d, l)),
+        (None, None) => Err(unrecognized()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::flights::FlightsConfig;
+
+    fn schema() -> Schema {
+        FlightsConfig::schema()
+    }
+
+    #[test]
+    fn parses_control_commands() {
+        let s = schema();
+        assert_eq!(parse(&s, "help").unwrap(), Command::Help);
+        assert_eq!(parse(&s, "please HELP me").unwrap(), Command::Help);
+        assert_eq!(parse(&s, "quit").unwrap(), Command::Quit);
+        assert_eq!(parse(&s, "clear filters").unwrap(), Command::ClearFilters);
+    }
+
+    #[test]
+    fn parses_aggregation_switches() {
+        let s = schema();
+        assert_eq!(parse(&s, "how many flights").unwrap(), Command::SetFct(AggFct::Count));
+        assert_eq!(parse(&s, "show the total").unwrap(), Command::SetFct(AggFct::Sum));
+        assert_eq!(parse(&s, "back to the average").unwrap(), Command::SetFct(AggFct::Avg));
+    }
+
+    #[test]
+    fn parses_structure_commands() {
+        let s = schema();
+        assert_eq!(
+            parse(&s, "drill down into the start airport").unwrap(),
+            Command::DrillDown(DimId(0))
+        );
+        assert_eq!(parse(&s, "roll up the flight date").unwrap(), Command::RollUp(DimId(1)));
+        assert_eq!(parse(&s, "remove the airline").unwrap(), Command::Remove(DimId(2)));
+    }
+
+    #[test]
+    fn parses_group_by_level() {
+        let s = schema();
+        assert_eq!(parse(&s, "break down by region").unwrap(), Command::GroupBy(DimId(0), LevelId(1)));
+        assert_eq!(parse(&s, "break down by season").unwrap(), Command::GroupBy(DimId(1), LevelId(1)));
+        assert_eq!(parse(&s, "by month please").unwrap(), Command::GroupBy(DimId(1), LevelId(2)));
+        // Bare level mention works too.
+        assert_eq!(parse(&s, "state").unwrap(), Command::GroupBy(DimId(0), LevelId(2)));
+    }
+
+    #[test]
+    fn parses_member_filters() {
+        let s = schema();
+        let airport = s.dimension(DimId(0));
+        let ne = airport.member_by_phrase("the North East").unwrap();
+        assert_eq!(parse(&s, "only the north east").unwrap(), Command::Filter(DimId(0), ne));
+        let date = s.dimension(DimId(1));
+        let winter = date.member_by_phrase("Winter").unwrap();
+        assert_eq!(parse(&s, "winter").unwrap(), Command::Filter(DimId(1), winter));
+    }
+
+    #[test]
+    fn longest_member_phrase_wins() {
+        let s = schema();
+        let airport = s.dimension(DimId(0));
+        // "New York City" (city) contains "New York" (state): the longer
+        // phrase must win.
+        let nyc = airport.member_by_phrase("New York City").unwrap();
+        assert_eq!(
+            parse(&s, "flights from new york city").unwrap(),
+            Command::Filter(DimId(0), nyc)
+        );
+    }
+
+    #[test]
+    fn unknown_input_errors_with_hint() {
+        let s = schema();
+        let err = parse(&s, "play some jazz").unwrap_err();
+        assert!(err.to_string().contains("help"));
+    }
+
+    #[test]
+    fn drill_without_dimension_errors() {
+        let s = schema();
+        assert!(parse(&s, "drill down").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Robustness: the keyword and question parsers must never panic on
+//! arbitrary input — they sit directly behind user-facing surfaces
+//! (repl, HTTP API).
+
+use proptest::prelude::*;
+use voxolap_data::flights::FlightsConfig;
+use voxolap_voice::parser::parse;
+use voxolap_voice::question::parse_question;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn keyword_parser_never_panics(input in ".{0,120}") {
+        let schema = FlightsConfig::schema();
+        let _ = parse(&schema, &input);
+    }
+
+    #[test]
+    fn question_parser_never_panics(input in ".{0,160}") {
+        let schema = FlightsConfig::schema();
+        let _ = parse_question(&schema, &input);
+    }
+
+    #[test]
+    fn keyword_parser_handles_keyword_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("break"), Just("down"), Just("by"), Just("region"),
+                Just("drill"), Just("roll"), Just("up"), Just("remove"),
+                Just("winter"), Just("airline"), Just("help"), Just("total"),
+                Just("new"), Just("york"), Just("city"), Just("month"),
+            ],
+            0..8,
+        ),
+    ) {
+        let schema = FlightsConfig::schema();
+        let input = words.join(" ");
+        // Any combination parses or errors; never panics, and a parsed
+        // command is well-formed by type.
+        let _ = parse(&schema, &input);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: vocalize one OLAP query end to end.
+//!
+//! Generates the salary dataset, asks for average mid-career salary broken
+//! down by region and rough start salary, and speaks the answer through
+//! the holistic planner — the interaction of the paper's Example 3.1.
+//!
+//! Run: `cargo run --release -p voxolap-examples --example quickstart`
+
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::voice::VirtualVoice;
+use voxolap_data::dimension::LevelId;
+use voxolap_data::salary::SalaryConfig;
+use voxolap_data::DimId;
+use voxolap_engine::query::{AggFct, Query};
+
+fn main() {
+    // 1. Load data: 320 institutions with mid-career salaries.
+    let table = SalaryConfig::paper_scale().generate();
+
+    // 2. Build the query: AVG(midCareer) GROUP BY region, rough start salary.
+    let query = Query::builder(AggFct::Avg)
+        .group_by(DimId(0), LevelId(1))
+        .group_by(DimId(1), LevelId(1))
+        .build(table.schema())
+        .expect("valid query");
+
+    // 3. Vocalize. The virtual voice models speaking time, so the planner
+    //    keeps sampling the database while each sentence "plays".
+    let holistic = Holistic::new(HolisticConfig::default());
+    let mut voice = VirtualVoice::default();
+    let outcome = holistic.vocalize(&table, &query, &mut voice);
+
+    println!("spoken answer:");
+    println!("  {}", outcome.full_text());
+    println!();
+    println!(
+        "latency: {:?} | rows sampled: {} | planner iterations: {} | tree nodes: {}",
+        outcome.latency,
+        outcome.stats.rows_read,
+        outcome.stats.samples,
+        outcome.stats.tree_nodes
+    );
+}

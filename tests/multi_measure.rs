@@ -1,0 +1,99 @@
+//! Integration tests of the multi-measure extension (paper §2's "multiple
+//! functions and columns"): the flights dataset carries both a 0/1
+//! cancellation flag and a departure-delay column, and queries pick which
+//! to aggregate.
+
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::optimal::Optimal;
+use voxolap_core::voice::InstantVoice;
+use voxolap_data::dimension::LevelId;
+use voxolap_data::flights::FlightsConfig;
+use voxolap_data::schema::MeasureId;
+use voxolap_data::DimId;
+use voxolap_engine::exact::evaluate;
+use voxolap_engine::query::{AggFct, Query};
+
+#[test]
+fn delay_queries_aggregate_the_second_measure() {
+    let table = FlightsConfig { rows: 30_000, seed: 42 }.generate();
+    let by_season = |m: MeasureId| {
+        Query::builder(AggFct::Avg)
+            .measure(m)
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap()
+    };
+    let cancel = evaluate(&by_season(MeasureId::PRIMARY), &table);
+    let delay = evaluate(&by_season(MeasureId(1)), &table);
+    // Same groups, utterly different scales.
+    assert_eq!(cancel.len(), delay.len());
+    assert!(cancel.grand_mean() < 0.05);
+    assert!(delay.grand_mean() > 5.0, "delays in minutes: {}", delay.grand_mean());
+    // Both measures agree that Winter is worst (shared risk landscape).
+    let date = table.schema().dimension(DimId(1));
+    let winter_idx = by_season(MeasureId(1))
+        .layout()
+        .coords(DimId(1))
+        .iter()
+        .position(|&m| date.member(m).phrase == "Winter")
+        .unwrap() as u32;
+    let max_delay = delay.values().iter().cloned().fold(f64::MIN, f64::max);
+    assert_eq!(delay.value(winter_idx), max_delay);
+}
+
+#[test]
+fn vocalizers_speak_the_selected_measure() {
+    let table = FlightsConfig { rows: 20_000, seed: 42 }.generate();
+    let query = Query::builder(AggFct::Avg)
+        .measure(MeasureId(1))
+        .group_by(DimId(1), LevelId(1))
+        .build(table.schema())
+        .unwrap();
+    let holistic = Holistic::new(HolisticConfig {
+        min_samples_per_sentence: 2_000,
+        ..HolisticConfig::default()
+    });
+    let mut voice = InstantVoice::default();
+    let outcome = holistic.vocalize(&table, &query, &mut voice);
+    let body = outcome.body_text();
+    assert!(body.contains("average departure delay in minutes"), "{body}");
+    assert!(!body.contains("percent is the average"), "plain unit, not percent: {body}");
+    // The baseline lands near the true mean delay.
+    let v = outcome.speech.unwrap().baseline.value;
+    let truth = evaluate(&query, &table).grand_mean();
+    assert!((v - truth).abs() < truth, "baseline {v} vs truth {truth}");
+
+    let mut voice = InstantVoice::default();
+    let optimal = Optimal::default().vocalize(&table, &query, &mut voice);
+    assert!(optimal.body_text().contains("departure delay"));
+}
+
+#[test]
+fn count_queries_speak_row_counts() {
+    let table = FlightsConfig { rows: 10_000, seed: 42 }.generate();
+    let query = Query::builder(AggFct::Count)
+        .group_by(DimId(1), LevelId(1))
+        .build(table.schema())
+        .unwrap();
+    let mut voice = InstantVoice::default();
+    let outcome = Optimal::default().vocalize(&table, &query, &mut voice);
+    let body = outcome.body_text();
+    assert!(body.contains("is the number of rows"), "{body}");
+    assert!(!body.contains("percent is the"), "{body}");
+    // True per-season count is 2500; the spoken baseline grid value must
+    // be in its neighbourhood.
+    let v = outcome.speech.unwrap().baseline.value;
+    assert!((1500.0..=4000.0).contains(&v), "count baseline {v}");
+}
+
+#[test]
+fn bad_measure_id_is_rejected_at_build() {
+    let table = FlightsConfig { rows: 100, seed: 1 }.generate();
+    let err = Query::builder(AggFct::Avg)
+        .measure(MeasureId(7))
+        .group_by(DimId(1), LevelId(1))
+        .build(table.schema())
+        .unwrap_err();
+    assert!(err.to_string().contains("no measure column 7"), "{err}");
+}

@@ -1,0 +1,83 @@
+//! End-to-end test of the HTTP interface: real TCP, real JSON, real
+//! planner — the full stack a browser client would exercise.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use voxolap_data::flights::FlightsConfig;
+use voxolap_server::{serve, AppState};
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+#[test]
+fn full_stack_question_and_session_flow() {
+    let table = FlightsConfig { rows: 6_000, seed: 42 }.generate();
+    let state = Arc::new(AppState::new(table));
+    let handle = serve("127.0.0.1:0", move |req| state.handle(req)).unwrap();
+    let addr = handle.addr;
+
+    // Health.
+    let (status, body) = request(addr, "GET", "/health", "");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    // One-shot question.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/ask",
+        "{\"question\": \"how does the cancellation probability depend on region?\"}",
+    );
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(v["text"].as_str().unwrap().contains("broken down by region"));
+    assert!(v["latency_ms"].as_f64().unwrap() < 500.0, "interactivity threshold");
+
+    // Session accumulation across separate TCP connections.
+    let (s1, _) =
+        request(addr, "POST", "/session/worker/input", "{\"text\": \"break down by region\"}");
+    assert_eq!(s1, 200);
+    let (_, body) =
+        request(addr, "POST", "/session/worker/input", "{\"text\": \"break down by season\"}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(
+        v["preamble"].as_str().unwrap().contains("region and season"),
+        "{body}"
+    );
+
+    // Approach switching mid-session (the Table 8 study workflow).
+    let (_, body) = request(
+        addr,
+        "POST",
+        "/session/worker/input",
+        "{\"text\": \"winter\", \"approach\": \"prior\"}",
+    );
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["approach"], "prior");
+    assert!(v["preamble"].as_str().unwrap().contains("Winter"));
+
+    // Bad input surfaces a JSON error with a 4xx.
+    let (status, body) =
+        request(addr, "POST", "/session/worker/input", "{\"text\": \"gibberish xyz\"}");
+    assert_eq!(status, 400);
+    assert!(body.contains("error"));
+
+    handle.shutdown();
+}
