@@ -1,8 +1,6 @@
 //! The belief model: speeches → per-aggregate normal distributions, and the
 //! sampling reward of paper Algorithm 3.
 
-use serde::{Deserialize, Serialize};
-
 use voxolap_engine::query::{AggIdx, ResultLayout};
 use voxolap_speech::scope::CompiledSpeech;
 use voxolap_speech::verbalize::round_significant;
@@ -34,7 +32,7 @@ pub fn rounding_bucket(v: f64, fallback_width: f64) -> (f64, f64) {
 /// σ is modeled "as a constant that is approximately proportional to 50 %
 /// of the mean when aggregating over the entire data set" (paper §3.4,
 /// footnote 1). Build one per scenario from the overall mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeliefModel {
     sigma: f64,
 }

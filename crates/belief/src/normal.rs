@@ -1,7 +1,5 @@
 //! Normal distributions with a dependency-free error function.
 
-use serde::{Deserialize, Serialize};
-
 /// Error function, Abramowitz & Stegun approximation 7.1.26
 /// (maximum absolute error 1.5·10⁻⁷ — far below any tolerance relevant to
 /// one-significant-digit voice output).
@@ -20,7 +18,7 @@ pub fn erf(x: f64) -> f64 {
 }
 
 /// A normal distribution `N(mean, sigma)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Normal {
     /// Mean.
     pub mean: f64,

@@ -73,11 +73,8 @@ mod tests {
         let exact = evaluate(&q, &table);
         let model = BeliefModel::from_overall_mean(exact.grand_mean());
 
-        let good = CompiledSpeech::compile(
-            &Speech::baseline_only(exact.grand_mean()),
-            q.layout(),
-            schema,
-        );
+        let good =
+            CompiledSpeech::compile(&Speech::baseline_only(exact.grand_mean()), q.layout(), schema);
         let bad = CompiledSpeech::compile(
             &Speech::baseline_only(exact.grand_mean() * 3.0),
             q.layout(),
@@ -160,11 +157,7 @@ mod tests {
         let exact = evaluate(&q, &table);
         let model = BeliefModel::from_overall_mean(exact.grand_mean());
         for v in [1.0, 50.0, 90.0, 500.0] {
-            let cs = CompiledSpeech::compile(
-                &Speech::baseline_only(v),
-                q.layout(),
-                table.schema(),
-            );
+            let cs = CompiledSpeech::compile(&Speech::baseline_only(v), q.layout(), table.schema());
             let quality = speech_quality(&cs, &model, &exact, q.layout());
             assert!((0.0..=1.0).contains(&quality), "quality {quality} for baseline {v}");
         }

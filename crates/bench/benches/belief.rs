@@ -49,10 +49,9 @@ fn single_aggregate_belief(c: &mut Criterion) {
 fn exact_quality(c: &mut Criterion) {
     let table = flights_table(20_000);
     let mut group = c.benchmark_group("exact_quality");
-    for (name, query) in [
-        ("20_fields", region_season_query(&table)),
-        ("288_fields", state_month_query(&table)),
-    ] {
+    for (name, query) in
+        [("20_fields", region_season_query(&table)), ("288_fields", state_month_query(&table))]
+    {
         let exact = evaluate(&query, &table);
         let model = BeliefModel::from_overall_mean(exact.grand_mean().abs().max(0.001));
         let speech = speech_with_k(&table, 2);

@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 use voxolap_bench::{flights_table, region_season_query};
-use voxolap_engine::cache::SampleCache;
+use voxolap_engine::cache::{ResampleScratch, SampleCache};
 
 fn cache_benches(c: &mut Criterion) {
     let table = flights_table(100_000);
@@ -46,16 +46,27 @@ fn cache_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimate");
     for resample in [10usize, 100] {
         let cache = cache.clone().with_resample_size(resample);
+        // Per-call allocation (`estimate` builds fresh index/value buffers)
+        // versus the planner's hot path (`estimate_with` reuses a
+        // ResampleScratch across calls).
+        group.bench_with_input(BenchmarkId::new("resample_alloc", resample), &cache, |b, cache| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let agg =
+                    cache.pick_aggregate(voxolap_engine::query::AggFct::Avg, &mut rng).unwrap();
+                black_box(cache.estimate(agg, &mut rng))
+            })
+        });
         group.bench_with_input(
-            BenchmarkId::new("resample_size", resample),
+            BenchmarkId::new("resample_scratch", resample),
             &cache,
             |b, cache| {
                 let mut rng = StdRng::seed_from_u64(3);
+                let mut scratch = ResampleScratch::new();
                 b.iter(|| {
-                    let agg = cache
-                        .pick_aggregate(voxolap_engine::query::AggFct::Avg, &mut rng)
-                        .unwrap();
-                    black_box(cache.estimate(agg, &mut rng))
+                    let agg =
+                        cache.pick_aggregate(voxolap_engine::query::AggFct::Avg, &mut rng).unwrap();
+                    black_box(cache.estimate_with(agg, &mut rng, &mut scratch))
                 })
             },
         );

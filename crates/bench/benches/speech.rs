@@ -24,27 +24,21 @@ fn render(c: &mut Criterion) {
             change: Change { direction: Direction::Increase, percent: 100 },
         }],
     };
-    c.bench_function("render_full_speech", |b| {
-        b.iter(|| black_box(renderer.speech_text(&speech)))
-    });
+    c.bench_function("render_full_speech", |b| b.iter(|| black_box(renderer.speech_text(&speech))));
     c.bench_function("render_preamble", |b| b.iter(|| black_box(renderer.preamble())));
 }
 
 fn candidates(c: &mut Criterion) {
     let table = flights_table(1_000);
     let mut group = c.benchmark_group("candidate_enumeration");
-    for (name, query) in [
-        ("region_season", region_season_query(&table)),
-        ("state_month", state_month_query(&table)),
-    ] {
-        let generator =
-            CandidateGenerator::new(table.schema(), &query, CandidateConfig::default());
+    for (name, query) in
+        [("region_season", region_season_query(&table)), ("state_month", state_month_query(&table))]
+    {
+        let generator = CandidateGenerator::new(table.schema(), &query, CandidateConfig::default());
         let prefix = Speech::baseline_only(0.02);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &generator,
-            |b, generator| b.iter(|| black_box(generator.refinements(&prefix).len())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &generator, |b, generator| {
+            b.iter(|| black_box(generator.refinements(&prefix).len()))
+        });
     }
     group.finish();
 }

@@ -44,7 +44,7 @@ fn sampling(c: &mut Criterion) {
     // Sampling cost must track k*m, not total node count: compare trees
     // with equal k*m but very different sizes.
     for (m, k) in [(10usize, 2usize), (30, 2), (10, 3), (30, 3)] {
-        let mut tree = uniform_tree(m, k);
+        let tree = uniform_tree(m, k);
         // Pre-visit so the UCT formula (not unvisited-priority) dominates.
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..tree.node_count() {
@@ -55,9 +55,7 @@ fn sampling(c: &mut Criterion) {
             &(),
             |b, _| {
                 let mut rng = StdRng::seed_from_u64(2);
-                b.iter(|| {
-                    black_box(tree.sample(Tree::<u32>::ROOT, &mut rng, |&d| d as f64 / 30.0))
-                })
+                b.iter(|| black_box(tree.sample(Tree::<u32>::ROOT, &mut rng, |&d| d as f64 / 30.0)))
             },
         );
     }

@@ -21,8 +21,7 @@ fn main() {
     println!("## Regenerated evaluation (flights scale: {rows} rows, seed {seed})\n");
 
     eprintln!("tab11...");
-    let flights_for_stats =
-        if tab11_rows == rows { None } else { Some(flights_table(tab11_rows)) };
+    let flights_for_stats = if tab11_rows == rows { None } else { Some(flights_table(tab11_rows)) };
     println!("{}\n", tab11::run(&salary, flights_for_stats.as_ref().unwrap_or(&flights)));
     drop(flights_for_stats);
 

@@ -8,11 +8,11 @@
 //! describe the data almost equally well at one-significant-digit
 //! granularity.
 
+use voxolap_belief::model::{rounding_bucket, BeliefModel};
+use voxolap_belief::normal::Normal;
 use voxolap_bench::{experiment_candidates, flights_table, region_season_query};
 use voxolap_core::sampler::PlannerCore;
 use voxolap_core::tree::{NodeKind, SpeechTree};
-use voxolap_belief::model::{rounding_bucket, BeliefModel};
-use voxolap_belief::normal::Normal;
 use voxolap_engine::exact::evaluate;
 use voxolap_speech::candidates::CandidateGenerator;
 use voxolap_speech::constraints::SpeechConstraints;
@@ -41,8 +41,12 @@ fn main() {
 
     // Pick the best baseline, then rank its children.
     let base = tree.tree().best_child(SpeechTree::ROOT).unwrap();
-    println!("baseline: {:?}  mean reward {:.4}  visits {}",
-        tree.sentence(base, &renderer), tree.tree().mean_reward(base), tree.tree().visits(base));
+    println!(
+        "baseline: {:?}  mean reward {:.4}  visits {}",
+        tree.sentence(base, &renderer),
+        tree.tree().mean_reward(base),
+        tree.tree().visits(base)
+    );
 
     let mut rows: Vec<(f64, f64, u64, String)> = tree
         .tree()
@@ -51,10 +55,13 @@ fn main() {
         .map(|&c| {
             let mean = tree.tree().mean_reward(c);
             // exact quality of this child's speech
-            let mut total = 0.0; let mut n = 0;
+            let mut total = 0.0;
+            let mut n = 0;
             for agg in 0..layout.n_aggregates() as u32 {
                 let actual = exact.value(agg);
-                if !actual.is_finite() { continue; }
+                if !actual.is_finite() {
+                    continue;
+                }
                 let m = tree.mean_for(c, &layout.coords_of_agg(agg));
                 let (lo, hi) = rounding_bucket(actual, model.sigma() / 10.0);
                 total += Normal::new(m, model.sigma()).prob_interval(lo, hi);

@@ -1,0 +1,28 @@
+//! Parallel-planning scaling benchmark: sampling throughput at 1/2/4/8
+//! threads, written to `BENCH_parallel.json` (and printed as markdown).
+//!
+//! ```text
+//! cargo run --release --bin parallel_scaling [--rows N] [--duration-ms MS] [--out PATH]
+//! ```
+
+use voxolap_bench::experiments::parallel::{self, DEFAULT_THREAD_COUNTS};
+use voxolap_bench::{arg_usize, DEFAULT_FLIGHTS_ROWS};
+
+fn main() {
+    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
+    let duration_ms = arg_usize("--duration-ms", 3_000) as u64;
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_parallel.json".to_string())
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let points = parallel::measure(rows, duration_ms, &DEFAULT_THREAD_COUNTS, 42);
+    let json = parallel::to_json(rows, duration_ms, cores, &points);
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
+    eprintln!("wrote {out}");
+    print!("{}", parallel::run(rows, duration_ms, &points));
+}

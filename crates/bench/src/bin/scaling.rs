@@ -9,9 +9,7 @@ use voxolap_bench::{arg_usize, experiments::scaling};
 fn main() {
     let max_rows = arg_usize("--max-rows", 3_200_000);
     let seed = arg_usize("--seed", 42) as u64;
-    let scales: Vec<usize> = [50_000, 200_000, 800_000, 3_200_000]
-        .into_iter()
-        .filter(|&r| r <= max_rows)
-        .collect();
+    let scales: Vec<usize> =
+        [50_000, 200_000, 800_000, 3_200_000].into_iter().filter(|&r| r <= max_rows).collect();
     print!("{}", scaling::run(&scales, seed));
 }

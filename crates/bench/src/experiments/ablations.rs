@@ -72,16 +72,10 @@ pub fn run(table: &Table, seed: u64) -> String {
 
     // 2. UCT vs uniform random at a fixed modest budget.
     let mut rows = Vec::new();
-    for (name, policy) in [
-        ("UCT", SelectionPolicy::Uct),
-        ("uniform random", SelectionPolicy::UniformRandom),
-    ] {
-        let q = mean_quality(
-            table,
-            |s| HolisticConfig { policy, ..base_config(s) },
-            200.0,
-            &seeds,
-        );
+    for (name, policy) in
+        [("UCT", SelectionPolicy::Uct), ("uniform random", SelectionPolicy::UniformRandom)]
+    {
+        let q = mean_quality(table, |s| HolisticConfig { policy, ..base_config(s) }, 200.0, &seeds);
         rows.push(vec![name.to_string(), format!("{q:.3}")]);
     }
     out.push_str("\n#### Tree-descent policy (200 iterations/char)\n\n");
@@ -109,10 +103,7 @@ pub fn run(table: &Table, seed: u64) -> String {
     for frac in [0.25, 0.5, 1.0, 2.0] {
         let q = mean_quality(
             table,
-            |s| HolisticConfig {
-                sigma_override: Some(grand.abs() * frac),
-                ..base_config(s)
-            },
+            |s| HolisticConfig { sigma_override: Some(grand.abs() * frac), ..base_config(s) },
             600.0,
             &seeds,
         );
@@ -160,9 +151,7 @@ fn stratified_coverage(table: &Table, seed: u64) -> String {
             let Some((_, r)) = scan.next_row() else { break };
             strat.observe(query.layout().agg_of_row(r.members), r.value);
         }
-        let min_bucket = |c: &SampleCache| {
-            (0..n_aggs as u32).map(|a| c.size(a)).min().unwrap_or(0)
-        };
+        let min_bucket = |c: &SampleCache| (0..n_aggs as u32).map(|a| c.size(a)).min().unwrap_or(0);
         rows_md.push(vec![
             budget.to_string(),
             format!("{}/{}", shuffled.nonempty_count(), n_aggs),

@@ -10,8 +10,6 @@
 //! near zero; Unmerged latency ≈ its 500 ms budget; Holistic quality ≈
 //! Optimal quality, Unmerged typically below both.
 
-use serde::Serialize;
-
 use voxolap_core::approach::Vocalizer;
 use voxolap_core::voice::{InstantVoice, VirtualVoice};
 use voxolap_data::Table;
@@ -22,7 +20,7 @@ use crate::{
 };
 
 /// One measured cell of the figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// Query label in the paper's `X,Y` naming.
     pub query: String,
@@ -71,7 +69,14 @@ pub fn measure(table: &Table, seed: u64) -> Vec<Fig3Row> {
 pub fn run_json(table: &Table, seed: u64) -> String {
     measure(table, seed)
         .iter()
-        .map(|r| serde_json::to_string(r).expect("rows serialize"))
+        .map(|r| {
+            voxolap_json::Value::obj([
+                ("query", r.query.as_str().into()),
+                ("latency_ms", r.latency_ms.to_vec().into()),
+                ("quality", r.quality.to_vec().into()),
+            ])
+            .to_string()
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }

@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod fig3;
+pub mod parallel;
 pub mod scaling;
 pub mod tab11;
 pub mod tab12;

@@ -1,0 +1,113 @@
+//! Parallel-planning scaling sweep: raw UCT sampling throughput
+//! (samples/sec) of [`ParallelHolistic`]'s worker machinery at 1/2/4/8
+//! threads on the paper-scale flights table, rendered as markdown and as
+//! a machine-readable `BENCH_parallel.json` record.
+//!
+//! Throughput is measured by [`sampling_throughput`]: workers sample the
+//! pre-built speech tree from the root for a fixed wall-clock window, with
+//! setup (shard permutations, warm-up, tree construction) excluded. The
+//! `speedup` column is relative to the 1-thread run of the same sweep.
+//!
+//! [`ParallelHolistic`]: voxolap_core::parallel::ParallelHolistic
+
+use std::time::Duration;
+
+use voxolap_core::holistic::HolisticConfig;
+use voxolap_core::parallel::sampling_throughput;
+use voxolap_json::Value;
+
+use crate::{flights_table, markdown_table, region_season_query};
+
+/// Thread counts the issue's scaling sweep covers.
+pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    pub threads: usize,
+    pub samples: u64,
+    pub rows_read: u64,
+    pub elapsed_ms: f64,
+    pub samples_per_sec: f64,
+    /// Throughput relative to the sweep's 1-thread measurement.
+    pub speedup: f64,
+}
+
+/// Run the sweep: one throughput measurement per thread count.
+pub fn measure(
+    rows: usize,
+    duration_ms: u64,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Vec<ScalingPoint> {
+    let table = flights_table(rows);
+    let query = region_season_query(&table);
+    let cfg = HolisticConfig { seed, ..HolisticConfig::default() };
+    let duration = Duration::from_millis(duration_ms);
+    let mut base: Option<f64> = None;
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            eprintln!("parallel scaling: {threads} thread(s)...");
+            let r = sampling_throughput(&table, &query, &cfg, threads, duration);
+            let samples_per_sec = r.samples_per_sec();
+            let base_sps = *base.get_or_insert(samples_per_sec);
+            ScalingPoint {
+                threads,
+                samples: r.samples,
+                rows_read: r.rows_read,
+                elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
+                samples_per_sec,
+                speedup: samples_per_sec / base_sps,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep as the `BENCH_parallel.json` record. `cores` is the
+/// machine's available parallelism — speedup beyond it is physically
+/// impossible, so readers of the record can judge the numbers in context.
+pub fn to_json(rows: usize, duration_ms: u64, cores: usize, points: &[ScalingPoint]) -> String {
+    let results: Vec<Value> = points
+        .iter()
+        .map(|p| {
+            Value::obj([
+                ("threads", (p.threads as u64).into()),
+                ("samples", p.samples.into()),
+                ("rows_read", p.rows_read.into()),
+                ("elapsed_ms", p.elapsed_ms.into()),
+                ("samples_per_sec", p.samples_per_sec.into()),
+                ("speedup_vs_1_thread", p.speedup.into()),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("bench", "parallel_scaling".into()),
+        ("dataset", "flights".into()),
+        ("rows", (rows as u64).into()),
+        ("duration_ms", duration_ms.into()),
+        ("host_cores", (cores as u64).into()),
+        ("results", results.into()),
+    ])
+    .to_string()
+}
+
+/// Render the sweep as markdown.
+pub fn run(rows: usize, duration_ms: u64, points: &[ScalingPoint]) -> String {
+    let md_rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                p.samples.to_string(),
+                format!("{:.0}", p.samples_per_sec),
+                format!("{:.2}", p.speedup),
+            ]
+        })
+        .collect();
+    format!(
+        "### Parallel planning: sampling throughput ({rows} flights rows, \
+         {duration_ms} ms per point)\n\n{}",
+        markdown_table(&["threads", "samples", "samples/sec", "speedup"], &md_rows)
+    )
+}

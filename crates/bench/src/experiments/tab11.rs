@@ -11,12 +11,7 @@ pub fn run(salary: &Table, flights: &Table) -> String {
         .iter()
         .map(|t| {
             let s = DatasetStats::of(t);
-            vec![
-                s.name.clone(),
-                s.dimensions.join(", "),
-                s.rows.to_string(),
-                s.size_display(),
-            ]
+            vec![s.name.clone(), s.dimensions.join(", "), s.rows.to_string(), s.size_display()]
         })
         .collect();
     format!(

@@ -30,10 +30,8 @@ pub fn measure(table: &Table) -> Vec<(String, String, f64)> {
 /// Run and render as markdown.
 pub fn run(table: &Table) -> String {
     let rows = measure(table);
-    let md: Vec<Vec<String>> = rows
-        .iter()
-        .map(|(r, s, p)| vec![r.clone(), s.clone(), format!("{p:.5}")])
-        .collect();
+    let md: Vec<Vec<String>> =
+        rows.iter().map(|(r, s, p)| vec![r.clone(), s.clone(), format!("{p:.5}")]).collect();
     format!(
         "### Table 12: full region x season cancellation result ({} rows)\n\n{}",
         md.len(),

@@ -82,10 +82,7 @@ fn render(title: &str, cmp: &SpeechComparison) -> String {
 pub fn run_tab5(table: &Table, seed: u64) -> (String, SpeechComparison) {
     let query = region_season_query(table);
     let cmp = compare(table, &query, seed);
-    (
-        render("Table 5: speeches for the region x season query (20 fields)", &cmp),
-        cmp,
-    )
+    (render("Table 5: speeches for the region x season query (20 fields)", &cmp), cmp)
 }
 
 /// Table 13: state × month (hundreds of fields).
@@ -93,8 +90,5 @@ pub fn run_tab13(table: &Table, seed: u64) -> String {
     let query = state_month_query(table);
     let n = query.n_aggregates();
     let cmp = compare(table, &query, seed);
-    render(
-        &format!("Table 13: speeches for the state x month query ({n} fields)"),
-        &cmp,
-    )
+    render(&format!("Table 13: speeches for the state x month query ({n} fields)"), &cmp)
 }

@@ -234,9 +234,8 @@ mod tests {
         let table = flights_table(2_000);
         let queries = fig3_queries(&table);
         assert_eq!(queries.len(), 12);
-        let by_label = |l: &str| {
-            queries.iter().find(|(label, _)| label == l).map(|(_, q)| q).unwrap()
-        };
+        let by_label =
+            |l: &str| queries.iter().find(|(label, _)| label == l).map(|(_, q)| q).unwrap();
         assert_eq!(by_label(",R").n_aggregates(), 5);
         assert_eq!(by_label(",RDA").n_aggregates(), 5 * 4 * 14);
         assert_eq!(by_label("N,DA").n_aggregates(), 4 * 14);

@@ -11,7 +11,9 @@
 //!   --data flights|salary   dataset (default flights)
 //!   --rows N                generated rows for flights (default 200000)
 //!   --csv PATH              load a CSV exported by voxolap instead
-//!   --approach NAME         holistic|concurrent|optimal|unmerged|prior
+//!   --approach NAME         holistic|parallel|optimal|unmerged|prior
+//!   --threads N             planning threads for --approach parallel
+//!                           (default: all cores; 1 = deterministic)
 //!   --chars-per-sec R       printed "speaking" rate (default 15; 0 = instant)
 //!   --uncertainty MODE      off|warning|bounds
 //!   --seed N                RNG seed (default 42)
@@ -20,9 +22,9 @@ use std::io::BufRead;
 use std::process::ExitCode;
 
 use voxolap_core::approach::Vocalizer;
-use voxolap_core::concurrent::ConcurrentHolistic;
 use voxolap_core::holistic::{Holistic, HolisticConfig};
 use voxolap_core::optimal::Optimal;
+use voxolap_core::parallel::ParallelHolistic;
 use voxolap_core::prior::PriorGreedy;
 use voxolap_core::uncertainty::UncertaintyMode;
 use voxolap_core::unmerged::Unmerged;
@@ -41,6 +43,7 @@ struct Options {
     rows: usize,
     csv: Option<String>,
     approach: String,
+    threads: Option<usize>,
     chars_per_sec: f64,
     uncertainty: UncertaintyMode,
     seed: u64,
@@ -54,7 +57,8 @@ fn usage() -> &'static str {
        --data flights|salary   dataset to generate (default flights)\n\
        --rows N                rows for the flights dataset (default 200000)\n\
        --csv PATH              load rows from a CSV exported by voxolap\n\
-       --approach NAME         holistic|concurrent|optimal|unmerged|prior (default holistic)\n\
+       --approach NAME         holistic|parallel|optimal|unmerged|prior (default holistic)\n\
+       --threads N             planning threads for --approach parallel (default: all cores)\n\
        --chars-per-sec R       speaking rate for printed output (default 15; 0 = instant)\n\
        --uncertainty MODE      off|warning|bounds (default off)\n\
        --seed N                RNG seed (default 42)"
@@ -66,6 +70,7 @@ fn parse_options() -> Result<Options, String> {
         rows: 200_000,
         csv: None,
         approach: "holistic".into(),
+        threads: None,
         chars_per_sec: 15.0,
         uncertainty: UncertaintyMode::Off,
         seed: 42,
@@ -82,12 +87,19 @@ fn parse_options() -> Result<Options, String> {
         match argv[i].as_str() {
             "--data" => opts.data = take_value(&mut i)?,
             "--rows" => {
-                opts.rows = take_value(&mut i)?
-                    .parse()
-                    .map_err(|_| "bad --rows value".to_string())?
+                opts.rows =
+                    take_value(&mut i)?.parse().map_err(|_| "bad --rows value".to_string())?
             }
             "--csv" => opts.csv = Some(take_value(&mut i)?),
             "--approach" => opts.approach = take_value(&mut i)?,
+            "--threads" => {
+                let n: usize =
+                    take_value(&mut i)?.parse().map_err(|_| "bad --threads value".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = Some(n);
+            }
             "--chars-per-sec" => {
                 opts.chars_per_sec = take_value(&mut i)?
                     .parse()
@@ -102,9 +114,8 @@ fn parse_options() -> Result<Options, String> {
                 }
             }
             "--seed" => {
-                opts.seed = take_value(&mut i)?
-                    .parse()
-                    .map_err(|_| "bad --seed value".to_string())?
+                opts.seed =
+                    take_value(&mut i)?.parse().map_err(|_| "bad --seed value".to_string())?
             }
             "--help" | "-h" => return Err(usage().to_string()),
             arg if opts.command.is_empty() => opts.command = arg.to_string(),
@@ -153,7 +164,14 @@ fn make_vocalizer(opts: &Options) -> Result<Box<dyn Vocalizer>, String> {
     };
     Ok(match opts.approach.as_str() {
         "holistic" => Box::new(Holistic::new(config)),
-        "concurrent" => Box::new(ConcurrentHolistic::new(config)),
+        // "concurrent" kept as an alias for the pre-parallel engine name.
+        "parallel" | "concurrent" => {
+            let mut engine = ParallelHolistic::new(config);
+            if let Some(n) = opts.threads {
+                engine = engine.with_threads(n);
+            }
+            Box::new(engine)
+        }
         "optimal" => Box::new(Optimal::default()),
         "unmerged" => Box::new(Unmerged::new(voxolap_core::unmerged::UnmergedConfig {
             seed: opts.seed,
@@ -221,6 +239,7 @@ fn clone_options(o: &Options) -> Options {
         rows: o.rows,
         csv: o.csv.clone(),
         approach: o.approach.clone(),
+        threads: o.threads,
         chars_per_sec: o.chars_per_sec,
         uncertainty: o.uncertainty,
         seed: o.seed,

@@ -111,8 +111,13 @@ impl Holistic {
         index: &voxolap_engine::stratified::AggregateIndex,
         voice: &mut dyn VoiceOutput,
     ) -> VocalizationOutcome {
-        let core =
-            PlannerCore::with_index(table, query, index, self.config.seed, self.config.resample_size);
+        let core = PlannerCore::with_index(
+            table,
+            query,
+            index,
+            self.config.seed,
+            self.config.resample_size,
+        );
         self.run(table, query, voice, core)
     }
 }
@@ -123,9 +128,9 @@ impl Holistic {
 pub(crate) fn relevant_aggs(tree: &SpeechTree, node: NodeId, layout: &ResultLayout) -> Vec<AggIdx> {
     match tree.tree().data(node) {
         NodeKind::Root | NodeKind::Baseline(_) => (0..layout.n_aggregates() as u32).collect(),
-        NodeKind::Refinement { scope, .. } => (0..layout.n_aggregates() as u32)
-            .filter(|&a| scope.contains(a, layout))
-            .collect(),
+        NodeKind::Refinement { scope, .. } => {
+            (0..layout.n_aggregates() as u32).filter(|&a| scope.contains(a, layout)).collect()
+        }
     }
 }
 
@@ -191,13 +196,8 @@ impl Holistic {
         core.calibrate_sigma(overall, cfg.sigma_override);
 
         let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
-        let mut tree = SpeechTree::build(
-            &generator,
-            &renderer,
-            &cfg.constraints,
-            overall,
-            cfg.max_tree_nodes,
-        );
+        let mut tree =
+            SpeechTree::build(&generator, &renderer, &cfg.constraints, overall, cfg.max_tree_nodes);
 
         let layout = query.layout();
         let mut current = SpeechTree::ROOT;
@@ -217,9 +217,8 @@ impl Holistic {
                 break;
             };
             current = next;
-            let mut sentence = tree
-                .sentence(current, &renderer)
-                .expect("committed nodes are never the root");
+            let mut sentence =
+                tree.sentence(current, &renderer).expect("committed nodes are never the root");
             if !matches!(cfg.uncertainty, UncertaintyMode::Off) {
                 let aggs = relevant_aggs(&tree, current, layout);
                 if let Some(extra) = annotate(
@@ -374,8 +373,8 @@ mod tests {
 
     #[test]
     fn stratified_index_covers_rare_scopes_faster() {
-        use voxolap_engine::stratified::AggregateIndex;
         use voxolap_data::flights::FlightsConfig;
+        use voxolap_engine::stratified::AggregateIndex;
         // Region x season on flights: the US-territories cells are rare.
         let table = FlightsConfig { rows: 20_000, seed: 42 }.generate();
         let q = Query::builder(AggFct::Avg)
@@ -420,9 +419,10 @@ mod tests {
         let table = SalaryConfig { rows: 8, seed: 1 }.generate();
         let schema = table.schema();
         let start = schema.dimension(DimId(1));
-        let empty_bin = start.leaves().iter().copied().find(|&bin| {
-            !(0..table.row_count()).any(|row| table.member_at(DimId(1), row) == bin)
-        });
+        let empty_bin =
+            start.leaves().iter().copied().find(|&bin| {
+                !(0..table.row_count()).any(|row| table.member_at(DimId(1), row) == bin)
+            });
         let Some(bin) = empty_bin else { return };
         let q = Query::builder(AggFct::Avg)
             .filter(DimId(1), bin)

@@ -19,6 +19,11 @@
 //!   compares against: enumerates the full result in value groups with
 //!   greedy scope merging and no length budget.
 //!
+//! [`parallel::ParallelHolistic`] is the multi-threaded deployment engine:
+//! the holistic algorithm with sharded row ingestion and lock-free UCT
+//! sampling across a configurable thread pool (single-threaded it
+//! reproduces [`holistic::Holistic`] exactly).
+//!
 //! ```
 //! use voxolap_core::approach::Vocalizer;
 //! use voxolap_core::holistic::{Holistic, HolisticConfig};
@@ -39,10 +44,10 @@
 //! ```
 
 pub mod approach;
-pub mod concurrent;
 pub mod holistic;
 pub mod optimal;
 pub mod outcome;
+pub mod parallel;
 pub mod prior;
 pub mod sampler;
 pub mod tree;
@@ -51,10 +56,10 @@ pub mod unmerged;
 pub mod voice;
 
 pub use approach::Vocalizer;
-pub use concurrent::ConcurrentHolistic;
 pub use holistic::{Holistic, HolisticConfig};
 pub use optimal::Optimal;
 pub use outcome::{PlanStats, VocalizationOutcome};
+pub use parallel::ParallelHolistic;
 pub use prior::PriorGreedy;
 pub use uncertainty::UncertaintyMode;
 pub use unmerged::Unmerged;

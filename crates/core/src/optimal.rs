@@ -138,13 +138,8 @@ impl Vocalizer for Optimal {
         let sigma = cfg.sigma_override.unwrap_or_else(|| (grand.abs() * 0.5).max(1e-12));
 
         let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
-        let tree = SpeechTree::build(
-            &generator,
-            &renderer,
-            &cfg.constraints,
-            grand,
-            cfg.max_tree_nodes,
-        );
+        let tree =
+            SpeechTree::build(&generator, &renderer, &cfg.constraints, grand, cfg.max_tree_nodes);
 
         // Score every node (every speech in the search space T); ties go to
         // the shorter speech.
@@ -176,10 +171,8 @@ impl Vocalizer for Optimal {
             cur = tree.tree().parent(n);
         }
         chain.reverse();
-        let sentences: Vec<String> = chain
-            .iter()
-            .map(|&n| tree.sentence(n, &renderer).expect("non-root"))
-            .collect();
+        let sentences: Vec<String> =
+            chain.iter().map(|&n| tree.sentence(n, &renderer).expect("non-root")).collect();
 
         let latency = t0.elapsed();
         voice.start(&preamble);

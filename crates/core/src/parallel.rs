@@ -1,0 +1,692 @@
+//! Multi-threaded pipelined vocalization over the lock-free speech tree.
+//!
+//! [`Holistic`](crate::holistic::Holistic) interleaves sampling and voice
+//! output *cooperatively* on one thread: exact, deterministic, but bounded
+//! by a single core. [`ParallelHolistic`] implements the paper's literal
+//! architecture — "while the current sentence is spoken, we determine the
+//! best follow-up in the background" — and scales it across cores:
+//!
+//! * **Sharded row ingestion** — each of N workers streams its own shard
+//!   of the seeded random row order
+//!   ([`Table::scan_shuffled_shard_measure`]) into one shared
+//!   [`ShardedSampleCache`] whose per-aggregate striped buckets keep
+//!   workers from serializing on a global cache lock. The shards partition
+//!   the table, so the union of worker prefixes remains a uniform sample.
+//! * **Lock-free UCT sampling** — workers descend the pre-expanded speech
+//!   tree concurrently with virtual losses
+//!   ([`select_path_vloss`](voxolap_mcts::Tree::select_path_vloss)) and
+//!   commit visit/reward statistics with atomic CAS updates; no tree lock
+//!   exists at all.
+//! * **Commit thread** — the calling thread sleeps on voice output and, at
+//!   each sentence boundary, moves the shared sampling root to the child
+//!   with the best *mean* reward (Algorithm 1's exploitation-only commit).
+//!
+//! With `threads == 1` the engine runs the cooperative loop instead, using
+//! exactly the same shard scanner (1 shard == the plain shuffled scan),
+//! cache arithmetic, and RNG streams as [`PlannerCore`] — so a
+//! single-threaded run reproduces [`Holistic`] word for word under a fixed
+//! seed (guarded by tests). With more threads, outcomes depend on
+//! scheduling and are **not** bit-reproducible; experiments use the
+//! cooperative engine, interactive deployments use this one.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use voxolap_belief::model::rounding_bucket;
+use voxolap_belief::normal::Normal;
+use voxolap_data::table::RowScanner;
+use voxolap_data::Table;
+use voxolap_engine::cache::ResampleScratch;
+use voxolap_engine::query::{AggFct, Query};
+use voxolap_engine::sharded::ShardedSampleCache;
+use voxolap_mcts::NodeId;
+use voxolap_speech::candidates::CandidateGenerator;
+use voxolap_speech::render::Renderer;
+
+use crate::approach::Vocalizer;
+use crate::holistic::{relevant_aggs, HolisticConfig};
+use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::sampler::{calibrated_sigma, SelectionPolicy, SIGMA_FALLBACK};
+use crate::tree::SpeechTree;
+use crate::uncertainty::{annotate, UncertaintyMode};
+use crate::voice::VoiceOutput;
+
+/// How long the committing thread sleeps between `VO.IsPlaying` polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Stream separation constant for per-worker RNGs (an arbitrary odd
+/// multiplier); worker 0's seed is exactly [`PlannerCore`]'s so the
+/// single-threaded engine reproduces the sequential planner.
+const WORKER_STREAM: u64 = 0xd1b5_4a32_d192_ed03;
+
+/// The multi-threaded holistic vocalizer (see module docs).
+#[derive(Debug, Clone)]
+pub struct ParallelHolistic {
+    config: HolisticConfig,
+    threads: usize,
+}
+
+impl Default for ParallelHolistic {
+    fn default() -> Self {
+        ParallelHolistic::new(HolisticConfig::default())
+    }
+}
+
+impl ParallelHolistic {
+    /// Create with the given configuration (shared with
+    /// [`Holistic`](crate::holistic::Holistic)) and as many planning
+    /// threads as the machine has cores.
+    pub fn new(config: HolisticConfig) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelHolistic { config, threads }
+    }
+
+    /// Override the number of planning threads (min 1). `1` selects the
+    /// deterministic cooperative mode.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HolisticConfig {
+        &self.config
+    }
+
+    /// The configured number of planning threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// One planning worker: a private shard scanner and RNG stream over the
+/// shared cache and tree.
+pub(crate) struct ShardWorker<'a> {
+    query: &'a Query,
+    cache: &'a ShardedSampleCache,
+    scanner: RowScanner<'a>,
+    rng: StdRng,
+    scratch: ResampleScratch,
+    sigma: f64,
+    rows_per_iteration: usize,
+    policy: SelectionPolicy,
+}
+
+impl<'a> ShardWorker<'a> {
+    pub(crate) fn new(
+        table: &'a Table,
+        query: &'a Query,
+        cache: &'a ShardedSampleCache,
+        config: &HolisticConfig,
+        shard: usize,
+        n_shards: usize,
+    ) -> Self {
+        ShardWorker {
+            query,
+            cache,
+            scanner: table.scan_shuffled_shard_measure(
+                config.seed,
+                query.measure(),
+                shard,
+                n_shards,
+            ),
+            // Worker 0 gets PlannerCore's exact stream; others are split
+            // off by an odd multiplier.
+            rng: StdRng::seed_from_u64(
+                config.seed ^ 0x9e37_79b9_7f4a_7c15 ^ (shard as u64).wrapping_mul(WORKER_STREAM),
+            ),
+            scratch: ResampleScratch::new(),
+            sigma: SIGMA_FALLBACK,
+            rows_per_iteration: config.rows_per_iteration,
+            policy: config.policy,
+        }
+    }
+
+    /// Stream up to `k` rows of this worker's shard into the shared cache.
+    fn ingest_rows(&mut self, k: usize) -> usize {
+        let layout = self.query.layout();
+        let mut read = 0;
+        while read < k {
+            let Some(row) = self.scanner.next_row() else { break };
+            self.cache.observe(layout.agg_of_row(row.members), row.value);
+            read += 1;
+        }
+        read
+    }
+
+    /// Warm-up on the worker's shard until an overall estimate exists.
+    /// Mirrors `PlannerCore::warmup` exactly — the threads=1 parity tests
+    /// guard the lockstep; see that method for the rationale of each step.
+    pub(crate) fn warmup(&mut self, min_rows: usize) -> Option<f64> {
+        let n_aggs = self.query.n_aggregates() as f64;
+        let per_aggregate = |est: f64, fct: AggFct| match fct {
+            AggFct::Avg => est,
+            _ => est / n_aggs,
+        };
+        self.ingest_rows(min_rows);
+        let est = loop {
+            if let Some(est) = self.cache.overall_estimate(self.query.fct()) {
+                break est;
+            }
+            if self.ingest_rows(64) == 0 {
+                return self
+                    .cache
+                    .overall_estimate(self.query.fct())
+                    .map(|e| per_aggregate(e, self.query.fct()));
+            }
+        };
+        if est != 0.0 || self.query.fct() != AggFct::Avg {
+            return Some(per_aggregate(est, self.query.fct()));
+        }
+        let budget = min_rows.saturating_mul(50);
+        while self.scanner.rows_read() < budget {
+            if self.ingest_rows(256) == 0 {
+                break;
+            }
+            match self.cache.overall_estimate(self.query.fct()) {
+                Some(e) if e != 0.0 => return Some(e),
+                _ => {}
+            }
+        }
+        self.cache.overall_estimate(self.query.fct())
+    }
+
+    /// One sampling iteration against the shared tree — the parallel
+    /// counterpart of `PlannerCore::sample_once`, with the same RNG
+    /// consumption order so worker 0 in single-thread mode reproduces it.
+    /// `use_vloss` selects the virtual-loss descent that spreads
+    /// concurrent workers across the tree.
+    pub(crate) fn sample_once(&mut self, tree: &SpeechTree, from: NodeId, use_vloss: bool) -> f64 {
+        self.ingest_rows(self.rows_per_iteration);
+
+        let layout = self.query.layout();
+        let Some(agg) = self.cache.pick_aggregate(self.query.fct(), &mut self.rng) else {
+            return 0.0;
+        };
+        let Some(estimate) = self.cache.estimate_with(agg, &mut self.rng, &mut self.scratch) else {
+            return 0.0;
+        };
+        let est = estimate.value(self.query.fct());
+
+        let t = tree.tree();
+        let path = match self.policy {
+            SelectionPolicy::Uct if use_vloss => t.select_path_vloss(from, &mut self.rng),
+            SelectionPolicy::Uct => t.select_path(from, &mut self.rng),
+            SelectionPolicy::UniformRandom => t.random_path(from, &mut self.rng),
+        };
+        let leaf = *path.last().expect("path is never empty");
+        let reward = if est.is_finite() {
+            let coords = layout.coords_of_agg(agg);
+            let mean = tree.mean_for(leaf, &coords);
+            let (lo, hi) = rounding_bucket(est, self.sigma / 10.0);
+            Normal::new(mean, self.sigma).prob_interval(lo, hi)
+        } else {
+            0.0
+        };
+        if use_vloss && self.policy == SelectionPolicy::Uct {
+            t.update_path_vloss(&path, reward);
+        } else {
+            t.update_path(&path, reward);
+        }
+        reward
+    }
+}
+
+/// Result of one [`sampling_throughput`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Number of worker threads that sampled.
+    pub threads: usize,
+    /// Total completed sampling iterations across all workers.
+    pub samples: u64,
+    /// Total rows streamed into the shared cache.
+    pub rows_read: u64,
+    /// Wall-clock time the workers ran.
+    pub elapsed: Duration,
+}
+
+impl ThroughputReport {
+    /// Completed sampling iterations per wall-clock second.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measure raw sampling throughput: `threads` workers hammer a freshly
+/// built speech tree and sharded cache from the root for `duration`
+/// (no voice, no commit steps — pure planning work). This is the
+/// scaling benchmark's engine; setup (table scan permutations, warm-up,
+/// tree construction) happens before the clock starts.
+pub fn sampling_throughput(
+    table: &Table,
+    query: &Query,
+    config: &HolisticConfig,
+    threads: usize,
+    duration: Duration,
+) -> ThroughputReport {
+    let threads = threads.max(1);
+    let schema = table.schema();
+    let renderer = Renderer::new(schema, query);
+    let cache = ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
+        .with_resample_size(config.resample_size);
+    let mut workers: Vec<ShardWorker<'_>> =
+        (0..threads).map(|w| ShardWorker::new(table, query, &cache, config, w, threads)).collect();
+    let overall = workers[0].warmup(config.warmup_rows).unwrap_or(0.0);
+    let sigma = calibrated_sigma(overall, config.sigma_override);
+    for w in &mut workers {
+        w.sigma = sigma;
+    }
+    let generator = CandidateGenerator::new(schema, query, config.candidates.clone());
+    let tree = SpeechTree::build(
+        &generator,
+        &renderer,
+        &config.constraints,
+        overall,
+        config.max_tree_nodes,
+    );
+
+    let samples = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let use_vloss = threads > 1;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for mut worker in workers {
+            let tree = &tree;
+            let stop = &stop;
+            let samples = &samples;
+            scope.spawn(move || {
+                // Count locally so the shared counter isn't itself a
+                // contention point in the measurement.
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    worker.sample_once(tree, SpeechTree::ROOT, use_vloss);
+                    local += 1;
+                }
+                samples.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    ThroughputReport {
+        threads,
+        samples: samples.load(Ordering::Relaxed),
+        rows_read: cache.nr_read(),
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// Outcome for a query whose scope matched no rows at all.
+fn no_data_outcome(
+    preamble: String,
+    latency: Duration,
+    rows_read: u64,
+    voice: &mut dyn VoiceOutput,
+    t0: Instant,
+) -> VocalizationOutcome {
+    let sentence = "No data matches the query scope.".to_string();
+    voice.start(&sentence);
+    VocalizationOutcome {
+        speech: None,
+        preamble,
+        sentences: vec![sentence],
+        latency,
+        stats: PlanStats {
+            rows_read,
+            samples: 0,
+            tree_nodes: 0,
+            truncated: false,
+            planning_time: t0.elapsed(),
+        },
+    }
+}
+
+impl Vocalizer for ParallelHolistic {
+    fn name(&self) -> &'static str {
+        "holistic-parallel"
+    }
+
+    fn vocalize(
+        &self,
+        table: &Table,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let schema = table.schema();
+        let renderer = Renderer::new(schema, query);
+
+        // Start voice output of the preamble; everything below overlaps it.
+        let preamble = renderer.preamble();
+        voice.start(&preamble);
+        let latency = t0.elapsed();
+
+        let n_workers = self.threads;
+        let cache = ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
+            .with_resample_size(cfg.resample_size);
+        let mut workers: Vec<ShardWorker<'_>> = (0..n_workers)
+            .map(|w| ShardWorker::new(table, query, &cache, cfg, w, n_workers))
+            .collect();
+
+        // Warm up on worker 0's shard (a uniform sample of the table).
+        let Some(overall) = workers[0].warmup(cfg.warmup_rows) else {
+            return no_data_outcome(preamble, latency, cache.nr_read(), voice, t0);
+        };
+        let sigma = calibrated_sigma(overall, cfg.sigma_override);
+        for w in &mut workers {
+            w.sigma = sigma;
+        }
+
+        let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
+        let tree =
+            SpeechTree::build(&generator, &renderer, &cfg.constraints, overall, cfg.max_tree_nodes);
+
+        let layout = query.layout();
+        let unit = schema.measure(query.measure()).unit;
+        let mut sentences: Vec<String> = Vec::new();
+        let samples = AtomicU64::new(0);
+        let mut current = SpeechTree::ROOT;
+
+        if n_workers == 1 {
+            // Cooperative deterministic mode: Algorithm 1 on the calling
+            // thread, plain (vloss-free) descent — matches Holistic.
+            let mut worker = workers.pop().expect("one worker");
+            loop {
+                let mut iterations = 0u64;
+                while voice.is_playing() || iterations < cfg.min_samples_per_sentence {
+                    worker.sample_once(&tree, current, false);
+                    iterations += 1;
+                }
+                samples.fetch_add(iterations, Ordering::Relaxed);
+                let Some(next) =
+                    commit_step(&tree, &mut current, &renderer, cfg, &cache, layout, unit)
+                else {
+                    break;
+                };
+                sentences.push(next.clone());
+                voice.start(&next);
+            }
+        } else {
+            let shared_current = AtomicU32::new(SpeechTree::ROOT.index() as u32);
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for mut worker in workers {
+                    let tree = &tree;
+                    let shared_current = &shared_current;
+                    let stop = &stop;
+                    let samples = &samples;
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let from = NodeId(shared_current.load(Ordering::Acquire));
+                            worker.sample_once(tree, from, true);
+                            samples.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+
+                // Commit loop: sleep while the voice plays (workers sample
+                // in the background), then advance the shared root.
+                loop {
+                    let sentence_started = samples.load(Ordering::Relaxed);
+                    while voice.is_playing() {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    // Progress floor for near-instant voices.
+                    while samples.load(Ordering::Relaxed)
+                        < sentence_started + cfg.min_samples_per_sentence
+                    {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    let Some(next) =
+                        commit_step(&tree, &mut current, &renderer, cfg, &cache, layout, unit)
+                    else {
+                        break;
+                    };
+                    shared_current.store(current.index() as u32, Ordering::Release);
+                    sentences.push(next.clone());
+                    voice.start(&next);
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+
+        VocalizationOutcome {
+            speech: Some(tree.speech_at(current)),
+            preamble,
+            sentences,
+            latency,
+            stats: PlanStats {
+                rows_read: cache.nr_read(),
+                samples: samples.load(Ordering::Relaxed),
+                tree_nodes: tree.tree().node_count(),
+                truncated: tree.truncated(),
+                planning_time: t0.elapsed(),
+            },
+        }
+    }
+}
+
+/// Advance `current` to its best-mean child and render that sentence
+/// (with the configured uncertainty annotation); `None` when the walk is
+/// finished.
+#[allow(clippy::too_many_arguments)]
+fn commit_step(
+    tree: &SpeechTree,
+    current: &mut NodeId,
+    renderer: &Renderer<'_>,
+    cfg: &HolisticConfig,
+    cache: &ShardedSampleCache,
+    layout: &voxolap_engine::query::ResultLayout,
+    unit: voxolap_data::schema::MeasureUnit,
+) -> Option<String> {
+    if tree.tree().is_leaf(*current) {
+        return None;
+    }
+    let next = tree.tree().best_child(*current)?;
+    *current = next;
+    let mut sentence = tree.sentence(next, renderer).expect("committed nodes are never the root");
+    if !matches!(cfg.uncertainty, UncertaintyMode::Off) {
+        let aggs = relevant_aggs(tree, next, layout);
+        if let Some(extra) = annotate(cfg.uncertainty, cache, layout, &aggs, unit) {
+            sentence = format!("{sentence} {extra}");
+        }
+    }
+    Some(sentence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+    use voxolap_speech::constraints::SpeechConstraints;
+
+    use crate::holistic::Holistic;
+    use crate::voice::InstantVoice;
+
+    /// A wall-clock voice local to these tests (the production one lives
+    /// in voxolap-voice, which sits above this crate).
+    struct SleepyVoice {
+        until: Option<Instant>,
+        per_char: Duration,
+        transcript: Vec<String>,
+    }
+
+    impl SleepyVoice {
+        fn new(per_char: Duration) -> Self {
+            SleepyVoice { until: None, per_char, transcript: Vec::new() }
+        }
+    }
+
+    impl VoiceOutput for SleepyVoice {
+        fn start(&mut self, sentence: &str) {
+            self.until = Some(Instant::now() + self.per_char * sentence.len() as u32);
+            self.transcript.push(sentence.to_string());
+        }
+        fn is_playing(&mut self) -> bool {
+            self.until.is_some_and(|t| Instant::now() < t)
+        }
+        fn transcript(&self) -> &[String] {
+            &self.transcript
+        }
+    }
+
+    fn setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    fn fast_config() -> HolisticConfig {
+        HolisticConfig {
+            min_samples_per_sentence: 400,
+            max_tree_nodes: 60_000,
+            ..HolisticConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_reproduces_holistic_exactly() {
+        let (table, q) = setup();
+        let mut voice_seq = InstantVoice::default();
+        let seq = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice_seq);
+        let mut voice_par = InstantVoice::default();
+        let par = ParallelHolistic::new(fast_config()).with_threads(1).vocalize(
+            &table,
+            &q,
+            &mut voice_par,
+        );
+        assert_eq!(par.sentences, seq.sentences, "same speech, sentence for sentence");
+        assert_eq!(par.preamble, seq.preamble);
+        assert_eq!(par.stats.samples, seq.stats.samples);
+        assert_eq!(par.stats.rows_read, seq.stats.rows_read);
+    }
+
+    #[test]
+    fn single_thread_parity_holds_across_seeds_and_constraints() {
+        let (table, q) = setup();
+        for seed in [3u64, 17, 2024] {
+            let cfg = HolisticConfig {
+                seed,
+                constraints: SpeechConstraints { max_chars: 300, max_refinements: 1 },
+                min_samples_per_sentence: 250,
+                max_tree_nodes: 40_000,
+                ..HolisticConfig::default()
+            };
+            let mut v1 = InstantVoice::default();
+            let seq = Holistic::new(cfg.clone()).vocalize(&table, &q, &mut v1);
+            let mut v2 = InstantVoice::default();
+            let par = ParallelHolistic::new(cfg).with_threads(1).vocalize(&table, &q, &mut v2);
+            assert_eq!(par.sentences, seq.sentences, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_thread_engine_produces_valid_speech() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        let mut voice = SleepyVoice::new(Duration::from_micros(200));
+        let outcome = ParallelHolistic::new(cfg).with_threads(4).vocalize(&table, &q, &mut voice);
+        let speech = outcome.speech.as_ref().expect("structured speech");
+        assert!(speech.refinements.len() <= 2);
+        assert!(!outcome.sentences.is_empty());
+        assert_eq!(voice.transcript().len(), 1 + outcome.sentences.len());
+        assert!(outcome.latency.as_millis() < 500);
+    }
+
+    #[test]
+    fn background_sampling_accumulates_during_speech() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            min_samples_per_sentence: 1,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        // ~20 ms of "speaking" per sentence buys thousands of iterations.
+        let mut voice = SleepyVoice::new(Duration::from_micros(300));
+        let outcome = ParallelHolistic::new(cfg).with_threads(4).vocalize(&table, &q, &mut voice);
+        assert!(
+            outcome.stats.samples > 500,
+            "workers sampled during speech: {}",
+            outcome.stats.samples
+        );
+    }
+
+    #[test]
+    fn respects_fragment_budget() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            constraints: SpeechConstraints { max_chars: 300, max_refinements: 1 },
+            min_samples_per_sentence: 100,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        let mut voice = SleepyVoice::new(Duration::from_micros(50));
+        let outcome = ParallelHolistic::new(cfg).with_threads(3).vocalize(&table, &q, &mut voice);
+        assert!(outcome.speech.unwrap().refinements.len() <= 1);
+    }
+
+    #[test]
+    fn multi_thread_baseline_lands_near_truth() {
+        let (table, q) = setup();
+        let mut voice = SleepyVoice::new(Duration::from_micros(100));
+        let outcome =
+            ParallelHolistic::new(fast_config()).with_threads(4).vocalize(&table, &q, &mut voice);
+        let v = outcome.speech.unwrap().baseline.value;
+        // Exact grand mean is ~88-92 K at one significant digit.
+        assert!((70.0..=110.0).contains(&v), "baseline {v}");
+    }
+
+    #[test]
+    fn uncertainty_warning_works_in_parallel_mode() {
+        let (table, q) = setup();
+        let cfg = HolisticConfig {
+            uncertainty: UncertaintyMode::Warning { max_relative_width: 0.0001 },
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        let mut voice = SleepyVoice::new(Duration::from_micros(100));
+        let outcome = ParallelHolistic::new(cfg).with_threads(2).vocalize(&table, &q, &mut voice);
+        assert!(
+            outcome.sentences.iter().any(|s| s.contains("confidence")),
+            "warning appended: {:?}",
+            outcome.sentences
+        );
+    }
+
+    #[test]
+    fn empty_scope_is_reported_gracefully() {
+        let table = SalaryConfig { rows: 8, seed: 1 }.generate();
+        let schema = table.schema();
+        let start = schema.dimension(DimId(1));
+        let empty_bin =
+            start.leaves().iter().copied().find(|&bin| {
+                !(0..table.row_count()).any(|row| table.member_at(DimId(1), row) == bin)
+            });
+        let Some(bin) = empty_bin else { return };
+        let q = Query::builder(AggFct::Avg)
+            .filter(DimId(1), bin)
+            .group_by(DimId(0), LevelId(1))
+            .build(schema)
+            .unwrap();
+        let mut voice = InstantVoice::default();
+        let outcome =
+            ParallelHolistic::new(fast_config()).with_threads(2).vocalize(&table, &q, &mut voice);
+        assert!(outcome.sentences[0].contains("No data"));
+        assert!(outcome.speech.is_none());
+    }
+}

@@ -158,8 +158,10 @@ impl Vocalizer for PriorGreedy {
 
         let mut sentences = Vec::new();
         for (value, aggs) in groups {
-            let descs: Vec<ScopeDesc> =
-                aggs.iter().map(|&a| layout.coords_of_agg(a).into_iter().map(Some).collect()).collect();
+            let descs: Vec<ScopeDesc> = aggs
+                .iter()
+                .map(|&a| layout.coords_of_agg(a).into_iter().map(Some).collect())
+                .collect();
             let merged = Self::merge_scopes(descs, &radixes);
             let scope_list: Vec<String> =
                 merged.iter().map(|d| Self::describe(d, query, schema)).collect();
@@ -255,9 +257,8 @@ mod tests {
     fn scope_merging_collapses_full_dimensions() {
         // Two dims with radix 2 and 3; six descriptions covering everything
         // must merge down to one unrestricted description.
-        let descs: Vec<ScopeDesc> = (0..2)
-            .flat_map(|a| (0..3).map(move |b| vec![Some(a), Some(b)]))
-            .collect();
+        let descs: Vec<ScopeDesc> =
+            (0..2).flat_map(|a| (0..3).map(move |b| vec![Some(a), Some(b)])).collect();
         let merged = PriorGreedy::merge_scopes(descs, &[2, 3]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0], vec![None, None]);

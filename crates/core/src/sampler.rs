@@ -13,7 +13,7 @@ use voxolap_belief::model::rounding_bucket;
 use voxolap_belief::normal::Normal;
 use voxolap_data::table::RowScanner;
 use voxolap_data::Table;
-use voxolap_engine::cache::SampleCache;
+use voxolap_engine::cache::{ResampleScratch, SampleCache};
 use voxolap_engine::query::Query;
 use voxolap_engine::stratified::{AggregateIndex, StratifiedScanner};
 use voxolap_mcts::NodeId;
@@ -21,7 +21,24 @@ use voxolap_mcts::NodeId;
 use crate::tree::SpeechTree;
 
 /// Fallback σ when the measure's overall mean is zero or unavailable.
-const SIGMA_FALLBACK: f64 = 1.0;
+pub(crate) const SIGMA_FALLBACK: f64 = 1.0;
+
+/// The σ the paper calibrates for a run: an explicit override, or half the
+/// overall estimate (falling back to 1 for degenerate means). Shared by
+/// the sequential and parallel planners.
+pub(crate) fn calibrated_sigma(overall_estimate: f64, sigma_override: Option<f64>) -> f64 {
+    match sigma_override {
+        Some(s) => s,
+        None => {
+            let s = overall_estimate.abs() * 0.5;
+            if s.is_finite() && s > 0.0 {
+                s
+            } else {
+                SIGMA_FALLBACK
+            }
+        }
+    }
+}
 
 /// How sampling iterations pick the speech to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +76,9 @@ pub struct PlannerCore<'a> {
     cache: SampleCache,
     sigma: f64,
     rng: StdRng,
+    /// Reused resample buffers — keeps the per-iteration estimate
+    /// allocation-free (see `SampleCache::estimate_with`).
+    scratch: ResampleScratch,
     samples: u64,
     policy: SelectionPolicy,
 }
@@ -88,6 +108,7 @@ impl<'a> PlannerCore<'a> {
                 .with_resample_size(resample_size),
             sigma: SIGMA_FALLBACK,
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            scratch: ResampleScratch::new(),
             samples: 0,
             policy: SelectionPolicy::Uct,
         }
@@ -115,6 +136,7 @@ impl<'a> PlannerCore<'a> {
                 .with_resample_size(resample_size),
             sigma: SIGMA_FALLBACK,
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            scratch: ResampleScratch::new(),
             samples: 0,
             policy: SelectionPolicy::Uct,
         }
@@ -126,26 +148,28 @@ impl<'a> PlannerCore<'a> {
     }
 
     /// Stream up to `k` rows into the cache; returns how many were read.
+    ///
+    /// The enum dispatch on the row source happens once per call, not once
+    /// per row — this is the hottest loop in the planner (every sampling
+    /// iteration ingests rows), and the per-row match prevented the
+    /// scanner accesses from staying in registers.
     pub fn ingest_rows(&mut self, k: usize) -> usize {
         let layout = self.query.layout();
         let mut read = 0;
-        for _ in 0..k {
-            match &mut self.scanner {
-                RowSource::Shuffled(scan) => match scan.next_row() {
-                    Some(row) => {
-                        let agg = layout.agg_of_row(row.members);
-                        self.cache.observe(agg, row.value);
-                        read += 1;
-                    }
-                    None => break,
-                },
-                RowSource::Stratified(scan) => match scan.next_row() {
-                    Some((agg, row)) => {
-                        self.cache.observe(Some(agg), row.value);
-                        read += 1;
-                    }
-                    None => break,
-                },
+        match &mut self.scanner {
+            RowSource::Shuffled(scan) => {
+                while read < k {
+                    let Some(row) = scan.next_row() else { break };
+                    self.cache.observe(layout.agg_of_row(row.members), row.value);
+                    read += 1;
+                }
+            }
+            RowSource::Stratified(scan) => {
+                while read < k {
+                    let Some((agg, row)) = scan.next_row() else { break };
+                    self.cache.observe(Some(agg), row.value);
+                    read += 1;
+                }
             }
         }
         read
@@ -200,17 +224,7 @@ impl<'a> PlannerCore<'a> {
     /// Fix σ for this run: an explicit override, or the paper's choice of
     /// half the overall mean (falling back to 1 for degenerate means).
     pub fn calibrate_sigma(&mut self, overall_estimate: f64, sigma_override: Option<f64>) -> f64 {
-        self.sigma = match sigma_override {
-            Some(s) => s,
-            None => {
-                let s = overall_estimate.abs() * 0.5;
-                if s.is_finite() && s > 0.0 {
-                    s
-                } else {
-                    SIGMA_FALLBACK
-                }
-            }
-        };
+        self.sigma = calibrated_sigma(overall_estimate, sigma_override);
         self.sigma
     }
 
@@ -233,7 +247,7 @@ impl<'a> PlannerCore<'a> {
         let Some(agg) = self.cache.pick_aggregate(self.query.fct(), &mut self.rng) else {
             return 0.0;
         };
-        let Some(estimate) = self.cache.estimate(agg, &mut self.rng) else {
+        let Some(estimate) = self.cache.estimate_with(agg, &mut self.rng, &mut self.scratch) else {
             return 0.0;
         };
         let est = estimate.value(self.query.fct());
@@ -374,8 +388,7 @@ mod tests {
         let start = schema.dimension(DimId(1));
         let mut empty_bin = None;
         for &bin in start.leaves() {
-            let has_rows = (0..table.row_count())
-                .any(|row| table.member_at(DimId(1), row) == bin);
+            let has_rows = (0..table.row_count()).any(|row| table.member_at(DimId(1), row) == bin);
             if !has_rows {
                 empty_bin = Some(bin);
                 break;

@@ -126,17 +126,11 @@ impl SpeechTree {
     /// Resolve the reference value for a new refinement under `parent`:
     /// the implied value of the nearest ancestor refinement whose scope
     /// subsumes the new one, or the path's baseline value.
-    fn resolve_reference(
-        &self,
-        parent: NodeId,
-        r: &Refinement,
-        schema: &Schema,
-    ) -> (f64, f64) {
-        let is_anc = |dim: voxolap_data::DimId,
-                      a: voxolap_data::MemberId,
-                      d: voxolap_data::MemberId| {
-            schema.dimension(dim).is_ancestor_or_self(a, d)
-        };
+    fn resolve_reference(&self, parent: NodeId, r: &Refinement, schema: &Schema) -> (f64, f64) {
+        let is_anc =
+            |dim: voxolap_data::DimId, a: voxolap_data::MemberId, d: voxolap_data::MemberId| {
+                schema.dimension(dim).is_ancestor_or_self(a, d)
+            };
         let mut reference = None;
         let mut cur = Some(parent);
         let mut baseline = 0.0;

@@ -10,11 +10,32 @@
 use voxolap_data::schema::MeasureUnit;
 use voxolap_engine::cache::SampleCache;
 use voxolap_engine::query::{AggIdx, ResultLayout};
+use voxolap_engine::sharded::ShardedSampleCache;
 use voxolap_speech::verbalize::verbalize_value;
 
+/// Anything that can produce per-aggregate confidence intervals — the
+/// sequential sample cache and its sharded parallel counterpart both
+/// qualify, so the annotation logic is written once against this trait.
+pub trait ConfidenceSource {
+    /// Normal-approximation confidence interval for one aggregate's
+    /// average at `z` standard errors; `None` with too few samples.
+    fn confidence_interval(&self, agg: AggIdx, z: f64) -> Option<(f64, f64)>;
+}
+
+impl ConfidenceSource for SampleCache {
+    fn confidence_interval(&self, agg: AggIdx, z: f64) -> Option<(f64, f64)> {
+        SampleCache::confidence_interval(self, agg, z)
+    }
+}
+
+impl ConfidenceSource for ShardedSampleCache {
+    fn confidence_interval(&self, agg: AggIdx, z: f64) -> Option<(f64, f64)> {
+        ShardedSampleCache::confidence_interval(self, agg, z)
+    }
+}
+
 /// How uncertainty information is transmitted to the user.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum UncertaintyMode {
     /// No uncertainty output (the default).
     #[default]
@@ -30,7 +51,6 @@ pub enum UncertaintyMode {
     SpokenBounds,
 }
 
-
 /// The 95 % z-score used for spoken bounds.
 const Z95: f64 = 1.96;
 
@@ -40,7 +60,7 @@ const Z95: f64 = 1.96;
 /// confidence is sufficient, or no aggregate has enough cached samples.
 pub fn annotate(
     mode: UncertaintyMode,
-    cache: &SampleCache,
+    cache: &dyn ConfidenceSource,
     _layout: &ResultLayout,
     aggs: &[AggIdx],
     unit: MeasureUnit,

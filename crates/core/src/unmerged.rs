@@ -107,8 +107,7 @@ impl Vocalizer for Unmerged {
         let renderer = Renderer::new(schema, query);
         let preamble = renderer.preamble();
 
-        let mut core =
-            PlannerCore::with_resample_size(table, query, cfg.seed, cfg.resample_size);
+        let mut core = PlannerCore::with_resample_size(table, query, cfg.seed, cfg.resample_size);
         let Some(overall) = core.warmup(cfg.warmup_rows) else {
             let sentence = "No data matches the query scope.".to_string();
             let latency = t0.elapsed();
@@ -131,13 +130,8 @@ impl Vocalizer for Unmerged {
         core.calibrate_sigma(overall, cfg.sigma_override);
 
         let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
-        let mut tree = SpeechTree::build(
-            &generator,
-            &renderer,
-            &cfg.constraints,
-            overall,
-            cfg.max_tree_nodes,
-        );
+        let mut tree =
+            SpeechTree::build(&generator, &renderer, &cfg.constraints, overall, cfg.max_tree_nodes);
 
         // Sample until the budget runs out — no voice output yet.
         match cfg.budget {
@@ -168,12 +162,8 @@ impl Vocalizer for Unmerged {
         // expansion) must still produce output: fall back to the baseline
         // candidate nearest the warm-up estimate.
         if current == SpeechTree::ROOT {
-            let nearest = tree
-                .tree()
-                .children(SpeechTree::ROOT)
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
+            let nearest =
+                tree.tree().children(SpeechTree::ROOT).iter().copied().min_by(|&a, &b| {
                     let da = (tree.speech_at(a).baseline.value - overall).abs();
                     let db = (tree.speech_at(b).baseline.value - overall).abs();
                     da.total_cmp(&db)

@@ -55,10 +55,8 @@ pub fn from_csv(schema: Schema, csv: &str) -> Result<Table, DataError> {
     let n_measures = schema.measure_count();
     let n_cols = n_dims + n_measures;
     let mut lines = csv.lines().enumerate();
-    let (_, header) = lines.next().ok_or(DataError::Csv {
-        line: 1,
-        message: "missing header".to_string(),
-    })?;
+    let (_, header) =
+        lines.next().ok_or(DataError::Csv { line: 1, message: "missing header".to_string() })?;
     let header_fields: Vec<&str> = header.split(',').collect();
     if header_fields.len() != n_cols {
         return Err(DataError::Csv {
@@ -83,10 +81,9 @@ pub fn from_csv(schema: Schema, csv: &str) -> Result<Table, DataError> {
         let mut members = Vec::with_capacity(n_dims);
         for (d, field) in fields.iter().take(n_dims).enumerate() {
             let dim = tb.schema().dimension(DimId(d as u8));
-            let m = dim.member_by_phrase(field).map_err(|e| DataError::Csv {
-                line: lineno,
-                message: e.to_string(),
-            })?;
+            let m = dim
+                .member_by_phrase(field)
+                .map_err(|e| DataError::Csv { line: lineno, message: e.to_string() })?;
             members.push(m);
         }
         let mut values = Vec::with_capacity(n_measures);
@@ -97,10 +94,8 @@ pub fn from_csv(schema: Schema, csv: &str) -> Result<Table, DataError> {
             })?;
             values.push(value);
         }
-        tb.push_row_values(&members, &values).map_err(|e| DataError::Csv {
-            line: lineno,
-            message: e.to_string(),
-        })?;
+        tb.push_row_values(&members, &values)
+            .map_err(|e| DataError::Csv { line: lineno, message: e.to_string() })?;
     }
     Ok(tb.build())
 }
@@ -149,9 +144,8 @@ mod tests {
         let t = SalaryConfig { rows: 4, seed: 3 }.generate();
         let inst = t.schema().dimension(DimId(0)).member(t.member_at(DimId(0), 0)).phrase.clone();
         let bin = t.schema().dimension(DimId(1)).member(t.member_at(DimId(1), 0)).phrase.clone();
-        let csv = format!(
-            "college location,start salary,mid-career salary\n{inst},{bin},not-a-number\n"
-        );
+        let csv =
+            format!("college location,start salary,mid-career salary\n{inst},{bin},not-a-number\n");
         let err = from_csv(schema, &csv).unwrap_err();
         assert!(matches!(err, DataError::Csv { line: 2, .. }));
     }
@@ -162,9 +156,11 @@ mod tests {
         use crate::schema::MeasureId;
         let t = FlightsConfig { rows: 40, seed: 3 }.generate();
         let csv = to_csv(&t);
-        assert!(csv.lines().next().unwrap().ends_with(
-            "cancellation probability,departure delay in minutes"
-        ));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("cancellation probability,departure delay in minutes"));
         let back = from_csv(FlightsConfig::schema(), &csv).unwrap();
         assert_eq!(back.row_count(), 40);
         for row in 0..40 {

@@ -12,12 +12,10 @@
 //! checks in the engine — cost `O(depth)` where depth is bounded by the
 //! number of levels (at most 5 in the paper's datasets).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DataError;
 
 /// Identifier of a member within one dimension's member arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MemberId(pub u32);
 
 impl MemberId {
@@ -32,7 +30,7 @@ impl MemberId {
 }
 
 /// Identifier of a level within one dimension (0 = root level).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LevelId(pub u8);
 
 impl LevelId {
@@ -47,7 +45,7 @@ impl LevelId {
 }
 
 /// A node in a dimension hierarchy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Member {
     /// Spoken phrase for this member, e.g. `"the North East"` or
     /// `"any college"` for the root.
@@ -63,7 +61,7 @@ pub struct Member {
 /// A dimension hierarchy: named levels plus a member tree.
 ///
 /// Build one with [`DimensionBuilder`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dimension {
     name: String,
     context: String,
@@ -166,7 +164,11 @@ impl Dimension {
     /// The ancestor of `member` at `level`.
     ///
     /// Returns an error if `member` is shallower than `level`.
-    pub fn ancestor_at_level(&self, member: MemberId, level: LevelId) -> Result<MemberId, DataError> {
+    pub fn ancestor_at_level(
+        &self,
+        member: MemberId,
+        level: LevelId,
+    ) -> Result<MemberId, DataError> {
         let mut cur = member;
         loop {
             let m = &self.members[cur.index()];

@@ -68,11 +68,11 @@ pub const AIRLINES: [&str; 14] = [
 /// Index order: `TABLE12[region][season]` with [`REGIONS`] / [`SEASONS`] order.
 pub const TABLE12: [[f64; 4]; 5] = [
     // Winter, Spring, Summer, Fall
-    [0.0555, 0.02296, 0.01662, 0.00794],   // North East
-    [0.03944, 0.01576, 0.018, 0.01313],    // Midwest
-    [0.02851, 0.01656, 0.01097, 0.00537],  // South
-    [0.01562, 0.00725, 0.00927, 0.0056],   // West
-    [0.01424, 0.0065, 0.00741, 0.00183],   // US territories
+    [0.0555, 0.02296, 0.01662, 0.00794],  // North East
+    [0.03944, 0.01576, 0.018, 0.01313],   // Midwest
+    [0.02851, 0.01656, 0.01097, 0.00537], // South
+    [0.01562, 0.00725, 0.00927, 0.0056],  // West
+    [0.01424, 0.0065, 0.00741, 0.00183],  // US territories
 ];
 
 /// Share of flights departing from each region (traffic weights).
@@ -242,11 +242,8 @@ impl FlightsConfig {
         let weight_sum: f64 = airline_weights.iter().sum();
         let mut airline_factor: Vec<f64> =
             (0..airline_members.len()).map(|_| rng.gen_range(0.5..1.5)).collect();
-        let weighted_mean: f64 = airline_factor
-            .iter()
-            .zip(&airline_weights)
-            .map(|(f, w)| f * w / weight_sum)
-            .sum();
+        let weighted_mean: f64 =
+            airline_factor.iter().zip(&airline_weights).map(|(f, w)| f * w / weight_sum).sum();
         for f in &mut airline_factor {
             *f /= weighted_mean;
         }
@@ -385,10 +382,8 @@ mod tests {
                 .iter()
                 .position(|&reg| airport.is_ancestor_or_self(reg, leaf_airport))
                 .unwrap();
-            let s = seasons
-                .iter()
-                .position(|&sea| date.is_ancestor_or_self(sea, leaf_month))
-                .unwrap();
+            let s =
+                seasons.iter().position(|&sea| date.is_ancestor_or_self(sea, leaf_month)).unwrap();
             sums[r][s] += t.value_at(row);
             counts[r][s] += 1;
         }

@@ -1,12 +1,10 @@
 //! Table schemas: a set of dimension hierarchies plus one measure column.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dimension::Dimension;
 use crate::error::DataError;
 
 /// Identifier of a dimension within a schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DimId(pub u8);
 
 impl DimId {
@@ -18,7 +16,7 @@ impl DimId {
 }
 
 /// How measure values should be verbalized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MeasureUnit {
     /// Values in `[0,1]` spoken as percentages (e.g. cancellation probability).
     Fraction,
@@ -29,7 +27,7 @@ pub enum MeasureUnit {
 }
 
 /// Identifier of a measure column within a schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MeasureId(pub u8);
 
 impl MeasureId {
@@ -44,7 +42,7 @@ impl MeasureId {
 }
 
 /// One measure column: a spoken name plus a verbalization unit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measure {
     /// Spoken name (e.g. `"cancellation probability"`).
     pub name: String,
@@ -62,7 +60,7 @@ pub struct Measure {
 /// leaf member ids at load time, which matches the paper's assumption of
 /// "joining fact table entries with indexed dimension tables" producing
 /// rows at high frequency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Schema {
     name: String,
     dimensions: Vec<Dimension>,

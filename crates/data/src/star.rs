@@ -141,12 +141,7 @@ impl StarSchema {
         let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
-        StarScanner {
-            star: self,
-            order,
-            pos: 0,
-            buf: vec![MemberId::ROOT; self.dim_tables.len()],
-        }
+        StarScanner { star: self, order, pos: 0, buf: vec![MemberId::ROOT; self.dim_tables.len()] }
     }
 
     /// Load-time join into a denormalized columnar [`Table`].

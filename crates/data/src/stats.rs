@@ -1,12 +1,10 @@
 //! Dataset statistics (reproduces paper Table 11).
 
-use serde::{Deserialize, Serialize};
-
 use crate::table::Table;
 
 /// Summary statistics of one dataset, mirroring the columns of the paper's
 /// Table 11 (dimensions, #rows, size).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetStats {
     /// Dataset name.
     pub name: String,
@@ -23,12 +21,7 @@ impl DatasetStats {
     pub fn of(table: &Table) -> Self {
         DatasetStats {
             name: table.schema().name().to_string(),
-            dimensions: table
-                .schema()
-                .dimensions()
-                .iter()
-                .map(|d| d.name().to_string())
-                .collect(),
+            dimensions: table.schema().dimensions().iter().map(|d| d.name().to_string()).collect(),
             rows: table.row_count(),
             bytes: table.approx_bytes(),
         }
@@ -65,12 +58,7 @@ mod tests {
 
     #[test]
     fn size_display_units() {
-        let mk = |bytes| DatasetStats {
-            name: "x".into(),
-            dimensions: vec![],
-            rows: 0,
-            bytes,
-        };
+        let mk = |bytes| DatasetStats { name: "x".into(), dimensions: vec![], rows: 0, bytes };
         assert_eq!(mk(10).size_display(), "10 B");
         assert_eq!(mk(4096).size_display(), "4 KB");
         assert_eq!(mk(3 * 1024 * 1024).size_display(), "3 MB");

@@ -103,6 +103,39 @@ impl Table {
         }
     }
 
+    /// Create a scanner over shard `shard` of `n_shards` of the seeded
+    /// pseudo-random row order: one global permutation is stride-sliced
+    /// (`order[shard], order[shard + n_shards], …`), so the shards of one
+    /// seed partition the table exactly, each shard is itself a uniform
+    /// random sample of the rows, and a single worker with `n_shards == 1`
+    /// reproduces [`Table::scan_shuffled`] row for row. This is the row
+    /// source for parallel ingestion workers.
+    pub fn scan_shuffled_shard(&self, seed: u64, shard: usize, n_shards: usize) -> RowScanner<'_> {
+        self.scan_shuffled_shard_measure(seed, MeasureId::PRIMARY, shard, n_shards)
+    }
+
+    /// [`Table::scan_shuffled_shard`] delivering values of measure `m`.
+    pub fn scan_shuffled_shard_measure(
+        &self,
+        seed: u64,
+        m: MeasureId,
+        shard: usize,
+        n_shards: usize,
+    ) -> RowScanner<'_> {
+        assert!(n_shards > 0 && shard < n_shards, "shard {shard} of {n_shards}");
+        let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let order: Vec<u32> = order.into_iter().skip(shard).step_by(n_shards).collect();
+        RowScanner {
+            table: self,
+            measure: m,
+            order,
+            pos: 0,
+            buf: vec![MemberId::ROOT; self.dim_cols.len()],
+        }
+    }
+
     /// Create a scanner over the primary measure in storage order.
     pub fn scan_sequential(&self) -> RowScanner<'_> {
         let order: Vec<u32> = (0..self.row_count() as u32).collect();
@@ -190,7 +223,11 @@ impl TableBuilder {
     }
 
     /// Append one fact row with one value per measure column.
-    pub fn push_row_values(&mut self, members: &[MemberId], values: &[f64]) -> Result<(), DataError> {
+    pub fn push_row_values(
+        &mut self,
+        members: &[MemberId],
+        values: &[f64],
+    ) -> Result<(), DataError> {
         if members.len() != self.dim_cols.len() {
             return Err(DataError::LengthMismatch {
                 expected: self.dim_cols.len(),
@@ -324,6 +361,33 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(sorted, vec![1.0, 2.0, 3.0, 4.0], "permutation covers all rows");
+    }
+
+    #[test]
+    fn shards_partition_the_shuffled_order() {
+        let t = tiny_table();
+        // Shard 0 of 1 == the plain shuffled scan, row for row.
+        let mut full = t.scan_shuffled(9);
+        let mut solo = t.scan_shuffled_shard(9, 0, 1);
+        while let Some(a) = full.next_row() {
+            let b = solo.next_row().unwrap();
+            assert_eq!(a.value, b.value);
+        }
+        assert!(solo.next_row().is_none());
+
+        // Shards of one seed partition the table: union of values ==
+        // multiset of all rows, and they interleave the global order.
+        for n_shards in [2usize, 3] {
+            let mut all = Vec::new();
+            for shard in 0..n_shards {
+                let mut s = t.scan_shuffled_shard(9, shard, n_shards);
+                while let Some(r) = s.next_row() {
+                    all.push(r.value);
+                }
+            }
+            all.sort_by(f64::total_cmp);
+            assert_eq!(all, vec![1.0, 2.0, 3.0, 4.0], "{n_shards} shards");
+        }
     }
 
     #[test]

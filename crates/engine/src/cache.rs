@@ -17,7 +17,6 @@
 //!   *every* aggregate is (an empty bucket carries information once related
 //!   to `nr_read`).
 
-use rand::seq::index::sample as sample_indices;
 use rand::Rng;
 
 use voxolap_data::dimension::MemberId;
@@ -27,6 +26,59 @@ use crate::query::{AggFct, AggIdx, ResultLayout};
 /// Default size of the fixed resample (paper §4.3: "we use a fixed size of
 /// 10 samples").
 pub const DEFAULT_RESAMPLE_SIZE: usize = 10;
+
+/// Reusable buffers for [`SampleCache::resample_into`] /
+/// [`SampleCache::estimate_with`]: the planner's inner loop calls these
+/// thousands of times per second, and reusing one scratch keeps the hot
+/// path allocation-free (the buffers grow to the working size once and are
+/// recycled).
+#[derive(Debug, Clone, Default)]
+pub struct ResampleScratch {
+    /// Partial-Fisher–Yates index pool over the bucket.
+    pub(crate) indices: Vec<u32>,
+    /// The drawn resample values.
+    pub(crate) out: Vec<f64>,
+}
+
+impl ResampleScratch {
+    /// A fresh scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Draw `amount` values from `bucket` uniformly without replacement into
+/// `scratch.out` (all of them when the bucket is smaller), via a partial
+/// Fisher–Yates shuffle over a reused index pool. No allocation after the
+/// scratch reaches steady-state capacity.
+pub(crate) fn resample_into_scratch<R: Rng + ?Sized>(
+    bucket: &[f64],
+    amount: usize,
+    rng: &mut R,
+    scratch: &mut ResampleScratch,
+) {
+    scratch.out.clear();
+    if bucket.len() <= amount {
+        scratch.out.extend_from_slice(bucket);
+        return;
+    }
+    let ix = &mut scratch.indices;
+    ix.clear();
+    ix.extend(0..bucket.len() as u32);
+    for i in 0..amount {
+        let j = rng.gen_range(i..bucket.len());
+        ix.swap(i, j);
+        scratch.out.push(bucket[ix[i] as usize]);
+    }
+}
+
+/// Combine the count estimate `e_c` with a resample `v` into the full
+/// estimate triple (shared by the sequential and sharded caches).
+pub(crate) fn estimate_from_resample(e_c: f64, v: &[f64]) -> CacheEstimate {
+    let mean = if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let e_s = if v.is_empty() { 0.0 } else { e_c * mean };
+    CacheEstimate { count: e_c, sum: e_s, avg: mean }
+}
 
 /// A cache-based estimate of one aggregate's count, sum, and average.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,15 +251,25 @@ impl SampleCache {
     /// Fixed-size uniform subsample of one aggregate's cached entries
     /// (`CA.RESAMPLE`). Returns all entries if fewer than the resample size
     /// are cached.
+    ///
+    /// Allocates a fresh `Vec` per call; the planner's hot path uses
+    /// [`SampleCache::resample_into`] with a reused scratch instead.
     pub fn resample<R: Rng + ?Sized>(&self, agg: AggIdx, rng: &mut R) -> Vec<f64> {
-        let bucket = &self.buckets[agg as usize];
-        if bucket.len() <= self.resample_size {
-            return bucket.clone();
-        }
-        sample_indices(rng, bucket.len(), self.resample_size)
-            .into_iter()
-            .map(|i| bucket[i])
-            .collect()
+        let mut scratch = ResampleScratch::new();
+        self.resample_into(agg, rng, &mut scratch);
+        scratch.out
+    }
+
+    /// Allocation-free [`SampleCache::resample`]: draws into `scratch` and
+    /// returns the drawn slice.
+    pub fn resample_into<'s, R: Rng + ?Sized>(
+        &self,
+        agg: AggIdx,
+        rng: &mut R,
+        scratch: &'s mut ResampleScratch,
+    ) -> &'s [f64] {
+        resample_into_scratch(&self.buckets[agg as usize], self.resample_size, rng, scratch);
+        &scratch.out
     }
 
     /// Cache-based estimate for one aggregate (paper `CacheEstimate`):
@@ -218,14 +280,24 @@ impl SampleCache {
     ///
     /// Returns `None` before any row was read.
     pub fn estimate<R: Rng + ?Sized>(&self, agg: AggIdx, rng: &mut R) -> Option<CacheEstimate> {
+        let mut scratch = ResampleScratch::new();
+        self.estimate_with(agg, rng, &mut scratch)
+    }
+
+    /// [`SampleCache::estimate`] with a caller-provided scratch, keeping
+    /// the per-iteration planner loop allocation-free.
+    pub fn estimate_with<R: Rng + ?Sized>(
+        &self,
+        agg: AggIdx,
+        rng: &mut R,
+        scratch: &mut ResampleScratch,
+    ) -> Option<CacheEstimate> {
         if self.nr_read == 0 {
             return None;
         }
         let e_c = self.nr_rows_total as f64 * self.seen(agg) as f64 / self.nr_read as f64;
-        let v = self.resample(agg, rng);
-        let mean = if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
-        let e_s = if v.is_empty() { 0.0 } else { e_c * mean };
-        Some(CacheEstimate { count: e_c, sum: e_s, avg: mean })
+        let v = self.resample_into(agg, rng, scratch);
+        Some(estimate_from_resample(e_c, v))
     }
 
     /// Estimate of the query-scope-wide aggregate value, used to seed
@@ -346,8 +418,7 @@ mod tests {
         let n_seeds = 40;
         for seed in 0..n_seeds {
             let cache = fill_cache(&table, &q, 64, seed);
-            acc += cache.nr_rows_total() as f64 * cache.size(agg) as f64
-                / cache.nr_read() as f64;
+            acc += cache.nr_rows_total() as f64 * cache.size(agg) as f64 / cache.nr_read() as f64;
         }
         let mean_est = acc / n_seeds as f64;
         let truth = exact.count(agg) as f64;
@@ -476,8 +547,8 @@ mod eviction_tests {
             .group_by(DimId(0), LevelId(1))
             .build(table.schema())
             .unwrap();
-        let mut cache = SampleCache::new(q.n_aggregates(), table.row_count() as u64)
-            .with_bucket_capacity(16);
+        let mut cache =
+            SampleCache::new(q.n_aggregates(), table.row_count() as u64).with_bucket_capacity(16);
         let mut scan = table.scan_shuffled(3);
         while let Some(r) = scan.next_row() {
             cache.observe(q.layout().agg_of_row(r.members), r.value);
@@ -498,8 +569,8 @@ mod eviction_tests {
             .group_by(DimId(0), LevelId(1))
             .build(table.schema())
             .unwrap();
-        let mut capped = SampleCache::new(q.n_aggregates(), table.row_count() as u64)
-            .with_bucket_capacity(4);
+        let mut capped =
+            SampleCache::new(q.n_aggregates(), table.row_count() as u64).with_bucket_capacity(4);
         let mut scan = table.scan_shuffled(3);
         while let Some(r) = scan.next_row() {
             capped.observe(q.layout().agg_of_row(r.members), r.value);

@@ -81,8 +81,7 @@ mod tests {
     fn display_variants() {
         assert!(EngineError::DuplicateGroupDim { dim: 1 }.to_string().contains("twice"));
         assert!(EngineError::EmptyResult.to_string().contains("no result"));
-        let wrapped: EngineError =
-            DataError::InvalidId { kind: "member", id: 3 }.into();
+        let wrapped: EngineError = DataError::InvalidId { kind: "member", id: 3 }.into();
         assert!(wrapped.to_string().contains("data error"));
         use std::error::Error as _;
         assert!(wrapped.source().is_some());

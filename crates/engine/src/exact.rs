@@ -4,14 +4,12 @@
 //! data nor in the plan space", paper §5.1) and by exact speech-quality
 //! measurement over the entire data set.
 
-use serde::{Deserialize, Serialize};
-
 use voxolap_data::Table;
 
 use crate::query::{AggFct, AggIdx, Query};
 
 /// Exact result of a query: per-aggregate count, sum, and value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExactResult {
     fct: AggFct,
     counts: Vec<u64>,
@@ -141,10 +139,7 @@ mod tests {
         let table = SalaryConfig::paper_scale().generate();
         let college = table.schema().dimension(DimId(0));
         let ne = college.member_by_phrase("the North East").unwrap();
-        let q = Query::builder(AggFct::Count)
-            .filter(DimId(0), ne)
-            .build(table.schema())
-            .unwrap();
+        let q = Query::builder(AggFct::Count).filter(DimId(0), ne).build(table.schema()).unwrap();
         let r = evaluate(&q, &table);
         assert_eq!(r.len(), 1);
         assert!(r.value(0) > 0.0 && r.value(0) < 320.0);

@@ -36,10 +36,12 @@ pub mod cache;
 pub mod error;
 pub mod exact;
 pub mod query;
+pub mod sharded;
 pub mod stratified;
 
-pub use cache::{CacheEstimate, SampleCache};
+pub use cache::{CacheEstimate, ResampleScratch, SampleCache};
 pub use error::EngineError;
 pub use exact::{evaluate, ExactResult};
-pub use stratified::{AggregateIndex, StratifiedScanner};
 pub use query::{AggFct, AggIdx, Query, QueryBuilder, ResultLayout};
+pub use sharded::ShardedSampleCache;
+pub use stratified::{AggregateIndex, StratifiedScanner};

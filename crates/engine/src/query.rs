@@ -12,8 +12,6 @@
 //! leaf-member → coordinate lookup tables so the per-row scope test used by
 //! the sample cache costs `O(#dimensions)` array lookups.
 
-use serde::{Deserialize, Serialize};
-
 use voxolap_data::dimension::{LevelId, MemberId};
 use voxolap_data::schema::{DimId, MeasureId, Schema};
 
@@ -27,7 +25,7 @@ const OUT_OF_SCOPE: u32 = u32::MAX;
 
 /// Aggregation function (paper supports AVG, SUM, COUNT; MIN/MAX are
 /// "notoriously difficult to approximate via sampling" and excluded).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFct {
     /// Arithmetic mean of the measure.
     Avg,
@@ -49,7 +47,7 @@ impl AggFct {
 }
 
 /// Per-dimension slice of a [`ResultLayout`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct DimLayout {
     /// Scope member for this dimension: the filter member if one is set,
     /// the root otherwise.
@@ -67,7 +65,7 @@ struct DimLayout {
 }
 
 /// Dense mixed-radix layout of a query's result aggregates.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResultLayout {
     dims: Vec<DimLayout>,
     n_aggs: u32,
@@ -136,12 +134,7 @@ impl ResultLayout {
 
     /// Coordinate indices of `dim` lying at or below `member`
     /// (used to resolve refinement-predicate scopes).
-    pub fn coord_indices_under(
-        &self,
-        dim: DimId,
-        member: MemberId,
-        schema: &Schema,
-    ) -> Vec<u32> {
+    pub fn coord_indices_under(&self, dim: DimId, member: MemberId, schema: &Schema) -> Vec<u32> {
         let d = schema.dimension(dim);
         self.dims[dim.index()]
             .coords
@@ -164,7 +157,7 @@ impl ResultLayout {
 }
 
 /// An OLAP aggregation query bound to a schema.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Query {
     fct: AggFct,
     measure: MeasureId,
@@ -419,11 +412,8 @@ mod tests {
         let date = schema.dimension(DimId(1));
         let airline = schema.dimension(DimId(2));
         let ne_leaf = airport.leaves_under(ne)[0];
-        let other_leaf = *airport
-            .leaves()
-            .iter()
-            .find(|&&l| !airport.is_ancestor_or_self(ne, l))
-            .unwrap();
+        let other_leaf =
+            *airport.leaves().iter().find(|&&l| !airport.is_ancestor_or_self(ne, l)).unwrap();
         let june = date.member_by_phrase("June").unwrap();
         let any_airline = airline.leaves()[0];
 
@@ -444,11 +434,8 @@ mod tests {
         let layout = q.layout();
         for agg in 0..layout.n_aggregates() as u32 {
             let coords = layout.coords_of_agg(agg);
-            let rebuilt: u32 = coords
-                .iter()
-                .enumerate()
-                .map(|(d, &c)| c * layout.stride(DimId(d as u8)))
-                .sum();
+            let rebuilt: u32 =
+                coords.iter().enumerate().map(|(d, &c)| c * layout.stride(DimId(d as u8))).sum();
             assert_eq!(rebuilt, agg);
         }
     }
@@ -456,10 +443,7 @@ mod tests {
     #[test]
     fn scope_of_agg_lists_scope_members() {
         let schema = salary_schema();
-        let q = Query::builder(AggFct::Avg)
-            .group_by(DimId(0), LevelId(1))
-            .build(&schema)
-            .unwrap();
+        let q = Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).build(&schema).unwrap();
         let scope = q.layout().scope_of_agg(0);
         assert_eq!(scope.len(), 2);
         let college = schema.dimension(DimId(0));
@@ -480,7 +464,7 @@ mod tests {
         let ne = airport.member_by_phrase("the North East").unwrap();
         let under = q.layout().coord_indices_under(DimId(0), ne, &schema);
         assert_eq!(under.len(), 5); // 5 NE states
-        // Root covers all coordinates.
+                                    // Root covers all coordinates.
         let all = q.layout().coord_indices_under(DimId(0), airport.root(), &schema);
         assert_eq!(all.len(), q.layout().radix(DimId(0)) as usize);
     }
@@ -499,10 +483,8 @@ mod tests {
     #[test]
     fn root_level_grouping_rejected() {
         let schema = salary_schema();
-        let err = Query::builder(AggFct::Avg)
-            .group_by(DimId(0), LevelId(0))
-            .build(&schema)
-            .unwrap_err();
+        let err =
+            Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(0)).build(&schema).unwrap_err();
         assert!(matches!(err, EngineError::BadGroupLevel { .. }));
     }
 

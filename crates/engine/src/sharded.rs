@@ -1,0 +1,426 @@
+//! Striped sample cache for parallel row ingestion.
+//!
+//! [`ShardedSampleCache`] is the multi-threaded counterpart of
+//! [`SampleCache`](crate::cache::SampleCache): N ingestion workers stream
+//! disjoint row shards (see `Table::scan_shuffled_shard`) into one shared
+//! cache concurrently. Contention is kept off the hot path by striping
+//! state per aggregate:
+//!
+//! * each aggregate's value bucket sits behind its **own** mutex, so two
+//!   workers only contend when their rows land in the same aggregate;
+//! * the global counters (`nr_read`, per-aggregate offered counts, scope
+//!   count/sum) are atomics — `nr_read` in particular is bumped once per
+//!   row by every worker and must not serialize them;
+//! * the non-empty aggregate list used by `PickAggregate` is a lock-free
+//!   append-only array (capacity = number of aggregates, slots reserved by
+//!   `fetch_add`, published by store) — `pick_aggregate` runs every planner
+//!   iteration on every thread and must not take a global lock.
+//!
+//! Readers (planner sampling threads) see a **merged view**: `estimate`,
+//! `pick_aggregate`, and `overall_estimate` have the same semantics as the
+//! sequential cache, computed over the union of all workers' insertions.
+//! Since every shard delivers rows in (seeded) random order, the union of
+//! prefixes of the shards is still a uniform random subset of the table,
+//! which is the property all the paper's estimators rest on.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use voxolap_data::dimension::MemberId;
+
+use crate::cache::{
+    estimate_from_resample, resample_into_scratch, CacheEstimate, ResampleScratch,
+    DEFAULT_RESAMPLE_SIZE,
+};
+use crate::query::{AggFct, AggIdx, ResultLayout};
+
+/// Add `delta` to an `f64` held as bits in an [`AtomicU64`].
+#[inline]
+fn fetch_add_f64(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Sentinel marking a reserved-but-not-yet-written `nonempty` slot.
+const UNPUBLISHED: u32 = u32::MAX;
+
+/// One aggregate's mutable state: the cached values plus the reservoir
+/// RNG for eviction decisions. Locked independently of all other buckets.
+#[derive(Debug)]
+struct Bucket {
+    values: Vec<f64>,
+    evict_rng: StdRng,
+}
+
+/// Concurrent, per-aggregate-striped sample cache (see module docs).
+#[derive(Debug)]
+pub struct ShardedSampleCache {
+    buckets: Vec<Mutex<Bucket>>,
+    /// Rows offered per aggregate (drives count estimates + reservoir).
+    offered: Vec<AtomicU64>,
+    /// Whether the aggregate is already in `nonempty`.
+    listed: Vec<AtomicBool>,
+    /// Aggregates with ≥ 1 cached entry, for uniform random picks:
+    /// a lock-free append-only array. `nonempty_len` reserves slots;
+    /// unpublished slots hold [`UNPUBLISHED`] for a few nanoseconds until
+    /// the appender's store lands.
+    nonempty: Vec<AtomicU32>,
+    nonempty_len: AtomicUsize,
+    nr_read: AtomicU64,
+    nr_rows_total: u64,
+    resample_size: usize,
+    bucket_capacity: Option<usize>,
+    scope_count: AtomicU64,
+    scope_sum_bits: AtomicU64,
+}
+
+impl ShardedSampleCache {
+    /// Create an empty cache for a query with `n_aggregates` result fields
+    /// over a table of `nr_rows_total` rows.
+    pub fn new(n_aggregates: usize, nr_rows_total: u64) -> Self {
+        ShardedSampleCache {
+            buckets: (0..n_aggregates)
+                .map(|a| {
+                    Mutex::new(Bucket {
+                        values: Vec::new(),
+                        // Same base seed as the sequential cache, distinct
+                        // stream per stripe.
+                        evict_rng: StdRng::seed_from_u64(0x5eed_cafe ^ a as u64),
+                    })
+                })
+                .collect(),
+            offered: (0..n_aggregates).map(|_| AtomicU64::new(0)).collect(),
+            listed: (0..n_aggregates).map(|_| AtomicBool::new(false)).collect(),
+            nonempty: (0..n_aggregates).map(|_| AtomicU32::new(UNPUBLISHED)).collect(),
+            nonempty_len: AtomicUsize::new(0),
+            nr_read: AtomicU64::new(0),
+            nr_rows_total,
+            resample_size: DEFAULT_RESAMPLE_SIZE,
+            bucket_capacity: None,
+            scope_count: AtomicU64::new(0),
+            scope_sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Override the fixed resample size.
+    pub fn with_resample_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "resample size must be positive");
+        self.resample_size = size;
+        self
+    }
+
+    /// Bound memory: at most `capacity` entries per aggregate bucket,
+    /// maintained as a uniform reservoir sample of the rows offered to it.
+    pub fn with_bucket_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "bucket capacity must be positive");
+        self.bucket_capacity = Some(capacity);
+        self
+    }
+
+    /// Observe one streamed row (callable from any worker thread
+    /// concurrently): `agg` is its aggregate (`None` when out of scope),
+    /// `value` its measure.
+    pub fn observe(&self, agg: Option<AggIdx>, value: f64) {
+        self.nr_read.fetch_add(1, Ordering::AcqRel);
+        let Some(a) = agg else { return };
+        let offered = self.offered[a as usize].fetch_add(1, Ordering::AcqRel) + 1;
+        {
+            let bucket = &mut *self.buckets[a as usize].lock();
+            match self.bucket_capacity {
+                Some(cap) if bucket.values.len() >= cap => {
+                    // Reservoir replacement: the new row displaces a random
+                    // cached one with probability cap / offered.
+                    let slot = bucket.evict_rng.gen_range(0..offered);
+                    if (slot as usize) < cap {
+                        bucket.values[slot as usize] = value;
+                    }
+                }
+                _ => bucket.values.push(value),
+            }
+        }
+        if !self.listed[a as usize].swap(true, Ordering::AcqRel) {
+            let slot = self.nonempty_len.fetch_add(1, Ordering::AcqRel);
+            self.nonempty[slot].store(a, Ordering::Release);
+        }
+        self.scope_count.fetch_add(1, Ordering::AcqRel);
+        fetch_add_f64(&self.scope_sum_bits, value);
+    }
+
+    /// Observe a raw fact row, resolving its aggregate through `layout`.
+    pub fn observe_row(&self, layout: &ResultLayout, members: &[MemberId], value: f64) {
+        self.observe(layout.agg_of_row(members), value);
+    }
+
+    /// Number of cached entries for one aggregate (`CA.SIZE`).
+    pub fn size(&self, agg: AggIdx) -> usize {
+        self.buckets[agg as usize].lock().values.len()
+    }
+
+    /// Total rows ever offered to one aggregate's bucket (counting past
+    /// evictions, so count estimates stay unbiased).
+    pub fn seen(&self, agg: AggIdx) -> u64 {
+        self.offered[agg as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total rows considered so far across all workers (`CA.NRREAD`).
+    pub fn nr_read(&self) -> u64 {
+        self.nr_read.load(Ordering::Relaxed)
+    }
+
+    /// Total rows of the underlying table.
+    pub fn nr_rows_total(&self) -> u64 {
+        self.nr_rows_total
+    }
+
+    /// Number of aggregates with at least one cached entry.
+    pub fn nonempty_count(&self) -> usize {
+        self.nonempty_len.load(Ordering::Acquire)
+    }
+
+    /// Merged `PickAggregate` view: uniform over all aggregates for
+    /// COUNT/SUM, uniform over the non-empty ones for AVG.
+    pub fn pick_aggregate<R: Rng + ?Sized>(&self, fct: AggFct, rng: &mut R) -> Option<AggIdx> {
+        match fct {
+            AggFct::Count | AggFct::Sum => {
+                if self.buckets.is_empty() {
+                    None
+                } else {
+                    Some(rng.gen_range(0..self.buckets.len()) as AggIdx)
+                }
+            }
+            AggFct::Avg => {
+                let len = self.nonempty_len.load(Ordering::Acquire);
+                if len == 0 {
+                    return None;
+                }
+                let i = rng.gen_range(0..len);
+                // Spin on the one unpublished slot we may have raced with —
+                // retrying the same slot (not redrawing) keeps the RNG
+                // stream identical to the sequential cache's.
+                loop {
+                    let v = self.nonempty[i].load(Ordering::Acquire);
+                    if v != UNPUBLISHED {
+                        return Some(v);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Allocation-free fixed-size uniform subsample of one aggregate's
+    /// cached entries; holds the bucket's lock only while copying.
+    pub fn resample_into<'s, R: Rng + ?Sized>(
+        &self,
+        agg: AggIdx,
+        rng: &mut R,
+        scratch: &'s mut ResampleScratch,
+    ) -> &'s [f64] {
+        let bucket = self.buckets[agg as usize].lock();
+        resample_into_scratch(&bucket.values, self.resample_size, rng, scratch);
+        drop(bucket);
+        &scratch.out
+    }
+
+    /// Merged cache estimate for one aggregate, same estimators as the
+    /// sequential cache (`e_C = nrRows · seen / nrRead`, etc.). `None`
+    /// before any row was read.
+    pub fn estimate_with<R: Rng + ?Sized>(
+        &self,
+        agg: AggIdx,
+        rng: &mut R,
+        scratch: &mut ResampleScratch,
+    ) -> Option<CacheEstimate> {
+        let nr_read = self.nr_read();
+        if nr_read == 0 {
+            return None;
+        }
+        let e_c = self.nr_rows_total as f64 * self.seen(agg) as f64 / nr_read as f64;
+        let v = self.resample_into(agg, rng, scratch);
+        Some(estimate_from_resample(e_c, v))
+    }
+
+    /// Estimate of the query-scope-wide aggregate value (see the
+    /// sequential cache for semantics).
+    pub fn overall_estimate(&self, fct: AggFct) -> Option<f64> {
+        let nr_read = self.nr_read();
+        if nr_read == 0 {
+            return None;
+        }
+        let scope_count = self.scope_count.load(Ordering::Relaxed);
+        let scope_sum = f64::from_bits(self.scope_sum_bits.load(Ordering::Relaxed));
+        let e_c = self.nr_rows_total as f64 * scope_count as f64 / nr_read as f64;
+        match fct {
+            AggFct::Count => Some(e_c),
+            AggFct::Sum => {
+                if scope_count == 0 {
+                    Some(0.0)
+                } else {
+                    Some(e_c * scope_sum / scope_count as f64)
+                }
+            }
+            AggFct::Avg => {
+                if scope_count == 0 {
+                    None
+                } else {
+                    Some(scope_sum / scope_count as f64)
+                }
+            }
+        }
+    }
+
+    /// Normal-approximation confidence interval for one aggregate's
+    /// average at `z` standard errors, over all cached entries.
+    pub fn confidence_interval(&self, agg: AggIdx, z: f64) -> Option<(f64, f64)> {
+        let bucket = self.buckets[agg as usize].lock();
+        let values = &bucket.values;
+        if values.len() < 2 {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let se = (var / n).sqrt();
+        Some((mean - z * se, mean + z * se))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::salary::SalaryConfig;
+    use voxolap_data::DimId;
+
+    use crate::exact::evaluate;
+    use crate::query::Query;
+
+    fn salary_setup() -> (voxolap_data::Table, Query) {
+        let table = SalaryConfig::paper_scale().generate();
+        let q = Query::builder(AggFct::Avg)
+            .group_by(DimId(0), LevelId(1))
+            .group_by(DimId(1), LevelId(1))
+            .build(table.schema())
+            .unwrap();
+        (table, q)
+    }
+
+    /// Ingest the whole table from `n_workers` sharded scanners in
+    /// parallel.
+    fn parallel_fill(
+        table: &voxolap_data::Table,
+        q: &Query,
+        n_workers: usize,
+        seed: u64,
+    ) -> ShardedSampleCache {
+        let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        std::thread::scope(|scope| {
+            for w in 0..n_workers {
+                let cache = &cache;
+                scope.spawn(move || {
+                    let mut scan = table.scan_shuffled_shard(seed, w, n_workers);
+                    while let Some(r) = scan.next_row() {
+                        cache.observe(q.layout().agg_of_row(r.members), r.value);
+                    }
+                });
+            }
+        });
+        cache
+    }
+
+    #[test]
+    fn parallel_ingest_counts_are_exact() {
+        let (table, q) = salary_setup();
+        let cache = parallel_fill(&table, &q, 4, 7);
+        assert_eq!(cache.nr_read(), table.row_count() as u64);
+        let total: usize = (0..q.n_aggregates() as u32).map(|a| cache.size(a)).sum();
+        assert_eq!(total, table.row_count(), "no row lost across workers");
+        let exact = evaluate(&q, &table);
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(cache.seen(agg), exact.count(agg), "aggregate {agg}");
+        }
+    }
+
+    #[test]
+    fn merged_estimates_match_exact_after_full_ingest() {
+        let (table, q) = salary_setup();
+        let cache = parallel_fill(&table, &q, 4, 3);
+        let exact = evaluate(&q, &table);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = ResampleScratch::new();
+        for agg in 0..q.n_aggregates() as u32 {
+            let est = cache.estimate_with(agg, &mut rng, &mut scratch).unwrap();
+            assert!((est.count - exact.count(agg) as f64).abs() < 1e-6);
+            assert!((est.avg - exact.value(agg)).abs() < 15.0, "resample mean in range");
+        }
+        // Scope-wide mean is exact with the whole table cached.
+        let overall = cache.overall_estimate(AggFct::Avg).unwrap();
+        let exact_mean: f64 = table.measure().iter().sum::<f64>() / table.row_count() as f64;
+        assert!((overall - exact_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pick_aggregate_covers_all_nonempty() {
+        let (table, q) = salary_setup();
+        let cache = parallel_fill(&table, &q, 3, 5);
+        assert_eq!(cache.nonempty_count(), q.n_aggregates(), "salary scope covers all");
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = vec![false; q.n_aggregates()];
+        for _ in 0..4000 {
+            hits[cache.pick_aggregate(AggFct::Avg, &mut rng).unwrap() as usize] = true;
+        }
+        assert!(hits.iter().all(|&h| h), "every aggregate reachable");
+    }
+
+    #[test]
+    fn bucket_capacity_bounds_memory_under_concurrency() {
+        let (table, q) = salary_setup();
+        let cache = {
+            let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
+                .with_bucket_capacity(8);
+            std::thread::scope(|scope| {
+                for w in 0..4 {
+                    let cache = &cache;
+                    let table = &table;
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut scan = table.scan_shuffled_shard(11, w, 4);
+                        while let Some(r) = scan.next_row() {
+                            cache.observe(q.layout().agg_of_row(r.members), r.value);
+                        }
+                    });
+                }
+            });
+            cache
+        };
+        for agg in 0..q.n_aggregates() as u32 {
+            assert!(cache.size(agg) <= 8, "bucket {agg} capped");
+            assert!(cache.seen(agg) as usize >= cache.size(agg));
+        }
+        let offered: u64 = (0..q.n_aggregates() as u32).map(|a| cache.seen(a)).sum();
+        assert_eq!(offered, table.row_count() as u64, "offered counts survive eviction");
+    }
+
+    #[test]
+    fn empty_cache_behaves_like_sequential() {
+        let cache = ShardedSampleCache::new(4, 100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = ResampleScratch::new();
+        assert_eq!(cache.estimate_with(0, &mut rng, &mut scratch), None);
+        assert_eq!(cache.overall_estimate(AggFct::Avg), None);
+        assert_eq!(cache.pick_aggregate(AggFct::Avg, &mut rng), None);
+        assert!(cache.pick_aggregate(AggFct::Count, &mut rng).is_some());
+        assert_eq!(cache.confidence_interval(0, 1.96), None);
+    }
+}

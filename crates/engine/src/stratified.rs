@@ -137,10 +137,10 @@ impl<'a> StratifiedScanner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use voxolap_data::dimension::LevelId;
-    use voxolap_data::flights::FlightsConfig;
     use crate::cache::SampleCache;
     use crate::query::AggFct;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::flights::FlightsConfig;
 
     fn setup() -> (voxolap_data::Table, Query) {
         let table = FlightsConfig { rows: 30_000, seed: 42 }.generate();

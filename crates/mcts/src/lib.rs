@@ -18,6 +18,24 @@
 //! caller-supplied reward function, and adds the observed reward to every
 //! node on the path.
 //!
+//! ## Lock-free parallel sampling
+//!
+//! Per-node statistics are atomics — visit counts are plain `AtomicU64`
+//! counters, reward sums are `f64` updated through a bit-level
+//! compare-and-swap loop — so any number of threads can descend and update
+//! a shared tree concurrently through `&Tree` without locks. The tree
+//! *structure* is immutable during sampling (it is fully pre-expanded),
+//! which is what makes this safe: threads only race on counters.
+//!
+//! Concurrent descents through [`Tree::select_path_vloss`] additionally
+//! apply **virtual loss**: each traversed node temporarily counts the
+//! in-flight sample as a visit with zero reward, pushing other threads
+//! toward different subtrees until [`Tree::update_path_vloss`] replaces
+//! the pessimistic placeholder with the observed reward. With no virtual
+//! losses in flight the single-threaded code paths are arithmetically
+//! identical to the sequential planner, which keeps fixed-seed runs
+//! bit-reproducible.
+//!
 //! ```
 //! use voxolap_mcts::Tree;
 //! use rand::SeedableRng;
@@ -34,6 +52,8 @@
 //! let _ = b;
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::Rng;
 
 /// Identifier of a node in a [`Tree`] arena.
@@ -48,18 +68,80 @@ impl NodeId {
     }
 }
 
+/// Add `delta` to an `f64` stored as bits in an [`AtomicU64`].
+#[inline]
+fn fetch_add_f64(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
 /// One search-tree node (paper Table 4: text fields live in `data`,
-/// `visits`/`reward` are the planner statistics).
-#[derive(Debug, Clone)]
+/// `visits`/`reward` are the planner statistics). Statistics are atomic so
+/// sampling threads share the node without locking; `vloss` counts
+/// in-flight concurrent descents through this node (virtual loss).
+#[derive(Debug)]
 struct Node<T> {
     data: T,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
-    visits: u64,
-    reward: f64,
+    visits: AtomicU64,
+    /// Reward sum as `f64::to_bits`, updated by compare-and-swap.
+    reward_bits: AtomicU64,
+    vloss: AtomicU64,
+}
+
+impl<T> Node<T> {
+    fn new(data: T, parent: Option<NodeId>) -> Self {
+        Node {
+            data,
+            parent,
+            children: Vec::new(),
+            visits: AtomicU64::new(0),
+            reward_bits: AtomicU64::new(0f64.to_bits()),
+            vloss: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn visits(&self) -> u64 {
+        self.visits.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn reward(&self) -> f64 {
+        f64::from_bits(self.reward_bits.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn vloss(&self) -> u64 {
+        self.vloss.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> Clone for Node<T> {
+    fn clone(&self) -> Self {
+        Node {
+            data: self.data.clone(),
+            parent: self.parent,
+            children: self.children.clone(),
+            visits: AtomicU64::new(self.visits()),
+            reward_bits: AtomicU64::new(self.reward_bits.load(Ordering::Relaxed)),
+            vloss: AtomicU64::new(self.vloss()),
+        }
+    }
 }
 
 /// An arena-allocated search tree with UCT sampling.
+///
+/// Structure mutation ([`Tree::add_child`]) takes `&mut self`; all sampling
+/// statistics go through `&self` and atomics, so a `&Tree` shared across
+/// threads supports concurrent sampling.
 #[derive(Debug, Clone)]
 pub struct Tree<T> {
     nodes: Vec<Node<T>>,
@@ -71,15 +153,13 @@ impl<T> Tree<T> {
 
     /// Create a tree holding only a root.
     pub fn new(root_data: T) -> Self {
-        Tree {
-            nodes: vec![Node { data: root_data, parent: None, children: Vec::new(), visits: 0, reward: 0.0 }],
-        }
+        Tree { nodes: vec![Node::new(root_data, None)] }
     }
 
     /// Add a child under `parent` (paper `ST.AddChild`), returning its id.
     pub fn add_child(&mut self, parent: NodeId, data: T) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { data, parent: Some(parent), children: Vec::new(), visits: 0, reward: 0.0 });
+        self.nodes.push(Node::new(data, Some(parent)));
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -106,18 +186,25 @@ impl<T> Tree<T> {
 
     /// Number of times the node appeared on a sampled path.
     pub fn visits(&self, n: NodeId) -> u64 {
-        self.nodes[n.index()].visits
+        self.nodes[n.index()].visits()
     }
 
     /// Accumulated reward over all sampled paths through the node.
     pub fn reward(&self, n: NodeId) -> f64 {
-        self.nodes[n.index()].reward
+        self.nodes[n.index()].reward()
+    }
+
+    /// Number of in-flight concurrent descents through the node (virtual
+    /// losses applied but not yet released). Zero outside parallel
+    /// sampling.
+    pub fn virtual_losses(&self, n: NodeId) -> u64 {
+        self.nodes[n.index()].vloss()
     }
 
     /// Mean observed reward (`NaN` before the first visit).
     pub fn mean_reward(&self, n: NodeId) -> f64 {
         let node = &self.nodes[n.index()];
-        node.reward / node.visits as f64
+        node.reward() / node.visits() as f64
     }
 
     /// Total number of nodes in the tree.
@@ -132,15 +219,34 @@ impl<T> Tree<T> {
     ///
     /// Returns `None` for leaves.
     pub fn max_uct_child<R: Rng + ?Sized>(&self, n: NodeId, rng: &mut R) -> Option<NodeId> {
+        self.uct_child(n, rng, false)
+    }
+
+    /// UCT child selection; with `with_vloss`, in-flight descents count as
+    /// visits with zero reward (virtual loss). With zero virtual losses in
+    /// flight both modes are arithmetically identical.
+    fn uct_child<R: Rng + ?Sized>(
+        &self,
+        n: NodeId,
+        rng: &mut R,
+        with_vloss: bool,
+    ) -> Option<NodeId> {
         let node = &self.nodes[n.index()];
         if node.children.is_empty() {
             return None;
         }
+        let eff = |node: &Node<T>| {
+            if with_vloss {
+                node.visits() + node.vloss()
+            } else {
+                node.visits()
+            }
+        };
         // Reservoir-pick among unvisited children.
         let mut unvisited_seen = 0usize;
         let mut pick = None;
         for &c in &node.children {
-            if self.nodes[c.index()].visits == 0 {
+            if eff(&self.nodes[c.index()]) == 0 {
                 unvisited_seen += 1;
                 if rng.gen_range(0..unvisited_seen) == 0 {
                     pick = Some(c);
@@ -151,13 +257,22 @@ impl<T> Tree<T> {
             return pick;
         }
         // All children visited: maximize the UCT bound, random tie-break.
-        let ln_n = (node.visits.max(1) as f64).ln();
+        // In vloss mode the caller holds one virtual loss on `n` itself
+        // (applied on the way down); exclude it so a descent with no other
+        // threads in flight scores exactly like the plain one.
+        let parent_eff = if with_vloss {
+            (node.visits() + node.vloss()).saturating_sub(1)
+        } else {
+            node.visits()
+        };
+        let ln_n = (parent_eff.max(1) as f64).ln();
         let mut best_score = f64::NEG_INFINITY;
         let mut ties = 0usize;
         let mut best = node.children[0];
         for &c in &node.children {
             let ch = &self.nodes[c.index()];
-            let score = ch.reward / ch.visits as f64 + (2.0 * ln_n / ch.visits as f64).sqrt();
+            let n_eff = eff(ch) as f64;
+            let score = ch.reward() / n_eff + (2.0 * ln_n / n_eff).sqrt();
             if score > best_score {
                 best_score = score;
                 best = c;
@@ -177,23 +292,20 @@ impl<T> Tree<T> {
     /// "cannot afford further exploration"). Unvisited children lose
     /// against any visited one. Returns `None` for leaves.
     pub fn best_child(&self, n: NodeId) -> Option<NodeId> {
-        self.nodes[n.index()]
-            .children
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let ma = self.mean_or_neg_inf(a);
-                let mb = self.mean_or_neg_inf(b);
-                ma.total_cmp(&mb)
-            })
+        self.nodes[n.index()].children.iter().copied().max_by(|&a, &b| {
+            let ma = self.mean_or_neg_inf(a);
+            let mb = self.mean_or_neg_inf(b);
+            ma.total_cmp(&mb)
+        })
     }
 
     fn mean_or_neg_inf(&self, n: NodeId) -> f64 {
         let node = &self.nodes[n.index()];
-        if node.visits == 0 {
+        let visits = node.visits();
+        if visits == 0 {
             f64::NEG_INFINITY
         } else {
-            node.reward / node.visits as f64
+            node.reward() / visits as f64
         }
     }
 
@@ -203,7 +315,7 @@ impl<T> Tree<T> {
     ///
     /// Returns the observed reward.
     pub fn sample<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         from: NodeId,
         rng: &mut R,
         eval: impl FnOnce(&T) -> f64,
@@ -230,6 +342,23 @@ impl<T> Tree<T> {
         path
     }
 
+    /// [`Tree::select_path`] for concurrent samplers: every node on the
+    /// returned path carries one **virtual loss** (an in-flight visit with
+    /// zero reward) that steers other threads away from the same subtree.
+    /// The path MUST be committed with [`Tree::update_path_vloss`], which
+    /// releases the virtual losses.
+    pub fn select_path_vloss<R: Rng + ?Sized>(&self, from: NodeId, rng: &mut R) -> Vec<NodeId> {
+        let mut path = vec![from];
+        self.nodes[from.index()].vloss.fetch_add(1, Ordering::AcqRel);
+        let mut cur = from;
+        while let Some(next) = self.uct_child(cur, rng, true) {
+            self.nodes[next.index()].vloss.fetch_add(1, Ordering::AcqRel);
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
     /// Descend from `from` choosing children uniformly at random — the
     /// no-prioritization ablation of UCT (pure Monte-Carlo sampling without
     /// the exploration/exploitation balance the paper argues for).
@@ -248,21 +377,28 @@ impl<T> Tree<T> {
 
     /// Add `reward` and one visit to every node in `path`
     /// (the statistics update of Algorithm 2's `SAMPLE`).
-    pub fn update_path(&mut self, path: &[NodeId], reward: f64) {
+    pub fn update_path(&self, path: &[NodeId], reward: f64) {
         for &n in path {
-            let node = &mut self.nodes[n.index()];
-            node.visits += 1;
-            node.reward += reward;
+            let node = &self.nodes[n.index()];
+            node.visits.fetch_add(1, Ordering::AcqRel);
+            fetch_add_f64(&node.reward_bits, reward);
+        }
+    }
+
+    /// Commit a path obtained from [`Tree::select_path_vloss`]: records the
+    /// visit and reward and releases the path's virtual losses.
+    pub fn update_path_vloss(&self, path: &[NodeId], reward: f64) {
+        for &n in path {
+            let node = &self.nodes[n.index()];
+            node.visits.fetch_add(1, Ordering::AcqRel);
+            fetch_add_f64(&node.reward_bits, reward);
+            node.vloss.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
     /// Depth of the subtree rooted at `n` (a leaf has depth 0).
     pub fn depth(&self, n: NodeId) -> usize {
-        self.children(n)
-            .iter()
-            .map(|&c| 1 + self.depth(c))
-            .max()
-            .unwrap_or(0)
+        self.children(n).iter().map(|&c| 1 + self.depth(c)).max().unwrap_or(0)
     }
 }
 
@@ -406,5 +542,67 @@ mod tests {
             (rewards, t.visits(Tree::<()>::ROOT))
         };
         assert_eq!(build(9), build(9));
+    }
+
+    #[test]
+    fn clone_copies_statistics() {
+        let mut t = Tree::new(());
+        let a = t.add_child(Tree::<()>::ROOT, ());
+        let mut r = rng(10);
+        for _ in 0..7 {
+            t.sample(Tree::<()>::ROOT, &mut r, |_| 0.25);
+        }
+        let t2 = t.clone();
+        assert_eq!(t2.visits(a), t.visits(a));
+        assert!((t2.reward(a) - t.reward(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vloss_descent_spreads_until_committed() {
+        // With a virtual loss applied, a second in-flight descent avoids
+        // the subtree the first one is exploring.
+        let mut t = Tree::new(());
+        let a = t.add_child(Tree::<()>::ROOT, ());
+        let b = t.add_child(Tree::<()>::ROOT, ());
+        // Visit both once so the unvisited-first rule is out of the way.
+        let mut r = rng(11);
+        for _ in 0..2 {
+            t.sample(Tree::<()>::ROOT, &mut r, |_| 0.5);
+        }
+        let p1 = t.select_path_vloss(Tree::<()>::ROOT, &mut r);
+        let p2 = t.select_path_vloss(Tree::<()>::ROOT, &mut r);
+        // Equal means + equal visits: the vloss from p1 tips p2 to the
+        // other arm.
+        assert_ne!(p1[1], p2[1], "second descent repelled by virtual loss");
+        assert_eq!(t.virtual_losses(p1[1]), 1);
+        t.update_path_vloss(&p1, 0.5);
+        t.update_path_vloss(&p2, 0.5);
+        for n in [Tree::<()>::ROOT, a, b] {
+            assert_eq!(t.virtual_losses(n), 0, "all virtual losses released");
+        }
+        assert_eq!(t.visits(Tree::<()>::ROOT), 4);
+    }
+
+    #[test]
+    fn vloss_free_descent_matches_plain_descent() {
+        // Bit-reproducibility claim: with no virtual losses in flight,
+        // select_path_vloss chooses exactly like select_path.
+        let mut t = Tree::new(());
+        for _ in 0..3 {
+            let c = t.add_child(Tree::<()>::ROOT, ());
+            for _ in 0..2 {
+                t.add_child(c, ());
+            }
+        }
+        let mut r1 = rng(12);
+        let mut r2 = rng(12);
+        for i in 0..40 {
+            let plain = t.select_path(Tree::<()>::ROOT, &mut r1);
+            let vloss = t.select_path_vloss(Tree::<()>::ROOT, &mut r2);
+            assert_eq!(plain, vloss, "iteration {i}");
+            // Commit only the vloss path so the tree advances identically
+            // for both rngs (update_path_vloss == update_path + release).
+            t.update_path_vloss(&vloss, (i % 5) as f64 / 5.0);
+        }
     }
 }

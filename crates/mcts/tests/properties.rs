@@ -1,8 +1,9 @@
-//! Property-based tests of the UCT tree invariants.
+//! Property-style tests of the UCT tree invariants, driven by seeded
+//! random case generation (48 cases per property, mirroring the old
+//! proptest configuration).
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use voxolap_mcts::{NodeId, Tree};
 
 /// Build a random tree shape from a branching list.
@@ -26,16 +27,23 @@ fn build_tree(shape: &[u8]) -> Tree<u32> {
     tree
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// One random case: a tree shape plus sample/seed parameters.
+fn random_case(gen: &mut StdRng, max_depth: usize) -> (Vec<u8>, usize, u64) {
+    let depth = gen.gen_range(1..max_depth);
+    let shape: Vec<u8> = (0..depth).map(|_| gen.gen_range(1u8..4)).collect();
+    let samples = gen.gen_range(1usize..120);
+    let seed = gen.gen_range(0u64..64);
+    (shape, samples, seed)
+}
 
-    #[test]
-    fn visits_flow_conservation(
-        shape in prop::collection::vec(1u8..4, 1..4),
-        samples in 1usize..120,
-        seed in 0u64..64,
-    ) {
-        let mut tree = build_tree(&shape);
+const CASES: usize = 48;
+
+#[test]
+fn visits_flow_conservation() {
+    let mut gen = StdRng::seed_from_u64(0xfeed_0001);
+    for _ in 0..CASES {
+        let (shape, samples, seed) = random_case(&mut gen, 4);
+        let tree = build_tree(&shape);
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..samples {
             tree.sample(Tree::<u32>::ROOT, &mut rng, |&v| (v % 10) as f64 / 10.0);
@@ -43,75 +51,75 @@ proptest! {
         // Every sample traverses root -> leaf: the root's visits equal the
         // sample count, and each internal node's visits equal the sum of
         // its children's visits.
-        prop_assert_eq!(tree.visits(Tree::<u32>::ROOT), samples as u64);
+        assert_eq!(tree.visits(Tree::<u32>::ROOT), samples as u64);
         for n in 0..tree.node_count() as u32 {
             let node = NodeId(n);
             if !tree.is_leaf(node) {
-                let child_sum: u64 =
-                    tree.children(node).iter().map(|&c| tree.visits(c)).sum();
-                prop_assert_eq!(tree.visits(node), child_sum, "node {}", n);
+                let child_sum: u64 = tree.children(node).iter().map(|&c| tree.visits(c)).sum();
+                assert_eq!(tree.visits(node), child_sum, "node {n} shape {shape:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn rewards_flow_conservation(
-        shape in prop::collection::vec(1u8..4, 1..4),
-        samples in 1usize..120,
-        seed in 0u64..64,
-    ) {
-        let mut tree = build_tree(&shape);
+#[test]
+fn rewards_flow_conservation() {
+    let mut gen = StdRng::seed_from_u64(0xfeed_0002);
+    for _ in 0..CASES {
+        let (shape, samples, seed) = random_case(&mut gen, 4);
+        let tree = build_tree(&shape);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut total = 0.0;
         for _ in 0..samples {
             total += tree.sample(Tree::<u32>::ROOT, &mut rng, |&v| (v % 7) as f64 / 7.0);
         }
-        prop_assert!((tree.reward(Tree::<u32>::ROOT) - total).abs() < 1e-9);
+        assert!((tree.reward(Tree::<u32>::ROOT) - total).abs() < 1e-9);
         for n in 0..tree.node_count() as u32 {
             let node = NodeId(n);
             if !tree.is_leaf(node) {
-                let child_sum: f64 =
-                    tree.children(node).iter().map(|&c| tree.reward(c)).sum();
-                prop_assert!((tree.reward(node) - child_sum).abs() < 1e-9);
+                let child_sum: f64 = tree.children(node).iter().map(|&c| tree.reward(c)).sum();
+                assert!((tree.reward(node) - child_sum).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn select_path_always_ends_at_leaf(
-        shape in prop::collection::vec(1u8..4, 1..5),
-        seed in 0u64..64,
-    ) {
+#[test]
+fn select_path_always_ends_at_leaf() {
+    let mut gen = StdRng::seed_from_u64(0xfeed_0003);
+    for _ in 0..CASES {
+        let (shape, _, seed) = random_case(&mut gen, 5);
         let tree = build_tree(&shape);
         let mut rng = StdRng::seed_from_u64(seed);
         let path = tree.select_path(Tree::<u32>::ROOT, &mut rng);
-        prop_assert!(tree.is_leaf(*path.last().unwrap()));
-        prop_assert_eq!(path[0], Tree::<u32>::ROOT);
+        assert!(tree.is_leaf(*path.last().unwrap()));
+        assert_eq!(path[0], Tree::<u32>::ROOT);
         // Consecutive path entries are parent/child.
         for w in path.windows(2) {
-            prop_assert_eq!(tree.parent(w[1]), Some(w[0]));
+            assert_eq!(tree.parent(w[1]), Some(w[0]));
         }
         // Random descent has the same structural guarantees.
         let rpath = tree.random_path(Tree::<u32>::ROOT, &mut rng);
-        prop_assert!(tree.is_leaf(*rpath.last().unwrap()));
+        assert!(tree.is_leaf(*rpath.last().unwrap()));
     }
+}
 
-    #[test]
-    fn mean_rewards_are_bounded_by_observations(
-        shape in prop::collection::vec(1u8..3, 1..4),
-        samples in 1usize..100,
-        seed in 0u64..64,
-    ) {
-        let mut tree = build_tree(&shape);
+#[test]
+fn mean_rewards_are_bounded_by_observations() {
+    let mut gen = StdRng::seed_from_u64(0xfeed_0004);
+    for _ in 0..CASES {
+        let (shape, samples, seed) = random_case(&mut gen, 4);
+        let shape: Vec<u8> = shape.iter().map(|&b| b.min(2)).collect();
+        let tree = build_tree(&shape);
         let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..samples {
+        for _ in 0..samples.min(99) {
             tree.sample(Tree::<u32>::ROOT, &mut rng, |&v| (v % 5) as f64 / 5.0);
         }
         for n in 0..tree.node_count() as u32 {
             let node = NodeId(n);
             if tree.visits(node) > 0 {
                 let mean = tree.mean_reward(node);
-                prop_assert!((0.0..=0.81).contains(&mean), "mean {} outside reward range", mean);
+                assert!((0.0..=0.81).contains(&mean), "mean {mean} outside reward range");
             }
         }
     }

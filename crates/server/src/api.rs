@@ -9,12 +9,13 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use voxolap_json::Value;
 
 use voxolap_core::approach::Vocalizer;
 use voxolap_core::holistic::{Holistic, HolisticConfig};
 use voxolap_core::optimal::Optimal;
 use voxolap_core::outcome::VocalizationOutcome;
+use voxolap_core::parallel::ParallelHolistic;
 use voxolap_core::prior::PriorGreedy;
 use voxolap_core::unmerged::{Unmerged, UnmergedConfig};
 use voxolap_core::voice::InstantVoice;
@@ -33,26 +34,46 @@ pub type SessionStore = Mutex<HashMap<String, Vec<String>>>;
 pub struct AppState {
     table: Table,
     sessions: SessionStore,
+    /// Planning threads used by the `parallel` approach.
+    threads: usize,
 }
 
 /// `POST /ask` body.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 struct AskRequest {
     question: String,
-    #[serde(default)]
     approach: Option<String>,
+}
+
+impl AskRequest {
+    fn from_body(body: &[u8]) -> Option<Self> {
+        let v = Value::parse_slice(body).ok()?;
+        Some(AskRequest {
+            question: v["question"].as_str()?.to_string(),
+            approach: v["approach"].as_str().map(str::to_string),
+        })
+    }
 }
 
 /// `POST /session/<id>/input` body.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 struct InputRequest {
     text: String,
-    #[serde(default)]
     approach: Option<String>,
 }
 
+impl InputRequest {
+    fn from_body(body: &[u8]) -> Option<Self> {
+        let v = Value::parse_slice(body).ok()?;
+        Some(InputRequest {
+            text: v["text"].as_str()?.to_string(),
+            approach: v["approach"].as_str().map(str::to_string),
+        })
+    }
+}
+
 /// A spoken answer.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AnswerResponse {
     approach: String,
     text: String,
@@ -77,10 +98,33 @@ impl AnswerResponse {
             planner_iterations: outcome.stats.samples,
         }
     }
+
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("approach", self.approach.as_str().into()),
+            ("text", self.text.as_str().into()),
+            ("preamble", self.preamble.as_str().into()),
+            ("sentences", self.sentences.clone().into()),
+            ("latency_ms", self.latency_ms.into()),
+            ("chars", self.chars.into()),
+            ("rows_sampled", self.rows_sampled.into()),
+            ("planner_iterations", self.planner_iterations.into()),
+        ])
+    }
+}
+
+/// Serialize dataset statistics using the struct's field names.
+fn stats_to_json(stats: &DatasetStats) -> Value {
+    Value::obj([
+        ("name", stats.name.as_str().into()),
+        ("dimensions", stats.dimensions.clone().into()),
+        ("rows", stats.rows.into()),
+        ("bytes", stats.bytes.into()),
+    ])
 }
 
 /// Build the requested vocalizer (default: holistic).
-fn make_vocalizer(approach: &str) -> Result<Box<dyn Vocalizer>, String> {
+fn make_vocalizer(approach: &str, threads: usize) -> Result<Box<dyn Vocalizer>, String> {
     let holistic_config = HolisticConfig {
         min_samples_per_sentence: 8_000,
         resample_size: 200,
@@ -88,6 +132,10 @@ fn make_vocalizer(approach: &str) -> Result<Box<dyn Vocalizer>, String> {
     };
     match approach {
         "holistic" => Ok(Box::new(Holistic::new(holistic_config))),
+        // "concurrent" kept as an alias for the pre-parallel engine name.
+        "parallel" | "concurrent" => {
+            Ok(Box::new(ParallelHolistic::new(holistic_config).with_threads(threads)))
+        }
         "optimal" => Ok(Box::new(Optimal::default())),
         "unmerged" => Ok(Box::new(Unmerged::new(UnmergedConfig {
             resample_size: 200,
@@ -99,9 +147,18 @@ fn make_vocalizer(approach: &str) -> Result<Box<dyn Vocalizer>, String> {
 }
 
 impl AppState {
-    /// Create state over one dataset.
+    /// Create state over one dataset, with all cores available to the
+    /// `parallel` approach.
     pub fn new(table: Table) -> Self {
-        AppState { table, sessions: Mutex::new(HashMap::new()) }
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        AppState { table, sessions: Mutex::new(HashMap::new()), threads }
+    }
+
+    /// Override the planning-thread count used by the `parallel` approach
+    /// (min 1; the server's `--threads` flag).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Dispatch one request.
@@ -110,29 +167,28 @@ impl AppState {
             ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_string()),
             ("GET", "/stats") => {
                 let stats = DatasetStats::of(&self.table);
-                Response::ok(serde_json::to_string(&stats).expect("stats serialize"))
+                Response::ok(stats_to_json(&stats).to_string())
             }
             ("POST", "/ask") => self.handle_ask(req),
-            ("POST", path) => match path
-                .strip_prefix("/session/")
-                .and_then(|rest| rest.strip_suffix("/input"))
-            {
-                Some(id) if !id.is_empty() && !id.contains('/') => {
-                    self.handle_session_input(id, req)
+            ("POST", path) => {
+                match path.strip_prefix("/session/").and_then(|rest| rest.strip_suffix("/input")) {
+                    Some(id) if !id.is_empty() && !id.contains('/') => {
+                        self.handle_session_input(id, req)
+                    }
+                    _ => Response::error(404, "not found"),
                 }
-                _ => Response::error(404, "not found"),
-            },
+            }
             ("GET", _) => Response::error(404, "not found"),
             _ => Response::error(405, "method not allowed"),
         }
     }
 
     fn handle_ask(&self, req: &Request) -> Response {
-        let Ok(ask) = serde_json::from_slice::<AskRequest>(&req.body) else {
+        let Some(ask) = AskRequest::from_body(&req.body) else {
             return Response::error(400, "expected {\"question\": \"...\"}");
         };
         let approach = ask.approach.as_deref().unwrap_or("holistic");
-        let vocalizer = match make_vocalizer(approach) {
+        let vocalizer = match make_vocalizer(approach, self.threads) {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
@@ -142,18 +198,15 @@ impl AppState {
         };
         let mut voice = InstantVoice::default();
         let outcome = vocalizer.vocalize(&self.table, &query, &mut voice);
-        Response::ok(
-            serde_json::to_string(&AnswerResponse::from_outcome(approach, &outcome))
-                .expect("answer serialize"),
-        )
+        Response::ok(AnswerResponse::from_outcome(approach, &outcome).to_json().to_string())
     }
 
     fn handle_session_input(&self, id: &str, req: &Request) -> Response {
-        let Ok(input) = serde_json::from_slice::<InputRequest>(&req.body) else {
+        let Some(input) = InputRequest::from_body(&req.body) else {
             return Response::error(400, "expected {\"text\": \"...\"}");
         };
         let approach = input.approach.as_deref().unwrap_or("holistic");
-        let vocalizer = match make_vocalizer(approach) {
+        let vocalizer = match make_vocalizer(approach, self.threads) {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
@@ -170,7 +223,7 @@ impl AppState {
         }
         match session.input(&input.text) {
             Ok(SessionResponse::Help(text)) => {
-                Response::ok(format!("{{\"help\":{}}}", serde_json::to_string(&text).unwrap()))
+                Response::ok(format!("{{\"help\":{}}}", voxolap_json::escape(&text)))
             }
             Ok(SessionResponse::Quit) => {
                 sessions.remove(id);
@@ -181,8 +234,7 @@ impl AppState {
                 let mut voice = InstantVoice::default();
                 match session.vocalize_with(vocalizer.as_ref(), &mut voice) {
                     Ok(outcome) => Response::ok(
-                        serde_json::to_string(&AnswerResponse::from_outcome(approach, &outcome))
-                            .expect("answer serialize"),
+                        AnswerResponse::from_outcome(approach, &outcome).to_json().to_string(),
                     ),
                     Err(e) => Response::error(400, &e.to_string()),
                 }
@@ -235,7 +287,7 @@ mod tests {
             "{\"question\": \"how does the cancellation probability depend on region and season?\"}",
         );
         assert_eq!(r.status, 200, "{}", r.body);
-        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        let v = Value::parse(&r.body).unwrap();
         assert!(v["text"].as_str().unwrap().contains("cancellation probability"));
         assert_eq!(v["approach"], "holistic");
         assert!(v["latency_ms"].as_f64().unwrap() < 500.0);
@@ -250,8 +302,22 @@ mod tests {
             "{\"question\": \"cancellation probability by season\", \"approach\": \"prior\"}",
         );
         assert_eq!(r.status, 200);
-        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        let v = Value::parse(&r.body).unwrap();
         assert_eq!(v["approach"], "prior");
+    }
+
+    #[test]
+    fn ask_with_parallel_approach() {
+        let s = state().with_threads(2);
+        let r = post(
+            &s,
+            "/ask",
+            "{\"question\": \"cancellation probability by season\", \"approach\": \"parallel\"}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["approach"], "parallel");
+        assert!(v["text"].as_str().unwrap().contains("cancellation probability"));
     }
 
     #[test]
@@ -260,15 +326,11 @@ mod tests {
         let r1 = post(&s, "/session/w1/input", "{\"text\": \"break down by region\"}");
         assert_eq!(r1.status, 200, "{}", r1.body);
         let r2 = post(&s, "/session/w1/input", "{\"text\": \"break down by season\"}");
-        let v: serde_json::Value = serde_json::from_str(&r2.body).unwrap();
-        assert!(
-            v["preamble"].as_str().unwrap().contains("region and season"),
-            "{}",
-            r2.body
-        );
+        let v = Value::parse(&r2.body).unwrap();
+        assert!(v["preamble"].as_str().unwrap().contains("region and season"), "{}", r2.body);
         // A different session starts fresh.
         let r3 = post(&s, "/session/w2/input", "{\"text\": \"break down by season\"}");
-        let v: serde_json::Value = serde_json::from_str(&r3.body).unwrap();
+        let v = Value::parse(&r3.body).unwrap();
         assert!(!v["preamble"].as_str().unwrap().contains("region and"));
     }
 
@@ -290,10 +352,7 @@ mod tests {
             post(&s, "/ask", "{\"question\": \"by region\", \"approach\": \"quantum\"}").status,
             400
         );
-        assert_eq!(
-            post(&s, "/session/w1/input", "{\"text\": \"make me a sandwich\"}").status,
-            400
-        );
+        assert_eq!(post(&s, "/session/w1/input", "{\"text\": \"make me a sandwich\"}").status, 400);
         assert_eq!(post(&s, "/session//input", "{\"text\": \"help\"}").status, 404);
         assert_eq!(get(&s, "/nope").status, 404);
     }

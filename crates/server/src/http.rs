@@ -42,10 +42,7 @@ impl Response {
 
     /// An error response with a JSON `{"error": ...}` body.
     pub fn error(status: u16, message: &str) -> Self {
-        Response {
-            status,
-            body: format!("{{\"error\":{}}}", serde_json::to_string(message).unwrap_or_default()),
-        }
+        Response { status, body: format!("{{\"error\":{}}}", voxolap_json::escape(message)) }
     }
 
     fn status_text(&self) -> &'static str {

@@ -1,8 +1,11 @@
 //! `voxolap-server` — serve the JSON API for voice-based OLAP.
 //!
 //! ```text
-//! voxolap-server [--port 8080] [--data flights|salary] [--rows N]
+//! voxolap-server [--port 8080] [--data flights|salary] [--rows N] [--threads N]
 //! ```
+//!
+//! `--threads` bounds the planning threads used by the `parallel`
+//! approach (default: all cores).
 //!
 //! Then:
 //!
@@ -38,7 +41,11 @@ fn main() {
             FlightsConfig { rows, seed: 42 }.generate()
         }
     };
-    let state = Arc::new(AppState::new(table));
+    let mut state = AppState::new(table);
+    if let Some(threads) = arg("--threads").and_then(|v| v.parse().ok()) {
+        state = state.with_threads(threads);
+    }
+    let state = Arc::new(state);
 
     let handle = serve(&format!("127.0.0.1:{port}"), move |req| state.handle(req))
         .expect("bind server port");

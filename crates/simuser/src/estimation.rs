@@ -13,8 +13,6 @@
 //! **rendered text** and re-parse it, so verbalization round-off reaches
 //! them exactly as it reached the crowd workers.
 
-use serde::Serialize;
-
 use voxolap_data::schema::{MeasureUnit, Schema};
 use voxolap_data::Table;
 use voxolap_engine::exact::evaluate;
@@ -42,7 +40,7 @@ impl Default for EstimationStudy {
 }
 
 /// One user's results across the compared approaches.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UserRow {
     /// 1-based user number (users 1 and 8 misunderstand, as in the paper).
     pub user: usize,
@@ -54,7 +52,7 @@ pub struct UserRow {
 }
 
 /// Study output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EstimationResult {
     /// Approach names, aligned with the per-user vectors.
     pub approaches: Vec<String>,

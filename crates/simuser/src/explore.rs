@@ -7,8 +7,6 @@
 //! the baseline becomes an overall claim — the same information a careful
 //! listener could state after a session.
 
-use serde::Serialize;
-
 use voxolap_core::outcome::VocalizationOutcome;
 use voxolap_data::schema::Schema;
 use voxolap_engine::query::Query;
@@ -16,7 +14,7 @@ use voxolap_speech::ast::Direction;
 use voxolap_speech::verbalize::verbalize_value;
 
 /// One extracted fact with the dimensions it refers to.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fact {
     /// Dimension names the fact involves (Table 7's "Dimensions" column).
     pub dimensions: Vec<String>,
@@ -29,21 +27,14 @@ pub struct Fact {
 /// Returns one overall fact (from the baseline) plus one per refinement.
 /// Outcomes without a structured speech (e.g. the prior baseline) yield no
 /// facts.
-pub fn extract_facts(
-    outcome: &VocalizationOutcome,
-    query: &Query,
-    schema: &Schema,
-) -> Vec<Fact> {
+pub fn extract_facts(outcome: &VocalizationOutcome, query: &Query, schema: &Schema) -> Vec<Fact> {
     let Some(speech) = &outcome.speech else {
         return Vec::new();
     };
     let mut facts = Vec::new();
 
-    let grouped_dims: Vec<String> = query
-        .group_by()
-        .iter()
-        .map(|&(d, _)| schema.dimension(d).name().to_string())
-        .collect();
+    let grouped_dims: Vec<String> =
+        query.group_by().iter().map(|&(d, _)| schema.dimension(d).name().to_string()).collect();
     let measure = schema.measure(query.measure());
     let agg_name = voxolap_speech::render::aggregate_phrase(query.fct(), &measure.name);
     let unit = voxolap_speech::render::render_unit(query.fct(), measure.unit);

@@ -138,10 +138,8 @@ mod tests {
         let (table, q) = flights_setup();
         let schema = table.schema();
         let speech = winter_speech(schema);
-        let listener = SimulatedListener::new(
-            ListenerConfig { noise_rel: 0.01, misunderstands: false },
-            7,
-        );
+        let listener =
+            SimulatedListener::new(ListenerConfig { noise_rel: 0.01, misunderstands: false }, 7);
         let estimates = listener.estimate_fields(&speech, &q, schema);
         let compiled = CompiledSpeech::compile(&speech, q.layout(), schema);
         assert_eq!(estimates.len(), 20);
@@ -156,10 +154,8 @@ mod tests {
         let (table, q) = flights_setup();
         let schema = table.schema();
         let speech = winter_speech(schema);
-        let listener = SimulatedListener::new(
-            ListenerConfig { noise_rel: 0.01, misunderstands: true },
-            9,
-        );
+        let listener =
+            SimulatedListener::new(ListenerConfig { noise_rel: 0.01, misunderstands: true }, 9);
         let estimates = listener.estimate_fields(&speech, &q, schema);
         // Winter aggregates are read as "increase TO 100%" = 1.0.
         let winter = schema.dimension(DimId(1)).member_by_phrase("Winter").unwrap();
@@ -167,7 +163,11 @@ mod tests {
         for agg in 0..q.n_aggregates() as u32 {
             let coords = q.layout().coords_of_agg(agg);
             if coords[1] as usize == winter_coord {
-                assert!((estimates[agg as usize] - 1.0).abs() < 0.05, "{}", estimates[agg as usize]);
+                assert!(
+                    (estimates[agg as usize] - 1.0).abs() < 0.05,
+                    "{}",
+                    estimates[agg as usize]
+                );
             } else {
                 assert!(estimates[agg as usize] < 0.1);
             }
@@ -185,10 +185,8 @@ mod tests {
         let speech = Speech::baseline_only(0.0237);
         let renderer = Renderer::new(schema, &q);
         let body = renderer.body_text(&speech);
-        let listener = SimulatedListener::new(
-            ListenerConfig { noise_rel: 0.001, misunderstands: false },
-            3,
-        );
+        let listener =
+            SimulatedListener::new(ListenerConfig { noise_rel: 0.001, misunderstands: false }, 3);
         let from_text = listener.estimate_fields_from_text(&body, &q, schema).unwrap();
         for e in &from_text {
             assert!((e - 0.024).abs() < 0.001, "heard 2.4 percent, estimated {e}");

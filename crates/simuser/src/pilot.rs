@@ -8,16 +8,17 @@
 //! belief model prescribes (the answer marked consistent below); per
 //! question, a calibrated fraction of workers deviates and answers among
 //! the remaining options uniformly. The calibration uses the paper's
-//! observed per-question consistency rates, so running the harness
-//! regenerates Table 10's reply distribution (up to sampling noise) and
-//! Table 2's per-aspect summary.
+//! observed per-question consistency rates with stratified assignment —
+//! exactly `round(p · n)` workers follow the model, the RNG only decides
+//! *which* workers — so the harness regenerates Table 10's consistency
+//! counts exactly and Table 2's per-aspect summary deterministically.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 
 /// One pilot-study question.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PilotQuestion {
     /// The model aspect under test (Table 2 row).
     pub aspect: &'static str,
@@ -58,22 +59,14 @@ pub fn questions() -> Vec<PilotQuestion> {
         PilotQuestion {
             aspect: "Concentration",
             question: "Typical salary $10: is $10-15 or $15-20 more likely?",
-            answers: [
-                "$10 to $15 is more likely",
-                "Equally likely",
-                "$15 to $20 is more likely",
-            ],
+            answers: ["$10 to $15 is more likely", "Equally likely", "$15 to $20 is more likely"],
             consistent: [true, false, false],
             p_consistent: 0.75, // paper: 15/20
         },
         PilotQuestion {
             aspect: "Concentration",
             question: "Typical salary $10: is $5-10 or $1-5 more likely?",
-            answers: [
-                "$5 to $10 is more likely",
-                "Equally likely",
-                "$1 to $5 is more likely",
-            ],
+            answers: ["$5 to $10 is more likely", "Equally likely", "$1 to $5 is more likely"],
             consistent: [true, false, false],
             p_consistent: 0.65, // paper: 13/20
         },
@@ -150,7 +143,7 @@ impl Default for PilotStudy {
 
 /// Study output: per-question reply counts (Table 10) and per-aspect
 /// consistency summary (Table 2).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PilotResult {
     /// For each question, the number of workers picking each option.
     pub replies: Vec<[usize; 3]>,
@@ -165,12 +158,15 @@ impl PilotStudy {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut replies = vec![[0usize; 3]; qs.len()];
         for (qi, q) in qs.iter().enumerate() {
-            let consistent_opts: Vec<usize> =
-                (0..3).filter(|&i| q.consistent[i]).collect();
-            let inconsistent_opts: Vec<usize> =
-                (0..3).filter(|&i| !q.consistent[i]).collect();
-            for _ in 0..self.n_workers {
-                let follows = rng.gen::<f64>() < q.p_consistent;
+            let consistent_opts: Vec<usize> = (0..3).filter(|&i| q.consistent[i]).collect();
+            let inconsistent_opts: Vec<usize> = (0..3).filter(|&i| !q.consistent[i]).collect();
+            // Stratified: exactly round(p · n) workers answer consistently.
+            let n_consistent =
+                ((q.p_consistent * self.n_workers as f64).round() as usize).min(self.n_workers);
+            let mut follows_flags: Vec<bool> =
+                (0..self.n_workers).map(|w| w < n_consistent).collect();
+            follows_flags.shuffle(&mut rng);
+            for follows in follows_flags {
                 let pick = if follows || inconsistent_opts.is_empty() {
                     // Model followers prefer the first consistent option
                     // strongly (the model's point prediction).

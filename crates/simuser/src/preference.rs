@@ -16,7 +16,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 
 use voxolap_belief::normal::Normal;
 use voxolap_core::holistic::{Holistic, HolisticConfig};
@@ -53,7 +52,7 @@ impl Default for PreferenceStudy {
 }
 
 /// Length statistics of one method over one dataset (Table 9 row).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MethodLengths {
     /// Average speech length in characters.
     pub avg: f64,
@@ -65,7 +64,7 @@ pub struct MethodLengths {
 /// "about one quarter of users (nine out of 40) preferred keyboard input
 /// over voice input", citing missing microphones, noisy environments,
 /// and recognition errors).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct InputPreference {
     /// Workers preferring voice input.
     pub voice: usize,
@@ -74,7 +73,7 @@ pub struct InputPreference {
 }
 
 /// Study outcome for one dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetOutcome {
     /// Dataset name.
     pub dataset: String,
@@ -89,7 +88,7 @@ pub struct DatasetOutcome {
 }
 
 /// Full study output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PreferenceResult {
     /// One outcome per dataset (salary first, as in Table 8).
     pub datasets: Vec<DatasetOutcome>,
@@ -189,8 +188,7 @@ impl PreferenceStudy {
         for s in 0..self.sessions_per_dataset {
             let holistic = study_holistic(self.seed.wrapping_add(s as u64));
             let mut session = Session::new(table);
-            let n_cmds =
-                rng.gen_range(self.commands_per_session.0..=self.commands_per_session.1);
+            let n_cmds = rng.gen_range(self.commands_per_session.0..=self.commands_per_session.1);
             let mut session_this = Vec::new();
             let mut session_prior = Vec::new();
             for _ in 0..n_cmds {

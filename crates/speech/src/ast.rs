@@ -15,13 +15,11 @@
 //! *relative* (a percentage of a reference value), which is what makes
 //! speeches extensible without contradiction (paper Example 3.2).
 
-use serde::{Deserialize, Serialize};
-
 use voxolap_data::dimension::MemberId;
 use voxolap_data::schema::DimId;
 
 /// Direction of a change descriptor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Values increase relative to the reference.
     Increase,
@@ -30,7 +28,7 @@ pub enum Direction {
 }
 
 /// Relative change descriptor (`<C>` with quantifier `<Q>`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Change {
     /// Increase or decrease.
     pub direction: Direction,
@@ -56,7 +54,7 @@ impl Change {
 }
 
 /// A predicate fixing one dimension to a member (`<P> ::= <Dc> <M>`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// The restricted dimension.
     pub dim: DimId,
@@ -65,7 +63,7 @@ pub struct Predicate {
 }
 
 /// The baseline statement (`<B>`): the only absolute claim in a speech.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Baseline {
     /// The claimed typical aggregate value (raw units of the measure).
     /// For range baselines this is the range midpoint — the value the
@@ -92,7 +90,7 @@ impl Baseline {
 /// A refinement statement (`<R>`): predicates define its scope, the change
 /// descriptor its effect relative to the baseline or the last subsuming
 /// refinement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Refinement {
     /// Scope predicates (non-empty; at most one per dimension).
     pub predicates: Vec<Predicate>,
@@ -122,7 +120,7 @@ impl Refinement {
 
 /// A full speech: baseline plus refinements. The preamble is derived from
 /// the query at rendering time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Speech {
     /// The baseline statement.
     pub baseline: Baseline,

@@ -144,11 +144,8 @@ impl<'a> CandidateGenerator<'a> {
     pub fn max_branching(&self) -> usize {
         let per_predicate = self.config.quantifiers.len() * 2;
         let single = self.pool.len();
-        let pairs = if self.config.max_predicates >= 2 {
-            single * single.saturating_sub(1) / 2
-        } else {
-            0
-        };
+        let pairs =
+            if self.config.max_predicates >= 2 { single * single.saturating_sub(1) / 2 } else { 0 };
         (single + pairs) * per_predicate
     }
 
@@ -256,10 +253,7 @@ mod tests {
         // so no coarser members are added.
         assert_eq!(g.pool().len(), 5);
         let airport = schema.dimension(DimId(0));
-        assert!(g
-            .pool()
-            .iter()
-            .all(|p| airport.is_ancestor_or_self(ne, p.member)));
+        assert!(g.pool().iter().all(|p| airport.is_ancestor_or_self(ne, p.member)));
     }
 
     #[test]

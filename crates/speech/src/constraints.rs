@@ -5,13 +5,11 @@
 //! speech (without preamble) to 300 characters, "recommended for
 //! voice-based interactions" by the Google Assistant SDK.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::Speech;
 use crate::render::Renderer;
 
 /// Threshold constraints on speech length and fragment count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpeechConstraints {
     /// Maximum number of characters of the speech body (without preamble).
     pub max_chars: usize,
@@ -67,10 +65,7 @@ mod tests {
     fn validity_enforces_both_budgets() {
         let table = SalaryConfig::paper_scale().generate();
         let schema = table.schema();
-        let q = Query::builder(AggFct::Avg)
-            .group_by(DimId(0), LevelId(1))
-            .build(schema)
-            .unwrap();
+        let q = Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).build(schema).unwrap();
         let r = Renderer::new(schema, &q);
         let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
         let refinement = Refinement {
@@ -91,17 +86,17 @@ mod tests {
         assert!(!constraints.is_valid(&r, &speech), "third refinement over limit");
 
         let tight = SpeechConstraints { max_chars: 30, max_refinements: 5 };
-        assert!(!tight.is_valid(&r, &Speech::baseline_only(90.0)) || r.body_len(&Speech::baseline_only(90.0)) <= 30);
+        assert!(
+            !tight.is_valid(&r, &Speech::baseline_only(90.0))
+                || r.body_len(&Speech::baseline_only(90.0)) <= 30
+        );
     }
 
     #[test]
     fn char_budget_alone_can_invalidate() {
         let table = SalaryConfig::paper_scale().generate();
         let schema = table.schema();
-        let q = Query::builder(AggFct::Avg)
-            .group_by(DimId(0), LevelId(1))
-            .build(schema)
-            .unwrap();
+        let q = Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).build(schema).unwrap();
         let r = Renderer::new(schema, &q);
         let speech = Speech::baseline_only(90.0);
         let len = r.body_len(&speech);

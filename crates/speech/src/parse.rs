@@ -41,9 +41,27 @@ fn err(message: &str, fragment: &str) -> SpeechParseError {
 /// "one point five" → 1.5, "a quarter" → 0.25, "35" → 35.0).
 fn parse_spoken_number(text: &str) -> Option<f64> {
     const SMALL: [&str; 21] = [
-        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
-        "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
-        "nineteen", "twenty",
+        "zero",
+        "one",
+        "two",
+        "three",
+        "four",
+        "five",
+        "six",
+        "seven",
+        "eight",
+        "nine",
+        "ten",
+        "eleven",
+        "twelve",
+        "thirteen",
+        "fourteen",
+        "fifteen",
+        "sixteen",
+        "seventeen",
+        "eighteen",
+        "nineteen",
+        "twenty",
     ];
     const TENS: [(&str, f64); 8] = [
         ("thirty", 30.0),
@@ -144,8 +162,7 @@ fn parse_refinement(sentence: &str, schema: &Schema) -> Result<Refinement, Speec
     let (quant, scope) = rest
         .split_once(" percent for ")
         .ok_or_else(|| err("expected \"<Q> percent for <P>\"", sentence))?;
-    let percent: u32 =
-        quant.trim().parse().map_err(|_| err("bad quantifier", quant))?;
+    let percent: u32 = quant.trim().parse().map_err(|_| err("bad quantifier", quant))?;
     let predicates: Vec<Predicate> = scope
         .split(" and ")
         .map(|p| parse_predicate(p, schema).ok_or_else(|| err("unknown predicate", p)))
@@ -158,11 +175,7 @@ fn parse_refinement(sentence: &str, schema: &Schema) -> Result<Refinement, Speec
 
 /// Parse a speech body (baseline sentence + refinement sentences, no
 /// preamble) back into a [`Speech`].
-pub fn parse_body(
-    body: &str,
-    schema: &Schema,
-    query: &Query,
-) -> Result<Speech, SpeechParseError> {
+pub fn parse_body(body: &str, schema: &Schema, query: &Query) -> Result<Speech, SpeechParseError> {
     let sentences: Vec<&str> = body
         .split(". ")
         .map(|s| s.trim().trim_end_matches('.'))
@@ -185,10 +198,8 @@ pub fn parse_body(
         .or_else(|| parse_value_phrase(&value_phrase.to_lowercase(), unit))
         .ok_or_else(|| err("unparseable baseline value", value_phrase))?;
 
-    let refinements = rest
-        .iter()
-        .map(|s| parse_refinement(s, schema))
-        .collect::<Result<Vec<_>, _>>()?;
+    let refinements =
+        rest.iter().map(|s| parse_refinement(s, schema)).collect::<Result<Vec<_>, _>>()?;
     Ok(Speech { baseline, refinements })
 }
 
@@ -262,8 +273,7 @@ mod tests {
     fn round_trips_range_baselines() {
         let (table, q) = salary_setup();
         let renderer = Renderer::new(table.schema(), &q);
-        let speech =
-            Speech { baseline: Baseline::range(80.0, 90.0), refinements: Vec::new() };
+        let speech = Speech { baseline: Baseline::range(80.0, 90.0), refinements: Vec::new() };
         let body = renderer.body_text(&speech);
         assert!(body.starts_with("80 to 90 K"));
         let parsed = parse_body(&body, table.schema(), &q).unwrap();
@@ -282,8 +292,7 @@ mod tests {
             .build(table.schema())
             .unwrap();
         let renderer = Renderer::new(table.schema(), &q);
-        let speech =
-            Speech { baseline: Baseline::range(0.05, 0.10), refinements: Vec::new() };
+        let speech = Speech { baseline: Baseline::range(0.05, 0.10), refinements: Vec::new() };
         let body = renderer.body_text(&speech);
         assert!(body.starts_with("Five to ten percent"), "{body}");
         let parsed = parse_body(&body, table.schema(), &q).unwrap();

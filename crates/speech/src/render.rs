@@ -79,11 +79,8 @@ impl<'a> Renderer<'a> {
     /// The preamble (`<Pr>`): query scope plus breakdown levels.
     pub fn preamble(&self) -> String {
         let layout = self.query.layout();
-        let scope_parts: Vec<String> = self
-            .schema
-            .dims()
-            .map(|(d, dim)| dim.predicate_phrase(layout.scope(d)))
-            .collect();
+        let scope_parts: Vec<String> =
+            self.schema.dims().map(|(d, dim)| dim.predicate_phrase(layout.scope(d))).collect();
         let mut out = format!("Considering {}.", join_phrases(&scope_parts));
         let level_parts: Vec<String> = self
             .query
@@ -249,10 +246,8 @@ mod tests {
     fn range_baseline_renders_as_in_table_13() {
         let (table, q) = setup();
         let r = Renderer::new(table.schema(), &q);
-        let speech = Speech {
-            baseline: crate::ast::Baseline::range(80.0, 90.0),
-            refinements: Vec::new(),
-        };
+        let speech =
+            Speech { baseline: crate::ast::Baseline::range(80.0, 90.0), refinements: Vec::new() };
         assert_eq!(r.baseline_sentence(&speech), "80 to 90 K is the average mid-career salary.");
     }
 

@@ -112,11 +112,10 @@ impl CompiledSpeech {
         // Reference values chain through subsuming refinements: the
         // reference of refinement j is the value implied by the *last*
         // previous refinement whose scope subsumes j's, or the baseline.
-        let is_anc = |dim: voxolap_data::DimId,
-                      a: voxolap_data::MemberId,
-                      d: voxolap_data::MemberId| {
-            schema.dimension(dim).is_ancestor_or_self(a, d)
-        };
+        let is_anc =
+            |dim: voxolap_data::DimId, a: voxolap_data::MemberId, d: voxolap_data::MemberId| {
+                schema.dimension(dim).is_ancestor_or_self(a, d)
+            };
         let mut implied_values: Vec<f64> = Vec::with_capacity(speech.refinements.len());
         let mut compiled = Vec::with_capacity(speech.refinements.len());
         for (j, r) in speech.refinements.iter().enumerate() {
@@ -217,12 +216,7 @@ mod tests {
         let means = cs.means_all(q.layout());
         // Find the Northeast aggregate.
         let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
-        let ne_idx = q
-            .layout()
-            .coords(DimId(0))
-            .iter()
-            .position(|&m| m == ne)
-            .unwrap();
+        let ne_idx = q.layout().coords(DimId(0)).iter().position(|&m| m == ne).unwrap();
         assert!((means[ne_idx] - 120.0).abs() < 1e-9);
         for (i, &m) in means.iter().enumerate() {
             if i != ne_idx {
@@ -265,9 +259,8 @@ mod tests {
         let scope = RefinementScope::compile(&r, q.layout(), schema);
         // NE fixes the region coordinate: 1 x 2 = 2 of 8 aggregates.
         assert_eq!(scope.size(), 2);
-        let n_in: usize = (0..q.n_aggregates() as u32)
-            .filter(|&a| scope.contains(a, q.layout()))
-            .count();
+        let n_in: usize =
+            (0..q.n_aggregates() as u32).filter(|&a| scope.contains(a, q.layout())).count();
         assert_eq!(n_in, 2);
     }
 
@@ -315,10 +308,13 @@ mod tests {
         let hi = schema.dimension(DimId(1)).member_by_phrase("at least 50 K").unwrap();
         let speech = Speech {
             baseline: Baseline::point(80.0),
-            refinements: vec![ne_refinement(schema, 50), crate::ast::Refinement {
-                predicates: vec![Predicate { dim: DimId(1), member: hi }],
-                change: Change { direction: Direction::Increase, percent: 25 },
-            }],
+            refinements: vec![
+                ne_refinement(schema, 50),
+                crate::ast::Refinement {
+                    predicates: vec![Predicate { dim: DimId(1), member: hi }],
+                    change: Change { direction: Direction::Increase, percent: 25 },
+                },
+            ],
         };
         let cs = CompiledSpeech::compile(&speech, q.layout(), schema);
         // Second refinement is on a different dimension: reference is the
@@ -329,11 +325,7 @@ mod tests {
     #[test]
     fn baseline_only_speech_means_are_uniform() {
         let (table, q) = setup();
-        let cs = CompiledSpeech::compile(
-            &Speech::baseline_only(42.0),
-            q.layout(),
-            table.schema(),
-        );
+        let cs = CompiledSpeech::compile(&Speech::baseline_only(42.0), q.layout(), table.schema());
         assert!(cs.means_all(q.layout()).iter().all(|&m| (m - 42.0).abs() < 1e-12));
     }
 

@@ -25,9 +25,27 @@ pub fn round_significant(v: f64, digits: u32) -> f64 {
 /// English words for small cardinals; larger values fall back to digits.
 pub fn number_word(n: u32) -> String {
     const SMALL: [&str; 21] = [
-        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
-        "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
-        "nineteen", "twenty",
+        "zero",
+        "one",
+        "two",
+        "three",
+        "four",
+        "five",
+        "six",
+        "seven",
+        "eight",
+        "nine",
+        "ten",
+        "eleven",
+        "twelve",
+        "thirteen",
+        "fourteen",
+        "fifteen",
+        "sixteen",
+        "seventeen",
+        "eighteen",
+        "nineteen",
+        "twenty",
     ];
     const TENS: [(u32, &str); 8] = [
         (30, "thirty"),
@@ -118,7 +136,11 @@ pub fn verbalize_range(lo: f64, hi: f64, unit: MeasureUnit) -> String {
         MeasureUnit::DollarsK => {
             let fmt = |v: f64| {
                 let k = round_significant(v, 2);
-                if k == k.trunc() { format!("{}", k as i64) } else { format!("{k}") }
+                if k == k.trunc() {
+                    format!("{}", k as i64)
+                } else {
+                    format!("{k}")
+                }
             };
             format!("{} to {} K", fmt(lo), fmt(hi))
         }
@@ -128,7 +150,11 @@ pub fn verbalize_range(lo: f64, hi: f64, unit: MeasureUnit) -> String {
             // digit would collapse 150000..200000 into a single value.
             let fmt = |v: f64| {
                 let r = round_significant(v, 2);
-                if r == r.trunc() && r.abs() < 1e15 { format!("{}", r as i64) } else { format!("{r}") }
+                if r == r.trunc() && r.abs() < 1e15 {
+                    format!("{}", r as i64)
+                } else {
+                    format!("{r}")
+                }
             };
             format!("{} to {}", fmt(lo), fmt(hi))
         }

@@ -53,10 +53,7 @@ impl std::error::Error for ParseError {}
 
 /// Find a dimension whose name occurs in `text` (case-insensitive).
 fn find_dimension(schema: &Schema, text: &str) -> Option<DimId> {
-    schema
-        .dims()
-        .find(|(_, d)| text.contains(&d.name().to_lowercase()))
-        .map(|(id, _)| id)
+    schema.dims().find(|(_, d)| text.contains(&d.name().to_lowercase())).map(|(id, _)| id)
 }
 
 /// Find a level (of any dimension) whose name occurs in `text`, together
@@ -112,9 +109,7 @@ pub fn parse(schema: &Schema, input: &str) -> Result<Command, ParseError> {
         return Ok(Command::ClearFilters);
     }
     if text.contains("drill down") || text.contains("drill into") {
-        return find_dimension(schema, &text)
-            .map(Command::DrillDown)
-            .ok_or_else(unrecognized);
+        return find_dimension(schema, &text).map(Command::DrillDown).ok_or_else(unrecognized);
     }
     if text.contains("roll up") {
         return find_dimension(schema, &text).map(Command::RollUp).ok_or_else(unrecognized);
@@ -190,8 +185,14 @@ mod tests {
     #[test]
     fn parses_group_by_level() {
         let s = schema();
-        assert_eq!(parse(&s, "break down by region").unwrap(), Command::GroupBy(DimId(0), LevelId(1)));
-        assert_eq!(parse(&s, "break down by season").unwrap(), Command::GroupBy(DimId(1), LevelId(1)));
+        assert_eq!(
+            parse(&s, "break down by region").unwrap(),
+            Command::GroupBy(DimId(0), LevelId(1))
+        );
+        assert_eq!(
+            parse(&s, "break down by season").unwrap(),
+            Command::GroupBy(DimId(1), LevelId(1))
+        );
         assert_eq!(parse(&s, "by month please").unwrap(), Command::GroupBy(DimId(1), LevelId(2)));
         // Bare level mention works too.
         assert_eq!(parse(&s, "state").unwrap(), Command::GroupBy(DimId(0), LevelId(2)));

@@ -48,8 +48,7 @@ pub fn parse_question(schema: &Schema, question: &str) -> Result<Query, Question
     let text = question.to_lowercase();
 
     // Aggregation function from keywords.
-    let fct = if text.contains("how many") || text.contains("number of") || text.contains("count")
-    {
+    let fct = if text.contains("how many") || text.contains("number of") || text.contains("count") {
         AggFct::Count
     } else if text.contains("total") || text.contains("sum of") {
         AggFct::Sum
@@ -99,10 +98,8 @@ pub fn parse_question(schema: &Schema, question: &str) -> Result<Query, Question
         }
         // A dimension-name mention groups at a default level.
         if level.is_none() && tail.contains(&d.name().to_lowercase()) {
-            let filter_level = filters
-                .iter()
-                .find(|&&(fd, _)| fd == dim_id)
-                .map(|&(_, m)| d.member(m).level);
+            let filter_level =
+                filters.iter().find(|&&(fd, _)| fd == dim_id).map(|&(_, m)| d.member(m).level);
             level = Some(match filter_level {
                 // One level below the filter (state -> city), capped at
                 // the leaf level.
@@ -139,9 +136,9 @@ pub fn parse_question(schema: &Schema, question: &str) -> Result<Query, Question
         b = b.group_by(d, l);
     }
     for &(d, m) in &filters {
-        let too_deep = groupings.iter().any(|&(gd, gl)| {
-            gd == d && schema.dimension(d).member(m).level.index() > gl.index()
-        });
+        let too_deep = groupings
+            .iter()
+            .any(|&(gd, gl)| gd == d && schema.dimension(d).member(m).level.index() > gl.index());
         if !too_deep {
             b = b.filter(d, m);
         }
@@ -191,11 +188,9 @@ mod tests {
     #[test]
     fn explicit_level_mentions_win() {
         let schema = FlightsConfig::schema();
-        let q = parse_question(
-            &schema,
-            "how does the cancellation probability depend on the month?",
-        )
-        .unwrap();
+        let q =
+            parse_question(&schema, "how does the cancellation probability depend on the month?")
+                .unwrap();
         assert_eq!(q.group_by(), &[(DimId(1), LevelId(2))]);
     }
 
@@ -242,11 +237,9 @@ mod tests {
     fn filter_only_mention_does_not_group() {
         // "in Winter" filters; "by region" groups.
         let schema = FlightsConfig::schema();
-        let q = parse_question(
-            &schema,
-            "what is the cancellation probability in winter by region?",
-        )
-        .unwrap();
+        let q =
+            parse_question(&schema, "what is the cancellation probability in winter by region?")
+                .unwrap();
         assert_eq!(q.group_by(), &[(DimId(0), LevelId(1))]);
         let (fd, fm) = q.filters()[0];
         assert_eq!(fd, DimId(1));

@@ -189,7 +189,9 @@ impl<'a> Session<'a> {
         let levels: Vec<String> = schema
             .dimensions()
             .iter()
-            .flat_map(|d| (1..d.level_count()).map(move |l| d.level_name(LevelId(l as u8)).to_string()))
+            .flat_map(|d| {
+                (1..d.level_count()).map(move |l| d.level_name(LevelId(l as u8)).to_string())
+            })
             .collect();
         out.push_str(&levels.join(", "));
         out.push('.');

@@ -1,40 +1,61 @@
 //! Robustness: the keyword and question parsers must never panic on
 //! arbitrary input — they sit directly behind user-facing surfaces
-//! (repl, HTTP API).
+//! (repl, HTTP API). Seeded random fuzzing, 256 cases per property
+//! (mirroring the old proptest configuration).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use voxolap_data::flights::FlightsConfig;
 use voxolap_voice::parser::parse;
 use voxolap_voice::question::parse_question;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn keyword_parser_never_panics(input in ".{0,120}") {
-        let schema = FlightsConfig::schema();
+/// Arbitrary unicode-ish text: mixes ASCII, punctuation, digits, and a
+/// few multi-byte codepoints, which is what reaches the parsers in
+/// practice (and what tends to break naive byte indexing).
+fn arb_text(gen: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'e', 'i', 'o', 'r', 's', 't', 'n', 'w', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ',
+        ' ', ' ', '\t', '\n', '.', ',', '?', '!', '"', '\'', '-', '_', '/', '\\', '%', 'é', 'ß',
+        '漢', '😀', '\u{0}', '\u{7f}',
+    ];
+    let len = gen.gen_range(0..=max_len);
+    (0..len).map(|_| *POOL.choose(gen).unwrap()).collect()
+}
+
+#[test]
+fn keyword_parser_never_panics() {
+    let schema = FlightsConfig::schema();
+    let mut gen = StdRng::seed_from_u64(0xf022_0001);
+    for _ in 0..CASES {
+        let input = arb_text(&mut gen, 120);
         let _ = parse(&schema, &input);
     }
+}
 
-    #[test]
-    fn question_parser_never_panics(input in ".{0,160}") {
-        let schema = FlightsConfig::schema();
+#[test]
+fn question_parser_never_panics() {
+    let schema = FlightsConfig::schema();
+    let mut gen = StdRng::seed_from_u64(0xf022_0002);
+    for _ in 0..CASES {
+        let input = arb_text(&mut gen, 160);
         let _ = parse_question(&schema, &input);
     }
+}
 
-    #[test]
-    fn keyword_parser_handles_keyword_soup(
-        words in prop::collection::vec(
-            prop_oneof![
-                Just("break"), Just("down"), Just("by"), Just("region"),
-                Just("drill"), Just("roll"), Just("up"), Just("remove"),
-                Just("winter"), Just("airline"), Just("help"), Just("total"),
-                Just("new"), Just("york"), Just("city"), Just("month"),
-            ],
-            0..8,
-        ),
-    ) {
-        let schema = FlightsConfig::schema();
+#[test]
+fn keyword_parser_handles_keyword_soup() {
+    const WORDS: &[&str] = &[
+        "break", "down", "by", "region", "drill", "roll", "up", "remove", "winter", "airline",
+        "help", "total", "new", "york", "city", "month",
+    ];
+    let schema = FlightsConfig::schema();
+    let mut gen = StdRng::seed_from_u64(0xf022_0003);
+    for _ in 0..CASES {
+        let n = gen.gen_range(0..8);
+        let words: Vec<&str> = (0..n).map(|_| *WORDS.choose(&mut gen).unwrap()).collect();
         let input = words.join(" ");
         // Any combination parses or errors; never panics, and a parsed
         // command is well-formed by type.

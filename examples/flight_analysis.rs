@@ -27,10 +27,8 @@ fn main() {
     // "How does the cancellation probability in New York depend on flight
     // date and start airport?" -> filter to New York, break down by season
     // and city.
-    let ny = schema
-        .dimension(DimId(0))
-        .member_by_phrase("New York")
-        .expect("New York state exists");
+    let ny =
+        schema.dimension(DimId(0)).member_by_phrase("New York").expect("New York state exists");
     let query = Query::builder(AggFct::Avg)
         .filter(DimId(0), ny)
         .group_by(DimId(1), LevelId(1)) // season
@@ -67,10 +65,8 @@ fn main() {
         ("warning", UncertaintyMode::Warning { max_relative_width: 0.5 }),
         ("spoken bounds", UncertaintyMode::SpokenBounds),
     ] {
-        let holistic = Holistic::new(HolisticConfig {
-            uncertainty: mode,
-            ..HolisticConfig::default()
-        });
+        let holistic =
+            Holistic::new(HolisticConfig { uncertainty: mode, ..HolisticConfig::default() });
         let mut voice = InstantVoice::default();
         let outcome = holistic.vocalize(&table, &query, &mut voice);
         println!("\n[{label}]");

@@ -36,9 +36,6 @@ fn main() {
     println!();
     println!(
         "latency: {:?} | rows sampled: {} | planner iterations: {} | tree nodes: {}",
-        outcome.latency,
-        outcome.stats.rows_read,
-        outcome.stats.samples,
-        outcome.stats.tree_nodes
+        outcome.latency, outcome.stats.rows_read, outcome.stats.samples, outcome.stats.tree_nodes
     );
 }

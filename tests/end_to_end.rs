@@ -46,17 +46,9 @@ fn all_approaches_answer_the_same_query() {
     for approach in &approaches {
         let mut voice = InstantVoice::default();
         let outcome = approach.vocalize(&table, &query, &mut voice);
-        assert!(
-            !outcome.sentences.is_empty(),
-            "{} produced no sentences",
-            approach.name()
-        );
+        assert!(!outcome.sentences.is_empty(), "{} produced no sentences", approach.name());
         let text = outcome.full_text();
-        assert!(
-            text.contains("cancellation probability"),
-            "{}: {text}",
-            approach.name()
-        );
+        assert!(text.contains("cancellation probability"), "{}: {text}", approach.name());
     }
 }
 
@@ -70,9 +62,8 @@ fn keyword_session_drives_full_pipeline_with_realtime_voice() {
     // A very fast wall-clock voice: the planner genuinely overlaps
     // sampling with (short) real speaking time.
     let mut voice = RealTimeVoice::new(20_000.0);
-    let outcome = session
-        .vocalize_with(&fast_holistic(2), &mut voice)
-        .expect("session query is valid");
+    let outcome =
+        session.vocalize_with(&fast_holistic(2), &mut voice).expect("session query is valid");
     voice.wait_until_done();
 
     assert!(outcome.preamble.contains("the North East"));
@@ -84,10 +75,8 @@ fn keyword_session_drives_full_pipeline_with_realtime_voice() {
 fn count_and_sum_queries_vocalize() {
     let table = SalaryConfig::paper_scale().generate();
     for fct in [AggFct::Count, AggFct::Sum] {
-        let query = Query::builder(fct)
-            .group_by(DimId(0), LevelId(1))
-            .build(table.schema())
-            .unwrap();
+        let query =
+            Query::builder(fct).group_by(DimId(0), LevelId(1)).build(table.schema()).unwrap();
         let mut voice = InstantVoice::default();
         let outcome = fast_holistic(3).vocalize(&table, &query, &mut voice);
         assert!(!outcome.sentences.is_empty(), "{fct:?}");
@@ -96,11 +85,7 @@ fn count_and_sum_queries_vocalize() {
             AggFct::Sum => "total",
             AggFct::Avg => unreachable!(),
         };
-        assert!(
-            outcome.sentences[0].contains(expected),
-            "{fct:?}: {}",
-            outcome.sentences[0]
-        );
+        assert!(outcome.sentences[0].contains(expected), "{fct:?}: {}", outcome.sentences[0]);
     }
 }
 
@@ -128,10 +113,7 @@ fn pipelining_reads_more_rows_on_larger_data() {
     let small = FlightsConfig { rows: 2_000, seed: 42 }.generate();
     let large = FlightsConfig { rows: 50_000, seed: 42 }.generate();
     let query = |t: &voxolap_data::Table| {
-        Query::builder(AggFct::Avg)
-            .group_by(DimId(1), LevelId(1))
-            .build(t.schema())
-            .unwrap()
+        Query::builder(AggFct::Avg).group_by(DimId(1), LevelId(1)).build(t.schema()).unwrap()
     };
     let mut voice = VirtualVoice::new(60.0);
     let o_small = fast_holistic(5).vocalize(&small, &query(&small), &mut voice);
@@ -163,10 +145,8 @@ fn star_schema_pipeline_matches_denormalized() {
     let denorm = FlightsConfig { rows: 8_000, seed: 42 }.generate();
     let star = StarSchema::from_table(&denorm, 11);
     let table = star.materialize().expect("valid star rows");
-    let query = Query::builder(AggFct::Avg)
-        .group_by(DimId(1), LevelId(1))
-        .build(table.schema())
-        .unwrap();
+    let query =
+        Query::builder(AggFct::Avg).group_by(DimId(1), LevelId(1)).build(table.schema()).unwrap();
     // Exact results over the materialized star equal the denormalized ones.
     let a = voxolap_engine::exact::evaluate(&query, &denorm);
     let b = voxolap_engine::exact::evaluate(&query, &table);
@@ -198,19 +178,44 @@ fn question_to_speech_end_to_end() {
 }
 
 #[test]
-fn concurrent_holistic_through_session() {
-    use voxolap_core::concurrent::ConcurrentHolistic;
+fn parallel_holistic_through_session() {
+    use voxolap_core::parallel::ParallelHolistic;
     let table = FlightsConfig { rows: 6_000, seed: 42 }.generate();
     let mut session = Session::new(&table);
     session.input("break down by season").unwrap();
-    let engine = ConcurrentHolistic::new(HolisticConfig {
+    let engine = ParallelHolistic::new(HolisticConfig {
         min_samples_per_sentence: 100,
         max_tree_nodes: 30_000,
         ..HolisticConfig::default()
-    });
+    })
+    .with_threads(4);
     let mut voice = RealTimeVoice::new(5_000.0);
     let outcome = session.vocalize_with(&engine, &mut voice).unwrap();
     voice.wait_until_done();
     assert!(!outcome.sentences.is_empty());
     assert!(outcome.speech.is_some());
+}
+
+#[test]
+fn parallel_single_thread_matches_holistic_on_flights() {
+    use voxolap_core::parallel::ParallelHolistic;
+    use voxolap_voice::question::parse_question;
+    let table = FlightsConfig { rows: 6_000, seed: 42 }.generate();
+    let query = parse_question(
+        table.schema(),
+        "how does the cancellation probability depend on region and season?",
+    )
+    .expect("question parses");
+    let cfg = HolisticConfig {
+        min_samples_per_sentence: 300,
+        max_tree_nodes: 30_000,
+        resample_size: 200,
+        ..HolisticConfig::default()
+    };
+    let mut v1 = InstantVoice::default();
+    let seq = Holistic::new(cfg.clone()).vocalize(&table, &query, &mut v1);
+    let mut v2 = InstantVoice::default();
+    let par = ParallelHolistic::new(cfg).with_threads(1).vocalize(&table, &query, &mut v2);
+    assert_eq!(par.sentences, seq.sentences);
+    assert_eq!(par.stats.samples, seq.stats.samples);
 }

@@ -72,10 +72,8 @@ fn vocalizers_speak_the_selected_measure() {
 #[test]
 fn count_queries_speak_row_counts() {
     let table = FlightsConfig { rows: 10_000, seed: 42 }.generate();
-    let query = Query::builder(AggFct::Count)
-        .group_by(DimId(1), LevelId(1))
-        .build(table.schema())
-        .unwrap();
+    let query =
+        Query::builder(AggFct::Count).group_by(DimId(1), LevelId(1)).build(table.schema()).unwrap();
     let mut voice = InstantVoice::default();
     let outcome = Optimal::default().vocalize(&table, &query, &mut voice);
     let body = outcome.body_text();

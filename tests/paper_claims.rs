@@ -69,10 +69,7 @@ fn example_3_4_numbers() {
     // B(others) = N(66_667, sigma), sigma = 40_000 (in K: 120/66.67/40).
     let table = SalaryConfig::paper_scale().generate();
     let schema = table.schema();
-    let query = Query::builder(AggFct::Avg)
-        .group_by(DimId(0), LevelId(1))
-        .build(schema)
-        .unwrap();
+    let query = Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).build(schema).unwrap();
     let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
     let speech = Speech {
         baseline: Baseline::point(80.0),
@@ -84,12 +81,7 @@ fn example_3_4_numbers() {
     let cs = CompiledSpeech::compile(&speech, query.layout(), schema);
     let model = BeliefModel::from_overall_mean(80.0);
     assert_eq!(model.sigma(), 40.0, "sigma is half the overall mean");
-    let ne_idx = query
-        .layout()
-        .coords(DimId(0))
-        .iter()
-        .position(|&m| m == ne)
-        .unwrap() as u32;
+    let ne_idx = query.layout().coords(DimId(0)).iter().position(|&m| m == ne).unwrap() as u32;
     let b_ne = model.belief(&cs, ne_idx, query.layout());
     assert!((b_ne.mean - 120.0).abs() < 1e-9);
     for agg in 0..query.n_aggregates() as u32 {
@@ -108,12 +100,9 @@ fn figure_3_shape_small_scale() {
     let mut voice = InstantVoice::default();
     let optimal = Optimal::default().vocalize(&table, &query, &mut voice);
     let mut voice = VirtualVoice::new(100.0);
-    let holistic = Holistic::new(HolisticConfig {
-        resample_size: 200,
-        seed: 42,
-        ..HolisticConfig::default()
-    })
-    .vocalize(&table, &query, &mut voice);
+    let holistic =
+        Holistic::new(HolisticConfig { resample_size: 200, seed: 42, ..HolisticConfig::default() })
+            .vocalize(&table, &query, &mut voice);
     let mut voice = InstantVoice::default();
     // A starved unmerged run (few iterations ~ tight time budget at the
     // paper's data scale).
@@ -230,11 +219,7 @@ fn quality_metric_correlates_with_estimation_error() {
     assert!(q_good > q_bad);
 
     let study = EstimationStudy { n_users: 6, noise_rel: 0.02, seed: 42 };
-    let result = study.run(
-        &table,
-        &query,
-        &[("good".to_string(), good), ("bad".to_string(), bad)],
-    );
+    let result = study.run(&table, &query, &[("good".to_string(), good), ("bad".to_string(), bad)]);
     assert!(
         result.median_abs_err[0] < result.median_abs_err[1],
         "higher quality -> lower median error: {:?}",

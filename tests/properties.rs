@@ -1,4 +1,6 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-style tests over the core invariants, driven by seeded
+//! random case generation (64 cases per property, mirroring the old
+//! proptest configuration):
 //!
 //! * Theorem A.1 for arbitrary refinement sequences;
 //! * number verbalization round-off bounds;
@@ -6,7 +8,9 @@
 //! * grammar shape of rendered speeches;
 //! * cache estimator consistency for arbitrary sampling prefixes.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 use voxolap_data::dimension::LevelId;
 use voxolap_data::salary::SalaryConfig;
@@ -20,6 +24,8 @@ use voxolap_speech::render::Renderer;
 use voxolap_speech::scope::CompiledSpeech;
 use voxolap_speech::verbalize::{baseline_grid, round_significant};
 
+const CASES: usize = 64;
+
 fn salary_query() -> (voxolap_data::Table, Query) {
     let table = SalaryConfig { rows: 64, seed: 5 }.generate();
     let q = Query::builder(AggFct::Avg)
@@ -30,128 +36,144 @@ fn salary_query() -> (voxolap_data::Table, Query) {
     (table, q)
 }
 
-/// Strategy: an arbitrary refinement over the salary query's predicate
-/// space (regions, states, rough bins — all levels at or above grouping).
-fn arb_refinement() -> impl Strategy<Value = Refinement> {
+/// An arbitrary refinement over the salary query's predicate space
+/// (regions, states, rough bins — all levels at or above grouping).
+fn arb_refinement(gen: &mut StdRng) -> Refinement {
     // Dim 0 members 1..=4 are regions; dim 1 members 1..=2 the rough bins.
-    let pred = prop_oneof![
-        (1u32..=4).prop_map(|m| Predicate { dim: DimId(0), member: voxolap_data::MemberId(m) }),
-        (1u32..=2).prop_map(|m| Predicate { dim: DimId(1), member: voxolap_data::MemberId(m) }),
-    ];
-    (
-        pred,
-        prop_oneof![Just(Direction::Increase), Just(Direction::Decrease)],
-        prop_oneof![Just(5u32), Just(20), Just(50), Just(100), Just(200)],
-    )
-        .prop_filter("decrease < 100%", |(_, d, p)| {
-            *d == Direction::Increase || *p < 100
-        })
-        .prop_map(|(predicate, direction, percent)| Refinement {
-            predicates: vec![predicate],
-            change: Change { direction, percent },
-        })
+    let predicate = if gen.gen_bool(0.5) {
+        Predicate { dim: DimId(0), member: voxolap_data::MemberId(gen.gen_range(1u32..=4)) }
+    } else {
+        Predicate { dim: DimId(1), member: voxolap_data::MemberId(gen.gen_range(1u32..=2)) }
+    };
+    loop {
+        let direction = if gen.gen_bool(0.5) { Direction::Increase } else { Direction::Decrease };
+        let percent = *[5u32, 20, 50, 100, 200].choose(gen).unwrap();
+        if direction == Direction::Increase || percent < 100 {
+            return Refinement {
+                predicates: vec![predicate],
+                change: Change { direction, percent },
+            };
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_refinements(gen: &mut StdRng, max: usize) -> Vec<Refinement> {
+    let n = gen.gen_range(0..max);
+    (0..n).map(|_| arb_refinement(gen)).collect()
+}
 
-    #[test]
-    fn theorem_a1_holds_for_arbitrary_speeches(
-        baseline in 1.0f64..500.0,
-        refinements in prop::collection::vec(arb_refinement(), 0..6),
-    ) {
-        let (table, q) = salary_query();
+#[test]
+fn theorem_a1_holds_for_arbitrary_speeches() {
+    let (table, q) = salary_query();
+    let mut gen = StdRng::seed_from_u64(0xca5e_0001);
+    for _ in 0..CASES {
+        let baseline = gen.gen_range(1.0f64..500.0);
+        let refinements = arb_refinements(&mut gen, 6);
         let speech = Speech { baseline: Baseline::point(baseline), refinements };
         let cs = CompiledSpeech::compile(&speech, q.layout(), table.schema());
         let means = cs.means_all(q.layout());
         let avg = means.iter().sum::<f64>() / means.len() as f64;
-        prop_assert!(
+        assert!(
             (avg - baseline).abs() < 1e-6 * baseline.max(1.0),
             "average {avg} vs baseline {baseline}"
         );
     }
+}
 
-    #[test]
-    fn rendered_speeches_follow_the_grammar(
-        baseline in 1.0f64..500.0,
-        refinements in prop::collection::vec(arb_refinement(), 0..4),
-    ) {
-        let (table, q) = salary_query();
-        let renderer = Renderer::new(table.schema(), &q);
+#[test]
+fn rendered_speeches_follow_the_grammar() {
+    let (table, q) = salary_query();
+    let renderer = Renderer::new(table.schema(), &q);
+    let mut gen = StdRng::seed_from_u64(0xca5e_0002);
+    for _ in 0..CASES {
+        let baseline = gen.gen_range(1.0f64..500.0);
+        let refinements = arb_refinements(&mut gen, 4);
         let speech = Speech { baseline: Baseline::point(baseline), refinements };
         let body = renderer.body_text(&speech);
         // <B> then <R>*: exactly 1 + k sentences, every refinement starts
         // with "Values" and the body parses back into the same sentences.
         let sentences: Vec<&str> = body.split(". ").collect();
-        prop_assert_eq!(sentences.len(), 1 + speech.refinements.len());
-        prop_assert!(sentences[0].contains("is the average"));
+        assert_eq!(sentences.len(), 1 + speech.refinements.len());
+        assert!(sentences[0].contains("is the average"));
         for s in &sentences[1..] {
-            prop_assert!(s.starts_with("Values "), "refinement sentence: {s}");
-            prop_assert!(s.contains(" by ") && s.contains(" percent for "));
+            assert!(s.starts_with("Values "), "refinement sentence: {s}");
+            assert!(s.contains(" by ") && s.contains(" percent for "));
         }
-        prop_assert!(body.ends_with('.'));
+        assert!(body.ends_with('.'));
     }
+}
 
-    #[test]
-    fn render_parse_round_trip(
-        grid_idx in 0usize..8,
-        refinements in prop::collection::vec(arb_refinement(), 0..4),
-    ) {
-        // Baselines on the value grid round-trip exactly (arbitrary floats
-        // would be re-rounded by verbalization, by design).
-        let (table, q) = salary_query();
-        let grid = [60.0, 70.0, 80.0, 90.0, 100.0, 150.0, 200.0, 85.0];
-        let speech = Speech {
-            baseline: Baseline::point(grid[grid_idx]),
-            refinements,
-        };
-        let renderer = Renderer::new(table.schema(), &q);
+#[test]
+fn render_parse_round_trip() {
+    // Baselines on the value grid round-trip exactly (arbitrary floats
+    // would be re-rounded by verbalization, by design).
+    let (table, q) = salary_query();
+    let renderer = Renderer::new(table.schema(), &q);
+    let grid = [60.0, 70.0, 80.0, 90.0, 100.0, 150.0, 200.0, 85.0];
+    let mut gen = StdRng::seed_from_u64(0xca5e_0003);
+    for _ in 0..CASES {
+        let grid_idx = gen.gen_range(0usize..grid.len());
+        let refinements = arb_refinements(&mut gen, 4);
+        let speech = Speech { baseline: Baseline::point(grid[grid_idx]), refinements };
         let body = renderer.body_text(&speech);
         let parsed = parse_body(&body, table.schema(), &q).unwrap();
-        prop_assert_eq!(parsed, speech, "body: {}", body);
+        assert_eq!(parsed, speech, "body: {body}");
     }
+}
 
-    #[test]
-    fn round_significant_error_is_bounded(v in 1e-6f64..1e12) {
+#[test]
+fn round_significant_error_is_bounded() {
+    let mut gen = StdRng::seed_from_u64(0xca5e_0004);
+    for _ in 0..CASES {
+        // Log-uniform over 1e-6 .. 1e12.
+        let v = 10f64.powf(gen.gen_range(-6.0f64..12.0));
         let r = round_significant(v, 1);
         // One significant digit: relative error strictly below 50 %
         // (worst case 0.149… -> 0.1).
-        prop_assert!((r - v).abs() / v < 0.5, "v={v} r={r}");
+        assert!((r - v).abs() / v < 0.5, "v={v} r={r}");
         // Idempotent.
-        prop_assert_eq!(round_significant(r, 1), r);
+        assert_eq!(round_significant(r, 1), r);
     }
+}
 
-    #[test]
-    fn baseline_grid_brackets_the_estimate(v in 1e-6f64..1e9) {
+#[test]
+fn baseline_grid_brackets_the_estimate() {
+    let mut gen = StdRng::seed_from_u64(0xca5e_0005);
+    for _ in 0..CASES {
+        let v = 10f64.powf(gen.gen_range(-6.0f64..9.0));
         let grid = baseline_grid(v);
-        prop_assert!(!grid.is_empty());
-        prop_assert!(grid.iter().any(|&g| g <= v * 1.12), "grid below estimate");
-        prop_assert!(grid.iter().any(|&g| g >= v * 0.9), "grid above estimate");
+        assert!(!grid.is_empty());
+        assert!(grid.iter().any(|&g| g <= v * 1.12), "grid below estimate");
+        assert!(grid.iter().any(|&g| g >= v * 0.9), "grid above estimate");
         for w in grid.windows(2) {
-            prop_assert!(w[0] < w[1], "sorted and deduped");
+            assert!(w[0] < w[1], "sorted and deduped");
         }
     }
+}
 
-    #[test]
-    fn layout_index_roundtrip(agg_step in 1usize..7) {
-        let (_table, q) = salary_query();
-        let layout = q.layout();
+#[test]
+fn layout_index_roundtrip() {
+    let (_table, q) = salary_query();
+    let layout = q.layout();
+    for agg_step in 1usize..7 {
         for agg in (0..layout.n_aggregates() as u32).step_by(agg_step) {
             let coords = layout.coords_of_agg(agg);
             let scope = layout.scope_of_agg(agg);
-            prop_assert_eq!(coords.len(), scope.len());
-            let rebuilt: u32 = coords
-                .iter()
-                .enumerate()
-                .map(|(d, &c)| c * layout.stride(DimId(d as u8)))
-                .sum();
-            prop_assert_eq!(rebuilt, agg);
+            assert_eq!(coords.len(), scope.len());
+            let rebuilt: u32 =
+                coords.iter().enumerate().map(|(d, &c)| c * layout.stride(DimId(d as u8))).sum();
+            assert_eq!(rebuilt, agg);
         }
     }
+}
 
-    #[test]
-    fn cache_counts_are_exact_on_any_prefix(prefix_len in 1usize..64, seed in 0u64..32) {
-        let (table, q) = salary_query();
+#[test]
+fn cache_counts_are_exact_on_any_prefix() {
+    let (table, q) = salary_query();
+    let mut gen = StdRng::seed_from_u64(0xca5e_0006);
+    for _ in 0..CASES {
+        let prefix_len = gen.gen_range(1usize..64);
+        let seed = gen.gen_range(0u64..32);
         let mut cache = SampleCache::new(q.n_aggregates(), table.row_count() as u64);
         let mut scan = table.scan_shuffled(seed);
         let mut observed = 0;
@@ -160,17 +182,19 @@ proptest! {
             cache.observe(q.layout().agg_of_row(r.members), r.value);
             observed += 1;
         }
-        prop_assert_eq!(cache.nr_read(), observed as u64);
+        assert_eq!(cache.nr_read(), observed as u64);
         // Sizes sum to in-scope rows (all of them for this query).
         let total: usize = (0..q.n_aggregates() as u32).map(|a| cache.size(a)).sum();
-        prop_assert_eq!(total, observed);
+        assert_eq!(total, observed);
         // Count estimate over the whole scope is exactly the table size.
         let est = cache.overall_estimate(AggFct::Count).unwrap();
-        prop_assert!((est - table.row_count() as f64).abs() < 1e-9);
+        assert!((est - table.row_count() as f64).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn exact_evaluation_matches_brute_force(seed in 0u64..16) {
+#[test]
+fn exact_evaluation_matches_brute_force() {
+    for seed in 0u64..16 {
         let table = SalaryConfig { rows: 48, seed }.generate();
         let q = Query::builder(AggFct::Avg)
             .group_by(DimId(1), LevelId(1))
@@ -189,9 +213,9 @@ proptest! {
                     n += 1;
                 }
             }
-            prop_assert_eq!(result.count(agg), n);
+            assert_eq!(result.count(agg), n);
             if n > 0 {
-                prop_assert!((result.value(agg) - sum / n as f64).abs() < 1e-9);
+                assert!((result.value(agg) - sum / n as f64).abs() < 1e-9);
             }
         }
     }

@@ -18,11 +18,8 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
     .unwrap();
     let mut out = String::new();
     s.read_to_string(&mut out).unwrap();
-    let status: u16 = out
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
+    let status: u16 =
+        out.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line");
     let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
     (status, body)
 }
@@ -46,7 +43,7 @@ fn full_stack_question_and_session_flow() {
         "{\"question\": \"how does the cancellation probability depend on region?\"}",
     );
     assert_eq!(status, 200, "{body}");
-    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let v = voxolap_json::Value::parse(&body).unwrap();
     assert!(v["text"].as_str().unwrap().contains("broken down by region"));
     assert!(v["latency_ms"].as_f64().unwrap() < 500.0, "interactivity threshold");
 
@@ -56,11 +53,8 @@ fn full_stack_question_and_session_flow() {
     assert_eq!(s1, 200);
     let (_, body) =
         request(addr, "POST", "/session/worker/input", "{\"text\": \"break down by season\"}");
-    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
-    assert!(
-        v["preamble"].as_str().unwrap().contains("region and season"),
-        "{body}"
-    );
+    let v = voxolap_json::Value::parse(&body).unwrap();
+    assert!(v["preamble"].as_str().unwrap().contains("region and season"), "{body}");
 
     // Approach switching mid-session (the Table 8 study workflow).
     let (_, body) = request(
@@ -69,7 +63,7 @@ fn full_stack_question_and_session_flow() {
         "/session/worker/input",
         "{\"text\": \"winter\", \"approach\": \"prior\"}",
     );
-    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let v = voxolap_json::Value::parse(&body).unwrap();
     assert_eq!(v["approach"], "prior");
     assert!(v["preamble"].as_str().unwrap().contains("Winter"));
 

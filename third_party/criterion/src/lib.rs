@@ -1,0 +1,262 @@
+//! Vendored minimal reimplementation of the `criterion` API surface used
+//! by VoxOLAP's benches (see `third_party/README.md`).
+//!
+//! No statistics engine: each benchmark is calibrated to a target
+//! wall-clock window and the mean time per iteration is printed as
+//! `bench <group>/<id> ... <time>/iter`. Enough to compare hot-path
+//! changes; not a replacement for real criterion runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Name of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Times one closure; handed to benchmark functions.
+pub struct Bencher<'a> {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: &'a mut f64,
+    measurement: Duration,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly and record its mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: double the batch until it costs >= ~1/8 of the window.
+        let mut batch: u64 = 1;
+        let per_iter;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.measurement / 8 || batch >= 1 << 30 {
+                per_iter = elapsed.as_secs_f64() / batch as f64;
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        // Measure: as many batches as fit in the remaining window.
+        let runs = ((self.measurement.as_secs_f64() / (per_iter * batch as f64 + 1e-12)).ceil()
+            as u64)
+            .clamp(1, 64);
+        let t0 = Instant::now();
+        for _ in 0..runs * batch {
+            black_box(routine());
+        }
+        *self.ns_per_iter = t0.elapsed().as_secs_f64() * 1e9 / (runs * batch) as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let mut ns = f64::NAN;
+    let mut b = Bencher { ns_per_iter: &mut ns, measurement };
+    f(&mut b);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({:.0} elem/s)", n as f64 * 1e9 / ns),
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 * 1e9 / ns / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("bench {label:<48} {:>12}/iter{extra}", human(ns));
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&id.into().to_string(), None, self.measurement, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement: self.measurement,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Adjust the per-benchmark wall-clock window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Configuration hook (accepted; the stub has no sample statistics).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.measurement, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.measurement, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut ns = f64::NAN;
+        let mut b = Bencher { ns_per_iter: &mut ns, measurement: Duration::from_millis(20) };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(black_box(1));
+            x
+        });
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { measurement: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("p", 3), &3u32, |b, &x| b.iter(|| black_box(x * 2)));
+        g.finish();
+    }
+}
