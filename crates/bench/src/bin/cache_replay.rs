@@ -1,0 +1,34 @@
+//! Semantic-cache replay benchmark: a seeded workload of repeated and
+//! scope-overlapping queries against one cache-sharing engine, written
+//! to `BENCH_cache.json` (and printed as markdown).
+//!
+//! ```text
+//! cargo run --release --bin cache_replay \
+//!     [--rows N] [--queries N] [--repeat-pct P] [--overlap-pct P] \
+//!     [--cache-mb MB] [--out PATH]
+//! ```
+
+use voxolap_bench::arg_usize;
+use voxolap_bench::experiments::cache;
+
+fn main() {
+    let rows = arg_usize("--rows", 20_000);
+    let queries = arg_usize("--queries", 200);
+    let repeat_pct = arg_usize("--repeat-pct", 30);
+    let overlap_pct = arg_usize("--overlap-pct", 30);
+    let cache_mb = arg_usize("--cache-mb", 64);
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_cache.json".to_string())
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let replay = cache::measure(rows, queries, repeat_pct, overlap_pct, cache_mb, 42);
+    let json = cache::to_json(rows, repeat_pct, overlap_pct, cache_mb, cores, &replay);
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
+    eprintln!("wrote {out}");
+    print!("{}", cache::run(rows, &replay));
+}

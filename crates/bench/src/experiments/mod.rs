@@ -4,6 +4,7 @@
 //! `EXPERIMENTS.md`-shaped report.
 
 pub mod ablations;
+pub mod cache;
 pub mod fig3;
 pub mod parallel;
 pub mod scaling;

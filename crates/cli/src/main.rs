@@ -17,9 +17,12 @@
 //!   --chars-per-sec R       printed "speaking" rate (default 15; 0 = instant)
 //!   --uncertainty MODE      off|warning|bounds
 //!   --seed N                RNG seed (default 42)
+//!   --cache-mb N            cross-query semantic cache budget in MiB
+//!                           (default 64; 0 disables caching)
 
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use voxolap_core::approach::Vocalizer;
 use voxolap_core::holistic::{Holistic, HolisticConfig};
@@ -33,6 +36,7 @@ use voxolap_data::flights::FlightsConfig;
 use voxolap_data::salary::SalaryConfig;
 use voxolap_data::stats::DatasetStats;
 use voxolap_data::Table;
+use voxolap_engine::semantic::SemanticCache;
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response, Session};
 use voxolap_voice::tts::RealTimeVoice;
@@ -47,6 +51,7 @@ struct Options {
     chars_per_sec: f64,
     uncertainty: UncertaintyMode,
     seed: u64,
+    cache_mb: usize,
     command: String,
     args: Vec<String>,
 }
@@ -61,7 +66,8 @@ fn usage() -> &'static str {
        --threads N             planning threads for --approach parallel (default: all cores)\n\
        --chars-per-sec R       speaking rate for printed output (default 15; 0 = instant)\n\
        --uncertainty MODE      off|warning|bounds (default off)\n\
-       --seed N                RNG seed (default 42)"
+       --seed N                RNG seed (default 42)\n\
+       --cache-mb N            semantic-cache budget in MiB (default 64; 0 disables)"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -74,6 +80,7 @@ fn parse_options() -> Result<Options, String> {
         chars_per_sec: 15.0,
         uncertainty: UncertaintyMode::Off,
         seed: 42,
+        cache_mb: 64,
         command: String::new(),
         args: Vec::new(),
     };
@@ -117,6 +124,10 @@ fn parse_options() -> Result<Options, String> {
                 opts.seed =
                     take_value(&mut i)?.parse().map_err(|_| "bad --seed value".to_string())?
             }
+            "--cache-mb" => {
+                opts.cache_mb =
+                    take_value(&mut i)?.parse().map_err(|_| "bad --cache-mb value".to_string())?
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             arg if opts.command.is_empty() => opts.command = arg.to_string(),
             arg => opts.args.push(arg.to_string()),
@@ -149,7 +160,16 @@ fn load_table(opts: &Options) -> Result<Table, String> {
     }
 }
 
-fn make_vocalizer(opts: &Options) -> Result<Box<dyn Vocalizer>, String> {
+/// Build the semantic cache shared across the queries of one invocation
+/// (every repl question reuses it; `--cache-mb 0` turns it off).
+fn make_cache(opts: &Options) -> Option<Arc<SemanticCache>> {
+    (opts.cache_mb > 0).then(|| Arc::new(SemanticCache::with_capacity_mb(opts.cache_mb)))
+}
+
+fn make_vocalizer(
+    opts: &Options,
+    cache: Option<&Arc<SemanticCache>>,
+) -> Result<Box<dyn Vocalizer>, String> {
     let config = HolisticConfig {
         seed: opts.seed,
         uncertainty: opts.uncertainty,
@@ -163,16 +183,31 @@ fn make_vocalizer(opts: &Options) -> Result<Box<dyn Vocalizer>, String> {
         ..HolisticConfig::default()
     };
     Ok(match opts.approach.as_str() {
-        "holistic" => Box::new(Holistic::new(config)),
+        "holistic" => {
+            let mut engine = Holistic::new(config);
+            if let Some(cache) = cache {
+                engine = engine.with_cache(cache.clone());
+            }
+            Box::new(engine)
+        }
         // "concurrent" kept as an alias for the pre-parallel engine name.
         "parallel" | "concurrent" => {
             let mut engine = ParallelHolistic::new(config);
             if let Some(n) = opts.threads {
                 engine = engine.with_threads(n);
             }
+            if let Some(cache) = cache {
+                engine = engine.with_cache(cache.clone());
+            }
             Box::new(engine)
         }
-        "optimal" => Box::new(Optimal::default()),
+        "optimal" => {
+            let mut engine = Optimal::default();
+            if let Some(cache) = cache {
+                engine = engine.with_cache(cache.clone());
+            }
+            Box::new(engine)
+        }
         "unmerged" => Box::new(Unmerged::new(voxolap_core::unmerged::UnmergedConfig {
             seed: opts.seed,
             // Same estimator configuration as the holistic approach so the
@@ -207,7 +242,8 @@ fn speak_outcome(outcome: &voxolap_core::outcome::VocalizationOutcome) {
 fn cmd_ask(opts: &Options, table: &Table) -> Result<(), String> {
     let question = opts.args.first().ok_or("ask needs a quoted question")?;
     let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
-    let vocalizer = make_vocalizer(opts)?;
+    let cache = make_cache(opts);
+    let vocalizer = make_vocalizer(opts, cache.as_ref())?;
     let mut voice = make_voice(opts);
     let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
     speak_outcome(&outcome);
@@ -219,7 +255,9 @@ fn cmd_compare(opts: &Options, table: &Table) -> Result<(), String> {
     let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
     for name in ["holistic", "optimal", "unmerged", "prior"] {
         let sub = Options { approach: name.into(), ..clone_options(opts) };
-        let vocalizer = make_vocalizer(&sub)?;
+        // No shared cache in compare mode: each approach plans cold so the
+        // side-by-side isolates the planning strategies.
+        let vocalizer = make_vocalizer(&sub, None)?;
         let mut voice: Box<dyn VoiceOutput> = Box::new(InstantVoice::default());
         let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
         println!("\n== {name} (latency {:?}, {} chars) ==", outcome.latency, outcome.body_len());
@@ -243,6 +281,7 @@ fn clone_options(o: &Options) -> Options {
         chars_per_sec: o.chars_per_sec,
         uncertainty: o.uncertainty,
         seed: o.seed,
+        cache_mb: o.cache_mb,
         command: o.command.clone(),
         args: o.args.clone(),
     }
@@ -257,7 +296,10 @@ fn cmd_stats(table: &Table) {
 }
 
 fn cmd_repl(opts: &Options, table: &Table) -> Result<(), String> {
-    let vocalizer = make_vocalizer(opts)?;
+    // One cache for the whole session: repeated and scope-overlapping
+    // questions get faster as the session goes on.
+    let cache = make_cache(opts);
+    let vocalizer = make_vocalizer(opts, cache.as_ref())?;
     let mut voice = make_voice(opts);
     let mut session = Session::new(table);
     eprintln!("voxolap repl — say \"help\" for keywords, \"quit\" to leave.");

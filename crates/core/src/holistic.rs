@@ -13,16 +13,19 @@
 //!    it the new sampling root so all previously collected statistics in
 //!    its subtree remain available ("we avoid redundant planning work").
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use voxolap_data::Table;
 use voxolap_engine::query::{AggIdx, Query, ResultLayout};
+use voxolap_engine::semantic::{ExactAggregates, SemanticCache};
 use voxolap_mcts::NodeId;
 use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
 use voxolap_speech::constraints::SpeechConstraints;
 use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
+use crate::optimal::{plan_from_exact, OptimalConfig};
 use crate::outcome::{PlanStats, VocalizationOutcome};
 use crate::sampler::{PlannerCore, SelectionPolicy};
 use crate::tree::{NodeKind, SpeechTree};
@@ -62,6 +65,19 @@ pub struct HolisticConfig {
     pub policy: SelectionPolicy,
 }
 
+impl HolisticConfig {
+    /// The [`OptimalConfig`] equivalent of these settings, used by the
+    /// semantic-cache exact-hit path (exhaustive scoring, no sampling).
+    pub(crate) fn exact_cfg(&self) -> OptimalConfig {
+        OptimalConfig {
+            constraints: self.constraints,
+            candidates: self.candidates.clone(),
+            max_tree_nodes: self.max_tree_nodes,
+            sigma_override: self.sigma_override,
+        }
+    }
+}
+
 impl Default for HolisticConfig {
     fn default() -> Self {
         HolisticConfig {
@@ -84,12 +100,22 @@ impl Default for HolisticConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Holistic {
     config: HolisticConfig,
+    cache: Option<Arc<SemanticCache>>,
 }
 
 impl Holistic {
     /// Create with the given configuration.
     pub fn new(config: HolisticConfig) -> Self {
-        Holistic { config }
+        Holistic { config, cache: None }
+    }
+
+    /// Attach a cross-query semantic cache. Repeats of an exactly-answered
+    /// query skip sampling entirely; scope-compatible snapshots warm-start
+    /// the sample cache. With an empty cache the output is bit-identical to
+    /// a cacheless run.
+    pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The active configuration.
@@ -134,6 +160,61 @@ pub(crate) fn relevant_aggs(tree: &SpeechTree, node: NodeId, layout: &ResultLayo
     }
 }
 
+/// Speak a query answered entirely from cached exact aggregates: no table
+/// scan, no sampling — the preamble starts immediately and the speech is
+/// planned by exhaustive exact scoring (the Optimal variant's planner).
+/// Shared by [`Holistic`] and `ParallelHolistic` on semantic-cache exact
+/// hits.
+pub(crate) fn exact_hit_outcome(
+    table: &Table,
+    query: &Query,
+    voice: &mut dyn VoiceOutput,
+    data: &ExactAggregates,
+    cfg: &OptimalConfig,
+) -> VocalizationOutcome {
+    let t0 = Instant::now();
+    let schema = table.schema();
+    let renderer = Renderer::new(schema, query);
+    let preamble = renderer.preamble();
+    voice.start(&preamble);
+    let latency = t0.elapsed();
+
+    let exact = data.to_result(query.fct());
+    let Some(plan) = plan_from_exact(schema, query, &exact, cfg) else {
+        let sentence = "No data matches the query scope.".to_string();
+        voice.start(&sentence);
+        return VocalizationOutcome {
+            speech: None,
+            preamble,
+            sentences: vec![sentence],
+            latency,
+            stats: PlanStats {
+                rows_read: 0,
+                samples: 0,
+                tree_nodes: 0,
+                truncated: false,
+                planning_time: t0.elapsed(),
+            },
+        };
+    };
+    for s in &plan.sentences {
+        voice.start(s);
+    }
+    VocalizationOutcome {
+        speech: Some(plan.speech),
+        preamble,
+        sentences: plan.sentences,
+        latency,
+        stats: PlanStats {
+            rows_read: 0,
+            samples: 0,
+            tree_nodes: plan.tree_nodes,
+            truncated: plan.truncated,
+            planning_time: t0.elapsed(),
+        },
+    }
+}
+
 impl Vocalizer for Holistic {
     fn name(&self) -> &'static str {
         "holistic"
@@ -165,6 +246,15 @@ impl Holistic {
         mut core: PlannerCore<'_>,
     ) -> VocalizationOutcome {
         let cfg = &self.config;
+
+        // Semantic cache, layer 1: a repeat of an exactly-answered query
+        // skips sampling entirely and plans against stored aggregates.
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.lookup_exact(&query.key()) {
+                return exact_hit_outcome(table, query, voice, &data, &cfg.exact_cfg());
+            }
+        }
+
         let t0 = Instant::now();
         let schema = table.schema();
         let renderer = Renderer::new(schema, query);
@@ -174,11 +264,26 @@ impl Holistic {
         voice.start(&preamble);
         let latency = t0.elapsed();
 
+        // Semantic cache, layer 2: a snapshot with the same scope (measure
+        // + filters) seeds the sample cache with its uniform row prefix so
+        // sampling resumes where the donor query stopped. A cold run also
+        // starts logging in-scope rows for later snapshot admission.
+        if let Some(cache) = &self.cache {
+            core.enable_row_log(cache.snapshot_row_budget(table.schema().dimensions().len()));
+            let warmed = cache
+                .lookup_snapshot(&query.key().scope(), cfg.seed, 1)
+                .is_some_and(|snap| core.warm_start(&snap));
+            if !warmed {
+                cache.record_miss();
+            }
+        }
+
         core.set_policy(cfg.policy);
         let Some(overall) = core.warmup(cfg.warmup_rows) else {
             // Entire table streamed, not one row in scope: report that.
             let sentence = "No data matches the query scope.".to_string();
             voice.start(&sentence);
+            self.admit(&core, query);
             return VocalizationOutcome {
                 speech: None,
                 preamble,
@@ -235,6 +340,7 @@ impl Holistic {
             voice.start(&sentence);
         }
 
+        self.admit(&core, query);
         VocalizationOutcome {
             speech: Some(tree.speech_at(current)),
             preamble,
@@ -247,6 +353,19 @@ impl Holistic {
                 truncated: tree.truncated(),
                 planning_time: t0.elapsed(),
             },
+        }
+    }
+
+    /// Offer this run's results to the semantic cache: exact aggregates
+    /// when the scan was exhausted (uncapped), and the logged uniform row
+    /// prefix as a warm-start snapshot for scope-overlapping queries.
+    fn admit(&self, core: &PlannerCore<'_>, query: &Query) {
+        let Some(cache) = &self.cache else { return };
+        if let Some((counts, sums)) = core.cache().exact_result() {
+            cache.admit_exact(&query.key(), counts, sums);
+        }
+        if let Some(snap) = core.take_snapshot(self.config.seed) {
+            cache.admit_snapshot(&query.key().scope(), snap);
         }
     }
 }
@@ -412,6 +531,71 @@ mod tests {
         let index = AggregateIndex::build(&table, &avg_q, 1);
         let mut voice = InstantVoice::default();
         let _ = Holistic::default().vocalize_with_index(&table, &q, &index, &mut voice);
+    }
+
+    #[test]
+    fn empty_cache_run_matches_cacheless_output() {
+        let (table, q) = setup();
+        let cacheless = {
+            let mut voice = InstantVoice::default();
+            Holistic::new(fast_config()).vocalize(&table, &q, &mut voice).body_text()
+        };
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let cached = {
+            let mut voice = InstantVoice::default();
+            Holistic::new(fast_config())
+                .with_cache(cache.clone())
+                .vocalize(&table, &q, &mut voice)
+                .body_text()
+        };
+        assert_eq!(cacheless, cached, "a cold cache must not perturb planning");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.admissions >= 1, "exhausted scan admits results: {stats:?}");
+    }
+
+    #[test]
+    fn repeat_query_is_served_from_the_exact_cache() {
+        let (table, q) = setup();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let holistic = Holistic::new(fast_config()).with_cache(cache.clone());
+        let mut voice = InstantVoice::default();
+        let cold = holistic.vocalize(&table, &q, &mut voice);
+        assert_eq!(cold.stats.rows_read, 320, "cold run exhausts the table");
+        let mut voice = InstantVoice::default();
+        let hit = holistic.vocalize(&table, &q, &mut voice);
+        assert_eq!(hit.stats.rows_read, 0, "repeat reads no rows");
+        assert_eq!(hit.stats.samples, 0, "repeat skips sampling");
+        assert!(hit.speech.is_some());
+        assert_eq!(cache.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn scope_overlap_warm_starts_the_sampler() {
+        let (table, _) = setup();
+        let schema = table.schema();
+        // Donor groups by college region, the follow-up by start-salary
+        // bin: same scope (measure, no filters), different partition.
+        let donor =
+            Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).build(schema).unwrap();
+        let target =
+            Query::builder(AggFct::Avg).group_by(DimId(1), LevelId(1)).build(schema).unwrap();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let holistic = Holistic::new(fast_config()).with_cache(cache.clone());
+        let mut voice = InstantVoice::default();
+        let _ = holistic.vocalize(&table, &donor, &mut voice);
+        let mut voice = InstantVoice::default();
+        let cold = Holistic::new(fast_config()).vocalize(&table, &target, &mut voice);
+        let mut voice = InstantVoice::default();
+        let warm = holistic.vocalize(&table, &target, &mut voice);
+        assert!(
+            warm.stats.rows_read < cold.stats.rows_read,
+            "warm start reuses the donor prefix: {} vs {}",
+            warm.stats.rows_read,
+            cold.stats.rows_read
+        );
+        assert_eq!(cache.stats().warm_hits, 1);
+        assert!(warm.speech.is_some());
     }
 
     #[test]

@@ -8,14 +8,18 @@
 //! interactivity threshold on large data, which is the point Figure 3
 //! makes.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use voxolap_belief::model::rounding_bucket;
 use voxolap_belief::normal::Normal;
+use voxolap_data::schema::Schema;
 use voxolap_data::Table;
 use voxolap_engine::exact::{evaluate, ExactResult};
 use voxolap_engine::query::Query;
+use voxolap_engine::semantic::SemanticCache;
 use voxolap_mcts::NodeId;
+use voxolap_speech::ast::Speech;
 use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
 use voxolap_speech::constraints::SpeechConstraints;
 use voxolap_speech::render::Renderer;
@@ -53,47 +57,125 @@ impl Default for OptimalConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Optimal {
     config: OptimalConfig,
+    cache: Option<Arc<SemanticCache>>,
 }
 
 impl Optimal {
     /// Create with the given configuration.
     pub fn new(config: OptimalConfig) -> Self {
-        Optimal { config }
+        Optimal { config, cache: None }
+    }
+
+    /// Attach a cross-query semantic cache: exact results are looked up
+    /// before evaluating (skipping the full scan on a repeat query) and
+    /// admitted after.
+    pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The active configuration.
     pub fn config(&self) -> &OptimalConfig {
         &self.config
     }
+}
 
-    /// Exact quality (Definition 2.2) of the speech at `node`, using the
-    /// tree's incremental belief means.
-    fn node_quality(
-        tree: &SpeechTree,
-        node: NodeId,
-        exact: &ExactResult,
-        layout: &voxolap_engine::query::ResultLayout,
-        sigma: f64,
-    ) -> f64 {
-        let mut total = 0.0;
-        let mut n = 0usize;
-        for agg in 0..layout.n_aggregates() as u32 {
-            let actual = exact.value(agg);
-            if !actual.is_finite() {
-                continue;
-            }
-            let coords = layout.coords_of_agg(agg);
-            let mean = tree.mean_for(node, &coords);
-            let (lo, hi) = rounding_bucket(actual, sigma / 10.0);
-            total += Normal::new(mean, sigma).prob_interval(lo, hi);
-            n += 1;
+/// Exact quality (Definition 2.2) of the speech at `node`, using the
+/// tree's incremental belief means.
+fn node_quality(
+    tree: &SpeechTree,
+    node: NodeId,
+    exact: &ExactResult,
+    layout: &voxolap_engine::query::ResultLayout,
+    sigma: f64,
+) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for agg in 0..layout.n_aggregates() as u32 {
+        let actual = exact.value(agg);
+        if !actual.is_finite() {
+            continue;
         }
-        if n == 0 {
-            0.0
-        } else {
-            total / n as f64
+        let coords = layout.coords_of_agg(agg);
+        let mean = tree.mean_for(node, &coords);
+        let (lo, hi) = rounding_bucket(actual, sigma / 10.0);
+        total += Normal::new(mean, sigma).prob_interval(lo, hi);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// A fully planned speech derived from exact aggregate values.
+pub(crate) struct ExactPlan {
+    pub speech: Speech,
+    pub sentences: Vec<String>,
+    pub tree_nodes: usize,
+    pub truncated: bool,
+}
+
+/// Plan the best speech against exact aggregates — the Optimal variant's
+/// exhaustive scoring, shared with the Holistic engines' semantic-cache
+/// exact-hit path (which obtains the exact values without a table scan).
+/// Returns `None` when the grand mean is undefined (empty query scope).
+pub(crate) fn plan_from_exact(
+    schema: &Schema,
+    query: &Query,
+    exact: &ExactResult,
+    cfg: &OptimalConfig,
+) -> Option<ExactPlan> {
+    let grand = exact.grand_mean();
+    if !grand.is_finite() {
+        return None;
+    }
+    let sigma = cfg.sigma_override.unwrap_or_else(|| (grand.abs() * 0.5).max(1e-12));
+    let renderer = Renderer::new(schema, query);
+    let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
+    let tree =
+        SpeechTree::build(&generator, &renderer, &cfg.constraints, grand, cfg.max_tree_nodes);
+
+    // Score every node (every speech in the search space T); ties go to
+    // the shorter speech.
+    let layout = query.layout();
+    let mut best: Option<(NodeId, f64, usize)> = None;
+    for node in tree.all_nodes() {
+        if node == SpeechTree::ROOT {
+            continue;
+        }
+        let q = node_quality(&tree, node, exact, layout, sigma);
+        let frags = tree.speech_at(node).fragment_count();
+        let better = match best {
+            None => true,
+            Some((_, bq, bf)) => q > bq + 1e-12 || (q > bq - 1e-12 && frags < bf),
+        };
+        if better {
+            best = Some((node, q, frags));
         }
     }
+
+    let (best_node, _, _) = best.unwrap_or((SpeechTree::ROOT, 0.0, 0));
+    // Walk root -> best to emit sentences in speaking order.
+    let mut chain = Vec::new();
+    let mut cur = Some(best_node);
+    while let Some(n) = cur {
+        if n != SpeechTree::ROOT {
+            chain.push(n);
+        }
+        cur = tree.tree().parent(n);
+    }
+    chain.reverse();
+    let sentences: Vec<String> =
+        chain.iter().map(|&n| tree.sentence(n, &renderer).expect("non-root")).collect();
+
+    Some(ExactPlan {
+        speech: tree.speech_at(best_node),
+        sentences,
+        tree_nodes: tree.tree().node_count(),
+        truncated: tree.truncated(),
+    })
 }
 
 impl Vocalizer for Optimal {
@@ -113,10 +195,28 @@ impl Vocalizer for Optimal {
         let renderer = Renderer::new(schema, query);
         let preamble = renderer.preamble();
 
-        // Full exact evaluation: the expensive part on large data.
-        let exact = evaluate(query, table);
-        let grand = exact.grand_mean();
-        if !grand.is_finite() {
+        // Exact aggregates: from the semantic cache on a repeat query,
+        // otherwise a full scan — the expensive part on large data.
+        let key = self.cache.as_ref().map(|_| query.key());
+        let cached = match (&self.cache, &key) {
+            (Some(cache), Some(key)) => cache.lookup_exact(key),
+            _ => None,
+        };
+        let hit = cached.is_some();
+        let exact = match cached {
+            Some(data) => data.to_result(query.fct()),
+            None => {
+                let exact = evaluate(query, table);
+                if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                    cache.record_miss();
+                    cache.admit_exact(key, exact.counts().to_vec(), exact.sums().to_vec());
+                }
+                exact
+            }
+        };
+        let rows_read = if hit { 0 } else { table.row_count() as u64 };
+
+        let Some(plan) = plan_from_exact(schema, query, &exact, cfg) else {
             let sentence = "No data matches the query scope.".to_string();
             let latency = t0.elapsed();
             voice.start(&preamble);
@@ -127,69 +227,31 @@ impl Vocalizer for Optimal {
                 sentences: vec![sentence],
                 latency,
                 stats: PlanStats {
-                    rows_read: table.row_count() as u64,
+                    rows_read,
                     samples: 0,
                     tree_nodes: 0,
                     truncated: false,
                     planning_time: t0.elapsed(),
                 },
             };
-        }
-        let sigma = cfg.sigma_override.unwrap_or_else(|| (grand.abs() * 0.5).max(1e-12));
-
-        let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
-        let tree =
-            SpeechTree::build(&generator, &renderer, &cfg.constraints, grand, cfg.max_tree_nodes);
-
-        // Score every node (every speech in the search space T); ties go to
-        // the shorter speech.
-        let layout = query.layout();
-        let mut best: Option<(NodeId, f64, usize)> = None;
-        for node in tree.all_nodes() {
-            if node == SpeechTree::ROOT {
-                continue;
-            }
-            let q = Self::node_quality(&tree, node, &exact, layout, sigma);
-            let frags = tree.speech_at(node).fragment_count();
-            let better = match best {
-                None => true,
-                Some((_, bq, bf)) => q > bq + 1e-12 || (q > bq - 1e-12 && frags < bf),
-            };
-            if better {
-                best = Some((node, q, frags));
-            }
-        }
-
-        let (best_node, _, _) = best.unwrap_or((SpeechTree::ROOT, 0.0, 0));
-        // Walk root -> best to emit sentences in speaking order.
-        let mut chain = Vec::new();
-        let mut cur = Some(best_node);
-        while let Some(n) = cur {
-            if n != SpeechTree::ROOT {
-                chain.push(n);
-            }
-            cur = tree.tree().parent(n);
-        }
-        chain.reverse();
-        let sentences: Vec<String> =
-            chain.iter().map(|&n| tree.sentence(n, &renderer).expect("non-root")).collect();
+        };
 
         let latency = t0.elapsed();
         voice.start(&preamble);
-        for s in &sentences {
+        for s in &plan.sentences {
             voice.start(s);
         }
 
         VocalizationOutcome {
-            speech: Some(tree.speech_at(best_node)),
+            speech: Some(plan.speech),
             preamble,
-            sentences,
+            sentences: plan.sentences,
             latency,
             stats: PlanStats {
-                rows_read: table.row_count() as u64,
+                rows_read,
                 samples: 0,
-                tree_nodes: tree.tree().node_count(),
-                truncated: tree.truncated(),
+                tree_nodes: plan.tree_nodes,
+                truncated: plan.truncated,
                 planning_time: t0.elapsed(),
             },
         }
@@ -279,6 +341,24 @@ mod tests {
         let outcome = Optimal::default().vocalize(&table, &q, &mut voice);
         assert_eq!(outcome.stats.rows_read, 320);
         assert_eq!(outcome.stats.samples, 0, "no sampling in the optimal approach");
+    }
+
+    #[test]
+    fn cached_repeat_skips_the_scan_and_matches_cold_output() {
+        let (table, q) = setup();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let optimal = Optimal::default().with_cache(cache.clone());
+        let mut voice = InstantVoice::default();
+        let first = optimal.vocalize(&table, &q, &mut voice);
+        assert_eq!(first.stats.rows_read, 320);
+        let mut voice = InstantVoice::default();
+        let second = optimal.vocalize(&table, &q, &mut voice);
+        assert_eq!(second.stats.rows_read, 0, "repeat query served from cache");
+        assert_eq!(first.body_text(), second.body_text());
+        let stats = cache.stats();
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.admissions, 1);
     }
 
     #[test]

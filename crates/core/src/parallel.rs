@@ -30,6 +30,7 @@
 //! cooperative engine, interactive deployments use this one.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -41,15 +42,16 @@ use voxolap_data::table::RowScanner;
 use voxolap_data::Table;
 use voxolap_engine::cache::ResampleScratch;
 use voxolap_engine::query::{AggFct, Query};
+use voxolap_engine::semantic::{LoggedRow, SampleSnapshot, SemanticCache};
 use voxolap_engine::sharded::ShardedSampleCache;
 use voxolap_mcts::NodeId;
 use voxolap_speech::candidates::CandidateGenerator;
 use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
-use crate::holistic::{relevant_aggs, HolisticConfig};
+use crate::holistic::{exact_hit_outcome, relevant_aggs, HolisticConfig};
 use crate::outcome::{PlanStats, VocalizationOutcome};
-use crate::sampler::{calibrated_sigma, SelectionPolicy, SIGMA_FALLBACK};
+use crate::sampler::{calibrated_sigma, RowLog, SelectionPolicy, SIGMA_FALLBACK};
 use crate::tree::SpeechTree;
 use crate::uncertainty::{annotate, UncertaintyMode};
 use crate::voice::VoiceOutput;
@@ -67,6 +69,7 @@ const WORKER_STREAM: u64 = 0xd1b5_4a32_d192_ed03;
 pub struct ParallelHolistic {
     config: HolisticConfig,
     threads: usize,
+    cache: Option<Arc<SemanticCache>>,
 }
 
 impl Default for ParallelHolistic {
@@ -81,7 +84,18 @@ impl ParallelHolistic {
     /// threads as the machine has cores.
     pub fn new(config: HolisticConfig) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelHolistic { config, threads }
+        ParallelHolistic { config, threads, cache: None }
+    }
+
+    /// Attach a cross-query semantic cache (see
+    /// [`Holistic::with_cache`](crate::holistic::Holistic::with_cache)).
+    /// Snapshots are sharded by thread count: a warm start requires a
+    /// donor run with the same seed and the same number of planning
+    /// threads. With an empty cache, `threads == 1` output remains
+    /// bit-identical to [`Holistic`](crate::holistic::Holistic).
+    pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Override the number of planning threads (min 1). `1` selects the
@@ -113,6 +127,12 @@ pub(crate) struct ShardWorker<'a> {
     sigma: f64,
     rows_per_iteration: usize,
     policy: SelectionPolicy,
+    /// In-scope row log for semantic-cache snapshot admission (only when a
+    /// cache is attached; logging consumes no RNG, preserving parity).
+    log: Option<RowLog>,
+    /// Rows the semantic cache pre-seeded before this run (worker 0 only);
+    /// warm-up tops up the difference instead of re-reading them.
+    seeded: u64,
 }
 
 impl<'a> ShardWorker<'a> {
@@ -142,6 +162,8 @@ impl<'a> ShardWorker<'a> {
             sigma: SIGMA_FALLBACK,
             rows_per_iteration: config.rows_per_iteration,
             policy: config.policy,
+            log: None,
+            seeded: 0,
         }
     }
 
@@ -151,7 +173,13 @@ impl<'a> ShardWorker<'a> {
         let mut read = 0;
         while read < k {
             let Some(row) = self.scanner.next_row() else { break };
-            self.cache.observe(layout.agg_of_row(row.members), row.value);
+            let agg = layout.agg_of_row(row.members);
+            if agg.is_some() {
+                if let Some(log) = &mut self.log {
+                    log.push(row.members, row.value);
+                }
+            }
+            self.cache.observe(agg, row.value);
             read += 1;
         }
         read
@@ -166,7 +194,9 @@ impl<'a> ShardWorker<'a> {
             AggFct::Avg => est,
             _ => est / n_aggs,
         };
-        self.ingest_rows(min_rows);
+        // Seeded rows already count toward the warm-up quota; a cold run
+        // (seeded == 0) behaves byte-identically to before.
+        self.ingest_rows(min_rows.saturating_sub(self.seeded as usize));
         let est = loop {
             if let Some(est) = self.cache.overall_estimate(self.query.fct()) {
                 break est;
@@ -356,6 +386,15 @@ impl Vocalizer for ParallelHolistic {
         voice: &mut dyn VoiceOutput,
     ) -> VocalizationOutcome {
         let cfg = &self.config;
+
+        // Semantic cache, layer 1: a repeat of an exactly-answered query
+        // skips sampling entirely and plans against stored aggregates.
+        if let Some(sem) = &self.cache {
+            if let Some(data) = sem.lookup_exact(&query.key()) {
+                return exact_hit_outcome(table, query, voice, &data, &cfg.exact_cfg());
+            }
+        }
+
         let t0 = Instant::now();
         let schema = table.schema();
         let renderer = Renderer::new(schema, query);
@@ -372,9 +411,48 @@ impl Vocalizer for ParallelHolistic {
             .map(|w| ShardWorker::new(table, query, &cache, cfg, w, n_workers))
             .collect();
 
+        // Semantic cache, layer 2: seed the shared cache from a snapshot
+        // with the same scope, seed, and shard count, then advance each
+        // worker's scanner past the donor's per-shard prefix. Cold runs
+        // just start logging in-scope rows for later admission.
+        let mut donor_rows: Vec<LoggedRow> = Vec::new();
+        let mut seeded_reads = vec![0u64; n_workers];
+        if let Some(sem) = &self.cache {
+            let warmed = match sem.lookup_snapshot(&query.key().scope(), cfg.seed, n_workers) {
+                Some(snap) => {
+                    cache.seed_rows(
+                        query.layout(),
+                        snap.rows.iter().map(|r| (&r.members[..], r.value)),
+                        snap.nr_read,
+                    );
+                    for (worker, &read) in workers.iter_mut().zip(&snap.shard_reads) {
+                        worker.scanner.skip(read as usize);
+                    }
+                    workers[0].seeded = snap.nr_read;
+                    donor_rows = snap.rows.clone();
+                    seeded_reads.copy_from_slice(&snap.shard_reads);
+                    true
+                }
+                None => false,
+            };
+            if !warmed {
+                sem.record_miss();
+            }
+            let budget = sem.snapshot_row_budget(schema.dimensions().len());
+            let per_worker = budget.saturating_sub(donor_rows.len()) / n_workers;
+            for worker in &mut workers {
+                worker.log = Some(RowLog::new(per_worker));
+            }
+        }
+        let seeded_total: u64 = seeded_reads.iter().sum();
+
         // Warm up on worker 0's shard (a uniform sample of the table).
         let Some(overall) = workers[0].warmup(cfg.warmup_rows) else {
-            return no_data_outcome(preamble, latency, cache.nr_read(), voice, t0);
+            let results: Vec<(u64, Option<RowLog>)> =
+                workers.iter_mut().map(|w| (w.scanner.rows_read() as u64, w.log.take())).collect();
+            let fresh = cache.nr_read() - seeded_total;
+            self.admit(&cache, query, donor_rows, &seeded_reads, results);
+            return no_data_outcome(preamble, latency, fresh, voice, t0);
         };
         let sigma = calibrated_sigma(overall, cfg.sigma_override);
         for w in &mut workers {
@@ -391,7 +469,7 @@ impl Vocalizer for ParallelHolistic {
         let samples = AtomicU64::new(0);
         let mut current = SpeechTree::ROOT;
 
-        if n_workers == 1 {
+        let worker_results: Vec<(u64, Option<RowLog>)> = if n_workers == 1 {
             // Cooperative deterministic mode: Algorithm 1 on the calling
             // thread, plain (vloss-free) descent — matches Holistic.
             let mut worker = workers.pop().expect("one worker");
@@ -410,22 +488,25 @@ impl Vocalizer for ParallelHolistic {
                 sentences.push(next.clone());
                 voice.start(&next);
             }
+            vec![(worker.scanner.rows_read() as u64, worker.log.take())]
         } else {
             let shared_current = AtomicU32::new(SpeechTree::ROOT.index() as u32);
             let stop = AtomicBool::new(false);
             std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_workers);
                 for mut worker in workers {
                     let tree = &tree;
                     let shared_current = &shared_current;
                     let stop = &stop;
                     let samples = &samples;
-                    scope.spawn(move || {
+                    handles.push(scope.spawn(move || {
                         while !stop.load(Ordering::Relaxed) {
                             let from = NodeId(shared_current.load(Ordering::Acquire));
                             worker.sample_once(tree, from, true);
                             samples.fetch_add(1, Ordering::Relaxed);
                         }
-                    });
+                        (worker.scanner.rows_read() as u64, worker.log.take())
+                    }));
                 }
 
                 // Commit loop: sleep while the voice plays (workers sample
@@ -451,22 +532,58 @@ impl Vocalizer for ParallelHolistic {
                     voice.start(&next);
                 }
                 stop.store(true, Ordering::Relaxed);
-            });
-        }
+                handles.into_iter().map(|h| h.join().expect("planning worker panicked")).collect()
+            })
+        };
 
-        VocalizationOutcome {
+        let outcome = VocalizationOutcome {
             speech: Some(tree.speech_at(current)),
             preamble,
             sentences,
             latency,
             stats: PlanStats {
-                rows_read: cache.nr_read(),
+                rows_read: cache.nr_read() - seeded_total,
                 samples: samples.load(Ordering::Relaxed),
                 tree_nodes: tree.tree().node_count(),
                 truncated: tree.truncated(),
                 planning_time: t0.elapsed(),
             },
+        };
+        self.admit(&cache, query, donor_rows, &seeded_reads, worker_results);
+        outcome
+    }
+}
+
+impl ParallelHolistic {
+    /// Offer this run's results to the semantic cache: exact aggregates
+    /// when the scan was exhausted, and the combined donor-prefix + fresh
+    /// per-shard row logs as a warm-start snapshot.
+    fn admit(
+        &self,
+        shared: &ShardedSampleCache,
+        query: &Query,
+        donor_rows: Vec<LoggedRow>,
+        seeded_reads: &[u64],
+        worker_results: Vec<(u64, Option<RowLog>)>,
+    ) {
+        let Some(sem) = &self.cache else { return };
+        if let Some((counts, sums)) = shared.exact_result() {
+            sem.admit_exact(&query.key(), counts, sums);
         }
+        let mut rows = donor_rows;
+        let mut shard_reads = Vec::with_capacity(worker_results.len());
+        for (fresh, log) in worker_results {
+            let Some(log) = log else { return };
+            if log.overflowed() {
+                return;
+            }
+            shard_reads.push(seeded_reads[shard_reads.len()] + fresh);
+            rows.extend_from_slice(log.rows());
+        }
+        sem.admit_snapshot(
+            &query.key().scope(),
+            SampleSnapshot { seed: self.config.seed, shard_reads, nr_read: shared.nr_read(), rows },
+        );
     }
 }
 
@@ -666,6 +783,64 @@ mod tests {
             "warning appended: {:?}",
             outcome.sentences
         );
+    }
+
+    #[test]
+    fn single_thread_with_empty_cache_keeps_parity() {
+        let (table, q) = setup();
+        let mut voice_seq = InstantVoice::default();
+        let seq = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice_seq);
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let mut voice_par = InstantVoice::default();
+        let par = ParallelHolistic::new(fast_config()).with_threads(1).with_cache(cache).vocalize(
+            &table,
+            &q,
+            &mut voice_par,
+        );
+        assert_eq!(par.sentences, seq.sentences, "cold cache must not perturb planning");
+        assert_eq!(par.stats.samples, seq.stats.samples);
+        assert_eq!(par.stats.rows_read, seq.stats.rows_read);
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_in_cooperative_mode() {
+        let (table, q) = setup();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let engine = ParallelHolistic::new(fast_config()).with_threads(1).with_cache(cache.clone());
+        let mut voice = InstantVoice::default();
+        let cold = engine.vocalize(&table, &q, &mut voice);
+        assert_eq!(cold.stats.rows_read, 320, "cold run exhausts the table");
+        let mut voice = InstantVoice::default();
+        let hit = engine.vocalize(&table, &q, &mut voice);
+        assert_eq!(hit.stats.rows_read, 0, "repeat reads no rows");
+        assert_eq!(hit.stats.samples, 0, "repeat skips sampling");
+        assert!(hit.speech.is_some());
+        assert_eq!(cache.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn sharded_snapshot_warm_starts_across_group_bys() {
+        let (table, _) = setup();
+        let schema = table.schema();
+        let donor =
+            Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).build(schema).unwrap();
+        let target =
+            Query::builder(AggFct::Avg).group_by(DimId(1), LevelId(1)).build(schema).unwrap();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let engine = ParallelHolistic::new(fast_config()).with_threads(2).with_cache(cache.clone());
+        let mut voice = SleepyVoice::new(Duration::from_micros(100));
+        let cold = engine.vocalize(&table, &donor, &mut voice);
+        assert_eq!(cold.stats.rows_read, 320, "donor exhausts the table");
+        let mut voice = SleepyVoice::new(Duration::from_micros(100));
+        let warm = engine.vocalize(&table, &target, &mut voice);
+        assert!(
+            warm.stats.rows_read < cold.stats.rows_read,
+            "warm start reuses the donor prefix: {} vs {}",
+            warm.stats.rows_read,
+            cold.stats.rows_read
+        );
+        assert_eq!(cache.stats().warm_hits, 1);
+        assert!(warm.speech.is_some());
     }
 
     #[test]

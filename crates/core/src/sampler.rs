@@ -11,14 +11,68 @@ use rand::SeedableRng;
 
 use voxolap_belief::model::rounding_bucket;
 use voxolap_belief::normal::Normal;
+use voxolap_data::dimension::MemberId;
 use voxolap_data::table::RowScanner;
 use voxolap_data::Table;
 use voxolap_engine::cache::{ResampleScratch, SampleCache};
 use voxolap_engine::query::Query;
+use voxolap_engine::semantic::{LoggedRow, SampleSnapshot};
 use voxolap_engine::stratified::{AggregateIndex, StratifiedScanner};
 use voxolap_mcts::NodeId;
 
 use crate::tree::SpeechTree;
+
+/// Capacity-bounded log of the in-scope rows a run observed, kept so the
+/// sample can be admitted to the semantic cache as a warm-start snapshot.
+/// Overflowing the cap drops the log (an oversized snapshot would be
+/// rejected by the cache anyway) but never affects the run itself.
+#[derive(Debug)]
+pub(crate) struct RowLog {
+    rows: Vec<LoggedRow>,
+    cap: usize,
+    overflowed: bool,
+}
+
+impl RowLog {
+    pub(crate) fn new(cap: usize) -> Self {
+        RowLog { rows: Vec::new(), cap, overflowed: false }
+    }
+
+    /// Pre-fill with a warm-start donor's rows so the final snapshot covers
+    /// the whole observed prefix, not just this run's fresh rows.
+    pub(crate) fn seed(&mut self, rows: &[LoggedRow]) {
+        if self.rows.len() + rows.len() > self.cap {
+            self.overflow();
+            return;
+        }
+        self.rows.extend_from_slice(rows);
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, members: &[MemberId], value: f64) {
+        if self.overflowed {
+            return;
+        }
+        if self.rows.len() >= self.cap {
+            self.overflow();
+            return;
+        }
+        self.rows.push(LoggedRow { members: members.into(), value });
+    }
+
+    fn overflow(&mut self) {
+        self.overflowed = true;
+        self.rows = Vec::new();
+    }
+
+    pub(crate) fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    pub(crate) fn rows(&self) -> &[LoggedRow] {
+        &self.rows
+    }
+}
 
 /// Fallback σ when the measure's overall mean is zero or unavailable.
 pub(crate) const SIGMA_FALLBACK: f64 = 1.0;
@@ -81,6 +135,12 @@ pub struct PlannerCore<'a> {
     scratch: ResampleScratch,
     samples: u64,
     policy: SelectionPolicy,
+    /// In-scope row log for semantic-cache snapshot admission
+    /// (`None` = logging disabled; never touches the RNG streams).
+    log: Option<RowLog>,
+    /// `nr_read` inherited from a warm-start donor (0 for cold runs);
+    /// warm-up targets shrink by this amount.
+    seeded_rows: u64,
 }
 
 impl<'a> PlannerCore<'a> {
@@ -111,6 +171,8 @@ impl<'a> PlannerCore<'a> {
             scratch: ResampleScratch::new(),
             samples: 0,
             policy: SelectionPolicy::Uct,
+            log: None,
+            seeded_rows: 0,
         }
     }
 
@@ -139,12 +201,63 @@ impl<'a> PlannerCore<'a> {
             scratch: ResampleScratch::new(),
             samples: 0,
             policy: SelectionPolicy::Uct,
+            log: None,
+            seeded_rows: 0,
         }
     }
 
     /// Override the tree-descent policy (default UCT).
     pub fn set_policy(&mut self, policy: SelectionPolicy) {
         self.policy = policy;
+    }
+
+    /// Start logging in-scope rows (up to `cap`) so the run's sample can be
+    /// admitted to a semantic cache afterwards. Logging is a pure observer:
+    /// it consumes no randomness and never changes planning behavior.
+    pub fn enable_row_log(&mut self, cap: usize) {
+        self.log = Some(RowLog::new(cap));
+    }
+
+    /// Warm-start this core from a compatible [`SampleSnapshot`]: seed the
+    /// cache with the donor's re-bucketed rows, resume the seeded scan past
+    /// the donor's prefix, and shrink future warm-up targets accordingly.
+    /// Returns `false` (leaving the core cold) when the core streams from a
+    /// stratified index, the snapshot is multi-shard, or rows were already
+    /// read.
+    pub fn warm_start(&mut self, snapshot: &SampleSnapshot) -> bool {
+        let RowSource::Shuffled(scan) = &mut self.scanner else { return false };
+        if snapshot.shard_reads.len() != 1 || self.cache.nr_read() != 0 {
+            return false;
+        }
+        self.cache.seed_rows(
+            self.query.layout(),
+            snapshot.rows.iter().map(|r| (&r.members[..], r.value)),
+            snapshot.nr_read,
+        );
+        scan.skip(snapshot.shard_reads[0] as usize);
+        self.seeded_rows = snapshot.nr_read;
+        if let Some(log) = &mut self.log {
+            log.seed(&snapshot.rows);
+        }
+        true
+    }
+
+    /// Extract the run's sample as a semantic-cache snapshot (donor rows +
+    /// this run's fresh rows). `None` when logging was off, the log
+    /// overflowed its cap, or rows streamed from a stratified index (whose
+    /// order is not the seeded scan's).
+    pub fn take_snapshot(&self, seed: u64) -> Option<SampleSnapshot> {
+        let log = self.log.as_ref()?;
+        if log.overflowed() || !matches!(self.scanner, RowSource::Shuffled(_)) {
+            return None;
+        }
+        let nr_read = self.cache.nr_read();
+        Some(SampleSnapshot {
+            seed,
+            shard_reads: vec![nr_read],
+            nr_read,
+            rows: log.rows().to_vec(),
+        })
     }
 
     /// Stream up to `k` rows into the cache; returns how many were read.
@@ -160,7 +273,13 @@ impl<'a> PlannerCore<'a> {
             RowSource::Shuffled(scan) => {
                 while read < k {
                     let Some(row) = scan.next_row() else { break };
-                    self.cache.observe(layout.agg_of_row(row.members), row.value);
+                    let agg = layout.agg_of_row(row.members);
+                    if agg.is_some() {
+                        if let Some(log) = &mut self.log {
+                            log.push(row.members, row.value);
+                        }
+                    }
+                    self.cache.observe(agg, row.value);
                     read += 1;
                 }
             }
@@ -193,7 +312,11 @@ impl<'a> PlannerCore<'a> {
             voxolap_engine::query::AggFct::Avg => est,
             _ => est / self.query.n_aggregates() as f64,
         };
-        self.ingest_rows(min_rows);
+        // A warm-started cache already holds `seeded_rows` rows' worth of
+        // signal; only the deficit is read. The deficit is computed from
+        // the seeded count alone, so cold runs (`seeded_rows == 0`) behave
+        // byte-identically to a core without warm-start support.
+        self.ingest_rows(min_rows.saturating_sub(self.seeded_rows as usize));
         let est = loop {
             if let Some(est) = self.cache.overall_estimate(self.query.fct()) {
                 break est;
@@ -374,6 +497,65 @@ mod tests {
         // aggregate and the reward must be 0 without panicking.
         let r = core.sample_once(&mut tree, SpeechTree::ROOT, 0);
         assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn warm_started_core_matches_cold_start_estimates_over_seeds() {
+        // Property behind warm starts (ISSUE satellite): a core seeded from
+        // a donor snapshot and a cold core that streamed the same seeded
+        // prefix itself must hold bit-identical caches, hence identical
+        // estimates under identical estimator RNG streams.
+        let (table, q) = setup();
+        for seed in [3u64, 7, 11, 19, 23] {
+            let mut donor = PlannerCore::new(&table, &q, seed);
+            donor.enable_row_log(10_000);
+            donor.ingest_rows(80);
+            let snap = donor.take_snapshot(seed).expect("log intact");
+            assert_eq!(snap.nr_read, 80);
+
+            let mut warm = PlannerCore::new(&table, &q, seed);
+            assert!(warm.warm_start(&snap));
+            let mut cold = PlannerCore::new(&table, &q, seed);
+            cold.ingest_rows(80);
+            warm.ingest_rows(60);
+            cold.ingest_rows(60);
+            assert_eq!(warm.cache().nr_read(), cold.cache().nr_read());
+            assert_eq!(warm.rows_read(), 60, "only fresh rows count as read");
+            for agg in 0..q.n_aggregates() as u32 {
+                assert_eq!(warm.cache().size(agg), cold.cache().size(agg));
+                let mut rng_w = StdRng::seed_from_u64(seed ^ 0x77);
+                let mut rng_c = StdRng::seed_from_u64(seed ^ 0x77);
+                assert_eq!(
+                    warm.cache().estimate(agg, &mut rng_w),
+                    cold.cache().estimate(agg, &mut rng_c),
+                    "seed {seed} agg {agg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_shrinks_warmup_reads() {
+        let (table, q) = setup();
+        let mut donor = PlannerCore::new(&table, &q, 5);
+        donor.enable_row_log(10_000);
+        donor.ingest_rows(120);
+        let snap = donor.take_snapshot(5).unwrap();
+
+        let mut warm = PlannerCore::new(&table, &q, 5);
+        assert!(warm.warm_start(&snap));
+        let warm_est = warm.warmup(150).unwrap();
+        let mut cold = PlannerCore::new(&table, &q, 5);
+        let cold_est = cold.warmup(150).unwrap();
+        assert!(
+            warm.rows_read() < cold.rows_read(),
+            "warm start reads fewer fresh rows ({} vs {})",
+            warm.rows_read(),
+            cold.rows_read()
+        );
+        // Both warmed caches cover the same 150-row prefix of the same
+        // seeded scan, so the overall estimates coincide.
+        assert_eq!(warm_est, cold_est);
     }
 
     #[test]

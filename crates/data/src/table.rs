@@ -6,6 +6,10 @@
 //! (paper §4.3 assumes rows arrive in random order so that cache contents
 //! form uniform samples).
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -31,6 +35,10 @@ pub struct Table {
     dim_cols: Vec<Vec<MemberId>>,
     /// `measures[m][r]` = value of measure `m` in row `r`.
     measures: Vec<Vec<f64>>,
+    /// Shuffled row orders memoized by seed, shared across clones so that
+    /// re-scanning the same (table, seed) pair never re-shuffles a full
+    /// index `Vec`; shard scanners stride into the shared permutation.
+    shuffle_memo: Arc<Mutex<HashMap<u64, Arc<[u32]>>>>,
 }
 
 impl Table {
@@ -83,6 +91,21 @@ impl Table {
         &self.measures[m.index()]
     }
 
+    /// The seeded permutation of row indices, computed once per
+    /// (table, seed) pair and shared by every scanner built from it.
+    pub fn shuffled_order(&self, seed: u64) -> Arc<[u32]> {
+        let mut memo = self.shuffle_memo.lock();
+        if let Some(order) = memo.get(&seed) {
+            return order.clone();
+        }
+        let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let order: Arc<[u32]> = order.into();
+        memo.insert(seed, order.clone());
+        order
+    }
+
     /// Create a scanner over the primary measure delivering rows in a
     /// seeded pseudo-random order.
     pub fn scan_shuffled(&self, seed: u64) -> RowScanner<'_> {
@@ -91,16 +114,7 @@ impl Table {
 
     /// Create a shuffled scanner delivering values of measure `m`.
     pub fn scan_shuffled_measure(&self, seed: u64, m: MeasureId) -> RowScanner<'_> {
-        let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
-        RowScanner {
-            table: self,
-            measure: m,
-            order,
-            pos: 0,
-            buf: vec![MemberId::ROOT; self.dim_cols.len()],
-        }
+        self.scan_shuffled_shard_measure(seed, m, 0, 1)
     }
 
     /// Create a scanner over shard `shard` of `n_shards` of the seeded
@@ -123,15 +137,14 @@ impl Table {
         n_shards: usize,
     ) -> RowScanner<'_> {
         assert!(n_shards > 0 && shard < n_shards, "shard {shard} of {n_shards}");
-        let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
-        let order: Vec<u32> = order.into_iter().skip(shard).step_by(n_shards).collect();
         RowScanner {
             table: self,
             measure: m,
-            order,
+            order: self.shuffled_order(seed),
+            shard,
+            n_shards,
             pos: 0,
+            base: 0,
             buf: vec![MemberId::ROOT; self.dim_cols.len()],
         }
     }
@@ -142,8 +155,11 @@ impl Table {
         RowScanner {
             table: self,
             measure: MeasureId::PRIMARY,
-            order,
+            order: order.into(),
+            shard: 0,
+            n_shards: 1,
             pos: 0,
+            base: 0,
             buf: vec![MemberId::ROOT; self.dim_cols.len()],
         }
     }
@@ -157,28 +173,52 @@ impl Table {
 pub struct RowScanner<'a> {
     table: &'a Table,
     measure: MeasureId,
-    order: Vec<u32>,
+    /// Shared global permutation; this scanner visits positions
+    /// `shard, shard + n_shards, shard + 2·n_shards, …` of it.
+    order: Arc<[u32]>,
+    shard: usize,
+    n_shards: usize,
+    /// Next in-shard position to deliver.
     pos: usize,
+    /// In-shard position the scan started from (set by [`RowScanner::skip`]);
+    /// rows before it count as already consumed by an earlier scan.
+    base: usize,
     buf: Vec<MemberId>,
 }
 
 impl<'a> RowScanner<'a> {
-    /// Number of rows delivered so far.
-    pub fn rows_read(&self) -> usize {
-        self.pos
+    /// Number of rows in this scanner's shard of the permutation.
+    fn shard_len(&self) -> usize {
+        self.order.len().saturating_sub(self.shard).div_ceil(self.n_shards)
     }
 
-    /// `true` when the whole table has been streamed.
+    /// Number of rows delivered so far (excluding any skipped prefix).
+    pub fn rows_read(&self) -> usize {
+        self.pos - self.base
+    }
+
+    /// `true` when the whole shard has been streamed.
     pub fn exhausted(&self) -> bool {
-        self.pos >= self.order.len()
+        self.pos >= self.shard_len()
+    }
+
+    /// Skip the first `rows` rows of the shard without delivering them, as
+    /// if a previous scan had already consumed that prefix. Skipped rows do
+    /// not count toward [`RowScanner::rows_read`]. This is how a
+    /// warm-started engine resumes the seeded scan where a cached query's
+    /// sample left off.
+    pub fn skip(&mut self, rows: usize) {
+        self.pos = rows.min(self.shard_len());
+        self.base = self.pos;
     }
 
     /// Deliver the next row, or `None` when exhausted.
     pub fn next_row(&mut self) -> Option<Row<'_>> {
-        if self.pos >= self.order.len() {
+        let idx = self.shard + self.pos * self.n_shards;
+        if idx >= self.order.len() {
             return None;
         }
-        let r = self.order[self.pos] as usize;
+        let r = self.order[idx] as usize;
         self.pos += 1;
         for (d, col) in self.table.dim_cols.iter().enumerate() {
             self.buf[d] = col[r];
@@ -186,9 +226,10 @@ impl<'a> RowScanner<'a> {
         Some(Row { members: &self.buf, value: self.table.measures[self.measure.index()][r] })
     }
 
-    /// Restart the scan from the beginning (same order).
+    /// Restart the scan from where it started (the skipped prefix, if any,
+    /// stays skipped).
     pub fn rewind(&mut self) {
-        self.pos = 0;
+        self.pos = self.base;
     }
 }
 
@@ -274,7 +315,12 @@ impl TableBuilder {
 
     /// Finalize the table.
     pub fn build(self) -> Table {
-        Table { schema: self.schema, dim_cols: self.dim_cols, measures: self.measures }
+        Table {
+            schema: self.schema,
+            dim_cols: self.dim_cols,
+            measures: self.measures,
+            shuffle_memo: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 }
 
@@ -388,6 +434,37 @@ mod tests {
             all.sort_by(f64::total_cmp);
             assert_eq!(all, vec![1.0, 2.0, 3.0, 4.0], "{n_shards} shards");
         }
+    }
+
+    #[test]
+    fn shuffled_order_is_memoized_and_shared_across_clones() {
+        let t = tiny_table();
+        let a = t.shuffled_order(5);
+        let b = t.shuffled_order(5);
+        assert!(Arc::ptr_eq(&a, &b), "same seed reuses the permutation");
+        let c = t.clone().shuffled_order(5);
+        assert!(Arc::ptr_eq(&a, &c), "clones share the memo");
+        let d = t.shuffled_order(6);
+        assert!(!Arc::ptr_eq(&a, &d), "different seed, different permutation");
+    }
+
+    #[test]
+    fn skip_resumes_the_seeded_scan_where_a_prefix_left_off() {
+        let t = tiny_table();
+        let mut full = t.scan_shuffled(3);
+        full.next_row();
+        full.next_row();
+        let mut resumed = t.scan_shuffled(3);
+        resumed.skip(2);
+        assert_eq!(resumed.rows_read(), 0, "skipped rows are not counted as read");
+        while let Some(expect) = full.next_row() {
+            let expect = expect.value;
+            assert_eq!(resumed.next_row().unwrap().value, expect);
+        }
+        assert!(resumed.exhausted());
+        assert_eq!(resumed.rows_read(), 2);
+        resumed.rewind();
+        assert_eq!(resumed.rows_read(), 0, "rewind returns to the skip point");
     }
 
     #[test]

@@ -17,6 +17,23 @@ pub struct ExactResult {
 }
 
 impl ExactResult {
+    /// Reassemble an exact result from per-aggregate counts and sums, e.g.
+    /// ones admitted to the semantic cache by an earlier evaluation.
+    pub fn from_parts(fct: AggFct, counts: Vec<u64>, sums: Vec<f64>) -> Self {
+        assert_eq!(counts.len(), sums.len(), "counts/sums length mismatch");
+        ExactResult { fct, counts, sums }
+    }
+
+    /// Per-aggregate scope row counts, in layout order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-aggregate measure sums, in layout order.
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
     /// Number of result aggregates.
     pub fn len(&self) -> usize {
         self.counts.len()

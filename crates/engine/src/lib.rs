@@ -36,12 +36,14 @@ pub mod cache;
 pub mod error;
 pub mod exact;
 pub mod query;
+pub mod semantic;
 pub mod sharded;
 pub mod stratified;
 
 pub use cache::{CacheEstimate, ResampleScratch, SampleCache};
 pub use error::EngineError;
 pub use exact::{evaluate, ExactResult};
-pub use query::{AggFct, AggIdx, Query, QueryBuilder, ResultLayout};
+pub use query::{AggFct, AggIdx, Query, QueryBuilder, QueryKey, ResultLayout, ScopeKey};
+pub use semantic::{CacheStats, ExactAggregates, LoggedRow, SampleSnapshot, SemanticCache};
 pub use sharded::ShardedSampleCache;
 pub use stratified::{AggregateIndex, StratifiedScanner};

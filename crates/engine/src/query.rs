@@ -202,6 +202,63 @@ impl Query {
     pub fn n_aggregates(&self) -> usize {
         self.layout.n_aggregates()
     }
+
+    /// The canonical cache key of this query (semantic cache, DESIGN.md §9).
+    pub fn key(&self) -> QueryKey {
+        QueryKey::canonical(self.fct, self.measure, &self.group, &self.filters)
+    }
+}
+
+/// Canonical, hashable identity of a query for the semantic cache:
+/// aggregation function, measure, and **sorted, deduplicated** group-by and
+/// filter lists, so syntactically different but semantically identical
+/// queries (filter order, repeated group-by entries) collide to one key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    fct: AggFct,
+    measure: MeasureId,
+    group: Vec<(DimId, LevelId)>,
+    filters: Vec<(DimId, MemberId)>,
+}
+
+impl QueryKey {
+    /// Canonicalize raw query components into a key: group-by and filter
+    /// lists are sorted by dimension and deduplicated.
+    pub fn canonical(
+        fct: AggFct,
+        measure: MeasureId,
+        group: &[(DimId, LevelId)],
+        filters: &[(DimId, MemberId)],
+    ) -> Self {
+        let mut group = group.to_vec();
+        group.sort_unstable();
+        group.dedup();
+        let mut filters = filters.to_vec();
+        filters.sort_unstable();
+        filters.dedup();
+        QueryKey { fct, measure, group, filters }
+    }
+
+    /// The aggregation function of the keyed query.
+    pub fn fct(&self) -> AggFct {
+        self.fct
+    }
+
+    /// The scope key shared by every query over the same row set.
+    pub fn scope(&self) -> ScopeKey {
+        ScopeKey { measure: self.measure, filters: self.filters.clone() }
+    }
+}
+
+/// What determines a query's **in-scope row set**: the measure column and
+/// the canonical filter list. Group-by clauses merely partition the scope,
+/// so two queries sharing a `ScopeKey` observe exactly the same rows under
+/// the same seeded scan — the compatibility condition for warm-starting one
+/// query's sample cache from another's sampled rows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScopeKey {
+    measure: MeasureId,
+    filters: Vec<(DimId, MemberId)>,
 }
 
 /// Builder for [`Query`] — validates against a schema in
@@ -514,6 +571,67 @@ mod tests {
             .build(&schema)
             .unwrap_err();
         assert!(matches!(err, EngineError::BadFilterMember { .. }));
+    }
+
+    #[test]
+    fn query_key_collides_for_reordered_filters_and_groups() {
+        let schema = FlightsConfig::schema();
+        let airport = schema.dimension(DimId(0));
+        let date = schema.dimension(DimId(1));
+        let ne = airport.member_by_phrase("the North East").unwrap();
+        let winter = date.member_by_phrase("Winter").unwrap();
+        let a = Query::builder(AggFct::Avg)
+            .filter(DimId(0), ne)
+            .filter(DimId(1), winter)
+            .group_by(DimId(1), LevelId(2))
+            .group_by(DimId(2), LevelId(1))
+            .build(&schema)
+            .unwrap();
+        let b = Query::builder(AggFct::Avg)
+            .filter(DimId(1), winter)
+            .filter(DimId(0), ne)
+            .group_by(DimId(2), LevelId(1))
+            .group_by(DimId(1), LevelId(2))
+            .build(&schema)
+            .unwrap();
+        assert_eq!(a.key(), b.key(), "filter/group order is not semantic");
+        assert_eq!(a.key().scope(), b.key().scope());
+    }
+
+    #[test]
+    fn query_key_canonicalizes_duplicate_group_entries() {
+        // `Query::build` rejects duplicate group dimensions, so exercise the
+        // canonicalizer directly: a repeated group-by entry must collapse.
+        let dup = QueryKey::canonical(
+            AggFct::Sum,
+            MeasureId(0),
+            &[(DimId(1), LevelId(1)), (DimId(0), LevelId(2)), (DimId(1), LevelId(1))],
+            &[],
+        );
+        let single = QueryKey::canonical(
+            AggFct::Sum,
+            MeasureId(0),
+            &[(DimId(0), LevelId(2)), (DimId(1), LevelId(1))],
+            &[],
+        );
+        assert_eq!(dup, single);
+    }
+
+    #[test]
+    fn query_key_distinguishes_semantic_differences() {
+        let schema = FlightsConfig::schema();
+        let base = Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1));
+        let a = base.clone().build(&schema).unwrap();
+        let sum = Query::builder(AggFct::Sum).group_by(DimId(0), LevelId(1));
+        let b = sum.build(&schema).unwrap();
+        assert_ne!(a.key(), b.key(), "aggregation function is semantic");
+        assert_eq!(a.key().scope(), b.key().scope(), "but the row scope is shared");
+        let c = base.build(&schema);
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        let filtered =
+            Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1)).filter(DimId(0), ne);
+        let d = filtered.build(&schema).unwrap();
+        assert_ne!(c.unwrap().key().scope(), d.key().scope(), "filters change the scope");
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Cross-query semantic cache (DESIGN.md §9).
+//!
+//! The holistic engine is fast for a *single* query, but a voice session
+//! issues streams of repeated and overlapping queries, and every `vocalize`
+//! call cold-starts from row zero. This module caches work across queries
+//! at two levels, both keyed by canonical query identities
+//! ([`QueryKey`](crate::query::QueryKey) /
+//! [`ScopeKey`](crate::query::ScopeKey)):
+//!
+//! * **Exact results** — once a query's exact per-aggregate counts and sums
+//!   are known (the Optimal variant always computes them; a Holistic run
+//!   that exhausts its scanner ends up with them in the sample cache), an
+//!   identical repeat query skips sampling entirely and plans its speech
+//!   against the exact aggregates.
+//! * **Sample snapshots** — the in-scope rows a run sampled, together with
+//!   the scan seed and per-shard read counts. A *new* query over the same
+//!   scope (same measure and filters — group-by only partitions the scope)
+//!   re-buckets those rows through its own `ResultLayout` and resumes the
+//!   seeded scan where the donor left off, instead of starting from
+//!   `nr_read = 0`. Because rows stream in a seeded pseudo-random order,
+//!   the donor's prefix is a uniform sample for *any* query over the same
+//!   scope, preserving the invariant of paper Algorithm 3.
+//!
+//! The cache is shard-locked (entries hash to one of a few independently
+//! locked shards) with a per-shard byte budget and least-recently-used
+//! eviction, and keeps hit/miss/admission/eviction counters for the
+//! server's `/stats` endpoint.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use voxolap_data::dimension::MemberId;
+
+use crate::exact::ExactResult;
+use crate::query::{AggFct, QueryKey, ScopeKey};
+
+/// Number of independently locked cache shards.
+const N_SHARDS: usize = 8;
+
+/// Approximate fixed overhead of one cache entry (map slot, key, header).
+const ENTRY_OVERHEAD: usize = 128;
+
+/// One sampled in-scope row retained for warm starts: its leaf members
+/// (one per dimension) and measure value.
+#[derive(Debug, Clone)]
+pub struct LoggedRow {
+    /// Leaf member per dimension, in schema order.
+    pub members: Box<[MemberId]>,
+    /// Value of the query's measure.
+    pub value: f64,
+}
+
+impl LoggedRow {
+    fn approx_bytes(&self) -> usize {
+        self.members.len() * std::mem::size_of::<MemberId>()
+            + std::mem::size_of::<f64>()
+            + 2 * std::mem::size_of::<usize>()
+    }
+}
+
+/// Snapshot of a finished run's uniform sample over one query scope.
+#[derive(Debug, Clone)]
+pub struct SampleSnapshot {
+    /// Scan seed the rows were drawn under; warm starts require an exact
+    /// match so the resumed scan continues the same permutation.
+    pub seed: u64,
+    /// Scan-prefix length consumed per shard scanner (its length is the
+    /// number of shards the donor run scanned with); a warm start skips
+    /// exactly this prefix on each resumed shard.
+    pub shard_reads: Vec<u64>,
+    /// Total rows read across shards, including out-of-scope ones — the
+    /// `nr_read` denominator the seeded cache starts from.
+    pub nr_read: u64,
+    /// Every in-scope row observed within the prefix.
+    pub rows: Vec<LoggedRow>,
+}
+
+impl SampleSnapshot {
+    fn approx_bytes(&self) -> usize {
+        let row = self.rows.first().map_or(0, LoggedRow::approx_bytes);
+        self.rows.len() * row + self.shard_reads.len() * 8 + ENTRY_OVERHEAD
+    }
+}
+
+/// Exact per-aggregate aggregates of a completed query, sufficient to
+/// reconstruct the [`ExactResult`] of any aggregation function over the
+/// same layout.
+#[derive(Debug, Clone)]
+pub struct ExactAggregates {
+    /// Per-aggregate scope row counts, in layout order.
+    pub counts: Vec<u64>,
+    /// Per-aggregate measure sums, in layout order.
+    pub sums: Vec<f64>,
+}
+
+impl ExactAggregates {
+    /// Rebuild the exact result for an aggregation function.
+    pub fn to_result(&self, fct: AggFct) -> ExactResult {
+        ExactResult::from_parts(fct, self.counts.clone(), self.sums.clone())
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.counts.len() * 16 + ENTRY_OVERHEAD
+    }
+}
+
+/// Point-in-time counter snapshot of a [`SemanticCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-result lookups that found an entry.
+    pub exact_hits: u64,
+    /// Snapshot lookups that found a compatible warm-start donor.
+    pub warm_hits: u64,
+    /// Queries that found neither (reported by the engines).
+    pub misses: u64,
+    /// Entries admitted (exact results + snapshots).
+    pub admissions: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Approximate bytes currently held across all shards.
+    pub bytes_used: u64,
+}
+
+struct ExactEntry {
+    data: Arc<ExactAggregates>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct SampleEntry {
+    snap: Arc<SampleSnapshot>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    exact: HashMap<QueryKey, ExactEntry>,
+    samples: HashMap<ScopeKey, SampleEntry>,
+    bytes: usize,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries (across both maps) until the
+    /// shard fits its budget. Returns the number of evictions.
+    fn enforce_budget(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let oldest_exact = self.exact.iter().min_by_key(|(_, e)| e.last_used);
+            let oldest_sample = self.samples.iter().min_by_key(|(_, e)| e.last_used);
+            match (oldest_exact, oldest_sample) {
+                (Some((k, e)), Some((s, se))) => {
+                    if e.last_used <= se.last_used {
+                        let k = k.clone();
+                        self.bytes -= self.exact.remove(&k).map_or(0, |e| e.bytes);
+                    } else {
+                        let s = s.clone();
+                        self.bytes -= self.samples.remove(&s).map_or(0, |e| e.bytes);
+                    }
+                }
+                (Some((k, _)), None) => {
+                    let k = k.clone();
+                    self.bytes -= self.exact.remove(&k).map_or(0, |e| e.bytes);
+                }
+                (None, Some((s, _))) => {
+                    let s = s.clone();
+                    self.bytes -= self.samples.remove(&s).map_or(0, |e| e.bytes);
+                }
+                (None, None) => break,
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Size-bounded, shard-locked cross-query cache (see module docs).
+pub struct SemanticCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget per shard (total budget / [`N_SHARDS`]).
+    shard_budget: usize,
+    capacity_bytes: usize,
+    /// Logical clock driving LRU ordering.
+    tick: AtomicU64,
+    exact_hits: AtomicU64,
+    warm_hits: AtomicU64,
+    misses: AtomicU64,
+    admissions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for SemanticCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SemanticCache {
+    /// Create a cache with a total byte budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        SemanticCache {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (capacity_bytes / N_SHARDS).max(ENTRY_OVERHEAD),
+            capacity_bytes,
+            tick: AtomicU64::new(0),
+            exact_hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a cache budgeted in mebibytes (the CLI's `--cache-mb`).
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        SemanticCache::new(mb * 1024 * 1024)
+    }
+
+    /// Total byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Largest number of rows a snapshot may hold and still be admissible
+    /// (one shard's budget); engines cap their row logs at this so an
+    /// oversized sample is dropped at the source instead of thrashing the
+    /// cache.
+    pub fn snapshot_row_budget(&self, members_per_row: usize) -> usize {
+        let row = members_per_row * std::mem::size_of::<MemberId>()
+            + std::mem::size_of::<f64>()
+            + 2 * std::mem::size_of::<usize>();
+        self.shard_budget / row.max(1)
+    }
+
+    fn shard_of<K: Hash>(&self, key: &K) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % N_SHARDS]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up the exact result of a canonically identical earlier query.
+    pub fn lookup_exact(&self, key: &QueryKey) -> Option<Arc<ExactAggregates>> {
+        let mut shard = self.shard_of(key).lock();
+        let tick = self.next_tick();
+        let entry = shard.exact.get_mut(key)?;
+        entry.last_used = tick;
+        let data = entry.data.clone();
+        drop(shard);
+        self.exact_hits.fetch_add(1, Ordering::Relaxed);
+        Some(data)
+    }
+
+    /// Look up a warm-start donor for a query over `scope`: a snapshot is
+    /// compatible only if it was drawn under the same scan `seed` and with
+    /// the same number of scan shards (so per-shard resume offsets line
+    /// up).
+    pub fn lookup_snapshot(
+        &self,
+        scope: &ScopeKey,
+        seed: u64,
+        n_shards: usize,
+    ) -> Option<Arc<SampleSnapshot>> {
+        let mut shard = self.shard_of(scope).lock();
+        let tick = self.next_tick();
+        let entry = shard.samples.get_mut(scope)?;
+        if entry.snap.seed != seed || entry.snap.shard_reads.len() != n_shards {
+            return None;
+        }
+        entry.last_used = tick;
+        let snap = entry.snap.clone();
+        drop(shard);
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        Some(snap)
+    }
+
+    /// Record that a query found neither an exact result nor a warm-start
+    /// donor (called by the engines so hit rates are well-defined).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admit the exact per-aggregate counts and sums of a completed query.
+    pub fn admit_exact(&self, key: &QueryKey, counts: Vec<u64>, sums: Vec<f64>) {
+        let data = Arc::new(ExactAggregates { counts, sums });
+        let bytes = data.approx_bytes();
+        let tick = self.next_tick();
+        let mut shard = self.shard_of(key).lock();
+        if let Some(old) =
+            shard.exact.insert(key.clone(), ExactEntry { data, bytes, last_used: tick })
+        {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        let evicted = shard.enforce_budget(self.shard_budget);
+        drop(shard);
+        self.admissions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Admit a sample snapshot for a query scope. An existing snapshot for
+    /// the scope is replaced only by one covering at least as many rows
+    /// (deeper prefixes make strictly better donors).
+    pub fn admit_snapshot(&self, scope: &ScopeKey, snap: SampleSnapshot) {
+        let bytes = snap.approx_bytes();
+        if bytes > self.shard_budget {
+            return;
+        }
+        let tick = self.next_tick();
+        let mut shard = self.shard_of(scope).lock();
+        if let Some(existing) = shard.samples.get(scope) {
+            if existing.snap.seed == snap.seed && existing.snap.nr_read >= snap.nr_read {
+                return;
+            }
+        }
+        let entry = SampleEntry { snap: Arc::new(snap), bytes, last_used: tick };
+        if let Some(old) = shard.samples.insert(scope.clone(), entry) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        let evicted = shard.enforce_budget(self.shard_budget);
+        drop(shard);
+        self.admissions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        let bytes_used: usize = self.shards.iter().map(|s| s.lock().bytes).sum();
+        CacheStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            admissions: self.admissions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_used: bytes_used as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::dimension::LevelId;
+    use voxolap_data::schema::MeasureId;
+    use voxolap_data::DimId;
+
+    fn key(n: u8) -> QueryKey {
+        QueryKey::canonical(
+            AggFct::Avg,
+            MeasureId(0),
+            &[(DimId(n), LevelId(1))],
+            &[(DimId(0), MemberId(n as u32 + 1))],
+        )
+    }
+
+    fn exact_payload(len: usize) -> (Vec<u64>, Vec<f64>) {
+        ((0..len as u64).collect(), (0..len).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn exact_roundtrip_and_counters() {
+        let cache = SemanticCache::with_capacity_mb(1);
+        let k = key(0);
+        assert!(cache.lookup_exact(&k).is_none());
+        let (counts, sums) = exact_payload(4);
+        cache.admit_exact(&k, counts.clone(), sums.clone());
+        let hit = cache.lookup_exact(&k).expect("admitted entry is found");
+        assert_eq!(hit.counts, counts);
+        assert_eq!(hit.sums, sums);
+        let r = hit.to_result(AggFct::Sum);
+        assert_eq!(r.sum(2), 2.0);
+        cache.record_miss();
+        let stats = cache.stats();
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.admissions, 1);
+        assert!(stats.bytes_used > 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Budget fits two exact entries per shard; with a deterministic
+        // single-key-shard workload the third admission must evict the
+        // least recently *used* entry, not the oldest inserted.
+        let (counts, sums) = exact_payload(64);
+        let probe = ExactAggregates { counts: counts.clone(), sums: sums.clone() };
+        let entry_bytes = probe.approx_bytes();
+        let cache = SemanticCache::new(entry_bytes * 2 * N_SHARDS + N_SHARDS);
+        // Find three keys hashing to the same shard so the budget math is
+        // exercised within one lock.
+        let mut same_shard = Vec::new();
+        let target = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            key(0).hash(&mut h);
+            (h.finish() as usize) % N_SHARDS
+        };
+        for n in 0..=u8::MAX {
+            let k = key(n);
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            if (h.finish() as usize) % N_SHARDS == target {
+                same_shard.push(k);
+                if same_shard.len() == 3 {
+                    break;
+                }
+            }
+        }
+        let [a, b, c] = <[QueryKey; 3]>::try_from(same_shard).expect("3 colliding keys");
+        cache.admit_exact(&a, counts.clone(), sums.clone());
+        cache.admit_exact(&b, counts.clone(), sums.clone());
+        // Touch `a` so `b` becomes the least recently used.
+        assert!(cache.lookup_exact(&a).is_some());
+        cache.admit_exact(&c, counts, sums);
+        assert!(cache.lookup_exact(&a).is_some(), "recently used entry survives");
+        assert!(cache.lookup_exact(&b).is_none(), "LRU entry evicted");
+        assert!(cache.lookup_exact(&c).is_some(), "new entry admitted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn snapshot_compatibility_requires_seed_and_shards() {
+        let cache = SemanticCache::with_capacity_mb(1);
+        let scope = key(0).scope();
+        let snap = SampleSnapshot {
+            seed: 42,
+            shard_reads: vec![100],
+            nr_read: 100,
+            rows: vec![LoggedRow { members: Box::new([MemberId(1)]), value: 1.0 }],
+        };
+        cache.admit_snapshot(&scope, snap);
+        assert!(cache.lookup_snapshot(&scope, 42, 1).is_some());
+        assert!(cache.lookup_snapshot(&scope, 43, 1).is_none(), "seed mismatch");
+        assert!(cache.lookup_snapshot(&scope, 42, 4).is_none(), "shard-count mismatch");
+        assert!(cache.lookup_snapshot(&key(1).scope(), 42, 1).is_none(), "scope mismatch");
+        assert_eq!(cache.stats().warm_hits, 1);
+    }
+
+    #[test]
+    fn deeper_snapshot_replaces_shallower_one() {
+        let cache = SemanticCache::with_capacity_mb(1);
+        let scope = key(0).scope();
+        let make = |nr_read: u64| SampleSnapshot {
+            seed: 42,
+            shard_reads: vec![nr_read],
+            nr_read,
+            rows: Vec::new(),
+        };
+        cache.admit_snapshot(&scope, make(200));
+        cache.admit_snapshot(&scope, make(100));
+        assert_eq!(cache.lookup_snapshot(&scope, 42, 1).unwrap().nr_read, 200);
+        cache.admit_snapshot(&scope, make(300));
+        assert_eq!(cache.lookup_snapshot(&scope, 42, 1).unwrap().nr_read, 300);
+    }
+}

@@ -160,6 +160,36 @@ impl ShardedSampleCache {
         self.observe(layout.agg_of_row(members), value);
     }
 
+    /// Warm-start a fresh cache from rows another query sampled over the
+    /// same scope under the same seeded scan — the sharded counterpart of
+    /// `SampleCache::seed_rows`: re-bucket each logged in-scope row through
+    /// this query's `layout`, then set `nr_read` to the donor's scan-prefix
+    /// length (which counts out-of-scope rows too). Call before any worker
+    /// starts observing.
+    pub fn seed_rows<'r, I>(&self, layout: &ResultLayout, rows: I, nr_read: u64)
+    where
+        I: IntoIterator<Item = (&'r [MemberId], f64)>,
+    {
+        assert_eq!(self.nr_read(), 0, "seed_rows requires a fresh cache");
+        for (members, value) in rows {
+            self.observe(layout.agg_of_row(members), value);
+        }
+        self.nr_read.store(nr_read, Ordering::Release);
+    }
+
+    /// The exact per-aggregate `(counts, sums)` of the query once the whole
+    /// table was streamed into an uncapped cache; `None` while the scan is
+    /// partial or rows may have been evicted (see
+    /// `SampleCache::exact_result`).
+    pub fn exact_result(&self) -> Option<(Vec<u64>, Vec<f64>)> {
+        if self.bucket_capacity.is_some() || self.nr_read() < self.nr_rows_total {
+            return None;
+        }
+        let counts = self.offered.iter().map(|o| o.load(Ordering::Acquire)).collect();
+        let sums = self.buckets.iter().map(|b| b.lock().values.iter().sum()).collect();
+        Some((counts, sums))
+    }
+
     /// Number of cached entries for one aggregate (`CA.SIZE`).
     pub fn size(&self, agg: AggIdx) -> usize {
         self.buckets[agg as usize].lock().values.len()
@@ -410,6 +440,49 @@ mod tests {
         }
         let offered: u64 = (0..q.n_aggregates() as u32).map(|a| cache.seen(a)).sum();
         assert_eq!(offered, table.row_count() as u64, "offered counts survive eviction");
+    }
+
+    #[test]
+    fn seeded_sharded_cache_matches_cold_ingest() {
+        let (table, q) = salary_setup();
+        // Donor pass: single-shard scan prefix, logging in-scope rows.
+        let prefix = 120usize;
+        let mut log: Vec<(Vec<MemberId>, f64)> = Vec::new();
+        let mut scan = table.scan_shuffled(7);
+        for _ in 0..prefix {
+            let r = scan.next_row().unwrap();
+            if q.layout().agg_of_row(r.members).is_some() {
+                log.push((r.members.to_vec(), r.value));
+            }
+        }
+        let warm = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        warm.seed_rows(q.layout(), log.iter().map(|(m, v)| (m.as_slice(), *v)), prefix as u64);
+        // Cold pass over the same prefix.
+        let cold = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        let mut scan = table.scan_shuffled(7);
+        for _ in 0..prefix {
+            let r = scan.next_row().unwrap();
+            cold.observe(q.layout().agg_of_row(r.members), r.value);
+        }
+        assert_eq!(warm.nr_read(), cold.nr_read());
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(warm.size(agg), cold.size(agg));
+            assert_eq!(warm.seen(agg), cold.seen(agg));
+        }
+    }
+
+    #[test]
+    fn exact_result_after_full_parallel_ingest() {
+        let (table, q) = salary_setup();
+        let partial = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        assert!(partial.exact_result().is_none());
+        let cache = parallel_fill(&table, &q, 4, 7);
+        let (counts, sums) = cache.exact_result().expect("full ingest is exact");
+        let exact = evaluate(&q, &table);
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(counts[agg as usize], exact.count(agg));
+            assert!((sums[agg as usize] - exact.sum(agg)).abs() < 1e-6);
+        }
     }
 
     #[test]

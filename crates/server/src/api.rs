@@ -7,6 +7,7 @@
 //! between the two compared vocalization methods for each single query").
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use voxolap_json::Value;
@@ -21,10 +22,14 @@ use voxolap_core::unmerged::{Unmerged, UnmergedConfig};
 use voxolap_core::voice::InstantVoice;
 use voxolap_data::stats::DatasetStats;
 use voxolap_data::Table;
+use voxolap_engine::semantic::SemanticCache;
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response as SessionResponse, Session};
 
 use crate::http::{Request, Response};
+
+/// Default semantic-cache budget when `--cache-mb` is not given.
+const DEFAULT_CACHE_MB: usize = 64;
 
 /// Per-session state: the applied command log, replayed into a fresh
 /// [`Session`] per request (sessions are small — tens of commands).
@@ -36,6 +41,12 @@ pub struct AppState {
     sessions: SessionStore,
     /// Planning threads used by the `parallel` approach.
     threads: usize,
+    /// Cross-query semantic cache shared by all requests (`None` when
+    /// disabled via `--cache-mb 0`).
+    semantic: Option<Arc<SemanticCache>>,
+    /// Per-query planning latencies in milliseconds, for `/stats`
+    /// percentiles.
+    latencies_ms: Mutex<Vec<f64>>,
 }
 
 /// `POST /ask` body.
@@ -113,30 +124,42 @@ impl AnswerResponse {
     }
 }
 
-/// Serialize dataset statistics using the struct's field names.
-fn stats_to_json(stats: &DatasetStats) -> Value {
-    Value::obj([
-        ("name", stats.name.as_str().into()),
-        ("dimensions", stats.dimensions.clone().into()),
-        ("rows", stats.rows.into()),
-        ("bytes", stats.bytes.into()),
-    ])
-}
-
-/// Build the requested vocalizer (default: holistic).
-fn make_vocalizer(approach: &str, threads: usize) -> Result<Box<dyn Vocalizer>, String> {
+/// Build the requested vocalizer (default: holistic). The semantic cache
+/// attaches to the approaches that can use it (holistic, parallel,
+/// optimal).
+fn make_vocalizer(
+    approach: &str,
+    threads: usize,
+    semantic: Option<&Arc<SemanticCache>>,
+) -> Result<Box<dyn Vocalizer>, String> {
     let holistic_config = HolisticConfig {
         min_samples_per_sentence: 8_000,
         resample_size: 200,
         ..HolisticConfig::default()
     };
     match approach {
-        "holistic" => Ok(Box::new(Holistic::new(holistic_config))),
+        "holistic" => {
+            let mut v = Holistic::new(holistic_config);
+            if let Some(cache) = semantic {
+                v = v.with_cache(cache.clone());
+            }
+            Ok(Box::new(v))
+        }
         // "concurrent" kept as an alias for the pre-parallel engine name.
         "parallel" | "concurrent" => {
-            Ok(Box::new(ParallelHolistic::new(holistic_config).with_threads(threads)))
+            let mut v = ParallelHolistic::new(holistic_config).with_threads(threads);
+            if let Some(cache) = semantic {
+                v = v.with_cache(cache.clone());
+            }
+            Ok(Box::new(v))
         }
-        "optimal" => Ok(Box::new(Optimal::default())),
+        "optimal" => {
+            let mut v = Optimal::default();
+            if let Some(cache) = semantic {
+                v = v.with_cache(cache.clone());
+            }
+            Ok(Box::new(v))
+        }
         "unmerged" => Ok(Box::new(Unmerged::new(UnmergedConfig {
             resample_size: 200,
             ..UnmergedConfig::default()
@@ -146,12 +169,27 @@ fn make_vocalizer(approach: &str, threads: usize) -> Result<Box<dyn Vocalizer>, 
     }
 }
 
+/// The `p`-th percentile of `sorted` (nearest-rank on a pre-sorted slice).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 impl AppState {
     /// Create state over one dataset, with all cores available to the
-    /// `parallel` approach.
+    /// `parallel` approach and a default-sized semantic cache.
     pub fn new(table: Table) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        AppState { table, sessions: Mutex::new(HashMap::new()), threads }
+        AppState {
+            table,
+            sessions: Mutex::new(HashMap::new()),
+            threads,
+            semantic: Some(Arc::new(SemanticCache::with_capacity_mb(DEFAULT_CACHE_MB))),
+            latencies_ms: Mutex::new(Vec::new()),
+        }
     }
 
     /// Override the planning-thread count used by the `parallel` approach
@@ -161,13 +199,28 @@ impl AppState {
         self
     }
 
+    /// Set the semantic-cache budget in MiB (the server's `--cache-mb`
+    /// flag); `0` disables cross-query caching entirely.
+    pub fn with_cache_mb(mut self, mb: usize) -> Self {
+        self.semantic = (mb > 0).then(|| Arc::new(SemanticCache::with_capacity_mb(mb)));
+        self
+    }
+
     /// Dispatch one request.
     pub fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_string()),
             ("GET", "/stats") => {
                 let stats = DatasetStats::of(&self.table);
-                Response::ok(stats_to_json(&stats).to_string())
+                let body = Value::obj([
+                    ("name", stats.name.as_str().into()),
+                    ("dimensions", stats.dimensions.clone().into()),
+                    ("rows", stats.rows.into()),
+                    ("bytes", stats.bytes.into()),
+                    ("cache", self.cache_json()),
+                    ("latency_ms", self.latency_json()),
+                ]);
+                Response::ok(body.to_string())
             }
             ("POST", "/ask") => self.handle_ask(req),
             ("POST", path) => {
@@ -183,12 +236,43 @@ impl AppState {
         }
     }
 
+    /// Semantic-cache counters for `/stats` (`null` when caching is off).
+    fn cache_json(&self) -> Value {
+        let Some(cache) = &self.semantic else { return Value::Null };
+        let s = cache.stats();
+        Value::obj([
+            ("exact_hits", s.exact_hits.into()),
+            ("warm_hits", s.warm_hits.into()),
+            ("misses", s.misses.into()),
+            ("admissions", s.admissions.into()),
+            ("evictions", s.evictions.into()),
+            ("bytes_used", s.bytes_used.into()),
+            ("capacity_bytes", cache.capacity_bytes().into()),
+        ])
+    }
+
+    /// Planning-latency percentiles over the queries served so far.
+    fn latency_json(&self) -> Value {
+        let mut l = self.latencies_ms.lock().clone();
+        l.sort_by(|a, b| a.total_cmp(b));
+        Value::obj([
+            ("count", l.len().into()),
+            ("p50", percentile(&l, 50.0).into()),
+            ("p90", percentile(&l, 90.0).into()),
+            ("p99", percentile(&l, 99.0).into()),
+        ])
+    }
+
+    fn record_latency(&self, outcome: &VocalizationOutcome) {
+        self.latencies_ms.lock().push(outcome.stats.planning_time.as_secs_f64() * 1e3);
+    }
+
     fn handle_ask(&self, req: &Request) -> Response {
         let Some(ask) = AskRequest::from_body(&req.body) else {
             return Response::error(400, "expected {\"question\": \"...\"}");
         };
         let approach = ask.approach.as_deref().unwrap_or("holistic");
-        let vocalizer = match make_vocalizer(approach, self.threads) {
+        let vocalizer = match make_vocalizer(approach, self.threads, self.semantic.as_ref()) {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
@@ -198,6 +282,7 @@ impl AppState {
         };
         let mut voice = InstantVoice::default();
         let outcome = vocalizer.vocalize(&self.table, &query, &mut voice);
+        self.record_latency(&outcome);
         Response::ok(AnswerResponse::from_outcome(approach, &outcome).to_json().to_string())
     }
 
@@ -206,7 +291,7 @@ impl AppState {
             return Response::error(400, "expected {\"text\": \"...\"}");
         };
         let approach = input.approach.as_deref().unwrap_or("holistic");
-        let vocalizer = match make_vocalizer(approach, self.threads) {
+        let vocalizer = match make_vocalizer(approach, self.threads, self.semantic.as_ref()) {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
@@ -233,9 +318,12 @@ impl AppState {
                 log.push(input.text.clone());
                 let mut voice = InstantVoice::default();
                 match session.vocalize_with(vocalizer.as_ref(), &mut voice) {
-                    Ok(outcome) => Response::ok(
-                        AnswerResponse::from_outcome(approach, &outcome).to_json().to_string(),
-                    ),
+                    Ok(outcome) => {
+                        self.record_latency(&outcome);
+                        Response::ok(
+                            AnswerResponse::from_outcome(approach, &outcome).to_json().to_string(),
+                        )
+                    }
                     Err(e) => Response::error(400, &e.to_string()),
                 }
             }
@@ -276,6 +364,38 @@ mod tests {
         let stats = get(&s, "/stats");
         assert_eq!(stats.status, 200);
         assert!(stats.body.contains("\"rows\":8000"), "{}", stats.body);
+    }
+
+    #[test]
+    fn stats_exposes_cache_counters_and_latency_percentiles() {
+        let s = state();
+        let ask =
+            "{\"question\": \"cancellation probability by season\", \"approach\": \"optimal\"}";
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        // The identical repeat is served from the semantic cache.
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert_eq!(stats["cache"]["exact_hits"].as_u64().unwrap(), 1, "{stats:?}");
+        assert_eq!(stats["cache"]["misses"].as_u64().unwrap(), 1);
+        assert_eq!(stats["cache"]["admissions"].as_u64().unwrap(), 1);
+        assert!(stats["cache"]["capacity_bytes"].as_u64().unwrap() > 0);
+        assert_eq!(stats["latency_ms"]["count"].as_u64().unwrap(), 2);
+        assert!(stats["latency_ms"]["p50"].as_f64().unwrap() >= 0.0);
+        assert!(
+            stats["latency_ms"]["p99"].as_f64().unwrap()
+                >= stats["latency_ms"]["p50"].as_f64().unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_mb_zero_disables_the_semantic_cache() {
+        let s = state().with_cache_mb(0);
+        let ask =
+            "{\"question\": \"cancellation probability by season\", \"approach\": \"optimal\"}";
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert!(stats["cache"].is_null(), "{stats:?}");
     }
 
     #[test]

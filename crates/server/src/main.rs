@@ -1,11 +1,12 @@
 //! `voxolap-server` — serve the JSON API for voice-based OLAP.
 //!
 //! ```text
-//! voxolap-server [--port 8080] [--data flights|salary] [--rows N] [--threads N]
+//! voxolap-server [--port 8080] [--data flights|salary] [--rows N] [--threads N] [--cache-mb N]
 //! ```
 //!
 //! `--threads` bounds the planning threads used by the `parallel`
-//! approach (default: all cores).
+//! approach (default: all cores). `--cache-mb` sizes the cross-query
+//! semantic cache shared by all requests (default 64; `0` disables it).
 //!
 //! Then:
 //!
@@ -44,6 +45,9 @@ fn main() {
     let mut state = AppState::new(table);
     if let Some(threads) = arg("--threads").and_then(|v| v.parse().ok()) {
         state = state.with_threads(threads);
+    }
+    if let Some(mb) = arg("--cache-mb").and_then(|v| v.parse().ok()) {
+        state = state.with_cache_mb(mb);
     }
     let state = Arc::new(state);
 
