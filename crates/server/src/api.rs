@@ -26,7 +26,7 @@ use voxolap_engine::semantic::SemanticCache;
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response as SessionResponse, Session};
 
-use crate::http::{Request, Response};
+use crate::http::{HttpMetrics, Request, Response};
 
 /// Default semantic-cache budget when `--cache-mb` is not given.
 const DEFAULT_CACHE_MB: usize = 64;
@@ -47,6 +47,11 @@ pub struct AppState {
     /// Per-query planning latencies in milliseconds, for `/stats`
     /// percentiles.
     latencies_ms: Mutex<Vec<f64>>,
+    /// Serving-layer counters shared with the HTTP pool (`None` when the
+    /// state is exercised without a real server, e.g. in unit tests).
+    http_metrics: Option<Arc<HttpMetrics>>,
+    /// Expose `GET /debug/panic` (panic-isolation testing).
+    debug_routes: bool,
 }
 
 /// `POST /ask` body.
@@ -189,6 +194,8 @@ impl AppState {
             threads,
             semantic: Some(Arc::new(SemanticCache::with_capacity_mb(DEFAULT_CACHE_MB))),
             latencies_ms: Mutex::new(Vec::new()),
+            http_metrics: None,
+            debug_routes: false,
         }
     }
 
@@ -206,6 +213,20 @@ impl AppState {
         self
     }
 
+    /// Attach the serving-layer counter block so `GET /stats` can report
+    /// it. Pass the same `Arc` to [`crate::http::serve_with`].
+    pub fn with_http_metrics(mut self, metrics: Arc<HttpMetrics>) -> Self {
+        self.http_metrics = Some(metrics);
+        self
+    }
+
+    /// Enable `GET /debug/panic`, a route that panics on purpose so the
+    /// pool's panic isolation can be exercised end to end.
+    pub fn with_debug_routes(mut self, on: bool) -> Self {
+        self.debug_routes = on;
+        self
+    }
+
     /// Dispatch one request.
     pub fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
@@ -219,8 +240,12 @@ impl AppState {
                     ("bytes", stats.bytes.into()),
                     ("cache", self.cache_json()),
                     ("latency_ms", self.latency_json()),
+                    ("http", self.http_json()),
                 ]);
                 Response::ok(body.to_string())
+            }
+            ("GET", "/debug/panic") if self.debug_routes => {
+                panic!("debug route: deliberate handler panic")
             }
             ("POST", "/ask") => self.handle_ask(req),
             ("POST", path) => {
@@ -248,6 +273,29 @@ impl AppState {
             ("evictions", s.evictions.into()),
             ("bytes_used", s.bytes_used.into()),
             ("capacity_bytes", cache.capacity_bytes().into()),
+        ])
+    }
+
+    /// Serving-layer counters for `/stats` (`null` when the state runs
+    /// without an attached HTTP pool).
+    fn http_json(&self) -> Value {
+        let Some(metrics) = &self.http_metrics else { return Value::Null };
+        let s = metrics.snapshot();
+        Value::obj([
+            ("accepted", s.accepted.into()),
+            ("rejected", s.rejected.into()),
+            ("requests", s.requests.into()),
+            ("responses_2xx", s.responses_2xx.into()),
+            ("responses_4xx", s.responses_4xx.into()),
+            ("responses_5xx", s.responses_5xx.into()),
+            ("timeouts", s.timeouts.into()),
+            ("panics", s.panics.into()),
+            ("parse_errors", s.parse_errors.into()),
+            ("io_errors", s.io_errors.into()),
+            ("bytes_in", s.bytes_in.into()),
+            ("bytes_out", s.bytes_out.into()),
+            ("queue_wait_ms_total", (s.queue_wait_us as f64 / 1e3).into()),
+            ("handler_ms_total", (s.handle_us as f64 / 1e3).into()),
         ])
     }
 
@@ -461,6 +509,35 @@ mod tests {
         assert!(help.body.contains("\"help\""));
         let quit = post(&s, "/session/w1/input", "{\"text\": \"quit\"}");
         assert!(quit.body.contains("\"ended\":true"));
+    }
+
+    #[test]
+    fn stats_http_section_reflects_attached_metrics() {
+        // Without an attached pool the section is null…
+        let s = state();
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert!(stats["http"].is_null(), "{stats:?}");
+        // …and with one it mirrors the shared counters.
+        let metrics = HttpMetrics::new();
+        metrics.requests.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        metrics.panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let s = state().with_http_metrics(metrics);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert_eq!(stats["http"]["requests"].as_u64().unwrap(), 3, "{stats:?}");
+        assert_eq!(stats["http"]["panics"].as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn debug_panic_route_is_off_by_default() {
+        let s = state();
+        assert_eq!(get(&s, "/debug/panic").status, 404);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate handler panic")]
+    fn debug_panic_route_panics_when_enabled() {
+        let s = state().with_debug_routes(true);
+        let _ = get(&s, "/debug/panic");
     }
 
     #[test]

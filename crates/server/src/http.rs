@@ -1,18 +1,49 @@
-//! Minimal HTTP/1.1 server over `std::net`.
+//! Minimal HTTP/1.1 server over `std::net`, hardened for real traffic.
 //!
 //! Enough protocol for a JSON API: request line, headers,
 //! `Content-Length` bodies, one response per connection
 //! (`Connection: close`). No TLS, no chunked encoding, no keep-alive —
-//! this mirrors the paper's simple JEE servlet backend, not a production
-//! web server.
+//! the *protocol* mirrors the paper's simple JEE servlet backend, but the
+//! *serving path* is built for load:
+//!
+//! - a fixed-size worker pool fed by a bounded queue — when the queue is
+//!   full new connections get `503` + `Retry-After` instead of an
+//!   unbounded thread spawn;
+//! - read/write socket timeouts on every connection — a stalled client
+//!   (e.g. `Content-Length` larger than the bytes actually sent) gets a
+//!   `408` when the timeout fires instead of wedging a worker forever;
+//! - strict request parsing — malformed or conflicting `Content-Length`
+//!   headers are `400`s, oversized declared bodies are `413`s answered
+//!   *without* reading or allocating the body, header sections are
+//!   capped;
+//! - panic isolation — a panicking handler yields a `500` JSON error and
+//!   a counter increment, not a dead connection;
+//! - graceful shutdown — stop accepting, drain queued requests within a
+//!   deadline (late stragglers get `503`s), join workers deterministically;
+//! - per-request observability — atomic [`HttpMetrics`] counters and an
+//!   optional structured request log line (method, path, status, bytes,
+//!   queue wait, handler latency).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Upper bound on accepted request bodies (64 KiB — questions are short).
 const MAX_BODY: usize = 64 * 1024;
+
+/// Upper bound on the request line + header section.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// How often the nonblocking accept loop polls for new connections (and
+/// rechecks the stop flag — this bounds shutdown latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How often idle workers recheck the stop flag while waiting for work.
+const WORKER_POLL: Duration = Duration::from_millis(100);
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -51,31 +82,77 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
 }
 
+/// Why a request could not be parsed into a [`Request`].
+#[derive(Debug)]
+enum RequestError {
+    /// The client closed the connection without sending anything.
+    Empty,
+    /// Malformed request line, header, or body framing — answer 400.
+    Bad(&'static str),
+    /// Request line + headers exceed [`MAX_HEADER_BYTES`] — answer 431.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeds [`MAX_BODY`] — answer 413
+    /// without reading (or allocating) the body.
+    TooLarge,
+    /// A socket read timed out mid-request — answer 408.
+    Timeout,
+    /// Some other I/O error; the connection is unusable.
+    Io,
+}
+
+fn classify_io(e: &std::io::Error) -> RequestError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => RequestError::Timeout,
+        ErrorKind::UnexpectedEof => RequestError::Bad("truncated request body"),
+        _ => RequestError::Io,
+    }
+}
+
 /// Read and parse one request from a stream.
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
-    let mut reader = BufReader::new(stream.try_clone()?);
+///
+/// The header section is read through a [`Read::take`] cap so a client
+/// streaming endless headers cannot grow memory without bound, and the
+/// body is only allocated once the declared length passed validation.
+fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let reader = BufReader::new(stream.try_clone().map_err(|e| classify_io(&e))?);
+    let mut head = reader.take(MAX_HEADER_BYTES as u64);
+
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line)? == 0 {
-        return Ok(None);
+    match head.read_line(&mut request_line) {
+        Ok(0) => return Err(RequestError::Empty),
+        Ok(_) => {}
+        Err(e) => return Err(classify_io(&e)),
+    }
+    if !request_line.ends_with('\n') && head.limit() == 0 {
+        return Err(RequestError::HeadersTooLarge);
     }
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return Ok(None);
+        return Err(RequestError::Bad("malformed request line"));
     };
     let path = target.split('?').next().unwrap_or(target).to_string();
     let method = method.to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            break;
+        match head.read_line(&mut line) {
+            Ok(0) if head.limit() == 0 => return Err(RequestError::HeadersTooLarge),
+            Ok(0) => return Err(RequestError::Bad("truncated headers")),
+            Ok(_) => {}
+            Err(e) => return Err(classify_io(&e)),
+        }
+        if !line.ends_with('\n') && head.limit() == 0 {
+            return Err(RequestError::HeadersTooLarge);
         }
         let line = line.trim_end();
         if line.is_empty() {
@@ -83,88 +160,479 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                let Ok(n) = value.trim().parse::<usize>() else {
+                    return Err(RequestError::Bad("invalid Content-Length"));
+                };
+                // Identical repeats are tolerated; conflicting values
+                // would desynchronize body framing — reject them.
+                if content_length.is_some_and(|prev| prev != n) {
+                    return Err(RequestError::Bad("conflicting Content-Length headers"));
+                }
+                content_length = Some(n);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
-        return Ok(Some(Request { method, path, body: vec![0; MAX_BODY + 1] }));
+        return Err(RequestError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request { method, path, body }))
+    // Body bytes may already sit in the BufReader; keep reading through it.
+    let mut reader = head.into_inner();
+    reader.read_exact(&mut body).map_err(|e| classify_io(&e))?;
+    Ok(Request { method, path, body })
 }
 
 fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    // Overloaded / shutting-down responses invite a quick retry.
+    let retry = if response.status == 503 { "Retry-After: 1\r\n" } else { "" };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{}\r\n{}",
         response.status,
         response.status_text(),
         response.body.len(),
+        retry,
         response.body
     )
 }
 
-/// Handle to a running server: its bound address and a shutdown flag.
-pub struct ServerHandle {
-    /// The address the listener bound (useful with port 0).
-    pub addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+/// Tuning knobs for the serving layer (the server's `--http-threads`,
+/// `--http-queue`, and `--http-timeout-ms` flags).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed worker-pool size.
+    pub threads: usize,
+    /// Bounded queue capacity between the accept loop and the workers;
+    /// connections beyond it are answered `503` + `Retry-After`.
+    pub queue: usize,
+    /// Per-read socket timeout; a stalled client gets a `408` when it
+    /// fires.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout.
+    pub write_timeout: Duration,
+    /// Emit one structured log line per request to stderr.
+    pub log_requests: bool,
 }
 
-impl ServerHandle {
-    /// Signal the accept loop to stop and join its thread.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 8,
+            queue: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            log_requests: false,
         }
     }
 }
 
-/// Start serving on `addr` (e.g. `"127.0.0.1:0"`), dispatching each
-/// request to `handler` on a per-connection thread. Returns once the
-/// listener is bound; the accept loop runs on a background thread until
-/// [`ServerHandle::shutdown`].
+impl ServerConfig {
+    /// Set both socket timeouts from one `--http-timeout-ms` value.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.read_timeout = Duration::from_millis(ms.max(1));
+        self.write_timeout = self.read_timeout;
+        self
+    }
+}
+
+/// Monotonic serving-layer counters, shared between the server and
+/// whoever renders `GET /stats`. All updates are relaxed atomics — the
+/// counters are observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct HttpMetrics {
+    /// Connections admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Connections answered `503` at admission (queue full) or during
+    /// shutdown drain.
+    pub rejected: AtomicU64,
+    /// Requests successfully parsed and dispatched to the handler.
+    pub requests: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (including parse rejections and timeouts).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (including panics and admission rejections).
+    pub responses_5xx: AtomicU64,
+    /// Connections answered `408` after a socket read timeout.
+    pub timeouts: AtomicU64,
+    /// Handler panics converted into `500`s.
+    pub panics: AtomicU64,
+    /// Requests rejected at the parsing layer (`400`/`413`/`431`).
+    pub parse_errors: AtomicU64,
+    /// Connections dropped on unrecoverable I/O errors (no response sent).
+    pub io_errors: AtomicU64,
+    /// Request body bytes read.
+    pub bytes_in: AtomicU64,
+    /// Response body bytes written.
+    pub bytes_out: AtomicU64,
+    /// Total time connections spent queued, in microseconds.
+    pub queue_wait_us: AtomicU64,
+    /// Total time spent parsing + handling + responding, in microseconds.
+    pub handle_us: AtomicU64,
+}
+
+/// A plain-integer copy of [`HttpMetrics`] at one point in time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpMetricsSnapshot {
+    pub accepted: u64,
+    pub rejected: u64,
+    pub requests: u64,
+    pub responses_2xx: u64,
+    pub responses_4xx: u64,
+    pub responses_5xx: u64,
+    pub timeouts: u64,
+    pub panics: u64,
+    pub parse_errors: u64,
+    pub io_errors: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub queue_wait_us: u64,
+    pub handle_us: u64,
+}
+
+impl HttpMetrics {
+    /// A fresh, shareable counter block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn count_status(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        Self::add(class, 1);
+    }
+
+    /// Read every counter (relaxed; values are monotonic but mutually
+    /// unsynchronized).
+    pub fn snapshot(&self) -> HttpMetricsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        HttpMetricsSnapshot {
+            accepted: get(&self.accepted),
+            rejected: get(&self.rejected),
+            requests: get(&self.requests),
+            responses_2xx: get(&self.responses_2xx),
+            responses_4xx: get(&self.responses_4xx),
+            responses_5xx: get(&self.responses_5xx),
+            timeouts: get(&self.timeouts),
+            panics: get(&self.panics),
+            parse_errors: get(&self.parse_errors),
+            io_errors: get(&self.io_errors),
+            bytes_in: get(&self.bytes_in),
+            bytes_out: get(&self.bytes_out),
+            queue_wait_us: get(&self.queue_wait_us),
+            handle_us: get(&self.handle_us),
+        }
+    }
+}
+
+/// Answer a connection that never reaches a worker (admission rejection
+/// or shutdown drain) with a lingering close: write the response, close
+/// the write half, then drain whatever the client already sent so the
+/// kernel sends FIN instead of RST and the client reliably sees the
+/// response.
+fn reject_connection(mut stream: TcpStream, response: &Response) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    if write_response(&mut stream, response).is_ok() {
+        linger_close(stream);
+    }
+}
+
+/// Close the write half and drain (briefly, boundedly) whatever the
+/// client already sent, so closing a socket with unread input yields a
+/// FIN the client can read the response through, not an RST.
+fn linger_close(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    // Bounded drain: a handful of reads, each capped by the timeout.
+    for _ in 0..16 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// An accepted connection waiting for a worker.
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// State shared between the accept loop, the workers, and the handle.
+struct Pool {
+    queue: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl Pool {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+        // Handlers run under catch_unwind and the lock is never held
+        // across them, so poisoning is unreachable; recover regardless.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Handle to a running server: its bound address, metrics, and shutdown.
+pub struct ServerHandle {
+    /// The address the listener bound (useful with port 0).
+    pub addr: std::net::SocketAddr,
+    pool: Arc<Pool>,
+    metrics: Arc<HttpMetrics>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving-layer counters for this server.
+    pub fn metrics(&self) -> Arc<HttpMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Gracefully stop with a 5-second drain deadline.
+    pub fn shutdown(self) {
+        self.shutdown_within(Duration::from_secs(5));
+    }
+
+    /// Stop accepting, let workers drain queued requests until `drain`
+    /// elapses (whatever is still queued then gets a `503`), and join
+    /// every thread. The accept loop polls, so no dummy connection is
+    /// needed to unblock it and shutdown cannot hang on a full backlog.
+    pub fn shutdown_within(mut self, drain: Duration) {
+        self.pool.stop.store(true, Ordering::SeqCst);
+        self.pool.ready.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join(); // bounded by ACCEPT_POLL
+        }
+        let deadline = Instant::now() + drain;
+        loop {
+            if self.pool.lock_queue().is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                let stale: Vec<Conn> = self.pool.lock_queue().drain(..).collect();
+                for conn in stale {
+                    HttpMetrics::add(&self.metrics.rejected, 1);
+                    self.metrics.count_status(503);
+                    reject_connection(conn.stream, &Response::error(503, "server shutting down"));
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.pool.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join(); // workers exit once stopped and drained
+        }
+    }
+}
+
+/// Start serving on `addr` with default [`ServerConfig`] and fresh
+/// metrics. See [`serve_with`].
 pub fn serve<F>(addr: &str, handler: F) -> std::io::Result<ServerHandle>
 where
     F: Fn(&Request) -> Response + Send + Sync + 'static,
 {
+    serve_with(addr, ServerConfig::default(), HttpMetrics::new(), handler)
+}
+
+/// Start serving on `addr` (e.g. `"127.0.0.1:0"`), dispatching requests
+/// to `handler` on a fixed pool of `config.threads` workers fed by a
+/// bounded queue. Returns once the listener is bound; the accept loop
+/// and workers run on background threads until [`ServerHandle::shutdown`].
+///
+/// Pass the same `metrics` to the request handler (e.g. via
+/// `AppState::with_http_metrics`) to surface the counters in `GET /stats`.
+pub fn serve_with<F>(
+    addr: &str,
+    config: ServerConfig,
+    metrics: Arc<HttpMetrics>,
+    handler: F,
+) -> std::io::Result<ServerHandle>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop_flag = stop.clone();
-    let handler = Arc::new(handler);
-    let thread = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if stop_flag.load(Ordering::Relaxed) {
-                break;
-            }
-            let Ok(mut stream) = stream else { continue };
-            let handler = handler.clone();
-            std::thread::spawn(move || {
-                let response = match read_request(&mut stream) {
-                    Ok(Some(req)) if req.body.len() > MAX_BODY => {
-                        Response::error(413, "request body too large")
-                    }
-                    Ok(Some(req)) => handler(&req),
-                    Ok(None) => return,
-                    Err(_) => Response::error(400, "malformed request"),
-                };
-                let _ = write_response(&mut stream, &response);
-            });
-        }
+    let pool = Arc::new(Pool {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        stop: AtomicBool::new(false),
     });
-    Ok(ServerHandle { addr: bound, stop, thread: Some(thread) })
+    let handler = Arc::new(handler);
+    let config = Arc::new(ServerConfig { threads: config.threads.max(1), ..config });
+
+    let workers = (0..config.threads)
+        .map(|i| {
+            let pool = pool.clone();
+            let config = config.clone();
+            let metrics = metrics.clone();
+            let handler = handler.clone();
+            std::thread::Builder::new()
+                .name(format!("http-worker-{i}"))
+                .spawn(move || worker_loop(&pool, &config, &metrics, handler.as_ref()))
+                .expect("spawn http worker")
+        })
+        .collect();
+
+    let accept_thread = {
+        let pool = pool.clone();
+        let config = config.clone();
+        let metrics = metrics.clone();
+        std::thread::Builder::new()
+            .name("http-accept".to_string())
+            .spawn(move || accept_loop(&listener, &pool, &config, &metrics))
+            .expect("spawn http accept loop")
+    };
+
+    Ok(ServerHandle { addr: bound, pool, metrics, accept_thread: Some(accept_thread), workers })
+}
+
+fn accept_loop(listener: &TcpListener, pool: &Pool, config: &ServerConfig, metrics: &HttpMetrics) {
+    while !pool.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is nonblocking; make sure the accepted
+                // socket is not (timeouts need blocking reads).
+                let _ = stream.set_nonblocking(false);
+                let mut queue = pool.lock_queue();
+                if queue.len() >= config.queue {
+                    drop(queue);
+                    HttpMetrics::add(&metrics.rejected, 1);
+                    metrics.count_status(503);
+                    reject_connection(
+                        stream,
+                        &Response::error(503, "server overloaded, retry shortly"),
+                    );
+                } else {
+                    HttpMetrics::add(&metrics.accepted, 1);
+                    queue.push_back(Conn { stream, accepted_at: Instant::now() });
+                    drop(queue);
+                    pool.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn worker_loop<F>(pool: &Pool, config: &ServerConfig, metrics: &HttpMetrics, handler: &F)
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    loop {
+        let conn = {
+            let mut queue = pool.lock_queue();
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if pool.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) =
+                    pool.ready.wait_timeout(queue, WORKER_POLL).unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        match conn {
+            Some(conn) => handle_connection(conn, config, metrics, handler),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection<F>(conn: Conn, config: &ServerConfig, metrics: &HttpMetrics, handler: &F)
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    let Conn { mut stream, accepted_at } = conn;
+    let queue_wait = accepted_at.elapsed();
+    HttpMetrics::add(&metrics.queue_wait_us, queue_wait.as_micros() as u64);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    let started = Instant::now();
+    let parsed = read_request(&mut stream);
+    // On a parse failure the request bytes were (partly) left unread;
+    // linger on close so the error response survives the RST the kernel
+    // would otherwise send.
+    let parse_failed = parsed.is_err();
+    let no_label = || (String::from("-"), String::from("-"), 0usize);
+    let ((method, path, bytes_in), response) = match parsed {
+        Ok(req) => {
+            HttpMetrics::add(&metrics.requests, 1);
+            HttpMetrics::add(&metrics.bytes_in, req.body.len() as u64);
+            let response = match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
+                Ok(response) => response,
+                Err(_) => {
+                    HttpMetrics::add(&metrics.panics, 1);
+                    Response::error(500, "internal server error")
+                }
+            };
+            ((req.method, req.path, req.body.len()), response)
+        }
+        Err(RequestError::Empty) => return, // clean close, nothing to answer
+        Err(RequestError::Io) => {
+            HttpMetrics::add(&metrics.io_errors, 1);
+            return;
+        }
+        Err(RequestError::Timeout) => {
+            HttpMetrics::add(&metrics.timeouts, 1);
+            (no_label(), Response::error(408, "request timed out"))
+        }
+        Err(RequestError::TooLarge) => {
+            HttpMetrics::add(&metrics.parse_errors, 1);
+            (no_label(), Response::error(413, "request body too large"))
+        }
+        Err(RequestError::HeadersTooLarge) => {
+            HttpMetrics::add(&metrics.parse_errors, 1);
+            (no_label(), Response::error(431, "headers too large"))
+        }
+        Err(RequestError::Bad(reason)) => {
+            HttpMetrics::add(&metrics.parse_errors, 1);
+            (no_label(), Response::error(400, reason))
+        }
+    };
+
+    metrics.count_status(response.status);
+    if write_response(&mut stream, &response).is_ok() {
+        HttpMetrics::add(&metrics.bytes_out, response.body.len() as u64);
+        if parse_failed {
+            linger_close(stream);
+        }
+    }
+    let handle = started.elapsed();
+    HttpMetrics::add(&metrics.handle_us, handle.as_micros() as u64);
+    if config.log_requests {
+        eprintln!(
+            "http method={} path={} status={} bytes_in={} bytes_out={} queue_ms={:.2} handler_ms={:.2}",
+            method,
+            path,
+            response.status,
+            bytes_in,
+            response.body.len(),
+            queue_wait.as_secs_f64() * 1e3,
+            handle.as_secs_f64() * 1e3,
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     fn start_echo() -> ServerHandle {
         serve("127.0.0.1:0", |req| {
             Response::ok(format!(
@@ -209,13 +677,154 @@ mod tests {
     }
 
     #[test]
-    fn oversized_body_is_rejected() {
+    fn oversized_body_is_rejected_without_reading_it() {
         let server = start_echo();
+        // Only the headers are sent — the server must answer 413 from the
+        // declared length alone, without waiting for body bytes.
         let out = raw_request(
             server.addr,
             &format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 10),
         );
         assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+        assert_eq!(server.metrics().snapshot().parse_errors, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_numeric_content_length_is_a_400() {
+        let server = start_echo();
+        let out =
+            raw_request(server.addr, "POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\nabcd");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        assert!(out.contains("invalid Content-Length"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_a_400() {
+        let server = start_echo();
+        let out = raw_request(
+            server.addr,
+            "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcd",
+        );
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        assert!(out.contains("conflicting Content-Length"), "{out}");
+        // Identical duplicates stay accepted.
+        let out = raw_request(
+            server.addr,
+            "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd",
+        );
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_body_is_a_400() {
+        let server = start_echo();
+        // Fewer bytes than declared, then EOF (not a stall): the client
+        // must close its write half so the server sees EOF, not silence.
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        s.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_headers_are_a_431() {
+        let server = start_echo();
+        let huge = format!("GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n", "j".repeat(MAX_HEADER_BYTES));
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        // The server may respond and close before the write finishes;
+        // tolerate the resulting EPIPE.
+        let _ = s.write_all(huge.as_bytes());
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_body_times_out_with_a_408() {
+        let config = ServerConfig::default().with_timeout_ms(200);
+        let metrics = HttpMetrics::new();
+        let server =
+            serve_with("127.0.0.1:0", config, metrics, |_| Response::ok("{}".to_string())).unwrap();
+        let start = Instant::now();
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        // Headers promise 10 bytes; the body never comes.
+        s.write_all(b"POST /ask HTTP/1.1\r\nContent-Length: 10\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        assert!(start.elapsed() < Duration::from_secs(3), "timeout fired late");
+        assert_eq!(server.metrics().snapshot().timeouts, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_returns_500_and_counts() {
+        let server = serve("127.0.0.1:0", |req| {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::ok("{}".to_string())
+        })
+        .unwrap();
+        let out = raw_request(server.addr, "GET /boom HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 500"), "{out}");
+        assert!(out.contains("{\"error\":\"internal server error\"}"), "{out}");
+        // The worker survives the panic and keeps serving.
+        let out = raw_request(server.addr, "GET /fine HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.responses_5xx, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_queue_yields_503_with_retry_after() {
+        use std::sync::mpsc;
+        // One worker stuck in the handler + a single queue slot: the
+        // third concurrent connection must be rejected up front.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Mutex::new(release_rx);
+        let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
+        let server = serve_with("127.0.0.1:0", config, HttpMetrics::new(), move |_| {
+            let _ = release_rx.lock().unwrap().recv_timeout(Duration::from_secs(5));
+            Response::ok("{}".to_string())
+        })
+        .unwrap();
+        let addr = server.addr;
+
+        let mut occupy = Vec::new();
+        // First connection: wait until its request is *in the handler*
+        // (the `requests` counter ticks just before dispatch), so the
+        // single worker is provably busy before the next one arrives.
+        occupy.push(std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n")));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().snapshot().requests < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Second connection: fills the single queue slot.
+        occupy.push(std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n")));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().snapshot().accepted < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let out = raw_request(addr, "GET /rejected HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+        assert!(out.contains("Retry-After: 1"), "{out}");
+        assert_eq!(server.metrics().snapshot().rejected, 1);
+
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        for h in occupy {
+            assert!(h.join().unwrap().starts_with("HTTP/1.1 200"));
+        }
         server.shutdown();
     }
 
@@ -234,6 +843,9 @@ mod tests {
             let out = h.join().unwrap();
             assert!(out.contains(&format!("/r{i}")));
         }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.requests, 8);
+        assert_eq!(snap.responses_2xx, 8);
         server.shutdown();
     }
 
@@ -250,5 +862,14 @@ mod tests {
             let _ = s.read_to_string(&mut out);
             assert!(!out.contains("200 OK"), "{out}");
         }
+    }
+
+    #[test]
+    fn shutdown_is_deadline_bounded() {
+        // Even with traffic in flight, shutdown_within returns promptly.
+        let server = start_echo();
+        let start = Instant::now();
+        server.shutdown_within(Duration::from_millis(500));
+        assert!(start.elapsed() < Duration::from_secs(5), "shutdown hung");
     }
 }

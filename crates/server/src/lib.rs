@@ -7,7 +7,9 @@
 //! for each single query").
 //!
 //! A deliberately dependency-free HTTP/1.1 implementation over
-//! `std::net::TcpListener` with a small JSON API:
+//! `std::net::TcpListener` — a bounded worker pool with socket timeouts,
+//! panic isolation, graceful shutdown, and per-request counters (see
+//! [`http`] and DESIGN.md §10) — with a small JSON API:
 //!
 //! | Method & path | Body | Response |
 //! |---|---|---|
@@ -24,4 +26,7 @@ pub mod api;
 pub mod http;
 
 pub use api::{AppState, SessionStore};
-pub use http::{serve, Request, Response};
+pub use http::{
+    serve, serve_with, HttpMetrics, HttpMetricsSnapshot, Request, Response, ServerConfig,
+    ServerHandle,
+};

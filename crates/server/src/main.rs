@@ -1,12 +1,23 @@
 //! `voxolap-server` — serve the JSON API for voice-based OLAP.
 //!
 //! ```text
-//! voxolap-server [--port 8080] [--data flights|salary] [--rows N] [--threads N] [--cache-mb N]
+//! voxolap-server [--port 8080] [--data flights|salary] [--rows N]
+//!                [--threads N] [--cache-mb N]
+//!                [--http-threads N] [--http-queue N] [--http-timeout-ms N]
 //! ```
 //!
 //! `--threads` bounds the planning threads used by the `parallel`
 //! approach (default: all cores). `--cache-mb` sizes the cross-query
 //! semantic cache shared by all requests (default 64; `0` disables it).
+//!
+//! The serving layer is a bounded worker pool (DESIGN.md §10):
+//! `--http-threads` sets the pool size (default 8), `--http-queue` the
+//! pending-connection queue capacity beyond which clients get `503` +
+//! `Retry-After` (default 64), and `--http-timeout-ms` the per-socket
+//! read/write timeout after which a stalled client gets a `408`
+//! (default 5000). Each request is logged to stderr with its status,
+//! byte counts, queue wait, and handler latency; the same counters are
+//! served under `"http"` in `GET /stats`.
 //!
 //! Then:
 //!
@@ -23,7 +34,7 @@ use std::sync::Arc;
 
 use voxolap_data::flights::FlightsConfig;
 use voxolap_data::salary::SalaryConfig;
-use voxolap_server::{serve, AppState};
+use voxolap_server::{serve_with, AppState, HttpMetrics, ServerConfig};
 
 fn arg(key: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -35,6 +46,17 @@ fn main() {
     let rows: usize = arg("--rows").and_then(|v| v.parse().ok()).unwrap_or(200_000);
     let data = arg("--data").unwrap_or_else(|| "flights".to_string());
 
+    let mut config = ServerConfig { log_requests: true, ..ServerConfig::default() };
+    if let Some(n) = arg("--http-threads").and_then(|v| v.parse().ok()) {
+        config.threads = n;
+    }
+    if let Some(n) = arg("--http-queue").and_then(|v| v.parse().ok()) {
+        config.queue = n;
+    }
+    if let Some(ms) = arg("--http-timeout-ms").and_then(|v| v.parse().ok()) {
+        config = config.with_timeout_ms(ms);
+    }
+
     let table = match data.as_str() {
         "salary" => SalaryConfig::paper_scale().generate(),
         _ => {
@@ -42,7 +64,8 @@ fn main() {
             FlightsConfig { rows, seed: 42 }.generate()
         }
     };
-    let mut state = AppState::new(table);
+    let metrics = HttpMetrics::new();
+    let mut state = AppState::new(table).with_http_metrics(metrics.clone());
     if let Some(threads) = arg("--threads").and_then(|v| v.parse().ok()) {
         state = state.with_threads(threads);
     }
@@ -51,9 +74,17 @@ fn main() {
     }
     let state = Arc::new(state);
 
-    let handle = serve(&format!("127.0.0.1:{port}"), move |req| state.handle(req))
-        .expect("bind server port");
-    eprintln!("voxolap-server listening on http://{}", handle.addr);
+    let handle = serve_with(&format!("127.0.0.1:{port}"), config.clone(), metrics, move |req| {
+        state.handle(req)
+    })
+    .expect("bind server port");
+    eprintln!(
+        "voxolap-server listening on http://{} (workers={} queue={} timeout={}ms)",
+        handle.addr,
+        config.threads,
+        config.queue,
+        config.read_timeout.as_millis()
+    );
     // Serve until the process is killed.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

@@ -1,12 +1,46 @@
 //! End-to-end test of the HTTP interface: real TCP, real JSON, real
-//! planner — the full stack a browser client would exercise.
+//! planner — the full stack a browser client would exercise, including
+//! the hardened serving path (timeouts, saturation, panic isolation).
+//!
+//! Every test runs under a [`watchdog`] that aborts the process if the
+//! test exceeds its deadline, so a reintroduced hang (e.g. a stalled
+//! client wedging the accept path) fails CI instead of stalling it.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use voxolap_data::flights::FlightsConfig;
-use voxolap_server::{serve, AppState};
+use voxolap_server::{serve, serve_with, AppState, HttpMetrics, ServerConfig};
+
+/// Abort the whole test process if the caller is still running after
+/// `secs` — a hard per-test timeout (std's harness has none).
+struct Watchdog(Arc<AtomicBool>);
+
+fn watchdog(secs: u64) -> Watchdog {
+    let done = Arc::new(AtomicBool::new(false));
+    let observer = done.clone();
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while Instant::now() < deadline {
+            if observer.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        eprintln!("watchdog: test exceeded {secs}s hard timeout — aborting");
+        std::process::abort();
+    });
+    Watchdog(done)
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
 
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut s = TcpStream::connect(addr).unwrap();
@@ -24,10 +58,14 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
     (status, body)
 }
 
+fn small_table() -> voxolap_data::Table {
+    FlightsConfig { rows: 6_000, seed: 42 }.generate()
+}
+
 #[test]
 fn full_stack_question_and_session_flow() {
-    let table = FlightsConfig { rows: 6_000, seed: 42 }.generate();
-    let state = Arc::new(AppState::new(table));
+    let _guard = watchdog(120);
+    let state = Arc::new(AppState::new(small_table()));
     let handle = serve("127.0.0.1:0", move |req| state.handle(req)).unwrap();
     let addr = handle.addr;
 
@@ -74,4 +112,179 @@ fn full_stack_question_and_session_flow() {
     assert!(body.contains("error"));
 
     handle.shutdown();
+}
+
+/// A stalled client (headers promise a body that never arrives) must get
+/// a 408 within the configured timeout — and must not delay concurrent
+/// well-formed queries, which a worker-per-connection server with no
+/// socket timeouts would have wedged forever.
+#[test]
+fn stalled_client_gets_408_without_delaying_others() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(AppState::new(small_table()).with_http_metrics(metrics.clone()));
+    let config = ServerConfig { threads: 4, ..ServerConfig::default() }.with_timeout_ms(500);
+    let handle = serve_with("127.0.0.1:0", config, metrics, move |req| state.handle(req)).unwrap();
+    let addr = handle.addr;
+
+    // The stalled client: header sent, body withheld.
+    let staller = std::thread::spawn(move || {
+        let start = Instant::now();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /ask HTTP/1.1\r\nContent-Length: 64\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        (out, start.elapsed())
+    });
+
+    // Meanwhile, parallel well-formed queries are answered normally.
+    let parallel: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                request(
+                    addr,
+                    "POST",
+                    "/ask",
+                    "{\"question\": \"cancellation probability by season\"}",
+                )
+            })
+        })
+        .collect();
+    for h in parallel {
+        let (status, body) = h.join().unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (out, elapsed) = staller.join().unwrap();
+    assert!(out.starts_with("HTTP/1.1 408"), "stalled client should time out: {out}");
+    assert!(elapsed < Duration::from_secs(10), "408 took too long: {elapsed:?}");
+
+    // The serving-layer counters surface the timeout and the successes.
+    let (status, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let v = voxolap_json::Value::parse(&body).unwrap();
+    assert_eq!(v["http"]["timeouts"].as_u64().unwrap(), 1, "{body}");
+    assert!(v["http"]["responses_2xx"].as_u64().unwrap() >= 4, "{body}");
+    assert!(v["http"]["requests"].as_u64().unwrap() >= 4, "{body}");
+
+    handle.shutdown();
+}
+
+/// When the bounded queue is full, excess connections get an immediate
+/// 503 + Retry-After instead of piling up unbounded — and the rejection
+/// is visible in /stats.
+#[test]
+fn saturation_yields_503s_and_counts_rejections() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(AppState::new(small_table()).with_http_metrics(metrics.clone()));
+    // One worker that takes ~300ms per request + one queue slot.
+    let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
+    let handle = serve_with("127.0.0.1:0", config, metrics.clone(), move |req| {
+        std::thread::sleep(Duration::from_millis(300));
+        state.handle(req)
+    })
+    .unwrap();
+    let addr = handle.addr;
+
+    // Occupy the worker, then the queue slot.
+    let mut slow = Vec::new();
+    slow.push(std::thread::spawn(move || request(addr, "GET", "/health", "")));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.snapshot().requests < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    slow.push(std::thread::spawn(move || request(addr, "GET", "/health", "")));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.snapshot().accepted < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Both capacity slots taken: the next connection is turned away.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+    assert!(out.contains("Retry-After: 1"), "{out}");
+
+    // The occupants complete normally.
+    for h in slow {
+        let (status, _) = h.join().unwrap();
+        assert_eq!(status, 200);
+    }
+    let (_, body) = request(addr, "GET", "/stats", "");
+    let v = voxolap_json::Value::parse(&body).unwrap();
+    assert_eq!(v["http"]["rejected"].as_u64().unwrap(), 1, "{body}");
+    assert!(v["http"]["responses_5xx"].as_u64().unwrap() >= 1, "{body}");
+
+    handle.shutdown();
+}
+
+/// A panicking handler yields a 500 JSON error (not a dropped
+/// connection), the worker survives, and the panic counter shows up in
+/// /stats.
+#[test]
+fn panicking_route_returns_500_json_and_counts() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(
+        AppState::new(small_table()).with_http_metrics(metrics.clone()).with_debug_routes(true),
+    );
+    let handle =
+        serve_with("127.0.0.1:0", ServerConfig::default(), metrics, move |req| state.handle(req))
+            .unwrap();
+    let addr = handle.addr;
+
+    let (status, body) = request(addr, "GET", "/debug/panic", "");
+    assert_eq!(status, 500, "{body}");
+    assert_eq!(body, "{\"error\":\"internal server error\"}");
+
+    // The pool keeps serving afterwards, and the counter is exposed.
+    let (status, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let v = voxolap_json::Value::parse(&body).unwrap();
+    assert_eq!(v["http"]["panics"].as_u64().unwrap(), 1, "{body}");
+    assert_eq!(v["http"]["responses_5xx"].as_u64().unwrap(), 1, "{body}");
+
+    handle.shutdown();
+}
+
+/// Shutdown completes within its drain deadline even while clients are
+/// connected, and malformed framing is rejected at the parsing layer.
+#[test]
+fn parsing_rejections_and_bounded_shutdown() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(AppState::new(small_table()).with_http_metrics(metrics.clone()));
+    let config = ServerConfig::default().with_timeout_ms(500);
+    let handle = serve_with("127.0.0.1:0", config, metrics, move |req| state.handle(req)).unwrap();
+    let addr = handle.addr;
+
+    // Non-numeric Content-Length → 400 (previously parsed as "no body").
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /ask HTTP/1.1\r\nContent-Length: ten\r\n\r\n0123456789").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+    // Conflicting duplicates → 400.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /ask HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+    // Oversized declared body → 413 without reading it.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /ask HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+
+    // Shutdown with a live idle connection still returns promptly.
+    let _idle = TcpStream::connect(addr).unwrap();
+    let start = Instant::now();
+    handle.shutdown_within(Duration::from_secs(2));
+    assert!(start.elapsed() < Duration::from_secs(30), "shutdown not deadline-bounded");
 }
