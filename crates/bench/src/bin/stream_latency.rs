@@ -1,0 +1,31 @@
+//! Streaming-latency benchmark: time-to-first-sentence and inter-sentence
+//! gap percentiles per approach, written to `BENCH_stream.json` (and
+//! printed as markdown).
+//!
+//! ```text
+//! cargo run --release --bin stream_latency \
+//!     [--rows N] [--runs N] [--threads N] [--out PATH]
+//! ```
+
+use voxolap_bench::arg_usize;
+use voxolap_bench::experiments::stream;
+
+fn main() {
+    let rows = arg_usize("--rows", 20_000);
+    let runs = arg_usize("--runs", 15);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = arg_usize("--threads", cores.min(4));
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_stream.json".to_string())
+    };
+
+    let reports = stream::measure(rows, runs, threads);
+    let json = stream::to_json(rows, runs, threads, cores, &reports);
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
+    eprintln!("wrote {out}");
+    print!("{}", stream::run(rows, runs, &reports));
+}

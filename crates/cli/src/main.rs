@@ -32,13 +32,15 @@ use voxolap_core::prior::PriorGreedy;
 use voxolap_core::uncertainty::UncertaintyMode;
 use voxolap_core::unmerged::Unmerged;
 use voxolap_core::voice::{InstantVoice, VoiceOutput};
+use voxolap_core::CancelToken;
 use voxolap_data::flights::FlightsConfig;
 use voxolap_data::salary::SalaryConfig;
 use voxolap_data::stats::DatasetStats;
 use voxolap_data::Table;
+use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
 use voxolap_voice::question::parse_question;
-use voxolap_voice::session::{Response, Session};
+use voxolap_voice::session::{Response, Session, StreamEvent};
 use voxolap_voice::tts::RealTimeVoice;
 
 /// Parsed command-line options.
@@ -228,8 +230,7 @@ fn make_voice(opts: &Options) -> Box<dyn VoiceOutput> {
     }
 }
 
-fn speak_outcome(outcome: &voxolap_core::outcome::VocalizationOutcome) {
-    println!("{}", outcome.full_text());
+fn speak_stats(outcome: &voxolap_core::outcome::VocalizationOutcome) {
     eprintln!(
         "[latency {:?} | {} rows sampled | {} planner iterations | {} chars]",
         outcome.latency,
@@ -239,14 +240,30 @@ fn speak_outcome(outcome: &voxolap_core::outcome::VocalizationOutcome) {
     );
 }
 
+/// Speak one query incrementally: print the preamble as soon as the query
+/// compiles and each sentence the moment the planner commits to it, while
+/// the planner keeps sampling behind the (simulated) speech.
+fn speak_stream(
+    vocalizer: &dyn Vocalizer,
+    table: &Table,
+    query: &Query,
+    voice: &mut dyn VoiceOutput,
+) {
+    let mut stream = vocalizer.stream(table, query, voice, CancelToken::never());
+    println!("{}", stream.preamble());
+    while let Some(sentence) = stream.next_sentence() {
+        println!("{}", sentence.text);
+    }
+    speak_stats(&stream.finish());
+}
+
 fn cmd_ask(opts: &Options, table: &Table) -> Result<(), String> {
     let question = opts.args.first().ok_or("ask needs a quoted question")?;
     let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
     let cache = make_cache(opts);
     let vocalizer = make_vocalizer(opts, cache.as_ref())?;
     let mut voice = make_voice(opts);
-    let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
-    speak_outcome(&outcome);
+    speak_stream(vocalizer.as_ref(), table, &query, voice.as_mut());
     Ok(())
 }
 
@@ -320,8 +337,7 @@ fn cmd_repl(opts: &Options, table: &Table) -> Result<(), String> {
         if looks_like_question {
             match parse_question(table.schema(), &line) {
                 Ok(query) => {
-                    let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
-                    speak_outcome(&outcome);
+                    speak_stream(vocalizer.as_ref(), table, &query, voice.as_mut());
                     continue;
                 }
                 Err(e) => {
@@ -334,8 +350,17 @@ fn cmd_repl(opts: &Options, table: &Table) -> Result<(), String> {
             Ok(Response::Quit) => break,
             Ok(Response::Help(text)) => println!("{text}"),
             Ok(Response::Updated) => {
-                match session.vocalize_with(vocalizer.as_ref(), voice.as_mut()) {
-                    Ok(outcome) => speak_outcome(&outcome),
+                let streamed = session.vocalize_streaming(
+                    vocalizer.as_ref(),
+                    voice.as_mut(),
+                    CancelToken::never(),
+                    |ev| match ev {
+                        StreamEvent::Preamble(p) => println!("{p}"),
+                        StreamEvent::Sentence(s) => println!("{}", s.text),
+                    },
+                );
+                match streamed {
+                    Ok(outcome) => speak_stats(&outcome),
                     Err(e) => eprintln!("error: {e}"),
                 }
             }

@@ -4,13 +4,33 @@ use voxolap_data::Table;
 use voxolap_engine::query::Query;
 
 use crate::outcome::VocalizationOutcome;
+use crate::pipeline::{CancelToken, SpeechStream};
 use crate::voice::VoiceOutput;
 
 /// A query-evaluation-and-vocalization approach (paper §5 compares
 /// Holistic, Optimal, Unmerged, and the Prior greedy baseline).
-pub trait Vocalizer {
+///
+/// The primary API is [`stream`](Vocalizer::stream): a pull-based
+/// [`SpeechStream`] that yields each sentence as it is planned, so
+/// callers (server, CLI, voice sessions) can deliver output while
+/// planning continues in the background and abort it via the
+/// [`CancelToken`]. [`vocalize`](Vocalizer::vocalize) is the blocking
+/// drain adapter over it.
+pub trait Vocalizer: Send + Sync {
     /// Short identifier used in experiment output (e.g. `"holistic"`).
     fn name(&self) -> &'static str;
+
+    /// Begin evaluating `query` against `table`, speaking through
+    /// `voice`. The preamble has already been started when this returns;
+    /// pull sentences with [`SpeechStream::next_sentence`]. Firing
+    /// `cancel` stops sampling within one iteration.
+    fn stream<'a>(
+        &self,
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+    ) -> SpeechStream<'a>;
 
     /// Evaluate `query` against `table` and speak the result through
     /// `voice`. Returns the spoken text and planner statistics.
@@ -19,5 +39,7 @@ pub trait Vocalizer {
         table: &Table,
         query: &Query,
         voice: &mut dyn VoiceOutput,
-    ) -> VocalizationOutcome;
+    ) -> VocalizationOutcome {
+        self.stream(table, query, voice, CancelToken::never()).drain()
+    }
 }

@@ -26,10 +26,13 @@ use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
 use crate::optimal::{plan_from_exact, OptimalConfig};
-use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::outcome::VocalizationOutcome;
+use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::driver::{CoopSource, CoreSampler};
+use crate::pipeline::stream::{Buffered, SpeechStream};
 use crate::sampler::{PlannerCore, SelectionPolicy};
 use crate::tree::{NodeKind, SpeechTree};
-use crate::uncertainty::{annotate, UncertaintyMode};
+use crate::uncertainty::UncertaintyMode;
 use crate::voice::VoiceOutput;
 
 /// Configuration of the holistic planner.
@@ -144,7 +147,7 @@ impl Holistic {
             self.config.seed,
             self.config.resample_size,
         );
-        self.run(table, query, voice, core)
+        self.stream_with_core(table, query, voice, CancelToken::never(), core).drain()
     }
 }
 
@@ -165,13 +168,14 @@ pub(crate) fn relevant_aggs(tree: &SpeechTree, node: NodeId, layout: &ResultLayo
 /// planned by exhaustive exact scoring (the Optimal variant's planner).
 /// Shared by [`Holistic`] and `ParallelHolistic` on semantic-cache exact
 /// hits.
-pub(crate) fn exact_hit_outcome(
-    table: &Table,
-    query: &Query,
-    voice: &mut dyn VoiceOutput,
+pub(crate) fn exact_hit_stream<'a>(
+    table: &'a Table,
+    query: &'a Query,
+    voice: &'a mut dyn VoiceOutput,
+    cancel: CancelToken,
     data: &ExactAggregates,
     cfg: &OptimalConfig,
-) -> VocalizationOutcome {
+) -> SpeechStream<'a> {
     let t0 = Instant::now();
     let schema = table.schema();
     let renderer = Renderer::new(schema, query);
@@ -180,39 +184,18 @@ pub(crate) fn exact_hit_outcome(
     let latency = t0.elapsed();
 
     let exact = data.to_result(query.fct());
-    let Some(plan) = plan_from_exact(schema, query, &exact, cfg) else {
-        let sentence = "No data matches the query scope.".to_string();
-        voice.start(&sentence);
-        return VocalizationOutcome {
-            speech: None,
-            preamble,
-            sentences: vec![sentence],
-            latency,
-            stats: PlanStats {
-                rows_read: 0,
-                samples: 0,
-                tree_nodes: 0,
-                truncated: false,
-                planning_time: t0.elapsed(),
-            },
-        };
+    let source = match plan_from_exact(schema, query, &exact, cfg) {
+        Some(plan) => Buffered::planned(
+            plan.sentences,
+            Some(plan.speech),
+            0,
+            0,
+            plan.tree_nodes,
+            plan.truncated,
+        ),
+        None => Buffered::no_data(0, None),
     };
-    for s in &plan.sentences {
-        voice.start(s);
-    }
-    VocalizationOutcome {
-        speech: Some(plan.speech),
-        preamble,
-        sentences: plan.sentences,
-        latency,
-        stats: PlanStats {
-            rows_read: 0,
-            samples: 0,
-            tree_nodes: plan.tree_nodes,
-            truncated: plan.truncated,
-            planning_time: t0.elapsed(),
-        },
-    }
+    SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
 }
 
 impl Vocalizer for Holistic {
@@ -220,38 +203,43 @@ impl Vocalizer for Holistic {
         "holistic"
     }
 
-    fn vocalize(
+    fn stream<'a>(
         &self,
-        table: &Table,
-        query: &Query,
-        voice: &mut dyn VoiceOutput,
-    ) -> VocalizationOutcome {
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+    ) -> SpeechStream<'a> {
         let core = PlannerCore::with_resample_size(
             table,
             query,
             self.config.seed,
             self.config.resample_size,
         );
-        self.run(table, query, voice, core)
+        self.stream_with_core(table, query, voice, cancel, core)
     }
 }
 
 impl Holistic {
-    /// Algorithm 1 over an already-constructed planner core.
-    fn run(
+    /// Algorithm 1's Ingest stage over an already-constructed planner
+    /// core: preamble, semantic-cache consultation, warm-up, σ
+    /// calibration, tree construction. The returned stream runs one
+    /// Plan/Sample → Commit round of the shared driver per sentence.
+    fn stream_with_core<'a>(
         &self,
-        table: &Table,
-        query: &Query,
-        voice: &mut dyn VoiceOutput,
-        mut core: PlannerCore<'_>,
-    ) -> VocalizationOutcome {
-        let cfg = &self.config;
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+        mut core: PlannerCore<'a>,
+    ) -> SpeechStream<'a> {
+        let cfg = self.config.clone();
 
         // Semantic cache, layer 1: a repeat of an exactly-answered query
         // skips sampling entirely and plans against stored aggregates.
         if let Some(cache) = &self.cache {
             if let Some(data) = cache.lookup_exact(&query.key()) {
-                return exact_hit_outcome(table, query, voice, &data, &cfg.exact_cfg());
+                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg());
             }
         }
 
@@ -280,93 +268,44 @@ impl Holistic {
 
         core.set_policy(cfg.policy);
         let Some(overall) = core.warmup(cfg.warmup_rows) else {
-            // Entire table streamed, not one row in scope: report that.
-            let sentence = "No data matches the query scope.".to_string();
-            voice.start(&sentence);
-            self.admit(&core, query);
-            return VocalizationOutcome {
-                speech: None,
-                preamble,
-                sentences: vec![sentence],
-                latency,
-                stats: PlanStats {
-                    rows_read: core.rows_read(),
-                    samples: 0,
-                    tree_nodes: 0,
-                    truncated: false,
-                    planning_time: t0.elapsed(),
-                },
-            };
+            // Entire table streamed, not one row in scope: report that —
+            // and still admit the exhausted scan to the semantic cache.
+            let rows_read = core.rows_read();
+            let semantic = self.cache.clone();
+            let seed = cfg.seed;
+            let admit = move || admit_core(&semantic, seed, &core, query);
+            let source = Buffered::no_data(rows_read, Some(Box::new(admit)));
+            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source));
         };
         core.calibrate_sigma(overall, cfg.sigma_override);
 
         let generator = CandidateGenerator::new(schema, query, cfg.candidates.clone());
-        let mut tree =
+        let tree =
             SpeechTree::build(&generator, &renderer, &cfg.constraints, overall, cfg.max_tree_nodes);
 
         let layout = query.layout();
-        let mut current = SpeechTree::ROOT;
-        let mut sentences = Vec::new();
-        loop {
-            // Sample while the previous sentence plays (plus a progress
-            // floor for instant voices).
-            let mut iterations = 0u64;
-            while voice.is_playing() || iterations < cfg.min_samples_per_sentence {
-                core.sample_once(&mut tree, current, cfg.rows_per_iteration);
-                iterations += 1;
-            }
-            if tree.tree().is_leaf(current) {
-                break;
-            }
-            let Some(next) = tree.tree().best_child(current) else {
-                break;
-            };
-            current = next;
-            let mut sentence =
-                tree.sentence(current, &renderer).expect("committed nodes are never the root");
-            if !matches!(cfg.uncertainty, UncertaintyMode::Off) {
-                let aggs = relevant_aggs(&tree, current, layout);
-                if let Some(extra) = annotate(
-                    cfg.uncertainty,
-                    core.cache(),
-                    layout,
-                    &aggs,
-                    schema.measure(query.measure()).unit,
-                ) {
-                    sentence = format!("{sentence} {extra}");
-                }
-            }
-            sentences.push(sentence.clone());
-            voice.start(&sentence);
-        }
-
-        self.admit(&core, query);
-        VocalizationOutcome {
-            speech: Some(tree.speech_at(current)),
-            preamble,
-            sentences,
-            latency,
-            stats: PlanStats {
-                rows_read: core.rows_read(),
-                samples: core.samples(),
-                tree_nodes: tree.tree().node_count(),
-                truncated: tree.truncated(),
-                planning_time: t0.elapsed(),
-            },
-        }
+        let unit = schema.measure(query.measure()).unit;
+        let sampler = CoreSampler::new(core, cfg.rows_per_iteration, self.cache.clone(), cfg.seed);
+        let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit);
+        SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
     }
+}
 
-    /// Offer this run's results to the semantic cache: exact aggregates
-    /// when the scan was exhausted (uncapped), and the logged uniform row
-    /// prefix as a warm-start snapshot for scope-overlapping queries.
-    fn admit(&self, core: &PlannerCore<'_>, query: &Query) {
-        let Some(cache) = &self.cache else { return };
-        if let Some((counts, sums)) = core.cache().exact_result() {
-            cache.admit_exact(&query.key(), counts, sums);
-        }
-        if let Some(snap) = core.take_snapshot(self.config.seed) {
-            cache.admit_snapshot(&query.key().scope(), snap);
-        }
+/// Offer a run's results to the semantic cache: exact aggregates when the
+/// scan was exhausted (uncapped), and the logged uniform row prefix as a
+/// warm-start snapshot for scope-overlapping queries.
+pub(crate) fn admit_core(
+    semantic: &Option<Arc<SemanticCache>>,
+    seed: u64,
+    core: &PlannerCore<'_>,
+    query: &Query,
+) {
+    let Some(cache) = semantic else { return };
+    if let Some((counts, sums)) = core.cache().exact_result() {
+        cache.admit_exact(&query.key(), counts, sums);
+    }
+    if let Some(snap) = core.take_snapshot(seed) {
+        cache.admit_snapshot(&query.key().scope(), snap);
     }
 }
 

@@ -48,6 +48,7 @@ pub mod holistic;
 pub mod optimal;
 pub mod outcome;
 pub mod parallel;
+pub mod pipeline;
 pub mod prior;
 pub mod sampler;
 pub mod tree;
@@ -60,6 +61,7 @@ pub use holistic::{Holistic, HolisticConfig};
 pub use optimal::Optimal;
 pub use outcome::{PlanStats, VocalizationOutcome};
 pub use parallel::ParallelHolistic;
+pub use pipeline::{CancelToken, PlannedSentence, SentenceStats, SpeechStream};
 pub use prior::PriorGreedy;
 pub use uncertainty::UncertaintyMode;
 pub use unmerged::Unmerged;

@@ -25,7 +25,8 @@ use voxolap_speech::constraints::SpeechConstraints;
 use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
-use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::stream::{Buffered, SpeechStream};
 use crate::tree::SpeechTree;
 use crate::voice::VoiceOutput;
 
@@ -168,7 +169,7 @@ pub(crate) fn plan_from_exact(
     }
     chain.reverse();
     let sentences: Vec<String> =
-        chain.iter().map(|&n| tree.sentence(n, &renderer).expect("non-root")).collect();
+        chain.iter().filter_map(|&n| tree.sentence(n, &renderer)).collect();
 
     Some(ExactPlan {
         speech: tree.speech_at(best_node),
@@ -183,12 +184,13 @@ impl Vocalizer for Optimal {
         "optimal"
     }
 
-    fn vocalize(
+    fn stream<'a>(
         &self,
-        table: &Table,
-        query: &Query,
-        voice: &mut dyn VoiceOutput,
-    ) -> VocalizationOutcome {
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+    ) -> SpeechStream<'a> {
         let cfg = &self.config;
         let t0 = Instant::now();
         let schema = table.schema();
@@ -216,45 +218,22 @@ impl Vocalizer for Optimal {
         };
         let rows_read = if hit { 0 } else { table.row_count() as u64 };
 
-        let Some(plan) = plan_from_exact(schema, query, &exact, cfg) else {
-            let sentence = "No data matches the query scope.".to_string();
-            let latency = t0.elapsed();
-            voice.start(&preamble);
-            voice.start(&sentence);
-            return VocalizationOutcome {
-                speech: None,
-                preamble,
-                sentences: vec![sentence],
-                latency,
-                stats: PlanStats {
-                    rows_read,
-                    samples: 0,
-                    tree_nodes: 0,
-                    truncated: false,
-                    planning_time: t0.elapsed(),
-                },
-            };
+        let source = match plan_from_exact(schema, query, &exact, cfg) {
+            Some(plan) => Buffered::planned(
+                plan.sentences,
+                Some(plan.speech),
+                0,
+                rows_read,
+                plan.tree_nodes,
+                plan.truncated,
+            ),
+            None => Buffered::no_data(rows_read, None),
         };
 
+        // Only now does output start: latency includes the full scan.
         let latency = t0.elapsed();
         voice.start(&preamble);
-        for s in &plan.sentences {
-            voice.start(s);
-        }
-
-        VocalizationOutcome {
-            speech: Some(plan.speech),
-            preamble,
-            sentences: plan.sentences,
-            latency,
-            stats: PlanStats {
-                rows_read,
-                samples: 0,
-                tree_nodes: plan.tree_nodes,
-                truncated: plan.truncated,
-                planning_time: t0.elapsed(),
-            },
-        }
+        SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
     }
 }
 

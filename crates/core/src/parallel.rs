@@ -29,7 +29,7 @@
 //! scheduling and are **not** bit-reproducible; experiments use the
 //! cooperative engine, interactive deployments use this one.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,15 +49,16 @@ use voxolap_speech::candidates::CandidateGenerator;
 use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
-use crate::holistic::{exact_hit_outcome, relevant_aggs, HolisticConfig};
-use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::holistic::{exact_hit_stream, HolisticConfig};
+use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::driver::{CoopSource, MultiSource, ShardSampler};
+use crate::pipeline::stream::{Buffered, SpeechStream};
 use crate::sampler::{calibrated_sigma, RowLog, SelectionPolicy, SIGMA_FALLBACK};
 use crate::tree::SpeechTree;
-use crate::uncertainty::{annotate, UncertaintyMode};
 use crate::voice::VoiceOutput;
 
 /// How long the committing thread sleeps between `VO.IsPlaying` polls.
-const POLL_INTERVAL: Duration = Duration::from_millis(2);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(2);
 
 /// Stream separation constant for per-worker RNGs (an arbitrary odd
 /// multiplier); worker 0's seed is exactly [`PlannerCore`]'s so the
@@ -120,7 +121,7 @@ impl ParallelHolistic {
 /// shared cache and tree.
 pub(crate) struct ShardWorker<'a> {
     query: &'a Query,
-    cache: &'a ShardedSampleCache,
+    cache: Arc<ShardedSampleCache>,
     scanner: RowScanner<'a>,
     rng: StdRng,
     scratch: ResampleScratch,
@@ -139,7 +140,7 @@ impl<'a> ShardWorker<'a> {
     pub(crate) fn new(
         table: &'a Table,
         query: &'a Query,
-        cache: &'a ShardedSampleCache,
+        cache: Arc<ShardedSampleCache>,
         config: &HolisticConfig,
         shard: usize,
         n_shards: usize,
@@ -224,6 +225,17 @@ impl<'a> ShardWorker<'a> {
         self.cache.overall_estimate(self.query.fct())
     }
 
+    /// The query this worker samples for.
+    pub(crate) fn query(&self) -> &'a Query {
+        self.query
+    }
+
+    /// Extract this worker's scan count and row log for semantic-cache
+    /// snapshot admission (consumes the log).
+    pub(crate) fn take_result(&mut self) -> (u64, Option<RowLog>) {
+        (self.scanner.rows_read() as u64, self.log.take())
+    }
+
     /// One sampling iteration against the shared tree — the parallel
     /// counterpart of `PlannerCore::sample_once`, with the same RNG
     /// consumption order so worker 0 in single-thread mode reproduces it.
@@ -247,7 +259,9 @@ impl<'a> ShardWorker<'a> {
             SelectionPolicy::Uct => t.select_path(from, &mut self.rng),
             SelectionPolicy::UniformRandom => t.random_path(from, &mut self.rng),
         };
-        let leaf = *path.last().expect("path is never empty");
+        let Some(&leaf) = path.last() else {
+            return 0.0;
+        };
         let reward = if est.is_finite() {
             let coords = layout.coords_of_agg(agg);
             let mean = tree.mean_for(leaf, &coords);
@@ -300,10 +314,13 @@ pub fn sampling_throughput(
     let threads = threads.max(1);
     let schema = table.schema();
     let renderer = Renderer::new(schema, query);
-    let cache = ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
-        .with_resample_size(config.resample_size);
-    let mut workers: Vec<ShardWorker<'_>> =
-        (0..threads).map(|w| ShardWorker::new(table, query, &cache, config, w, threads)).collect();
+    let cache = Arc::new(
+        ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
+            .with_resample_size(config.resample_size),
+    );
+    let mut workers: Vec<ShardWorker<'_>> = (0..threads)
+        .map(|w| ShardWorker::new(table, query, cache.clone(), config, w, threads))
+        .collect();
     let overall = workers[0].warmup(config.warmup_rows).unwrap_or(0.0);
     let sigma = calibrated_sigma(overall, config.sigma_override);
     for w in &mut workers {
@@ -349,49 +366,25 @@ pub fn sampling_throughput(
     }
 }
 
-/// Outcome for a query whose scope matched no rows at all.
-fn no_data_outcome(
-    preamble: String,
-    latency: Duration,
-    rows_read: u64,
-    voice: &mut dyn VoiceOutput,
-    t0: Instant,
-) -> VocalizationOutcome {
-    let sentence = "No data matches the query scope.".to_string();
-    voice.start(&sentence);
-    VocalizationOutcome {
-        speech: None,
-        preamble,
-        sentences: vec![sentence],
-        latency,
-        stats: PlanStats {
-            rows_read,
-            samples: 0,
-            tree_nodes: 0,
-            truncated: false,
-            planning_time: t0.elapsed(),
-        },
-    }
-}
-
 impl Vocalizer for ParallelHolistic {
     fn name(&self) -> &'static str {
         "holistic-parallel"
     }
 
-    fn vocalize(
+    fn stream<'a>(
         &self,
-        table: &Table,
-        query: &Query,
-        voice: &mut dyn VoiceOutput,
-    ) -> VocalizationOutcome {
-        let cfg = &self.config;
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+    ) -> SpeechStream<'a> {
+        let cfg = self.config.clone();
 
         // Semantic cache, layer 1: a repeat of an exactly-answered query
         // skips sampling entirely and plans against stored aggregates.
         if let Some(sem) = &self.cache {
             if let Some(data) = sem.lookup_exact(&query.key()) {
-                return exact_hit_outcome(table, query, voice, &data, &cfg.exact_cfg());
+                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg());
             }
         }
 
@@ -405,10 +398,12 @@ impl Vocalizer for ParallelHolistic {
         let latency = t0.elapsed();
 
         let n_workers = self.threads;
-        let cache = ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
-            .with_resample_size(cfg.resample_size);
-        let mut workers: Vec<ShardWorker<'_>> = (0..n_workers)
-            .map(|w| ShardWorker::new(table, query, &cache, cfg, w, n_workers))
+        let cache = Arc::new(
+            ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
+                .with_resample_size(cfg.resample_size),
+        );
+        let mut workers: Vec<ShardWorker<'a>> = (0..n_workers)
+            .map(|w| ShardWorker::new(table, query, cache.clone(), &cfg, w, n_workers))
             .collect();
 
         // Semantic cache, layer 2: seed the shared cache from a snapshot
@@ -448,11 +443,18 @@ impl Vocalizer for ParallelHolistic {
 
         // Warm up on worker 0's shard (a uniform sample of the table).
         let Some(overall) = workers[0].warmup(cfg.warmup_rows) else {
+            // Not one row in scope: report that, and still admit the
+            // (possibly exhausted) scan to the semantic cache at finish.
             let results: Vec<(u64, Option<RowLog>)> =
-                workers.iter_mut().map(|w| (w.scanner.rows_read() as u64, w.log.take())).collect();
-            let fresh = cache.nr_read() - seeded_total;
-            self.admit(&cache, query, donor_rows, &seeded_reads, results);
-            return no_data_outcome(preamble, latency, fresh, voice, t0);
+                workers.iter_mut().map(|w| w.take_result()).collect();
+            let fresh = cache.nr_read().saturating_sub(seeded_total);
+            let semantic = self.cache.clone();
+            let seed = cfg.seed;
+            let admit = move || {
+                admit_parallel(&semantic, seed, &cache, query, donor_rows, &seeded_reads, results);
+            };
+            let source = Buffered::no_data(fresh, Some(Box::new(admit)));
+            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source));
         };
         let sigma = calibrated_sigma(overall, cfg.sigma_override);
         for w in &mut workers {
@@ -465,154 +467,75 @@ impl Vocalizer for ParallelHolistic {
 
         let layout = query.layout();
         let unit = schema.measure(query.measure()).unit;
-        let mut sentences: Vec<String> = Vec::new();
-        let samples = AtomicU64::new(0);
-        let mut current = SpeechTree::ROOT;
 
-        let worker_results: Vec<(u64, Option<RowLog>)> = if n_workers == 1 {
-            // Cooperative deterministic mode: Algorithm 1 on the calling
-            // thread, plain (vloss-free) descent — matches Holistic.
-            let mut worker = workers.pop().expect("one worker");
-            loop {
-                let mut iterations = 0u64;
-                while voice.is_playing() || iterations < cfg.min_samples_per_sentence {
-                    worker.sample_once(&tree, current, false);
-                    iterations += 1;
-                }
-                samples.fetch_add(iterations, Ordering::Relaxed);
-                let Some(next) =
-                    commit_step(&tree, &mut current, &renderer, cfg, &cache, layout, unit)
-                else {
-                    break;
-                };
-                sentences.push(next.clone());
-                voice.start(&next);
-            }
-            vec![(worker.scanner.rows_read() as u64, worker.log.take())]
+        if n_workers == 1 {
+            // Cooperative deterministic mode: the shared driver loop on
+            // the calling thread, plain (vloss-free) descent — matches
+            // Holistic bit for bit under a fixed seed.
+            let Some(worker) = workers.pop() else { unreachable!("threads >= 1") };
+            let sampler = ShardSampler::new(
+                worker,
+                cache,
+                seeded_total,
+                donor_rows,
+                seeded_reads,
+                self.cache.clone(),
+                cfg.seed,
+            );
+            let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit);
+            SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
         } else {
-            let shared_current = AtomicU32::new(SpeechTree::ROOT.index() as u32);
-            let stop = AtomicBool::new(false);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n_workers);
-                for mut worker in workers {
-                    let tree = &tree;
-                    let shared_current = &shared_current;
-                    let stop = &stop;
-                    let samples = &samples;
-                    handles.push(scope.spawn(move || {
-                        while !stop.load(Ordering::Relaxed) {
-                            let from = NodeId(shared_current.load(Ordering::Acquire));
-                            worker.sample_once(tree, from, true);
-                            samples.fetch_add(1, Ordering::Relaxed);
-                        }
-                        (worker.scanner.rows_read() as u64, worker.log.take())
-                    }));
-                }
-
-                // Commit loop: sleep while the voice plays (workers sample
-                // in the background), then advance the shared root.
-                loop {
-                    let sentence_started = samples.load(Ordering::Relaxed);
-                    while voice.is_playing() {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
-                    // Progress floor for near-instant voices.
-                    while samples.load(Ordering::Relaxed)
-                        < sentence_started + cfg.min_samples_per_sentence
-                    {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
-                    let Some(next) =
-                        commit_step(&tree, &mut current, &renderer, cfg, &cache, layout, unit)
-                    else {
-                        break;
-                    };
-                    shared_current.store(current.index() as u32, Ordering::Release);
-                    sentences.push(next.clone());
-                    voice.start(&next);
-                }
-                stop.store(true, Ordering::Relaxed);
-                handles.into_iter().map(|h| h.join().expect("planning worker panicked")).collect()
-            })
-        };
-
-        let outcome = VocalizationOutcome {
-            speech: Some(tree.speech_at(current)),
-            preamble,
-            sentences,
-            latency,
-            stats: PlanStats {
-                rows_read: cache.nr_read() - seeded_total,
-                samples: samples.load(Ordering::Relaxed),
-                tree_nodes: tree.tree().node_count(),
-                truncated: tree.truncated(),
-                planning_time: t0.elapsed(),
-            },
-        };
-        self.admit(&cache, query, donor_rows, &seeded_reads, worker_results);
-        outcome
+            let seed = cfg.seed;
+            let source = MultiSource::new(
+                workers,
+                cache,
+                tree,
+                renderer,
+                cfg,
+                layout,
+                unit,
+                seeded_total,
+                donor_rows,
+                seeded_reads,
+                self.cache.clone(),
+                seed,
+                query,
+            );
+            SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
+        }
     }
 }
 
-impl ParallelHolistic {
-    /// Offer this run's results to the semantic cache: exact aggregates
-    /// when the scan was exhausted, and the combined donor-prefix + fresh
-    /// per-shard row logs as a warm-start snapshot.
-    fn admit(
-        &self,
-        shared: &ShardedSampleCache,
-        query: &Query,
-        donor_rows: Vec<LoggedRow>,
-        seeded_reads: &[u64],
-        worker_results: Vec<(u64, Option<RowLog>)>,
-    ) {
-        let Some(sem) = &self.cache else { return };
-        if let Some((counts, sums)) = shared.exact_result() {
-            sem.admit_exact(&query.key(), counts, sums);
-        }
-        let mut rows = donor_rows;
-        let mut shard_reads = Vec::with_capacity(worker_results.len());
-        for (fresh, log) in worker_results {
-            let Some(log) = log else { return };
-            if log.overflowed() {
-                return;
-            }
-            shard_reads.push(seeded_reads[shard_reads.len()] + fresh);
-            rows.extend_from_slice(log.rows());
-        }
-        sem.admit_snapshot(
-            &query.key().scope(),
-            SampleSnapshot { seed: self.config.seed, shard_reads, nr_read: shared.nr_read(), rows },
-        );
+/// Offer a parallel run's results to the semantic cache: exact aggregates
+/// when the scan was exhausted, and the combined donor-prefix + fresh
+/// per-shard row logs as a warm-start snapshot.
+pub(crate) fn admit_parallel(
+    semantic: &Option<Arc<SemanticCache>>,
+    seed: u64,
+    shared: &ShardedSampleCache,
+    query: &Query,
+    donor_rows: Vec<LoggedRow>,
+    seeded_reads: &[u64],
+    worker_results: Vec<(u64, Option<RowLog>)>,
+) {
+    let Some(sem) = semantic else { return };
+    if let Some((counts, sums)) = shared.exact_result() {
+        sem.admit_exact(&query.key(), counts, sums);
     }
-}
-
-/// Advance `current` to its best-mean child and render that sentence
-/// (with the configured uncertainty annotation); `None` when the walk is
-/// finished.
-#[allow(clippy::too_many_arguments)]
-fn commit_step(
-    tree: &SpeechTree,
-    current: &mut NodeId,
-    renderer: &Renderer<'_>,
-    cfg: &HolisticConfig,
-    cache: &ShardedSampleCache,
-    layout: &voxolap_engine::query::ResultLayout,
-    unit: voxolap_data::schema::MeasureUnit,
-) -> Option<String> {
-    if tree.tree().is_leaf(*current) {
-        return None;
-    }
-    let next = tree.tree().best_child(*current)?;
-    *current = next;
-    let mut sentence = tree.sentence(next, renderer).expect("committed nodes are never the root");
-    if !matches!(cfg.uncertainty, UncertaintyMode::Off) {
-        let aggs = relevant_aggs(tree, next, layout);
-        if let Some(extra) = annotate(cfg.uncertainty, cache, layout, &aggs, unit) {
-            sentence = format!("{sentence} {extra}");
+    let mut rows = donor_rows;
+    let mut shard_reads = Vec::with_capacity(worker_results.len());
+    for (fresh, log) in worker_results {
+        let Some(log) = log else { return };
+        if log.overflowed() {
+            return;
         }
+        shard_reads.push(seeded_reads[shard_reads.len()] + fresh);
+        rows.extend_from_slice(log.rows());
     }
-    Some(sentence)
+    sem.admit_snapshot(
+        &query.key().scope(),
+        SampleSnapshot { seed, shard_reads, nr_read: shared.nr_read(), rows },
+    );
 }
 
 #[cfg(test)]
@@ -624,6 +547,7 @@ mod tests {
     use voxolap_speech::constraints::SpeechConstraints;
 
     use crate::holistic::Holistic;
+    use crate::uncertainty::UncertaintyMode;
     use crate::voice::InstantVoice;
 
     /// A wall-clock voice local to these tests (the production one lives

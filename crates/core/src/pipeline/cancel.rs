@@ -1,0 +1,102 @@
+//! Cooperative cancellation for in-flight planning.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between the party
+//! driving a [`SpeechStream`](crate::pipeline::SpeechStream) and the
+//! planner sampling inside it. The planner polls [`CancelToken::fired`]
+//! once per sampling iteration, so a dropped client stops sampling within
+//! one iteration — the paper's pipelining loop becomes interruptible
+//! without any thread being killed mid-update.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional hard deadline.
+///
+/// Cloning shares the flag: cancelling any clone fires all of them.
+/// Without a deadline, [`fired`](CancelToken::fired) is a single relaxed
+/// atomic load — cheap enough to sit inside the sampling hot loop.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh token that fires only when [`cancel`](CancelToken::cancel)
+    /// is called.
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that nobody holds a cancelling handle to — the blocking
+    /// `vocalize()` path uses this, keeping its behavior (and its voice
+    /// polling sequence) identical to an uncancellable run.
+    pub fn never() -> Self {
+        Self::new()
+    }
+
+    /// A token that additionally fires once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Fire the token: every planner polling a clone of it stops within
+    /// one sampling iteration.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether planning should stop (explicit cancel or deadline passed).
+    #[inline]
+    pub fn fired(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_on_cancel_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.fired());
+        token.cancel();
+        assert!(clone.fired());
+    }
+
+    #[test]
+    fn deadline_fires_without_explicit_cancel() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.fired());
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.fired());
+    }
+
+    #[test]
+    fn never_token_does_not_fire() {
+        assert!(!CancelToken::never().fired());
+    }
+}

@@ -1,0 +1,406 @@
+//! The shared Plan/Sample → Commit driver.
+//!
+//! Holistic, ParallelHolistic (both modes), and Unmerged used to carry
+//! near-identical control loops; this module owns the one loop they all
+//! share. A [`SampleStep`] abstracts the ingestion strategy — the
+//! sequential [`PlannerCore`] or a sharded [`ShardWorker`] — and
+//! [`plan_next_sentence`] runs Algorithm 1's per-sentence round against
+//! it: sample while the previous sentence plays (or until the progress
+//! floor), then commit to the best-mean child and render it. The
+//! multi-threaded engine gets its own [`MultiSource`] whose per-sentence
+//! round fans the same sampling out over scoped worker threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use voxolap_data::schema::MeasureUnit;
+use voxolap_engine::query::{Query, ResultLayout};
+use voxolap_engine::semantic::{LoggedRow, SemanticCache};
+use voxolap_engine::sharded::ShardedSampleCache;
+use voxolap_mcts::NodeId;
+use voxolap_speech::render::Renderer;
+
+use crate::holistic::{admit_core, relevant_aggs, HolisticConfig};
+use crate::parallel::{admit_parallel, ShardWorker, POLL_INTERVAL};
+use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::stream::{FinishInfo, SentenceSource};
+use crate::sampler::{PlannerCore, RowLog};
+use crate::tree::SpeechTree;
+use crate::uncertainty::{annotate, ConfidenceSource, UncertaintyMode};
+use crate::voice::VoiceOutput;
+
+/// One sampling strategy driving the shared per-sentence loop.
+pub(crate) trait SampleStep {
+    /// One sampling iteration rooted at `from`.
+    fn step(&mut self, tree: &mut SpeechTree, from: NodeId);
+
+    /// Cumulative sampling iterations.
+    fn samples(&self) -> u64;
+
+    /// Cumulative (fresh) rows read.
+    fn rows_read(&self) -> u64;
+
+    /// The cache backing uncertainty annotations.
+    fn confidence(&self) -> &dyn ConfidenceSource;
+
+    /// Offer this run's results to the semantic cache (once, at finish).
+    fn admit(&mut self);
+}
+
+/// [`SampleStep`] over the sequential [`PlannerCore`] — the Holistic
+/// engine's ingestion strategy.
+pub(crate) struct CoreSampler<'a> {
+    core: PlannerCore<'a>,
+    rows_per_iteration: usize,
+    semantic: Option<Arc<SemanticCache>>,
+    seed: u64,
+}
+
+impl<'a> CoreSampler<'a> {
+    pub(crate) fn new(
+        core: PlannerCore<'a>,
+        rows_per_iteration: usize,
+        semantic: Option<Arc<SemanticCache>>,
+        seed: u64,
+    ) -> Self {
+        CoreSampler { core, rows_per_iteration, semantic, seed }
+    }
+}
+
+impl SampleStep for CoreSampler<'_> {
+    fn step(&mut self, tree: &mut SpeechTree, from: NodeId) {
+        self.core.sample_once(tree, from, self.rows_per_iteration);
+    }
+
+    fn samples(&self) -> u64 {
+        self.core.samples()
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.core.rows_read()
+    }
+
+    fn confidence(&self) -> &dyn ConfidenceSource {
+        self.core.cache()
+    }
+
+    fn admit(&mut self) {
+        admit_core(&self.semantic, self.seed, &self.core, self.core.query());
+    }
+}
+
+/// [`SampleStep`] over a single [`ShardWorker`] — ParallelHolistic's
+/// deterministic cooperative mode (`threads == 1`), bit-identical to
+/// [`CoreSampler`] under a fixed seed.
+pub(crate) struct ShardSampler<'a> {
+    worker: ShardWorker<'a>,
+    cache: Arc<ShardedSampleCache>,
+    samples: u64,
+    seeded_total: u64,
+    donor_rows: Vec<LoggedRow>,
+    seeded_reads: Vec<u64>,
+    semantic: Option<Arc<SemanticCache>>,
+    seed: u64,
+}
+
+impl<'a> ShardSampler<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        worker: ShardWorker<'a>,
+        cache: Arc<ShardedSampleCache>,
+        seeded_total: u64,
+        donor_rows: Vec<LoggedRow>,
+        seeded_reads: Vec<u64>,
+        semantic: Option<Arc<SemanticCache>>,
+        seed: u64,
+    ) -> Self {
+        ShardSampler {
+            worker,
+            cache,
+            samples: 0,
+            seeded_total,
+            donor_rows,
+            seeded_reads,
+            semantic,
+            seed,
+        }
+    }
+}
+
+impl SampleStep for ShardSampler<'_> {
+    fn step(&mut self, tree: &mut SpeechTree, from: NodeId) {
+        self.worker.sample_once(tree, from, false);
+        self.samples += 1;
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.cache.nr_read().saturating_sub(self.seeded_total)
+    }
+
+    fn confidence(&self) -> &dyn ConfidenceSource {
+        &*self.cache
+    }
+
+    fn admit(&mut self) {
+        let results = vec![self.worker.take_result()];
+        admit_parallel(
+            &self.semantic,
+            self.seed,
+            &self.cache,
+            self.worker.query(),
+            std::mem::take(&mut self.donor_rows),
+            &self.seeded_reads,
+            results,
+        );
+    }
+}
+
+/// One per-sentence round of Algorithm 1: sample while the previously
+/// started sentence plays (plus the progress floor for instant voices),
+/// then commit. Checking the token *first* in the short-circuit keeps
+/// the voice polling sequence — and therefore the sampling iteration
+/// count — bit-identical to the pre-pipeline engines when the token
+/// never fires.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_next_sentence<S: SampleStep>(
+    sampler: &mut S,
+    tree: &mut SpeechTree,
+    current: &mut NodeId,
+    renderer: &Renderer<'_>,
+    cfg: &HolisticConfig,
+    voice: &mut dyn VoiceOutput,
+    cancel: &CancelToken,
+    layout: &ResultLayout,
+    unit: MeasureUnit,
+) -> Option<String> {
+    let mut iterations = 0u64;
+    while !cancel.fired() && (voice.is_playing() || iterations < cfg.min_samples_per_sentence) {
+        sampler.step(tree, *current);
+        iterations += 1;
+    }
+    if cancel.fired() {
+        return None;
+    }
+    commit_and_render(tree, current, renderer, cfg, sampler.confidence(), layout, unit)
+}
+
+/// Advance `current` to its best-mean child and render that sentence
+/// (with the configured uncertainty annotation); `None` when the walk is
+/// finished. Committed nodes are never the root, so `tree.sentence` is
+/// always `Some`; a `None` ends the speech instead of panicking.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_and_render(
+    tree: &SpeechTree,
+    current: &mut NodeId,
+    renderer: &Renderer<'_>,
+    cfg: &HolisticConfig,
+    confidence: &dyn ConfidenceSource,
+    layout: &ResultLayout,
+    unit: MeasureUnit,
+) -> Option<String> {
+    if tree.tree().is_leaf(*current) {
+        return None;
+    }
+    let next = tree.tree().best_child(*current)?;
+    let mut sentence = tree.sentence(next, renderer)?;
+    *current = next;
+    if !matches!(cfg.uncertainty, UncertaintyMode::Off) {
+        let aggs = relevant_aggs(tree, next, layout);
+        if let Some(extra) = annotate(cfg.uncertainty, confidence, layout, &aggs, unit) {
+            sentence = format!("{sentence} {extra}");
+        }
+    }
+    Some(sentence)
+}
+
+/// Cooperative sentence source: the shared loop over one [`SampleStep`],
+/// on the calling thread. Used by Holistic and by ParallelHolistic at
+/// `threads == 1`.
+pub(crate) struct CoopSource<'a, S> {
+    sampler: S,
+    tree: SpeechTree,
+    renderer: Renderer<'a>,
+    cfg: HolisticConfig,
+    current: NodeId,
+    layout: &'a ResultLayout,
+    unit: MeasureUnit,
+}
+
+impl<'a, S> CoopSource<'a, S> {
+    pub(crate) fn new(
+        sampler: S,
+        tree: SpeechTree,
+        renderer: Renderer<'a>,
+        cfg: HolisticConfig,
+        layout: &'a ResultLayout,
+        unit: MeasureUnit,
+    ) -> Self {
+        CoopSource { sampler, tree, renderer, cfg, current: SpeechTree::ROOT, layout, unit }
+    }
+}
+
+impl<'a, S: SampleStep> SentenceSource<'a> for CoopSource<'a, S> {
+    fn next(&mut self, voice: &mut dyn VoiceOutput, cancel: &CancelToken) -> Option<String> {
+        plan_next_sentence(
+            &mut self.sampler,
+            &mut self.tree,
+            &mut self.current,
+            &self.renderer,
+            &self.cfg,
+            voice,
+            cancel,
+            self.layout,
+            self.unit,
+        )
+    }
+
+    fn samples(&self) -> u64 {
+        self.sampler.samples()
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.sampler.rows_read()
+    }
+
+    fn finish(&mut self) -> FinishInfo {
+        self.sampler.admit();
+        FinishInfo {
+            speech: Some(self.tree.speech_at(self.current)),
+            tree_nodes: self.tree.tree().node_count(),
+            truncated: self.tree.truncated(),
+        }
+    }
+}
+
+/// Multi-threaded sentence source: each per-sentence round fans sampling
+/// out over scoped worker threads (virtual-loss UCT descent against the
+/// lock-free tree) while the calling thread paces against the voice
+/// output, then commits. Timing-dependent and not bit-reproducible —
+/// exactly like the engine it replaces.
+pub(crate) struct MultiSource<'a> {
+    workers: Vec<ShardWorker<'a>>,
+    cache: Arc<ShardedSampleCache>,
+    tree: SpeechTree,
+    renderer: Renderer<'a>,
+    cfg: HolisticConfig,
+    current: NodeId,
+    layout: &'a ResultLayout,
+    unit: MeasureUnit,
+    samples: AtomicU64,
+    seeded_total: u64,
+    donor_rows: Vec<LoggedRow>,
+    seeded_reads: Vec<u64>,
+    semantic: Option<Arc<SemanticCache>>,
+    seed: u64,
+    query: &'a Query,
+}
+
+impl<'a> MultiSource<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        workers: Vec<ShardWorker<'a>>,
+        cache: Arc<ShardedSampleCache>,
+        tree: SpeechTree,
+        renderer: Renderer<'a>,
+        cfg: HolisticConfig,
+        layout: &'a ResultLayout,
+        unit: MeasureUnit,
+        seeded_total: u64,
+        donor_rows: Vec<LoggedRow>,
+        seeded_reads: Vec<u64>,
+        semantic: Option<Arc<SemanticCache>>,
+        seed: u64,
+        query: &'a Query,
+    ) -> Self {
+        MultiSource {
+            workers,
+            cache,
+            tree,
+            renderer,
+            cfg,
+            current: SpeechTree::ROOT,
+            layout,
+            unit,
+            samples: AtomicU64::new(0),
+            seeded_total,
+            donor_rows,
+            seeded_reads,
+            semantic,
+            seed,
+            query,
+        }
+    }
+}
+
+impl<'a> SentenceSource<'a> for MultiSource<'a> {
+    fn next(&mut self, voice: &mut dyn VoiceOutput, cancel: &CancelToken) -> Option<String> {
+        let floor = self.samples.load(Ordering::Relaxed) + self.cfg.min_samples_per_sentence;
+        let stop = AtomicBool::new(false);
+        let tree = &self.tree;
+        let current = self.current;
+        let samples = &self.samples;
+        std::thread::scope(|scope| {
+            for worker in self.workers.iter_mut() {
+                let stop = &stop;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) && !cancel.fired() {
+                        worker.sample_once(tree, current, true);
+                        samples.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // The calling thread paces: sleep while the previously
+            // started sentence plays, then until the progress floor.
+            while !cancel.fired() && voice.is_playing() {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            while !cancel.fired() && samples.load(Ordering::Relaxed) < floor {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        if cancel.fired() {
+            return None;
+        }
+        commit_and_render(
+            &self.tree,
+            &mut self.current,
+            &self.renderer,
+            &self.cfg,
+            &*self.cache,
+            self.layout,
+            self.unit,
+        )
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    fn rows_read(&self) -> u64 {
+        self.cache.nr_read().saturating_sub(self.seeded_total)
+    }
+
+    fn finish(&mut self) -> FinishInfo {
+        let results: Vec<(u64, Option<RowLog>)> =
+            self.workers.iter_mut().map(|w| w.take_result()).collect();
+        admit_parallel(
+            &self.semantic,
+            self.seed,
+            &self.cache,
+            self.query,
+            std::mem::take(&mut self.donor_rows),
+            &self.seeded_reads,
+            results,
+        );
+        FinishInfo {
+            speech: Some(self.tree.speech_at(self.current)),
+            tree_nodes: self.tree.tree().node_count(),
+            truncated: self.tree.truncated(),
+        }
+    }
+}

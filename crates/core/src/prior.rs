@@ -31,7 +31,8 @@ use voxolap_speech::render::{aggregate_phrase, render_unit, Renderer};
 use voxolap_speech::verbalize::{round_significant, verbalize_value};
 
 use crate::approach::Vocalizer;
-use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::stream::{Buffered, SpeechStream};
 use crate::voice::VoiceOutput;
 
 /// A (partial) scope description: one optional coordinate index per
@@ -118,12 +119,13 @@ impl Vocalizer for PriorGreedy {
         "prior"
     }
 
-    fn vocalize(
+    fn stream<'a>(
         &self,
-        table: &Table,
-        query: &Query,
-        voice: &mut dyn VoiceOutput,
-    ) -> VocalizationOutcome {
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+    ) -> SpeechStream<'a> {
         let t0 = Instant::now();
         let schema = table.schema();
         let renderer = Renderer::new(schema, query);
@@ -178,25 +180,11 @@ impl Vocalizer for PriorGreedy {
             sentences.push(sentence);
         }
 
+        // Only now does output start: no interleaving with evaluation.
         let latency = t0.elapsed();
         voice.start(&preamble);
-        for s in &sentences {
-            voice.start(s);
-        }
-
-        VocalizationOutcome {
-            speech: None,
-            preamble,
-            sentences,
-            latency,
-            stats: PlanStats {
-                rows_read: table.row_count() as u64,
-                samples: 0,
-                tree_nodes: 0,
-                truncated: false,
-                planning_time: t0.elapsed(),
-            },
-        }
+        let source = Buffered::planned(sentences, None, 0, table.row_count() as u64, 0, false);
+        SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
     }
 }
 

@@ -379,7 +379,9 @@ impl<'a> PlannerCore<'a> {
             SelectionPolicy::Uct => tree.tree().select_path(from, &mut self.rng),
             SelectionPolicy::UniformRandom => tree.tree().random_path(from, &mut self.rng),
         };
-        let leaf = *path.last().expect("path is never empty");
+        let Some(&leaf) = path.last() else {
+            return 0.0;
+        };
         let reward = if est.is_finite() {
             let coords = layout.coords_of_agg(agg);
             let mean = tree.mean_for(leaf, &coords);

@@ -17,7 +17,8 @@ use voxolap_speech::constraints::SpeechConstraints;
 use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
-use crate::outcome::{PlanStats, VocalizationOutcome};
+use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::stream::{Buffered, SpeechStream};
 use crate::sampler::PlannerCore;
 use crate::tree::SpeechTree;
 use crate::voice::VoiceOutput;
@@ -95,12 +96,13 @@ impl Vocalizer for Unmerged {
         "unmerged"
     }
 
-    fn vocalize(
+    fn stream<'a>(
         &self,
-        table: &Table,
-        query: &Query,
-        voice: &mut dyn VoiceOutput,
-    ) -> VocalizationOutcome {
+        table: &'a Table,
+        query: &'a Query,
+        voice: &'a mut dyn VoiceOutput,
+        cancel: CancelToken,
+    ) -> SpeechStream<'a> {
         let cfg = &self.config;
         let t0 = Instant::now();
         let schema = table.schema();
@@ -109,23 +111,10 @@ impl Vocalizer for Unmerged {
 
         let mut core = PlannerCore::with_resample_size(table, query, cfg.seed, cfg.resample_size);
         let Some(overall) = core.warmup(cfg.warmup_rows) else {
-            let sentence = "No data matches the query scope.".to_string();
             let latency = t0.elapsed();
             voice.start(&preamble);
-            voice.start(&sentence);
-            return VocalizationOutcome {
-                speech: None,
-                preamble,
-                sentences: vec![sentence],
-                latency,
-                stats: PlanStats {
-                    rows_read: core.rows_read(),
-                    samples: 0,
-                    tree_nodes: 0,
-                    truncated: false,
-                    planning_time: t0.elapsed(),
-                },
-            };
+            let source = Buffered::no_data(core.rows_read(), None);
+            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source));
         };
         core.calibrate_sigma(overall, cfg.sigma_override);
 
@@ -133,16 +122,20 @@ impl Vocalizer for Unmerged {
         let mut tree =
             SpeechTree::build(&generator, &renderer, &cfg.constraints, overall, cfg.max_tree_nodes);
 
-        // Sample until the budget runs out — no voice output yet.
+        // Sample until the budget runs out (or the consumer cancels) —
+        // no voice output yet.
         match cfg.budget {
             SamplingBudget::WallClock(d) => {
                 let deadline = t0 + d;
-                while Instant::now() < deadline {
+                while Instant::now() < deadline && !cancel.fired() {
                     core.sample_once(&mut tree, SpeechTree::ROOT, cfg.rows_per_iteration);
                 }
             }
             SamplingBudget::Iterations(n) => {
                 for _ in 0..n {
+                    if cancel.fired() {
+                        break;
+                    }
                     core.sample_once(&mut tree, SpeechTree::ROOT, cfg.rows_per_iteration);
                 }
             }
@@ -155,8 +148,9 @@ impl Vocalizer for Unmerged {
             if tree.tree().visits(next) == 0 {
                 break;
             }
+            let Some(sentence) = tree.sentence(next, &renderer) else { break };
             current = next;
-            sentences.push(tree.sentence(current, &renderer).expect("non-root"));
+            sentences.push(sentence);
         }
         // A budget too tight to sample even once (huge trees eat it during
         // expansion) must still produce output: fall back to the baseline
@@ -169,31 +163,25 @@ impl Vocalizer for Unmerged {
                     da.total_cmp(&db)
                 });
             if let Some(node) = nearest {
-                current = node;
-                sentences.push(tree.sentence(current, &renderer).expect("non-root"));
+                if let Some(sentence) = tree.sentence(node, &renderer) {
+                    current = node;
+                    sentences.push(sentence);
+                }
             }
         }
 
         // Only now does output start: latency includes the whole budget.
         let latency = t0.elapsed();
         voice.start(&preamble);
-        for s in &sentences {
-            voice.start(s);
-        }
-
-        VocalizationOutcome {
-            speech: Some(tree.speech_at(current)),
-            preamble,
+        let source = Buffered::planned(
             sentences,
-            latency,
-            stats: PlanStats {
-                rows_read: core.rows_read(),
-                samples: core.samples(),
-                tree_nodes: tree.tree().node_count(),
-                truncated: tree.truncated(),
-                planning_time: t0.elapsed(),
-            },
-        }
+            Some(tree.speech_at(current)),
+            core.samples(),
+            core.rows_read(),
+            tree.tree().node_count(),
+            tree.truncated(),
+        );
+        SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
     }
 }
 

@@ -7,7 +7,9 @@
 //! between the two compared vocalization methods for each single query").
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use voxolap_json::Value;
@@ -19,17 +21,25 @@ use voxolap_core::outcome::VocalizationOutcome;
 use voxolap_core::parallel::ParallelHolistic;
 use voxolap_core::prior::PriorGreedy;
 use voxolap_core::unmerged::{Unmerged, UnmergedConfig};
-use voxolap_core::voice::InstantVoice;
+use voxolap_core::voice::{InstantVoice, VirtualVoice, VoiceOutput};
+use voxolap_core::CancelToken;
 use voxolap_data::stats::DatasetStats;
 use voxolap_data::Table;
+use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response as SessionResponse, Session};
+use voxolap_voice::tts::RealTimeVoice;
 
 use crate::http::{HttpMetrics, Request, Response};
 
 /// Default semantic-cache budget when `--cache-mb` is not given.
 const DEFAULT_CACHE_MB: usize = 64;
+
+/// Speaking rate of the wall-clock voice pacing multi-threaded streams:
+/// fast enough that a stream completes promptly, slow enough that the
+/// planner genuinely samples behind each "playing" sentence.
+const STREAM_CHARS_PER_SEC: f64 = 2_000.0;
 
 /// Per-session state: the applied command log, replayed into a fresh
 /// [`Session`] per request (sessions are small — tens of commands).
@@ -37,16 +47,27 @@ pub type SessionStore = Mutex<HashMap<String, Vec<String>>>;
 
 /// Shared application state.
 pub struct AppState {
-    table: Table,
+    table: Arc<Table>,
     sessions: SessionStore,
     /// Planning threads used by the `parallel` approach.
     threads: usize,
     /// Cross-query semantic cache shared by all requests (`None` when
     /// disabled via `--cache-mb 0`).
     semantic: Option<Arc<SemanticCache>>,
+    /// One vocalizer per approach, built on first use and reused by every
+    /// subsequent request (vocalizers are stateless apart from shared
+    /// caches, so one instance serves all connections).
+    vocalizers: Mutex<HashMap<String, Arc<dyn Vocalizer>>>,
     /// Per-query planning latencies in milliseconds, for `/stats`
     /// percentiles.
-    latencies_ms: Mutex<Vec<f64>>,
+    latencies_ms: Arc<Mutex<Vec<f64>>>,
+    /// Time-to-first-sentence samples in milliseconds, fed by both the
+    /// blocking and the streaming query paths.
+    ttfs_ms: Arc<Mutex<Vec<f64>>>,
+    /// Gaps between consecutive planned sentences, in milliseconds.
+    gap_ms: Arc<Mutex<Vec<f64>>>,
+    /// Streams aborted because the client hung up mid-stream.
+    stream_cancellations: Arc<AtomicU64>,
     /// Serving-layer counters shared with the HTTP pool (`None` when the
     /// state is exercised without a real server, e.g. in unit tests).
     http_metrics: Option<Arc<HttpMetrics>>,
@@ -183,17 +204,33 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Count + p50/p90/p99 summary of one sample vector, for `/stats`.
+fn dist_json(samples: &Mutex<Vec<f64>>) -> Value {
+    let mut l = samples.lock().clone();
+    l.sort_by(|a, b| a.total_cmp(b));
+    Value::obj([
+        ("count", l.len().into()),
+        ("p50", percentile(&l, 50.0).into()),
+        ("p90", percentile(&l, 90.0).into()),
+        ("p99", percentile(&l, 99.0).into()),
+    ])
+}
+
 impl AppState {
     /// Create state over one dataset, with all cores available to the
     /// `parallel` approach and a default-sized semantic cache.
     pub fn new(table: Table) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         AppState {
-            table,
+            table: Arc::new(table),
             sessions: Mutex::new(HashMap::new()),
             threads,
             semantic: Some(Arc::new(SemanticCache::with_capacity_mb(DEFAULT_CACHE_MB))),
-            latencies_ms: Mutex::new(Vec::new()),
+            vocalizers: Mutex::new(HashMap::new()),
+            latencies_ms: Arc::new(Mutex::new(Vec::new())),
+            ttfs_ms: Arc::new(Mutex::new(Vec::new())),
+            gap_ms: Arc::new(Mutex::new(Vec::new())),
+            stream_cancellations: Arc::new(AtomicU64::new(0)),
             http_metrics: None,
             debug_routes: false,
         }
@@ -248,6 +285,7 @@ impl AppState {
                 panic!("debug route: deliberate handler panic")
             }
             ("POST", "/ask") => self.handle_ask(req),
+            ("POST", "/query/stream") => self.handle_query_stream(req),
             ("POST", path) => {
                 match path.strip_prefix("/session/").and_then(|rest| rest.strip_suffix("/input")) {
                     Some(id) if !id.is_empty() && !id.contains('/') => {
@@ -299,7 +337,24 @@ impl AppState {
         ])
     }
 
-    /// Planning-latency percentiles over the queries served so far.
+    /// Look up (or lazily build) the shared vocalizer for `approach`.
+    /// `"concurrent"` aliases `"parallel"` so both names share one
+    /// instance.
+    fn vocalizer_for(&self, approach: &str) -> Result<Arc<dyn Vocalizer>, String> {
+        let key = if approach == "concurrent" { "parallel" } else { approach };
+        let mut cache = self.vocalizers.lock();
+        if let Some(v) = cache.get(key) {
+            return Ok(Arc::clone(v));
+        }
+        let v: Arc<dyn Vocalizer> =
+            Arc::from(make_vocalizer(key, self.threads, self.semantic.as_ref())?);
+        cache.insert(key.to_string(), Arc::clone(&v));
+        Ok(v)
+    }
+
+    /// Planning-latency percentiles over the queries served so far, plus
+    /// the streaming counters (time-to-first-sentence, inter-sentence
+    /// gaps, client-abort count).
     fn latency_json(&self) -> Value {
         let mut l = self.latencies_ms.lock().clone();
         l.sort_by(|a, b| a.total_cmp(b));
@@ -308,6 +363,9 @@ impl AppState {
             ("p50", percentile(&l, 50.0).into()),
             ("p90", percentile(&l, 90.0).into()),
             ("p99", percentile(&l, 99.0).into()),
+            ("ttfs_ms", dist_json(&self.ttfs_ms)),
+            ("gap_ms", dist_json(&self.gap_ms)),
+            ("stream_cancellations", self.stream_cancellations.load(Ordering::Relaxed).into()),
         ])
     }
 
@@ -315,12 +373,37 @@ impl AppState {
         self.latencies_ms.lock().push(outcome.stats.planning_time.as_secs_f64() * 1e3);
     }
 
+    /// Drain a sentence stream for a blocking endpoint, feeding the same
+    /// time-to-first-sentence and gap counters as the streaming path.
+    fn drive_stream(
+        &self,
+        vocalizer: &dyn Vocalizer,
+        query: &Query,
+        voice: &mut dyn VoiceOutput,
+    ) -> VocalizationOutcome {
+        let t0 = Instant::now();
+        let mut stream = vocalizer.stream(&self.table, query, voice, CancelToken::never());
+        let mut last = t0;
+        let mut first = true;
+        while stream.next_sentence().is_some() {
+            let now = Instant::now();
+            if first {
+                self.ttfs_ms.lock().push((now - t0).as_secs_f64() * 1e3);
+                first = false;
+            } else {
+                self.gap_ms.lock().push((now - last).as_secs_f64() * 1e3);
+            }
+            last = now;
+        }
+        stream.finish()
+    }
+
     fn handle_ask(&self, req: &Request) -> Response {
         let Some(ask) = AskRequest::from_body(&req.body) else {
             return Response::error(400, "expected {\"question\": \"...\"}");
         };
         let approach = ask.approach.as_deref().unwrap_or("holistic");
-        let vocalizer = match make_vocalizer(approach, self.threads, self.semantic.as_ref()) {
+        let vocalizer = match self.vocalizer_for(approach) {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
@@ -329,9 +412,99 @@ impl AppState {
             Err(e) => return Response::error(400, &e.to_string()),
         };
         let mut voice = InstantVoice::default();
-        let outcome = vocalizer.vocalize(&self.table, &query, &mut voice);
+        let outcome = self.drive_stream(vocalizer.as_ref(), &query, &mut voice);
         self.record_latency(&outcome);
         Response::ok(AnswerResponse::from_outcome(approach, &outcome).to_json().to_string())
+    }
+
+    /// `POST /query/stream`: plan and emit sentences incrementally as
+    /// newline-delimited JSON over chunked transfer encoding, paced by a
+    /// [`VirtualVoice`]. The planner keeps sampling while each sentence
+    /// "plays"; a client hang-up fires the [`CancelToken`] and stops
+    /// sampling within one sentence's iteration budget.
+    fn handle_query_stream(&self, req: &Request) -> Response {
+        let Some(ask) = AskRequest::from_body(&req.body) else {
+            return Response::error(400, "expected {\"question\": \"...\"}");
+        };
+        let approach = ask.approach.as_deref().unwrap_or("holistic").to_string();
+        let vocalizer = match self.vocalizer_for(&approach) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e),
+        };
+        let query = match parse_question(self.table.schema(), &ask.question) {
+            Ok(q) => q,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let table = Arc::clone(&self.table);
+        let latencies = Arc::clone(&self.latencies_ms);
+        let ttfs = Arc::clone(&self.ttfs_ms);
+        let gaps = Arc::clone(&self.gap_ms);
+        let cancellations = Arc::clone(&self.stream_cancellations);
+        Response::streaming(move |w| {
+            // The cooperative planners pace on a virtual voice (speaking
+            // time measured in planner iterations); the multi-threaded
+            // planner paces its workers on the wall clock, so it gets a
+            // fast real-time voice instead.
+            let mut voice: Box<dyn VoiceOutput> = if vocalizer.name() == "holistic-parallel" {
+                Box::new(RealTimeVoice::new(STREAM_CHARS_PER_SEC))
+            } else {
+                Box::new(VirtualVoice::default())
+            };
+            let voice = voice.as_mut();
+            let cancel = CancelToken::new();
+            let t0 = Instant::now();
+            let mut stream = vocalizer.stream(&table, &query, voice, cancel.clone());
+            let head = Value::obj([
+                ("type", "preamble".into()),
+                ("text", stream.preamble().into()),
+                ("latency_ms", (stream.latency().as_secs_f64() * 1e3).into()),
+            ]);
+            if !w.send(&format!("{head}\n")) {
+                cancel.cancel();
+            }
+            let mut last = t0;
+            let mut first = true;
+            loop {
+                if w.client_gone() {
+                    cancel.cancel();
+                }
+                let Some(sentence) = stream.next_sentence() else { break };
+                let now = Instant::now();
+                if first {
+                    ttfs.lock().push((now - t0).as_secs_f64() * 1e3);
+                    first = false;
+                } else {
+                    gaps.lock().push((now - last).as_secs_f64() * 1e3);
+                }
+                last = now;
+                let line = Value::obj([
+                    ("type", "sentence".into()),
+                    ("index", sentence.index.into()),
+                    ("text", sentence.text.as_str().into()),
+                    ("samples", sentence.stats.samples.into()),
+                    ("rows_read", sentence.stats.rows_read.into()),
+                    ("elapsed_ms", (sentence.stats.elapsed.as_secs_f64() * 1e3).into()),
+                ]);
+                if !w.send(&format!("{line}\n")) {
+                    cancel.cancel();
+                }
+            }
+            let cancelled = stream.is_cancelled();
+            let outcome = stream.finish();
+            latencies.lock().push(outcome.stats.planning_time.as_secs_f64() * 1e3);
+            if cancelled {
+                cancellations.fetch_add(1, Ordering::Relaxed);
+            }
+            let done = Value::obj([
+                ("type", "done".into()),
+                ("sentences", outcome.sentences.len().into()),
+                ("samples", outcome.stats.samples.into()),
+                ("rows_read", outcome.stats.rows_read.into()),
+                ("planning_ms", (outcome.stats.planning_time.as_secs_f64() * 1e3).into()),
+                ("cancelled", cancelled.into()),
+            ]);
+            w.send(&format!("{done}\n"));
+        })
     }
 
     fn handle_session_input(&self, id: &str, req: &Request) -> Response {
@@ -339,7 +512,7 @@ impl AppState {
             return Response::error(400, "expected {\"text\": \"...\"}");
         };
         let approach = input.approach.as_deref().unwrap_or("holistic");
-        let vocalizer = match make_vocalizer(approach, self.threads, self.semantic.as_ref()) {
+        let vocalizer = match self.vocalizer_for(approach) {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
@@ -538,6 +711,44 @@ mod tests {
     fn debug_panic_route_panics_when_enabled() {
         let s = state().with_debug_routes(true);
         let _ = get(&s, "/debug/panic");
+    }
+
+    #[test]
+    fn vocalizers_are_cached_per_approach() {
+        let s = state();
+        let a = s.vocalizer_for("holistic").unwrap();
+        let b = s.vocalizer_for("holistic").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the instance");
+        // The legacy alias shares the parallel vocalizer.
+        let p = s.vocalizer_for("parallel").unwrap();
+        let c = s.vocalizer_for("concurrent").unwrap();
+        assert!(Arc::ptr_eq(&p, &c));
+        assert!(s.vocalizer_for("quantum").is_err());
+    }
+
+    #[test]
+    fn stats_reports_streaming_counters() {
+        let s = state();
+        let ask = "{\"question\": \"cancellation probability by region and season\"}";
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        let planning = &stats["latency_ms"];
+        assert_eq!(planning["ttfs_ms"]["count"].as_u64().unwrap(), 1, "{stats:?}");
+        assert!(planning["ttfs_ms"]["p50"].as_f64().unwrap() >= 0.0);
+        assert!(planning["gap_ms"]["count"].as_u64().unwrap() >= 1, "{stats:?}");
+        assert_eq!(planning["stream_cancellations"].as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn query_stream_route_returns_a_streaming_response() {
+        let s = state();
+        let r = post(&s, "/query/stream", "{\"question\": \"cancellation probability by season\"}");
+        assert_eq!(r.status, 200);
+        assert!(r.stream.is_some(), "must be a chunked streaming response");
+        // Malformed bodies and unknown approaches fail fast, pre-stream.
+        assert_eq!(post(&s, "/query/stream", "not json").status, 400);
+        let bad = "{\"question\": \"by season\", \"approach\": \"quantum\"}";
+        assert_eq!(post(&s, "/query/stream", bad).status, 400);
     }
 
     #[test]

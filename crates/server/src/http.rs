@@ -56,24 +56,51 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// A callback producing a chunked response body incrementally.
+pub type StreamBody = Box<dyn FnOnce(&mut BodyWriter<'_>) + Send>;
+
 /// An HTTP response to send.
-#[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (JSON).
+    /// Response body (JSON). Ignored when `stream` is set.
     pub body: String,
+    /// When set, the response is sent `Transfer-Encoding: chunked` and
+    /// this callback writes the body through a [`BodyWriter`], one chunk
+    /// per call, flushed to the socket as it is produced.
+    pub stream: Option<StreamBody>,
+}
+
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Response")
+            .field("status", &self.status)
+            .field("body", &self.body)
+            .field("streaming", &self.stream.is_some())
+            .finish()
+    }
 }
 
 impl Response {
     /// A 200 response with a JSON body.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, body }
+        Response { status: 200, body, stream: None }
     }
 
     /// An error response with a JSON `{"error": ...}` body.
     pub fn error(status: u16, message: &str) -> Self {
-        Response { status, body: format!("{{\"error\":{}}}", voxolap_json::escape(message)) }
+        Response {
+            status,
+            body: format!("{{\"error\":{}}}", voxolap_json::escape(message)),
+            stream: None,
+        }
+    }
+
+    /// A 200 response whose body is produced incrementally by `body` and
+    /// delivered with chunked transfer encoding as it is written — used
+    /// for NDJSON sentence streams.
+    pub fn streaming(body: impl FnOnce(&mut BodyWriter<'_>) + Send + 'static) -> Self {
+        Response { status: 200, body: String::new(), stream: Some(Box::new(body)) }
     }
 
     fn status_text(&self) -> &'static str {
@@ -181,6 +208,91 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     let mut reader = head.into_inner();
     reader.read_exact(&mut body).map_err(|e| classify_io(&e))?;
     Ok(Request { method, path, body })
+}
+
+/// Incremental body writer handed to [`Response::streaming`] callbacks.
+///
+/// Each [`send`](BodyWriter::send) call becomes one HTTP chunk, flushed
+/// immediately so the client sees every sentence the moment it is
+/// planned. [`client_gone`](BodyWriter::client_gone) lets the producer
+/// poll for a disconnected consumer and abort planning early.
+pub struct BodyWriter<'a> {
+    stream: &'a mut TcpStream,
+    bytes_out: u64,
+    failed: bool,
+}
+
+impl BodyWriter<'_> {
+    /// Send one chunk (hex-length framed) and flush it to the socket.
+    /// Returns `false` once the client is unreachable; subsequent sends
+    /// are no-ops.
+    pub fn send(&mut self, chunk: &str) -> bool {
+        if self.failed || chunk.is_empty() {
+            return !self.failed;
+        }
+        let framed = format!("{:x}\r\n{chunk}\r\n", chunk.len());
+        match self.stream.write_all(framed.as_bytes()).and_then(|()| self.stream.flush()) {
+            Ok(()) => {
+                self.bytes_out += chunk.len() as u64;
+                true
+            }
+            Err(_) => {
+                self.failed = true;
+                false
+            }
+        }
+    }
+
+    /// Whether the client has hung up. Clients of a streaming response
+    /// send nothing after the request, so a readable EOF (or a reset)
+    /// means the peer is gone; a would-block read means it is still
+    /// listening. The check is a nonblocking 1-byte peek — cheap enough
+    /// to poll between sentences.
+    pub fn client_gone(&mut self) -> bool {
+        if self.failed {
+            return true;
+        }
+        if self.stream.set_nonblocking(true).is_err() {
+            self.failed = true;
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let gone = match self.stream.peek(&mut probe) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        };
+        let _ = self.stream.set_nonblocking(false);
+        if gone {
+            self.failed = true;
+        }
+        gone
+    }
+}
+
+/// Send a chunked streaming response: status line + headers, then each
+/// chunk as the handler produces it, then the terminal zero-length chunk.
+/// Returns the body bytes successfully written.
+fn write_streaming(
+    stream: &mut TcpStream,
+    status: u16,
+    status_text: &str,
+    body: StreamBody,
+) -> u64 {
+    let header = format!(
+        "HTTP/1.1 {status} {status_text}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    if stream.write_all(header.as_bytes()).and_then(|()| stream.flush()).is_err() {
+        return 0;
+    }
+    let mut writer = BodyWriter { stream, bytes_out: 0, failed: false };
+    body(&mut writer);
+    let bytes = writer.bytes_out;
+    if !writer.failed {
+        let _ = writer.stream.write_all(b"0\r\n\r\n");
+    }
+    bytes
 }
 
 fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
@@ -570,7 +682,7 @@ where
     // would otherwise send.
     let parse_failed = parsed.is_err();
     let no_label = || (String::from("-"), String::from("-"), 0usize);
-    let ((method, path, bytes_in), response) = match parsed {
+    let ((method, path, bytes_in), mut response) = match parsed {
         Ok(req) => {
             HttpMetrics::add(&metrics.requests, 1);
             HttpMetrics::add(&metrics.bytes_in, req.body.len() as u64);
@@ -607,10 +719,21 @@ where
     };
 
     metrics.count_status(response.status);
-    if write_response(&mut stream, &response).is_ok() {
-        HttpMetrics::add(&metrics.bytes_out, response.body.len() as u64);
-        if parse_failed {
-            linger_close(stream);
+    let mut bytes_out = 0u64;
+    match response.stream.take() {
+        Some(body_fn) => {
+            bytes_out =
+                write_streaming(&mut stream, response.status, response.status_text(), body_fn);
+            HttpMetrics::add(&metrics.bytes_out, bytes_out);
+        }
+        None => {
+            if write_response(&mut stream, &response).is_ok() {
+                bytes_out = response.body.len() as u64;
+                HttpMetrics::add(&metrics.bytes_out, bytes_out);
+                if parse_failed {
+                    linger_close(stream);
+                }
+            }
         }
     }
     let handle = started.elapsed();
@@ -622,7 +745,7 @@ where
             path,
             response.status,
             bytes_in,
-            response.body.len(),
+            bytes_out,
             queue_wait.as_secs_f64() * 1e3,
             handle.as_secs_f64() * 1e3,
         );
@@ -846,6 +969,55 @@ mod tests {
         let snap = server.metrics().snapshot();
         assert_eq!(snap.requests, 8);
         assert_eq!(snap.responses_2xx, 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_response_is_chunked_with_terminal_chunk() {
+        let server = serve("127.0.0.1:0", |_req| {
+            Response::streaming(|w| {
+                assert!(w.send("{\"n\":1}\n"));
+                assert!(w.send("{\"n\":2}\n"));
+            })
+        })
+        .unwrap();
+        let out = raw_request(server.addr, "GET /s HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.contains("Transfer-Encoding: chunked"), "{out}");
+        assert!(out.contains("application/x-ndjson"), "{out}");
+        assert!(out.contains("{\"n\":1}"), "{out}");
+        assert!(out.contains("{\"n\":2}"), "{out}");
+        assert!(out.ends_with("0\r\n\r\n"), "terminal chunk present: {out:?}");
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.bytes_out, 16, "two 8-byte chunks counted");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_writer_detects_client_disconnect() {
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel::<bool>();
+        let tx = Mutex::new(tx);
+        let server = serve("127.0.0.1:0", move |_req| {
+            let tx = tx.lock().unwrap().clone();
+            Response::streaming(move |w| {
+                assert!(w.send("{\"n\":1}\n"));
+                let deadline = Instant::now() + Duration::from_secs(5);
+                let mut gone = false;
+                while !gone && Instant::now() < deadline {
+                    gone = w.client_gone();
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let _ = tx.send(gone);
+            })
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        s.write_all(b"GET /s HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 256];
+        let _ = s.read(&mut buf); // first chunk arrived
+        drop(s);
+        assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "writer saw the disconnect");
         server.shutdown();
     }
 

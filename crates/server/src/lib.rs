@@ -16,6 +16,7 @@
 //! | `GET /health` | — | `{"status":"ok"}` |
 //! | `GET /stats` | — | dataset statistics |
 //! | `POST /ask` | `{"question": "...", "approach": "holistic"?}` | spoken answer + planner stats |
+//! | `POST /query/stream` | `{"question": "...", "approach": ...?}` | chunked NDJSON sentence stream (see DESIGN.md §11) |
 //! | `POST /session/<id>/input` | `{"text": "...", "approach": ...?}` | per-session keyword command → spoken answer |
 //!
 //! Sessions accumulate drill-down state per id, exactly like the paper's
@@ -27,6 +28,6 @@ pub mod http;
 
 pub use api::{AppState, SessionStore};
 pub use http::{
-    serve, serve_with, HttpMetrics, HttpMetricsSnapshot, Request, Response, ServerConfig,
-    ServerHandle,
+    serve, serve_with, BodyWriter, HttpMetrics, HttpMetricsSnapshot, Request, Response,
+    ServerConfig, ServerHandle, StreamBody,
 };

@@ -114,6 +114,115 @@ fn full_stack_question_and_session_flow() {
     handle.shutdown();
 }
 
+/// Send a `POST /query/stream` request and return the open socket without
+/// reading the response.
+fn open_stream(addr: std::net::SocketAddr, question: &str) -> TcpStream {
+    let body = format!("{{\"question\": \"{question}\"}}");
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "POST /query/stream HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s
+}
+
+/// The streaming endpoint delivers the first sentence while later
+/// sentences are still being planned: the read burst that carries the
+/// first sentence record must not already carry the done record.
+#[test]
+fn streaming_endpoint_delivers_sentences_incrementally() {
+    let _guard = watchdog(120);
+    let state = Arc::new(AppState::new(small_table()));
+    let handle = serve("127.0.0.1:0", move |req| state.handle(req)).unwrap();
+    let addr = handle.addr;
+
+    let mut s =
+        open_stream(addr, "how does the cancellation probability depend on region and season?");
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1024];
+    let mut saw_first_sentence = false;
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                let text = String::from_utf8_lossy(&raw);
+                if !saw_first_sentence && text.contains("\"type\":\"sentence\"") {
+                    saw_first_sentence = true;
+                    assert!(
+                        !text.contains("\"type\":\"done\""),
+                        "first sentence must arrive before planning completes"
+                    );
+                }
+            }
+            Err(e) => panic!("read error: {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+    assert!(text.contains("Content-Type: application/x-ndjson"), "{text}");
+    assert!(text.contains("\"type\":\"preamble\""), "{text}");
+    assert!(text.matches("\"type\":\"sentence\"").count() >= 2, "{text}");
+    assert!(text.contains("\"cancelled\":false"), "{text}");
+    assert!(text.ends_with("0\r\n\r\n"), "terminal chunk missing: {text}");
+
+    // The streaming counters are visible in /stats afterwards.
+    let (status, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let v = voxolap_json::Value::parse(&body).unwrap();
+    assert!(v["latency_ms"]["ttfs_ms"]["count"].as_u64().unwrap() >= 1, "{body}");
+    assert!(v["latency_ms"]["gap_ms"]["count"].as_u64().unwrap() >= 1, "{body}");
+    assert_eq!(v["latency_ms"]["stream_cancellations"].as_u64().unwrap(), 0, "{body}");
+
+    handle.shutdown();
+}
+
+/// Hanging up mid-stream fires the server-side cancel token: sampling
+/// stops at the next sentence boundary and the abort shows up in /stats.
+#[test]
+fn client_disconnect_cancels_stream_and_counts() {
+    let _guard = watchdog(120);
+    let state = Arc::new(AppState::new(small_table()));
+    let handle = serve("127.0.0.1:0", move |req| state.handle(req)).unwrap();
+    let addr = handle.addr;
+
+    {
+        let mut s =
+            open_stream(addr, "how does the cancellation probability depend on region and season?");
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 256];
+        loop {
+            let n = s.read(&mut buf).unwrap();
+            assert!(n > 0, "stream ended before the first sentence");
+            raw.extend_from_slice(&buf[..n]);
+            if String::from_utf8_lossy(&raw).contains("\"type\":\"sentence\"") {
+                break;
+            }
+        }
+        // Drop the socket with most of the speech still unplanned.
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let v = voxolap_json::Value::parse(&body).unwrap();
+        if v["latency_ms"]["stream_cancellations"].as_u64().unwrap() == 1 {
+            // The aborted stream still recorded its first-sentence time.
+            assert!(v["latency_ms"]["ttfs_ms"]["count"].as_u64().unwrap() >= 1, "{body}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancellation not observed: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+}
+
 /// A stalled client (headers promise a body that never arrives) must get
 /// a 408 within the configured timeout — and must not delay concurrent
 /// well-formed queries, which a worker-per-connection server with no
