@@ -19,6 +19,10 @@
 //!   --seed N                RNG seed (default 42)
 //!   --cache-mb N            cross-query semantic cache budget in MiB
 //!                           (default 64; 0 disables caching)
+//!   --strict                fail on the first malformed CSV row instead of
+//!                           skipping it (lenient-skip is the default)
+//!   --fault-plan SPEC       deterministic fault injection + degradation
+//!                           ladder, e.g. "seed=7,read=0.05,budget=64"
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -39,6 +43,7 @@ use voxolap_data::stats::DatasetStats;
 use voxolap_data::Table;
 use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
+use voxolap_faults::Resilience;
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response, Session, StreamEvent};
 use voxolap_voice::tts::RealTimeVoice;
@@ -54,6 +59,8 @@ struct Options {
     uncertainty: UncertaintyMode,
     seed: u64,
     cache_mb: usize,
+    strict: bool,
+    fault_plan: Option<String>,
     command: String,
     args: Vec<String>,
 }
@@ -69,7 +76,10 @@ fn usage() -> &'static str {
        --chars-per-sec R       speaking rate for printed output (default 15; 0 = instant)\n\
        --uncertainty MODE      off|warning|bounds (default off)\n\
        --seed N                RNG seed (default 42)\n\
-       --cache-mb N            semantic-cache budget in MiB (default 64; 0 disables)"
+       --cache-mb N            semantic-cache budget in MiB (default 64; 0 disables)\n\
+       --strict                fail on the first malformed CSV row (default: skip + count)\n\
+       --fault-plan SPEC       fault injection + degradation ladder, e.g.\n\
+                               \"seed=7,read=0.05,sample=0.01,budget=64,breaker=5\""
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -83,6 +93,8 @@ fn parse_options() -> Result<Options, String> {
         uncertainty: UncertaintyMode::Off,
         seed: 42,
         cache_mb: 64,
+        strict: false,
+        fault_plan: None,
         command: String::new(),
         args: Vec::new(),
     };
@@ -130,6 +142,8 @@ fn parse_options() -> Result<Options, String> {
                 opts.cache_mb =
                     take_value(&mut i)?.parse().map_err(|_| "bad --cache-mb value".to_string())?
             }
+            "--strict" => opts.strict = true,
+            "--fault-plan" => opts.fault_plan = Some(take_value(&mut i)?),
             "--help" | "-h" => return Err(usage().to_string()),
             arg if opts.command.is_empty() => opts.command = arg.to_string(),
             arg => opts.args.push(arg.to_string()),
@@ -150,7 +164,22 @@ fn load_table(opts: &Options) -> Result<Table, String> {
             "salary" => SalaryConfig::schema(320),
             other => return Err(format!("unknown --data {other:?}")),
         };
-        return voxolap_data::csv::from_csv(schema, &text).map_err(|e| e.to_string());
+        let mode = if opts.strict {
+            voxolap_data::csv::CsvMode::Strict
+        } else {
+            voxolap_data::csv::CsvMode::Lenient
+        };
+        let import =
+            voxolap_data::csv::import_csv(schema, &text, mode).map_err(|e| e.to_string())?;
+        if import.skipped_rows > 0 {
+            let first = import.first_error.as_ref().map(|e| e.to_string()).unwrap_or_default();
+            eprintln!(
+                "warning: skipped {} malformed row(s) in {path} (first: {first}); \
+                 use --strict to fail instead",
+                import.skipped_rows
+            );
+        }
+        return Ok(import.table);
     }
     match opts.data.as_str() {
         "flights" => {
@@ -168,9 +197,20 @@ fn make_cache(opts: &Options) -> Option<Arc<SemanticCache>> {
     (opts.cache_mb > 0).then(|| Arc::new(SemanticCache::with_capacity_mb(opts.cache_mb)))
 }
 
+/// Build the resilience bundle from `--fault-plan` (shared by every query
+/// of one invocation, like the semantic cache). `None` without the flag —
+/// the engines then carry no fault hooks at all.
+fn make_resilience(opts: &Options) -> Result<Option<Arc<Resilience>>, String> {
+    match &opts.fault_plan {
+        Some(spec) => Ok(Some(Arc::new(Resilience::from_spec(spec)?))),
+        None => Ok(None),
+    }
+}
+
 fn make_vocalizer(
     opts: &Options,
     cache: Option<&Arc<SemanticCache>>,
+    resilience: Option<&Arc<Resilience>>,
 ) -> Result<Box<dyn Vocalizer>, String> {
     let config = HolisticConfig {
         seed: opts.seed,
@@ -190,6 +230,9 @@ fn make_vocalizer(
             if let Some(cache) = cache {
                 engine = engine.with_cache(cache.clone());
             }
+            if let Some(res) = resilience {
+                engine = engine.with_resilience(res.clone());
+            }
             Box::new(engine)
         }
         // "concurrent" kept as an alias for the pre-parallel engine name.
@@ -200,6 +243,9 @@ fn make_vocalizer(
             }
             if let Some(cache) = cache {
                 engine = engine.with_cache(cache.clone());
+            }
+            if let Some(res) = resilience {
+                engine = engine.with_resilience(res.clone());
             }
             Box::new(engine)
         }
@@ -222,6 +268,12 @@ fn make_vocalizer(
     })
 }
 
+/// The approaches that carry the resilience bundle; the rest plan their
+/// whole speech up front and have no fault sites to inject into.
+fn supports_resilience(approach: &str) -> bool {
+    matches!(approach, "holistic" | "parallel" | "concurrent")
+}
+
 fn make_voice(opts: &Options) -> Box<dyn VoiceOutput> {
     if opts.chars_per_sec <= 0.0 {
         Box::new(InstantVoice::default())
@@ -231,8 +283,11 @@ fn make_voice(opts: &Options) -> Box<dyn VoiceOutput> {
 }
 
 fn speak_stats(outcome: &voxolap_core::outcome::VocalizationOutcome) {
+    // The degraded marker only appears on degraded answers, so fault-free
+    // runs print byte-identical stats lines to earlier releases.
+    let degraded = if outcome.stats.degraded { " | DEGRADED" } else { "" };
     eprintln!(
-        "[latency {:?} | {} rows sampled | {} planner iterations | {} chars]",
+        "[latency {:?} | {} rows sampled | {} planner iterations | {} chars{degraded}]",
         outcome.latency,
         outcome.stats.rows_read,
         outcome.stats.samples,
@@ -261,7 +316,11 @@ fn cmd_ask(opts: &Options, table: &Table) -> Result<(), String> {
     let question = opts.args.first().ok_or("ask needs a quoted question")?;
     let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
     let cache = make_cache(opts);
-    let vocalizer = make_vocalizer(opts, cache.as_ref())?;
+    let resilience = make_resilience(opts)?;
+    if resilience.is_some() && !supports_resilience(&opts.approach) {
+        eprintln!("warning: --fault-plan is ignored by --approach {}", opts.approach);
+    }
+    let vocalizer = make_vocalizer(opts, cache.as_ref(), resilience.as_ref())?;
     let mut voice = make_voice(opts);
     speak_stream(vocalizer.as_ref(), table, &query, voice.as_mut());
     Ok(())
@@ -272,9 +331,9 @@ fn cmd_compare(opts: &Options, table: &Table) -> Result<(), String> {
     let query = parse_question(table.schema(), question).map_err(|e| e.to_string())?;
     for name in ["holistic", "optimal", "unmerged", "prior"] {
         let sub = Options { approach: name.into(), ..clone_options(opts) };
-        // No shared cache in compare mode: each approach plans cold so the
-        // side-by-side isolates the planning strategies.
-        let vocalizer = make_vocalizer(&sub, None)?;
+        // No shared cache or fault plan in compare mode: each approach
+        // plans cold so the side-by-side isolates the planning strategies.
+        let vocalizer = make_vocalizer(&sub, None, None)?;
         let mut voice: Box<dyn VoiceOutput> = Box::new(InstantVoice::default());
         let outcome = vocalizer.vocalize(table, &query, voice.as_mut());
         println!("\n== {name} (latency {:?}, {} chars) ==", outcome.latency, outcome.body_len());
@@ -299,6 +358,8 @@ fn clone_options(o: &Options) -> Options {
         uncertainty: o.uncertainty,
         seed: o.seed,
         cache_mb: o.cache_mb,
+        strict: o.strict,
+        fault_plan: o.fault_plan.clone(),
         command: o.command.clone(),
         args: o.args.clone(),
     }
@@ -316,7 +377,11 @@ fn cmd_repl(opts: &Options, table: &Table) -> Result<(), String> {
     // One cache for the whole session: repeated and scope-overlapping
     // questions get faster as the session goes on.
     let cache = make_cache(opts);
-    let vocalizer = make_vocalizer(opts, cache.as_ref())?;
+    let resilience = make_resilience(opts)?;
+    if resilience.is_some() && !supports_resilience(&opts.approach) {
+        eprintln!("warning: --fault-plan is ignored by --approach {}", opts.approach);
+    }
+    let vocalizer = make_vocalizer(opts, cache.as_ref(), resilience.as_ref())?;
     let mut voice = make_voice(opts);
     let mut session = Session::new(table);
     eprintln!("voxolap repl — say \"help\" for keywords, \"quit\" to leave.");

@@ -19,6 +19,7 @@ use std::time::Instant;
 use voxolap_data::Table;
 use voxolap_engine::query::{AggIdx, Query, ResultLayout};
 use voxolap_engine::semantic::{ExactAggregates, SemanticCache};
+use voxolap_faults::{Resilience, RunState};
 use voxolap_mcts::NodeId;
 use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
 use voxolap_speech::constraints::SpeechConstraints;
@@ -30,6 +31,7 @@ use crate::outcome::VocalizationOutcome;
 use crate::pipeline::cancel::CancelToken;
 use crate::pipeline::driver::{CoopSource, CoreSampler};
 use crate::pipeline::stream::{Buffered, SpeechStream};
+use crate::resilience::ResCtx;
 use crate::sampler::{PlannerCore, SelectionPolicy};
 use crate::tree::{NodeKind, SpeechTree};
 use crate::uncertainty::UncertaintyMode;
@@ -104,12 +106,13 @@ impl Default for HolisticConfig {
 pub struct Holistic {
     config: HolisticConfig,
     cache: Option<Arc<SemanticCache>>,
+    resilience: Option<Arc<Resilience>>,
 }
 
 impl Holistic {
     /// Create with the given configuration.
     pub fn new(config: HolisticConfig) -> Self {
-        Holistic { config, cache: None }
+        Holistic { config, cache: None, resilience: None }
     }
 
     /// Attach a cross-query semantic cache. Repeats of an exactly-answered
@@ -118,6 +121,15 @@ impl Holistic {
     /// a cacheless run.
     pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a resilience bundle: fault injection at the engine's fault
+    /// sites, the retry → circuit-breaker read ladder, and anytime-answer
+    /// degradation. Without an injector the hooks are inert and planning
+    /// stays byte-identical.
+    pub fn with_resilience(mut self, resilience: Arc<Resilience>) -> Self {
+        self.resilience = Some(resilience);
         self
     }
 
@@ -234,12 +246,20 @@ impl Holistic {
         mut core: PlannerCore<'a>,
     ) -> SpeechStream<'a> {
         let cfg = self.config.clone();
+        // One RunState per vocalization: the degrade ladder's per-run
+        // fault budget and first-cause tag. `None` keeps every hook inert.
+        let resil: Option<(Arc<Resilience>, Arc<RunState>)> =
+            self.resilience.as_ref().map(|res| (res.clone(), res.new_run()));
+        if let Some((res, run)) = &resil {
+            core.set_resilience(ResCtx::new(res.clone(), run.clone(), "table"));
+        }
 
         // Semantic cache, layer 1: a repeat of an exactly-answered query
         // skips sampling entirely and plans against stored aggregates.
         if let Some(cache) = &self.cache {
             if let Some(data) = cache.lookup_exact(&query.key()) {
-                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg());
+                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg())
+                    .attach_resilience(resil);
             }
         }
 
@@ -275,7 +295,8 @@ impl Holistic {
             let seed = cfg.seed;
             let admit = move || admit_core(&semantic, seed, &core, query);
             let source = Buffered::no_data(rows_read, Some(Box::new(admit)));
-            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source));
+            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
+                .attach_resilience(resil);
         };
         core.calibrate_sigma(overall, cfg.sigma_override);
 
@@ -286,8 +307,10 @@ impl Holistic {
         let layout = query.layout();
         let unit = schema.measure(query.measure()).unit;
         let sampler = CoreSampler::new(core, cfg.rows_per_iteration, self.cache.clone(), cfg.seed);
-        let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit);
+        let run = resil.as_ref().map(|(_, run)| run.clone());
+        let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit, run);
         SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
+            .attach_resilience(resil)
     }
 }
 
@@ -535,6 +558,66 @@ mod tests {
         );
         assert_eq!(cache.stats().warm_hits, 1);
         assert!(warm.speech.is_some());
+    }
+
+    #[test]
+    fn inert_resilience_keeps_output_identical() {
+        let (table, q) = setup();
+        let mut v1 = InstantVoice::default();
+        let plain = Holistic::new(fast_config()).vocalize(&table, &q, &mut v1);
+        let mut v2 = InstantVoice::default();
+        let res = Arc::new(Resilience::default());
+        let resilient =
+            Holistic::new(fast_config()).with_resilience(res.clone()).vocalize(&table, &q, &mut v2);
+        assert_eq!(resilient.sentences, plain.sentences, "no injector, no perturbation");
+        assert_eq!(resilient.stats.samples, plain.stats.samples);
+        assert_eq!(resilient.stats.rows_read, plain.stats.rows_read);
+        assert!(!resilient.stats.degraded);
+        let snap = res.stats().snapshot();
+        assert_eq!(snap.clean_answers, 1);
+        assert_eq!(snap.degraded_answers, 0);
+    }
+
+    #[test]
+    fn dead_data_source_falls_back_and_degrades() {
+        use std::time::Duration;
+        use voxolap_faults::{FaultPlan, FaultSite, SiteSchedule};
+        // Every read errors forever: retries exhaust, the breaker opens,
+        // and the cold run (nothing cached) reports no data — degraded.
+        let (table, q) = setup();
+        let plan = FaultPlan::new(5).with_site(FaultSite::DataRead, SiteSchedule::error(1.0));
+        let res = Arc::new(Resilience::new(Some(plan)).with_breaker(2, Duration::from_secs(3600)));
+        let mut voice = InstantVoice::default();
+        let outcome = Holistic::new(fast_config())
+            .with_resilience(res.clone())
+            .vocalize(&table, &q, &mut voice);
+        assert!(outcome.stats.degraded, "fallback answers are tagged");
+        assert_eq!(outcome.stats.rows_read, 0, "no row ever arrived");
+        assert!(outcome.sentences[0].contains("No data"));
+        let snap = res.stats().snapshot();
+        assert!(snap.retries >= 2, "the ladder retried before tripping: {snap:?}");
+        assert!(snap.breaker_trips >= 1);
+        assert_eq!(snap.cache_fallbacks, 1, "one fallback per run");
+        assert_eq!(snap.degraded_answers, 1);
+    }
+
+    #[test]
+    fn exhausted_fault_budget_yields_anytime_answer() {
+        use voxolap_faults::{FaultPlan, FaultSite, SiteSchedule};
+        // Every sampling iteration faults; a tiny budget exhausts at the
+        // root, so the anytime path commits whatever the tree holds and
+        // tags the answer degraded instead of hanging or panicking.
+        let (table, q) = setup();
+        let plan = FaultPlan::new(3).with_site(FaultSite::Sample, SiteSchedule::error(1.0));
+        let res = Arc::new(Resilience::new(Some(plan)).with_budget(8));
+        let mut voice = InstantVoice::default();
+        let outcome = Holistic::new(fast_config())
+            .with_resilience(res.clone())
+            .vocalize(&table, &q, &mut voice);
+        assert!(outcome.stats.degraded, "budget exhaustion tags the answer");
+        assert!(outcome.stats.samples <= 16, "planning stopped early: {}", outcome.stats.samples);
+        assert!(!outcome.preamble.is_empty(), "the preamble is always delivered");
+        assert_eq!(res.stats().snapshot().degraded_answers, 1);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod outcome;
 pub mod parallel;
 pub mod pipeline;
 pub mod prior;
+pub(crate) mod resilience;
 pub mod sampler;
 pub mod tree;
 pub mod uncertainty;
@@ -61,7 +62,7 @@ pub use holistic::{Holistic, HolisticConfig};
 pub use optimal::Optimal;
 pub use outcome::{PlanStats, VocalizationOutcome};
 pub use parallel::ParallelHolistic;
-pub use pipeline::{CancelToken, PlannedSentence, SentenceStats, SpeechStream};
+pub use pipeline::{CancelKind, CancelToken, PlannedSentence, SentenceStats, SpeechStream};
 pub use prior::PriorGreedy;
 pub use uncertainty::UncertaintyMode;
 pub use unmerged::Unmerged;

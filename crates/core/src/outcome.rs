@@ -17,6 +17,10 @@ pub struct PlanStats {
     pub truncated: bool,
     /// Total planning time, including any exact evaluation.
     pub planning_time: Duration,
+    /// `true` when the answer was degraded (anytime commit after a
+    /// deadline or exhausted fault budget, cache fallback, or a failed
+    /// emission) — always `false` without an attached resilience bundle.
+    pub degraded: bool,
 }
 
 /// Outcome of vocalizing one query.

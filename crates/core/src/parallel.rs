@@ -44,6 +44,7 @@ use voxolap_engine::cache::ResampleScratch;
 use voxolap_engine::query::{AggFct, Query};
 use voxolap_engine::semantic::{LoggedRow, SampleSnapshot, SemanticCache};
 use voxolap_engine::sharded::ShardedSampleCache;
+use voxolap_faults::{Resilience, RunState};
 use voxolap_mcts::NodeId;
 use voxolap_speech::candidates::CandidateGenerator;
 use voxolap_speech::render::Renderer;
@@ -53,6 +54,7 @@ use crate::holistic::{exact_hit_stream, HolisticConfig};
 use crate::pipeline::cancel::CancelToken;
 use crate::pipeline::driver::{CoopSource, MultiSource, ShardSampler};
 use crate::pipeline::stream::{Buffered, SpeechStream};
+use crate::resilience::ResCtx;
 use crate::sampler::{calibrated_sigma, RowLog, SelectionPolicy, SIGMA_FALLBACK};
 use crate::tree::SpeechTree;
 use crate::voice::VoiceOutput;
@@ -71,6 +73,7 @@ pub struct ParallelHolistic {
     config: HolisticConfig,
     threads: usize,
     cache: Option<Arc<SemanticCache>>,
+    resilience: Option<Arc<Resilience>>,
 }
 
 impl Default for ParallelHolistic {
@@ -85,7 +88,7 @@ impl ParallelHolistic {
     /// threads as the machine has cores.
     pub fn new(config: HolisticConfig) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelHolistic { config, threads, cache: None }
+        ParallelHolistic { config, threads, cache: None, resilience: None }
     }
 
     /// Attach a cross-query semantic cache (see
@@ -103,6 +106,15 @@ impl ParallelHolistic {
     /// deterministic cooperative mode.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attach a resilience bundle: fault injection at the engine's fault
+    /// sites, the retry → circuit-breaker read ladder, and anytime-answer
+    /// degradation. Without an injector the hooks are inert and planning
+    /// stays byte-identical.
+    pub fn with_resilience(mut self, resilience: Arc<Resilience>) -> Self {
+        self.resilience = Some(resilience);
         self
     }
 
@@ -134,6 +146,8 @@ pub(crate) struct ShardWorker<'a> {
     /// Rows the semantic cache pre-seeded before this run (worker 0 only);
     /// warm-up tops up the difference instead of re-reading them.
     seeded: u64,
+    /// Fault-injection / degradation context (`None` = inert).
+    res: Option<ResCtx>,
 }
 
 impl<'a> ShardWorker<'a> {
@@ -165,11 +179,23 @@ impl<'a> ShardWorker<'a> {
             policy: config.policy,
             log: None,
             seeded: 0,
+            res: None,
         }
+    }
+
+    /// Attach a fault-injection / degradation context to this worker.
+    pub(crate) fn set_resilience(&mut self, res: ResCtx) {
+        self.res = Some(res);
     }
 
     /// Stream up to `k` rows of this worker's shard into the shared cache.
     fn ingest_rows(&mut self, k: usize) -> usize {
+        if let Some(res) = &self.res {
+            if !res.read_allowed() {
+                // Breaker open: sample from what the shared cache holds.
+                return 0;
+            }
+        }
         let layout = self.query.layout();
         let mut read = 0;
         while read < k {
@@ -242,6 +268,13 @@ impl<'a> ShardWorker<'a> {
     /// `use_vloss` selects the virtual-loss descent that spreads
     /// concurrent workers across the tree.
     pub(crate) fn sample_once(&mut self, tree: &SpeechTree, from: NodeId, use_vloss: bool) -> f64 {
+        if let Some(res) = &self.res {
+            if res.sample_faulted() {
+                // Faulted iterations contribute no reward; the caller
+                // still counts them toward its iteration totals.
+                return 0.0;
+            }
+        }
         self.ingest_rows(self.rows_per_iteration);
 
         let layout = self.query.layout();
@@ -379,12 +412,17 @@ impl Vocalizer for ParallelHolistic {
         cancel: CancelToken,
     ) -> SpeechStream<'a> {
         let cfg = self.config.clone();
+        // One RunState per vocalization: the degrade ladder's per-run
+        // fault budget and first-cause tag. `None` keeps every hook inert.
+        let resil: Option<(Arc<Resilience>, Arc<RunState>)> =
+            self.resilience.as_ref().map(|res| (res.clone(), res.new_run()));
 
         // Semantic cache, layer 1: a repeat of an exactly-answered query
         // skips sampling entirely and plans against stored aggregates.
         if let Some(sem) = &self.cache {
             if let Some(data) = sem.lookup_exact(&query.key()) {
-                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg());
+                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg())
+                    .attach_resilience(resil);
             }
         }
 
@@ -398,13 +436,22 @@ impl Vocalizer for ParallelHolistic {
         let latency = t0.elapsed();
 
         let n_workers = self.threads;
-        let cache = Arc::new(
-            ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
-                .with_resample_size(cfg.resample_size),
-        );
+        let mut shared = ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
+            .with_resample_size(cfg.resample_size);
+        if let Some((res, _)) = &resil {
+            if let Some(inj) = res.injector() {
+                shared = shared.with_faults(inj.clone(), res.stats().clone());
+            }
+        }
+        let cache = Arc::new(shared);
         let mut workers: Vec<ShardWorker<'a>> = (0..n_workers)
             .map(|w| ShardWorker::new(table, query, cache.clone(), &cfg, w, n_workers))
             .collect();
+        if let Some((res, run)) = &resil {
+            for worker in &mut workers {
+                worker.set_resilience(ResCtx::new(res.clone(), run.clone(), "table"));
+            }
+        }
 
         // Semantic cache, layer 2: seed the shared cache from a snapshot
         // with the same scope, seed, and shard count, then advance each
@@ -454,7 +501,8 @@ impl Vocalizer for ParallelHolistic {
                 admit_parallel(&semantic, seed, &cache, query, donor_rows, &seeded_reads, results);
             };
             let source = Buffered::no_data(fresh, Some(Box::new(admit)));
-            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source));
+            return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
+                .attach_resilience(resil);
         };
         let sigma = calibrated_sigma(overall, cfg.sigma_override);
         for w in &mut workers {
@@ -482,10 +530,13 @@ impl Vocalizer for ParallelHolistic {
                 self.cache.clone(),
                 cfg.seed,
             );
-            let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit);
+            let run = resil.as_ref().map(|(_, run)| run.clone());
+            let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit, run);
             SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
+                .attach_resilience(resil)
         } else {
             let seed = cfg.seed;
+            let run = resil.as_ref().map(|(_, run)| run.clone());
             let source = MultiSource::new(
                 workers,
                 cache,
@@ -500,8 +551,10 @@ impl Vocalizer for ParallelHolistic {
                 self.cache.clone(),
                 seed,
                 query,
+                run,
             );
             SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
+                .attach_resilience(resil)
         }
     }
 }
@@ -765,6 +818,49 @@ mod tests {
         );
         assert_eq!(cache.stats().warm_hits, 1);
         assert!(warm.speech.is_some());
+    }
+
+    #[test]
+    fn single_thread_inert_resilience_keeps_parity() {
+        let (table, q) = setup();
+        let mut voice_seq = InstantVoice::default();
+        let seq = Holistic::new(fast_config()).vocalize(&table, &q, &mut voice_seq);
+        let mut voice_par = InstantVoice::default();
+        let par = ParallelHolistic::new(fast_config())
+            .with_threads(1)
+            .with_resilience(Arc::new(Resilience::default()))
+            .vocalize(&table, &q, &mut voice_par);
+        assert_eq!(par.sentences, seq.sentences, "injector-free bundle must not perturb");
+        assert_eq!(par.stats.samples, seq.stats.samples);
+        assert_eq!(par.stats.rows_read, seq.stats.rows_read);
+        assert!(!par.stats.degraded);
+    }
+
+    #[test]
+    fn multi_thread_engine_survives_injected_faults() {
+        use voxolap_faults::{FaultPlan, FaultSite, SiteSchedule};
+        let (table, q) = setup();
+        let plan = FaultPlan::new(11)
+            .with_site(FaultSite::DataRead, SiteSchedule::error(0.2))
+            .with_site(FaultSite::Sample, SiteSchedule::error(0.2))
+            .with_site(FaultSite::CacheShard, SiteSchedule::error(0.02));
+        let res = Arc::new(Resilience::new(Some(plan)));
+        let cfg = HolisticConfig {
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 40_000,
+            ..HolisticConfig::default()
+        };
+        let mut voice = SleepyVoice::new(Duration::from_micros(100));
+        let outcome = ParallelHolistic::new(cfg)
+            .with_threads(4)
+            .with_resilience(res.clone())
+            .vocalize(&table, &q, &mut voice);
+        // Faults at these rates must not prevent an answer: the preamble
+        // always arrives and the run is accounted exactly once.
+        assert!(!outcome.preamble.is_empty());
+        let snap = res.stats().snapshot();
+        assert_eq!(snap.clean_answers + snap.degraded_answers, 1);
+        assert!(res.injector().unwrap().total_injected() > 0, "schedule actually injected faults");
     }
 
     #[test]

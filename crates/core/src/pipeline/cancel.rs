@@ -17,6 +17,17 @@ struct Inner {
     deadline: Option<Instant>,
 }
 
+/// Why a token fired. The distinction matters for graceful degradation:
+/// a client cancel is a hard stop (the consumer is gone), while a passed
+/// deadline can still be answered — shortened — through the anytime path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// [`CancelToken::cancel`] was called: the consumer abandoned the run.
+    Client,
+    /// The token's deadline passed while planning was still under way.
+    Deadline,
+}
+
 /// Shared cancellation flag with an optional hard deadline.
 ///
 /// Cloning shares the flag: cancelling any clone fires all of them.
@@ -65,6 +76,20 @@ impl CancelToken {
             None => false,
         }
     }
+
+    /// Like [`fired`](CancelToken::fired), but reporting *why* — `None`
+    /// while planning may continue. An explicit cancel wins over a passed
+    /// deadline (the consumer is gone either way).
+    #[inline]
+    pub fn fired_kind(&self) -> Option<CancelKind> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelKind::Client);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(CancelKind::Deadline),
+            _ => None,
+        }
+    }
 }
 
 impl Default for CancelToken {
@@ -98,5 +123,18 @@ mod tests {
     #[test]
     fn never_token_does_not_fire() {
         assert!(!CancelToken::never().fired());
+    }
+
+    #[test]
+    fn fired_kind_distinguishes_client_from_deadline() {
+        let client = CancelToken::new();
+        assert_eq!(client.fired_kind(), None);
+        client.cancel();
+        assert_eq!(client.fired_kind(), Some(CancelKind::Client));
+        let late = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(late.fired_kind(), Some(CancelKind::Deadline));
+        // An explicit cancel outranks a passed deadline.
+        late.cancel();
+        assert_eq!(late.fired_kind(), Some(CancelKind::Client));
     }
 }

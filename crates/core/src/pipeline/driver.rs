@@ -17,6 +17,7 @@ use voxolap_data::schema::MeasureUnit;
 use voxolap_engine::query::{Query, ResultLayout};
 use voxolap_engine::semantic::{LoggedRow, SemanticCache};
 use voxolap_engine::sharded::ShardedSampleCache;
+use voxolap_faults::RunState;
 use voxolap_mcts::NodeId;
 use voxolap_speech::render::Renderer;
 
@@ -24,6 +25,7 @@ use crate::holistic::{admit_core, relevant_aggs, HolisticConfig};
 use crate::parallel::{admit_parallel, ShardWorker, POLL_INTERVAL};
 use crate::pipeline::cancel::CancelToken;
 use crate::pipeline::stream::{FinishInfo, SentenceSource};
+use crate::resilience::{round_status, RoundEnd};
 use crate::sampler::{PlannerCore, RowLog};
 use crate::tree::SpeechTree;
 use crate::uncertainty::{annotate, ConfidenceSource, UncertaintyMode};
@@ -161,10 +163,11 @@ impl SampleStep for ShardSampler<'_> {
 
 /// One per-sentence round of Algorithm 1: sample while the previously
 /// started sentence plays (plus the progress floor for instant voices),
-/// then commit. Checking the token *first* in the short-circuit keeps
-/// the voice polling sequence — and therefore the sampling iteration
-/// count — bit-identical to the pre-pipeline engines when the token
-/// never fires.
+/// then commit. Checking the round status *first* in each iteration
+/// keeps the voice polling sequence — and therefore the sampling
+/// iteration count — bit-identical to the pre-pipeline engines when the
+/// token never fires. An `Anytime` status breaks out to commit the best
+/// answer the tree holds right now instead of yielding nothing.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_next_sentence<S: SampleStep>(
     sampler: &mut S,
@@ -176,14 +179,27 @@ pub(crate) fn plan_next_sentence<S: SampleStep>(
     cancel: &CancelToken,
     layout: &ResultLayout,
     unit: MeasureUnit,
+    run: Option<&RunState>,
 ) -> Option<String> {
+    let at_root = *current == SpeechTree::ROOT;
+    let at_leaf = tree.tree().is_leaf(*current);
     let mut iterations = 0u64;
-    while !cancel.fired() && (voice.is_playing() || iterations < cfg.min_samples_per_sentence) {
+    loop {
+        match round_status(cancel, run, at_root, at_leaf) {
+            RoundEnd::Stop => return None,
+            RoundEnd::Anytime => break,
+            RoundEnd::Continue => {}
+        }
+        if !(voice.is_playing() || iterations < cfg.min_samples_per_sentence) {
+            // Mirror the pre-fault double-check: a token firing between
+            // the last poll and the commit still aborts cleanly.
+            match round_status(cancel, run, at_root, at_leaf) {
+                RoundEnd::Stop => return None,
+                _ => break,
+            }
+        }
         sampler.step(tree, *current);
         iterations += 1;
-    }
-    if cancel.fired() {
-        return None;
     }
     commit_and_render(tree, current, renderer, cfg, sampler.confidence(), layout, unit)
 }
@@ -228,9 +244,12 @@ pub(crate) struct CoopSource<'a, S> {
     current: NodeId,
     layout: &'a ResultLayout,
     unit: MeasureUnit,
+    /// Per-run degrade state (`None` = no resilience attached).
+    run: Option<Arc<RunState>>,
 }
 
 impl<'a, S> CoopSource<'a, S> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         sampler: S,
         tree: SpeechTree,
@@ -238,8 +257,9 @@ impl<'a, S> CoopSource<'a, S> {
         cfg: HolisticConfig,
         layout: &'a ResultLayout,
         unit: MeasureUnit,
+        run: Option<Arc<RunState>>,
     ) -> Self {
-        CoopSource { sampler, tree, renderer, cfg, current: SpeechTree::ROOT, layout, unit }
+        CoopSource { sampler, tree, renderer, cfg, current: SpeechTree::ROOT, layout, unit, run }
     }
 }
 
@@ -255,6 +275,7 @@ impl<'a, S: SampleStep> SentenceSource<'a> for CoopSource<'a, S> {
             cancel,
             self.layout,
             self.unit,
+            self.run.as_deref(),
         )
     }
 
@@ -297,6 +318,8 @@ pub(crate) struct MultiSource<'a> {
     semantic: Option<Arc<SemanticCache>>,
     seed: u64,
     query: &'a Query,
+    /// Per-run degrade state (`None` = no resilience attached).
+    run: Option<Arc<RunState>>,
 }
 
 impl<'a> MultiSource<'a> {
@@ -315,6 +338,7 @@ impl<'a> MultiSource<'a> {
         semantic: Option<Arc<SemanticCache>>,
         seed: u64,
         query: &'a Query,
+        run: Option<Arc<RunState>>,
     ) -> Self {
         MultiSource {
             workers,
@@ -332,6 +356,7 @@ impl<'a> MultiSource<'a> {
             semantic,
             seed,
             query,
+            run,
         }
     }
 }
@@ -343,28 +368,38 @@ impl<'a> SentenceSource<'a> for MultiSource<'a> {
         let tree = &self.tree;
         let current = self.current;
         let samples = &self.samples;
+        let at_root = current == SpeechTree::ROOT;
+        let at_leaf = tree.tree().is_leaf(current);
+        let run = self.run.as_deref();
         std::thread::scope(|scope| {
             for worker in self.workers.iter_mut() {
                 let stop = &stop;
                 scope.spawn(move || {
-                    while !stop.load(Ordering::Relaxed) && !cancel.fired() {
+                    while !stop.load(Ordering::Relaxed)
+                        && !cancel.fired()
+                        && !run.is_some_and(|r| r.budget_exhausted())
+                    {
                         worker.sample_once(tree, current, true);
                         samples.fetch_add(1, Ordering::Relaxed);
                     }
                 });
             }
             // The calling thread paces: sleep while the previously
-            // started sentence plays, then until the progress floor.
-            while !cancel.fired() && voice.is_playing() {
+            // started sentence plays, then until the progress floor. An
+            // exhausted fault budget ends the round early so the anytime
+            // path can commit whatever the tree holds.
+            let exhausted = || run.is_some_and(|r| r.budget_exhausted());
+            while !cancel.fired() && !exhausted() && voice.is_playing() {
                 std::thread::sleep(POLL_INTERVAL);
             }
-            while !cancel.fired() && samples.load(Ordering::Relaxed) < floor {
+            while !cancel.fired() && !exhausted() && samples.load(Ordering::Relaxed) < floor {
                 std::thread::sleep(POLL_INTERVAL);
             }
             stop.store(true, Ordering::Relaxed);
         });
-        if cancel.fired() {
-            return None;
+        match round_status(cancel, run, at_root, at_leaf) {
+            RoundEnd::Stop => return None,
+            RoundEnd::Anytime | RoundEnd::Continue => {}
         }
         commit_and_render(
             &self.tree,

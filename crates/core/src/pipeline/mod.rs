@@ -28,5 +28,5 @@ pub mod cancel;
 pub(crate) mod driver;
 pub mod stream;
 
-pub use cancel::CancelToken;
+pub use cancel::{CancelKind, CancelToken};
 pub use stream::{PlannedSentence, SentenceStats, SpeechStream};

@@ -9,8 +9,10 @@
 //! per-sentence history into the classic [`VocalizationOutcome`].
 //! `Vocalizer::vocalize()` is just [`drain`](SpeechStream::drain).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use voxolap_faults::{DegradeReason, FaultSite, Resilience, RunState};
 use voxolap_speech::ast::Speech;
 
 use crate::outcome::{PlanStats, VocalizationOutcome};
@@ -169,6 +171,9 @@ pub struct SpeechStream<'a> {
     next_index: usize,
     done: bool,
     source: Box<dyn SentenceSource<'a> + 'a>,
+    /// Fault injection at the Emit site plus per-run degrade state
+    /// (`None` keeps emission byte-identical to the pre-fault stream).
+    resilience: Option<(Arc<Resilience>, Arc<RunState>)>,
 }
 
 impl<'a> SpeechStream<'a> {
@@ -190,7 +195,24 @@ impl<'a> SpeechStream<'a> {
             next_index: 0,
             done: false,
             source,
+            resilience: None,
         }
+    }
+
+    /// Attach the engine's resilience bundle and this run's degrade
+    /// state; emission then consults the Emit fault site and `finish`
+    /// tags the outcome. `None` leaves the stream untouched.
+    pub(crate) fn attach_resilience(
+        mut self,
+        resilience: Option<(Arc<Resilience>, Arc<RunState>)>,
+    ) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Whether this run's answer is (so far) tagged degraded.
+    pub fn degraded(&self) -> bool {
+        self.resilience.as_ref().is_some_and(|(_, run)| run.degraded())
     }
 
     /// The preamble, already started on the voice output.
@@ -222,6 +244,21 @@ impl<'a> SpeechStream<'a> {
             self.done = true;
             return None;
         };
+        // Emit fault site: a latency fault stalls the hand-off to the
+        // voice; an error fault cuts the speech short — except for the
+        // very first body sentence (the baseline), which must always be
+        // delivered for the answer to remain grammar-valid.
+        if let Some((res, run)) = &self.resilience {
+            if let Some(fault) = res.roll(FaultSite::Emit) {
+                run.note_fault();
+                fault.stall();
+                if fault.error && self.next_index > 0 {
+                    run.mark_degraded(DegradeReason::EmitFailure);
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
         self.voice.start(&text);
         let stats = SentenceStats {
             samples: self.source.samples().saturating_sub(samples_before),
@@ -239,6 +276,19 @@ impl<'a> SpeechStream<'a> {
     /// cancellation, the outcome covers what was spoken so far.
     pub fn finish(mut self) -> VocalizationOutcome {
         let info = self.source.finish();
+        let degraded = match &self.resilience {
+            Some((res, run)) => {
+                let degraded = run.degraded();
+                let stats = res.stats();
+                if degraded {
+                    stats.degraded_answers.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    stats.clean_answers.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                degraded
+            }
+            None => false,
+        };
         VocalizationOutcome {
             speech: info.speech,
             preamble: self.preamble,
@@ -250,6 +300,7 @@ impl<'a> SpeechStream<'a> {
                 tree_nodes: info.tree_nodes,
                 truncated: info.truncated,
                 planning_time: self.t0.elapsed(),
+                degraded,
             },
         }
     }

@@ -20,6 +20,7 @@ use voxolap_engine::semantic::{LoggedRow, SampleSnapshot};
 use voxolap_engine::stratified::{AggregateIndex, StratifiedScanner};
 use voxolap_mcts::NodeId;
 
+use crate::resilience::ResCtx;
 use crate::tree::SpeechTree;
 
 /// Capacity-bounded log of the in-scope rows a run observed, kept so the
@@ -141,6 +142,9 @@ pub struct PlannerCore<'a> {
     /// `nr_read` inherited from a warm-start donor (0 for cold runs);
     /// warm-up targets shrink by this amount.
     seeded_rows: u64,
+    /// Fault-injection / degradation context (`None` = inert; the hooks
+    /// consume no randomness and leave behavior byte-identical).
+    res: Option<ResCtx>,
 }
 
 impl<'a> PlannerCore<'a> {
@@ -173,6 +177,7 @@ impl<'a> PlannerCore<'a> {
             policy: SelectionPolicy::Uct,
             log: None,
             seeded_rows: 0,
+            res: None,
         }
     }
 
@@ -203,12 +208,20 @@ impl<'a> PlannerCore<'a> {
             policy: SelectionPolicy::Uct,
             log: None,
             seeded_rows: 0,
+            res: None,
         }
     }
 
     /// Override the tree-descent policy (default UCT).
     pub fn set_policy(&mut self, policy: SelectionPolicy) {
         self.policy = policy;
+    }
+
+    /// Attach a fault-injection / degradation context. Row ingestion then
+    /// runs the read ladder (retry → circuit breaker → fallback) and
+    /// sampling iterations consult the Sample fault site.
+    pub(crate) fn set_resilience(&mut self, res: ResCtx) {
+        self.res = Some(res);
     }
 
     /// Start logging in-scope rows (up to `cap`) so the run's sample can be
@@ -267,6 +280,13 @@ impl<'a> PlannerCore<'a> {
     /// iteration ingests rows), and the per-row match prevented the
     /// scanner accesses from staying in registers.
     pub fn ingest_rows(&mut self, k: usize) -> usize {
+        if let Some(res) = &self.res {
+            if !res.read_allowed() {
+                // Breaker open: the run continues on whatever the cache
+                // already holds (warm-start rows or earlier reads).
+                return 0;
+            }
+        }
         let layout = self.query.layout();
         let mut read = 0;
         match &mut self.scanner {
@@ -363,6 +383,14 @@ impl<'a> PlannerCore<'a> {
         from: NodeId,
         rows_per_iteration: usize,
     ) -> f64 {
+        if let Some(res) = &self.res {
+            if res.sample_faulted() {
+                // A faulted iteration still counts (the budget tracks
+                // attempts) but contributes no reward.
+                self.samples += 1;
+                return 0.0;
+            }
+        }
         self.ingest_rows(rows_per_iteration);
         self.samples += 1;
 

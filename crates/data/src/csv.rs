@@ -44,60 +44,133 @@ pub fn to_csv(table: &Table) -> String {
     out
 }
 
+/// How [`import_csv`] treats malformed data rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsvMode {
+    /// Fail fast: the first malformed row aborts the import (the behavior
+    /// of [`from_csv`]).
+    #[default]
+    Strict,
+    /// Skip malformed rows, counting them; the import succeeds with
+    /// whatever parsed. Header errors are still fatal — without a valid
+    /// header nothing can be attributed to columns at all.
+    Lenient,
+}
+
+/// Result of a [`import_csv`] run: the table plus what was left behind.
+#[derive(Debug)]
+pub struct CsvImport {
+    /// The parsed table.
+    pub table: Table,
+    /// Number of fact rows accepted.
+    pub loaded_rows: usize,
+    /// Number of malformed rows skipped (always 0 in strict mode).
+    pub skipped_rows: usize,
+    /// The first skipped row's error, kept for diagnostics.
+    pub first_error: Option<DataError>,
+}
+
 /// Parse CSV produced by [`to_csv`] (or hand-written in the same dialect)
 /// against a known schema.
 ///
 /// Member phrases must resolve to **leaf** members of the corresponding
-/// dimension. Returns `DataError::Csv` with a 1-based line number on any
-/// malformed input.
+/// dimension. Returns `DataError::Csv` with a 1-based line number — and
+/// the offending column, when attributable — on any malformed input.
 pub fn from_csv(schema: Schema, csv: &str) -> Result<Table, DataError> {
+    import_csv(schema, csv, CsvMode::Strict).map(|import| import.table)
+}
+
+/// Parse one data row into leaf members + measure values; `Err` carries
+/// the line number and, where attributable, the offending column name.
+fn parse_row(
+    tb: &TableBuilder,
+    header_fields: &[&str],
+    fields: &[&str],
+    lineno: usize,
+    n_dims: usize,
+) -> Result<(Vec<crate::dimension::MemberId>, Vec<f64>), DataError> {
+    let column = |idx: usize| header_fields.get(idx).map(|c| c.trim().to_string());
+    let mut members = Vec::with_capacity(n_dims);
+    for (d, field) in fields.iter().take(n_dims).enumerate() {
+        let dim = tb.schema().dimension(DimId(d as u8));
+        let m = dim.member_by_phrase(field).map_err(|e| DataError::Csv {
+            line: lineno,
+            column: column(d),
+            message: e.to_string(),
+        })?;
+        members.push(m);
+    }
+    let mut values = Vec::with_capacity(fields.len() - n_dims);
+    for (mi, field) in fields[n_dims..].iter().enumerate() {
+        let value: f64 = field.trim().parse().map_err(|_| DataError::Csv {
+            line: lineno,
+            column: column(n_dims + mi),
+            message: format!("bad measure value {field:?}"),
+        })?;
+        values.push(value);
+    }
+    Ok((members, values))
+}
+
+/// Parse CSV with an explicit malformed-row policy (see [`CsvMode`]);
+/// lenient imports skip bad rows and report how many were dropped.
+pub fn import_csv(schema: Schema, csv: &str, mode: CsvMode) -> Result<CsvImport, DataError> {
     let n_dims = schema.dimensions().len();
     let n_measures = schema.measure_count();
     let n_cols = n_dims + n_measures;
     let mut lines = csv.lines().enumerate();
-    let (_, header) =
-        lines.next().ok_or(DataError::Csv { line: 1, message: "missing header".to_string() })?;
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        column: None,
+        message: "missing header".to_string(),
+    })?;
     let header_fields: Vec<&str> = header.split(',').collect();
     if header_fields.len() != n_cols {
         return Err(DataError::Csv {
             line: 1,
+            column: None,
             message: format!("expected {n_cols} columns, got {}", header_fields.len()),
         });
     }
 
     let mut tb = TableBuilder::new(schema);
+    let mut loaded_rows = 0usize;
+    let mut skipped_rows = 0usize;
+    let mut first_error: Option<DataError> = None;
     for (i, line) in lines {
         let lineno = i + 1;
         if line.trim().is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != n_cols {
-            return Err(DataError::Csv {
+        let parsed = if fields.len() != n_cols {
+            Err(DataError::Csv {
                 line: lineno,
+                column: None,
                 message: format!("expected {n_cols} fields, got {}", fields.len()),
-            });
-        }
-        let mut members = Vec::with_capacity(n_dims);
-        for (d, field) in fields.iter().take(n_dims).enumerate() {
-            let dim = tb.schema().dimension(DimId(d as u8));
-            let m = dim
-                .member_by_phrase(field)
-                .map_err(|e| DataError::Csv { line: lineno, message: e.to_string() })?;
-            members.push(m);
-        }
-        let mut values = Vec::with_capacity(n_measures);
-        for field in &fields[n_dims..] {
-            let value: f64 = field.trim().parse().map_err(|_| DataError::Csv {
+            })
+        } else {
+            parse_row(&tb, &header_fields, &fields, lineno, n_dims)
+        };
+        let pushed = parsed.and_then(|(members, values)| {
+            tb.push_row_values(&members, &values).map_err(|e| DataError::Csv {
                 line: lineno,
-                message: format!("bad measure value {field:?}"),
-            })?;
-            values.push(value);
+                column: None,
+                message: e.to_string(),
+            })
+        });
+        match pushed {
+            Ok(()) => loaded_rows += 1,
+            Err(e) => match mode {
+                CsvMode::Strict => return Err(e),
+                CsvMode::Lenient => {
+                    skipped_rows += 1;
+                    first_error.get_or_insert(e);
+                }
+            },
         }
-        tb.push_row_values(&members, &values)
-            .map_err(|e| DataError::Csv { line: lineno, message: e.to_string() })?;
     }
-    Ok(tb.build())
+    Ok(CsvImport { table: tb.build(), loaded_rows, skipped_rows, first_error })
 }
 
 #[cfg(test)]
@@ -127,13 +200,53 @@ mod tests {
     }
 
     #[test]
-    fn bad_member_is_reported_with_line() {
+    fn bad_member_is_reported_with_line_and_column() {
         let schema = SalaryConfig::schema(4);
         let csv = "college location,start salary,mid-career salary\n\
                    Atlantis Tech,around 55 K,80\n";
         let err = from_csv(schema, csv).unwrap_err();
         match err {
-            DataError::Csv { line, .. } => assert_eq!(line, 2),
+            DataError::Csv { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column.as_deref(), Some("college location"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_skips_bad_rows_and_counts_them() {
+        let t = SalaryConfig { rows: 4, seed: 3 }.generate();
+        let mut csv = to_csv(&t);
+        // Append one row with an unknown member and one with a bad value
+        // (reusing a known-good member phrase for the latter).
+        let inst = t.schema().dimension(DimId(0)).member(t.member_at(DimId(0), 0)).phrase.clone();
+        let bin = t.schema().dimension(DimId(1)).member(t.member_at(DimId(1), 0)).phrase.clone();
+        csv.push_str("Atlantis Tech,around 55 K,80\n");
+        csv.push_str(&format!("{inst},{bin},not-a-number\n"));
+        csv.push_str("only-two,fields\n");
+        let import = import_csv(SalaryConfig::schema(4), &csv, CsvMode::Lenient).unwrap();
+        assert_eq!(import.loaded_rows, 4);
+        assert_eq!(import.table.row_count(), 4);
+        assert_eq!(import.skipped_rows, 3);
+        let first = import.first_error.expect("first error kept");
+        assert!(matches!(first, DataError::Csv { line: 6, .. }), "first bad line: {first}");
+        // Strict mode fails on the same input.
+        assert!(import_csv(SalaryConfig::schema(4), &csv, CsvMode::Strict).is_err());
+    }
+
+    #[test]
+    fn bad_measure_value_names_the_measure_column() {
+        let schema = SalaryConfig::schema(4);
+        let t = SalaryConfig { rows: 4, seed: 3 }.generate();
+        let inst = t.schema().dimension(DimId(0)).member(t.member_at(DimId(0), 0)).phrase.clone();
+        let bin = t.schema().dimension(DimId(1)).member(t.member_at(DimId(1), 0)).phrase.clone();
+        let csv = format!("college location,start salary,mid-career salary\n{inst},{bin},oops\n");
+        let err = from_csv(schema, &csv).unwrap_err();
+        match err {
+            DataError::Csv { column, .. } => {
+                assert_eq!(column.as_deref(), Some("mid-career salary"));
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }

@@ -38,6 +38,9 @@ pub enum DataError {
     Csv {
         /// 1-based line number.
         line: usize,
+        /// The column (header name) the problem was found in, when it is
+        /// attributable to one.
+        column: Option<String>,
         /// Description of the problem.
         message: String,
     },
@@ -56,7 +59,10 @@ impl fmt::Display for DataError {
             DataError::LevelMismatch { expected, actual } => {
                 write!(f, "member at level {actual}, expected level {expected}")
             }
-            DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            DataError::Csv { line, column, message } => match column {
+                Some(col) => write!(f, "csv error at line {line}, column {col:?}: {message}"),
+                None => write!(f, "csv error at line {line}: {message}"),
+            },
         }
     }
 }
@@ -78,6 +84,18 @@ mod tests {
         let e = DataError::LengthMismatch { expected: 3, actual: 5 };
         assert!(e.to_string().contains("expected 3"));
         assert!(e.to_string().contains("got 5"));
+    }
+
+    #[test]
+    fn display_csv_with_and_without_column() {
+        let with = DataError::Csv {
+            line: 7,
+            column: Some("start salary".into()),
+            message: "bad value".into(),
+        };
+        assert_eq!(with.to_string(), "csv error at line 7, column \"start salary\": bad value");
+        let without = DataError::Csv { line: 1, column: None, message: "missing header".into() };
+        assert_eq!(without.to_string(), "csv error at line 1: missing header");
     }
 
     #[test]

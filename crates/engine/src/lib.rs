@@ -35,6 +35,7 @@
 pub mod cache;
 pub mod error;
 pub mod exact;
+pub mod poison;
 pub mod query;
 pub mod semantic;
 pub mod sharded;

@@ -31,11 +31,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use voxolap_data::dimension::MemberId;
 
 use crate::exact::ExactResult;
+use crate::poison::RecoveringMutex;
 use crate::query::{AggFct, QueryKey, ScopeKey};
 
 /// Number of independently locked cache shards.
@@ -123,6 +122,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Approximate bytes currently held across all shards.
     pub bytes_used: u64,
+    /// Shards rebuilt (emptied) after lock poisoning or injected tears.
+    pub poison_recoveries: u64,
 }
 
 struct ExactEntry {
@@ -180,7 +181,7 @@ impl Shard {
 
 /// Size-bounded, shard-locked cross-query cache (see module docs).
 pub struct SemanticCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<RecoveringMutex<Shard>>,
     /// Byte budget per shard (total budget / [`N_SHARDS`]).
     shard_budget: usize,
     capacity_bytes: usize,
@@ -191,6 +192,7 @@ pub struct SemanticCache {
     misses: AtomicU64,
     admissions: AtomicU64,
     evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for SemanticCache {
@@ -206,7 +208,7 @@ impl SemanticCache {
     /// Create a cache with a total byte budget.
     pub fn new(capacity_bytes: usize) -> Self {
         SemanticCache {
-            shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..N_SHARDS).map(|_| RecoveringMutex::new(Shard::default())).collect(),
             shard_budget: (capacity_bytes / N_SHARDS).max(ENTRY_OVERHEAD),
             capacity_bytes,
             tick: AtomicU64::new(0),
@@ -215,6 +217,7 @@ impl SemanticCache {
             misses: AtomicU64::new(0),
             admissions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -239,10 +242,24 @@ impl SemanticCache {
         self.shard_budget / row.max(1)
     }
 
-    fn shard_of<K: Hash>(&self, key: &K) -> &Mutex<Shard> {
+    fn shard_of<K: Hash>(&self, key: &K) -> &RecoveringMutex<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % N_SHARDS]
+    }
+
+    /// Lock a shard, rebuilding it empty first if its previous holder
+    /// died mid-update. A cache may always forget, so dropping the torn
+    /// shard's entries restores consistency; the rebuild is surfaced via
+    /// [`CacheStats::poison_recoveries`].
+    fn lock_shard<'a>(
+        &'a self,
+        shard: &'a RecoveringMutex<Shard>,
+    ) -> std::sync::MutexGuard<'a, Shard> {
+        shard.lock_recovering(|s| {
+            *s = Shard::default();
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+        })
     }
 
     fn next_tick(&self) -> u64 {
@@ -251,7 +268,7 @@ impl SemanticCache {
 
     /// Look up the exact result of a canonically identical earlier query.
     pub fn lookup_exact(&self, key: &QueryKey) -> Option<Arc<ExactAggregates>> {
-        let mut shard = self.shard_of(key).lock();
+        let mut shard = self.lock_shard(self.shard_of(key));
         let tick = self.next_tick();
         let entry = shard.exact.get_mut(key)?;
         entry.last_used = tick;
@@ -271,7 +288,7 @@ impl SemanticCache {
         seed: u64,
         n_shards: usize,
     ) -> Option<Arc<SampleSnapshot>> {
-        let mut shard = self.shard_of(scope).lock();
+        let mut shard = self.lock_shard(self.shard_of(scope));
         let tick = self.next_tick();
         let entry = shard.samples.get_mut(scope)?;
         if entry.snap.seed != seed || entry.snap.shard_reads.len() != n_shards {
@@ -295,7 +312,7 @@ impl SemanticCache {
         let data = Arc::new(ExactAggregates { counts, sums });
         let bytes = data.approx_bytes();
         let tick = self.next_tick();
-        let mut shard = self.shard_of(key).lock();
+        let mut shard = self.lock_shard(self.shard_of(key));
         if let Some(old) =
             shard.exact.insert(key.clone(), ExactEntry { data, bytes, last_used: tick })
         {
@@ -317,7 +334,7 @@ impl SemanticCache {
             return;
         }
         let tick = self.next_tick();
-        let mut shard = self.shard_of(scope).lock();
+        let mut shard = self.lock_shard(self.shard_of(scope));
         if let Some(existing) = shard.samples.get(scope) {
             if existing.snap.seed == snap.seed && existing.snap.nr_read >= snap.nr_read {
                 return;
@@ -336,7 +353,7 @@ impl SemanticCache {
 
     /// Current counter values.
     pub fn stats(&self) -> CacheStats {
-        let bytes_used: usize = self.shards.iter().map(|s| s.lock().bytes).sum();
+        let bytes_used: usize = self.shards.iter().map(|s| self.lock_shard(s).bytes).sum();
         CacheStats {
             exact_hits: self.exact_hits.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
@@ -344,6 +361,7 @@ impl SemanticCache {
             admissions: self.admissions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             bytes_used: bytes_used as u64,
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -444,6 +462,26 @@ mod tests {
         assert!(cache.lookup_snapshot(&scope, 42, 4).is_none(), "shard-count mismatch");
         assert!(cache.lookup_snapshot(&key(1).scope(), 42, 1).is_none(), "scope mismatch");
         assert_eq!(cache.stats().warm_hits, 1);
+    }
+
+    #[test]
+    fn torn_shard_is_rebuilt_empty_and_counted() {
+        let cache = SemanticCache::with_capacity_mb(1);
+        let k = key(0);
+        let (counts, sums) = exact_payload(4);
+        cache.admit_exact(&k, counts, sums);
+        assert!(cache.lookup_exact(&k).is_some());
+        // Simulate a holder dying mid-update on that entry's shard: the
+        // next locker rebuilds the shard empty instead of panicking.
+        cache.shard_of(&k).mark_torn();
+        assert!(cache.lookup_exact(&k).is_none(), "torn shard forgets its entries");
+        let stats = cache.stats();
+        assert_eq!(stats.poison_recoveries, 1);
+        assert_eq!(stats.bytes_used, 0, "rebuilt shard holds no bytes");
+        // The cache keeps working after recovery.
+        let (counts, sums) = exact_payload(4);
+        cache.admit_exact(&k, counts, sums);
+        assert!(cache.lookup_exact(&k).is_some());
     }
 
     #[test]

@@ -24,17 +24,19 @@
 //! which is the property all the paper's estimators rest on.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, MutexGuard};
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use voxolap_data::dimension::MemberId;
+use voxolap_faults::{DegradeStats, FaultInjector, FaultSite};
 
 use crate::cache::{
     estimate_from_resample, resample_into_scratch, CacheEstimate, ResampleScratch,
     DEFAULT_RESAMPLE_SIZE,
 };
+use crate::poison::RecoveringMutex;
 use crate::query::{AggFct, AggIdx, ResultLayout};
 
 /// Add `delta` to an `f64` held as bits in an [`AtomicU64`].
@@ -64,7 +66,10 @@ struct Bucket {
 /// Concurrent, per-aggregate-striped sample cache (see module docs).
 #[derive(Debug)]
 pub struct ShardedSampleCache {
-    buckets: Vec<Mutex<Bucket>>,
+    /// Per-aggregate value buckets. Poison-recovering: a holder dying
+    /// mid-update (real panic or injected tear) costs that bucket its
+    /// cached values on the next access — never the whole cache.
+    buckets: Vec<RecoveringMutex<Bucket>>,
     /// Rows offered per aggregate (drives count estimates + reservoir).
     offered: Vec<AtomicU64>,
     /// Whether the aggregate is already in `nonempty`.
@@ -81,6 +86,12 @@ pub struct ShardedSampleCache {
     bucket_capacity: Option<usize>,
     scope_count: AtomicU64,
     scope_sum_bits: AtomicU64,
+    /// Buckets rebuilt after lock poisoning / torn state.
+    poison_recoveries: AtomicU64,
+    /// Fault injection at the CacheShard site (chaos testing only).
+    faults: Option<Arc<FaultInjector>>,
+    /// Process-wide degradation counters recoveries are mirrored into.
+    degrade_stats: Option<Arc<DegradeStats>>,
 }
 
 impl ShardedSampleCache {
@@ -90,7 +101,7 @@ impl ShardedSampleCache {
         ShardedSampleCache {
             buckets: (0..n_aggregates)
                 .map(|a| {
-                    Mutex::new(Bucket {
+                    RecoveringMutex::new(Bucket {
                         values: Vec::new(),
                         // Same base seed as the sequential cache, distinct
                         // stream per stripe.
@@ -108,7 +119,39 @@ impl ShardedSampleCache {
             bucket_capacity: None,
             scope_count: AtomicU64::new(0),
             scope_sum_bits: AtomicU64::new(0f64.to_bits()),
+            poison_recoveries: AtomicU64::new(0),
+            faults: None,
+            degrade_stats: None,
         }
+    }
+
+    /// Attach a fault injector (CacheShard site) and the degradation
+    /// counters recoveries feed. Without this, the observe hot path pays
+    /// a single `Option` branch.
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>, stats: Arc<DegradeStats>) -> Self {
+        self.faults = Some(injector);
+        self.degrade_stats = Some(stats);
+        self
+    }
+
+    /// Lock one aggregate's bucket, rebuilding it first if its previous
+    /// holder died mid-update. A rebuilt bucket loses its cached values
+    /// (the atomic `offered` counts survive, so count estimates stay
+    /// unbiased — exactly as if every entry had been evicted) and is
+    /// counted in [`poison_recoveries`](ShardedSampleCache::poison_recoveries).
+    fn bucket(&self, a: usize) -> MutexGuard<'_, Bucket> {
+        self.buckets[a].lock_recovering(|bucket| {
+            bucket.values = Vec::new();
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = &self.degrade_stats {
+                stats.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    /// Buckets rebuilt after lock poisoning / injected tears so far.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
     }
 
     /// Override the fixed resample size.
@@ -132,9 +175,20 @@ impl ShardedSampleCache {
     pub fn observe(&self, agg: Option<AggIdx>, value: f64) {
         self.nr_read.fetch_add(1, Ordering::AcqRel);
         let Some(a) = agg else { return };
+        // CacheShard fault site: model a worker dying while holding this
+        // bucket's lock — the bucket is marked torn and the very next
+        // locker (often this call) rebuilds it.
+        if let Some(inj) = &self.faults {
+            if let Some(fault) = inj.roll(FaultSite::CacheShard) {
+                fault.stall();
+                if fault.error {
+                    self.buckets[a as usize].mark_torn();
+                }
+            }
+        }
         let offered = self.offered[a as usize].fetch_add(1, Ordering::AcqRel) + 1;
         {
-            let bucket = &mut *self.buckets[a as usize].lock();
+            let bucket = &mut *self.bucket(a as usize);
             match self.bucket_capacity {
                 Some(cap) if bucket.values.len() >= cap => {
                     // Reservoir replacement: the new row displaces a random
@@ -185,14 +239,24 @@ impl ShardedSampleCache {
         if self.bucket_capacity.is_some() || self.nr_read() < self.nr_rows_total {
             return None;
         }
+        // A rebuilt bucket lost values: sums would silently undercount,
+        // so a recovered cache never claims exactness.
+        if self.poison_recoveries() > 0 {
+            return None;
+        }
         let counts = self.offered.iter().map(|o| o.load(Ordering::Acquire)).collect();
-        let sums = self.buckets.iter().map(|b| b.lock().values.iter().sum()).collect();
+        let sums: Vec<f64> =
+            (0..self.buckets.len()).map(|a| self.bucket(a).values.iter().sum()).collect();
+        // Re-check: a tear recovered *while* summing also voids exactness.
+        if self.poison_recoveries() > 0 {
+            return None;
+        }
         Some((counts, sums))
     }
 
     /// Number of cached entries for one aggregate (`CA.SIZE`).
     pub fn size(&self, agg: AggIdx) -> usize {
-        self.buckets[agg as usize].lock().values.len()
+        self.bucket(agg as usize).values.len()
     }
 
     /// Total rows ever offered to one aggregate's bucket (counting past
@@ -255,7 +319,7 @@ impl ShardedSampleCache {
         rng: &mut R,
         scratch: &'s mut ResampleScratch,
     ) -> &'s [f64] {
-        let bucket = self.buckets[agg as usize].lock();
+        let bucket = self.bucket(agg as usize);
         resample_into_scratch(&bucket.values, self.resample_size, rng, scratch);
         drop(bucket);
         &scratch.out
@@ -311,7 +375,7 @@ impl ShardedSampleCache {
     /// Normal-approximation confidence interval for one aggregate's
     /// average at `z` standard errors, over all cached entries.
     pub fn confidence_interval(&self, agg: AggIdx, z: f64) -> Option<(f64, f64)> {
-        let bucket = self.buckets[agg as usize].lock();
+        let bucket = self.bucket(agg as usize);
         let values = &bucket.values;
         if values.len() < 2 {
             return None;
@@ -483,6 +547,81 @@ mod tests {
             assert_eq!(counts[agg as usize], exact.count(agg));
             assert!((sums[agg as usize] - exact.sum(agg)).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn injected_tears_rebuild_buckets_and_void_exactness() {
+        use voxolap_faults::{FaultPlan, SiteSchedule};
+        let (table, q) = salary_setup();
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::new(77).with_site(FaultSite::CacheShard, SiteSchedule::error(0.05)),
+        ));
+        let stats = Arc::new(DegradeStats::default());
+        let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
+            .with_faults(injector.clone(), stats.clone());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let cache = &cache;
+                let table = &table;
+                let q = &q;
+                scope.spawn(move || {
+                    let mut scan = table.scan_shuffled_shard(7, w, 4);
+                    while let Some(r) = scan.next_row() {
+                        cache.observe(q.layout().agg_of_row(r.members), r.value);
+                    }
+                });
+            }
+        });
+        assert!(injector.injected(FaultSite::CacheShard) > 0, "faults actually fired");
+        assert!(cache.poison_recoveries() > 0, "torn buckets were rebuilt");
+        assert_eq!(
+            stats.snapshot().poison_recoveries,
+            cache.poison_recoveries(),
+            "recoveries mirrored into shared stats"
+        );
+        // Full scan, but values were lost: the cache must not claim
+        // exactness...
+        assert!(cache.exact_result().is_none(), "recovered cache never claims exactness");
+        assert_eq!(cache.nr_read(), table.row_count() as u64);
+        // ...while the atomic offered counts stay exact (like eviction).
+        let exact = evaluate(&q, &table);
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(cache.seen(agg), exact.count(agg), "offered counts survive tears");
+        }
+        // Estimators keep functioning on the surviving values.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = ResampleScratch::new();
+        for agg in 0..q.n_aggregates() as u32 {
+            assert!(cache.estimate_with(agg, &mut rng, &mut scratch).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_probability_faults_change_nothing() {
+        use voxolap_faults::{FaultPlan, SiteSchedule};
+        let (table, q) = salary_setup();
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::new(1).with_site(FaultSite::CacheShard, SiteSchedule::error(0.0)),
+        ));
+        let stats = Arc::new(DegradeStats::default());
+        let faulted = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
+            .with_faults(injector, stats);
+        let plain = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        let mut scan = table.scan_shuffled(7);
+        while let Some(r) = scan.next_row() {
+            let agg = q.layout().agg_of_row(r.members);
+            faulted.observe(agg, r.value);
+        }
+        let mut scan = table.scan_shuffled(7);
+        while let Some(r) = scan.next_row() {
+            plain.observe(q.layout().agg_of_row(r.members), r.value);
+        }
+        assert_eq!(faulted.poison_recoveries(), 0);
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(faulted.size(agg), plain.size(agg));
+            assert_eq!(faulted.seen(agg), plain.seen(agg));
+        }
+        assert_eq!(faulted.exact_result(), plain.exact_result());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Per-source circuit breaker: closed → open → half-open.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// Cooling down finished: exactly one probe request is in flight.
+    HalfOpen,
+}
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// A lock-free circuit breaker guarding one upstream source.
+///
+/// `threshold` consecutive failures trip it open; after `cooldown` the
+/// next [`allow`](CircuitBreaker::allow) call wins a CAS and becomes the
+/// single half-open probe. The probe's [`on_success`] closes the breaker,
+/// its [`on_failure`] re-opens it for another cooldown.
+///
+/// [`on_success`]: CircuitBreaker::on_success
+/// [`on_failure`]: CircuitBreaker::on_failure
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: AtomicU8,
+    consecutive: AtomicU32,
+    trips: AtomicU64,
+    /// When the breaker last opened, as micros since `epoch` (valid only
+    /// while not closed).
+    opened_at_us: AtomicU64,
+    epoch: Instant,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// and probing again `cooldown` after each trip.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: AtomicU8::new(CLOSED),
+            consecutive: AtomicU32::new(0),
+            trips: AtomicU64::new(0),
+            opened_at_us: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current state (half-open is reported while a probe is pending).
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            OPEN => BreakerState::Open,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Times this breaker has tripped open (re-opens after a failed probe
+    /// included).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Whether the caller may attempt the guarded operation now. While
+    /// open, returns `false` until the cooldown elapses; the first caller
+    /// after that becomes the half-open probe (everyone else keeps
+    /// getting `false` until the probe reports back).
+    pub fn allow(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => true,
+            HALF_OPEN => false,
+            _ => {
+                let opened = self.opened_at_us.load(Ordering::Acquire);
+                let elapsed = (self.epoch.elapsed().as_micros() as u64).saturating_sub(opened);
+                if Duration::from_micros(elapsed) < self.cooldown {
+                    return false;
+                }
+                // Cooldown over: exactly one caller wins the probe slot.
+                self.state
+                    .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            }
+        }
+    }
+
+    /// Report a successful guarded operation: resets the failure streak
+    /// and closes the breaker (a half-open probe succeeding).
+    pub fn on_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        if self.state.load(Ordering::Acquire) != CLOSED {
+            self.state.store(CLOSED, Ordering::Release);
+        }
+    }
+
+    /// Report a failed guarded operation. Returns `true` when this
+    /// failure tripped the breaker open (including a failed half-open
+    /// probe re-opening it).
+    pub fn on_failure(&self) -> bool {
+        if self.state.compare_exchange(HALF_OPEN, OPEN, Ordering::AcqRel, Ordering::Acquire).is_ok()
+        {
+            self.stamp_open();
+            return true;
+        }
+        let streak = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.threshold
+            && self
+                .state
+                .compare_exchange(CLOSED, OPEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.stamp_open();
+            return true;
+        }
+        false
+    }
+
+    fn stamp_open(&self) {
+        self.opened_at_us.store(self.epoch.elapsed().as_micros() as u64, Ordering::Release);
+        self.trips.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(threshold, Duration::from_millis(cooldown_ms))
+    }
+
+    #[test]
+    fn stays_closed_below_threshold_and_resets_on_success() {
+        let b = breaker(3, 60_000);
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        b.on_success();
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_refuses() {
+        let b = breaker(3, 60_000);
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(b.on_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker refuses while cooling down");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let b = breaker(1, 0);
+        assert!(b.on_failure());
+        // Zero cooldown: the next allow() becomes the probe...
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // ...and only that one caller gets through.
+        assert!(!b.allow());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = breaker(1, 0);
+        assert!(b.on_failure());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.on_failure(), "failed probe counts as a fresh trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn cooldown_gates_the_probe() {
+        let b = breaker(1, 30);
+        assert!(b.on_failure());
+        assert!(!b.allow(), "cooldown not elapsed");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow(), "cooldown elapsed: probe granted");
+    }
+
+    #[test]
+    fn closed_to_open_to_half_open_to_closed_cycle() {
+        let b = breaker(2, 10);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure();
+        assert!(b.on_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+}

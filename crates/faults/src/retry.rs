@@ -1,0 +1,89 @@
+//! Exponential backoff with deterministic full jitter.
+
+use std::time::Duration;
+
+use crate::{splitmix64, unit_f64};
+
+/// Retry schedule for a failed operation: up to `max_retries` attempts,
+/// sleeping `base · 2^attempt` (capped at `cap`) scaled by a jitter
+/// factor in `[0.5, 1.0)`. The jitter is derived from the caller's token
+/// (e.g. the fault's roll hash) so a seeded chaos run reproduces its
+/// exact sleep schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial failure.
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(50),
+            cap: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry `attempt` (0-based). Guaranteed in
+    /// `[exp/2, exp]` where `exp = min(cap, base · 2^attempt)`.
+    pub fn delay(&self, attempt: u32, token: u64) -> Duration {
+        let exp =
+            self.base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX)).min(self.cap);
+        let jitter = 0.5 + 0.5 * unit_f64(splitmix64(token ^ u64::from(attempt)));
+        exp.mul_f64(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_exponentially_until_cap() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_micros(100),
+            cap: Duration::from_micros(350),
+        };
+        // Pre-jitter envelopes: 100, 200, 350 (capped), 350, ...
+        assert!(p.delay(0, 1) <= Duration::from_micros(100));
+        assert!(p.delay(1, 1) <= Duration::from_micros(200));
+        assert!(p.delay(1, 1) >= Duration::from_micros(100));
+        assert!(p.delay(4, 1) <= Duration::from_micros(350));
+        assert!(p.delay(4, 1) >= Duration::from_micros(175));
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full_envelope() {
+        let p = RetryPolicy::default();
+        for attempt in 0..=p.max_retries {
+            let exp = p.base.saturating_mul(1 << attempt).min(p.cap);
+            for token in 0..500u64 {
+                let d = p.delay(attempt, token);
+                assert!(d >= exp.mul_f64(0.5), "attempt {attempt} token {token}: {d:?} < half");
+                assert!(d <= exp, "attempt {attempt} token {token}: {d:?} > envelope");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_token_and_varies_across_tokens() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(1, 99), p.delay(1, 99));
+        let distinct: std::collections::HashSet<Duration> =
+            (0..50u64).map(|t| p.delay(0, t)).collect();
+        assert!(distinct.len() > 25, "jitter spreads: {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy::default();
+        assert!(p.delay(63, 7) <= p.cap);
+    }
+}

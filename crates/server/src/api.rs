@@ -27,6 +27,7 @@ use voxolap_data::stats::DatasetStats;
 use voxolap_data::Table;
 use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
+use voxolap_faults::Resilience;
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response as SessionResponse, Session};
 use voxolap_voice::tts::RealTimeVoice;
@@ -58,9 +59,18 @@ pub struct AppState {
     /// subsequent request (vocalizers are stateless apart from shared
     /// caches, so one instance serves all connections).
     vocalizers: Mutex<HashMap<String, Arc<dyn Vocalizer>>>,
+    /// Fault-injection + degradation policy shared by the resilient
+    /// approaches (`None` unless `--fault-plan` was given; a plan-less
+    /// `Resilience` still enables retry/breaker/anytime machinery).
+    resilience: Option<Arc<Resilience>>,
     /// Per-query planning latencies in milliseconds, for `/stats`
     /// percentiles.
     latencies_ms: Arc<Mutex<Vec<f64>>>,
+    /// Planning latencies of answers that completed degraded, reported
+    /// separately under `/stats` `"degradation"`.
+    planning_degraded_ms: Arc<Mutex<Vec<f64>>>,
+    /// Planning latencies of answers that completed clean.
+    planning_clean_ms: Arc<Mutex<Vec<f64>>>,
     /// Time-to-first-sentence samples in milliseconds, fed by both the
     /// blocking and the streaming query paths.
     ttfs_ms: Arc<Mutex<Vec<f64>>>,
@@ -120,6 +130,7 @@ struct AnswerResponse {
     chars: usize,
     rows_sampled: u64,
     planner_iterations: u64,
+    degraded: bool,
 }
 
 impl AnswerResponse {
@@ -133,11 +144,12 @@ impl AnswerResponse {
             chars: outcome.body_len(),
             rows_sampled: outcome.stats.rows_read,
             planner_iterations: outcome.stats.samples,
+            degraded: outcome.stats.degraded,
         }
     }
 
     fn to_json(&self) -> Value {
-        Value::obj([
+        let mut fields = vec![
             ("approach", self.approach.as_str().into()),
             ("text", self.text.as_str().into()),
             ("preamble", self.preamble.as_str().into()),
@@ -146,7 +158,13 @@ impl AnswerResponse {
             ("chars", self.chars.into()),
             ("rows_sampled", self.rows_sampled.into()),
             ("planner_iterations", self.planner_iterations.into()),
-        ])
+        ];
+        // Wire-compatible with pre-resilience clients: the field appears
+        // only on answers that actually degraded.
+        if self.degraded {
+            fields.push(("degraded", true.into()));
+        }
+        Value::obj(fields)
     }
 }
 
@@ -157,6 +175,7 @@ fn make_vocalizer(
     approach: &str,
     threads: usize,
     semantic: Option<&Arc<SemanticCache>>,
+    resilience: Option<&Arc<Resilience>>,
 ) -> Result<Box<dyn Vocalizer>, String> {
     let holistic_config = HolisticConfig {
         min_samples_per_sentence: 8_000,
@@ -169,6 +188,9 @@ fn make_vocalizer(
             if let Some(cache) = semantic {
                 v = v.with_cache(cache.clone());
             }
+            if let Some(res) = resilience {
+                v = v.with_resilience(res.clone());
+            }
             Ok(Box::new(v))
         }
         // "concurrent" kept as an alias for the pre-parallel engine name.
@@ -176,6 +198,9 @@ fn make_vocalizer(
             let mut v = ParallelHolistic::new(holistic_config).with_threads(threads);
             if let Some(cache) = semantic {
                 v = v.with_cache(cache.clone());
+            }
+            if let Some(res) = resilience {
+                v = v.with_resilience(res.clone());
             }
             Ok(Box::new(v))
         }
@@ -227,7 +252,10 @@ impl AppState {
             threads,
             semantic: Some(Arc::new(SemanticCache::with_capacity_mb(DEFAULT_CACHE_MB))),
             vocalizers: Mutex::new(HashMap::new()),
+            resilience: None,
             latencies_ms: Arc::new(Mutex::new(Vec::new())),
+            planning_degraded_ms: Arc::new(Mutex::new(Vec::new())),
+            planning_clean_ms: Arc::new(Mutex::new(Vec::new())),
             ttfs_ms: Arc::new(Mutex::new(Vec::new())),
             gap_ms: Arc::new(Mutex::new(Vec::new())),
             stream_cancellations: Arc::new(AtomicU64::new(0)),
@@ -248,6 +276,16 @@ impl AppState {
     pub fn with_cache_mb(mut self, mb: usize) -> Self {
         self.semantic = (mb > 0).then(|| Arc::new(SemanticCache::with_capacity_mb(mb)));
         self
+    }
+
+    /// Parse and attach a fault plan / degradation policy (the server's
+    /// `--fault-plan` flag; see `voxolap_faults::Resilience::from_spec`
+    /// for the spec grammar). Resilient approaches built after this call
+    /// retry faulted reads, trip per-source breakers, and finish with
+    /// anytime answers when the fault budget runs out.
+    pub fn with_fault_plan(mut self, spec: &str) -> Result<Self, String> {
+        self.resilience = Some(Arc::new(Resilience::from_spec(spec)?));
+        Ok(self)
     }
 
     /// Attach the serving-layer counter block so `GET /stats` can report
@@ -277,6 +315,7 @@ impl AppState {
                     ("bytes", stats.bytes.into()),
                     ("cache", self.cache_json()),
                     ("latency_ms", self.latency_json()),
+                    ("degradation", self.degradation_json()),
                     ("http", self.http_json()),
                 ]);
                 Response::ok(body.to_string())
@@ -314,6 +353,24 @@ impl AppState {
         ])
     }
 
+    /// Degradation-ladder counters for `/stats` (`null` unless a fault
+    /// plan / resilience policy is attached): how often each rung fired,
+    /// plus planning-latency percentiles split degraded vs clean.
+    fn degradation_json(&self) -> Value {
+        let Some(res) = &self.resilience else { return Value::Null };
+        let s = res.stats().snapshot();
+        Value::obj([
+            ("retries", s.retries.into()),
+            ("breaker_trips", s.breaker_trips.into()),
+            ("cache_fallbacks", s.cache_fallbacks.into()),
+            ("poison_recoveries", s.poison_recoveries.into()),
+            ("degraded_answers", s.degraded_answers.into()),
+            ("clean_answers", s.clean_answers.into()),
+            ("planning_ms_degraded", dist_json(&self.planning_degraded_ms)),
+            ("planning_ms_clean", dist_json(&self.planning_clean_ms)),
+        ])
+    }
+
     /// Serving-layer counters for `/stats` (`null` when the state runs
     /// without an attached HTTP pool).
     fn http_json(&self) -> Value {
@@ -346,8 +403,12 @@ impl AppState {
         if let Some(v) = cache.get(key) {
             return Ok(Arc::clone(v));
         }
-        let v: Arc<dyn Vocalizer> =
-            Arc::from(make_vocalizer(key, self.threads, self.semantic.as_ref())?);
+        let v: Arc<dyn Vocalizer> = Arc::from(make_vocalizer(
+            key,
+            self.threads,
+            self.semantic.as_ref(),
+            self.resilience.as_ref(),
+        )?);
         cache.insert(key.to_string(), Arc::clone(&v));
         Ok(v)
     }
@@ -370,7 +431,14 @@ impl AppState {
     }
 
     fn record_latency(&self, outcome: &VocalizationOutcome) {
-        self.latencies_ms.lock().push(outcome.stats.planning_time.as_secs_f64() * 1e3);
+        let ms = outcome.stats.planning_time.as_secs_f64() * 1e3;
+        self.latencies_ms.lock().push(ms);
+        let split = if outcome.stats.degraded {
+            &self.planning_degraded_ms
+        } else {
+            &self.planning_clean_ms
+        };
+        split.lock().push(ms);
     }
 
     /// Drain a sentence stream for a blocking endpoint, feeding the same
@@ -437,6 +505,8 @@ impl AppState {
         };
         let table = Arc::clone(&self.table);
         let latencies = Arc::clone(&self.latencies_ms);
+        let latencies_degraded = Arc::clone(&self.planning_degraded_ms);
+        let latencies_clean = Arc::clone(&self.planning_clean_ms);
         let ttfs = Arc::clone(&self.ttfs_ms);
         let gaps = Arc::clone(&self.gap_ms);
         let cancellations = Arc::clone(&self.stream_cancellations);
@@ -491,18 +561,27 @@ impl AppState {
             }
             let cancelled = stream.is_cancelled();
             let outcome = stream.finish();
-            latencies.lock().push(outcome.stats.planning_time.as_secs_f64() * 1e3);
+            let planning_ms = outcome.stats.planning_time.as_secs_f64() * 1e3;
+            latencies.lock().push(planning_ms);
+            let split = if outcome.stats.degraded { &latencies_degraded } else { &latencies_clean };
+            split.lock().push(planning_ms);
             if cancelled {
                 cancellations.fetch_add(1, Ordering::Relaxed);
             }
-            let done = Value::obj([
+            let mut fields = vec![
                 ("type", "done".into()),
                 ("sentences", outcome.sentences.len().into()),
                 ("samples", outcome.stats.samples.into()),
                 ("rows_read", outcome.stats.rows_read.into()),
-                ("planning_ms", (outcome.stats.planning_time.as_secs_f64() * 1e3).into()),
+                ("planning_ms", planning_ms.into()),
                 ("cancelled", cancelled.into()),
-            ]);
+            ];
+            // Wire-compatible with pre-resilience clients: present only
+            // when the answer actually degraded.
+            if outcome.stats.degraded {
+                fields.push(("degraded", true.into()));
+            }
+            let done = Value::obj(fields);
             w.send(&format!("{done}\n"));
         })
     }
@@ -749,6 +828,49 @@ mod tests {
         assert_eq!(post(&s, "/query/stream", "not json").status, 400);
         let bad = "{\"question\": \"by season\", \"approach\": \"quantum\"}";
         assert_eq!(post(&s, "/query/stream", bad).status, 400);
+    }
+
+    #[test]
+    fn fault_plan_degrades_answers_and_stats_report_the_ladder() {
+        let s = state().with_fault_plan("seed=7,read=1.0,breaker=2,cooldown_ms=60000").unwrap();
+        let r = post(&s, "/ask", "{\"question\": \"cancellation probability by season\"}");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["degraded"].as_bool(), Some(true), "{}", r.body);
+        assert!(v["text"].as_str().unwrap().contains("No data"), "{}", r.body);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        let d = &stats["degradation"];
+        assert!(d["retries"].as_u64().unwrap() >= 1, "{stats:?}");
+        assert!(d["breaker_trips"].as_u64().unwrap() >= 1, "{stats:?}");
+        assert!(d["cache_fallbacks"].as_u64().unwrap() >= 1, "{stats:?}");
+        assert_eq!(d["degraded_answers"].as_u64().unwrap(), 1, "{stats:?}");
+        assert_eq!(d["clean_answers"].as_u64().unwrap(), 0, "{stats:?}");
+        assert_eq!(d["planning_ms_degraded"]["count"].as_u64().unwrap(), 1, "{stats:?}");
+        assert_eq!(d["planning_ms_clean"]["count"].as_u64().unwrap(), 0, "{stats:?}");
+    }
+
+    #[test]
+    fn fault_free_plan_counts_clean_answers_and_omits_degraded_field() {
+        // A plan with a seed but no fault sites: the resilience machinery
+        // is live yet every answer completes clean.
+        let s = state().with_fault_plan("seed=1").unwrap();
+        let r = post(&s, "/ask", "{\"question\": \"cancellation probability by season\"}");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(!r.body.contains("\"degraded\""), "{}", r.body);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        let d = &stats["degradation"];
+        assert_eq!(d["degraded_answers"].as_u64().unwrap(), 0, "{stats:?}");
+        assert_eq!(d["clean_answers"].as_u64().unwrap(), 1, "{stats:?}");
+        assert_eq!(d["planning_ms_clean"]["count"].as_u64().unwrap(), 1, "{stats:?}");
+    }
+
+    #[test]
+    fn stats_degradation_is_null_without_a_fault_plan() {
+        let s = state();
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert!(stats["degradation"].is_null(), "{stats:?}");
+        // And a malformed spec is rejected up front.
+        assert!(state().with_fault_plan("read=not-a-prob").is_err());
     }
 
     #[test]

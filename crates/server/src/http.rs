@@ -917,7 +917,12 @@ mod tests {
         let release_rx = Mutex::new(release_rx);
         let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
         let server = serve_with("127.0.0.1:0", config, HttpMetrics::new(), move |_| {
-            let _ = release_rx.lock().unwrap().recv_timeout(Duration::from_secs(5));
+            // Recover a poisoned lock: a panicked sibling handler must not
+            // cascade into every later request on this shared channel.
+            let _ = release_rx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv_timeout(Duration::from_secs(5));
             Response::ok("{}".to_string())
         })
         .unwrap();
@@ -999,7 +1004,7 @@ mod tests {
         let (tx, rx) = mpsc::channel::<bool>();
         let tx = Mutex::new(tx);
         let server = serve("127.0.0.1:0", move |_req| {
-            let tx = tx.lock().unwrap().clone();
+            let tx = tx.lock().unwrap_or_else(|e| e.into_inner()).clone();
             Response::streaming(move |w| {
                 assert!(w.send("{\"n\":1}\n"));
                 let deadline = Instant::now() + Duration::from_secs(5);

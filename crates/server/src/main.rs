@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! voxolap-server [--port 8080] [--data flights|salary] [--rows N]
-//!                [--threads N] [--cache-mb N]
+//!                [--threads N] [--cache-mb N] [--fault-plan SPEC]
 //!                [--http-threads N] [--http-queue N] [--http-timeout-ms N]
 //! ```
 //!
 //! `--threads` bounds the planning threads used by the `parallel`
 //! approach (default: all cores). `--cache-mb` sizes the cross-query
 //! semantic cache shared by all requests (default 64; `0` disables it).
+//! `--fault-plan` attaches a deterministic fault-injection schedule plus
+//! degradation policy (e.g. `seed=7,read=0.2,budget=64`; DESIGN.md §12);
+//! degraded answers carry `"degraded":true` and `GET /stats` gains a
+//! `"degradation"` section.
 //!
 //! The serving layer is a bounded worker pool (DESIGN.md §10):
 //! `--http-threads` sets the pool size (default 8), `--http-queue` the
@@ -71,6 +75,16 @@ fn main() {
     }
     if let Some(mb) = arg("--cache-mb").and_then(|v| v.parse().ok()) {
         state = state.with_cache_mb(mb);
+    }
+    if let Some(spec) = arg("--fault-plan") {
+        state = match state.with_fault_plan(&spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("fault plan attached: {spec}");
     }
     let state = Arc::new(state);
 

@@ -424,4 +424,30 @@ mod tests {
         s.input("back to the average").unwrap();
         assert_eq!(s.fct(), AggFct::Avg);
     }
+
+    #[test]
+    fn degraded_outcomes_surface_through_session_vocalization() {
+        use std::sync::Arc;
+        use voxolap_faults::{FaultPlan, FaultSite, Resilience, SiteSchedule};
+        let t = table();
+        let mut s = Session::new(&t);
+        s.input("break down by region").unwrap();
+        // Every data read fails and the breaker trips immediately: the
+        // session answer must still come back, marked degraded.
+        let plan = FaultPlan::new(9).with_site(FaultSite::DataRead, SiteSchedule::error(1.0));
+        let res = Arc::new(
+            Resilience::new(Some(plan)).with_breaker(2, std::time::Duration::from_secs(3600)),
+        );
+        let faulty = Holistic::new(HolisticConfig::default()).with_resilience(res.clone());
+        let mut voice = InstantVoice::default();
+        let outcome = s.vocalize_with(&faulty, &mut voice).unwrap();
+        assert!(outcome.stats.degraded, "dead source must mark the answer degraded");
+        assert_eq!(outcome.stats.rows_read, 0);
+        assert_eq!(res.stats().snapshot().degraded_answers, 1);
+        // The same session state with inert resilience stays clean.
+        let clean = Holistic::new(HolisticConfig::default())
+            .with_resilience(Arc::new(Resilience::default()));
+        let outcome = s.vocalize_with(&clean, &mut voice).unwrap();
+        assert!(!outcome.stats.degraded);
+    }
 }

@@ -1,0 +1,260 @@
+//! Chaos suite: 100 deterministic, seeded fault schedules thrown at the
+//! holistic and parallel engines (DESIGN.md §12).
+//!
+//! Each seed derives a randomized [`FaultPlan`] — read/sample/shard/emit
+//! error probabilities, optional injected latency, a per-run fault budget,
+//! and breaker settings — and vocalizes a real query under it. Invariants
+//! checked for every run:
+//!
+//! 1. no panic escapes the engine (a poisoned shard or dead source must
+//!    degrade, not crash);
+//! 2. exactly one answer is accounted, clean xor degraded;
+//! 3. the spoken text is never empty, and a "No data" fallback on a table
+//!    that *has* data is always marked degraded;
+//! 4. every non-empty body still parses under the speech grammar, and the
+//!    induced beliefs stay consistent with the baseline (Theorem A.1:
+//!    the average of belief means equals the spoken baseline).
+//!
+//! The whole suite runs under a watchdog; a hang or a failing seed writes
+//! the seed to `$CARGO_TARGET_TMPDIR/chaos-failure-seed.txt` so CI can
+//! surface exactly which schedule to replay.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::holistic::{Holistic, HolisticConfig};
+use voxolap_core::outcome::VocalizationOutcome;
+use voxolap_core::parallel::ParallelHolistic;
+use voxolap_core::voice::InstantVoice;
+use voxolap_data::dimension::LevelId;
+use voxolap_data::flights::FlightsConfig;
+use voxolap_data::{DimId, Table};
+use voxolap_engine::query::{AggFct, Query};
+use voxolap_faults::{FaultPlan, FaultSite, Resilience, SiteSchedule};
+use voxolap_speech::parse::parse_body;
+use voxolap_speech::scope::CompiledSpeech;
+
+/// Number of randomized schedules.
+const SEEDS: u64 = 100;
+
+/// Hard ceiling for the whole suite; the watchdog aborts past it so a
+/// hung schedule fails CI with the offending seed on record instead of
+/// idling until the job timeout.
+const WATCHDOG: Duration = Duration::from_secs(300);
+
+/// Where a hang or failure records its seed (uploaded as a CI artifact).
+const FAILURE_SEED_FILE: &str = concat!(env!("CARGO_TARGET_TMPDIR"), "/chaos-failure-seed.txt");
+
+const NO_DATA: &str = "No data matches the query scope.";
+
+fn record_failure_seed(seed: u64, why: &str) {
+    let _ = std::fs::write(FAILURE_SEED_FILE, format!("seed={seed}\nreason={why}\n"));
+}
+
+fn table() -> Table {
+    FlightsConfig { rows: 4_000, seed: 42 }.generate()
+}
+
+fn query(table: &Table, two_dims: bool) -> Query {
+    let mut b = Query::builder(AggFct::Avg).group_by(DimId(0), LevelId(1));
+    if two_dims {
+        b = b.group_by(DimId(1), LevelId(1));
+    }
+    b.build(table.schema()).unwrap()
+}
+
+/// Derive one randomized-but-deterministic resilience bundle from `seed`.
+fn chaos_resilience(seed: u64) -> Arc<Resilience> {
+    let mut gen = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut plan = FaultPlan::new(seed);
+    // Sample-fault probability stays ≤ 0.5 so planning always makes
+    // progress between faults; read faults may be total (breaker + cache
+    // fallback must carry the answer then).
+    plan = plan.with_site(
+        FaultSite::DataRead,
+        SiteSchedule {
+            probability: gen.gen_range(0.0..=1.0),
+            latency: Duration::from_micros(gen.gen_range(0..100)),
+            error: true,
+        },
+    );
+    plan = plan.with_site(FaultSite::Sample, SiteSchedule::error(gen.gen_range(0.0..0.5)));
+    plan = plan.with_site(FaultSite::CacheShard, SiteSchedule::error(gen.gen_range(0.0..0.05)));
+    plan = plan.with_site(FaultSite::Emit, SiteSchedule::error(gen.gen_range(0.0..0.1)));
+    let budget = gen.gen_range(16..256);
+    let threshold = gen.gen_range(2..6);
+    Arc::new(
+        Resilience::new(Some(plan))
+            .with_budget(budget)
+            .with_breaker(threshold, Duration::from_millis(1)),
+    )
+}
+
+fn engine_for(seed: u64, res: Arc<Resilience>) -> Box<dyn Vocalizer> {
+    let config = HolisticConfig {
+        min_samples_per_sentence: 200,
+        max_tree_nodes: 30_000,
+        seed,
+        ..HolisticConfig::default()
+    };
+    // Alternate single-threaded and multi-threaded engines so both the
+    // cooperative and the sharded/lock-free paths face every schedule
+    // shape (shard faults only exist on the parallel path).
+    if seed.is_multiple_of(2) {
+        Box::new(Holistic::new(config).with_resilience(res))
+    } else {
+        Box::new(ParallelHolistic::new(config).with_threads(2).with_resilience(res))
+    }
+}
+
+/// Check the per-run invariants; returns an error description on the
+/// first violation instead of panicking so the caller can attach the seed.
+fn check_invariants(
+    table: &Table,
+    q: &Query,
+    res: &Resilience,
+    outcome: &VocalizationOutcome,
+) -> Result<(), String> {
+    let snap = res.stats().snapshot();
+    if snap.clean_answers + snap.degraded_answers != 1 {
+        return Err(format!(
+            "run accounted {} clean + {} degraded answers, want exactly 1",
+            snap.clean_answers, snap.degraded_answers
+        ));
+    }
+    if (snap.degraded_answers == 1) != outcome.stats.degraded {
+        return Err(format!(
+            "stats counter ({} degraded) disagrees with outcome flag ({})",
+            snap.degraded_answers, outcome.stats.degraded
+        ));
+    }
+    let text = outcome.full_text();
+    if text.is_empty() {
+        return Err("empty spoken text".to_string());
+    }
+    let body = outcome.body_text();
+    if body == NO_DATA {
+        // The chaos table always has matching rows: a no-data answer can
+        // only come from the degradation ladder and must say so.
+        if !outcome.stats.degraded {
+            return Err("no-data fallback not marked degraded".to_string());
+        }
+        return Ok(());
+    }
+    if outcome.sentences.is_empty() {
+        return Err("non-degraded run delivered no body sentences".to_string());
+    }
+    // Grammar validity + Theorem A.1: whatever survived the faults must
+    // still parse as a speech whose induced belief means average back to
+    // the spoken baseline.
+    let speech = parse_body(&body, table.schema(), q)
+        .map_err(|e| format!("body fails the speech grammar: {e} (body: {body:?})"))?;
+    let cs = CompiledSpeech::compile(&speech, q.layout(), table.schema());
+    let means = cs.means_all(q.layout());
+    let avg = means.iter().sum::<f64>() / means.len() as f64;
+    let baseline = speech.baseline.value;
+    if (avg - baseline).abs() > 1e-6 * baseline.abs().max(1.0) {
+        return Err(format!("belief means average {avg} != baseline {baseline}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn hundred_seeded_fault_schedules_never_break_the_invariants() {
+    let _ = std::fs::remove_file(FAILURE_SEED_FILE);
+    let t = table();
+    let start = Instant::now();
+    let done = Arc::new(AtomicBool::new(false));
+    let current_seed = Arc::new(AtomicU64::new(0));
+    let watchdog = {
+        let done = Arc::clone(&done);
+        let current = Arc::clone(&current_seed);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                if start.elapsed() > WATCHDOG {
+                    let seed = current.load(Ordering::Relaxed);
+                    record_failure_seed(seed, "watchdog: suite hung");
+                    eprintln!("chaos watchdog fired at seed {seed}; aborting");
+                    std::process::abort();
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        })
+    };
+
+    let mut degraded_runs = 0u64;
+    let mut injected_total = 0u64;
+    for seed in 0..SEEDS {
+        current_seed.store(seed, Ordering::Relaxed);
+        let res = chaos_resilience(seed);
+        let q = query(&t, seed % 3 != 0);
+        let engine = engine_for(seed, Arc::clone(&res));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut voice = InstantVoice::default();
+            engine.vocalize(&t, &q, &mut voice)
+        }))
+        .unwrap_or_else(|e| {
+            record_failure_seed(seed, "panic escaped the engine");
+            std::panic::resume_unwind(e);
+        });
+        if let Err(why) = check_invariants(&t, &q, &res, &outcome) {
+            record_failure_seed(seed, &why);
+            panic!("seed {seed}: {why}");
+        }
+        degraded_runs += u64::from(outcome.stats.degraded);
+        injected_total += res.injector().map_or(0, |inj| inj.total_injected());
+    }
+    done.store(true, Ordering::Relaxed);
+    watchdog.join().unwrap();
+
+    // The schedules must actually bite: plenty of injected faults, some
+    // degraded answers, and some runs that rode the faults out clean.
+    assert!(injected_total > 100, "only {injected_total} faults injected across the suite");
+    assert!(degraded_runs > 0, "no schedule degraded an answer");
+    assert!(degraded_runs < SEEDS, "every schedule degraded; mild ones should survive clean");
+}
+
+#[test]
+fn inert_resilience_is_bit_identical_to_no_resilience() {
+    // The zero-cost-when-disabled guarantee, end to end: an attached but
+    // fault-free bundle must not change a single byte of the transcript
+    // or a single planner statistic, single-threaded.
+    let t = table();
+    for two_dims in [false, true] {
+        let q = query(&t, two_dims);
+        let config = HolisticConfig {
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 30_000,
+            seed: 7,
+            ..HolisticConfig::default()
+        };
+        let mut v1 = InstantVoice::default();
+        let bare = Holistic::new(config.clone()).vocalize(&t, &q, &mut v1);
+        let mut v2 = InstantVoice::default();
+        let inert = Holistic::new(config.clone())
+            .with_resilience(Arc::new(Resilience::default()))
+            .vocalize(&t, &q, &mut v2);
+        assert_eq!(inert.preamble, bare.preamble);
+        assert_eq!(inert.sentences, bare.sentences);
+        assert_eq!(inert.stats.samples, bare.stats.samples);
+        assert_eq!(inert.stats.rows_read, bare.stats.rows_read);
+        assert!(!inert.stats.degraded);
+
+        let mut v3 = InstantVoice::default();
+        let par_bare =
+            ParallelHolistic::new(config.clone()).with_threads(1).vocalize(&t, &q, &mut v3);
+        let mut v4 = InstantVoice::default();
+        let par_inert = ParallelHolistic::new(config)
+            .with_threads(1)
+            .with_resilience(Arc::new(Resilience::default()))
+            .vocalize(&t, &q, &mut v4);
+        assert_eq!(par_inert.sentences, par_bare.sentences);
+        assert_eq!(par_inert.stats.samples, par_bare.stats.samples);
+        assert_eq!(par_bare.sentences, bare.sentences, "parallel(1) tracks holistic");
+    }
+}
