@@ -8,8 +8,8 @@
 //!     [--cache-mb MB] [--out PATH]
 //! ```
 
-use voxolap_bench::arg_usize;
 use voxolap_bench::experiments::cache;
+use voxolap_bench::{arg_usize, HostInfo};
 
 fn main() {
     let rows = arg_usize("--rows", 20_000);
@@ -24,10 +24,10 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
             .unwrap_or_else(|| "BENCH_cache.json".to_string())
     };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = HostInfo::detect();
 
     let replay = cache::measure(rows, queries, repeat_pct, overlap_pct, cache_mb, 42);
-    let json = cache::to_json(rows, repeat_pct, overlap_pct, cache_mb, cores, &replay);
+    let json = cache::to_json(rows, repeat_pct, overlap_pct, cache_mb, host, &replay);
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
     eprintln!("wrote {out}");
     print!("{}", cache::run(rows, &replay));

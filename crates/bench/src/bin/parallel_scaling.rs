@@ -2,15 +2,30 @@
 //! threads, written to `BENCH_parallel.json` (and printed as markdown).
 //!
 //! ```text
-//! cargo run --release --bin parallel_scaling [--rows N] [--duration-ms MS] [--out PATH]
+//! cargo run --release --bin parallel_scaling \
+//!     [--rows N | --scale-rows N] [--duration-ms MS] [--out PATH] [--smoke]
 //! ```
+//!
+//! `--scale-rows N` selects the synthetic paper-scale sweep (5.3 M rows
+//! and beyond) and takes precedence over `--rows`.
+//!
+//! `--smoke` runs the CI multicore gate instead of the full sweep: two
+//! points (1 and 4 threads) and a hard floor of 1.5× throughput at 4
+//! threads. On hosts with fewer than 4 cores the gate is skipped with a
+//! notice (exit 0) — a 1- or 2-core container cannot demonstrate thread
+//! scaling, and the artifact header records the core count so the skip
+//! is self-explaining.
 
 use voxolap_bench::experiments::parallel::{self, DEFAULT_THREAD_COUNTS};
-use voxolap_bench::{arg_usize, DEFAULT_FLIGHTS_ROWS};
+use voxolap_bench::{arg_rows, arg_usize, HostInfo, DEFAULT_FLIGHTS_ROWS};
+
+/// Minimum 4-thread/1-thread throughput ratio the smoke gate accepts.
+const SMOKE_MIN_SPEEDUP: f64 = 1.5;
 
 fn main() {
-    let rows = arg_usize("--rows", DEFAULT_FLIGHTS_ROWS);
-    let duration_ms = arg_usize("--duration-ms", 3_000) as u64;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = arg_rows(DEFAULT_FLIGHTS_ROWS);
+    let duration_ms = arg_usize("--duration-ms", if smoke { 1_500 } else { 3_000 }) as u64;
     let out = {
         let args: Vec<String> = std::env::args().collect();
         args.iter()
@@ -18,11 +33,32 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
             .unwrap_or_else(|| "BENCH_parallel.json".to_string())
     };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = HostInfo::detect();
 
-    let points = parallel::measure(rows, duration_ms, &DEFAULT_THREAD_COUNTS, 42);
-    let json = parallel::to_json(rows, duration_ms, cores, &points);
+    if smoke && host.cores < 4 {
+        eprintln!(
+            "smoke: SKIPPED — host has {} core(s), need >= 4 to demonstrate thread scaling",
+            host.cores
+        );
+        return;
+    }
+
+    let thread_counts: &[usize] = if smoke { &[1, 4] } else { &DEFAULT_THREAD_COUNTS };
+    let (points, dataset_bytes) = parallel::measure(rows, duration_ms, thread_counts, 42);
+    let json = parallel::to_json(rows, duration_ms, host, dataset_bytes, &points);
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
     eprintln!("wrote {out}");
     print!("{}", parallel::run(rows, duration_ms, &points));
+
+    if smoke {
+        let speedup = points.last().expect("two smoke points").speedup;
+        if speedup < SMOKE_MIN_SPEEDUP {
+            eprintln!(
+                "smoke: FAILED — {speedup:.2}x samples/sec at 4 threads \
+                 (need >= {SMOKE_MIN_SPEEDUP}x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("smoke: ok — {speedup:.2}x samples/sec at 4 threads");
+    }
 }

@@ -4,17 +4,17 @@
 //!
 //! ```text
 //! cargo run --release --bin stream_latency \
-//!     [--rows N] [--runs N] [--threads N] [--out PATH]
+//!     [--rows N | --scale-rows N] [--runs N] [--threads N] [--out PATH]
 //! ```
 
-use voxolap_bench::arg_usize;
 use voxolap_bench::experiments::stream;
+use voxolap_bench::{arg_rows, arg_usize, HostInfo};
 
 fn main() {
-    let rows = arg_usize("--rows", 20_000);
+    let rows = arg_rows(20_000);
     let runs = arg_usize("--runs", 15);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = arg_usize("--threads", cores.min(4));
+    let host = HostInfo::detect();
+    let threads = arg_usize("--threads", host.cores.min(4));
     let out = {
         let args: Vec<String> = std::env::args().collect();
         args.iter()
@@ -23,8 +23,8 @@ fn main() {
             .unwrap_or_else(|| "BENCH_stream.json".to_string())
     };
 
-    let reports = stream::measure(rows, runs, threads);
-    let json = stream::to_json(rows, runs, threads, cores, &reports);
+    let (reports, dataset_bytes) = stream::measure(rows, runs, threads);
+    let json = stream::to_json(rows, runs, threads, host, dataset_bytes, &reports);
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
     eprintln!("wrote {out}");
     print!("{}", stream::run(rows, runs, &reports));

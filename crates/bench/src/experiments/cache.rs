@@ -102,6 +102,8 @@ pub struct CacheReplay {
     pub points: Vec<ReplayPoint>,
     pub final_stats: CacheStats,
     pub warm_start: WarmStartReport,
+    /// In-memory size of the generated dataset (for the artifact header).
+    pub dataset_bytes: usize,
 }
 
 impl CacheReplay {
@@ -303,7 +305,12 @@ pub fn measure(
     }
 
     let warm_start = warm_start_report(&table, seed, 2_000.min(rows / 8));
-    CacheReplay { points, final_stats: cache.stats(), warm_start }
+    CacheReplay {
+        points,
+        final_stats: cache.stats(),
+        warm_start,
+        dataset_bytes: table.approx_bytes(),
+    }
 }
 
 /// Render the replay as the `BENCH_cache.json` record.
@@ -312,7 +319,7 @@ pub fn to_json(
     repeat_pct: usize,
     overlap_pct: usize,
     cache_mb: usize,
-    cores: usize,
+    host: crate::HostInfo,
     replay: &CacheReplay,
 ) -> String {
     let class_json = |s: ClassStats| {
@@ -332,7 +339,9 @@ pub fn to_json(
         ("repeat_pct", repeat_pct.into()),
         ("overlap_pct", overlap_pct.into()),
         ("cache_mb", cache_mb.into()),
-        ("host_cores", (cores as u64).into()),
+        ("host_cores", (host.cores as u64).into()),
+        ("host_ram_bytes", host.ram_bytes.into()),
+        ("dataset_bytes", (replay.dataset_bytes as u64).into()),
         ("cold", class_json(replay.class(Served::Cold))),
         ("exact_hit", class_json(replay.class(Served::ExactHit))),
         ("warm_hit", class_json(replay.class(Served::WarmHit))),

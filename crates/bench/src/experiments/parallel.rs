@@ -16,7 +16,7 @@ use voxolap_core::holistic::HolisticConfig;
 use voxolap_core::parallel::sampling_throughput;
 use voxolap_json::Value;
 
-use crate::{flights_table, markdown_table, region_season_query};
+use crate::{flights_table, markdown_table, region_season_query, HostInfo};
 
 /// Thread counts the issue's scaling sweep covers.
 pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -33,19 +33,22 @@ pub struct ScalingPoint {
     pub speedup: f64,
 }
 
-/// Run the sweep: one throughput measurement per thread count.
+/// Run the sweep: one throughput measurement per thread count. Returns
+/// the points plus the generated dataset's in-memory size in bytes (for
+/// the artifact header).
 pub fn measure(
     rows: usize,
     duration_ms: u64,
     thread_counts: &[usize],
     seed: u64,
-) -> Vec<ScalingPoint> {
+) -> (Vec<ScalingPoint>, usize) {
     let table = flights_table(rows);
+    let dataset_bytes = table.approx_bytes();
     let query = region_season_query(&table);
     let cfg = HolisticConfig { seed, ..HolisticConfig::default() };
     let duration = Duration::from_millis(duration_ms);
     let mut base: Option<f64> = None;
-    thread_counts
+    let points = thread_counts
         .iter()
         .map(|&threads| {
             eprintln!("parallel scaling: {threads} thread(s)...");
@@ -61,13 +64,21 @@ pub fn measure(
                 speedup: samples_per_sec / base_sps,
             }
         })
-        .collect()
+        .collect();
+    (points, dataset_bytes)
 }
 
-/// Render the sweep as the `BENCH_parallel.json` record. `cores` is the
-/// machine's available parallelism — speedup beyond it is physically
-/// impossible, so readers of the record can judge the numbers in context.
-pub fn to_json(rows: usize, duration_ms: u64, cores: usize, points: &[ScalingPoint]) -> String {
+/// Render the sweep as the `BENCH_parallel.json` record. The header
+/// carries the host's core count and RAM plus the dataset's in-memory
+/// size — speedup beyond the core count is physically impossible, so
+/// readers of the record can judge the numbers in context.
+pub fn to_json(
+    rows: usize,
+    duration_ms: u64,
+    host: HostInfo,
+    dataset_bytes: usize,
+    points: &[ScalingPoint],
+) -> String {
     let results: Vec<Value> = points
         .iter()
         .map(|p| {
@@ -86,7 +97,9 @@ pub fn to_json(rows: usize, duration_ms: u64, cores: usize, points: &[ScalingPoi
         ("dataset", "flights".into()),
         ("rows", (rows as u64).into()),
         ("duration_ms", duration_ms.into()),
-        ("host_cores", (cores as u64).into()),
+        ("host_cores", (host.cores as u64).into()),
+        ("host_ram_bytes", host.ram_bytes.into()),
+        ("dataset_bytes", (dataset_bytes as u64).into()),
         ("results", results.into()),
     ])
     .to_string()

@@ -21,7 +21,7 @@ use voxolap_engine::query::Query;
 use voxolap_json::Value;
 use voxolap_voice::tts::RealTimeVoice;
 
-use crate::{flights_table, markdown_table, region_season_query};
+use crate::{flights_table, markdown_table, region_season_query, HostInfo};
 
 /// Speaking rate for the pacing voice: fast enough that a benchmark run
 /// finishes in seconds, slow enough that planning genuinely overlaps
@@ -110,13 +110,17 @@ pub fn measure_approach(
 }
 
 /// Measure all compared approaches on the flights region × season query.
-pub fn measure(rows: usize, runs: usize, threads: usize) -> Vec<ApproachReport> {
+/// Returns the reports plus the generated dataset's in-memory size in
+/// bytes (for the artifact header).
+pub fn measure(rows: usize, runs: usize, threads: usize) -> (Vec<ApproachReport>, usize) {
     let table = flights_table(rows);
+    let dataset_bytes = table.approx_bytes();
     let query = region_season_query(&table);
-    ["holistic", "parallel", "unmerged"]
+    let reports = ["holistic", "parallel", "unmerged"]
         .iter()
         .map(|&a| measure_approach(&table, &query, a, threads, runs))
-        .collect()
+        .collect();
+    (reports, dataset_bytes)
 }
 
 fn dist_json(samples: &[f64]) -> Value {
@@ -133,7 +137,8 @@ pub fn to_json(
     rows: usize,
     runs: usize,
     threads: usize,
-    cores: usize,
+    host: HostInfo,
+    dataset_bytes: usize,
     reports: &[ApproachReport],
 ) -> String {
     let approaches: Vec<Value> = reports
@@ -154,7 +159,9 @@ pub fn to_json(
         ("rows", (rows as u64).into()),
         ("runs", runs.into()),
         ("threads", threads.into()),
-        ("host_cores", (cores as u64).into()),
+        ("host_cores", (host.cores as u64).into()),
+        ("host_ram_bytes", host.ram_bytes.into()),
+        ("dataset_bytes", (dataset_bytes as u64).into()),
         ("query", "avg cancellation by region x season".into()),
         ("approaches", approaches.into()),
     ])

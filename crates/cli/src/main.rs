@@ -10,6 +10,8 @@
 //! Options (before the subcommand):
 //!   --data flights|salary   dataset (default flights)
 //!   --rows N                generated rows for flights (default 200000)
+//!   --scale-rows N          paper-scale synthetic scale-up (5.3M-50M rows);
+//!                           takes precedence over --rows
 //!   --csv PATH              load a CSV exported by voxolap instead
 //!   --approach NAME         holistic|parallel|optimal|unmerged|prior
 //!   --threads N             planning threads for --approach parallel
@@ -70,6 +72,7 @@ fn usage() -> &'static str {
      options:\n\
        --data flights|salary   dataset to generate (default flights)\n\
        --rows N                rows for the flights dataset (default 200000)\n\
+       --scale-rows N          paper-scale synthetic scale-up (5.3M-50M); overrides --rows\n\
        --csv PATH              load rows from a CSV exported by voxolap\n\
        --approach NAME         holistic|parallel|optimal|unmerged|prior (default holistic)\n\
        --threads N             planning threads for --approach parallel (default: all cores)\n\
@@ -98,6 +101,7 @@ fn parse_options() -> Result<Options, String> {
         command: String::new(),
         args: Vec::new(),
     };
+    let mut scale_rows: Option<usize> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -110,6 +114,13 @@ fn parse_options() -> Result<Options, String> {
             "--rows" => {
                 opts.rows =
                     take_value(&mut i)?.parse().map_err(|_| "bad --rows value".to_string())?
+            }
+            "--scale-rows" => {
+                scale_rows = Some(
+                    take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| "bad --scale-rows value".to_string())?,
+                )
             }
             "--csv" => opts.csv = Some(take_value(&mut i)?),
             "--approach" => opts.approach = take_value(&mut i)?,
@@ -149,6 +160,9 @@ fn parse_options() -> Result<Options, String> {
             arg => opts.args.push(arg.to_string()),
         }
         i += 1;
+    }
+    if let Some(scaled) = scale_rows {
+        opts.rows = scaled;
     }
     if opts.command.is_empty() {
         opts.command = "repl".into();

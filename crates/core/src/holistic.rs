@@ -279,7 +279,7 @@ impl Holistic {
         if let Some(cache) = &self.cache {
             core.enable_row_log(cache.snapshot_row_budget(table.schema().dimensions().len()));
             let warmed = cache
-                .lookup_snapshot(&query.key().scope(), cfg.seed, 1)
+                .lookup_snapshot(&query.key().scope(), cfg.seed)
                 .is_some_and(|snap| core.warm_start(&snap));
             if !warmed {
                 cache.record_miss();

@@ -6,12 +6,14 @@
 //! architecture — "while the current sentence is spoken, we determine the
 //! best follow-up in the background" — and scales it across cores:
 //!
-//! * **Sharded row ingestion** — each of N workers streams its own shard
-//!   of the seeded random row order
-//!   ([`Table::scan_shuffled_shard_measure`]) into one shared
-//!   [`ShardedSampleCache`] whose per-aggregate striped buckets keep
-//!   workers from serializing on a global cache lock. The shards partition
-//!   the table, so the union of worker prefixes remains a uniform sample.
+//! * **Morsel-driven row ingestion** — N workers claim whole chunks
+//!   (morsels) of the seeded two-level scan order from one shared
+//!   [`MorselPool`] ([`Table::scan_pooled`]) and stream them into one
+//!   shared [`ShardedSampleCache`] whose per-aggregate striped buckets
+//!   keep workers from serializing on a global cache lock. Claimed
+//!   morsels partition the order with zero overlap, so the union of
+//!   worker prefixes remains a uniform sample (see [`voxolap_data::chunk`]
+//!   for the uniformity argument).
 //! * **Lock-free UCT sampling** — workers descend the pre-expanded speech
 //!   tree concurrently with virtual losses
 //!   ([`select_path_vloss`](voxolap_mcts::Tree::select_path_vloss)) and
@@ -22,8 +24,8 @@
 //!   with the best *mean* reward (Algorithm 1's exploitation-only commit).
 //!
 //! With `threads == 1` the engine runs the cooperative loop instead, using
-//! exactly the same shard scanner (1 shard == the plain shuffled scan),
-//! cache arithmetic, and RNG streams as [`PlannerCore`] — so a
+//! exactly the same pooled scanner (one scanner drains the pool in the
+//! seeded order), cache arithmetic, and RNG streams as [`PlannerCore`] — so a
 //! single-threaded run reproduces [`Holistic`] word for word under a fixed
 //! seed (guarded by tests). With more threads, outcomes depend on
 //! scheduling and are **not** bit-reproducible; experiments use the
@@ -39,7 +41,7 @@ use rand::SeedableRng;
 use voxolap_belief::model::rounding_bucket;
 use voxolap_belief::normal::Normal;
 use voxolap_data::table::RowScanner;
-use voxolap_data::Table;
+use voxolap_data::{MorselPool, Table};
 use voxolap_engine::cache::ResampleScratch;
 use voxolap_engine::query::{AggFct, Query};
 use voxolap_engine::semantic::{LoggedRow, SampleSnapshot, SemanticCache};
@@ -93,10 +95,11 @@ impl ParallelHolistic {
 
     /// Attach a cross-query semantic cache (see
     /// [`Holistic::with_cache`](crate::holistic::Holistic::with_cache)).
-    /// Snapshots are sharded by thread count: a warm start requires a
-    /// donor run with the same seed and the same number of planning
-    /// threads. With an empty cache, `threads == 1` output remains
-    /// bit-identical to [`Holistic`](crate::holistic::Holistic).
+    /// Snapshots record per-chunk morsel-pool progress: a warm start
+    /// requires a donor run with the same seed, but any thread count can
+    /// resume any donor's consumed prefix. With an empty cache,
+    /// `threads == 1` output remains bit-identical to
+    /// [`Holistic`](crate::holistic::Holistic).
     pub fn with_cache(mut self, cache: Arc<SemanticCache>) -> Self {
         self.cache = Some(cache);
         self
@@ -129,8 +132,8 @@ impl ParallelHolistic {
     }
 }
 
-/// One planning worker: a private shard scanner and RNG stream over the
-/// shared cache and tree.
+/// One planning worker: a pooled morsel scanner and private RNG stream
+/// over the shared cache and tree.
 pub(crate) struct ShardWorker<'a> {
     query: &'a Query,
     cache: Arc<ShardedSampleCache>,
@@ -156,22 +159,17 @@ impl<'a> ShardWorker<'a> {
         query: &'a Query,
         cache: Arc<ShardedSampleCache>,
         config: &HolisticConfig,
-        shard: usize,
-        n_shards: usize,
+        pool: Arc<MorselPool>,
+        worker: usize,
     ) -> Self {
         ShardWorker {
             query,
             cache,
-            scanner: table.scan_shuffled_shard_measure(
-                config.seed,
-                query.measure(),
-                shard,
-                n_shards,
-            ),
+            scanner: table.scan_pooled(pool, query.measure()),
             // Worker 0 gets PlannerCore's exact stream; others are split
             // off by an odd multiplier.
             rng: StdRng::seed_from_u64(
-                config.seed ^ 0x9e37_79b9_7f4a_7c15 ^ (shard as u64).wrapping_mul(WORKER_STREAM),
+                config.seed ^ 0x9e37_79b9_7f4a_7c15 ^ (worker as u64).wrapping_mul(WORKER_STREAM),
             ),
             scratch: ResampleScratch::new(),
             sigma: SIGMA_FALLBACK,
@@ -196,20 +194,20 @@ impl<'a> ShardWorker<'a> {
                 return 0;
             }
         }
+        // Batched morsel ingest: one contiguous chunk walk per batch and
+        // one pool-progress publish per batch, not per row.
         let layout = self.query.layout();
-        let mut read = 0;
-        while read < k {
-            let Some(row) = self.scanner.next_row() else { break };
-            let agg = layout.agg_of_row(row.members);
+        let log = &mut self.log;
+        let cache = &*self.cache;
+        self.scanner.for_each_row(k, |members, value| {
+            let agg = layout.agg_of_row(members);
             if agg.is_some() {
-                if let Some(log) = &mut self.log {
-                    log.push(row.members, row.value);
+                if let Some(log) = log.as_mut() {
+                    log.push(members, value);
                 }
             }
-            self.cache.observe(agg, row.value);
-            read += 1;
-        }
-        read
+            cache.observe(agg, value);
+        })
     }
 
     /// Warm-up on the worker's shard until an overall estimate exists.
@@ -256,10 +254,11 @@ impl<'a> ShardWorker<'a> {
         self.query
     }
 
-    /// Extract this worker's scan count and row log for semantic-cache
-    /// snapshot admission (consumes the log).
-    pub(crate) fn take_result(&mut self) -> (u64, Option<RowLog>) {
-        (self.scanner.rows_read() as u64, self.log.take())
+    /// Extract this worker's row log for semantic-cache snapshot
+    /// admission (consumes the log; scan progress lives in the shared
+    /// morsel pool).
+    pub(crate) fn take_result(&mut self) -> Option<RowLog> {
+        self.log.take()
     }
 
     /// One sampling iteration against the shared tree — the parallel
@@ -351,8 +350,9 @@ pub fn sampling_throughput(
         ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64)
             .with_resample_size(config.resample_size),
     );
+    let pool = table.morsel_pool(config.seed);
     let mut workers: Vec<ShardWorker<'_>> = (0..threads)
-        .map(|w| ShardWorker::new(table, query, cache.clone(), config, w, threads))
+        .map(|w| ShardWorker::new(table, query, cache.clone(), config, pool.clone(), w))
         .collect();
     let overall = workers[0].warmup(config.warmup_rows).unwrap_or(0.0);
     let sigma = calibrated_sigma(overall, config.sigma_override);
@@ -444,8 +444,9 @@ impl Vocalizer for ParallelHolistic {
             }
         }
         let cache = Arc::new(shared);
+        let pool = table.morsel_pool(cfg.seed);
         let mut workers: Vec<ShardWorker<'a>> = (0..n_workers)
-            .map(|w| ShardWorker::new(table, query, cache.clone(), &cfg, w, n_workers))
+            .map(|w| ShardWorker::new(table, query, cache.clone(), &cfg, pool.clone(), w))
             .collect();
         if let Some((res, run)) = &resil {
             for worker in &mut workers {
@@ -454,25 +455,25 @@ impl Vocalizer for ParallelHolistic {
         }
 
         // Semantic cache, layer 2: seed the shared cache from a snapshot
-        // with the same scope, seed, and shard count, then advance each
-        // worker's scanner past the donor's per-shard prefix. Cold runs
-        // just start logging in-scope rows for later admission.
+        // with the same scope and seed, then advance the shared morsel
+        // pool past the donor's consumed per-chunk prefixes — the donor's
+        // thread count is irrelevant, any team can resume any progress
+        // vector. Cold runs just start logging in-scope rows for later
+        // admission.
         let mut donor_rows: Vec<LoggedRow> = Vec::new();
-        let mut seeded_reads = vec![0u64; n_workers];
+        let mut seeded_total = 0u64;
         if let Some(sem) = &self.cache {
-            let warmed = match sem.lookup_snapshot(&query.key().scope(), cfg.seed, n_workers) {
+            let warmed = match sem.lookup_snapshot(&query.key().scope(), cfg.seed) {
                 Some(snap) => {
                     cache.seed_rows(
                         query.layout(),
                         snap.rows.iter().map(|r| (&r.members[..], r.value)),
                         snap.nr_read,
                     );
-                    for (worker, &read) in workers.iter_mut().zip(&snap.shard_reads) {
-                        worker.scanner.skip(read as usize);
-                    }
+                    pool.resume(&snap.progress);
                     workers[0].seeded = snap.nr_read;
                     donor_rows = snap.rows.clone();
-                    seeded_reads.copy_from_slice(&snap.shard_reads);
+                    seeded_total = snap.nr_read;
                     true
                 }
                 None => false,
@@ -486,19 +487,18 @@ impl Vocalizer for ParallelHolistic {
                 worker.log = Some(RowLog::new(per_worker));
             }
         }
-        let seeded_total: u64 = seeded_reads.iter().sum();
 
         // Warm up on worker 0's shard (a uniform sample of the table).
         let Some(overall) = workers[0].warmup(cfg.warmup_rows) else {
             // Not one row in scope: report that, and still admit the
             // (possibly exhausted) scan to the semantic cache at finish.
-            let results: Vec<(u64, Option<RowLog>)> =
+            let results: Vec<Option<RowLog>> =
                 workers.iter_mut().map(|w| w.take_result()).collect();
             let fresh = cache.nr_read().saturating_sub(seeded_total);
             let semantic = self.cache.clone();
             let seed = cfg.seed;
             let admit = move || {
-                admit_parallel(&semantic, seed, &cache, query, donor_rows, &seeded_reads, results);
+                admit_parallel(&semantic, seed, &cache, &pool, query, donor_rows, results);
             };
             let source = Buffered::no_data(fresh, Some(Box::new(admit)));
             return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
@@ -524,9 +524,9 @@ impl Vocalizer for ParallelHolistic {
             let sampler = ShardSampler::new(
                 worker,
                 cache,
+                pool,
                 seeded_total,
                 donor_rows,
-                seeded_reads,
                 self.cache.clone(),
                 cfg.seed,
             );
@@ -540,6 +540,7 @@ impl Vocalizer for ParallelHolistic {
             let source = MultiSource::new(
                 workers,
                 cache,
+                pool,
                 tree,
                 renderer,
                 cfg,
@@ -547,7 +548,6 @@ impl Vocalizer for ParallelHolistic {
                 unit,
                 seeded_total,
                 donor_rows,
-                seeded_reads,
                 self.cache.clone(),
                 seed,
                 query,
@@ -561,33 +561,33 @@ impl Vocalizer for ParallelHolistic {
 
 /// Offer a parallel run's results to the semantic cache: exact aggregates
 /// when the scan was exhausted, and the combined donor-prefix + fresh
-/// per-shard row logs as a warm-start snapshot.
+/// per-worker row logs as a warm-start snapshot. The snapshot carries the
+/// pool's per-chunk progress vector, so a later run with any thread count
+/// can resume the consumed prefix.
 pub(crate) fn admit_parallel(
     semantic: &Option<Arc<SemanticCache>>,
     seed: u64,
     shared: &ShardedSampleCache,
+    pool: &MorselPool,
     query: &Query,
     donor_rows: Vec<LoggedRow>,
-    seeded_reads: &[u64],
-    worker_results: Vec<(u64, Option<RowLog>)>,
+    worker_results: Vec<Option<RowLog>>,
 ) {
     let Some(sem) = semantic else { return };
     if let Some((counts, sums)) = shared.exact_result() {
         sem.admit_exact(&query.key(), counts, sums);
     }
     let mut rows = donor_rows;
-    let mut shard_reads = Vec::with_capacity(worker_results.len());
-    for (fresh, log) in worker_results {
+    for log in worker_results {
         let Some(log) = log else { return };
         if log.overflowed() {
             return;
         }
-        shard_reads.push(seeded_reads[shard_reads.len()] + fresh);
         rows.extend_from_slice(log.rows());
     }
     sem.admit_snapshot(
         &query.key().scope(),
-        SampleSnapshot { seed, shard_reads, nr_read: shared.nr_read(), rows },
+        SampleSnapshot { seed, progress: pool.progress_vec(), nr_read: shared.nr_read(), rows },
     );
 }
 

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use voxolap_data::schema::MeasureUnit;
+use voxolap_data::MorselPool;
 use voxolap_engine::query::{Query, ResultLayout};
 use voxolap_engine::semantic::{LoggedRow, SemanticCache};
 use voxolap_engine::sharded::ShardedSampleCache;
@@ -97,10 +98,12 @@ impl SampleStep for CoreSampler<'_> {
 pub(crate) struct ShardSampler<'a> {
     worker: ShardWorker<'a>,
     cache: Arc<ShardedSampleCache>,
+    /// The worker's morsel pool — kept for snapshot admission, whose
+    /// progress vector is the warm-start resume point.
+    pool: Arc<MorselPool>,
     samples: u64,
     seeded_total: u64,
     donor_rows: Vec<LoggedRow>,
-    seeded_reads: Vec<u64>,
     semantic: Option<Arc<SemanticCache>>,
     seed: u64,
 }
@@ -110,22 +113,13 @@ impl<'a> ShardSampler<'a> {
     pub(crate) fn new(
         worker: ShardWorker<'a>,
         cache: Arc<ShardedSampleCache>,
+        pool: Arc<MorselPool>,
         seeded_total: u64,
         donor_rows: Vec<LoggedRow>,
-        seeded_reads: Vec<u64>,
         semantic: Option<Arc<SemanticCache>>,
         seed: u64,
     ) -> Self {
-        ShardSampler {
-            worker,
-            cache,
-            samples: 0,
-            seeded_total,
-            donor_rows,
-            seeded_reads,
-            semantic,
-            seed,
-        }
+        ShardSampler { worker, cache, pool, samples: 0, seeded_total, donor_rows, semantic, seed }
     }
 }
 
@@ -153,9 +147,9 @@ impl SampleStep for ShardSampler<'_> {
             &self.semantic,
             self.seed,
             &self.cache,
+            &self.pool,
             self.worker.query(),
             std::mem::take(&mut self.donor_rows),
-            &self.seeded_reads,
             results,
         );
     }
@@ -305,6 +299,8 @@ impl<'a, S: SampleStep> SentenceSource<'a> for CoopSource<'a, S> {
 pub(crate) struct MultiSource<'a> {
     workers: Vec<ShardWorker<'a>>,
     cache: Arc<ShardedSampleCache>,
+    /// The workers' shared morsel pool — kept for snapshot admission.
+    pool: Arc<MorselPool>,
     tree: SpeechTree,
     renderer: Renderer<'a>,
     cfg: HolisticConfig,
@@ -314,7 +310,6 @@ pub(crate) struct MultiSource<'a> {
     samples: AtomicU64,
     seeded_total: u64,
     donor_rows: Vec<LoggedRow>,
-    seeded_reads: Vec<u64>,
     semantic: Option<Arc<SemanticCache>>,
     seed: u64,
     query: &'a Query,
@@ -327,6 +322,7 @@ impl<'a> MultiSource<'a> {
     pub(crate) fn new(
         workers: Vec<ShardWorker<'a>>,
         cache: Arc<ShardedSampleCache>,
+        pool: Arc<MorselPool>,
         tree: SpeechTree,
         renderer: Renderer<'a>,
         cfg: HolisticConfig,
@@ -334,7 +330,6 @@ impl<'a> MultiSource<'a> {
         unit: MeasureUnit,
         seeded_total: u64,
         donor_rows: Vec<LoggedRow>,
-        seeded_reads: Vec<u64>,
         semantic: Option<Arc<SemanticCache>>,
         seed: u64,
         query: &'a Query,
@@ -343,6 +338,7 @@ impl<'a> MultiSource<'a> {
         MultiSource {
             workers,
             cache,
+            pool,
             tree,
             renderer,
             cfg,
@@ -352,7 +348,6 @@ impl<'a> MultiSource<'a> {
             samples: AtomicU64::new(0),
             seeded_total,
             donor_rows,
-            seeded_reads,
             semantic,
             seed,
             query,
@@ -421,15 +416,15 @@ impl<'a> SentenceSource<'a> for MultiSource<'a> {
     }
 
     fn finish(&mut self) -> FinishInfo {
-        let results: Vec<(u64, Option<RowLog>)> =
+        let results: Vec<Option<RowLog>> =
             self.workers.iter_mut().map(|w| w.take_result()).collect();
         admit_parallel(
             &self.semantic,
             self.seed,
             &self.cache,
+            &self.pool,
             self.query,
             std::mem::take(&mut self.donor_rows),
-            &self.seeded_reads,
             results,
         );
         FinishInfo {

@@ -232,14 +232,15 @@ impl<'a> PlannerCore<'a> {
     }
 
     /// Warm-start this core from a compatible [`SampleSnapshot`]: seed the
-    /// cache with the donor's re-bucketed rows, resume the seeded scan past
-    /// the donor's prefix, and shrink future warm-up targets accordingly.
-    /// Returns `false` (leaving the core cold) when the core streams from a
-    /// stratified index, the snapshot is multi-shard, or rows were already
-    /// read.
+    /// cache with the donor's re-bucketed rows, resume the seeded scan from
+    /// the donor's morsel-pool progress, and shrink future warm-up targets
+    /// accordingly. The donor's worker count does not matter — progress
+    /// describes the consumed set of the scan order itself. Returns `false`
+    /// (leaving the core cold) when the core streams from a stratified
+    /// index or rows were already read.
     pub fn warm_start(&mut self, snapshot: &SampleSnapshot) -> bool {
         let RowSource::Shuffled(scan) = &mut self.scanner else { return false };
-        if snapshot.shard_reads.len() != 1 || self.cache.nr_read() != 0 {
+        if self.cache.nr_read() != 0 {
             return false;
         }
         self.cache.seed_rows(
@@ -247,7 +248,7 @@ impl<'a> PlannerCore<'a> {
             snapshot.rows.iter().map(|r| (&r.members[..], r.value)),
             snapshot.nr_read,
         );
-        scan.skip(snapshot.shard_reads[0] as usize);
+        scan.resume(&snapshot.progress);
         self.seeded_rows = snapshot.nr_read;
         if let Some(log) = &mut self.log {
             log.seed(&snapshot.rows);
@@ -261,14 +262,14 @@ impl<'a> PlannerCore<'a> {
     /// order is not the seeded scan's).
     pub fn take_snapshot(&self, seed: u64) -> Option<SampleSnapshot> {
         let log = self.log.as_ref()?;
-        if log.overflowed() || !matches!(self.scanner, RowSource::Shuffled(_)) {
+        let RowSource::Shuffled(scan) = &self.scanner else { return None };
+        if log.overflowed() {
             return None;
         }
-        let nr_read = self.cache.nr_read();
         Some(SampleSnapshot {
             seed,
-            shard_reads: vec![nr_read],
-            nr_read,
+            progress: scan.progress(),
+            nr_read: self.cache.nr_read(),
             rows: log.rows().to_vec(),
         })
     }
@@ -291,17 +292,19 @@ impl<'a> PlannerCore<'a> {
         let mut read = 0;
         match &mut self.scanner {
             RowSource::Shuffled(scan) => {
-                while read < k {
-                    let Some(row) = scan.next_row() else { break };
-                    let agg = layout.agg_of_row(row.members);
+                // Batched morsel ingest: column accesses stay within one
+                // chunk's contiguous slices for the whole batch.
+                let log = &mut self.log;
+                let cache = &mut self.cache;
+                read = scan.for_each_row(k, |members, value| {
+                    let agg = layout.agg_of_row(members);
                     if agg.is_some() {
-                        if let Some(log) = &mut self.log {
-                            log.push(row.members, row.value);
+                        if let Some(log) = log.as_mut() {
+                            log.push(members, value);
                         }
                     }
-                    self.cache.observe(agg, row.value);
-                    read += 1;
-                }
+                    cache.observe(agg, value);
+                });
             }
             RowSource::Stratified(scan) => {
                 while read < k {

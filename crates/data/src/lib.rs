@@ -24,6 +24,7 @@
 //! assert_eq!(table.schema().dimensions().len(), 3);
 //! ```
 
+pub mod chunk;
 pub mod csv;
 pub mod dimension;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod star;
 pub mod stats;
 pub mod table;
 
+pub use chunk::{InChunkPerm, Morsel, MorselPool, ScanOrder, CHUNK_ROWS};
 pub use dimension::{Dimension, DimensionBuilder, LevelId, Member, MemberId};
 pub use error::DataError;
 pub use schema::{DimId, Schema};

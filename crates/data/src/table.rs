@@ -1,19 +1,19 @@
 //! Columnar in-memory fact tables and streaming scanners.
 //!
-//! A [`Table`] stores one leaf [`MemberId`] column per dimension plus one
-//! `f64` measure column. A [`RowScanner`] streams rows in a deterministic
-//! pseudo-random order — this is the row source the sampling cache consumes
-//! (paper §4.3 assumes rows arrive in random order so that cache contents
-//! form uniform samples).
+//! A [`Table`] stores one dense dictionary-id column per dimension — packed
+//! at the narrowest integer width the dimension's cardinality allows
+//! ([`DimColumn`]) — plus one `f64` column per measure. A [`RowScanner`]
+//! streams rows in a deterministic pseudo-random order driven by the
+//! chunked two-level scan scheme in [`crate::chunk`]: a seeded permutation
+//! of 64K-row chunks plus an on-the-fly in-chunk bijection. This is the row
+//! source the sampling cache consumes (paper §4.3 assumes rows arrive in
+//! random order so that cache contents form uniform samples); parallel
+//! scanners claim whole chunks from a shared [`MorselPool`] so they
+//! partition the order without touching a shared memory stream.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
+use crate::chunk::{Morsel, MorselPool, ScanOrder};
 use crate::dimension::MemberId;
 use crate::error::DataError;
 use crate::schema::{DimId, MeasureId, Schema};
@@ -27,18 +27,83 @@ pub struct Row<'a> {
     pub value: f64,
 }
 
+/// One dimension's leaf-member column, packed at the narrowest width that
+/// holds every dictionary id of the dimension (ids are dense, so the
+/// member count bounds them).
+#[derive(Debug, Clone)]
+pub enum DimColumn {
+    /// Dimensions with at most 256 members.
+    U8(Vec<u8>),
+    /// Dimensions with at most 65 536 members.
+    U16(Vec<u16>),
+    /// Everything larger.
+    U32(Vec<u32>),
+}
+
+impl DimColumn {
+    /// An empty column sized for a dimension with `members` dictionary
+    /// entries.
+    pub fn for_cardinality(members: usize) -> Self {
+        if members <= u8::MAX as usize + 1 {
+            DimColumn::U8(Vec::new())
+        } else if members <= u16::MAX as usize + 1 {
+            DimColumn::U16(Vec::new())
+        } else {
+            DimColumn::U32(Vec::new())
+        }
+    }
+
+    /// Append one leaf id (the builder validated the range).
+    fn push(&mut self, m: MemberId) {
+        match self {
+            DimColumn::U8(v) => v.push(m.0 as u8),
+            DimColumn::U16(v) => v.push(m.0 as u16),
+            DimColumn::U32(v) => v.push(m.0),
+        }
+    }
+
+    /// Leaf id of row `row`.
+    #[inline]
+    pub fn get(&self, row: usize) -> MemberId {
+        match self {
+            DimColumn::U8(v) => MemberId(v[row] as u32),
+            DimColumn::U16(v) => MemberId(v[row] as u32),
+            DimColumn::U32(v) => MemberId(v[row]),
+        }
+    }
+
+    /// Rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            DimColumn::U8(v) => v.len(),
+            DimColumn::U16(v) => v.len(),
+            DimColumn::U32(v) => v.len(),
+        }
+    }
+
+    /// `true` iff no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage bytes per row at this width.
+    pub fn bytes_per_row(&self) -> usize {
+        match self {
+            DimColumn::U8(_) => 1,
+            DimColumn::U16(_) => 2,
+            DimColumn::U32(_) => 4,
+        }
+    }
+}
+
 /// An in-memory columnar fact table (one or more measure columns).
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    /// `dim_cols[d][r]` = leaf member of row `r` in dimension `d`.
-    dim_cols: Vec<Vec<MemberId>>,
+    /// `dim_cols[d]` = packed leaf ids of dimension `d`, one per row.
+    dim_cols: Vec<DimColumn>,
     /// `measures[m][r]` = value of measure `m` in row `r`.
     measures: Vec<Vec<f64>>,
-    /// Shuffled row orders memoized by seed, shared across clones so that
-    /// re-scanning the same (table, seed) pair never re-shuffles a full
-    /// index `Vec`; shard scanners stride into the shared permutation.
-    shuffle_memo: Arc<Mutex<HashMap<u64, Arc<[u32]>>>>,
 }
 
 impl Table {
@@ -55,7 +120,7 @@ impl Table {
     /// Leaf member of row `row` in dimension `dim`.
     #[inline]
     pub fn member_at(&self, dim: DimId, row: usize) -> MemberId {
-        self.dim_cols[dim.index()][row]
+        self.dim_cols[dim.index()].get(row)
     }
 
     /// Primary-measure value of row `row`.
@@ -72,13 +137,18 @@ impl Table {
 
     /// Materialize row `row` into per-dimension leaf ids.
     pub fn row_members(&self, row: usize) -> Vec<MemberId> {
-        self.dim_cols.iter().map(|c| c[row]).collect()
+        self.dim_cols.iter().map(|c| c.get(row)).collect()
     }
 
-    /// Approximate in-memory size in bytes (for dataset statistics).
+    /// Approximate in-memory size in bytes (for dataset statistics):
+    /// packed dimension columns, measure columns, and the materialized
+    /// chunk permutation one live scan order holds (the in-chunk
+    /// permutations are computed on the fly and take no memory).
     pub fn approx_bytes(&self) -> usize {
-        self.dim_cols.len() * self.row_count() * std::mem::size_of::<MemberId>()
-            + self.measures.len() * self.row_count() * std::mem::size_of::<f64>()
+        let rows = self.row_count();
+        self.dim_cols.iter().map(|c| c.bytes_per_row() * rows).sum::<usize>()
+            + self.measures.len() * rows * std::mem::size_of::<f64>()
+            + ScanOrder::new(rows, 0).approx_bytes()
     }
 
     /// Full primary-measure column (read-only).
@@ -91,19 +161,15 @@ impl Table {
         &self.measures[m.index()]
     }
 
-    /// The seeded permutation of row indices, computed once per
-    /// (table, seed) pair and shared by every scanner built from it.
-    pub fn shuffled_order(&self, seed: u64) -> Arc<[u32]> {
-        let mut memo = self.shuffle_memo.lock();
-        if let Some(order) = memo.get(&seed) {
-            return order.clone();
-        }
-        let mut order: Vec<u32> = (0..self.row_count() as u32).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
-        let order: Arc<[u32]> = order.into();
-        memo.insert(seed, order.clone());
-        order
+    /// The seeded two-level scan order over this table's rows.
+    pub fn scan_order(&self, seed: u64) -> ScanOrder {
+        ScanOrder::new(self.row_count(), seed)
+    }
+
+    /// A shared morsel pool over the seeded scan order — the work source
+    /// for a team of parallel scanners ([`Table::scan_pooled`]).
+    pub fn morsel_pool(&self, seed: u64) -> Arc<MorselPool> {
+        Arc::new(MorselPool::new(self.scan_order(seed)))
     }
 
     /// Create a scanner over the primary measure delivering rows in a
@@ -114,54 +180,31 @@ impl Table {
 
     /// Create a shuffled scanner delivering values of measure `m`.
     pub fn scan_shuffled_measure(&self, seed: u64, m: MeasureId) -> RowScanner<'_> {
-        self.scan_shuffled_shard_measure(seed, m, 0, 1)
+        self.scan_pooled(self.morsel_pool(seed), m)
     }
 
-    /// Create a scanner over shard `shard` of `n_shards` of the seeded
-    /// pseudo-random row order: one global permutation is stride-sliced
-    /// (`order[shard], order[shard + n_shards], …`), so the shards of one
-    /// seed partition the table exactly, each shard is itself a uniform
-    /// random sample of the rows, and a single worker with `n_shards == 1`
-    /// reproduces [`Table::scan_shuffled`] row for row. This is the row
-    /// source for parallel ingestion workers.
-    pub fn scan_shuffled_shard(&self, seed: u64, shard: usize, n_shards: usize) -> RowScanner<'_> {
-        self.scan_shuffled_shard_measure(seed, MeasureId::PRIMARY, shard, n_shards)
-    }
-
-    /// [`Table::scan_shuffled_shard`] delivering values of measure `m`.
-    pub fn scan_shuffled_shard_measure(
-        &self,
-        seed: u64,
-        m: MeasureId,
-        shard: usize,
-        n_shards: usize,
-    ) -> RowScanner<'_> {
-        assert!(n_shards > 0 && shard < n_shards, "shard {shard} of {n_shards}");
+    /// Create a scanner claiming morsels from a shared pool. Scanners on
+    /// one pool partition the seeded order with zero overlap: each claims
+    /// whole chunks from the pool's atomic counter and streams them
+    /// privately. A single scanner on a fresh pool reproduces
+    /// [`Table::scan_shuffled_measure`] row for row.
+    pub fn scan_pooled(&self, pool: Arc<MorselPool>, m: MeasureId) -> RowScanner<'_> {
+        assert_eq!(pool.order().rows(), self.row_count(), "pool built for another table");
         RowScanner {
             table: self,
             measure: m,
-            order: self.shuffled_order(seed),
-            shard,
-            n_shards,
-            pos: 0,
-            base: 0,
+            pool,
+            cur: None,
+            read: 0,
+            done: false,
             buf: vec![MemberId::ROOT; self.dim_cols.len()],
         }
     }
 
     /// Create a scanner over the primary measure in storage order.
     pub fn scan_sequential(&self) -> RowScanner<'_> {
-        let order: Vec<u32> = (0..self.row_count() as u32).collect();
-        RowScanner {
-            table: self,
-            measure: MeasureId::PRIMARY,
-            order: order.into(),
-            shard: 0,
-            n_shards: 1,
-            pos: 0,
-            base: 0,
-            buf: vec![MemberId::ROOT; self.dim_cols.len()],
-        }
+        let pool = Arc::new(MorselPool::new(ScanOrder::sequential(self.row_count())));
+        self.scan_pooled(pool, MeasureId::PRIMARY)
     }
 }
 
@@ -173,63 +216,113 @@ impl Table {
 pub struct RowScanner<'a> {
     table: &'a Table,
     measure: MeasureId,
-    /// Shared global permutation; this scanner visits positions
-    /// `shard, shard + n_shards, shard + 2·n_shards, …` of it.
-    order: Arc<[u32]>,
-    shard: usize,
-    n_shards: usize,
-    /// Next in-shard position to deliver.
-    pos: usize,
-    /// In-shard position the scan started from (set by [`RowScanner::skip`]);
-    /// rows before it count as already consumed by an earlier scan.
-    base: usize,
+    /// Work source; possibly shared with other scanners.
+    pool: Arc<MorselPool>,
+    /// The morsel currently being streamed.
+    cur: Option<Morsel>,
+    /// Rows delivered by this scanner (resumed prefixes excluded).
+    read: usize,
+    /// Set once the pool reports no morsels left.
+    done: bool,
     buf: Vec<MemberId>,
 }
 
 impl<'a> RowScanner<'a> {
-    /// Number of rows in this scanner's shard of the permutation.
-    fn shard_len(&self) -> usize {
-        self.order.len().saturating_sub(self.shard).div_ceil(self.n_shards)
-    }
-
-    /// Number of rows delivered so far (excluding any skipped prefix).
+    /// Number of rows delivered so far (excluding any resumed prefix).
     pub fn rows_read(&self) -> usize {
-        self.pos - self.base
+        self.read
     }
 
-    /// `true` when the whole shard has been streamed.
+    /// `true` once the scanner has drained its share of the pool.
     pub fn exhausted(&self) -> bool {
-        self.pos >= self.shard_len()
+        self.done && self.cur.is_none()
     }
 
-    /// Skip the first `rows` rows of the shard without delivering them, as
-    /// if a previous scan had already consumed that prefix. Skipped rows do
-    /// not count toward [`RowScanner::rows_read`]. This is how a
-    /// warm-started engine resumes the seeded scan where a cached query's
-    /// sample left off.
-    pub fn skip(&mut self, rows: usize) {
-        self.pos = rows.min(self.shard_len());
-        self.base = self.pos;
+    /// Resume the scan from an earlier scan's snapshot (per-chunk-position
+    /// progress, see [`MorselPool::progress_vec`]); the recorded prefix is
+    /// skipped and does not count toward [`RowScanner::rows_read`]. Only
+    /// valid on a fresh scanner with a private pool.
+    pub fn resume(&mut self, progress: &[u32]) {
+        assert!(self.read == 0 && self.cur.is_none(), "resume before reading");
+        self.pool.resume(progress);
     }
 
-    /// Deliver the next row, or `None` when exhausted.
+    /// Per-chunk-position progress of the underlying pool — the snapshot
+    /// a later scan can [`RowScanner::resume`] from.
+    pub fn progress(&self) -> Vec<u32> {
+        self.pool.progress_vec()
+    }
+
+    /// Deliver the next row, or `None` when this scanner's share of the
+    /// pool is exhausted.
     pub fn next_row(&mut self) -> Option<Row<'_>> {
-        let idx = self.shard + self.pos * self.n_shards;
-        if idx >= self.order.len() {
-            return None;
+        loop {
+            if let Some(m) = self.cur.as_mut() {
+                if m.off < m.len {
+                    let r = m.base + m.perm.apply(m.off) as usize;
+                    m.off += 1;
+                    self.pool.record(m.pos, m.off);
+                    self.read += 1;
+                    for (d, col) in self.table.dim_cols.iter().enumerate() {
+                        self.buf[d] = col.get(r);
+                    }
+                    let value = self.table.measures[self.measure.index()][r];
+                    return Some(Row { members: &self.buf, value });
+                }
+                self.cur = None;
+            }
+            if self.done {
+                return None;
+            }
+            match self.pool.claim() {
+                Some(m) => self.cur = Some(m),
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            }
         }
-        let r = self.order[idx] as usize;
-        self.pos += 1;
-        for (d, col) in self.table.dim_cols.iter().enumerate() {
-            self.buf[d] = col[r];
-        }
-        Some(Row { members: &self.buf, value: self.table.measures[self.measure.index()][r] })
     }
 
-    /// Restart the scan from where it started (the skipped prefix, if any,
-    /// stays skipped).
-    pub fn rewind(&mut self) {
-        self.pos = self.base;
+    /// Stream up to `max_rows` rows through `f`, morsel by morsel — the
+    /// vectorized ingest path. Column accesses inside one batch stay
+    /// within a single chunk's contiguous slices, and pool progress is
+    /// published once per batch instead of once per row. Returns the
+    /// number of rows delivered (less than `max_rows` only on exhaustion).
+    pub fn for_each_row(&mut self, max_rows: usize, mut f: impl FnMut(&[MemberId], f64)) -> usize {
+        let mvals: &[f64] = &self.table.measures[self.measure.index()];
+        let mut delivered = 0usize;
+        while delivered < max_rows {
+            let Some(m) = self.cur.as_mut() else {
+                if self.done {
+                    break;
+                }
+                match self.pool.claim() {
+                    Some(c) => self.cur = Some(c),
+                    None => self.done = true,
+                }
+                continue;
+            };
+            if m.off >= m.len {
+                self.cur = None;
+                continue;
+            }
+            let n = ((m.len - m.off) as usize).min(max_rows - delivered);
+            let chunk_vals = &mvals[m.base..m.base + m.len as usize];
+            for _ in 0..n {
+                let j = m.perm.apply(m.off) as usize;
+                m.off += 1;
+                let r = m.base + j;
+                for (d, col) in self.table.dim_cols.iter().enumerate() {
+                    self.buf[d] = col.get(r);
+                }
+                f(&self.buf, chunk_vals[j]);
+            }
+            self.pool.record(m.pos, m.off);
+            delivered += n;
+        }
+        self.read += delivered;
+        delivered
     }
 }
 
@@ -237,20 +330,20 @@ impl<'a> RowScanner<'a> {
 #[derive(Debug)]
 pub struct TableBuilder {
     schema: Schema,
-    dim_cols: Vec<Vec<MemberId>>,
+    dim_cols: Vec<DimColumn>,
     measures: Vec<Vec<f64>>,
 }
 
 impl TableBuilder {
     /// Start building a table for `schema`.
     pub fn new(schema: Schema) -> Self {
-        let n_dims = schema.dimensions().len();
+        let dim_cols = schema
+            .dimensions()
+            .iter()
+            .map(|d| DimColumn::for_cardinality(d.member_count()))
+            .collect();
         let n_measures = schema.measure_count();
-        TableBuilder {
-            schema,
-            dim_cols: vec![Vec::new(); n_dims],
-            measures: vec![Vec::new(); n_measures],
-        }
+        TableBuilder { schema, dim_cols, measures: vec![Vec::new(); n_measures] }
     }
 
     /// Append one fact row with a single measure value (requires a
@@ -315,12 +408,7 @@ impl TableBuilder {
 
     /// Finalize the table.
     pub fn build(self) -> Table {
-        Table {
-            schema: self.schema,
-            dim_cols: self.dim_cols,
-            measures: self.measures,
-            shuffle_memo: Arc::new(Mutex::new(HashMap::new())),
-        }
+        Table { schema: self.schema, dim_cols: self.dim_cols, measures: self.measures }
     }
 }
 
@@ -351,6 +439,14 @@ mod tests {
         assert_eq!(t.value_at(2), 3.0);
         assert_eq!(t.row_members(0), vec![MemberId(1)]);
         assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn small_cardinality_dimensions_pack_to_one_byte() {
+        let t = tiny_table();
+        // 3 members (root + 2 leaves) -> u8 ids: 1 byte per dimension row
+        // plus 8 per measure row plus the (single-chunk) scan order entry.
+        assert_eq!(t.approx_bytes(), 4 * (1 + 8) + 4);
     }
 
     #[test]
@@ -410,70 +506,64 @@ mod tests {
     }
 
     #[test]
-    fn shards_partition_the_shuffled_order() {
+    fn pooled_scanners_partition_the_shuffled_order() {
+        // A single scanner on a fresh pool == the plain shuffled scan.
         let t = tiny_table();
-        // Shard 0 of 1 == the plain shuffled scan, row for row.
         let mut full = t.scan_shuffled(9);
-        let mut solo = t.scan_shuffled_shard(9, 0, 1);
+        let mut solo = t.scan_pooled(t.morsel_pool(9), MeasureId::PRIMARY);
         while let Some(a) = full.next_row() {
             let b = solo.next_row().unwrap();
             assert_eq!(a.value, b.value);
         }
         assert!(solo.next_row().is_none());
 
-        // Shards of one seed partition the table: union of values ==
-        // multiset of all rows, and they interleave the global order.
-        for n_shards in [2usize, 3] {
+        // Scanners sharing one pool partition the table: union of values
+        // == multiset of all rows.
+        for n_scanners in [2usize, 3] {
+            let pool = t.morsel_pool(9);
             let mut all = Vec::new();
-            for shard in 0..n_shards {
-                let mut s = t.scan_shuffled_shard(9, shard, n_shards);
+            for _ in 0..n_scanners {
+                let mut s = t.scan_pooled(pool.clone(), MeasureId::PRIMARY);
                 while let Some(r) = s.next_row() {
                     all.push(r.value);
                 }
             }
             all.sort_by(f64::total_cmp);
-            assert_eq!(all, vec![1.0, 2.0, 3.0, 4.0], "{n_shards} shards");
+            assert_eq!(all, vec![1.0, 2.0, 3.0, 4.0], "{n_scanners} scanners");
         }
     }
 
     #[test]
-    fn shuffled_order_is_memoized_and_shared_across_clones() {
+    fn resume_continues_the_seeded_scan_where_a_prefix_left_off() {
         let t = tiny_table();
-        let a = t.shuffled_order(5);
-        let b = t.shuffled_order(5);
-        assert!(Arc::ptr_eq(&a, &b), "same seed reuses the permutation");
-        let c = t.clone().shuffled_order(5);
-        assert!(Arc::ptr_eq(&a, &c), "clones share the memo");
-        let d = t.shuffled_order(6);
-        assert!(!Arc::ptr_eq(&a, &d), "different seed, different permutation");
-    }
-
-    #[test]
-    fn skip_resumes_the_seeded_scan_where_a_prefix_left_off() {
-        let t = tiny_table();
-        let mut full = t.scan_shuffled(3);
-        full.next_row();
-        full.next_row();
+        let mut donor = t.scan_shuffled(3);
+        donor.next_row();
+        donor.next_row();
+        let snapshot = donor.progress();
         let mut resumed = t.scan_shuffled(3);
-        resumed.skip(2);
-        assert_eq!(resumed.rows_read(), 0, "skipped rows are not counted as read");
-        while let Some(expect) = full.next_row() {
+        resumed.resume(&snapshot);
+        assert_eq!(resumed.rows_read(), 0, "resumed rows are not counted as read");
+        while let Some(expect) = donor.next_row() {
             let expect = expect.value;
             assert_eq!(resumed.next_row().unwrap().value, expect);
         }
-        assert!(resumed.exhausted());
+        assert!(resumed.next_row().is_none());
         assert_eq!(resumed.rows_read(), 2);
-        resumed.rewind();
-        assert_eq!(resumed.rows_read(), 0, "rewind returns to the skip point");
     }
 
     #[test]
-    fn rewind_restarts_scan() {
+    fn batch_scan_delivers_the_same_rows_as_next_row() {
         let t = tiny_table();
-        let mut s = t.scan_shuffled(3);
-        let first = s.next_row().unwrap().value;
-        while s.next_row().is_some() {}
-        s.rewind();
-        assert_eq!(s.next_row().unwrap().value, first);
+        let mut by_row = t.scan_shuffled(5);
+        let mut expect = Vec::new();
+        while let Some(r) = by_row.next_row() {
+            expect.push((r.members.to_vec(), r.value));
+        }
+        let mut batched = t.scan_shuffled(5);
+        let mut got = Vec::new();
+        // Odd batch size exercises the mid-morsel resume of the loop.
+        while batched.for_each_row(3, |m, v| got.push((m.to_vec(), v))) > 0 {}
+        assert_eq!(got, expect);
+        assert_eq!(batched.rows_read(), expect.len());
     }
 }

@@ -67,12 +67,14 @@ pub struct SampleSnapshot {
     /// Scan seed the rows were drawn under; warm starts require an exact
     /// match so the resumed scan continues the same permutation.
     pub seed: u64,
-    /// Scan-prefix length consumed per shard scanner (its length is the
-    /// number of shards the donor run scanned with); a warm start skips
-    /// exactly this prefix on each resumed shard.
-    pub shard_reads: Vec<u64>,
-    /// Total rows read across shards, including out-of-scope ones — the
-    /// `nr_read` denominator the seeded cache starts from.
+    /// Per-chunk-position progress of the donor's morsel pool (rows
+    /// consumed per claimed position of the permuted chunk order,
+    /// trailing zeros trimmed). A warm start resumes the pool from these
+    /// watermarks — with any worker count, since the consumed set is a
+    /// property of the scan order, not of the donor's thread layout.
+    pub progress: Vec<u32>,
+    /// Total rows read (the sum of `progress`), including out-of-scope
+    /// ones — the `nr_read` denominator the seeded cache starts from.
     pub nr_read: u64,
     /// Every in-scope row observed within the prefix.
     pub rows: Vec<LoggedRow>,
@@ -81,7 +83,7 @@ pub struct SampleSnapshot {
 impl SampleSnapshot {
     fn approx_bytes(&self) -> usize {
         let row = self.rows.first().map_or(0, LoggedRow::approx_bytes);
-        self.rows.len() * row + self.shard_reads.len() * 8 + ENTRY_OVERHEAD
+        self.rows.len() * row + self.progress.len() * 4 + ENTRY_OVERHEAD
     }
 }
 
@@ -279,19 +281,15 @@ impl SemanticCache {
     }
 
     /// Look up a warm-start donor for a query over `scope`: a snapshot is
-    /// compatible only if it was drawn under the same scan `seed` and with
-    /// the same number of scan shards (so per-shard resume offsets line
-    /// up).
-    pub fn lookup_snapshot(
-        &self,
-        scope: &ScopeKey,
-        seed: u64,
-        n_shards: usize,
-    ) -> Option<Arc<SampleSnapshot>> {
+    /// compatible only if it was drawn under the same scan `seed` (so the
+    /// resumed scan continues the same two-level permutation). The donor's
+    /// worker count is irrelevant — morsel-pool progress describes the
+    /// consumed set itself, so any thread layout can resume it.
+    pub fn lookup_snapshot(&self, scope: &ScopeKey, seed: u64) -> Option<Arc<SampleSnapshot>> {
         let mut shard = self.lock_shard(self.shard_of(scope));
         let tick = self.next_tick();
         let entry = shard.samples.get_mut(scope)?;
-        if entry.snap.seed != seed || entry.snap.shard_reads.len() != n_shards {
+        if entry.snap.seed != seed {
             return None;
         }
         entry.last_used = tick;
@@ -447,20 +445,19 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_compatibility_requires_seed_and_shards() {
+    fn snapshot_compatibility_requires_seed() {
         let cache = SemanticCache::with_capacity_mb(1);
         let scope = key(0).scope();
         let snap = SampleSnapshot {
             seed: 42,
-            shard_reads: vec![100],
+            progress: vec![100],
             nr_read: 100,
             rows: vec![LoggedRow { members: Box::new([MemberId(1)]), value: 1.0 }],
         };
         cache.admit_snapshot(&scope, snap);
-        assert!(cache.lookup_snapshot(&scope, 42, 1).is_some());
-        assert!(cache.lookup_snapshot(&scope, 43, 1).is_none(), "seed mismatch");
-        assert!(cache.lookup_snapshot(&scope, 42, 4).is_none(), "shard-count mismatch");
-        assert!(cache.lookup_snapshot(&key(1).scope(), 42, 1).is_none(), "scope mismatch");
+        assert!(cache.lookup_snapshot(&scope, 42).is_some());
+        assert!(cache.lookup_snapshot(&scope, 43).is_none(), "seed mismatch");
+        assert!(cache.lookup_snapshot(&key(1).scope(), 42).is_none(), "scope mismatch");
         assert_eq!(cache.stats().warm_hits, 1);
     }
 
@@ -490,14 +487,14 @@ mod tests {
         let scope = key(0).scope();
         let make = |nr_read: u64| SampleSnapshot {
             seed: 42,
-            shard_reads: vec![nr_read],
+            progress: vec![nr_read as u32],
             nr_read,
             rows: Vec::new(),
         };
         cache.admit_snapshot(&scope, make(200));
         cache.admit_snapshot(&scope, make(100));
-        assert_eq!(cache.lookup_snapshot(&scope, 42, 1).unwrap().nr_read, 200);
+        assert_eq!(cache.lookup_snapshot(&scope, 42).unwrap().nr_read, 200);
         cache.admit_snapshot(&scope, make(300));
-        assert_eq!(cache.lookup_snapshot(&scope, 42, 1).unwrap().nr_read, 300);
+        assert_eq!(cache.lookup_snapshot(&scope, 42).unwrap().nr_read, 300);
     }
 }

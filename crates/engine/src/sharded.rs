@@ -1,10 +1,10 @@
 //! Striped sample cache for parallel row ingestion.
 //!
 //! [`ShardedSampleCache`] is the multi-threaded counterpart of
-//! [`SampleCache`](crate::cache::SampleCache): N ingestion workers stream
-//! disjoint row shards (see `Table::scan_shuffled_shard`) into one shared
-//! cache concurrently. Contention is kept off the hot path by striping
-//! state per aggregate:
+//! [`SampleCache`](crate::cache::SampleCache): N ingestion workers claim
+//! disjoint morsels from a shared pool (see `Table::scan_pooled`) and
+//! stream them into one shared cache concurrently. Contention is kept off
+//! the hot path by striping state per aggregate:
 //!
 //! * each aggregate's value bucket sits behind its **own** mutex, so two
 //!   workers only contend when their rows land in the same aggregate;
@@ -19,9 +19,11 @@
 //! Readers (planner sampling threads) see a **merged view**: `estimate`,
 //! `pick_aggregate`, and `overall_estimate` have the same semantics as the
 //! sequential cache, computed over the union of all workers' insertions.
-//! Since every shard delivers rows in (seeded) random order, the union of
-//! prefixes of the shards is still a uniform random subset of the table,
-//! which is the property all the paper's estimators rest on.
+//! Since the pool hands out whole chunks of the seeded two-level scan
+//! order, the union of the workers' progress at any point is a prefix of
+//! that order — a uniform random subset of the table, which is the
+//! property all the paper's estimators rest on (see
+//! `voxolap_data::chunk` for the uniformity argument).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, MutexGuard};
@@ -410,8 +412,8 @@ mod tests {
         (table, q)
     }
 
-    /// Ingest the whole table from `n_workers` sharded scanners in
-    /// parallel.
+    /// Ingest the whole table from `n_workers` scanners sharing one
+    /// morsel pool.
     fn parallel_fill(
         table: &voxolap_data::Table,
         q: &Query,
@@ -419,11 +421,14 @@ mod tests {
         seed: u64,
     ) -> ShardedSampleCache {
         let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        let pool = table.morsel_pool(seed);
         std::thread::scope(|scope| {
-            for w in 0..n_workers {
+            for _ in 0..n_workers {
                 let cache = &cache;
+                let pool = pool.clone();
                 scope.spawn(move || {
-                    let mut scan = table.scan_shuffled_shard(seed, w, n_workers);
+                    let mut scan =
+                        table.scan_pooled(pool, voxolap_data::schema::MeasureId::PRIMARY);
                     while let Some(r) = scan.next_row() {
                         cache.observe(q.layout().agg_of_row(r.members), r.value);
                     }
@@ -483,13 +488,16 @@ mod tests {
         let cache = {
             let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
                 .with_bucket_capacity(8);
+            let pool = table.morsel_pool(11);
             std::thread::scope(|scope| {
-                for w in 0..4 {
+                for _ in 0..4 {
                     let cache = &cache;
                     let table = &table;
                     let q = &q;
+                    let pool = pool.clone();
                     scope.spawn(move || {
-                        let mut scan = table.scan_shuffled_shard(11, w, 4);
+                        let mut scan =
+                            table.scan_pooled(pool, voxolap_data::schema::MeasureId::PRIMARY);
                         while let Some(r) = scan.next_row() {
                             cache.observe(q.layout().agg_of_row(r.members), r.value);
                         }
@@ -559,13 +567,16 @@ mod tests {
         let stats = Arc::new(DegradeStats::default());
         let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
             .with_faults(injector.clone(), stats.clone());
+        let pool = table.morsel_pool(7);
         std::thread::scope(|scope| {
-            for w in 0..4 {
+            for _ in 0..4 {
                 let cache = &cache;
                 let table = &table;
                 let q = &q;
+                let pool = pool.clone();
                 scope.spawn(move || {
-                    let mut scan = table.scan_shuffled_shard(7, w, 4);
+                    let mut scan =
+                        table.scan_pooled(pool, voxolap_data::schema::MeasureId::PRIMARY);
                     while let Some(r) = scan.next_row() {
                         cache.observe(q.layout().agg_of_row(r.members), r.value);
                     }

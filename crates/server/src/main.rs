@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! voxolap-server [--port 8080] [--data flights|salary] [--rows N]
-//!                [--threads N] [--cache-mb N] [--fault-plan SPEC]
-//!                [--http-threads N] [--http-queue N] [--http-timeout-ms N]
+//!                [--scale-rows N] [--threads N] [--cache-mb N]
+//!                [--fault-plan SPEC] [--http-threads N] [--http-queue N]
+//!                [--http-timeout-ms N]
 //! ```
+//!
+//! `--scale-rows` selects the paper-scale synthetic scale-up (5.3M–50M
+//! flights rows) and takes precedence over `--rows`.
 //!
 //! `--threads` bounds the planning threads used by the `parallel`
 //! approach (default: all cores). `--cache-mb` sizes the cross-query
@@ -47,7 +51,10 @@ fn arg(key: &str) -> Option<String> {
 
 fn main() {
     let port: u16 = arg("--port").and_then(|v| v.parse().ok()).unwrap_or(8080);
-    let rows: usize = arg("--rows").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let rows: usize = arg("--scale-rows")
+        .or_else(|| arg("--rows"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
     let data = arg("--data").unwrap_or_else(|| "flights".to_string());
 
     let mut config = ServerConfig { log_requests: true, ..ServerConfig::default() };

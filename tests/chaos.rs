@@ -220,6 +220,44 @@ fn hundred_seeded_fault_schedules_never_break_the_invariants() {
 }
 
 #[test]
+fn total_read_outage_on_the_morsel_path_still_answers() {
+    // DataRead probability 1.0: every attempt to pull rows off the shared
+    // morsel pool is refused, the breaker opens, and no worker ever claims
+    // a morsel — at any thread count the engine must still deliver the
+    // (degraded) no-data fallback instead of hanging or panicking.
+    let t = table();
+    let q = query(&t, true);
+    for threads in [1usize, 2, 4] {
+        let plan = FaultPlan::new(5).with_site(
+            FaultSite::DataRead,
+            SiteSchedule { probability: 1.0, latency: Duration::ZERO, error: true },
+        );
+        let res = Arc::new(
+            Resilience::new(Some(plan)).with_budget(64).with_breaker(3, Duration::from_millis(1)),
+        );
+        let config = HolisticConfig {
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 30_000,
+            seed: 5,
+            ..HolisticConfig::default()
+        };
+        let mut voice = InstantVoice::default();
+        let outcome = ParallelHolistic::new(config)
+            .with_threads(threads)
+            .with_resilience(Arc::clone(&res))
+            .vocalize(&t, &q, &mut voice);
+        assert!(!outcome.full_text().is_empty(), "{threads} threads: silent engine");
+        assert!(outcome.stats.degraded, "{threads} threads: outage answer not marked degraded");
+        assert_eq!(
+            outcome.stats.rows_read, 0,
+            "{threads} threads: breaker-open workers must not consume morsels"
+        );
+        let snap = res.stats().snapshot();
+        assert_eq!(snap.clean_answers + snap.degraded_answers, 1, "{threads} threads");
+    }
+}
+
+#[test]
 fn inert_resilience_is_bit_identical_to_no_resilience() {
     // The zero-cost-when-disabled guarantee, end to end: an attached but
     // fault-free bundle must not change a single byte of the transcript

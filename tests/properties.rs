@@ -6,7 +6,9 @@
 //! * number verbalization round-off bounds;
 //! * result-layout index bijectivity;
 //! * grammar shape of rendered speeches;
-//! * cache estimator consistency for arbitrary sampling prefixes.
+//! * cache estimator consistency for arbitrary sampling prefixes;
+//! * uniformity of the two-level chunked scan order (prefix-sample means
+//!   converge at the estimator's error rate across 50 seeds).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -190,6 +192,60 @@ fn cache_counts_are_exact_on_any_prefix() {
         let est = cache.overall_estimate(AggFct::Count).unwrap();
         assert!((est - table.row_count() as f64).abs() < 1e-9);
     }
+}
+
+/// Algorithm 3's estimator treats every scan prefix as a uniform random
+/// sample, so its confidence bounds shrink at the σ/√k rate. The chunked
+/// two-level order (seeded chunk permutation + on-the-fly in-chunk
+/// bijection, DESIGN.md §13) must deliver prefixes whose means actually
+/// converge at that rate: 50 seeds, each checked against a 4σ bound with
+/// finite-population correction, plus an unbiasedness check on the
+/// cross-seed average.
+#[test]
+fn prefix_sample_means_respect_the_estimator_error_bound() {
+    let table = SalaryConfig { rows: 20_000, seed: 9 }.generate();
+    let n = table.row_count();
+    let values = table.measure();
+    let truth = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - truth).powi(2)).sum::<f64>() / n as f64;
+
+    let k = 2_000usize;
+    // Prefixes draw without replacement from a fixed population: the
+    // standard error carries the finite-population correction.
+    let fpc = (((n - k) as f64) / ((n - 1) as f64)).sqrt();
+    let se = (var / k as f64).sqrt() * fpc;
+
+    let mut means = Vec::with_capacity(50);
+    for seed in 0..50u64 {
+        // 256-row chunks put ~78 chunks in play, so the prefix crosses
+        // many chunk boundaries and exercises both permutation levels.
+        let order = voxolap_data::ScanOrder::with_chunk_size(n, seed, 256);
+        let mut sum = 0.0;
+        let mut taken = 0usize;
+        'prefix: for pos in 0..order.n_chunks() {
+            for rank in 0..order.chunk_len(pos) {
+                if taken == k {
+                    break 'prefix;
+                }
+                sum += values[order.row_at(pos, rank)];
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, k);
+        let mean = sum / k as f64;
+        assert!(
+            (mean - truth).abs() <= 4.0 * se,
+            "seed {seed}: prefix mean {mean} vs true mean {truth} (4 sigma = {:.4})",
+            4.0 * se
+        );
+        means.push(mean);
+    }
+    // Unbiasedness: the cross-seed average must tighten roughly √50-fold.
+    let avg = means.iter().sum::<f64>() / means.len() as f64;
+    assert!(
+        (avg - truth).abs() <= 4.0 * se / (means.len() as f64).sqrt(),
+        "biased scan order: cross-seed mean {avg} vs true mean {truth}"
+    );
 }
 
 #[test]
