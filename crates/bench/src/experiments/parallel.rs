@@ -3,17 +3,28 @@
 //! threads on the paper-scale flights table, rendered as markdown and as
 //! a machine-readable `BENCH_parallel.json` record.
 //!
-//! Throughput is measured by [`sampling_throughput`]: workers sample the
-//! pre-built speech tree from the root for a fixed wall-clock window, with
-//! setup (shard permutations, warm-up, tree construction) excluded. The
-//! `speedup` column is relative to the 1-thread run of the same sweep.
+//! Each point carries two series:
+//!
+//! * **samples/sec** — end-to-end throughput via [`sampling_throughput`]:
+//!   workers sample the pre-built speech tree from the root for a fixed
+//!   wall-clock window, with setup (shard permutations, warm-up, tree
+//!   construction) excluded. Mixes row ingestion with UCT planning work.
+//! * **ingest rows/sec** — ingest-only throughput via
+//!   [`ingest_throughput`]: workers drain whole seeded scans through the
+//!   batched morsel path (columnar aggregate resolution + per-aggregate
+//!   group-commit) with planning disabled. Isolates the scan+observe
+//!   scaling the batching optimisation targets.
+//!
+//! The `speedup` columns are relative to the 1-thread run of the same
+//! sweep and series.
 //!
 //! [`ParallelHolistic`]: voxolap_core::parallel::ParallelHolistic
+//! [`ingest_throughput`]: voxolap_core::parallel::ingest_throughput
 
 use std::time::Duration;
 
 use voxolap_core::holistic::HolisticConfig;
-use voxolap_core::parallel::sampling_throughput;
+use voxolap_core::parallel::{ingest_throughput, sampling_throughput};
 use voxolap_json::Value;
 
 use crate::{flights_table, markdown_table, region_season_query, HostInfo};
@@ -29,13 +40,21 @@ pub struct ScalingPoint {
     pub rows_read: u64,
     pub elapsed_ms: f64,
     pub samples_per_sec: f64,
-    /// Throughput relative to the sweep's 1-thread measurement.
+    /// End-to-end throughput relative to the sweep's 1-thread measurement.
     pub speedup: f64,
+    /// Rows drained by the ingest-only measurement (scan + observe_batch,
+    /// planning disabled).
+    pub ingest_rows: u64,
+    /// Full-table drains the ingest-only measurement completed.
+    pub ingest_drains: u64,
+    pub ingest_rows_per_sec: f64,
+    /// Ingest-only throughput relative to the sweep's 1-thread measurement.
+    pub ingest_speedup: f64,
 }
 
-/// Run the sweep: one throughput measurement per thread count. Returns
-/// the points plus the generated dataset's in-memory size in bytes (for
-/// the artifact header).
+/// Run the sweep: one end-to-end and one ingest-only measurement per
+/// thread count. Returns the points plus the generated dataset's
+/// in-memory size in bytes (for the artifact header).
 pub fn measure(
     rows: usize,
     duration_ms: u64,
@@ -48,6 +67,7 @@ pub fn measure(
     let cfg = HolisticConfig { seed, ..HolisticConfig::default() };
     let duration = Duration::from_millis(duration_ms);
     let mut base: Option<f64> = None;
+    let mut ingest_base: Option<f64> = None;
     let points = thread_counts
         .iter()
         .map(|&threads| {
@@ -55,6 +75,9 @@ pub fn measure(
             let r = sampling_throughput(&table, &query, &cfg, threads, duration);
             let samples_per_sec = r.samples_per_sec();
             let base_sps = *base.get_or_insert(samples_per_sec);
+            let ing = ingest_throughput(&table, &query, seed, threads, duration);
+            let ingest_rows_per_sec = ing.rows_per_sec();
+            let ingest_base_rps = *ingest_base.get_or_insert(ingest_rows_per_sec);
             ScalingPoint {
                 threads,
                 samples: r.samples,
@@ -62,6 +85,10 @@ pub fn measure(
                 elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
                 samples_per_sec,
                 speedup: samples_per_sec / base_sps,
+                ingest_rows: ing.rows,
+                ingest_drains: ing.drains,
+                ingest_rows_per_sec,
+                ingest_speedup: ingest_rows_per_sec / ingest_base_rps,
             }
         })
         .collect();
@@ -71,7 +98,8 @@ pub fn measure(
 /// Render the sweep as the `BENCH_parallel.json` record. The header
 /// carries the host's core count and RAM plus the dataset's in-memory
 /// size — speedup beyond the core count is physically impossible, so
-/// readers of the record can judge the numbers in context.
+/// readers of the record can judge the numbers in context — and an
+/// `ingest_mode` note describing what the ingest-only series measures.
 pub fn to_json(
     rows: usize,
     duration_ms: u64,
@@ -89,6 +117,10 @@ pub fn to_json(
                 ("elapsed_ms", p.elapsed_ms.into()),
                 ("samples_per_sec", p.samples_per_sec.into()),
                 ("speedup_vs_1_thread", p.speedup.into()),
+                ("ingest_rows", p.ingest_rows.into()),
+                ("ingest_drains", p.ingest_drains.into()),
+                ("ingest_rows_per_sec", p.ingest_rows_per_sec.into()),
+                ("ingest_speedup_vs_1_thread", p.ingest_speedup.into()),
             ])
         })
         .collect();
@@ -100,6 +132,12 @@ pub fn to_json(
         ("host_cores", (host.cores as u64).into()),
         ("host_ram_bytes", host.ram_bytes.into()),
         ("dataset_bytes", (dataset_bytes as u64).into()),
+        (
+            "ingest_mode",
+            "batched morsel ingest: scan + columnar agg_of_block + observe_batch, \
+             planning disabled; full-table drains repeated for duration_ms"
+                .into(),
+        ),
         ("results", results.into()),
     ])
     .to_string()
@@ -115,12 +153,17 @@ pub fn run(rows: usize, duration_ms: u64, points: &[ScalingPoint]) -> String {
                 p.samples.to_string(),
                 format!("{:.0}", p.samples_per_sec),
                 format!("{:.2}", p.speedup),
+                format!("{:.0}", p.ingest_rows_per_sec),
+                format!("{:.2}", p.ingest_speedup),
             ]
         })
         .collect();
     format!(
         "### Parallel planning: sampling throughput ({rows} flights rows, \
          {duration_ms} ms per point)\n\n{}",
-        markdown_table(&["threads", "samples", "samples/sec", "speedup"], &md_rows)
+        markdown_table(
+            &["threads", "samples", "samples/sec", "speedup", "ingest rows/sec", "ingest speedup"],
+            &md_rows
+        )
     )
 }

@@ -61,7 +61,7 @@ pub use approach::Vocalizer;
 pub use holistic::{Holistic, HolisticConfig};
 pub use optimal::Optimal;
 pub use outcome::{PlanStats, VocalizationOutcome};
-pub use parallel::ParallelHolistic;
+pub use parallel::{ingest_throughput, IngestReport, ParallelHolistic};
 pub use pipeline::{CancelKind, CancelToken, PlannedSentence, SentenceStats, SpeechStream};
 pub use prior::PriorGreedy;
 pub use uncertainty::UncertaintyMode;

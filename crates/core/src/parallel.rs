@@ -45,7 +45,7 @@ use voxolap_data::{MorselPool, Table};
 use voxolap_engine::cache::ResampleScratch;
 use voxolap_engine::query::{AggFct, Query};
 use voxolap_engine::semantic::{LoggedRow, SampleSnapshot, SemanticCache};
-use voxolap_engine::sharded::ShardedSampleCache;
+use voxolap_engine::sharded::{IngestBatch, ShardedSampleCache};
 use voxolap_faults::{Resilience, RunState};
 use voxolap_mcts::NodeId;
 use voxolap_speech::candidates::CandidateGenerator;
@@ -140,6 +140,11 @@ pub(crate) struct ShardWorker<'a> {
     scanner: RowScanner<'a>,
     rng: StdRng,
     scratch: ResampleScratch,
+    /// Thread-local morsel accumulator for the group-commit ingest path
+    /// (`ShardedSampleCache::observe_batch`, DESIGN.md §14).
+    batch: IngestBatch,
+    /// Reused per-block aggregate-code buffer for the columnar kernel.
+    aggs: Vec<u32>,
     sigma: f64,
     rows_per_iteration: usize,
     policy: SelectionPolicy,
@@ -172,6 +177,8 @@ impl<'a> ShardWorker<'a> {
                 config.seed ^ 0x9e37_79b9_7f4a_7c15 ^ (worker as u64).wrapping_mul(WORKER_STREAM),
             ),
             scratch: ResampleScratch::new(),
+            batch: IngestBatch::new(query.n_aggregates()),
+            aggs: Vec::new(),
             sigma: SIGMA_FALLBACK,
             rows_per_iteration: config.rows_per_iteration,
             policy: config.policy,
@@ -194,20 +201,26 @@ impl<'a> ShardWorker<'a> {
                 return 0;
             }
         }
-        // Batched morsel ingest: one contiguous chunk walk per batch and
-        // one pool-progress publish per batch, not per row.
+        // Batched morsel ingest (DESIGN.md §14): per block, resolve all
+        // aggregate codes with the columnar kernel, accumulate into the
+        // thread-local batch, and group-commit once — one shared-counter
+        // add and at most one bucket lock per touched aggregate per
+        // block, instead of per row.
         let layout = self.query.layout();
-        let log = &mut self.log;
-        let cache = &*self.cache;
-        self.scanner.for_each_row(k, |members, value| {
-            let agg = layout.agg_of_row(members);
-            if agg.is_some() {
-                if let Some(log) = log.as_mut() {
-                    log.push(members, value);
-                }
+        let mut read = 0;
+        while read < k {
+            let Some(block) = self.scanner.next_block(k - read) else { break };
+            layout.agg_of_block(block.dims, block.rows, &mut self.aggs);
+            if let Some(log) = self.log.as_mut() {
+                log.push_block(&block, &self.aggs);
             }
-            cache.observe(agg, value);
-        })
+            for (i, &r) in block.rows.iter().enumerate() {
+                self.batch.push_resolved(self.aggs[i], block.values[r as usize]);
+            }
+            self.cache.observe_batch(&mut self.batch);
+            read += block.rows.len();
+        }
+        read
     }
 
     /// Warm-up on the worker's shard until an overall estimate exists.
@@ -397,6 +410,73 @@ pub fn sampling_throughput(
         rows_read: cache.nr_read(),
         elapsed: t0.elapsed(),
     }
+}
+
+/// Result of one [`ingest_throughput`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestReport {
+    /// Number of ingest worker threads.
+    pub threads: usize,
+    /// Total rows streamed into sharded caches across all drains.
+    pub rows: u64,
+    /// Full-table drains completed.
+    pub drains: u64,
+    /// Wall-clock time the workers ran.
+    pub elapsed: Duration,
+}
+
+impl IngestReport {
+    /// Rows ingested per wall-clock second.
+    pub fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measure raw **ingest-only** throughput: `threads` workers drain whole
+/// seeded scans of the table into fresh [`ShardedSampleCache`]s via the
+/// batched morsel path (columnar aggregate resolution + group-commit) with
+/// planning disabled — no tree, no estimates, no RNG draws. Full-table
+/// drains repeat until `min_duration` has elapsed, so the figure is stable
+/// even when one drain takes microseconds. This isolates the scan+observe
+/// scaling that the end-to-end samples/sec figure mixes with planning
+/// work.
+pub fn ingest_throughput(
+    table: &Table,
+    query: &Query,
+    seed: u64,
+    threads: usize,
+    min_duration: Duration,
+) -> IngestReport {
+    let threads = threads.max(1);
+    let mut rows = 0u64;
+    let mut drains = 0u64;
+    let t0 = Instant::now();
+    while drains == 0 || t0.elapsed() < min_duration {
+        let cache = ShardedSampleCache::new(query.n_aggregates(), table.row_count() as u64);
+        let pool = table.morsel_pool(seed.wrapping_add(drains));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = &cache;
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    let mut scan = table.scan_pooled(pool, query.measure());
+                    let layout = query.layout();
+                    let mut batch = IngestBatch::new(query.n_aggregates());
+                    let mut aggs = Vec::new();
+                    while let Some(block) = scan.next_block(usize::MAX) {
+                        layout.agg_of_block(block.dims, block.rows, &mut aggs);
+                        for (i, &r) in block.rows.iter().enumerate() {
+                            batch.push_resolved(aggs[i], block.values[r as usize]);
+                        }
+                        cache.observe_batch(&mut batch);
+                    }
+                });
+            }
+        });
+        rows += cache.nr_read();
+        drains += 1;
+    }
+    IngestReport { threads, rows, drains, elapsed: t0.elapsed() }
 }
 
 impl Vocalizer for ParallelHolistic {

@@ -12,10 +12,10 @@ use rand::SeedableRng;
 use voxolap_belief::model::rounding_bucket;
 use voxolap_belief::normal::Normal;
 use voxolap_data::dimension::MemberId;
-use voxolap_data::table::RowScanner;
+use voxolap_data::table::{RowBlock, RowScanner};
 use voxolap_data::Table;
 use voxolap_engine::cache::{ResampleScratch, SampleCache};
-use voxolap_engine::query::Query;
+use voxolap_engine::query::{decode_agg, Query, AGG_OUT_OF_SCOPE};
 use voxolap_engine::semantic::{LoggedRow, SampleSnapshot};
 use voxolap_engine::stratified::{AggregateIndex, StratifiedScanner};
 use voxolap_mcts::NodeId;
@@ -49,16 +49,32 @@ impl RowLog {
         self.rows.extend_from_slice(rows);
     }
 
-    #[inline]
-    pub(crate) fn push(&mut self, members: &[MemberId], value: f64) {
+    /// Log one scan block's in-scope rows (`aggs` are the block's resolved
+    /// aggregate codes, see `ResultLayout::agg_of_block`), pre-reserving
+    /// capacity from the block size instead of growing per row. A block
+    /// that would not fit drops the log in one step — observably the same
+    /// as overflowing row-at-a-time, since an overflowed log is discarded
+    /// wholesale either way.
+    pub(crate) fn push_block(&mut self, block: &RowBlock<'_>, aggs: &[u32]) {
         if self.overflowed {
             return;
         }
-        if self.rows.len() >= self.cap {
+        let in_scope = aggs.iter().filter(|&&a| a != AGG_OUT_OF_SCOPE).count();
+        if in_scope == 0 {
+            return;
+        }
+        if self.rows.len() + in_scope > self.cap {
             self.overflow();
             return;
         }
-        self.rows.push(LoggedRow { members: members.into(), value });
+        self.rows.reserve(in_scope);
+        for (i, &r) in block.rows.iter().enumerate() {
+            if aggs[i] == AGG_OUT_OF_SCOPE {
+                continue;
+            }
+            let members: Box<[MemberId]> = block.dims.iter().map(|d| d.get(r as usize)).collect();
+            self.rows.push(LoggedRow { members, value: block.values[r as usize] });
+        }
     }
 
     fn overflow(&mut self) {
@@ -134,6 +150,8 @@ pub struct PlannerCore<'a> {
     /// Reused resample buffers — keeps the per-iteration estimate
     /// allocation-free (see `SampleCache::estimate_with`).
     scratch: ResampleScratch,
+    /// Reused per-block aggregate-code buffer for the columnar kernel.
+    aggs: Vec<u32>,
     samples: u64,
     policy: SelectionPolicy,
     /// In-scope row log for semantic-cache snapshot admission
@@ -173,6 +191,7 @@ impl<'a> PlannerCore<'a> {
             sigma: SIGMA_FALLBACK,
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             scratch: ResampleScratch::new(),
+            aggs: Vec::new(),
             samples: 0,
             policy: SelectionPolicy::Uct,
             log: None,
@@ -204,6 +223,7 @@ impl<'a> PlannerCore<'a> {
             sigma: SIGMA_FALLBACK,
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             scratch: ResampleScratch::new(),
+            aggs: Vec::new(),
             samples: 0,
             policy: SelectionPolicy::Uct,
             log: None,
@@ -292,19 +312,23 @@ impl<'a> PlannerCore<'a> {
         let mut read = 0;
         match &mut self.scanner {
             RowSource::Shuffled(scan) => {
-                // Batched morsel ingest: column accesses stay within one
-                // chunk's contiguous slices for the whole batch.
-                let log = &mut self.log;
-                let cache = &mut self.cache;
-                read = scan.for_each_row(k, |members, value| {
-                    let agg = layout.agg_of_row(members);
-                    if agg.is_some() {
-                        if let Some(log) = log.as_mut() {
-                            log.push(members, value);
-                        }
+                // Batched morsel ingest through the columnar kernel: each
+                // block's aggregate codes are resolved in per-column passes
+                // over the chunk's packed ids (no per-row `&[MemberId]`
+                // materialization), the row log reserves from the block
+                // size, and observes still hit the sequential cache in
+                // scan order, preserving its RNG and float association.
+                while read < k {
+                    let Some(block) = scan.next_block(k - read) else { break };
+                    layout.agg_of_block(block.dims, block.rows, &mut self.aggs);
+                    if let Some(log) = self.log.as_mut() {
+                        log.push_block(&block, &self.aggs);
                     }
-                    cache.observe(agg, value);
-                });
+                    for (i, &r) in block.rows.iter().enumerate() {
+                        self.cache.observe(decode_agg(self.aggs[i]), block.values[r as usize]);
+                    }
+                    read += block.rows.len();
+                }
             }
             RowSource::Stratified(scan) => {
                 while read < k {

@@ -41,4 +41,4 @@ pub use error::DataError;
 pub use schema::{DimId, Schema};
 pub use star::{DimensionTable, FactTable, StarSchema};
 pub use stats::DatasetStats;
-pub use table::{Row, RowScanner, Table, TableBuilder};
+pub use table::{DimSlice, Row, RowBlock, RowScanner, Table, TableBuilder};

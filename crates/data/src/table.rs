@@ -27,6 +27,75 @@ pub struct Row<'a> {
     pub value: f64,
 }
 
+/// Borrowed view of one dimension's packed dictionary ids over a
+/// contiguous row range (one chunk of the table). The variants mirror
+/// [`DimColumn`]; downstream kernels match once per column and then walk
+/// the raw integer slice without per-row width dispatch.
+#[derive(Debug, Clone, Copy)]
+pub enum DimSlice<'a> {
+    /// Ids of a dimension with at most 256 members.
+    U8(&'a [u8]),
+    /// Ids of a dimension with at most 65 536 members.
+    U16(&'a [u16]),
+    /// Everything larger.
+    U32(&'a [u32]),
+}
+
+impl DimSlice<'_> {
+    /// Leaf id at in-slice index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> MemberId {
+        match self {
+            DimSlice::U8(v) => MemberId(v[i] as u32),
+            DimSlice::U16(v) => MemberId(v[i] as u32),
+            DimSlice::U32(v) => MemberId(v[i]),
+        }
+    }
+
+    /// Number of rows covered by the slice.
+    pub fn len(&self) -> usize {
+        match self {
+            DimSlice::U8(v) => v.len(),
+            DimSlice::U16(v) => v.len(),
+            DimSlice::U32(v) => v.len(),
+        }
+    }
+
+    /// `true` iff the slice covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Borrowed columnar view of one scan batch. All rows of a block lie in a
+/// **single chunk**: `dims` and `values` cover the whole chunk contiguously
+/// and `rows` holds the in-chunk indices the batch visits, in scan order —
+/// so consumers index `dims[d]` / `values` directly with `rows[i]` and all
+/// column accesses stay within one chunk's cache-resident slices.
+#[derive(Debug, Clone, Copy)]
+pub struct RowBlock<'a> {
+    /// First global row of the chunk this block lies in.
+    pub base: usize,
+    /// In-chunk row indices visited by the block, in scan order.
+    pub rows: &'a [u32],
+    /// Per-dimension dictionary-id slices of the chunk (schema order).
+    pub dims: &'a [DimSlice<'a>],
+    /// The chunk's values of the scanned measure.
+    pub values: &'a [f64],
+}
+
+impl RowBlock<'_> {
+    /// Number of rows the block delivers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the block delivers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 /// One dimension's leaf-member column, packed at the narrowest width that
 /// holds every dictionary id of the dimension (ids are dense, so the
 /// member count bounds them).
@@ -92,6 +161,16 @@ impl DimColumn {
             DimColumn::U8(_) => 1,
             DimColumn::U16(_) => 2,
             DimColumn::U32(_) => 4,
+        }
+    }
+
+    /// Borrow the packed ids of rows `base..base + len` (one chunk).
+    #[inline]
+    pub fn slice(&self, base: usize, len: usize) -> DimSlice<'_> {
+        match self {
+            DimColumn::U8(v) => DimSlice::U8(&v[base..base + len]),
+            DimColumn::U16(v) => DimSlice::U16(&v[base..base + len]),
+            DimColumn::U32(v) => DimSlice::U32(&v[base..base + len]),
         }
     }
 }
@@ -198,6 +277,8 @@ impl Table {
             read: 0,
             done: false,
             buf: vec![MemberId::ROOT; self.dim_cols.len()],
+            idx_buf: Vec::new(),
+            dim_slices: Vec::with_capacity(self.dim_cols.len()),
         }
     }
 
@@ -225,6 +306,11 @@ pub struct RowScanner<'a> {
     /// Set once the pool reports no morsels left.
     done: bool,
     buf: Vec<MemberId>,
+    /// Reused in-chunk row-index buffer for [`RowScanner::next_block`].
+    idx_buf: Vec<u32>,
+    /// Reused per-dimension chunk-slice buffer for
+    /// [`RowScanner::next_block`].
+    dim_slices: Vec<DimSlice<'a>>,
 }
 
 impl<'a> RowScanner<'a> {
@@ -323,6 +409,57 @@ impl<'a> RowScanner<'a> {
         }
         self.read += delivered;
         delivered
+    }
+
+    /// Deliver the next batch of up to `max_rows` rows as a columnar
+    /// [`RowBlock`], or `None` on exhaustion. A block never crosses a
+    /// chunk boundary, so its `dims` and `values` are contiguous slices of
+    /// the chunk and its `rows` are in-chunk indices in scan order. Pool
+    /// progress is published once per block. Blocks concatenate to exactly
+    /// the [`RowScanner::next_row`] row sequence.
+    pub fn next_block(&mut self, max_rows: usize) -> Option<RowBlock<'_>> {
+        if max_rows == 0 {
+            return None;
+        }
+        loop {
+            if let Some(m) = self.cur.as_mut() {
+                if m.off < m.len {
+                    let n = ((m.len - m.off) as usize).min(max_rows);
+                    self.idx_buf.clear();
+                    self.idx_buf.reserve(n);
+                    for _ in 0..n {
+                        self.idx_buf.push(m.perm.apply(m.off));
+                        m.off += 1;
+                    }
+                    self.pool.record(m.pos, m.off);
+                    self.read += n;
+                    let base = m.base;
+                    let len = m.len as usize;
+                    self.dim_slices.clear();
+                    for col in &self.table.dim_cols {
+                        self.dim_slices.push(col.slice(base, len));
+                    }
+                    let values = &self.table.measures[self.measure.index()][base..base + len];
+                    return Some(RowBlock {
+                        base,
+                        rows: &self.idx_buf,
+                        dims: &self.dim_slices,
+                        values,
+                    });
+                }
+                self.cur = None;
+            }
+            if self.done {
+                return None;
+            }
+            match self.pool.claim() {
+                Some(m) => self.cur = Some(m),
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -549,6 +686,37 @@ mod tests {
         }
         assert!(resumed.next_row().is_none());
         assert_eq!(resumed.rows_read(), 2);
+    }
+
+    #[test]
+    fn block_scan_delivers_the_same_rows_as_next_row() {
+        let t = tiny_table();
+        let mut by_row = t.scan_shuffled(5);
+        let mut expect = Vec::new();
+        while let Some(r) = by_row.next_row() {
+            expect.push((r.members.to_vec(), r.value));
+        }
+        let mut blocked = t.scan_shuffled(5);
+        let mut got = Vec::new();
+        // Odd block size exercises the mid-morsel resume of the loop.
+        while let Some(b) = blocked.next_block(3) {
+            for &r in b.rows {
+                let members: Vec<MemberId> = b.dims.iter().map(|d| d.get(r as usize)).collect();
+                got.push((members, b.values[r as usize]));
+            }
+        }
+        assert_eq!(got, expect);
+        assert_eq!(blocked.rows_read(), expect.len());
+        assert!(blocked.exhausted());
+    }
+
+    #[test]
+    fn zero_sized_block_request_returns_none_without_consuming() {
+        let t = tiny_table();
+        let mut s = t.scan_shuffled(5);
+        assert!(s.next_block(0).is_none());
+        assert_eq!(s.rows_read(), 0);
+        assert!(s.next_block(10).is_some(), "scan not perturbed");
     }
 
     #[test]

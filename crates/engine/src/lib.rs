@@ -44,7 +44,10 @@ pub mod stratified;
 pub use cache::{CacheEstimate, ResampleScratch, SampleCache};
 pub use error::EngineError;
 pub use exact::{evaluate, ExactResult};
-pub use query::{AggFct, AggIdx, Query, QueryBuilder, QueryKey, ResultLayout, ScopeKey};
+pub use query::{
+    decode_agg, AggFct, AggIdx, Query, QueryBuilder, QueryKey, ResultLayout, ScopeKey,
+    AGG_OUT_OF_SCOPE,
+};
 pub use semantic::{CacheStats, ExactAggregates, LoggedRow, SampleSnapshot, SemanticCache};
-pub use sharded::ShardedSampleCache;
+pub use sharded::{IngestBatch, ShardedSampleCache};
 pub use stratified::{AggregateIndex, StratifiedScanner};

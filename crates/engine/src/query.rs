@@ -14,14 +14,32 @@
 
 use voxolap_data::dimension::{LevelId, MemberId};
 use voxolap_data::schema::{DimId, MeasureId, Schema};
+use voxolap_data::table::DimSlice;
 
 use crate::error::EngineError;
 
 /// Dense index of an aggregate in a query result.
 pub type AggIdx = u32;
 
+/// Sentinel aggregate code marking a row outside the query scope, as
+/// emitted by the columnar kernel [`ResultLayout::agg_of_block`]. Safe as
+/// a sentinel: `QueryBuilder::build` rejects layouts whose aggregate count
+/// exceeds `u32::MAX`, so no real aggregate index ever equals it.
+pub const AGG_OUT_OF_SCOPE: u32 = u32::MAX;
+
 /// Sentinel marking a leaf member outside the query scope.
 const OUT_OF_SCOPE: u32 = u32::MAX;
+
+/// Lift a raw aggregate code from [`ResultLayout::agg_of_block`] into the
+/// `Option` form the caches consume.
+#[inline]
+pub fn decode_agg(code: u32) -> Option<AggIdx> {
+    if code == AGG_OUT_OF_SCOPE {
+        None
+    } else {
+        Some(code)
+    }
+}
 
 /// Aggregation function (paper supports AVG, SUM, COUNT; MIN/MAX are
 /// "notoriously difficult to approximate via sampling" and excluded).
@@ -62,6 +80,11 @@ struct DimLayout {
     /// `leaf_to_coord[member.index()]` = coordinate index of a leaf member,
     /// or [`OUT_OF_SCOPE`].
     leaf_to_coord: Vec<u32>,
+    /// `true` when the dimension contributes nothing to the aggregate
+    /// index: ungrouped, unfiltered (scope = root), single coordinate —
+    /// every leaf maps to coordinate 0. The columnar kernel skips such
+    /// columns entirely.
+    trivial: bool,
 }
 
 /// Dense mixed-radix layout of a query's result aggregates.
@@ -108,6 +131,53 @@ impl ResultLayout {
             idx += c * dl.stride;
         }
         Some(idx)
+    }
+
+    /// Columnar counterpart of [`ResultLayout::agg_of_row`]: resolve the
+    /// aggregate indices of a whole scan block in per-column passes.
+    ///
+    /// `dims` are the chunk's per-dimension dictionary-id slices and `rows`
+    /// the in-chunk indices of the block's rows (see
+    /// `voxolap_data::table::RowBlock`). On return `out[i]` holds the
+    /// aggregate index of the block's `i`-th row, or [`AGG_OUT_OF_SCOPE`].
+    ///
+    /// Instead of materializing a `&[MemberId]` per row, each dimension is
+    /// walked as one tight loop over its narrow integer ids: the lookup
+    /// table maps ids to coordinate contributions (`coord * stride`,
+    /// filters already folded in as [`OUT_OF_SCOPE`] entries), and the
+    /// out-of-scope sentinel is kept sticky by a saturating add — once a
+    /// row is `u32::MAX` it stays there, because every legitimate partial
+    /// sum is bounded by the aggregate count, which `QueryBuilder::build`
+    /// caps below `u32::MAX`. Trivial dimensions (ungrouped, unfiltered)
+    /// contribute nothing and are skipped without touching their column.
+    pub fn agg_of_block(&self, dims: &[DimSlice<'_>], rows: &[u32], out: &mut Vec<u32>) {
+        debug_assert_eq!(dims.len(), self.dims.len());
+        out.clear();
+        out.resize(rows.len(), 0);
+        for (dl, ids) in self.dims.iter().zip(dims) {
+            if dl.trivial {
+                continue;
+            }
+            let lut = &dl.leaf_to_coord[..];
+            let stride = dl.stride;
+            macro_rules! accumulate {
+                ($ids:expr) => {
+                    for (o, &r) in out.iter_mut().zip(rows) {
+                        let c = lut[$ids[r as usize] as usize];
+                        *o = if c == OUT_OF_SCOPE {
+                            AGG_OUT_OF_SCOPE
+                        } else {
+                            o.saturating_add(c * stride)
+                        };
+                    }
+                };
+            }
+            match ids {
+                DimSlice::U8(v) => accumulate!(v),
+                DimSlice::U16(v) => accumulate!(v),
+                DimSlice::U32(v) => accumulate!(v),
+            }
+        }
     }
 
     /// Decompose an aggregate index into per-dimension coordinate indices.
@@ -374,12 +444,16 @@ impl QueryBuilder {
                     leaf_to_coord[leaf.index()] = ci as u32;
                 }
             }
+            // Ungrouped, unfiltered dimensions map every leaf to the root
+            // coordinate: zero contribution, never out of scope.
+            let trivial = group_level.is_none() && scope == d.root();
             dims.push(DimLayout {
                 scope,
                 group_level,
                 coords,
                 stride: 0, // fixed below
                 leaf_to_coord,
+                trivial,
             });
         }
 
@@ -478,6 +552,46 @@ mod tests {
         assert!(in_scope.is_some());
         let out = q.layout().agg_of_row(&[other_leaf, june, any_airline]);
         assert_eq!(out, None);
+    }
+
+    #[test]
+    fn agg_of_block_matches_agg_of_row() {
+        // A filtered query (out-of-scope rows exercise the sticky
+        // sentinel) over a real generated table, scanned in blocks.
+        let table = FlightsConfig::small().generate();
+        let schema = table.schema();
+        let airport = schema.dimension(DimId(0));
+        let ne = airport.member_by_phrase("the North East").unwrap();
+        let q = Query::builder(AggFct::Avg)
+            .filter(DimId(0), ne)
+            .group_by(DimId(1), LevelId(1))
+            .build(schema)
+            .unwrap();
+        let layout = q.layout();
+        let mut scan = table.scan_shuffled(13);
+        let mut out = Vec::new();
+        let mut seen_out_of_scope = false;
+        let mut rows_total = 0usize;
+        // Odd block size exercises mid-morsel block boundaries.
+        while let Some(b) = scan.next_block(97) {
+            layout.agg_of_block(b.dims, b.rows, &mut out);
+            assert_eq!(out.len(), b.rows.len());
+            for (i, &r) in b.rows.iter().enumerate() {
+                let members: Vec<MemberId> = b.dims.iter().map(|d| d.get(r as usize)).collect();
+                assert_eq!(decode_agg(out[i]), layout.agg_of_row(&members));
+                seen_out_of_scope |= out[i] == AGG_OUT_OF_SCOPE;
+            }
+            rows_total += b.rows.len();
+        }
+        assert_eq!(rows_total, table.row_count());
+        assert!(seen_out_of_scope, "filter leaves some rows out of scope");
+    }
+
+    #[test]
+    fn decode_agg_maps_sentinel_to_none() {
+        assert_eq!(decode_agg(AGG_OUT_OF_SCOPE), None);
+        assert_eq!(decode_agg(0), Some(0));
+        assert_eq!(decode_agg(u32::MAX - 1), Some(u32::MAX - 1));
     }
 
     #[test]

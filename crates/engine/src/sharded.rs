@@ -39,15 +39,19 @@ use crate::cache::{
     DEFAULT_RESAMPLE_SIZE,
 };
 use crate::poison::RecoveringMutex;
-use crate::query::{AggFct, AggIdx, ResultLayout};
+use crate::query::{AggFct, AggIdx, ResultLayout, AGG_OUT_OF_SCOPE};
 
 /// Add `delta` to an `f64` held as bits in an [`AtomicU64`].
+///
+/// All-`Relaxed`: the cell is a pure accumulator — no other memory is
+/// published through it, and the CAS's read-modify-write atomicity alone
+/// guarantees no increment is lost.
 #[inline]
 fn fetch_add_f64(cell: &AtomicU64, delta: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let next = (f64::from_bits(cur) + delta).to_bits();
-        match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
         }
@@ -65,6 +69,89 @@ struct Bucket {
     evict_rng: StdRng,
 }
 
+/// Thread-local accumulator for one morsel's rows, drained into the cache
+/// by [`ShardedSampleCache::observe_batch`] — the group-commit half of the
+/// batched ingest protocol (DESIGN.md §14).
+///
+/// A worker resolves a whole scan block's aggregate codes first (see
+/// `ResultLayout::agg_of_block`), pushes each row here, then commits once:
+/// per-aggregate value groups amortize one bucket-lock acquisition over
+/// every row of the batch landing in that aggregate, while `scope_vals`
+/// keeps the in-scope values in scan order so the scope-sum fold preserves
+/// the sequential cache's floating-point association (threads=1
+/// bit-parity).
+///
+/// The per-aggregate vectors persist across batches (`clear` is
+/// `O(touched)`, not `O(n_aggregates)`), so a long-lived worker reuses its
+/// allocations for the whole run.
+#[derive(Debug)]
+pub struct IngestBatch {
+    /// Rows accumulated, in-scope or not.
+    rows: u64,
+    /// Aggregates with ≥ 1 value this batch, in first-touch order.
+    touched: Vec<AggIdx>,
+    /// `per_agg[a]` = this batch's in-scope values of aggregate `a`, in
+    /// scan order (empty for untouched aggregates).
+    per_agg: Vec<Vec<f64>>,
+    /// All in-scope values of the batch, in scan order across aggregates.
+    scope_vals: Vec<f64>,
+}
+
+impl IngestBatch {
+    /// An empty batch for a query with `n_aggregates` result fields.
+    pub fn new(n_aggregates: usize) -> Self {
+        IngestBatch {
+            rows: 0,
+            touched: Vec::new(),
+            per_agg: (0..n_aggregates).map(|_| Vec::new()).collect(),
+            scope_vals: Vec::new(),
+        }
+    }
+
+    /// Accumulate one row by its raw aggregate code
+    /// ([`AGG_OUT_OF_SCOPE`] = out of scope), as produced by
+    /// `ResultLayout::agg_of_block`.
+    #[inline]
+    pub fn push_resolved(&mut self, code: u32, value: f64) {
+        self.rows += 1;
+        if code == AGG_OUT_OF_SCOPE {
+            return;
+        }
+        let bucket = &mut self.per_agg[code as usize];
+        if bucket.is_empty() {
+            self.touched.push(code);
+        }
+        bucket.push(value);
+        self.scope_vals.push(value);
+    }
+
+    /// Accumulate one row by its `Option`-typed aggregate.
+    #[inline]
+    pub fn push(&mut self, agg: Option<AggIdx>, value: f64) {
+        self.push_resolved(agg.unwrap_or(AGG_OUT_OF_SCOPE), value);
+    }
+
+    /// Rows accumulated since the last commit (in-scope or not).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// `true` when nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Reset for the next batch, keeping all allocations.
+    fn clear(&mut self) {
+        for &a in &self.touched {
+            self.per_agg[a as usize].clear();
+        }
+        self.touched.clear();
+        self.scope_vals.clear();
+        self.rows = 0;
+    }
+}
+
 /// Concurrent, per-aggregate-striped sample cache (see module docs).
 #[derive(Debug)]
 pub struct ShardedSampleCache {
@@ -73,20 +160,45 @@ pub struct ShardedSampleCache {
     /// cached values on the next access — never the whole cache.
     buckets: Vec<RecoveringMutex<Bucket>>,
     /// Rows offered per aggregate (drives count estimates + reservoir).
+    ///
+    /// Ordering: `Relaxed`. A monotonic statistical counter — nothing is
+    /// published through it; the bucket contents it describes sit behind
+    /// their own mutex (whose lock/unlock pair orders them), and readers
+    /// that need a consistent final value (`exact_result`) only run after
+    /// the worker threads were joined, which is itself a happens-before
+    /// edge covering every `Relaxed` store.
     offered: Vec<AtomicU64>,
     /// Whether the aggregate is already in `nonempty`.
+    ///
+    /// Ordering: the `swap(true, AcqRel)` is the claim on the right to
+    /// append to `nonempty`; it must not be reordered after the slot
+    /// store, and losers must see the winner's claim.
     listed: Vec<AtomicBool>,
     /// Aggregates with ≥ 1 cached entry, for uniform random picks:
     /// a lock-free append-only array. `nonempty_len` reserves slots;
     /// unpublished slots hold [`UNPUBLISHED`] for a few nanoseconds until
     /// the appender's store lands.
+    ///
+    /// Ordering: slot stores are `Release` and reader loads `Acquire` —
+    /// this pair is a real publication edge (the slot value gates reads
+    /// of the bucket it names) and stays strong.
     nonempty: Vec<AtomicU32>,
     nonempty_len: AtomicUsize,
+    /// Total rows ever observed (`CA.NRREAD`).
+    ///
+    /// Ordering: `Relaxed`. Like `offered`, a monotonic counter with no
+    /// release-dependent payload: estimators divide by it, and a reader
+    /// racing an ingest batch merely sees a slightly staler prefix —
+    /// statistically indistinguishable from sampling a moment earlier.
     nr_read: AtomicU64,
     nr_rows_total: u64,
     resample_size: usize,
     bucket_capacity: Option<usize>,
+    /// In-scope row count across all aggregates (overall estimates).
+    ///
+    /// Ordering: `Relaxed`, same monotonic-counter argument as `nr_read`.
     scope_count: AtomicU64,
+    /// In-scope measure sum as `f64` bits (see [`fetch_add_f64`]).
     scope_sum_bits: AtomicU64,
     /// Buckets rebuilt after lock poisoning / torn state.
     poison_recoveries: AtomicU64,
@@ -175,7 +287,7 @@ impl ShardedSampleCache {
     /// concurrently): `agg` is its aggregate (`None` when out of scope),
     /// `value` its measure.
     pub fn observe(&self, agg: Option<AggIdx>, value: f64) {
-        self.nr_read.fetch_add(1, Ordering::AcqRel);
+        self.nr_read.fetch_add(1, Ordering::Relaxed);
         let Some(a) = agg else { return };
         // CacheShard fault site: model a worker dying while holding this
         // bucket's lock — the bucket is marked torn and the very next
@@ -188,7 +300,7 @@ impl ShardedSampleCache {
                 }
             }
         }
-        let offered = self.offered[a as usize].fetch_add(1, Ordering::AcqRel) + 1;
+        let offered = self.offered[a as usize].fetch_add(1, Ordering::Relaxed) + 1;
         {
             let bucket = &mut *self.bucket(a as usize);
             match self.bucket_capacity {
@@ -203,17 +315,107 @@ impl ShardedSampleCache {
                 _ => bucket.values.push(value),
             }
         }
+        self.publish_nonempty(a);
+        self.scope_count.fetch_add(1, Ordering::Relaxed);
+        fetch_add_f64(&self.scope_sum_bits, value);
+    }
+
+    /// Add aggregate `a` to the `nonempty` array exactly once (first
+    /// in-scope row wins the `listed` claim).
+    #[inline]
+    fn publish_nonempty(&self, a: AggIdx) {
         if !self.listed[a as usize].swap(true, Ordering::AcqRel) {
             let slot = self.nonempty_len.fetch_add(1, Ordering::AcqRel);
             self.nonempty[slot].store(a, Ordering::Release);
         }
-        self.scope_count.fetch_add(1, Ordering::AcqRel);
-        fetch_add_f64(&self.scope_sum_bits, value);
     }
 
     /// Observe a raw fact row, resolving its aggregate through `layout`.
     pub fn observe_row(&self, layout: &ResultLayout, members: &[MemberId], value: f64) {
         self.observe(layout.agg_of_row(members), value);
+    }
+
+    /// Group-commit one accumulated morsel batch and clear it — the
+    /// batched counterpart of per-row [`ShardedSampleCache::observe`]
+    /// (DESIGN.md §14). Per batch this costs: one `Relaxed` add to
+    /// `nr_read`; per *touched aggregate* one fault roll, one `offered`
+    /// add, and one bucket-lock acquisition; one `scope_count` add; and a
+    /// single scope-sum CAS — versus one of each **per row** on the
+    /// row-at-a-time path.
+    ///
+    /// Equivalence with row-at-a-time ingest: each bucket receives its
+    /// rows in scan order with the same running `offered` count per offer,
+    /// so reservoir decisions consume that bucket's private RNG stream
+    /// identically (per-bucket streams are independent, making the
+    /// cross-bucket interleaving irrelevant); the scope sum is folded over
+    /// `scope_vals` in scan order starting from the current global value,
+    /// reproducing the sequential association bit for bit when only one
+    /// writer is active. Counters advance at batch rather than row
+    /// granularity, which no reader can distinguish from having sampled a
+    /// moment earlier. The `CacheShard` fault site rolls once per touched
+    /// aggregate (the unit of lock tenure) instead of once per row.
+    pub fn observe_batch(&self, batch: &mut IngestBatch) {
+        if batch.rows == 0 {
+            return;
+        }
+        self.nr_read.fetch_add(batch.rows, Ordering::Relaxed);
+        for &a in &batch.touched {
+            let vals = &batch.per_agg[a as usize];
+            // CacheShard fault site: a tear while holding this bucket's
+            // lock; the recovery path below rebuilds it on acquisition.
+            if let Some(inj) = &self.faults {
+                if let Some(fault) = inj.roll(FaultSite::CacheShard) {
+                    fault.stall();
+                    if fault.error {
+                        self.buckets[a as usize].mark_torn();
+                    }
+                }
+            }
+            let offered0 = self.offered[a as usize].fetch_add(vals.len() as u64, Ordering::Relaxed);
+            {
+                let bucket = &mut *self.bucket(a as usize);
+                match self.bucket_capacity {
+                    Some(cap) => {
+                        for (i, &value) in vals.iter().enumerate() {
+                            let offered = offered0 + i as u64 + 1;
+                            if bucket.values.len() >= cap {
+                                let slot = bucket.evict_rng.gen_range(0..offered);
+                                if (slot as usize) < cap {
+                                    bucket.values[slot as usize] = value;
+                                }
+                            } else {
+                                bucket.values.push(value);
+                            }
+                        }
+                    }
+                    None => bucket.values.extend_from_slice(vals),
+                }
+            }
+            self.publish_nonempty(a);
+        }
+        if !batch.scope_vals.is_empty() {
+            self.scope_count.fetch_add(batch.scope_vals.len() as u64, Ordering::Relaxed);
+            // Scan-order fold from the current global sum (not a
+            // pre-summed delta): float addition is non-associative, and
+            // this keeps the single-writer result bit-identical to per-row
+            // accumulation. A lost CAS race refolds — batches are rare
+            // enough that contention is negligible.
+            let mut cur = self.scope_sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next =
+                    batch.scope_vals.iter().fold(f64::from_bits(cur), |s, &v| s + v).to_bits();
+                match self.scope_sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        batch.clear();
     }
 
     /// Warm-start a fresh cache from rows another query sampled over the
@@ -230,7 +432,9 @@ impl ShardedSampleCache {
         for (members, value) in rows {
             self.observe(layout.agg_of_row(members), value);
         }
-        self.nr_read.store(nr_read, Ordering::Release);
+        // Relaxed: seeding happens before any worker thread is spawned,
+        // and the spawn itself is the happens-before edge publishing it.
+        self.nr_read.store(nr_read, Ordering::Relaxed);
     }
 
     /// The exact per-aggregate `(counts, sums)` of the query once the whole
@@ -246,7 +450,9 @@ impl ShardedSampleCache {
         if self.poison_recoveries() > 0 {
             return None;
         }
-        let counts = self.offered.iter().map(|o| o.load(Ordering::Acquire)).collect();
+        // Relaxed: callers only get a `Some` after the ingest threads were
+        // joined (nr_read == total), and the join orders their stores.
+        let counts = self.offered.iter().map(|o| o.load(Ordering::Relaxed)).collect();
         let sums: Vec<f64> =
             (0..self.buckets.len()).map(|a| self.bucket(a).values.iter().sum()).collect();
         // Re-check: a tear recovered *while* summing also voids exactness.
@@ -633,6 +839,207 @@ mod tests {
             assert_eq!(faulted.seen(agg), plain.seen(agg));
         }
         assert_eq!(faulted.exact_result(), plain.exact_result());
+    }
+
+    /// Full bucket contents in insertion order: with a resample size at
+    /// least the bucket length, `resample_into` copies the bucket verbatim
+    /// without consuming the resample RNG.
+    fn bucket_contents(cache: &ShardedSampleCache, agg: AggIdx) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = ResampleScratch::new();
+        cache.resample_into(agg, &mut rng, &mut scratch).to_vec()
+    }
+
+    /// Ingest the whole shuffled table row-at-a-time into one cache and in
+    /// batches of `batch_rows` (accumulated via [`IngestBatch`]) into the
+    /// other, then assert every observable — bucket contents (including
+    /// reservoir-evicted state), offered counts, nr_read, scope
+    /// aggregates, estimates — is identical.
+    fn assert_batch_matches_row_at_a_time(
+        table: &voxolap_data::Table,
+        q: &Query,
+        seed: u64,
+        batch_rows: usize,
+        capacity: Option<usize>,
+    ) {
+        let mk = || {
+            let c = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
+                .with_resample_size(100_000);
+            match capacity {
+                Some(cap) => c.with_bucket_capacity(cap),
+                None => c,
+            }
+        };
+        let by_row = mk();
+        let mut scan = table.scan_shuffled(seed);
+        while let Some(r) = scan.next_row() {
+            by_row.observe(q.layout().agg_of_row(r.members), r.value);
+        }
+
+        let by_batch = mk();
+        let mut scan = table.scan_shuffled(seed);
+        let mut batch = IngestBatch::new(q.n_aggregates());
+        let mut aggs = Vec::new();
+        while let Some(b) = scan.next_block(batch_rows) {
+            q.layout().agg_of_block(b.dims, b.rows, &mut aggs);
+            for (i, &r) in b.rows.iter().enumerate() {
+                batch.push_resolved(aggs[i], b.values[r as usize]);
+            }
+            by_batch.observe_batch(&mut batch);
+            assert!(batch.is_empty(), "commit drains the batch");
+        }
+
+        assert_eq!(by_batch.nr_read(), by_row.nr_read());
+        assert_eq!(by_batch.nonempty_count(), by_row.nonempty_count());
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(by_batch.seen(agg), by_row.seen(agg), "offered, agg {agg}");
+            assert_eq!(
+                bucket_contents(&by_batch, agg).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                bucket_contents(&by_row, agg).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "bucket contents, agg {agg} (cap {capacity:?}, batch {batch_rows})"
+            );
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xabc);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0xabc);
+            let mut s_a = ResampleScratch::new();
+            let mut s_b = ResampleScratch::new();
+            assert_eq!(
+                by_batch.estimate_with(agg, &mut rng_a, &mut s_a),
+                by_row.estimate_with(agg, &mut rng_b, &mut s_b),
+                "estimates, agg {agg}"
+            );
+        }
+        for fct in [AggFct::Avg, AggFct::Sum, AggFct::Count] {
+            let (a, b) = (by_batch.overall_estimate(fct), by_row.overall_estimate(fct));
+            assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "overall estimate bit-identical ({fct:?})"
+            );
+        }
+        assert_eq!(by_batch.exact_result(), by_row.exact_result());
+    }
+
+    #[test]
+    fn observe_batch_matches_row_at_a_time_over_seeds() {
+        let (table, q) = salary_setup();
+        for seed in [3u64, 7, 11, 19, 41] {
+            // Batch sizes below, at, and above typical bucket traffic.
+            for batch_rows in [1usize, 3, 17, 64, 1000] {
+                assert_batch_matches_row_at_a_time(&table, &q, seed, batch_rows, None);
+            }
+        }
+    }
+
+    #[test]
+    fn observe_batch_matches_row_at_a_time_past_reservoir_capacity() {
+        // Capacity 8 on a 320-row table forces reservoir evictions inside
+        // the batch loop; bucket contents stay bit-identical because each
+        // bucket's private RNG sees the same offer sequence either way.
+        let (table, q) = salary_setup();
+        for seed in [5u64, 13, 29] {
+            for batch_rows in [7usize, 64, 320] {
+                assert_batch_matches_row_at_a_time(&table, &q, seed, batch_rows, Some(8));
+            }
+        }
+    }
+
+    #[test]
+    fn observe_batch_respects_filtered_out_rows() {
+        // A filtered flights query: out-of-scope rows count toward nr_read
+        // but never touch buckets or scope aggregates.
+        let table = voxolap_data::flights::FlightsConfig::small().generate();
+        let schema = table.schema();
+        let ne = schema.dimension(DimId(0)).member_by_phrase("the North East").unwrap();
+        let q = Query::builder(AggFct::Avg)
+            .filter(DimId(0), ne)
+            .group_by(DimId(1), LevelId(1))
+            .build(schema)
+            .unwrap();
+        assert_batch_matches_row_at_a_time(&table, &q, 23, 113, None);
+    }
+
+    #[test]
+    fn injected_tears_fire_and_recover_inside_observe_batch() {
+        use voxolap_faults::{FaultPlan, SiteSchedule};
+        let (table, q) = salary_setup();
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::new(99).with_site(FaultSite::CacheShard, SiteSchedule::error(0.5)),
+        ));
+        let stats = Arc::new(DegradeStats::default());
+        let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64)
+            .with_faults(injector.clone(), stats.clone());
+        let pool = table.morsel_pool(7);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                let table = &table;
+                let q = &q;
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    let mut scan =
+                        table.scan_pooled(pool, voxolap_data::schema::MeasureId::PRIMARY);
+                    let mut batch = IngestBatch::new(q.n_aggregates());
+                    let mut aggs = Vec::new();
+                    while let Some(b) = scan.next_block(usize::MAX) {
+                        q.layout().agg_of_block(b.dims, b.rows, &mut aggs);
+                        for (i, &r) in b.rows.iter().enumerate() {
+                            batch.push_resolved(aggs[i], b.values[r as usize]);
+                        }
+                        cache.observe_batch(&mut batch);
+                    }
+                });
+            }
+        });
+        assert!(injector.injected(FaultSite::CacheShard) > 0, "tear site fires in batch path");
+        assert!(cache.poison_recoveries() > 0, "torn buckets rebuilt");
+        assert_eq!(stats.snapshot().poison_recoveries, cache.poison_recoveries());
+        assert!(cache.exact_result().is_none(), "recovered cache never claims exactness");
+        assert_eq!(cache.nr_read(), table.row_count() as u64);
+        // Offered counts stay exact through tears (same as eviction).
+        let exact = evaluate(&q, &table);
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(cache.seen(agg), exact.count(agg), "offered counts survive tears");
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = ResampleScratch::new();
+        for agg in 0..q.n_aggregates() as u32 {
+            assert!(cache.estimate_with(agg, &mut rng, &mut scratch).is_some());
+        }
+    }
+
+    #[test]
+    fn parallel_batched_ingest_counts_are_exact() {
+        let (table, q) = salary_setup();
+        let cache = ShardedSampleCache::new(q.n_aggregates(), table.row_count() as u64);
+        let pool = table.morsel_pool(7);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                let table = &table;
+                let q = &q;
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    let mut scan =
+                        table.scan_pooled(pool, voxolap_data::schema::MeasureId::PRIMARY);
+                    let mut batch = IngestBatch::new(q.n_aggregates());
+                    let mut aggs = Vec::new();
+                    while let Some(b) = scan.next_block(usize::MAX) {
+                        q.layout().agg_of_block(b.dims, b.rows, &mut aggs);
+                        for (i, &r) in b.rows.iter().enumerate() {
+                            batch.push_resolved(aggs[i], b.values[r as usize]);
+                        }
+                        cache.observe_batch(&mut batch);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.nr_read(), table.row_count() as u64);
+        let (counts, sums) = cache.exact_result().expect("full batched ingest is exact");
+        let exact = evaluate(&q, &table);
+        for agg in 0..q.n_aggregates() as u32 {
+            assert_eq!(counts[agg as usize], exact.count(agg));
+            assert!((sums[agg as usize] - exact.sum(agg)).abs() < 1e-6);
+        }
     }
 
     #[test]
