@@ -187,6 +187,7 @@ pub(crate) fn exact_hit_stream<'a>(
     cancel: CancelToken,
     data: &ExactAggregates,
     cfg: &OptimalConfig,
+    run: Option<&RunState>,
 ) -> SpeechStream<'a> {
     let t0 = Instant::now();
     let schema = table.schema();
@@ -196,7 +197,7 @@ pub(crate) fn exact_hit_stream<'a>(
     let latency = t0.elapsed();
 
     let exact = data.to_result(query.fct());
-    let source = match plan_from_exact(schema, query, &exact, cfg) {
+    let source = match plan_from_exact(schema, query, &exact, cfg, &cancel, run) {
         Some(plan) => Buffered::planned(
             plan.sentences,
             Some(plan.speech),
@@ -258,7 +259,8 @@ impl Holistic {
         // skips sampling entirely and plans against stored aggregates.
         if let Some(cache) = &self.cache {
             if let Some(data) = cache.lookup_exact(&query.key()) {
-                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg())
+                let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
+                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg(), run)
                     .attach_resilience(resil);
             }
         }

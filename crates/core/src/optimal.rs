@@ -18,6 +18,7 @@ use voxolap_data::Table;
 use voxolap_engine::exact::{evaluate, ExactResult};
 use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
+use voxolap_faults::{DegradeReason, RunState};
 use voxolap_mcts::NodeId;
 use voxolap_speech::ast::Speech;
 use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
@@ -122,11 +123,20 @@ pub(crate) struct ExactPlan {
 /// exhaustive scoring, shared with the Holistic engines' semantic-cache
 /// exact-hit path (which obtains the exact values without a table scan).
 /// Returns `None` when the grand mean is undefined (empty query scope).
+///
+/// Scoring visits every node of the search space — over a wide breakdown
+/// that is minutes of work (500k nodes × one `node_quality` pass over
+/// every aggregate each). The `cancel` token is polled between nodes: a
+/// fired deadline keeps the best speech found so far (the anytime cut of
+/// the exhaustive search) and marks `run` degraded, so an exact-hit can
+/// never outlast the deadline that bounds the sampled path.
 pub(crate) fn plan_from_exact(
     schema: &Schema,
     query: &Query,
     exact: &ExactResult,
     cfg: &OptimalConfig,
+    cancel: &CancelToken,
+    run: Option<&RunState>,
 ) -> Option<ExactPlan> {
     let grand = exact.grand_mean();
     if !grand.is_finite() {
@@ -142,9 +152,20 @@ pub(crate) fn plan_from_exact(
     // the shorter speech.
     let layout = query.layout();
     let mut best: Option<(NodeId, f64, usize)> = None;
+    let mut since_poll = 0u32;
     for node in tree.all_nodes() {
         if node == SpeechTree::ROOT {
             continue;
+        }
+        since_poll += 1;
+        if since_poll >= 32 {
+            since_poll = 0;
+            if cancel.fired() {
+                if let Some(run) = run {
+                    run.mark_degraded(DegradeReason::Deadline);
+                }
+                break;
+            }
         }
         let q = node_quality(&tree, node, exact, layout, sigma);
         let frags = tree.speech_at(node).fragment_count();
@@ -218,7 +239,7 @@ impl Vocalizer for Optimal {
         };
         let rows_read = if hit { 0 } else { table.row_count() as u64 };
 
-        let source = match plan_from_exact(schema, query, &exact, cfg) {
+        let source = match plan_from_exact(schema, query, &exact, cfg, &cancel, None) {
             Some(plan) => Buffered::planned(
                 plan.sentences,
                 Some(plan.speech),

@@ -501,7 +501,8 @@ impl Vocalizer for ParallelHolistic {
         // skips sampling entirely and plans against stored aggregates.
         if let Some(sem) = &self.cache {
             if let Some(data) = sem.lookup_exact(&query.key()) {
-                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg())
+                let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
+                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg(), run)
                     .attach_resilience(resil);
             }
         }

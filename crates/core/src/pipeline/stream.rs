@@ -16,7 +16,7 @@ use voxolap_faults::{DegradeReason, FaultSite, Resilience, RunState};
 use voxolap_speech::ast::Speech;
 
 use crate::outcome::{PlanStats, VocalizationOutcome};
-use crate::pipeline::cancel::CancelToken;
+use crate::pipeline::cancel::{CancelKind, CancelToken};
 use crate::voice::VoiceOutput;
 
 /// Planner-work deltas attributable to one sentence.
@@ -124,7 +124,10 @@ impl<'a> Buffered<'a> {
 
 impl<'a> SentenceSource<'a> for Buffered<'a> {
     fn next(&mut self, _voice: &mut dyn VoiceOutput, cancel: &CancelToken) -> Option<String> {
-        if cancel.fired() {
+        // A gone client stops delivery; a passed deadline only bounds
+        // *planning* — sentences already planned are the anytime answer
+        // and still play.
+        if cancel.fired_kind() == Some(CancelKind::Client) {
             return None;
         }
         self.queued.pop_front()

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use voxolap_json::Value;
@@ -32,7 +32,7 @@ use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response as SessionResponse, Session};
 use voxolap_voice::tts::RealTimeVoice;
 
-use crate::http::{HttpMetrics, Request, Response};
+use crate::http::{HttpMetrics, Request, Response, SessionSink, SessionUpgrade, SessionVerdict};
 
 /// Default semantic-cache budget when `--cache-mb` is not given.
 const DEFAULT_CACHE_MB: usize = 64;
@@ -42,9 +42,22 @@ const DEFAULT_CACHE_MB: usize = 64;
 /// planner genuinely samples behind each "playing" sentence.
 const STREAM_CHARS_PER_SEC: f64 = 2_000.0;
 
-/// Per-session state: the applied command log, replayed into a fresh
-/// [`Session`] per request (sessions are small — tens of commands).
-pub type SessionStore = Mutex<HashMap<String, Vec<String>>>;
+/// Per-session server-side state, kept across utterances and transports
+/// (the blocking `/session/<id>/input` route and the long-lived attach
+/// transport share entries, so a client can reconnect and resume).
+#[derive(Debug, Default, Clone)]
+pub struct SessionEntry {
+    /// The applied command log, replayed into a fresh [`Session`] per
+    /// utterance (sessions are small — tens of commands).
+    pub log: Vec<String>,
+    /// Canonical scope of the last answered query, used to detect when a
+    /// follow-up stays in-scope and the semantic cache will warm-start
+    /// from cached sample snapshots (DESIGN.md §9).
+    pub last_scope: Option<String>,
+}
+
+/// Per-session state table, keyed by session id.
+pub type SessionStore = Mutex<HashMap<String, SessionEntry>>;
 
 /// Shared application state.
 pub struct AppState {
@@ -83,6 +96,17 @@ pub struct AppState {
     http_metrics: Option<Arc<HttpMetrics>>,
     /// Expose `GET /debug/panic` (panic-isolation testing).
     debug_routes: bool,
+    /// `(heartbeat_ms, idle_timeout_ms)` advertised in the session
+    /// transport's `hello` event — set from the serving layer's config so
+    /// clients learn the cadence to expect.
+    session_timing: (u64, u64),
+    /// Per-utterance planning deadline on the session transport. A wide
+    /// scope (say, a city-level drill-down crossed with another breakdown)
+    /// can take minutes to converge; unbounded, one such utterance pins a
+    /// worker and starves the pool. Past the deadline the planner commits
+    /// the §12 anytime answer and the `done` event carries
+    /// `"degraded":true`. `None` = run to convergence.
+    utterance_deadline: Option<Duration>,
 }
 
 /// `POST /ask` body.
@@ -261,7 +285,33 @@ impl AppState {
             stream_cancellations: Arc::new(AtomicU64::new(0)),
             http_metrics: None,
             debug_routes: false,
+            session_timing: (15_000, 120_000),
+            utterance_deadline: None,
         }
+    }
+
+    /// Advertise the session transport's heartbeat interval and idle
+    /// timeout (milliseconds) in `hello` events; wire these from the
+    /// [`crate::http::ServerConfig`] actually serving the state.
+    pub fn with_session_timing(mut self, heartbeat_ms: u64, idle_timeout_ms: u64) -> Self {
+        self.session_timing = (heartbeat_ms, idle_timeout_ms);
+        self
+    }
+
+    /// Bound each session utterance's planning time: past the deadline the
+    /// answer is committed through the anytime path (DESIGN.md §12) and
+    /// the `done` event reports `"degraded":true`. Keeps one wide-scope
+    /// utterance from monopolizing a serving worker for minutes.
+    pub fn with_utterance_deadline(mut self, deadline: Duration) -> Self {
+        self.utterance_deadline = Some(deadline);
+        // The anytime commit and the `degraded` marking live in the
+        // resilience machinery (DESIGN.md §12); an inert policy enables
+        // them without injecting any faults. A deadline with no run state
+        // would be a hard stop instead of an anytime answer.
+        if self.resilience.is_none() {
+            self.resilience = Some(Arc::new(Resilience::default()));
+        }
+        self
     }
 
     /// Override the planning-thread count used by the `parallel` approach
@@ -302,8 +352,10 @@ impl AppState {
         self
     }
 
-    /// Dispatch one request.
-    pub fn handle(&self, req: &Request) -> Response {
+    /// Dispatch one request. Takes `&Arc<Self>` because the session
+    /// transport parks callbacks that outlive the request (the upgraded
+    /// connection keeps a handle on the state for every later utterance).
+    pub fn handle(self: &Arc<Self>, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_string()),
             ("GET", "/stats") => {
@@ -317,6 +369,7 @@ impl AppState {
                     ("latency_ms", self.latency_json()),
                     ("degradation", self.degradation_json()),
                     ("http", self.http_json()),
+                    ("sessions", Value::obj([("active", self.sessions.lock().len().into())])),
                 ]);
                 Response::ok(body.to_string())
             }
@@ -333,7 +386,14 @@ impl AppState {
                     _ => Response::error(404, "not found"),
                 }
             }
-            ("GET", _) => Response::error(404, "not found"),
+            ("GET", path) => {
+                match path.strip_prefix("/session/").and_then(|rest| rest.strip_suffix("/attach")) {
+                    Some(id) if !id.is_empty() && !id.contains('/') => {
+                        self.handle_session_attach(id)
+                    }
+                    _ => Response::error(404, "not found"),
+                }
+            }
             _ => Response::error(405, "method not allowed"),
         }
     }
@@ -387,6 +447,13 @@ impl AppState {
             ("panics", s.panics.into()),
             ("parse_errors", s.parse_errors.into()),
             ("io_errors", s.io_errors.into()),
+            ("reject_write_failures", s.reject_write_failures.into()),
+            ("keepalive_reuses", s.keepalive_reuses.into()),
+            ("sessions_opened", s.sessions_opened.into()),
+            ("sessions_closed", s.sessions_closed.into()),
+            ("session_lines", s.session_lines.into()),
+            ("heartbeats_sent", s.heartbeats_sent.into()),
+            ("idle_closed", s.idle_closed.into()),
             ("bytes_in", s.bytes_in.into()),
             ("bytes_out", s.bytes_out.into()),
             ("queue_wait_ms_total", (s.queue_wait_us as f64 / 1e3).into()),
@@ -601,9 +668,9 @@ impl AppState {
         // distinct sessions on distinct connections still run one request
         // at a time here (matching the paper's per-worker sessions).
         let mut sessions = self.sessions.lock();
-        let log = sessions.entry(id.to_string()).or_default();
+        let entry = sessions.entry(id.to_string()).or_default();
         let mut session = Session::new(&self.table);
-        for cmd in log.iter() {
+        for cmd in entry.log.iter() {
             let _ = session.input(cmd);
         }
         match session.input(&input.text) {
@@ -615,9 +682,17 @@ impl AppState {
                 Response::ok("{\"ended\":true}".to_string())
             }
             Ok(SessionResponse::Updated) => {
-                log.push(input.text.clone());
+                entry.log.push(input.text.clone());
+                entry.last_scope = session.query().ok().map(|q| format!("{:?}", q.key().scope()));
                 let mut voice = InstantVoice::default();
-                match session.vocalize_with(vocalizer.as_ref(), &mut voice) {
+                // Same per-utterance bound as the session transport: past
+                // the deadline the anytime answer commits, marked
+                // degraded, instead of pinning this worker for minutes.
+                let cancel = match self.utterance_deadline {
+                    Some(d) => CancelToken::with_deadline(Instant::now() + d),
+                    None => CancelToken::never(),
+                };
+                match session.vocalize_streaming(vocalizer.as_ref(), &mut voice, cancel, |_| {}) {
                     Ok(outcome) => {
                         self.record_latency(&outcome);
                         Response::ok(
@@ -630,6 +705,238 @@ impl AppState {
             Err(e) => Response::error(400, &e.to_string()),
         }
     }
+
+    /// `GET /session/<id>/attach`: upgrade the connection to the
+    /// long-lived NDJSON session transport (DESIGN.md §15). The client
+    /// then writes one JSON line per utterance:
+    ///
+    /// ```text
+    /// {"type":"utter","text":"break down by region","approach":"holistic"?}
+    /// {"type":"ping"}
+    /// {"type":"bye"}
+    /// ```
+    ///
+    /// and receives `hello`, `preamble`/`sentence`/`done` (one §11 speech
+    /// stream per utterance), `help`, `pong`, `error`, `heartbeat`, and
+    /// `bye` events. Dialogue state lives server-side under the session
+    /// id, shared with `POST /session/<id>/input`, so transports can be
+    /// mixed and a dropped connection can re-attach and resume.
+    fn handle_session_attach(self: &Arc<Self>, id: &str) -> Response {
+        // Materialize the entry so re-attach after disconnect resumes
+        // rather than restarts, and /stats counts the session as active.
+        self.sessions.lock().entry(id.to_string()).or_default();
+        let (heartbeat_ms, idle_ms) = self.session_timing;
+        let hello = Value::obj([
+            ("type", "hello".into()),
+            ("session", id.into()),
+            ("heartbeat_ms", heartbeat_ms.into()),
+            ("idle_timeout_ms", idle_ms.into()),
+        ]);
+        let state = Arc::clone(self);
+        let line_state = Arc::clone(self);
+        let line_id = id.to_string();
+        Response::upgrade_session(SessionUpgrade {
+            id: id.to_string(),
+            hello: Some(hello.to_string()),
+            on_line: Arc::new(move |line, sink| line_state.session_line(&line_id, line, sink)),
+            // Dialogue state deliberately survives the connection: the
+            // session can re-attach (or fall back to the POST route).
+            on_close: Arc::new(move |_id| {
+                let _ = &state; // keep the state alive as long as the session
+            }),
+        })
+    }
+
+    /// Handle one NDJSON line from an attached session connection.
+    fn session_line(
+        self: &Arc<Self>,
+        id: &str,
+        line: &str,
+        sink: &mut SessionSink<'_>,
+    ) -> SessionVerdict {
+        let Ok(v) = Value::parse(line) else {
+            sink.send_line(
+                &Value::obj([
+                    ("type", "error".into()),
+                    ("message", "expected one JSON object per line".into()),
+                ])
+                .to_string(),
+            );
+            return SessionVerdict::Continue;
+        };
+        match v["type"].as_str().unwrap_or("") {
+            "ping" => {
+                sink.send_line("{\"type\":\"pong\"}");
+                SessionVerdict::Continue
+            }
+            "bye" => {
+                sink.send_line("{\"type\":\"bye\",\"reason\":\"client\"}");
+                SessionVerdict::Close
+            }
+            "utter" => {
+                let Some(text) = v["text"].as_str() else {
+                    sink.send_line(
+                        &Value::obj([
+                            ("type", "error".into()),
+                            ("message", "utter events need a \"text\" field".into()),
+                        ])
+                        .to_string(),
+                    );
+                    return SessionVerdict::Continue;
+                };
+                let approach = v["approach"].as_str().unwrap_or("holistic").to_string();
+                self.session_utterance(id, text, &approach, sink)
+            }
+            other => {
+                sink.send_line(
+                    &Value::obj([
+                        ("type", "error".into()),
+                        ("message", format!("unknown event type {other:?}").as_str().into()),
+                    ])
+                    .to_string(),
+                );
+                SessionVerdict::Continue
+            }
+        }
+    }
+
+    /// Run one utterance through the dialogue machine and stream the
+    /// resulting speech events onto the session connection.
+    fn session_utterance(
+        &self,
+        id: &str,
+        text: &str,
+        approach: &str,
+        sink: &mut SessionSink<'_>,
+    ) -> SessionVerdict {
+        let send_error = |sink: &mut SessionSink<'_>, message: &str| {
+            sink.send_line(
+                &Value::obj([("type", "error".into()), ("message", message.into())]).to_string(),
+            );
+        };
+        let vocalizer = match self.vocalizer_for(approach) {
+            Ok(v) => v,
+            Err(e) => {
+                send_error(sink, &e);
+                return SessionVerdict::Continue;
+            }
+        };
+        // Snapshot the dialogue state, then release the lock for the
+        // whole vocalization: one global lock must not serialize planning
+        // across thousands of concurrent sessions. Per-session ordering
+        // still holds — a session's connection carries one line at a time.
+        let (log, last_scope) = {
+            let mut sessions = self.sessions.lock();
+            let entry = sessions.entry(id.to_string()).or_default();
+            (entry.log.clone(), entry.last_scope.clone())
+        };
+        let mut session = Session::new(&self.table);
+        for cmd in log.iter() {
+            let _ = session.input(cmd);
+        }
+        match session.input(text) {
+            Ok(SessionResponse::Help(help)) => {
+                sink.send_line(
+                    &Value::obj([("type", "help".into()), ("text", help.as_str().into())])
+                        .to_string(),
+                );
+                SessionVerdict::Continue
+            }
+            Ok(SessionResponse::Quit) => {
+                self.sessions.lock().remove(id);
+                sink.send_line("{\"type\":\"bye\",\"reason\":\"quit\"}");
+                SessionVerdict::Close
+            }
+            Ok(SessionResponse::Updated) => {
+                let scope = session.query().ok().map(|q| format!("{:?}", q.key().scope()));
+                // An in-scope follow-up (same measure + filters, e.g. a
+                // different breakdown) warm-starts from cached samples.
+                let scope_warm = scope.is_some() && scope == last_scope && self.semantic.is_some();
+                let t0 = Instant::now();
+                let mut first_sentence_ms: Option<f64> = None;
+                let mut voice = InstantVoice::default();
+                let cancel = match self.utterance_deadline {
+                    Some(d) => CancelToken::with_deadline(t0 + d),
+                    None => CancelToken::new(),
+                };
+                let outcome = {
+                    use voxolap_voice::session::StreamEvent;
+                    session.vocalize_streaming(
+                        vocalizer.as_ref(),
+                        &mut voice,
+                        cancel.clone(),
+                        |event| match event {
+                            StreamEvent::Preamble(preamble) => {
+                                sink.send_line(
+                                    &Value::obj([
+                                        ("type", "preamble".into()),
+                                        ("text", preamble.into()),
+                                    ])
+                                    .to_string(),
+                                );
+                            }
+                            StreamEvent::Sentence(sentence) => {
+                                if first_sentence_ms.is_none() {
+                                    first_sentence_ms = Some(t0.elapsed().as_secs_f64() * 1e3);
+                                }
+                                if !sink.send_line(
+                                    &Value::obj([
+                                        ("type", "sentence".into()),
+                                        ("index", sentence.index.into()),
+                                        ("text", sentence.text.as_str().into()),
+                                        ("samples", sentence.stats.samples.into()),
+                                    ])
+                                    .to_string(),
+                                ) {
+                                    cancel.cancel();
+                                }
+                            }
+                        },
+                    )
+                };
+                match outcome {
+                    Ok(outcome) => {
+                        self.record_latency(&outcome);
+                        let ttfs = first_sentence_ms.unwrap_or(0.0);
+                        self.ttfs_ms.lock().push(ttfs);
+                        {
+                            let mut sessions = self.sessions.lock();
+                            let entry = sessions.entry(id.to_string()).or_default();
+                            entry.log.push(text.to_string());
+                            entry.last_scope = scope;
+                        }
+                        let mut done = vec![
+                            ("type", "done".into()),
+                            ("sentences", outcome.sentences.len().into()),
+                            ("samples", outcome.stats.samples.into()),
+                            ("rows_read", outcome.stats.rows_read.into()),
+                            (
+                                "planning_ms",
+                                (outcome.stats.planning_time.as_secs_f64() * 1e3).into(),
+                            ),
+                            ("ttfs_ms", ttfs.into()),
+                            ("scope_warm", scope_warm.into()),
+                        ];
+                        // Mirror `/ask`: the field appears only on answers
+                        // that were cut short (deadline → anytime path).
+                        if outcome.stats.degraded {
+                            done.push(("degraded", true.into()));
+                        }
+                        sink.send_line(&Value::obj(done).to_string());
+                        SessionVerdict::Continue
+                    }
+                    Err(e) => {
+                        send_error(sink, &e.to_string());
+                        SessionVerdict::Continue
+                    }
+                }
+            }
+            Err(e) => {
+                send_error(sink, &e.to_string());
+                SessionVerdict::Continue
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -637,24 +944,20 @@ mod tests {
     use super::*;
     use voxolap_data::flights::FlightsConfig;
 
-    fn state() -> AppState {
+    fn raw_state() -> AppState {
         AppState::new(FlightsConfig { rows: 8_000, seed: 42 }.generate())
     }
 
-    fn post(state: &AppState, path: &str, body: &str) -> Response {
-        state.handle(&Request {
-            method: "POST".to_string(),
-            path: path.to_string(),
-            body: body.as_bytes().to_vec(),
-        })
+    fn state() -> Arc<AppState> {
+        Arc::new(raw_state())
     }
 
-    fn get(state: &AppState, path: &str) -> Response {
-        state.handle(&Request {
-            method: "GET".to_string(),
-            path: path.to_string(),
-            body: Vec::new(),
-        })
+    fn post(state: &Arc<AppState>, path: &str, body: &str) -> Response {
+        state.handle(&Request::new("POST", path, body.as_bytes()))
+    }
+
+    fn get(state: &Arc<AppState>, path: &str) -> Response {
+        state.handle(&Request::new("GET", path, &[]))
     }
 
     #[test]
@@ -689,7 +992,7 @@ mod tests {
 
     #[test]
     fn cache_mb_zero_disables_the_semantic_cache() {
-        let s = state().with_cache_mb(0);
+        let s = Arc::new(raw_state().with_cache_mb(0));
         let ask =
             "{\"question\": \"cancellation probability by season\", \"approach\": \"optimal\"}";
         assert_eq!(post(&s, "/ask", ask).status, 200);
@@ -728,7 +1031,7 @@ mod tests {
 
     #[test]
     fn ask_with_parallel_approach() {
-        let s = state().with_threads(2);
+        let s = Arc::new(raw_state().with_threads(2));
         let r = post(
             &s,
             "/ask",
@@ -773,7 +1076,7 @@ mod tests {
         let metrics = HttpMetrics::new();
         metrics.requests.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
         metrics.panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let s = state().with_http_metrics(metrics);
+        let s = Arc::new(raw_state().with_http_metrics(metrics));
         let stats = Value::parse(&get(&s, "/stats").body).unwrap();
         assert_eq!(stats["http"]["requests"].as_u64().unwrap(), 3, "{stats:?}");
         assert_eq!(stats["http"]["panics"].as_u64().unwrap(), 1);
@@ -788,7 +1091,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "deliberate handler panic")]
     fn debug_panic_route_panics_when_enabled() {
-        let s = state().with_debug_routes(true);
+        let s = Arc::new(raw_state().with_debug_routes(true));
         let _ = get(&s, "/debug/panic");
     }
 
@@ -832,7 +1135,9 @@ mod tests {
 
     #[test]
     fn fault_plan_degrades_answers_and_stats_report_the_ladder() {
-        let s = state().with_fault_plan("seed=7,read=1.0,breaker=2,cooldown_ms=60000").unwrap();
+        let s = Arc::new(
+            raw_state().with_fault_plan("seed=7,read=1.0,breaker=2,cooldown_ms=60000").unwrap(),
+        );
         let r = post(&s, "/ask", "{\"question\": \"cancellation probability by season\"}");
         assert_eq!(r.status, 200, "{}", r.body);
         let v = Value::parse(&r.body).unwrap();
@@ -853,7 +1158,7 @@ mod tests {
     fn fault_free_plan_counts_clean_answers_and_omits_degraded_field() {
         // A plan with a seed but no fault sites: the resilience machinery
         // is live yet every answer completes clean.
-        let s = state().with_fault_plan("seed=1").unwrap();
+        let s = Arc::new(raw_state().with_fault_plan("seed=1").unwrap());
         let r = post(&s, "/ask", "{\"question\": \"cancellation probability by season\"}");
         assert_eq!(r.status, 200, "{}", r.body);
         assert!(!r.body.contains("\"degraded\""), "{}", r.body);
@@ -870,7 +1175,7 @@ mod tests {
         let stats = Value::parse(&get(&s, "/stats").body).unwrap();
         assert!(stats["degradation"].is_null(), "{stats:?}");
         // And a malformed spec is rejected up front.
-        assert!(state().with_fault_plan("read=not-a-prob").is_err());
+        assert!(raw_state().with_fault_plan("read=not-a-prob").is_err());
     }
 
     #[test]

@@ -1,36 +1,45 @@
-//! Minimal HTTP/1.1 server over `std::net`, hardened for real traffic.
+//! Evented HTTP/1.1 serving over `std::net` — a readiness-driven reactor
+//! with a worker pool, built to hold huge fleets of mostly-idle voice
+//! sessions (DESIGN.md §15).
 //!
-//! Enough protocol for a JSON API: request line, headers,
-//! `Content-Length` bodies, one response per connection
-//! (`Connection: close`). No TLS, no chunked encoding, no keep-alive —
-//! the *protocol* mirrors the paper's simple JEE servlet backend, but the
-//! *serving path* is built for load:
+//! The previous serving layer (§10) was thread-per-connection behind a
+//! bounded queue: correct under load, but one OS thread per in-flight
+//! connection and `Connection: close` on every response. This layer keeps
+//! the §10 guarantees (admission control, timeouts, panic isolation,
+//! deadline-bounded graceful shutdown, metrics) on a different substrate:
 //!
-//! - a fixed-size worker pool fed by a bounded queue — when the queue is
-//!   full new connections get `503` + `Retry-After` instead of an
-//!   unbounded thread spawn;
-//! - read/write socket timeouts on every connection — a stalled client
-//!   (e.g. `Content-Length` larger than the bytes actually sent) gets a
-//!   `408` when the timeout fires instead of wedging a worker forever;
-//! - strict request parsing — malformed or conflicting `Content-Length`
-//!   headers are `400`s, oversized declared bodies are `413`s answered
-//!   *without* reading or allocating the body, header sections are
-//!   capped;
-//! - panic isolation — a panicking handler yields a `500` JSON error and
-//!   a counter increment, not a dead connection;
-//! - graceful shutdown — stop accepting, drain queued requests within a
-//!   deadline (late stragglers get `503`s), join workers deterministically;
-//! - per-request observability — atomic [`HttpMetrics`] counters and an
-//!   optional structured request log line (method, path, status, bytes,
-//!   queue wait, handler latency).
+//! - **Reactor thread** — a nonblocking accept loop plus per-connection
+//!   state machines (`ReadHead/ReadBody → dispatch → write/linger`)
+//!   multiplexed over `epoll` ([`crate::reactor`]). Idle connections cost
+//!   a couple hundred bytes of state, not a thread.
+//! - **Worker pool** — parsed requests are executed on a small fixed pool
+//!   fed by a bounded queue; when the queue is full the *reactor* answers
+//!   `503` + `Retry-After` through its nonblocking write path, so slow or
+//!   absent readers can never stall the accept path.
+//! - **Keep-alive** — clients that send `Connection: keep-alive` get
+//!   their connection parked back in the reactor after each response and
+//!   reused for follow-up queries (semantic-cache warm starts then hit on
+//!   a warm connection). Parse errors and serving-layer failures still
+//!   close, with a deadline-bounded lingering close (FIN, not RST).
+//! - **Session transport** — a handler can answer an HTTP request with
+//!   [`Response::upgrade_session`]: the connection leaves HTTP framing
+//!   (`101 Switching Protocols`, `Upgrade: voxolap-session`) and becomes
+//!   a long-lived bidirectional NDJSON link. The client writes one JSON
+//!   line per utterance; each line is dispatched to the worker pool,
+//!   which streams reply events (one §11 `SpeechStream` per utterance)
+//!   straight onto the socket. Parked sessions get server heartbeats and
+//!   an idle reaper.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::reactor::{Event, Interest, Poller};
 
 /// Upper bound on accepted request bodies (64 KiB — questions are short).
 const MAX_BODY: usize = 64 * 1024;
@@ -38,9 +47,12 @@ const MAX_BODY: usize = 64 * 1024;
 /// Upper bound on the request line + header section.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
 
-/// How often the nonblocking accept loop polls for new connections (and
-/// rechecks the stop flag — this bounds shutdown latency).
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Upper bound on one NDJSON line from an upgraded session connection.
+const MAX_SESSION_LINE: usize = 64 * 1024;
+
+/// Reactor tick: upper bound between deadline sweeps (heartbeats, idle
+/// reaping, read timeouts) and the stop-flag recheck latency.
+const TICK: Duration = Duration::from_millis(25);
 
 /// How often idle workers recheck the stop flag while waiting for work.
 const WORKER_POLL: Duration = Duration::from_millis(100);
@@ -54,10 +66,55 @@ pub struct Request {
     pub path: String,
     /// Request body (empty for bodyless methods).
     pub body: Vec<u8>,
+    /// The client sent `Connection: keep-alive` and may reuse the
+    /// connection for follow-up requests.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Build a request by hand (handler unit tests).
+    pub fn new(method: &str, path: &str, body: &[u8]) -> Self {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.to_vec(),
+            keep_alive: false,
+        }
+    }
 }
 
 /// A callback producing a chunked response body incrementally.
 pub type StreamBody = Box<dyn FnOnce(&mut BodyWriter<'_>) + Send>;
+
+/// What a session-line handler decides about the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionVerdict {
+    /// Park the connection back in the reactor and await the next line.
+    Continue,
+    /// Close the session (the handler already wrote any farewell event).
+    Close,
+}
+
+/// Per-line callback of an upgraded session connection: receives one
+/// NDJSON line from the client and writes reply events through the sink.
+pub type SessionCallback = Arc<dyn Fn(&str, &mut SessionSink<'_>) -> SessionVerdict + Send + Sync>;
+
+/// Everything the serving layer needs to run a long-lived session
+/// connection after the HTTP upgrade (see [`Response::upgrade_session`]).
+pub struct SessionUpgrade {
+    /// Session identifier (for close notifications and logs).
+    pub id: String,
+    /// Greeting event(s) written right after the `101` handshake, before
+    /// the connection parks (e.g. a `hello` line carrying negotiated
+    /// heartbeat and idle-timeout values).
+    pub hello: Option<String>,
+    /// Invoked on the worker pool for every complete line the client
+    /// sends.
+    pub on_line: SessionCallback,
+    /// Invoked exactly once when the session connection closes for any
+    /// reason (client hangup, idle reap, shutdown, handler verdict).
+    pub on_close: Arc<dyn Fn(&str) + Send + Sync>,
+}
 
 /// An HTTP response to send.
 pub struct Response {
@@ -69,6 +126,9 @@ pub struct Response {
     /// this callback writes the body through a [`BodyWriter`], one chunk
     /// per call, flushed to the socket as it is produced.
     pub stream: Option<StreamBody>,
+    /// When set, the response is a `101 Switching Protocols` handshake
+    /// and the connection becomes a long-lived NDJSON session.
+    pub(crate) session: Option<SessionUpgrade>,
 }
 
 impl std::fmt::Debug for Response {
@@ -77,6 +137,7 @@ impl std::fmt::Debug for Response {
             .field("status", &self.status)
             .field("body", &self.body)
             .field("streaming", &self.stream.is_some())
+            .field("session", &self.session.as_ref().map(|s| s.id.clone()))
             .finish()
     }
 }
@@ -84,7 +145,7 @@ impl std::fmt::Debug for Response {
 impl Response {
     /// A 200 response with a JSON body.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, body, stream: None }
+        Response { status: 200, body, stream: None, session: None }
     }
 
     /// An error response with a JSON `{"error": ...}` body.
@@ -93,6 +154,7 @@ impl Response {
             status,
             body: format!("{{\"error\":{}}}", voxolap_json::escape(message)),
             stream: None,
+            session: None,
         }
     }
 
@@ -100,114 +162,33 @@ impl Response {
     /// delivered with chunked transfer encoding as it is written — used
     /// for NDJSON sentence streams.
     pub fn streaming(body: impl FnOnce(&mut BodyWriter<'_>) + Send + 'static) -> Self {
-        Response { status: 200, body: String::new(), stream: Some(Box::new(body)) }
+        Response { status: 200, body: String::new(), stream: Some(Box::new(body)), session: None }
+    }
+
+    /// A `101 Switching Protocols` response upgrading the connection to a
+    /// long-lived NDJSON session (see [`SessionUpgrade`]).
+    pub fn upgrade_session(upgrade: SessionUpgrade) -> Self {
+        Response { status: 101, body: String::new(), stream: None, session: Some(upgrade) }
     }
 
     fn status_text(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            408 => "Request Timeout",
-            413 => "Payload Too Large",
-            431 => "Request Header Fields Too Large",
-            503 => "Service Unavailable",
-            _ => "Internal Server Error",
-        }
+        status_text(self.status)
     }
 }
 
-/// Why a request could not be parsed into a [`Request`].
-#[derive(Debug)]
-enum RequestError {
-    /// The client closed the connection without sending anything.
-    Empty,
-    /// Malformed request line, header, or body framing — answer 400.
-    Bad(&'static str),
-    /// Request line + headers exceed [`MAX_HEADER_BYTES`] — answer 431.
-    HeadersTooLarge,
-    /// Declared `Content-Length` exceeds [`MAX_BODY`] — answer 413
-    /// without reading (or allocating) the body.
-    TooLarge,
-    /// A socket read timed out mid-request — answer 408.
-    Timeout,
-    /// Some other I/O error; the connection is unusable.
-    Io,
-}
-
-fn classify_io(e: &std::io::Error) -> RequestError {
-    match e.kind() {
-        ErrorKind::WouldBlock | ErrorKind::TimedOut => RequestError::Timeout,
-        ErrorKind::UnexpectedEof => RequestError::Bad("truncated request body"),
-        _ => RequestError::Io,
+fn status_text(status: u16) -> &'static str {
+    match status {
+        101 => "Switching Protocols",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
     }
-}
-
-/// Read and parse one request from a stream.
-///
-/// The header section is read through a [`Read::take`] cap so a client
-/// streaming endless headers cannot grow memory without bound, and the
-/// body is only allocated once the declared length passed validation.
-fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
-    let reader = BufReader::new(stream.try_clone().map_err(|e| classify_io(&e))?);
-    let mut head = reader.take(MAX_HEADER_BYTES as u64);
-
-    let mut request_line = String::new();
-    match head.read_line(&mut request_line) {
-        Ok(0) => return Err(RequestError::Empty),
-        Ok(_) => {}
-        Err(e) => return Err(classify_io(&e)),
-    }
-    if !request_line.ends_with('\n') && head.limit() == 0 {
-        return Err(RequestError::HeadersTooLarge);
-    }
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return Err(RequestError::Bad("malformed request line"));
-    };
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    let method = method.to_string();
-
-    let mut content_length: Option<usize> = None;
-    loop {
-        let mut line = String::new();
-        match head.read_line(&mut line) {
-            Ok(0) if head.limit() == 0 => return Err(RequestError::HeadersTooLarge),
-            Ok(0) => return Err(RequestError::Bad("truncated headers")),
-            Ok(_) => {}
-            Err(e) => return Err(classify_io(&e)),
-        }
-        if !line.ends_with('\n') && head.limit() == 0 {
-            return Err(RequestError::HeadersTooLarge);
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                let Ok(n) = value.trim().parse::<usize>() else {
-                    return Err(RequestError::Bad("invalid Content-Length"));
-                };
-                // Identical repeats are tolerated; conflicting values
-                // would desynchronize body framing — reject them.
-                if content_length.is_some_and(|prev| prev != n) {
-                    return Err(RequestError::Bad("conflicting Content-Length headers"));
-                }
-                content_length = Some(n);
-            }
-        }
-    }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Err(RequestError::TooLarge);
-    }
-    let mut body = vec![0u8; content_length];
-    // Body bytes may already sit in the BufReader; keep reading through it.
-    let mut reader = head.into_inner();
-    reader.read_exact(&mut body).map_err(|e| classify_io(&e))?;
-    Ok(Request { method, path, body })
 }
 
 /// Incremental body writer handed to [`Response::streaming`] callbacks.
@@ -249,82 +230,145 @@ impl BodyWriter<'_> {
     /// listening. The check is a nonblocking 1-byte peek — cheap enough
     /// to poll between sentences.
     pub fn client_gone(&mut self) -> bool {
+        self.failed |= peer_hung_up(self.stream);
+        self.failed
+    }
+}
+
+/// Nonblocking 1-byte peek: has the peer closed (EOF) or reset? Incoming
+/// data and a would-block both mean the peer is still there.
+fn peer_hung_up(stream: &mut TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// Line writer handed to [`SessionCallback`]s on upgraded connections:
+/// raw NDJSON, no chunk framing (the connection left HTTP at the `101`).
+pub struct SessionSink<'a> {
+    stream: &'a mut TcpStream,
+    bytes_out: u64,
+    failed: bool,
+}
+
+impl SessionSink<'_> {
+    /// Write one event line (a trailing `\n` is appended) and flush.
+    /// Returns `false` once the client is unreachable.
+    pub fn send_line(&mut self, line: &str) -> bool {
         if self.failed {
-            return true;
+            return false;
         }
-        if self.stream.set_nonblocking(true).is_err() {
-            self.failed = true;
-            return true;
+        let framed = format!("{line}\n");
+        match self.stream.write_all(framed.as_bytes()).and_then(|()| self.stream.flush()) {
+            Ok(()) => {
+                self.bytes_out += framed.len() as u64;
+                true
+            }
+            Err(_) => {
+                self.failed = true;
+                false
+            }
         }
-        let mut probe = [0u8; 1];
-        let gone = match self.stream.peek(&mut probe) {
-            Ok(0) => true,
-            Ok(_) => false,
-            Err(e) if e.kind() == ErrorKind::WouldBlock => false,
-            Err(_) => true,
-        };
-        let _ = self.stream.set_nonblocking(false);
-        if gone {
-            self.failed = true;
-        }
-        gone
+    }
+
+    /// Whether the peer has closed or reset the connection. Unlike the
+    /// HTTP variant, pending readable bytes are expected here (the next
+    /// utterance may already have arrived) and do not mean "gone".
+    pub fn client_gone(&mut self) -> bool {
+        self.failed |= peer_hung_up(self.stream);
+        self.failed
     }
 }
 
 /// Send a chunked streaming response: status line + headers, then each
 /// chunk as the handler produces it, then the terminal zero-length chunk.
-/// Returns the body bytes successfully written.
+/// Returns the body bytes successfully written and whether the response
+/// completed (terminal chunk delivered) so the connection may be reused.
 fn write_streaming(
     stream: &mut TcpStream,
     status: u16,
     status_text: &str,
     body: StreamBody,
-) -> u64 {
+    keep: bool,
+) -> (u64, bool) {
+    let conn = if keep { "keep-alive" } else { "close" };
     let header = format!(
-        "HTTP/1.1 {status} {status_text}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        "HTTP/1.1 {status} {status_text}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {conn}\r\n\r\n"
     );
     if stream.write_all(header.as_bytes()).and_then(|()| stream.flush()).is_err() {
-        return 0;
+        return (0, false);
     }
     let mut writer = BodyWriter { stream, bytes_out: 0, failed: false };
     body(&mut writer);
     let bytes = writer.bytes_out;
-    if !writer.failed {
-        let _ = writer.stream.write_all(b"0\r\n\r\n");
-    }
-    bytes
+    let complete = !writer.failed && writer.stream.write_all(b"0\r\n\r\n").is_ok();
+    (bytes, complete)
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// Serialize a plain (non-streaming) response with the given connection
+/// disposition.
+fn response_bytes(response: &Response, keep: bool) -> Vec<u8> {
     // Overloaded / shutting-down responses invite a quick retry.
     let retry = if response.status == 503 { "Retry-After: 1\r\n" } else { "" };
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{}\r\n{}",
+    let conn = if keep { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{}\r\n{}",
         response.status,
         response.status_text(),
         response.body.len(),
+        conn,
         retry,
         response.body
     )
+    .into_bytes()
 }
 
-/// Tuning knobs for the serving layer (the server's `--http-threads`,
-/// `--http-queue`, and `--http-timeout-ms` flags).
+fn write_response(stream: &mut TcpStream, response: &Response, keep: bool) -> std::io::Result<()> {
+    stream.write_all(&response_bytes(response, keep))
+}
+
+/// Tuning knobs for the serving layer (the server's `--http-*` flags).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Fixed worker-pool size.
     pub threads: usize,
-    /// Bounded queue capacity between the accept loop and the workers;
-    /// connections beyond it are answered `503` + `Retry-After`.
+    /// Bounded queue capacity between the reactor and the workers;
+    /// requests beyond it are answered `503` + `Retry-After`.
     pub queue: usize,
-    /// Per-read socket timeout; a stalled client gets a `408` when it
-    /// fires.
+    /// A connection mid-request (bytes expected) that goes silent for
+    /// this long gets a `408`.
     pub read_timeout: Duration,
-    /// Per-write socket timeout.
+    /// Per-write socket timeout while a worker owns the connection.
     pub write_timeout: Duration,
     /// Emit one structured log line per request to stderr.
     pub log_requests: bool,
+    /// Honor `Connection: keep-alive` and park idle connections for
+    /// reuse. When `false` every response closes (the §10 behaviour).
+    pub keep_alive: bool,
+    /// Parked keep-alive connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Upgraded session connections idle longer than this are reaped
+    /// (a `bye` event is sent best-effort first).
+    pub session_idle_timeout: Duration,
+    /// Interval between server heartbeat events on parked session
+    /// connections.
+    pub heartbeat: Duration,
+    /// Hard cap on concurrently open connections; beyond it new sockets
+    /// get a best-effort `503` and are closed immediately.
+    pub max_connections: usize,
+    /// Total time budget for writing a reactor-side error/rejection
+    /// response *and* the lingering close that follows — slow readers
+    /// are cut off at this deadline instead of stalling the reactor.
+    pub reject_linger: Duration,
 }
 
 impl Default for ServerConfig {
@@ -335,6 +379,12 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             log_requests: false,
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(30),
+            session_idle_timeout: Duration::from_secs(120),
+            heartbeat: Duration::from_secs(15),
+            max_connections: 200_000,
+            reject_linger: Duration::from_millis(500),
         }
     }
 }
@@ -353,34 +403,49 @@ impl ServerConfig {
 /// counters are observability, not synchronization.
 #[derive(Debug, Default)]
 pub struct HttpMetrics {
-    /// Connections admitted to the queue.
+    /// Connections accepted and parked in the reactor.
     pub accepted: AtomicU64,
-    /// Connections answered `503` at admission (queue full) or during
-    /// shutdown drain.
+    /// Requests answered `503` (queue full, connection cap, shutdown).
     pub rejected: AtomicU64,
     /// Requests successfully parsed and dispatched to the handler.
     pub requests: AtomicU64,
-    /// Responses by status class.
+    /// Responses by status class (1xx/2xx count together).
     pub responses_2xx: AtomicU64,
     /// 4xx responses (including parse rejections and timeouts).
     pub responses_4xx: AtomicU64,
     /// 5xx responses (including panics and admission rejections).
     pub responses_5xx: AtomicU64,
-    /// Connections answered `408` after a socket read timeout.
+    /// Connections answered `408` after a read deadline expired.
     pub timeouts: AtomicU64,
-    /// Handler panics converted into `500`s.
+    /// Handler panics converted into `500`s (or session error events).
     pub panics: AtomicU64,
     /// Requests rejected at the parsing layer (`400`/`413`/`431`).
     pub parse_errors: AtomicU64,
     /// Connections dropped on unrecoverable I/O errors (no response sent).
     pub io_errors: AtomicU64,
+    /// Rejection/error responses whose write failed or timed out before
+    /// the client got the bytes (the connection was closed at the linger
+    /// deadline).
+    pub reject_write_failures: AtomicU64,
+    /// Follow-up requests served on a reused keep-alive connection.
+    pub keepalive_reuses: AtomicU64,
+    /// Connections upgraded to long-lived NDJSON sessions.
+    pub sessions_opened: AtomicU64,
+    /// Session connections closed (any reason).
+    pub sessions_closed: AtomicU64,
+    /// NDJSON lines received from session clients.
+    pub session_lines: AtomicU64,
+    /// Heartbeat events written to parked sessions.
+    pub heartbeats_sent: AtomicU64,
+    /// Connections reaped by the idle sweeps (keep-alive + session).
+    pub idle_closed: AtomicU64,
     /// Request body bytes read.
     pub bytes_in: AtomicU64,
     /// Response body bytes written.
     pub bytes_out: AtomicU64,
-    /// Total time connections spent queued, in microseconds.
+    /// Total time requests spent queued, in microseconds.
     pub queue_wait_us: AtomicU64,
-    /// Total time spent parsing + handling + responding, in microseconds.
+    /// Total time spent handling + responding, in microseconds.
     pub handle_us: AtomicU64,
 }
 
@@ -397,6 +462,13 @@ pub struct HttpMetricsSnapshot {
     pub panics: u64,
     pub parse_errors: u64,
     pub io_errors: u64,
+    pub reject_write_failures: u64,
+    pub keepalive_reuses: u64,
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub session_lines: u64,
+    pub heartbeats_sent: u64,
+    pub idle_closed: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
     pub queue_wait_us: u64,
@@ -415,7 +487,7 @@ impl HttpMetrics {
 
     fn count_status(&self, status: u16) {
         let class = match status {
-            200..=299 => &self.responses_2xx,
+            100..=299 => &self.responses_2xx,
             400..=499 => &self.responses_4xx,
             _ => &self.responses_5xx,
         };
@@ -437,6 +509,13 @@ impl HttpMetrics {
             panics: get(&self.panics),
             parse_errors: get(&self.parse_errors),
             io_errors: get(&self.io_errors),
+            reject_write_failures: get(&self.reject_write_failures),
+            keepalive_reuses: get(&self.keepalive_reuses),
+            sessions_opened: get(&self.sessions_opened),
+            sessions_closed: get(&self.sessions_closed),
+            session_lines: get(&self.session_lines),
+            heartbeats_sent: get(&self.heartbeats_sent),
+            idle_closed: get(&self.idle_closed),
             bytes_in: get(&self.bytes_in),
             bytes_out: get(&self.bytes_out),
             queue_wait_us: get(&self.queue_wait_us),
@@ -445,62 +524,971 @@ impl HttpMetrics {
     }
 }
 
-/// Answer a connection that never reaches a worker (admission rejection
-/// or shutdown drain) with a lingering close: write the response, close
-/// the write half, then drain whatever the client already sent so the
-/// kernel sends FIN instead of RST and the client reliably sees the
-/// response.
-fn reject_connection(mut stream: TcpStream, response: &Response) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    if write_response(&mut stream, response).is_ok() {
-        linger_close(stream);
-    }
+// ---------------------------------------------------------------------------
+// Incremental request parsing (reactor side).
+
+/// Outcome of trying to parse one request from the accumulated bytes.
+enum Parsed {
+    /// Not enough bytes yet.
+    NeedMore,
+    /// One complete request; `consumed` bytes of the buffer were used.
+    Request { req: Request, consumed: usize },
+    /// Malformed request — answer `status` and close.
+    Error { status: u16, message: &'static str },
 }
 
-/// Close the write half and drain (briefly, boundedly) whatever the
-/// client already sent, so closing a socket with unread input yields a
-/// FIN the client can read the response through, not an RST.
-fn linger_close(mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 1024];
-    // Bounded drain: a handful of reads, each capped by the timeout.
-    for _ in 0..16 {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+/// Find the end of the header section (index just past the blank line).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    // Tolerate both CRLF and bare-LF framing, like the old line reader.
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Incremental HTTP/1.1 request parser over the reactor's per-connection
+/// buffer. Framing rules match the §10 parser: capped header section,
+/// strict `Content-Length` validation, oversized bodies rejected without
+/// being read.
+fn parse_request(buf: &[u8]) -> Parsed {
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parsed::Error { status: 431, message: "headers too large" };
+        }
+        return Parsed::NeedMore;
+    };
+    if head_len > MAX_HEADER_BYTES {
+        return Parsed::Error { status: 431, message: "headers too large" };
+    }
+    let head = String::from_utf8_lossy(&buf[..head_len]);
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Parsed::Error { status: 400, message: "malformed request line" };
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let method = method.to_string();
+
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.eq_ignore_ascii_case("content-length") {
+            let Ok(n) = value.trim().parse::<usize>() else {
+                return Parsed::Error { status: 400, message: "invalid Content-Length" };
+            };
+            // Identical repeats are tolerated; conflicting values would
+            // desynchronize body framing — reject them.
+            if content_length.is_some_and(|prev| prev != n) {
+                return Parsed::Error {
+                    status: 400,
+                    message: "conflicting Content-Length headers",
+                };
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive |= value.to_ascii_lowercase().contains("keep-alive");
         }
     }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Parsed::Error { status: 413, message: "request body too large" };
+    }
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return Parsed::NeedMore;
+    }
+    let body = buf[head_len..total].to_vec();
+    Parsed::Request { req: Request { method, path, body, keep_alive }, consumed: total }
 }
 
-/// An accepted connection waiting for a worker.
-struct Conn {
+// ---------------------------------------------------------------------------
+// Reactor ↔ worker plumbing.
+
+/// Context of an upgraded session connection, carried with the
+/// connection as it bounces between reactor and workers.
+#[derive(Clone)]
+struct SessionCtx {
+    id: Arc<str>,
+    on_line: SessionCallback,
+    on_close: Arc<dyn Fn(&str) + Send + Sync>,
+}
+
+impl SessionCtx {
+    /// Fire the close notification (idempotence is the caller's duty —
+    /// each connection reaches exactly one close site by construction).
+    fn closed(&self, metrics: &HttpMetrics) {
+        HttpMetrics::add(&metrics.sessions_closed, 1);
+        (self.on_close)(&self.id);
+    }
+}
+
+/// A unit of work for the pool.
+enum Job {
+    Request(RequestJob),
+    SessionLine(SessionLineJob),
+}
+
+struct RequestJob {
     stream: TcpStream,
-    accepted_at: Instant,
+    req: Request,
+    queued_at: Instant,
+    /// Bytes past the parsed request (pipelined follow-ups) that must
+    /// survive the round-trip through the worker.
+    leftover: Vec<u8>,
+    /// Requests previously served on this connection (keep-alive reuse).
+    served: u64,
 }
 
-/// State shared between the accept loop, the workers, and the handle.
-struct Pool {
-    queue: Mutex<VecDeque<Conn>>,
+struct SessionLineJob {
+    stream: TcpStream,
+    ctx: SessionCtx,
+    line: String,
+    queued_at: Instant,
+    leftover: Vec<u8>,
+}
+
+/// A connection a worker hands back to the reactor for further requests.
+struct Returned {
+    stream: TcpStream,
+    mode: Mode,
+    leftover: Vec<u8>,
+    served: u64,
+}
+
+/// State shared between the reactor, the workers, and the handle.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when work is pushed (workers wait here).
     ready: Condvar,
+    /// Signaled when the queue becomes empty (shutdown drains wait here —
+    /// no busy-polling).
+    drained: Condvar,
     stop: AtomicBool,
+    /// Connections coming back from workers for keep-alive / session
+    /// parking; the reactor drains this after every `notify`.
+    returns: Mutex<Vec<Returned>>,
+    poller: Poller,
+    config: ServerConfig,
+    metrics: Arc<HttpMetrics>,
 }
 
-impl Pool {
-    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
         // Handlers run under catch_unwind and the lock is never held
         // across them, so poisoning is unreachable; recover regardless.
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    fn lock_returns(&self) -> std::sync::MutexGuard<'_, Vec<Returned>> {
+        self.returns.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Hand a connection back to the reactor.
+    fn park(&self, conn: Returned) {
+        self.lock_returns().push(conn);
+        self.poller.notify();
+    }
 }
+
+// ---------------------------------------------------------------------------
+// The reactor: connection slab and state machines.
+
+/// Token carried in epoll events: slot index in the low 32 bits, a
+/// generation counter in the high 32 so stale events for a recycled slot
+/// are ignored.
+fn token_of(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Per-connection phase within the reactor.
+enum Phase {
+    /// Accumulating request bytes (HTTP) or an utterance line (session).
+    Read,
+    /// Writing a reactor-generated response (errors, rejections); when
+    /// the write completes the connection moves to a lingering close.
+    Write { out: Vec<u8>, pos: usize, deadline: Instant, is_reject: bool },
+    /// Write half shut; draining client bytes so the close is a FIN the
+    /// client can read the response through, not an RST.
+    Linger { deadline: Instant },
+}
+
+/// How a parked connection speaks.
+enum Mode {
+    Http,
+    Session { ctx: SessionCtx, last_heartbeat: Instant },
+}
+
+struct Slot {
+    stream: TcpStream,
+    gen: u32,
+    buf: Vec<u8>,
+    phase: Phase,
+    mode: Mode,
+    last_activity: Instant,
+    served: u64,
+    interest: Interest,
+}
+
+struct Reactor {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    slots: Vec<Option<Slot>>,
+    /// Generation counter per slot index (incremented whenever a slot is
+    /// vacated) so stale epoll events for a recycled slot are ignored.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+/// One step of the nonblocking write state machine (computed under the
+/// slot borrow, acted on after it ends).
+enum WriteStep {
+    Done { linger_deadline: Instant },
+    WouldBlock,
+    Fail { is_reject: bool },
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let _ = self.shared.poller.wait(&mut events, Some(TICK));
+            if self.shared.stopped() {
+                break;
+            }
+            let harvested = std::mem::take(&mut events);
+            for ev in &harvested {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_burst();
+                } else {
+                    self.drive(*ev);
+                }
+            }
+            events = harvested;
+            self.drain_returns();
+            self.sweep_deadlines();
+        }
+        self.teardown();
+    }
+
+    /// Accept every pending connection (the listener is level-triggered,
+    /// but draining the backlog per wakeup keeps accept latency flat).
+    fn accept_burst(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    if self.live >= shared.config.max_connections {
+                        // No slot capacity: best-effort immediate 503,
+                        // never blocking the accept path.
+                        HttpMetrics::add(&shared.metrics.rejected, 1);
+                        shared.metrics.count_status(503);
+                        let mut s = stream;
+                        let response = Response::error(503, "server at connection capacity");
+                        if s.write_all(&response_bytes(&response, false)).is_err() {
+                            HttpMetrics::add(&shared.metrics.reject_write_failures, 1);
+                        }
+                        let _ = s.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+                    HttpMetrics::add(&shared.metrics.accepted, 1);
+                    self.insert(stream, Mode::Http, Vec::new(), 0);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Park a connection in the slab with read interest and immediately
+    /// try to parse any carried-over bytes (level-triggered epoll won't
+    /// re-report bytes that already sit in our buffer).
+    fn insert(&mut self, stream: TcpStream, mode: Mode, leftover: Vec<u8>, served: u64) {
+        let shared = Arc::clone(&self.shared);
+        let _ = stream.set_nonblocking(true);
+        let has_buffered = !leftover.is_empty();
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        if idx >= self.gens.len() {
+            self.gens.resize(idx + 1, 0);
+        }
+        let gen = self.gens[idx];
+        let fd = stream.as_raw_fd();
+        let slot = Slot {
+            stream,
+            gen,
+            buf: leftover,
+            phase: Phase::Read,
+            mode,
+            last_activity: Instant::now(),
+            served,
+            interest: Interest::Read,
+        };
+        if shared.poller.add(fd, token_of(idx, gen), Interest::Read).is_err() {
+            // Registration failure (fd-table churn): drop the connection.
+            if let Mode::Session { ctx, .. } = &slot.mode {
+                ctx.closed(&shared.metrics);
+            }
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx] = Some(slot);
+        self.live += 1;
+        if has_buffered {
+            self.advance_read(idx);
+        }
+    }
+
+    fn close_slot(&mut self, idx: usize) {
+        if let Some(slot) = self.slots[idx].take() {
+            self.shared.poller.remove(slot.stream.as_raw_fd());
+            if let Mode::Session { ctx, .. } = &slot.mode {
+                ctx.closed(&self.shared.metrics);
+            }
+            self.free.push(idx);
+            self.live -= 1;
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+        }
+    }
+
+    /// Remove the slot for dispatch to a worker, deregistering the fd but
+    /// keeping the stream alive (it travels with the job).
+    fn take_for_dispatch(&mut self, idx: usize) -> Option<Slot> {
+        let slot = self.slots[idx].take()?;
+        self.shared.poller.remove(slot.stream.as_raw_fd());
+        self.free.push(idx);
+        self.live -= 1;
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        Some(slot)
+    }
+
+    fn drive(&mut self, ev: Event) {
+        enum Kind {
+            Read,
+            Write { is_reject: bool },
+            Linger,
+        }
+        let idx = (ev.token & 0xFFFF_FFFF) as usize;
+        let gen = (ev.token >> 32) as u32;
+        let kind = {
+            let Some(slot) = self.slots.get(idx).and_then(|s| s.as_ref()) else { return };
+            if slot.gen != gen {
+                return; // stale event for a recycled slot
+            }
+            match &slot.phase {
+                Phase::Read => Kind::Read,
+                Phase::Write { is_reject, .. } => Kind::Write { is_reject: *is_reject },
+                Phase::Linger { .. } => Kind::Linger,
+            }
+        };
+        if ev.error {
+            // Peer reset: a rejection in flight counts as an undelivered
+            // write; everything closes.
+            if let Kind::Write { is_reject: true } = kind {
+                HttpMetrics::add(&self.shared.metrics.reject_write_failures, 1);
+            }
+            self.close_slot(idx);
+            return;
+        }
+        match kind {
+            Kind::Read if ev.readable => self.advance_read(idx),
+            Kind::Write { .. } if ev.writable || ev.readable => self.advance_write(idx),
+            Kind::Linger if ev.readable => self.advance_linger(idx),
+            _ => {}
+        }
+    }
+
+    /// Pull available bytes into the buffer; returns `(eof, io_error)`.
+    fn fill_buf(&mut self, idx: usize) -> (bool, bool) {
+        let Some(slot) = self.slots[idx].as_mut() else { return (false, true) };
+        let mut tmp = [0u8; 4096];
+        loop {
+            if slot.buf.len() > MAX_HEADER_BYTES + MAX_BODY + 4096 {
+                return (false, false); // hard cap; the parser will reject
+            }
+            match slot.stream.read(&mut tmp) {
+                Ok(0) => return (true, false),
+                Ok(n) => {
+                    slot.buf.extend_from_slice(&tmp[..n]);
+                    slot.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return (false, false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return (false, true),
+            }
+        }
+    }
+
+    fn advance_read(&mut self, idx: usize) {
+        let (eof, io_error) = self.fill_buf(idx);
+        let (mid_request, is_session) = {
+            let Some(slot) = self.slots[idx].as_ref() else { return };
+            (!slot.buf.is_empty(), matches!(slot.mode, Mode::Session { .. }))
+        };
+        if io_error {
+            if mid_request {
+                HttpMetrics::add(&self.shared.metrics.io_errors, 1);
+            }
+            self.close_slot(idx);
+            return;
+        }
+        if is_session {
+            self.advance_session_read(idx, eof);
+        } else {
+            self.advance_http_read(idx, eof);
+        }
+    }
+
+    fn advance_http_read(&mut self, idx: usize, eof: bool) {
+        let shared = Arc::clone(&self.shared);
+        let parsed = {
+            let Some(slot) = self.slots[idx].as_ref() else { return };
+            parse_request(&slot.buf)
+        };
+        match parsed {
+            Parsed::NeedMore => {
+                if eof {
+                    let (empty, headers_done) = {
+                        let Some(slot) = self.slots[idx].as_ref() else { return };
+                        (slot.buf.is_empty(), head_end(&slot.buf).is_some())
+                    };
+                    if empty {
+                        // Clean close (end of a keep-alive run, or a
+                        // connect-and-leave probe): nothing to answer.
+                        self.close_slot(idx);
+                    } else {
+                        // The client half-closed mid-request: answer the
+                        // framing error — a shut write half still reads.
+                        HttpMetrics::add(&shared.metrics.parse_errors, 1);
+                        let message = if headers_done {
+                            "truncated request body"
+                        } else {
+                            "truncated headers"
+                        };
+                        self.respond_error(idx, Response::error(400, message), false);
+                    }
+                }
+                // else: keep reading.
+            }
+            Parsed::Error { status, message } => {
+                HttpMetrics::add(&shared.metrics.parse_errors, 1);
+                self.respond_error(idx, Response::error(status, message), false);
+            }
+            Parsed::Request { req, consumed } => {
+                let (leftover, served) = {
+                    let Some(slot) = self.slots[idx].as_mut() else { return };
+                    let leftover = slot.buf.split_off(consumed);
+                    slot.buf.clear();
+                    (leftover, slot.served)
+                };
+                if served > 0 {
+                    HttpMetrics::add(&shared.metrics.keepalive_reuses, 1);
+                }
+                // Admission control: a full queue answers 503 through the
+                // reactor's nonblocking write path, never a worker.
+                let admitted = {
+                    let mut q = shared.lock_queue();
+                    if q.len() >= shared.config.queue {
+                        false
+                    } else {
+                        let Some(slot) = self.take_for_dispatch(idx) else { return };
+                        q.push_back(Job::Request(RequestJob {
+                            stream: slot.stream,
+                            req,
+                            queued_at: Instant::now(),
+                            leftover,
+                            served,
+                        }));
+                        true
+                    }
+                };
+                if admitted {
+                    shared.ready.notify_one();
+                } else {
+                    HttpMetrics::add(&shared.metrics.rejected, 1);
+                    shared.metrics.count_status(503);
+                    self.respond_error(
+                        idx,
+                        Response::error(503, "server overloaded, retry shortly"),
+                        true,
+                    );
+                }
+            }
+        }
+    }
+
+    fn advance_session_read(&mut self, idx: usize, eof: bool) {
+        let shared = Arc::clone(&self.shared);
+        let line = {
+            let Some(slot) = self.slots[idx].as_mut() else { return };
+            match slot.buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let rest = slot.buf.split_off(nl + 1);
+                    let mut line_bytes = std::mem::replace(&mut slot.buf, rest);
+                    line_bytes.pop(); // trailing \n
+                    if line_bytes.last() == Some(&b'\r') {
+                        line_bytes.pop();
+                    }
+                    Some(String::from_utf8_lossy(&line_bytes).into_owned())
+                }
+                None => None,
+            }
+        };
+        let Some(line) = line else {
+            let too_long = self.slots[idx].as_ref().is_some_and(|s| s.buf.len() > MAX_SESSION_LINE);
+            if too_long || eof {
+                // A line that never ends is a protocol violation; EOF is
+                // the client hanging up. Either way the session is over.
+                self.close_slot(idx);
+            }
+            return;
+        };
+        HttpMetrics::add(&shared.metrics.session_lines, 1);
+        let Some(slot) = self.take_for_dispatch(idx) else { return };
+        let Mode::Session { ctx, .. } = slot.mode else { return };
+        shared.lock_queue().push_back(Job::SessionLine(SessionLineJob {
+            stream: slot.stream,
+            ctx,
+            line,
+            queued_at: Instant::now(),
+            leftover: slot.buf,
+        }));
+        shared.ready.notify_one();
+    }
+
+    /// Begin a reactor-side response (error or rejection): nonblocking
+    /// write with a hard deadline, then a deadline-bounded lingering
+    /// close. Never blocks the reactor thread.
+    fn respond_error(&mut self, idx: usize, response: Response, is_reject: bool) {
+        if !is_reject {
+            self.shared.metrics.count_status(response.status);
+        }
+        let out = response_bytes(&response, false);
+        let deadline = Instant::now() + self.shared.config.reject_linger;
+        if let Some(slot) = self.slots[idx].as_mut() {
+            slot.phase = Phase::Write { out, pos: 0, deadline, is_reject };
+        }
+        self.advance_write(idx);
+    }
+
+    fn advance_write(&mut self, idx: usize) {
+        let step = loop {
+            let Some(slot) = self.slots[idx].as_mut() else { return };
+            let Phase::Write { out, pos, deadline, is_reject } = &mut slot.phase else {
+                return;
+            };
+            if *pos >= out.len() {
+                break WriteStep::Done { linger_deadline: *deadline };
+            }
+            match slot.stream.write(&out[*pos..]) {
+                Ok(0) => break WriteStep::Fail { is_reject: *is_reject },
+                Ok(n) => *pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break WriteStep::WouldBlock,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break WriteStep::Fail { is_reject: *is_reject },
+            }
+        };
+        match step {
+            WriteStep::WouldBlock => self.arm(idx, Interest::Write),
+            WriteStep::Fail { is_reject } => {
+                if is_reject {
+                    HttpMetrics::add(&self.shared.metrics.reject_write_failures, 1);
+                }
+                self.close_slot(idx);
+            }
+            WriteStep::Done { linger_deadline } => {
+                if let Some(slot) = self.slots[idx].as_mut() {
+                    let _ = slot.stream.shutdown(std::net::Shutdown::Write);
+                    slot.phase = Phase::Linger { deadline: linger_deadline };
+                }
+                self.arm(idx, Interest::Read);
+                self.advance_linger(idx);
+            }
+        }
+    }
+
+    fn advance_linger(&mut self, idx: usize) {
+        let done = {
+            let Some(slot) = self.slots[idx].as_mut() else { return };
+            let mut tmp = [0u8; 1024];
+            loop {
+                match slot.stream.read(&mut tmp) {
+                    Ok(0) => break true,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break true,
+                }
+            }
+        };
+        if done {
+            self.close_slot(idx);
+        }
+    }
+
+    /// Re-arm epoll interest if it changed.
+    fn arm(&mut self, idx: usize, interest: Interest) {
+        let shared = Arc::clone(&self.shared);
+        let Some(slot) = self.slots[idx].as_mut() else { return };
+        if slot.interest == interest {
+            return;
+        }
+        let fd = slot.stream.as_raw_fd();
+        let token = token_of(idx, slot.gen);
+        if shared.poller.modify(fd, token, interest).is_ok() {
+            slot.interest = interest;
+        }
+    }
+
+    /// Reinsert connections handed back by workers.
+    fn drain_returns(&mut self) {
+        let returned: Vec<Returned> = std::mem::take(&mut *self.shared.lock_returns());
+        for conn in returned {
+            if self.shared.stopped() {
+                self.farewell(conn);
+                continue;
+            }
+            self.insert(conn.stream, conn.mode, conn.leftover, conn.served);
+        }
+    }
+
+    fn farewell(&mut self, conn: Returned) {
+        if let Mode::Session { ctx, .. } = &conn.mode {
+            let mut s = conn.stream;
+            let _ = s.write_all(b"{\"type\":\"bye\",\"reason\":\"shutdown\"}\n");
+            ctx.closed(&self.shared.metrics);
+        }
+    }
+
+    /// Time-based transitions: read timeouts, keep-alive idling, session
+    /// heartbeats and reaping, write/linger deadlines.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let read_timeout = self.shared.config.read_timeout;
+        let idle_timeout = self.shared.config.idle_timeout;
+        let session_idle = self.shared.config.session_idle_timeout;
+        let heartbeat = self.shared.config.heartbeat;
+        let metrics = Arc::clone(&self.shared.metrics);
+
+        enum Action {
+            Timeout408,
+            CloseIdle,
+            CloseSilent,
+            CloseReject,
+            SessionReap,
+            Heartbeat,
+        }
+        let mut actions: Vec<(usize, Action)> = Vec::new();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            let Some(slot) = slot else { continue };
+            match &slot.phase {
+                Phase::Read => match &mut slot.mode {
+                    Mode::Http => {
+                        // A fresh connection or one with a partial request
+                        // buffered is "mid-request" (408 on stall); a
+                        // parked keep-alive connection idles out silently.
+                        let mid_request = !slot.buf.is_empty() || slot.served == 0;
+                        if mid_request && now >= slot.last_activity + read_timeout {
+                            actions.push((idx, Action::Timeout408));
+                        } else if !mid_request && now >= slot.last_activity + idle_timeout {
+                            actions.push((idx, Action::CloseIdle));
+                        }
+                    }
+                    Mode::Session { last_heartbeat, .. } => {
+                        if now >= slot.last_activity + session_idle {
+                            actions.push((idx, Action::SessionReap));
+                        } else if now >= *last_heartbeat + heartbeat {
+                            *last_heartbeat = now;
+                            actions.push((idx, Action::Heartbeat));
+                        }
+                    }
+                },
+                Phase::Write { deadline, is_reject, .. } => {
+                    if now >= *deadline {
+                        actions.push((
+                            idx,
+                            if *is_reject { Action::CloseReject } else { Action::CloseSilent },
+                        ));
+                    }
+                }
+                Phase::Linger { deadline } => {
+                    if now >= *deadline {
+                        actions.push((idx, Action::CloseSilent));
+                    }
+                }
+            }
+        }
+        for (idx, action) in actions {
+            match action {
+                Action::Timeout408 => {
+                    HttpMetrics::add(&metrics.timeouts, 1);
+                    self.respond_error(idx, Response::error(408, "request timed out"), false);
+                }
+                Action::CloseIdle => {
+                    HttpMetrics::add(&metrics.idle_closed, 1);
+                    self.close_slot(idx);
+                }
+                Action::CloseSilent => self.close_slot(idx),
+                Action::CloseReject => {
+                    HttpMetrics::add(&metrics.reject_write_failures, 1);
+                    self.close_slot(idx);
+                }
+                Action::SessionReap => {
+                    HttpMetrics::add(&metrics.idle_closed, 1);
+                    if let Some(slot) = self.slots[idx].as_mut() {
+                        let _ = slot.stream.write_all(b"{\"type\":\"bye\",\"reason\":\"idle\"}\n");
+                    }
+                    self.close_slot(idx);
+                }
+                Action::Heartbeat => {
+                    let beat = b"{\"type\":\"heartbeat\"}\n";
+                    let wrote = {
+                        let Some(slot) = self.slots[idx].as_mut() else { continue };
+                        slot.stream.write(beat)
+                    };
+                    match wrote {
+                        Ok(n) if n == beat.len() => {
+                            HttpMetrics::add(&metrics.heartbeats_sent, 1);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            // Send buffer full: skip this beat; the idle
+                            // reaper handles a client that never drains.
+                        }
+                        // A partial write would corrupt NDJSON framing and
+                        // only happens with an undrained send buffer —
+                        // treat it like a dead peer.
+                        Ok(_) | Err(_) => self.close_slot(idx),
+                    }
+                }
+            }
+        }
+    }
+
+    fn teardown(&mut self) {
+        for idx in 0..self.slots.len() {
+            if let Some(slot) = self.slots[idx].as_mut() {
+                if matches!(slot.mode, Mode::Session { .. }) {
+                    let _ = slot.stream.write_all(b"{\"type\":\"bye\",\"reason\":\"shutdown\"}\n");
+                }
+                self.close_slot(idx);
+            }
+        }
+        // Connections still parked in the return channel when the reactor
+        // exits are farewelled by shutdown_within after workers join.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers.
+
+fn worker_loop<F>(shared: &Shared, handler: &F)
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    loop {
+        let job = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    if queue.is_empty() {
+                        shared.drained.notify_all();
+                    }
+                    break Some(job);
+                }
+                if shared.stopped() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(queue, WORKER_POLL)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        match job {
+            Some(Job::Request(job)) => handle_request(job, shared, handler),
+            Some(Job::SessionLine(job)) => handle_session_line(job, shared),
+            None => return,
+        }
+    }
+}
+
+fn handle_request<F>(job: RequestJob, shared: &Shared, handler: &F)
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    let RequestJob { mut stream, req, queued_at, leftover, served } = job;
+    let metrics = &shared.metrics;
+    let config = &shared.config;
+    let queue_wait = queued_at.elapsed();
+    HttpMetrics::add(&metrics.queue_wait_us, queue_wait.as_micros() as u64);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    let started = Instant::now();
+    HttpMetrics::add(&metrics.requests, 1);
+    HttpMetrics::add(&metrics.bytes_in, req.body.len() as u64);
+    let mut response = match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
+        Ok(response) => response,
+        Err(_) => {
+            HttpMetrics::add(&metrics.panics, 1);
+            Response::error(500, "internal server error")
+        }
+    };
+
+    // Session upgrade: handshake, greet, park as a session connection.
+    if let Some(upgrade) = response.session.take() {
+        metrics.count_status(101);
+        let mut handshake = String::from(
+            "HTTP/1.1 101 Switching Protocols\r\nUpgrade: voxolap-session\r\nConnection: Upgrade\r\n\r\n",
+        );
+        if let Some(hello) = &upgrade.hello {
+            handshake.push_str(hello);
+            if !hello.ends_with('\n') {
+                handshake.push('\n');
+            }
+        }
+        let ctx = SessionCtx {
+            id: Arc::from(upgrade.id.as_str()),
+            on_line: upgrade.on_line,
+            on_close: upgrade.on_close,
+        };
+        if stream.write_all(handshake.as_bytes()).and_then(|()| stream.flush()).is_err() {
+            HttpMetrics::add(&metrics.io_errors, 1);
+            ctx.closed(metrics);
+            return;
+        }
+        HttpMetrics::add(&metrics.bytes_out, handshake.len() as u64);
+        HttpMetrics::add(&metrics.sessions_opened, 1);
+        shared.park(Returned {
+            stream,
+            mode: Mode::Session { ctx, last_heartbeat: Instant::now() },
+            leftover,
+            served: served + 1,
+        });
+        return;
+    }
+
+    metrics.count_status(response.status);
+    // Keep-alive only when the client asked, the config allows it, and
+    // the response isn't a serving-layer failure.
+    let keep = config.keep_alive && req.keep_alive && !shared.stopped() && response.status < 500;
+    let mut bytes_out = 0u64;
+    let mut reusable = keep;
+    match response.stream.take() {
+        Some(body_fn) => {
+            let (bytes, complete) = write_streaming(
+                &mut stream,
+                response.status,
+                response.status_text(),
+                body_fn,
+                keep,
+            );
+            bytes_out = bytes;
+            HttpMetrics::add(&metrics.bytes_out, bytes_out);
+            reusable &= complete;
+        }
+        None => match write_response(&mut stream, &response, keep) {
+            Ok(()) => {
+                bytes_out = response.body.len() as u64;
+                HttpMetrics::add(&metrics.bytes_out, bytes_out);
+            }
+            Err(_) => {
+                HttpMetrics::add(&metrics.io_errors, 1);
+                reusable = false;
+            }
+        },
+    }
+    let handle = started.elapsed();
+    HttpMetrics::add(&metrics.handle_us, handle.as_micros() as u64);
+    if config.log_requests {
+        eprintln!(
+            "http method={} path={} status={} bytes_in={} bytes_out={} queue_ms={:.2} handler_ms={:.2} reused={}",
+            req.method,
+            req.path,
+            response.status,
+            req.body.len(),
+            bytes_out,
+            queue_wait.as_secs_f64() * 1e3,
+            handle.as_secs_f64() * 1e3,
+            served > 0,
+        );
+    }
+    if reusable {
+        shared.park(Returned { stream, mode: Mode::Http, leftover, served: served + 1 });
+    }
+    // else: drop → close. Handler responses are fully framed, so a plain
+    // close (no linger) is correct here; linger is for the error paths
+    // where the request body may still be in flight.
+}
+
+fn handle_session_line(job: SessionLineJob, shared: &Shared) {
+    let SessionLineJob { mut stream, ctx, line, queued_at, leftover } = job;
+    let metrics = &shared.metrics;
+    HttpMetrics::add(&metrics.queue_wait_us, queued_at.elapsed().as_micros() as u64);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+
+    if line.is_empty() {
+        // Blank keep-alive line: just park again.
+        shared.park(Returned {
+            stream,
+            mode: Mode::Session { ctx, last_heartbeat: Instant::now() },
+            leftover,
+            served: 0,
+        });
+        return;
+    }
+
+    let mut sink = SessionSink { stream: &mut stream, bytes_out: 0, failed: false };
+    let verdict = match catch_unwind(AssertUnwindSafe(|| (ctx.on_line)(&line, &mut sink))) {
+        Ok(v) => v,
+        Err(_) => {
+            HttpMetrics::add(&metrics.panics, 1);
+            sink.send_line("{\"type\":\"error\",\"message\":\"internal error\"}");
+            SessionVerdict::Continue
+        }
+    };
+    let failed = sink.failed;
+    HttpMetrics::add(&metrics.bytes_out, sink.bytes_out);
+
+    if verdict == SessionVerdict::Continue && !failed && !shared.stopped() {
+        shared.park(Returned {
+            stream,
+            mode: Mode::Session { ctx, last_heartbeat: Instant::now() },
+            leftover,
+            served: 0,
+        });
+    } else {
+        ctx.closed(metrics);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle, serve, shutdown.
 
 /// Handle to a running server: its bound address, metrics, and shutdown.
 pub struct ServerHandle {
     /// The address the listener bound (useful with port 0).
     pub addr: std::net::SocketAddr,
-    pool: Arc<Pool>,
+    shared: Arc<Shared>,
     metrics: Arc<HttpMetrics>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -516,34 +1504,99 @@ impl ServerHandle {
     }
 
     /// Stop accepting, let workers drain queued requests until `drain`
-    /// elapses (whatever is still queued then gets a `503`), and join
-    /// every thread. The accept loop polls, so no dummy connection is
-    /// needed to unblock it and shutdown cannot hang on a full backlog.
+    /// elapses, then answer whatever is still queued with a `503` — each
+    /// admitted request is answered exactly once (workers pop and the
+    /// late drain both run under the queue lock; the drain waits on a
+    /// condvar the workers signal, no polling).
     pub fn shutdown_within(mut self, drain: Duration) {
-        self.pool.stop.store(true, Ordering::SeqCst);
-        self.pool.ready.notify_all();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join(); // bounded by ACCEPT_POLL
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.poller.notify();
+        self.shared.ready.notify_all();
+        if let Some(t) = self.reactor_thread.take() {
+            let _ = t.join(); // bounded by TICK
         }
         let deadline = Instant::now() + drain;
-        loop {
-            if self.pool.lock_queue().is_empty() {
-                break;
-            }
-            if Instant::now() >= deadline {
-                let stale: Vec<Conn> = self.pool.lock_queue().drain(..).collect();
-                for conn in stale {
-                    HttpMetrics::add(&self.metrics.rejected, 1);
-                    self.metrics.count_status(503);
-                    reject_connection(conn.stream, &Response::error(503, "server shutting down"));
+        let stale: Vec<Job> = {
+            let mut queue = self.shared.lock_queue();
+            loop {
+                if queue.is_empty() {
+                    break Vec::new();
                 }
-                break;
+                let now = Instant::now();
+                if now >= deadline {
+                    break queue.drain(..).collect();
+                }
+                let (guard, _) = self
+                    .shared
+                    .drained
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
             }
-            std::thread::sleep(Duration::from_millis(5));
+        };
+        for job in stale {
+            reject_late(job, &self.shared);
         }
-        self.pool.ready.notify_all();
+        self.shared.ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join(); // workers exit once stopped and drained
+        }
+        // Connections workers handed back after the reactor exited.
+        for conn in self.shared.lock_returns().drain(..) {
+            if let Mode::Session { ctx, .. } = &conn.mode {
+                let mut s = &conn.stream;
+                let _ = s.write_all(b"{\"type\":\"bye\",\"reason\":\"shutdown\"}\n");
+                ctx.closed(&self.metrics);
+            }
+        }
+    }
+}
+
+/// Answer a request that was still queued when the drain deadline fired.
+/// Blocking writes with short timeouts are fine here: shutdown runs on
+/// the caller's thread, not the reactor.
+fn reject_late(job: Job, shared: &Shared) {
+    let metrics = &shared.metrics;
+    match job {
+        Job::Request(job) => {
+            HttpMetrics::add(&metrics.rejected, 1);
+            metrics.count_status(503);
+            let mut stream = job.stream;
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let response = Response::error(503, "server shutting down");
+            if write_response(&mut stream, &response, false).is_err() {
+                HttpMetrics::add(&metrics.reject_write_failures, 1);
+                return;
+            }
+            linger_close(stream, Instant::now() + shared.config.reject_linger);
+        }
+        Job::SessionLine(job) => {
+            let mut stream = job.stream;
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = stream.write_all(b"{\"type\":\"bye\",\"reason\":\"shutdown\"}\n");
+            job.ctx.closed(metrics);
+        }
+    }
+}
+
+/// Close the write half and drain whatever the client already sent until
+/// EOF or `deadline`, so closing a socket with unread input yields a FIN
+/// the client can read the response through, not an RST. The total time
+/// is bounded by `deadline` regardless of how slowly the client dribbles.
+fn linger_close(mut stream: TcpStream, deadline: Instant) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some((deadline - now).min(Duration::from_millis(100))));
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
         }
     }
 }
@@ -557,10 +1610,11 @@ where
     serve_with(addr, ServerConfig::default(), HttpMetrics::new(), handler)
 }
 
-/// Start serving on `addr` (e.g. `"127.0.0.1:0"`), dispatching requests
-/// to `handler` on a fixed pool of `config.threads` workers fed by a
-/// bounded queue. Returns once the listener is bound; the accept loop
-/// and workers run on background threads until [`ServerHandle::shutdown`].
+/// Start serving on `addr` (e.g. `"127.0.0.1:0"`): a reactor thread
+/// multiplexes all connections over epoll and dispatches parsed requests
+/// to a fixed pool of `config.threads` workers through a bounded queue.
+/// Returns once the listener is bound; all threads run in the background
+/// until [`ServerHandle::shutdown`].
 ///
 /// Pass the same `metrics` to the request handler (e.g. via
 /// `AppState::with_http_metrics`) to surface the counters in `GET /stats`.
@@ -576,180 +1630,50 @@ where
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
-    let pool = Arc::new(Pool {
+    let poller = Poller::new()?;
+    let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        drained: Condvar::new(),
         stop: AtomicBool::new(false),
+        returns: Mutex::new(Vec::new()),
+        poller,
+        config: ServerConfig { threads: config.threads.max(1), ..config },
+        metrics: metrics.clone(),
     });
     let handler = Arc::new(handler);
-    let config = Arc::new(ServerConfig { threads: config.threads.max(1), ..config });
 
-    let workers = (0..config.threads)
+    let workers = (0..shared.config.threads)
         .map(|i| {
-            let pool = pool.clone();
-            let config = config.clone();
-            let metrics = metrics.clone();
+            let shared = shared.clone();
             let handler = handler.clone();
             std::thread::Builder::new()
                 .name(format!("http-worker-{i}"))
-                .spawn(move || worker_loop(&pool, &config, &metrics, handler.as_ref()))
+                .spawn(move || worker_loop(&shared, handler.as_ref()))
                 .expect("spawn http worker")
         })
         .collect();
 
-    let accept_thread = {
-        let pool = pool.clone();
-        let config = config.clone();
-        let metrics = metrics.clone();
+    shared.poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::Read)?;
+    let reactor_thread = {
+        let shared = shared.clone();
         std::thread::Builder::new()
-            .name("http-accept".to_string())
-            .spawn(move || accept_loop(&listener, &pool, &config, &metrics))
-            .expect("spawn http accept loop")
+            .name("http-reactor".to_string())
+            .spawn(move || {
+                Reactor {
+                    listener,
+                    shared,
+                    slots: Vec::new(),
+                    gens: Vec::new(),
+                    free: Vec::new(),
+                    live: 0,
+                }
+                .run()
+            })
+            .expect("spawn http reactor")
     };
 
-    Ok(ServerHandle { addr: bound, pool, metrics, accept_thread: Some(accept_thread), workers })
-}
-
-fn accept_loop(listener: &TcpListener, pool: &Pool, config: &ServerConfig, metrics: &HttpMetrics) {
-    while !pool.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // The listener is nonblocking; make sure the accepted
-                // socket is not (timeouts need blocking reads).
-                let _ = stream.set_nonblocking(false);
-                let mut queue = pool.lock_queue();
-                if queue.len() >= config.queue {
-                    drop(queue);
-                    HttpMetrics::add(&metrics.rejected, 1);
-                    metrics.count_status(503);
-                    reject_connection(
-                        stream,
-                        &Response::error(503, "server overloaded, retry shortly"),
-                    );
-                } else {
-                    HttpMetrics::add(&metrics.accepted, 1);
-                    queue.push_back(Conn { stream, accepted_at: Instant::now() });
-                    drop(queue);
-                    pool.ready.notify_one();
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-fn worker_loop<F>(pool: &Pool, config: &ServerConfig, metrics: &HttpMetrics, handler: &F)
-where
-    F: Fn(&Request) -> Response + Send + Sync,
-{
-    loop {
-        let conn = {
-            let mut queue = pool.lock_queue();
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
-                }
-                if pool.stop.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (guard, _) =
-                    pool.ready.wait_timeout(queue, WORKER_POLL).unwrap_or_else(|e| e.into_inner());
-                queue = guard;
-            }
-        };
-        match conn {
-            Some(conn) => handle_connection(conn, config, metrics, handler),
-            None => return,
-        }
-    }
-}
-
-fn handle_connection<F>(conn: Conn, config: &ServerConfig, metrics: &HttpMetrics, handler: &F)
-where
-    F: Fn(&Request) -> Response + Send + Sync,
-{
-    let Conn { mut stream, accepted_at } = conn;
-    let queue_wait = accepted_at.elapsed();
-    HttpMetrics::add(&metrics.queue_wait_us, queue_wait.as_micros() as u64);
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-
-    let started = Instant::now();
-    let parsed = read_request(&mut stream);
-    // On a parse failure the request bytes were (partly) left unread;
-    // linger on close so the error response survives the RST the kernel
-    // would otherwise send.
-    let parse_failed = parsed.is_err();
-    let no_label = || (String::from("-"), String::from("-"), 0usize);
-    let ((method, path, bytes_in), mut response) = match parsed {
-        Ok(req) => {
-            HttpMetrics::add(&metrics.requests, 1);
-            HttpMetrics::add(&metrics.bytes_in, req.body.len() as u64);
-            let response = match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
-                Ok(response) => response,
-                Err(_) => {
-                    HttpMetrics::add(&metrics.panics, 1);
-                    Response::error(500, "internal server error")
-                }
-            };
-            ((req.method, req.path, req.body.len()), response)
-        }
-        Err(RequestError::Empty) => return, // clean close, nothing to answer
-        Err(RequestError::Io) => {
-            HttpMetrics::add(&metrics.io_errors, 1);
-            return;
-        }
-        Err(RequestError::Timeout) => {
-            HttpMetrics::add(&metrics.timeouts, 1);
-            (no_label(), Response::error(408, "request timed out"))
-        }
-        Err(RequestError::TooLarge) => {
-            HttpMetrics::add(&metrics.parse_errors, 1);
-            (no_label(), Response::error(413, "request body too large"))
-        }
-        Err(RequestError::HeadersTooLarge) => {
-            HttpMetrics::add(&metrics.parse_errors, 1);
-            (no_label(), Response::error(431, "headers too large"))
-        }
-        Err(RequestError::Bad(reason)) => {
-            HttpMetrics::add(&metrics.parse_errors, 1);
-            (no_label(), Response::error(400, reason))
-        }
-    };
-
-    metrics.count_status(response.status);
-    let mut bytes_out = 0u64;
-    match response.stream.take() {
-        Some(body_fn) => {
-            bytes_out =
-                write_streaming(&mut stream, response.status, response.status_text(), body_fn);
-            HttpMetrics::add(&metrics.bytes_out, bytes_out);
-        }
-        None => {
-            if write_response(&mut stream, &response).is_ok() {
-                bytes_out = response.body.len() as u64;
-                HttpMetrics::add(&metrics.bytes_out, bytes_out);
-                if parse_failed {
-                    linger_close(stream);
-                }
-            }
-        }
-    }
-    let handle = started.elapsed();
-    HttpMetrics::add(&metrics.handle_us, handle.as_micros() as u64);
-    if config.log_requests {
-        eprintln!(
-            "http method={} path={} status={} bytes_in={} bytes_out={} queue_ms={:.2} handler_ms={:.2}",
-            method,
-            path,
-            response.status,
-            bytes_in,
-            bytes_out,
-            queue_wait.as_secs_f64() * 1e3,
-            handle.as_secs_f64() * 1e3,
-        );
-    }
+    Ok(ServerHandle { addr: bound, shared, metrics, reactor_thread: Some(reactor_thread), workers })
 }
 
 #[cfg(test)]
@@ -774,6 +1698,35 @@ mod tests {
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
+    }
+
+    /// Read exactly one `Content-Length`-framed response off a keep-alive
+    /// connection (header section + declared body bytes).
+    fn read_one_response(s: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 1024];
+        let head_len = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let n = s.read(&mut tmp).unwrap();
+            assert!(n > 0, "EOF before headers: {:?}", String::from_utf8_lossy(&buf));
+            buf.extend_from_slice(&tmp[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_len]).to_string();
+        let body_len: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string)
+            })
+            .map(|v| v.trim().parse().unwrap())
+            .unwrap_or(0);
+        while buf.len() < head_len + body_len {
+            let n = s.read(&mut tmp).unwrap();
+            assert!(n > 0, "EOF mid-body");
+            buf.extend_from_slice(&tmp[..n]);
+        }
+        String::from_utf8_lossy(&buf[..head_len + body_len]).to_string()
     }
 
     #[test]
@@ -917,8 +1870,6 @@ mod tests {
         let release_rx = Mutex::new(release_rx);
         let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
         let server = serve_with("127.0.0.1:0", config, HttpMetrics::new(), move |_| {
-            // Recover a poisoned lock: a panicked sibling handler must not
-            // cascade into every later request on this shared channel.
             let _ = release_rx
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -940,7 +1891,10 @@ mod tests {
         // Second connection: fills the single queue slot.
         occupy.push(std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n")));
         let deadline = Instant::now() + Duration::from_secs(5);
-        while server.metrics().snapshot().accepted < 2 && Instant::now() < deadline {
+        while {
+            let q = server.shared.lock_queue().len();
+            q < 1 && Instant::now() < deadline
+        } {
             std::thread::sleep(Duration::from_millis(5));
         }
         let out = raw_request(addr, "GET /rejected HTTP/1.1\r\n\r\n");
@@ -1048,5 +2002,158 @@ mod tests {
         let start = Instant::now();
         server.shutdown_within(Duration::from_millis(500));
         assert!(start.elapsed() < Duration::from_secs(5), "shutdown hung");
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_for_many_requests() {
+        let server = start_echo();
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        for i in 0..3 {
+            s.write_all(
+                format!("GET /ka{i} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").as_bytes(),
+            )
+            .unwrap();
+            let out = read_one_response(&mut s);
+            assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+            assert!(out.contains("Connection: keep-alive"), "{out}");
+            assert!(out.contains(&format!("/ka{i}")), "{out}");
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.keepalive_reuses, 2, "follow-ups counted as reuses");
+        assert_eq!(snap.accepted, 1, "one TCP connection for all three");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_is_opt_in_per_request() {
+        // Without the header the server closes after one response, so
+        // legacy read-to-EOF clients keep working.
+        let server = start_echo();
+        let out = raw_request(server.addr, "GET /one HTTP/1.1\r\n\r\n");
+        assert!(out.contains("Connection: close"), "{out}");
+        assert_eq!(server.metrics().snapshot().keepalive_reuses, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_upgrade_carries_ndjson_lines_both_ways() {
+        let server = serve("127.0.0.1:0", |req| {
+            if req.path == "/attach" {
+                Response::upgrade_session(SessionUpgrade {
+                    id: "s1".to_string(),
+                    hello: Some("{\"type\":\"hello\",\"session\":\"s1\"}".to_string()),
+                    on_line: Arc::new(|line, sink| {
+                        if line.contains("bye") {
+                            sink.send_line("{\"type\":\"bye\"}");
+                            return SessionVerdict::Close;
+                        }
+                        sink.send_line(&format!("{{\"type\":\"echo\",\"got\":{}}}", line.len()));
+                        SessionVerdict::Continue
+                    }),
+                    on_close: Arc::new(|_| {}),
+                })
+            } else {
+                Response::error(404, "not found")
+            }
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        s.write_all(b"GET /attach HTTP/1.1\r\nConnection: Upgrade\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        use std::io::BufRead;
+        // 101 + empty line + hello.
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("HTTP/1.1 101"), "{line}");
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+        }
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"hello\""), "{line}");
+        // Two utterances on the same connection.
+        for n in [3usize, 7] {
+            s.write_all(format!("{{\"utter\":\"{}\"}}\n", "x".repeat(n)).as_bytes()).unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"echo\""), "{line}");
+        }
+        // Farewell closes the connection server-side.
+        s.write_all(b"{\"cmd\":\"bye\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"bye\""), "{line}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF after bye: {line}");
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_closed, 1);
+        assert_eq!(snap.session_lines, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_session_gets_heartbeats_and_is_eventually_reaped() {
+        let config = ServerConfig {
+            heartbeat: Duration::from_millis(80),
+            session_idle_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        };
+        let closed = Arc::new(AtomicU64::new(0));
+        let closed2 = closed.clone();
+        let server = serve_with("127.0.0.1:0", config, HttpMetrics::new(), move |_| {
+            let closed = closed2.clone();
+            Response::upgrade_session(SessionUpgrade {
+                id: "idle".to_string(),
+                hello: None,
+                on_line: Arc::new(|_, _| SessionVerdict::Continue),
+                on_close: Arc::new(move |_| {
+                    closed.fetch_add(1, Ordering::Relaxed);
+                }),
+            })
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        s.write_all(b"GET /attach HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        // The server heartbeats, then reaps the idle session and closes,
+        // unblocking read_to_string.
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.contains("\"heartbeat\""), "{out}");
+        assert!(out.contains("\"reason\":\"idle\""), "{out}");
+        let snap = server.metrics().snapshot();
+        assert!(snap.heartbeats_sent >= 1, "{snap:?}");
+        assert_eq!(snap.idle_closed, 1);
+        assert_eq!(closed.load(Ordering::Relaxed), 1, "on_close fired exactly once");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reject_write_failure_is_counted_not_panicked() {
+        // A client that vanishes before its 503 can be written: the
+        // reactor counts the failed delivery and moves on.
+        let config = ServerConfig { max_connections: 1, ..ServerConfig::default() };
+        let server = serve_with("127.0.0.1:0", config, HttpMetrics::new(), |_| {
+            Response::ok("{}".to_string())
+        })
+        .unwrap();
+        // Occupy the single slot with a parked connection.
+        let _held = TcpStream::connect(server.addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().snapshot().accepted < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Over-capacity connections get an immediate best-effort 503.
+        let mut over = TcpStream::connect(server.addr).unwrap();
+        let mut out = String::new();
+        let _ = over.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 503") || out.is_empty(), "{out}");
+        assert!(server.metrics().snapshot().rejected >= 1);
+        server.shutdown();
     }
 }

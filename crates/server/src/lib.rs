@@ -18,6 +18,7 @@
 //! | `POST /ask` | `{"question": "...", "approach": "holistic"?}` | spoken answer + planner stats |
 //! | `POST /query/stream` | `{"question": "...", "approach": ...?}` | chunked NDJSON sentence stream (see DESIGN.md §11) |
 //! | `POST /session/<id>/input` | `{"text": "...", "approach": ...?}` | per-session keyword command → spoken answer |
+//! | `GET /session/<id>/attach` | — | `101` upgrade to a long-lived NDJSON session (see DESIGN.md §15) |
 //!
 //! Sessions accumulate drill-down state per id, exactly like the paper's
 //! per-worker sessions; the `approach` field switches vocalization method
@@ -25,9 +26,11 @@
 
 pub mod api;
 pub mod http;
+pub mod reactor;
 
-pub use api::{AppState, SessionStore};
+pub use api::{AppState, SessionEntry, SessionStore};
 pub use http::{
     serve, serve_with, BodyWriter, HttpMetrics, HttpMetricsSnapshot, Request, Response,
-    ServerConfig, ServerHandle, StreamBody,
+    ServerConfig, ServerHandle, SessionSink, SessionUpgrade, SessionVerdict, StreamBody,
 };
+pub use reactor::raise_nofile_limit;

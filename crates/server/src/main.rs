@@ -4,7 +4,9 @@
 //! voxolap-server [--port 8080] [--data flights|salary] [--rows N]
 //!                [--scale-rows N] [--threads N] [--cache-mb N]
 //!                [--fault-plan SPEC] [--http-threads N] [--http-queue N]
-//!                [--http-timeout-ms N]
+//!                [--http-timeout-ms N] [--http-idle-ms N] [--max-conns N]
+//!                [--session-idle-ms N] [--heartbeat-ms N] [--no-keep-alive]
+//!                [--utterance-deadline-ms N]
 //! ```
 //!
 //! `--scale-rows` selects the paper-scale synthetic scale-up (5.3M–50M
@@ -18,14 +20,24 @@
 //! degraded answers carry `"degraded":true` and `GET /stats` gains a
 //! `"degradation"` section.
 //!
-//! The serving layer is a bounded worker pool (DESIGN.md §10):
-//! `--http-threads` sets the pool size (default 8), `--http-queue` the
-//! pending-connection queue capacity beyond which clients get `503` +
-//! `Retry-After` (default 64), and `--http-timeout-ms` the per-socket
-//! read/write timeout after which a stalled client gets a `408`
-//! (default 5000). Each request is logged to stderr with its status,
-//! byte counts, queue wait, and handler latency; the same counters are
-//! served under `"http"` in `GET /stats`.
+//! The serving layer is an epoll reactor feeding a bounded worker pool
+//! (DESIGN.md §15): `--http-threads` sets the pool size (default 8),
+//! `--http-queue` the pending-request queue capacity beyond which
+//! clients get `503` + `Retry-After` (default 64), `--http-timeout-ms`
+//! the stalled-request timeout before a `408` (default 5000),
+//! `--http-idle-ms` how long a parked keep-alive connection may idle
+//! (default 30000), `--max-conns` the open-connection cap, and
+//! `--no-keep-alive` restores close-per-response. Long-lived session
+//! connections (`GET /session/<id>/attach`, NDJSON both ways) heartbeat
+//! every `--heartbeat-ms` (default 15000) and are reaped after
+//! `--session-idle-ms` of silence (default 120000).
+//! `--utterance-deadline-ms` bounds each session utterance's planning
+//! time — past it the answer is committed through the §12 anytime path
+//! with `"degraded":true` (default: run to convergence), keeping one
+//! wide-scope utterance from pinning a serving worker. Each request is
+//! logged to stderr with its status, byte counts, queue wait, and
+//! handler latency; the same counters are served under `"http"` in
+//! `GET /stats`.
 //!
 //! Then:
 //!
@@ -67,6 +79,24 @@ fn main() {
     if let Some(ms) = arg("--http-timeout-ms").and_then(|v| v.parse().ok()) {
         config = config.with_timeout_ms(ms);
     }
+    if let Some(ms) = arg("--http-idle-ms").and_then(|v| v.parse().ok()) {
+        config.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = arg("--session-idle-ms").and_then(|v| v.parse().ok()) {
+        config.session_idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = arg("--heartbeat-ms").and_then(|v| v.parse().ok()) {
+        config.heartbeat = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = arg("--max-conns").and_then(|v| v.parse().ok()) {
+        config.max_connections = n;
+    }
+    if std::env::args().any(|a| a == "--no-keep-alive") {
+        config.keep_alive = false;
+    }
+    // Thousands of parked sessions need thousands of fds; the default
+    // soft limit is often 1024.
+    let fd_limit = voxolap_server::raise_nofile_limit();
 
     let table = match data.as_str() {
         "salary" => SalaryConfig::paper_scale().generate(),
@@ -76,9 +106,15 @@ fn main() {
         }
     };
     let metrics = HttpMetrics::new();
-    let mut state = AppState::new(table).with_http_metrics(metrics.clone());
+    let mut state = AppState::new(table).with_http_metrics(metrics.clone()).with_session_timing(
+        config.heartbeat.as_millis() as u64,
+        config.session_idle_timeout.as_millis() as u64,
+    );
     if let Some(threads) = arg("--threads").and_then(|v| v.parse().ok()) {
         state = state.with_threads(threads);
+    }
+    if let Some(ms) = arg("--utterance-deadline-ms").and_then(|v| v.parse().ok()) {
+        state = state.with_utterance_deadline(std::time::Duration::from_millis(ms));
     }
     if let Some(mb) = arg("--cache-mb").and_then(|v| v.parse().ok()) {
         state = state.with_cache_mb(mb);
@@ -100,11 +136,13 @@ fn main() {
     })
     .expect("bind server port");
     eprintln!(
-        "voxolap-server listening on http://{} (workers={} queue={} timeout={}ms)",
+        "voxolap-server listening on http://{} (workers={} queue={} timeout={}ms keep_alive={} fd_limit={})",
         handle.addr,
         config.threads,
         config.queue,
-        config.read_timeout.as_millis()
+        config.read_timeout.as_millis(),
+        config.keep_alive,
+        fd_limit,
     );
     // Serve until the process is killed.
     loop {

@@ -1,0 +1,111 @@
+//! Multi-turn exploration scripts for load-testing live sessions.
+//!
+//! The preference study ([`crate::preference`]) scripts *one* fixed
+//! analysis session; the session-fabric load generator needs *thousands*
+//! of distinct, seeded, multi-turn scripts whose every utterance the
+//! keyword grammar (`voxolap_voice::parser`) actually understands against
+//! the flights schema. Each simulated user opens with a breakdown, then
+//! wanders: more breakdowns, drill-downs, member filters, aggregate
+//! switches, an occasional `clear filters` — the drill-down/roll-up loop
+//! the paper describes for its exploratory study (§B.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Opening utterances: every script starts by establishing a breakdown,
+/// so the first answer is a real per-group vocalization.
+const OPENERS: &[&str] = &[
+    "break down by region",
+    "break down by season",
+    "break down by airline",
+    "cancellation probability by region",
+    "cancellation probability by season",
+];
+
+/// Follow-up utterances, all understood by the keyword grammar against
+/// the flights schema (dimension names: *start airport*, *flight date*,
+/// *airline*; member mentions become filters).
+const FOLLOW_UPS: &[&str] = &[
+    "break down by season",
+    "break down by region",
+    "break down by month",
+    "break down by airline",
+    "drill down into the start airport",
+    "roll up the start airport",
+    "only the winter",
+    "only the north east",
+    "clear filters",
+    "how many flights",
+    "back to the average",
+];
+
+/// Configuration for one fleet of session scripts.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptConfig {
+    /// Utterances per session (including the opener), before `bye`.
+    pub turns: usize,
+    /// Fleet-level seed; each session derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for ScriptConfig {
+    fn default() -> Self {
+        ScriptConfig { turns: 4, seed: 0x5e55_1013 }
+    }
+}
+
+/// The seeded utterance script of session `index` within the fleet:
+/// deterministic per (seed, index), distinct across indices. Every line
+/// parses against the flights schema.
+pub fn utterance_script(config: ScriptConfig, index: u64) -> Vec<String> {
+    // SplitMix-style hash so adjacent indices get unrelated streams.
+    let mut z = config.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
+
+    let turns = config.turns.max(1);
+    let mut script = Vec::with_capacity(turns);
+    script.push(OPENERS[rng.gen_range(0..OPENERS.len())].to_string());
+    let mut last = usize::MAX;
+    for _ in 1..turns {
+        // Avoid immediate repeats: a repeated utterance is a no-op turn
+        // that would not exercise planning.
+        let mut pick = rng.gen_range(0..FOLLOW_UPS.len());
+        if pick == last {
+            pick = (pick + 1) % FOLLOW_UPS.len();
+        }
+        last = pick;
+        script.push(FOLLOW_UPS[pick].to_string());
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxolap_data::flights::FlightsConfig;
+    use voxolap_voice::parser::parse;
+
+    #[test]
+    fn scripts_are_deterministic_and_distinct() {
+        let cfg = ScriptConfig { turns: 6, seed: 7 };
+        assert_eq!(utterance_script(cfg, 3), utterance_script(cfg, 3));
+        let distinct = (0..64)
+            .map(|i| utterance_script(cfg, i))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 16, "only {distinct} distinct scripts in 64");
+    }
+
+    #[test]
+    fn every_utterance_parses_against_the_flights_schema() {
+        let schema = FlightsConfig { rows: 10, seed: 1 }.generate().schema().clone();
+        let cfg = ScriptConfig { turns: 8, seed: 42 };
+        for i in 0..200 {
+            for line in utterance_script(cfg, i) {
+                assert!(parse(&schema, &line).is_ok(), "unparseable utterance {line:?}");
+            }
+        }
+    }
+}

@@ -397,3 +397,186 @@ fn parsing_rejections_and_bounded_shutdown() {
     handle.shutdown_within(Duration::from_secs(2));
     assert!(start.elapsed() < Duration::from_secs(30), "shutdown not deadline-bounded");
 }
+
+/// Regression (§15): clients that accept their 503 but never read it
+/// ("slowloris" on the reject path) must not stall the accept loop. The
+/// old pool lingered up to 4 s per rejected connection *on the accept
+/// thread*; the reactor bounds the linger by a deadline and handles it
+/// off the accept path, so a healthy client still gets its (prompt)
+/// answer while a crowd of slowloris rejects is mid-linger.
+#[test]
+fn slowloris_rejects_do_not_delay_healthy_accepts() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(AppState::new(small_table()).with_http_metrics(metrics.clone()));
+    // One busy worker + one queue slot: everything else is rejected.
+    let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
+    let handle = serve_with("127.0.0.1:0", config, metrics.clone(), move |req| {
+        std::thread::sleep(Duration::from_millis(1500));
+        state.handle(req)
+    })
+    .unwrap();
+    let addr = handle.addr;
+
+    // Saturate: one request in the worker, one in the queue.
+    let mut occupants = Vec::new();
+    for _ in 0..2 {
+        occupants.push(std::thread::spawn(move || request(addr, "GET", "/health", "")));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().accepted < occupants.len() as u64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // A crowd of slowloris clients: send a request, never read the 503.
+    let slowloris: Vec<TcpStream> = (0..8)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+            s // kept open and unread
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.snapshot().rejected < 8 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A healthy client connecting now must be answered promptly — with
+    // a 503 (still saturated), but without waiting on anyone's linger.
+    let start = Instant::now();
+    let (status, _) = request(addr, "GET", "/health", "");
+    let elapsed = start.elapsed();
+    assert_eq!(status, 503);
+    assert!(elapsed < Duration::from_secs(2), "healthy accept delayed {elapsed:?} by rejects");
+
+    // The occupants complete normally despite the slowloris crowd.
+    for h in occupants {
+        let (status, _) = h.join().unwrap();
+        assert_eq!(status, 200);
+    }
+    drop(slowloris);
+    handle.shutdown();
+}
+
+/// Regression (§15): shutdown under load answers every admitted request
+/// exactly once — workers drain the queue (no busy-poll race that could
+/// 503 a request a worker already dequeued), and late rejects cover the
+/// rest. Every client sees exactly one well-formed HTTP response.
+#[test]
+fn shutdown_under_load_answers_every_admitted_request_exactly_once() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(AppState::new(small_table()).with_http_metrics(metrics.clone()));
+    let config = ServerConfig { threads: 2, queue: 32, ..ServerConfig::default() };
+    let handle = serve_with("127.0.0.1:0", config, metrics.clone(), move |req| {
+        std::thread::sleep(Duration::from_millis(100));
+        state.handle(req)
+    })
+    .unwrap();
+    let addr = handle.addr;
+
+    let clients: Vec<_> = (0..12)
+        .map(|_| {
+            std::thread::spawn(move || {
+                // A refused connect or failed write means the shutdown beat
+                // this client to the listener: no response owed.
+                let Ok(mut s) = TcpStream::connect(addr) else { return String::new() };
+                if s.write_all(b"GET /health HTTP/1.1\r\n\r\n").is_err() {
+                    return String::new();
+                }
+                s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                let mut out = String::new();
+                s.read_to_string(&mut out).unwrap_or(0);
+                out
+            })
+        })
+        .collect();
+    // Let a few land in the queue, then shut down mid-load.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.snapshot().accepted < 6 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    handle.shutdown_within(Duration::from_secs(10));
+
+    let mut ok = 0u64;
+    let mut turned_away = 0u64;
+    for c in clients {
+        let out = c.join().unwrap();
+        if out.is_empty() {
+            continue; // connected after the listener closed: no response owed
+        }
+        // Exactly one response per connection: one status line, complete.
+        assert_eq!(out.matches("HTTP/1.1 ").count(), 1, "double answer: {out}");
+        let status: u16 = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+        match status {
+            200 => ok += 1,
+            503 => turned_away += 1,
+            other => panic!("unexpected status {other}: {out}"),
+        }
+    }
+    let snap = metrics.snapshot();
+    assert_eq!(
+        ok, snap.requests,
+        "every request a worker handled must reach its client exactly once ({snap:?})"
+    );
+    assert!(ok + turned_away > 0, "no client was answered at all");
+}
+
+/// Regression (§15): a client that disappears while its 503 is being
+/// written (reset instead of FIN) must be counted as a reject-write
+/// failure — never a panic, never a wedged reactor.
+#[test]
+fn client_reset_during_rejection_is_counted_not_fatal() {
+    let _guard = watchdog(120);
+    let metrics = HttpMetrics::new();
+    let state = Arc::new(AppState::new(small_table()).with_http_metrics(metrics.clone()));
+    let config = ServerConfig { threads: 1, queue: 1, ..ServerConfig::default() };
+    let handle = serve_with("127.0.0.1:0", config, metrics.clone(), move |req| {
+        std::thread::sleep(Duration::from_millis(800));
+        state.handle(req)
+    })
+    .unwrap();
+    let addr = handle.addr;
+
+    // Saturate.
+    let mut occupants = Vec::new();
+    for _ in 0..2 {
+        occupants.push(std::thread::spawn(move || request(addr, "GET", "/health", "")));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().accepted < occupants.len() as u64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Doomed clients: send a request, give the 503 time to land in the
+    // receive buffer, then close without reading it. Closing with unread
+    // data makes the kernel answer with RST, which is exactly the
+    // mid-rejection hang-up the reject path must absorb.
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        drop(s); // RST while the server writes / lingers the 503
+    }
+
+    for h in occupants {
+        let (status, _) = h.join().unwrap();
+        assert_eq!(status, 200);
+    }
+    // The server is still healthy and nothing panicked.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = request(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let v = voxolap_json::Value::parse(&body).unwrap();
+        assert_eq!(v["http"]["panics"].as_u64().unwrap(), 0, "{body}");
+        // The resets surface as rejected connections; any undeliverable
+        // 503 increments the write-failure counter rather than crashing.
+        if v["http"]["rejected"].as_u64().unwrap() >= 4 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "rejects not recorded: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,316 @@
+//! End-to-end tests of the long-lived session transport (DESIGN.md §15):
+//! HTTP upgrade to NDJSON, per-utterance speech streams, warm-started
+//! follow-ups, heartbeats, idle reaping, and state surviving re-attach —
+//! the full fabric a voice client holds open for a whole analysis
+//! conversation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use voxolap_data::flights::FlightsConfig;
+use voxolap_json::Value;
+use voxolap_server::{serve_with, AppState, HttpMetrics, ServerConfig};
+
+/// Abort the process if a test overruns its deadline (std's harness has
+/// no per-test timeout, and a transport bug shows up as a silent hang).
+struct Watchdog(Arc<AtomicBool>);
+
+fn watchdog(secs: u64) -> Watchdog {
+    let done = Arc::new(AtomicBool::new(false));
+    let observer = done.clone();
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while Instant::now() < deadline {
+            if observer.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        eprintln!("watchdog: test exceeded {secs}s hard timeout — aborting");
+        std::process::abort();
+    });
+    Watchdog(done)
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+fn small_table() -> voxolap_data::Table {
+    FlightsConfig { rows: 6_000, seed: 42 }.generate()
+}
+
+/// An attached session connection: `101` handshake consumed, `hello`
+/// parsed, ready for line traffic.
+struct SessionConn {
+    reader: BufReader<TcpStream>,
+    hello: Value,
+}
+
+impl SessionConn {
+    fn attach(addr: std::net::SocketAddr, id: &str) -> SessionConn {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        write!(stream, "GET /session/{id}/attach HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        assert!(head.starts_with("HTTP/1.1 101"), "{head}");
+        assert!(head.contains("Upgrade: voxolap-session"), "{head}");
+        let mut conn = SessionConn { reader, hello: Value::Null };
+        let hello = conn.next_event();
+        assert_eq!(hello["type"], "hello", "{hello:?}");
+        conn.hello = hello;
+        conn
+    }
+
+    fn send(&mut self, event: &str) {
+        self.reader.get_mut().write_all(format!("{event}\n").as_bytes()).unwrap();
+    }
+
+    fn next_event(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "connection closed while waiting for an event");
+        Value::parse(line.trim_end()).unwrap_or_else(|e| panic!("bad event {line:?}: {e:?}"))
+    }
+
+    /// Send an utterance and collect events up to (and including) its
+    /// terminal `done`/`help`/`error`.
+    fn utter(&mut self, text: &str) -> Vec<Value> {
+        self.send(&format!("{{\"type\":\"utter\",\"text\":\"{text}\"}}"));
+        let mut events = Vec::new();
+        loop {
+            let ev = self.next_event();
+            let kind = ev["type"].as_str().unwrap_or("").to_string();
+            if kind == "heartbeat" {
+                continue;
+            }
+            events.push(ev);
+            if matches!(kind.as_str(), "done" | "help" | "error") {
+                return events;
+            }
+        }
+    }
+}
+
+fn serve_state(
+    config: ServerConfig,
+    state: Arc<AppState>,
+) -> (voxolap_server::ServerHandle, Arc<HttpMetrics>) {
+    let metrics = HttpMetrics::new();
+    let handler_state = Arc::clone(&state);
+    let handle =
+        serve_with("127.0.0.1:0", config, metrics.clone(), move |req| handler_state.handle(req))
+            .unwrap();
+    (handle, metrics)
+}
+
+/// One utterance over the session transport carries a full §11 speech
+/// stream (preamble → sentences → done), and an in-scope follow-up is
+/// flagged as warm-started from the semantic cache.
+#[test]
+fn utterance_streams_speech_and_warm_starts_in_scope_follow_ups() {
+    let _guard = watchdog(120);
+    let state = Arc::new(AppState::new(small_table()));
+    let (handle, metrics) = serve_state(ServerConfig::default(), state);
+
+    let mut conn = SessionConn::attach(handle.addr, "analyst");
+    assert_eq!(conn.hello["session"], "analyst");
+    assert!(conn.hello["heartbeat_ms"].as_u64().unwrap() > 0);
+
+    let events = conn.utter("cancellation probability by region");
+    assert_eq!(events.first().unwrap()["type"], "preamble");
+    assert!(
+        events.iter().filter(|e| e["type"] == "sentence").count() >= 1,
+        "no sentences streamed: {events:?}"
+    );
+    let done = events.last().unwrap();
+    assert_eq!(done["type"], "done", "{events:?}");
+    assert_eq!(done["scope_warm"].as_bool(), Some(false));
+    assert!(done["ttfs_ms"].as_f64().unwrap() > 0.0);
+    assert!(done["sentences"].as_u64().unwrap() >= 1);
+
+    // Same scope (no filters), different breakdown: the semantic cache
+    // warm-starts sampling and the transport says so.
+    let events = conn.utter("cancellation probability by season");
+    let done = events.last().unwrap();
+    assert_eq!(done["type"], "done", "{events:?}");
+    assert_eq!(done["scope_warm"].as_bool(), Some(true), "{done:?}");
+
+    // Liveness probe and orderly goodbye.
+    conn.send("{\"type\":\"ping\"}");
+    assert_eq!(conn.next_event()["type"], "pong");
+    conn.send("{\"type\":\"bye\"}");
+    let bye = conn.next_event();
+    assert_eq!(bye["type"], "bye");
+    assert_eq!(bye["reason"], "client");
+    let mut rest = Vec::new();
+    conn.reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after bye");
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.sessions_opened, 1);
+    assert_eq!(snap.sessions_closed, 1);
+    assert!(snap.session_lines >= 4, "{snap:?}");
+    handle.shutdown();
+}
+
+/// Dialogue state lives server-side under the session id: a dropped
+/// connection re-attaches and continues the drill-down where it left
+/// off (and the POST transport sees the same state).
+#[test]
+fn dialogue_state_survives_reattach() {
+    let _guard = watchdog(120);
+    let state = Arc::new(AppState::new(small_table()));
+    let (handle, _metrics) = serve_state(ServerConfig::default(), state);
+
+    let mut conn = SessionConn::attach(handle.addr, "worker");
+    let events = conn.utter("break down by region");
+    assert_eq!(events.last().unwrap()["type"], "done");
+    drop(conn); // connection lost without a bye
+
+    // Re-attach: the winter filter applies on top of the region
+    // breakdown established on the previous connection.
+    let mut conn = SessionConn::attach(handle.addr, "worker");
+    let events = conn.utter("only the winter");
+    let preamble = events.first().unwrap();
+    assert_eq!(preamble["type"], "preamble", "{events:?}");
+    let text = preamble["text"].as_str().unwrap();
+    assert!(text.contains("Winter"), "filter lost across re-attach: {text}");
+    assert!(text.contains("region"), "breakdown lost across re-attach: {text}");
+    conn.send("{\"type\":\"bye\"}");
+    handle.shutdown();
+}
+
+/// Unknown event kinds and unparseable lines produce `error` events and
+/// leave the session usable; `quit` utterances end it from the dialogue
+/// layer with `bye(reason=quit)`.
+#[test]
+fn malformed_lines_recoverable_and_quit_closes() {
+    let _guard = watchdog(120);
+    let state = Arc::new(AppState::new(small_table()));
+    let (handle, _metrics) = serve_state(ServerConfig::default(), state);
+
+    let mut conn = SessionConn::attach(handle.addr, "messy");
+    conn.send("this is not json");
+    assert_eq!(conn.next_event()["type"], "error");
+    conn.send("{\"type\":\"frobnicate\"}");
+    assert_eq!(conn.next_event()["type"], "error");
+    conn.send("{\"type\":\"utter\"}");
+    assert_eq!(conn.next_event()["type"], "error");
+
+    // Still alive: a help request round-trips through the dialogue layer.
+    let events = conn.utter("help");
+    assert_eq!(events.last().unwrap()["type"], "help");
+
+    conn.send("{\"type\":\"utter\",\"text\":\"quit\"}");
+    let bye = conn.next_event();
+    assert_eq!(bye["type"], "bye");
+    assert_eq!(bye["reason"], "quit");
+    let mut rest = Vec::new();
+    conn.reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after quit");
+    handle.shutdown();
+}
+
+/// Idle sessions receive heartbeats at the configured cadence and are
+/// reaped with `bye(reason=idle)` at the idle timeout — holding a fleet
+/// of silent connections costs heartbeat writes, not worker threads.
+#[test]
+fn idle_sessions_heartbeat_then_reap() {
+    let _guard = watchdog(60);
+    let config = ServerConfig {
+        heartbeat: Duration::from_millis(150),
+        session_idle_timeout: Duration::from_millis(700),
+        ..ServerConfig::default()
+    };
+    let state = Arc::new(AppState::new(small_table()).with_session_timing(150, 700));
+    let (handle, metrics) = serve_state(config, state);
+
+    let mut conn = SessionConn::attach(handle.addr, "quiet");
+    assert_eq!(conn.hello["heartbeat_ms"].as_u64().unwrap(), 150);
+    let mut saw_heartbeat = false;
+    loop {
+        let mut line = String::new();
+        if conn.reader.read_line(&mut line).unwrap() == 0 {
+            break; // reaped
+        }
+        let ev = Value::parse(line.trim_end()).unwrap();
+        match ev["type"].as_str().unwrap() {
+            "heartbeat" => saw_heartbeat = true,
+            "bye" => assert_eq!(ev["reason"], "idle", "{ev:?}"),
+            other => panic!("unexpected idle-session event {other}: {ev:?}"),
+        }
+    }
+    assert!(saw_heartbeat, "no heartbeat before the idle reap");
+    let snap = metrics.snapshot();
+    assert!(snap.heartbeats_sent >= 1, "{snap:?}");
+    assert_eq!(snap.sessions_closed, 1, "{snap:?}");
+    assert_eq!(snap.idle_closed, 1, "{snap:?}");
+    handle.shutdown();
+}
+
+/// A session utterance's planning time is bounded by the configured
+/// deadline: past it the answer commits through the anytime path and the
+/// `done` event says `degraded`. Without the bound, a wide-scope
+/// utterance (e.g. a city-level drill-down) converges for minutes while
+/// pinning a serving worker — starving every other session on the pool.
+#[test]
+fn utterance_deadline_degrades_instead_of_pinning_a_worker() {
+    let _guard = watchdog(120);
+    let state =
+        Arc::new(AppState::new(small_table()).with_utterance_deadline(Duration::from_millis(1)));
+    let (handle, _metrics) = serve_state(ServerConfig::default(), state);
+
+    let mut conn = SessionConn::attach(handle.addr, "impatient");
+    let t0 = Instant::now();
+    let events = conn.utter("break down by region");
+    let done = events.last().unwrap();
+    assert_eq!(done["type"], "done", "{events:?}");
+    assert_eq!(done["degraded"].as_bool(), Some(true), "{done:?}");
+    // "Bounded" means seconds, not the minutes an unbounded convergence
+    // can take — generous margin for a loaded CI host.
+    assert!(t0.elapsed() < Duration::from_secs(30), "{:?}", t0.elapsed());
+
+    // The session survives a degraded answer and keeps serving.
+    let events = conn.utter("how many flights");
+    let done = events.last().unwrap();
+    assert_eq!(done["type"], "done", "{events:?}");
+    conn.send("{\"type\":\"bye\"}");
+    handle.shutdown();
+}
+
+/// Server shutdown farewells attached sessions with `bye(reason=
+/// shutdown)` and closes them — a client blocked on its next event gets
+/// a clean goodbye, not a hang or a reset.
+#[test]
+fn shutdown_farewells_attached_sessions() {
+    let _guard = watchdog(60);
+    let state = Arc::new(AppState::new(small_table()));
+    let (handle, _metrics) = serve_state(ServerConfig::default(), state);
+
+    let mut conn = SessionConn::attach(handle.addr, "interrupted");
+    let events = conn.utter("break down by region");
+    assert_eq!(events.last().unwrap()["type"], "done");
+
+    handle.shutdown();
+    let bye = conn.next_event();
+    assert_eq!(bye["type"], "bye", "{bye:?}");
+    assert_eq!(bye["reason"], "shutdown");
+    let mut rest = Vec::new();
+    conn.reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection must close after the farewell");
+}
