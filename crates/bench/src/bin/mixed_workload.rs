@@ -1,0 +1,283 @@
+//! Mixed append + query workload over a live table (DESIGN.md §16),
+//! written to `BENCH_ingest.json`.
+//!
+//! Concurrent traffic against one [`LiveTable`] and one shared semantic
+//! cache: driver threads run distinct-scope queries while the main thread
+//! publishes append batches — one before each round and one *while* the
+//! round's queries are planning (their version pins make that safe). The
+//! record reports:
+//!
+//! 1. **Cache effectiveness under churn** — warm-hit rate and exact
+//!    invalidations when every round makes all cached entries stale.
+//! 2. **Repair cost** — rows read by snapshot repairs, which must track
+//!    the appended suffix (a few batches), not the table size.
+//! 3. **Latency** — cold (empty cache) vs post-append warm p50s.
+//!
+//! ```text
+//! cargo run --release --bin mixed_workload \
+//!     [--rows N] [--rounds N] [--batch N] [--drivers N] [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the run for CI and exits non-zero after writing the
+//! record if no snapshot was repaired, a repair read more than its
+//! possible suffix, or a stale serve went unmarked on the answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use voxolap_bench::experiments::stream::percentile;
+use voxolap_bench::{arg_usize, experiment_holistic, fig3_queries, flights_table, HostInfo};
+use voxolap_core::approach::Vocalizer;
+use voxolap_core::voice::InstantVoice;
+use voxolap_data::schema::MeasureId;
+use voxolap_data::{DimId, DimValue, IngestRow, LiveTable, Table};
+use voxolap_engine::semantic::SemanticCache;
+use voxolap_json::Value;
+
+/// Clone `n` existing rows (cycling from `start`) as an ingest batch, so
+/// appends are always valid under the flights schema and create no new
+/// dictionary members.
+fn echo_rows(table: &Table, start: usize, n: usize) -> Vec<IngestRow> {
+    let schema = table.schema();
+    (0..n)
+        .map(|i| {
+            let row = (start + i) % table.row_count();
+            IngestRow {
+                dims: (0..schema.dimensions().len())
+                    .map(|d| {
+                        let id = DimId(d as u8);
+                        let member = table.member_at(id, row);
+                        DimValue::Phrase(schema.dimension(id).member(member).phrase.clone())
+                    })
+                    .collect(),
+                values: (0..schema.measures().len())
+                    .map(|m| table.measure_value(MeasureId(m as u8), row))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// One driver query: pin the current revision, plan with the shared
+/// cache, return (latency_ms, rows_read, marked_stale).
+fn run_query(live: &LiveTable, cache: &Arc<SemanticCache>, scope_idx: usize) -> (f64, u64, bool) {
+    let table = live.snapshot();
+    let (_, query) = fig3_queries(&table).swap_remove(scope_idx);
+    let vocalizer = experiment_holistic(42).with_cache(Arc::clone(cache));
+    let mut voice = InstantVoice::default();
+    let t0 = Instant::now();
+    let outcome = vocalizer.vocalize(&table, &query, &mut voice);
+    (t0.elapsed().as_secs_f64() * 1e3, outcome.stats.rows_read, outcome.stats.stale)
+}
+
+fn dist_json(samples: &[f64]) -> Value {
+    Value::obj([
+        ("count", samples.len().into()),
+        ("p50", percentile(samples, 50.0).into()),
+        ("p90", percentile(samples, 90.0).into()),
+        ("p99", percentile(samples, 99.0).into()),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = arg_usize("--rows", if smoke { 20_000 } else { 200_000 });
+    let rounds = arg_usize("--rounds", if smoke { 3 } else { 6 });
+    let batch = arg_usize("--batch", if smoke { 400 } else { 2_000 });
+    let host = HostInfo::detect();
+    // The first six Figure-3 scopes are the narrow ones (tens of
+    // aggregates); one driver thread per scope keeps repairs attributable.
+    let drivers = arg_usize("--drivers", host.cores.clamp(2, 6)).clamp(1, 6);
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_ingest.json".to_string())
+    };
+    eprintln!("mixed_workload: rows={rows} rounds={rounds} batch={batch} drivers={drivers}");
+
+    let base = flights_table(rows);
+    let live = LiveTable::new(base.clone());
+    let cache = Arc::new(SemanticCache::with_capacity_mb(64));
+    let marked_stale = AtomicU64::new(0);
+
+    // ---- Phase 1: cold queries against the empty cache ----------------
+    // Run them with the same concurrency as the mixed rounds, so the
+    // cold-vs-warm comparison isolates cache state from CPU contention.
+    let mut cold_ms = Vec::with_capacity(drivers);
+    let mut cold_rows = Vec::with_capacity(drivers);
+    let cold_results = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let live = &live;
+                let cache = &cache;
+                s.spawn(move || run_query(live, cache, d))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver")).collect::<Vec<_>>()
+    });
+    for (ms, rows_read, stale) in cold_results {
+        cold_ms.push(ms);
+        cold_rows.push(rows_read as f64);
+        if stale {
+            marked_stale.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let cold_p50 = percentile(&cold_ms, 50.0);
+    eprintln!("cold: p50 {cold_p50:.1} ms over {drivers} scopes");
+
+    // ---- Phase 2: concurrent append + query rounds ---------------------
+    let mut appended_total = 0usize;
+    let mut batches = 0usize;
+    let mut warm_ms = Vec::with_capacity(rounds * drivers);
+    let mut warm_rows = Vec::with_capacity(rounds * drivers);
+    let mixed_t0 = Instant::now();
+    for round in 0..rounds {
+        live.append_rows(&echo_rows(&base, appended_total, batch)).expect("append");
+        appended_total += batch;
+        batches += 1;
+        let mid = echo_rows(&base, appended_total, batch);
+        let round_results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|d| {
+                    let live = &live;
+                    let cache = &cache;
+                    s.spawn(move || run_query(live, cache, d))
+                })
+                .collect();
+            // Publish the next revision while the round's queries plan:
+            // their pinned snapshots are unaffected, and the next round
+            // repairs across both batches.
+            live.append_rows(&mid).expect("mid-round append");
+            handles.into_iter().map(|h| h.join().expect("driver")).collect::<Vec<_>>()
+        });
+        appended_total += batch;
+        batches += 1;
+        for (ms, rows_read, stale) in round_results {
+            warm_ms.push(ms);
+            warm_rows.push(rows_read as f64);
+            if stale {
+                marked_stale.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        eprintln!(
+            "round {round}: table at {} rows (v{}), warm p50 so far {:.1} ms",
+            live.snapshot().row_count(),
+            live.version(),
+            percentile(&warm_ms, 50.0)
+        );
+    }
+    let mixed_s = mixed_t0.elapsed().as_secs_f64();
+
+    // ---- Analysis ------------------------------------------------------
+    let stats = cache.stats();
+    let queries = (drivers + rounds * drivers) as u64;
+    let warm_p50 = percentile(&warm_ms, 50.0);
+    let marked = marked_stale.load(Ordering::Relaxed);
+    // No faults are injected here, so every stale serve the cache counts
+    // must surface as a `stale: true` answer — an unmarked one means a
+    // wrong-version exact result was passed off as fresh.
+    let unmarked_stale = stats.stale_serves.saturating_sub(marked);
+    // A repaired snapshot's donor is at most three batches behind (the
+    // previous round's mid-append plus the current round's two), and a
+    // repair reads at most its suffix — so per-repair rows must stay
+    // bounded by the churn, never the table.
+    let max_suffix = (3 * batch) as u64;
+    let repair_bounded = stats.repair_rows_read <= stats.snapshot_repairs * max_suffix;
+    let avg_repair_rows = stats.repair_rows_read.checked_div(stats.snapshot_repairs).unwrap_or(0);
+    eprintln!(
+        "cache: {} repairs read {} rows (avg {avg_repair_rows}/repair, suffix cap {max_suffix}), \
+         {} warm hits, {} exact invalidations",
+        stats.snapshot_repairs, stats.repair_rows_read, stats.warm_hits, stats.exact_invalidations
+    );
+
+    let json = Value::obj([
+        ("bench", "mixed_workload".into()),
+        ("dataset", "flights".into()),
+        ("rows", (rows as u64).into()),
+        ("smoke", smoke.into()),
+        ("host_cores", (host.cores as u64).into()),
+        ("host_ram_bytes", host.ram_bytes.into()),
+        (
+            "workload",
+            Value::obj([
+                ("drivers", drivers.into()),
+                ("rounds", rounds.into()),
+                ("batch_rows", batch.into()),
+                ("batches", batches.into()),
+                ("appended_rows", appended_total.into()),
+                ("final_version", live.version().into()),
+                ("final_rows", live.snapshot().row_count().into()),
+                ("queries", queries.into()),
+                ("mixed_s", mixed_s.into()),
+            ]),
+        ),
+        (
+            "latency",
+            Value::obj([
+                ("cold_ms", dist_json(&cold_ms)),
+                ("post_append_ms", dist_json(&warm_ms)),
+                ("cold_rows_read_p50", percentile(&cold_rows, 50.0).into()),
+                ("post_append_rows_read_p50", percentile(&warm_rows, 50.0).into()),
+                ("warm_beats_cold", (warm_p50 < cold_p50).into()),
+            ]),
+        ),
+        (
+            "cache",
+            Value::obj([
+                ("exact_hits", stats.exact_hits.into()),
+                ("warm_hits", stats.warm_hits.into()),
+                ("misses", stats.misses.into()),
+                ("warm_hit_rate", (stats.warm_hits as f64 / queries as f64).into()),
+                ("exact_invalidations", stats.exact_invalidations.into()),
+                ("snapshot_repairs", stats.snapshot_repairs.into()),
+                ("repair_rows_read", stats.repair_rows_read.into()),
+                ("avg_repair_rows", avg_repair_rows.into()),
+                ("repair_suffix_cap_rows", max_suffix.into()),
+                ("repair_reads_bounded", repair_bounded.into()),
+                ("stale_serves", stats.stale_serves.into()),
+                ("marked_stale_answers", marked.into()),
+                ("unmarked_stale_answers", unmarked_stale.into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
+    eprintln!("wrote {out}");
+
+    println!("## Mixed append + query workload ({rows} rows, {rounds} rounds)\n");
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| appended rows / batches | {appended_total} / {batches} |");
+    println!("| cold p50 | {cold_p50:.1} ms |");
+    println!("| post-append warm p50 | {warm_p50:.1} ms |");
+    println!("| snapshot repairs | {} |", stats.snapshot_repairs);
+    println!("| rows read per repair (avg / cap) | {avg_repair_rows} / {max_suffix} |");
+    println!("| exact invalidations | {} |", stats.exact_invalidations);
+    println!("| warm hits | {} |", stats.warm_hits);
+    println!("| unmarked stale answers | {unmarked_stale} |");
+
+    if smoke {
+        let mut failures = Vec::new();
+        if stats.snapshot_repairs == 0 {
+            failures.push("no snapshot was repaired".to_string());
+        }
+        if !repair_bounded {
+            failures.push(format!(
+                "repairs read {} rows over {} repairs, above the {max_suffix}-row suffix cap",
+                stats.repair_rows_read, stats.snapshot_repairs
+            ));
+        }
+        if unmarked_stale > 0 {
+            failures.push(format!("{unmarked_stale} stale serves were not marked on answers"));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("SMOKE FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("smoke ok");
+    }
+}

@@ -28,11 +28,12 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use voxolap_bench::experiments::stream::percentile;
 use voxolap_bench::{arg_usize, flights_table, HostInfo};
+use voxolap_engine::poison::RecoveringMutex;
 use voxolap_json::Value;
 use voxolap_server::{raise_nofile_limit, serve_with, AppState, HttpMetrics, ServerConfig};
 use voxolap_simuser::{utterance_script, ScriptConfig};
@@ -318,8 +319,10 @@ fn main() {
     let dropped = Arc::new(AtomicU64::new(0));
     let utterances = Arc::new(AtomicU64::new(0));
     let fleet_bytes = Arc::new(AtomicU64::new(0));
-    let all_ttfs: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
-    let all_attach: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    // Sample vectors recover (emptied) instead of poisoning the harness
+    // if a driver thread panics mid-extend.
+    let all_ttfs: Arc<RecoveringMutex<Vec<f64>>> = Arc::new(RecoveringMutex::new(Vec::new()));
+    let all_attach: Arc<RecoveringMutex<Vec<f64>>> = Arc::new(RecoveringMutex::new(Vec::new()));
     // Rendezvous: open -> (main measures idle RSS) -> rounds -> done.
     let barrier = Arc::new(Barrier::new(drivers + 1));
 
@@ -355,7 +358,7 @@ fn main() {
                     }
                 })
                 .collect();
-            all_attach.lock().unwrap().extend_from_slice(&attach_local);
+            all_attach.lock_recovering(Vec::clear).extend_from_slice(&attach_local);
             barrier.wait(); // fleet open, idle
             barrier.wait(); // idle RSS measured, start rounds
             let mut ttfs_local = Vec::new();
@@ -388,7 +391,7 @@ fn main() {
                     }
                 }
             }
-            all_ttfs.lock().unwrap().extend_from_slice(&ttfs_local);
+            all_ttfs.lock_recovering(Vec::clear).extend_from_slice(&ttfs_local);
             barrier.wait(); // rounds done
             for (_, mut conn) in conns.into_iter().flatten() {
                 let _ = conn.stream.write_all(b"{\"type\":\"bye\"}\n");
@@ -420,9 +423,9 @@ fn main() {
     let total_utterances = utterances.load(Ordering::Relaxed);
     let fleet_dropped = dropped.load(Ordering::Relaxed);
     let rps = total_utterances as f64 / rounds_s.max(1e-9);
-    let ttfs = all_ttfs.lock().unwrap().clone();
+    let ttfs = all_ttfs.lock_recovering(Vec::clear).clone();
     let ttfs_p99 = percentile(&ttfs, 99.0);
-    let attach_ms = all_attach.lock().unwrap().clone();
+    let attach_ms = all_attach.lock_recovering(Vec::clear).clone();
     let attach_p99 = percentile(&attach_ms, 99.0);
     let bytes_per_session =
         fleet_bytes.load(Ordering::Relaxed).checked_div(fleet_opened).unwrap_or(0);

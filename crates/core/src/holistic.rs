@@ -18,8 +18,9 @@ use std::time::Instant;
 
 use voxolap_data::Table;
 use voxolap_engine::query::{AggIdx, Query, ResultLayout};
-use voxolap_engine::semantic::{ExactAggregates, SemanticCache};
-use voxolap_faults::{Resilience, RunState};
+use voxolap_engine::repair::repair_snapshot;
+use voxolap_engine::semantic::{ExactAggregates, ExactLookup, SemanticCache};
+use voxolap_faults::{DegradeReason, Resilience, RunState};
 use voxolap_mcts::NodeId;
 use voxolap_speech::candidates::{CandidateConfig, CandidateGenerator};
 use voxolap_speech::constraints::SpeechConstraints;
@@ -257,11 +258,43 @@ impl Holistic {
 
         // Semantic cache, layer 1: a repeat of an exactly-answered query
         // skips sampling entirely and plans against stored aggregates.
+        // Entries from an older table version are served only when fresh
+        // data is unreachable (§12 stale-serve, marked `stale: true`);
+        // otherwise they are invalidated and the query replans fresh.
         if let Some(cache) = &self.cache {
-            if let Some(data) = cache.lookup_exact(&query.key()) {
-                let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
-                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg(), run)
+            match cache.lookup_exact(&query.key(), table.version()) {
+                ExactLookup::Fresh(data) => {
+                    let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
+                    return exact_hit_stream(
+                        table,
+                        query,
+                        voice,
+                        cancel,
+                        &data,
+                        &cfg.exact_cfg(),
+                        run,
+                    )
                     .attach_resilience(resil);
+                }
+                ExactLookup::Stale(data) => {
+                    if serve_stale_exact(&cancel, resil.as_ref()) {
+                        cache.note_stale_serve();
+                        let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
+                        return exact_hit_stream(
+                            table,
+                            query,
+                            voice,
+                            cancel,
+                            &data,
+                            &cfg.exact_cfg(),
+                            run,
+                        )
+                        .mark_stale()
+                        .attach_resilience(resil);
+                    }
+                    cache.invalidate_exact(&query.key());
+                }
+                ExactLookup::Miss => {}
             }
         }
 
@@ -276,13 +309,26 @@ impl Holistic {
 
         // Semantic cache, layer 2: a snapshot with the same scope (measure
         // + filters) seeds the sample cache with its uniform row prefix so
-        // sampling resumes where the donor query stopped. A cold run also
+        // sampling resumes where the donor query stopped. A version-stale
+        // snapshot is first *repaired* by scanning only the appended
+        // suffix (never a full rescan) and re-admitted. A cold run also
         // starts logging in-scope rows for later snapshot admission.
         if let Some(cache) = &self.cache {
             core.enable_row_log(cache.snapshot_row_budget(table.schema().dimensions().len()));
-            let warmed = cache
-                .lookup_snapshot(&query.key().scope(), cfg.seed)
-                .is_some_and(|snap| core.warm_start(&snap));
+            let scope = query.key().scope();
+            let warmed = cache.lookup_snapshot(&scope, cfg.seed).is_some_and(|snap| {
+                let snap = if snap.version == table.version() {
+                    Some(snap)
+                } else {
+                    repair_snapshot(&snap, table, &scope).map(|out| {
+                        cache.note_repair(out.rows_read);
+                        core.note_repair_rows(out.rows_read);
+                        cache.admit_snapshot(&scope, out.snapshot.clone());
+                        Arc::new(out.snapshot)
+                    })
+                };
+                snap.is_some_and(|snap| core.warm_start(&snap))
+            });
             if !warmed {
                 cache.record_miss();
             }
@@ -316,9 +362,37 @@ impl Holistic {
     }
 }
 
+/// §12 stale-serve decision for a version-stale exact cache entry: serve
+/// it (marked `stale: true`) only when fresh data is unreachable — the
+/// run's deadline has already fired, or the data source's read ladder
+/// refuses the read (breaker open / dead source). Otherwise the caller
+/// invalidates the entry and replans fresh. Serving marks the run
+/// degraded; without an injector the ladder always allows reads, so the
+/// decision consumes nothing and appendless runs stay byte-identical.
+pub(crate) fn serve_stale_exact(
+    cancel: &CancelToken,
+    resil: Option<&(Arc<Resilience>, Arc<RunState>)>,
+) -> bool {
+    if cancel.fired_kind() == Some(crate::pipeline::cancel::CancelKind::Deadline) {
+        if let Some((_, run)) = resil {
+            run.mark_degraded(DegradeReason::Deadline);
+        }
+        return true;
+    }
+    match resil {
+        Some((res, run)) if res.injector().is_some() => {
+            // `read_allowed` walks the full retry → breaker ladder; its
+            // fallback path already marks the run degraded.
+            !ResCtx::new(res.clone(), run.clone(), "table").read_allowed()
+        }
+        _ => false,
+    }
+}
+
 /// Offer a run's results to the semantic cache: exact aggregates when the
 /// scan was exhausted (uncapped), and the logged uniform row prefix as a
-/// warm-start snapshot for scope-overlapping queries.
+/// warm-start snapshot for scope-overlapping queries. Entries carry the
+/// run's pinned table version.
 pub(crate) fn admit_core(
     semantic: &Option<Arc<SemanticCache>>,
     seed: u64,
@@ -327,7 +401,7 @@ pub(crate) fn admit_core(
 ) {
     let Some(cache) = semantic else { return };
     if let Some((counts, sums)) = core.cache().exact_result() {
-        cache.admit_exact(&query.key(), counts, sums);
+        cache.admit_exact(&query.key(), core.table_version(), counts, sums);
     }
     if let Some(snap) = core.take_snapshot(seed) {
         cache.admit_snapshot(&query.key().scope(), snap);
@@ -560,6 +634,95 @@ mod tests {
         );
         assert_eq!(cache.stats().warm_hits, 1);
         assert!(warm.speech.is_some());
+    }
+
+    /// Ingest rows that duplicate the table's own prefix — valid under
+    /// the existing dictionaries, so appends need no new members.
+    fn echo_rows(table: &voxolap_data::Table, n: usize) -> Vec<voxolap_data::IngestRow> {
+        use voxolap_data::schema::MeasureId;
+        use voxolap_data::{DimValue, IngestRow};
+        let schema = table.schema();
+        (0..n)
+            .map(|i| {
+                let row = i % table.row_count();
+                IngestRow {
+                    dims: (0..schema.dimensions().len())
+                        .map(|d| {
+                            let dim = DimId(d as u8);
+                            let m = table.member_at(dim, row);
+                            DimValue::Phrase(schema.dimension(dim).member(m).phrase.clone())
+                        })
+                        .collect(),
+                    values: (0..schema.measures().len())
+                        .map(|m| table.measure_value(MeasureId(m as u8), row))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_invalidates_exact_entries_and_repairs_snapshots() {
+        let (table, q) = setup();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let holistic = Holistic::new(fast_config()).with_cache(cache.clone());
+        let mut voice = InstantVoice::default();
+        let cold = holistic.vocalize(&table, &q, &mut voice);
+        assert_eq!(cold.stats.rows_read, 320, "cold run exhausts the table");
+
+        // Grow the table: the exact entry goes stale, the snapshot is
+        // repairable by scanning only the 80 appended rows.
+        let (grown, _) = table.append_rows(&echo_rows(&table, 80)).unwrap();
+        assert_eq!(grown.version(), 1);
+        let mut voice = InstantVoice::default();
+        let replanned = holistic.vocalize(&grown, &q, &mut voice);
+        assert!(!replanned.stats.stale, "no fault pressure, so no stale serve");
+        assert_eq!(
+            replanned.stats.rows_read, 80,
+            "repair reads exactly the appended suffix (donor was exhausted)"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.exact_invalidations, 1, "{stats:?}");
+        assert_eq!(stats.snapshot_repairs, 1, "{stats:?}");
+        assert_eq!(stats.repair_rows_read, 80, "{stats:?}");
+        assert_eq!(stats.stale_serves, 0, "{stats:?}");
+
+        // The replanned run re-admitted at version 1: the repeat is an
+        // exact hit again with zero rows read.
+        let mut voice = InstantVoice::default();
+        let hit = holistic.vocalize(&grown, &q, &mut voice);
+        assert_eq!(hit.stats.rows_read, 0, "repeat serves the re-admitted entry");
+        assert!(!hit.stats.stale);
+        assert_eq!(cache.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn unreachable_source_serves_stale_exact_marked() {
+        use std::time::Duration;
+        use voxolap_faults::{FaultPlan, FaultSite, SiteSchedule};
+        let (table, q) = setup();
+        let cache = Arc::new(SemanticCache::with_capacity_mb(4));
+        let mut voice = InstantVoice::default();
+        let _ =
+            Holistic::new(fast_config()).with_cache(cache.clone()).vocalize(&table, &q, &mut voice);
+        let (grown, _) = table.append_rows(&echo_rows(&table, 40)).unwrap();
+
+        // Dead data source: the §12 ladder cannot replan fresh, so the
+        // version-stale exact entry is served, marked stale + degraded.
+        let plan = FaultPlan::new(5).with_site(FaultSite::DataRead, SiteSchedule::error(1.0));
+        let res = Arc::new(Resilience::new(Some(plan)).with_breaker(2, Duration::from_secs(3600)));
+        let mut voice = InstantVoice::default();
+        let outcome = Holistic::new(fast_config())
+            .with_cache(cache.clone())
+            .with_resilience(res)
+            .vocalize(&grown, &q, &mut voice);
+        assert!(outcome.stats.stale, "served answer is marked stale");
+        assert!(outcome.stats.degraded, "stale serves ride the degrade ladder");
+        assert!(outcome.speech.is_some(), "the stale answer is still an answer");
+        assert_eq!(outcome.stats.rows_read, 0, "no fresh row was readable");
+        let stats = cache.stats();
+        assert_eq!(stats.stale_serves, 1, "{stats:?}");
+        assert_eq!(stats.exact_invalidations, 0, "the entry stays cached");
     }
 
     #[test]

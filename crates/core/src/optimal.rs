@@ -219,10 +219,19 @@ impl Vocalizer for Optimal {
         let preamble = renderer.preamble();
 
         // Exact aggregates: from the semantic cache on a repeat query,
-        // otherwise a full scan — the expensive part on large data.
+        // otherwise a full scan — the expensive part on large data. A
+        // version-stale entry is invalidated and recomputed: Optimal has
+        // no degradation ladder, so it never serves stale data.
         let key = self.cache.as_ref().map(|_| query.key());
         let cached = match (&self.cache, &key) {
-            (Some(cache), Some(key)) => cache.lookup_exact(key),
+            (Some(cache), Some(key)) => match cache.lookup_exact(key, table.version()) {
+                voxolap_engine::semantic::ExactLookup::Fresh(data) => Some(data),
+                voxolap_engine::semantic::ExactLookup::Stale(_) => {
+                    cache.invalidate_exact(key);
+                    None
+                }
+                voxolap_engine::semantic::ExactLookup::Miss => None,
+            },
             _ => None,
         };
         let hit = cached.is_some();
@@ -232,7 +241,12 @@ impl Vocalizer for Optimal {
                 let exact = evaluate(query, table);
                 if let (Some(cache), Some(key)) = (&self.cache, &key) {
                     cache.record_miss();
-                    cache.admit_exact(key, exact.counts().to_vec(), exact.sums().to_vec());
+                    cache.admit_exact(
+                        key,
+                        table.version(),
+                        exact.counts().to_vec(),
+                        exact.sums().to_vec(),
+                    );
                 }
                 exact
             }

@@ -21,6 +21,11 @@ pub struct PlanStats {
     /// deadline or exhausted fault budget, cache fallback, or a failed
     /// emission) — always `false` without an attached resilience bundle.
     pub degraded: bool,
+    /// `true` when the answer was served from a version-stale cached
+    /// exact result (the table grew since the entry was computed and the
+    /// §12 ladder chose the stale answer over a fresh plan). Always
+    /// `false` on tables that never saw an append.
+    pub stale: bool,
 }
 
 /// Outcome of vocalizing one query.

@@ -44,7 +44,8 @@ use voxolap_data::table::RowScanner;
 use voxolap_data::{MorselPool, Table};
 use voxolap_engine::cache::ResampleScratch;
 use voxolap_engine::query::{AggFct, Query};
-use voxolap_engine::semantic::{LoggedRow, SampleSnapshot, SemanticCache};
+use voxolap_engine::repair::repair_snapshot;
+use voxolap_engine::semantic::{ExactLookup, LoggedRow, SampleSnapshot, SemanticCache};
 use voxolap_engine::sharded::{IngestBatch, ShardedSampleCache};
 use voxolap_faults::{Resilience, RunState};
 use voxolap_mcts::NodeId;
@@ -52,7 +53,7 @@ use voxolap_speech::candidates::CandidateGenerator;
 use voxolap_speech::render::Renderer;
 
 use crate::approach::Vocalizer;
-use crate::holistic::{exact_hit_stream, HolisticConfig};
+use crate::holistic::{exact_hit_stream, serve_stale_exact, HolisticConfig};
 use crate::pipeline::cancel::CancelToken;
 use crate::pipeline::driver::{CoopSource, MultiSource, ShardSampler};
 use crate::pipeline::stream::{Buffered, SpeechStream};
@@ -499,11 +500,43 @@ impl Vocalizer for ParallelHolistic {
 
         // Semantic cache, layer 1: a repeat of an exactly-answered query
         // skips sampling entirely and plans against stored aggregates.
+        // Version-stale entries are served only when fresh data is
+        // unreachable (§12 stale-serve, marked `stale: true`); otherwise
+        // they are invalidated and the query replans fresh.
         if let Some(sem) = &self.cache {
-            if let Some(data) = sem.lookup_exact(&query.key()) {
-                let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
-                return exact_hit_stream(table, query, voice, cancel, &data, &cfg.exact_cfg(), run)
+            match sem.lookup_exact(&query.key(), table.version()) {
+                ExactLookup::Fresh(data) => {
+                    let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
+                    return exact_hit_stream(
+                        table,
+                        query,
+                        voice,
+                        cancel,
+                        &data,
+                        &cfg.exact_cfg(),
+                        run,
+                    )
                     .attach_resilience(resil);
+                }
+                ExactLookup::Stale(data) => {
+                    if serve_stale_exact(&cancel, resil.as_ref()) {
+                        sem.note_stale_serve();
+                        let run = resil.as_ref().map(|(_, run)| run.as_ref() as &RunState);
+                        return exact_hit_stream(
+                            table,
+                            query,
+                            voice,
+                            cancel,
+                            &data,
+                            &cfg.exact_cfg(),
+                            run,
+                        )
+                        .mark_stale()
+                        .attach_resilience(resil);
+                    }
+                    sem.invalidate_exact(&query.key());
+                }
+                ExactLookup::Miss => {}
             }
         }
 
@@ -544,8 +577,24 @@ impl Vocalizer for ParallelHolistic {
         let mut donor_rows: Vec<LoggedRow> = Vec::new();
         let mut seeded_total = 0u64;
         if let Some(sem) = &self.cache {
-            let warmed = match sem.lookup_snapshot(&query.key().scope(), cfg.seed) {
-                Some(snap) => {
+            // A version-stale snapshot is repaired first: only the
+            // appended suffix is scanned (its cost counts as this run's
+            // rows read), then the repaired snapshot seeds the run like
+            // a same-version one would.
+            let donor = sem.lookup_snapshot(&query.key().scope(), cfg.seed).and_then(|snap| {
+                if snap.version == table.version() {
+                    Some((snap, 0u64))
+                } else {
+                    let scope = query.key().scope();
+                    repair_snapshot(&snap, table, &scope).map(|out| {
+                        sem.note_repair(out.rows_read);
+                        sem.admit_snapshot(&scope, out.snapshot.clone());
+                        (Arc::new(out.snapshot), out.rows_read)
+                    })
+                }
+            });
+            let warmed = match donor {
+                Some((snap, repair_rows)) => {
                     cache.seed_rows(
                         query.layout(),
                         snap.rows.iter().map(|r| (&r.members[..], r.value)),
@@ -554,7 +603,9 @@ impl Vocalizer for ParallelHolistic {
                     pool.resume(&snap.progress);
                     workers[0].seeded = snap.nr_read;
                     donor_rows = snap.rows.clone();
-                    seeded_total = snap.nr_read;
+                    // Repair-scanned rows stay inside `rows_read` (the
+                    // fresh-row accounting subtracts `seeded_total`).
+                    seeded_total = snap.nr_read - repair_rows;
                     true
                 }
                 None => false,
@@ -578,8 +629,12 @@ impl Vocalizer for ParallelHolistic {
             let fresh = cache.nr_read().saturating_sub(seeded_total);
             let semantic = self.cache.clone();
             let seed = cfg.seed;
+            let version = table.version();
+            let table_rows = table.row_count() as u64;
             let admit = move || {
-                admit_parallel(&semantic, seed, &cache, &pool, query, donor_rows, results);
+                admit_parallel(
+                    &semantic, seed, &cache, &pool, query, donor_rows, results, version, table_rows,
+                );
             };
             let source = Buffered::no_data(fresh, Some(Box::new(admit)));
             return SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
@@ -610,6 +665,8 @@ impl Vocalizer for ParallelHolistic {
                 donor_rows,
                 self.cache.clone(),
                 cfg.seed,
+                table.version(),
+                table.row_count() as u64,
             );
             let run = resil.as_ref().map(|(_, run)| run.clone());
             let source = CoopSource::new(sampler, tree, renderer, cfg, layout, unit, run);
@@ -633,6 +690,8 @@ impl Vocalizer for ParallelHolistic {
                 seed,
                 query,
                 run,
+                table.version(),
+                table.row_count() as u64,
             );
             SpeechStream::new(voice, cancel, t0, preamble, latency, Box::new(source))
                 .attach_resilience(resil)
@@ -644,7 +703,9 @@ impl Vocalizer for ParallelHolistic {
 /// when the scan was exhausted, and the combined donor-prefix + fresh
 /// per-worker row logs as a warm-start snapshot. The snapshot carries the
 /// pool's per-chunk progress vector, so a later run with any thread count
-/// can resume the consumed prefix.
+/// can resume the consumed prefix; `version`/`table_rows` pin the table
+/// revision the sample describes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn admit_parallel(
     semantic: &Option<Arc<SemanticCache>>,
     seed: u64,
@@ -653,10 +714,12 @@ pub(crate) fn admit_parallel(
     query: &Query,
     donor_rows: Vec<LoggedRow>,
     worker_results: Vec<Option<RowLog>>,
+    version: u64,
+    table_rows: u64,
 ) {
     let Some(sem) = semantic else { return };
     if let Some((counts, sums)) = shared.exact_result() {
-        sem.admit_exact(&query.key(), counts, sums);
+        sem.admit_exact(&query.key(), version, counts, sums);
     }
     let mut rows = donor_rows;
     for log in worker_results {
@@ -668,7 +731,14 @@ pub(crate) fn admit_parallel(
     }
     sem.admit_snapshot(
         &query.key().scope(),
-        SampleSnapshot { seed, progress: pool.progress_vec(), nr_read: shared.nr_read(), rows },
+        SampleSnapshot {
+            seed,
+            progress: pool.progress_vec(),
+            nr_read: shared.nr_read(),
+            rows,
+            version,
+            table_rows,
+        },
     );
 }
 

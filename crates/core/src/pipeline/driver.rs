@@ -106,6 +106,9 @@ pub(crate) struct ShardSampler<'a> {
     donor_rows: Vec<LoggedRow>,
     semantic: Option<Arc<SemanticCache>>,
     seed: u64,
+    /// Pinned table version + row count, stamped into admissions.
+    version: u64,
+    table_rows: u64,
 }
 
 impl<'a> ShardSampler<'a> {
@@ -118,8 +121,21 @@ impl<'a> ShardSampler<'a> {
         donor_rows: Vec<LoggedRow>,
         semantic: Option<Arc<SemanticCache>>,
         seed: u64,
+        version: u64,
+        table_rows: u64,
     ) -> Self {
-        ShardSampler { worker, cache, pool, samples: 0, seeded_total, donor_rows, semantic, seed }
+        ShardSampler {
+            worker,
+            cache,
+            pool,
+            samples: 0,
+            seeded_total,
+            donor_rows,
+            semantic,
+            seed,
+            version,
+            table_rows,
+        }
     }
 }
 
@@ -151,6 +167,8 @@ impl SampleStep for ShardSampler<'_> {
             self.worker.query(),
             std::mem::take(&mut self.donor_rows),
             results,
+            self.version,
+            self.table_rows,
         );
     }
 }
@@ -315,6 +333,9 @@ pub(crate) struct MultiSource<'a> {
     query: &'a Query,
     /// Per-run degrade state (`None` = no resilience attached).
     run: Option<Arc<RunState>>,
+    /// Pinned table version + row count, stamped into admissions.
+    version: u64,
+    table_rows: u64,
 }
 
 impl<'a> MultiSource<'a> {
@@ -334,6 +355,8 @@ impl<'a> MultiSource<'a> {
         seed: u64,
         query: &'a Query,
         run: Option<Arc<RunState>>,
+        version: u64,
+        table_rows: u64,
     ) -> Self {
         MultiSource {
             workers,
@@ -352,6 +375,8 @@ impl<'a> MultiSource<'a> {
             seed,
             query,
             run,
+            version,
+            table_rows,
         }
     }
 }
@@ -426,6 +451,8 @@ impl<'a> SentenceSource<'a> for MultiSource<'a> {
             self.query,
             std::mem::take(&mut self.donor_rows),
             results,
+            self.version,
+            self.table_rows,
         );
         FinishInfo {
             speech: Some(self.tree.speech_at(self.current)),

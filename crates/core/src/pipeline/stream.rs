@@ -177,6 +177,9 @@ pub struct SpeechStream<'a> {
     /// Fault injection at the Emit site plus per-run degrade state
     /// (`None` keeps emission byte-identical to the pre-fault stream).
     resilience: Option<(Arc<Resilience>, Arc<RunState>)>,
+    /// `true` when the answer comes from a version-stale cached exact
+    /// result (§12 stale-serve); surfaces as `PlanStats::stale`.
+    stale: bool,
 }
 
 impl<'a> SpeechStream<'a> {
@@ -199,7 +202,15 @@ impl<'a> SpeechStream<'a> {
             done: false,
             source,
             resilience: None,
+            stale: false,
         }
+    }
+
+    /// Tag this stream's answer as served from a version-stale cached
+    /// exact result. Never set on the fresh-planning paths.
+    pub(crate) fn mark_stale(mut self) -> Self {
+        self.stale = true;
+        self
     }
 
     /// Attach the engine's resilience bundle and this run's degrade
@@ -216,6 +227,12 @@ impl<'a> SpeechStream<'a> {
     /// Whether this run's answer is (so far) tagged degraded.
     pub fn degraded(&self) -> bool {
         self.resilience.as_ref().is_some_and(|(_, run)| run.degraded())
+    }
+
+    /// Whether this answer is served from a version-stale cached exact
+    /// result (see [`crate::outcome::PlanStats::stale`]).
+    pub fn stale(&self) -> bool {
+        self.stale
     }
 
     /// The preamble, already started on the voice output.
@@ -304,6 +321,7 @@ impl<'a> SpeechStream<'a> {
                 truncated: info.truncated,
                 planning_time: self.t0.elapsed(),
                 degraded,
+                stale: self.stale,
             },
         }
     }

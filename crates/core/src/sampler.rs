@@ -160,6 +160,16 @@ pub struct PlannerCore<'a> {
     /// `nr_read` inherited from a warm-start donor (0 for cold runs);
     /// warm-up targets shrink by this amount.
     seeded_rows: u64,
+    /// Version of the table this core was built over — stamped into
+    /// admitted snapshots and exact results so the semantic cache can
+    /// invalidate or repair them after appends.
+    table_version: u64,
+    /// Row count of the pinned table (snapshot metadata).
+    table_rows: u64,
+    /// Rows a pre-planning snapshot repair scanned on this run's behalf;
+    /// counted into [`rows_read`](Self::rows_read) so stats cover the
+    /// full data cost of the answer.
+    repair_rows: u64,
     /// Fault-injection / degradation context (`None` = inert; the hooks
     /// consume no randomness and leave behavior byte-identical).
     res: Option<ResCtx>,
@@ -196,6 +206,9 @@ impl<'a> PlannerCore<'a> {
             policy: SelectionPolicy::Uct,
             log: None,
             seeded_rows: 0,
+            table_version: table.version(),
+            table_rows: table.row_count() as u64,
+            repair_rows: 0,
             res: None,
         }
     }
@@ -228,6 +241,9 @@ impl<'a> PlannerCore<'a> {
             policy: SelectionPolicy::Uct,
             log: None,
             seeded_rows: 0,
+            table_version: table.version(),
+            table_rows: table.row_count() as u64,
+            repair_rows: 0,
             res: None,
         }
     }
@@ -263,6 +279,11 @@ impl<'a> PlannerCore<'a> {
         if self.cache.nr_read() != 0 {
             return false;
         }
+        // A version-stale snapshot describes a different scan order; the
+        // caller must repair it (see `voxolap_engine::repair`) first.
+        if snapshot.version != self.table_version {
+            return false;
+        }
         self.cache.seed_rows(
             self.query.layout(),
             snapshot.rows.iter().map(|r| (&r.members[..], r.value)),
@@ -291,7 +312,20 @@ impl<'a> PlannerCore<'a> {
             progress: scan.progress(),
             nr_read: self.cache.nr_read(),
             rows: log.rows().to_vec(),
+            version: self.table_version,
+            table_rows: self.table_rows,
         })
+    }
+
+    /// Account suffix rows a snapshot repair scanned before this run's
+    /// own streaming started (they appear in `rows_read`).
+    pub fn note_repair_rows(&mut self, rows: u64) {
+        self.repair_rows += rows;
+    }
+
+    /// The version of the table this core streams from.
+    pub fn table_version(&self) -> u64 {
+        self.table_version
     }
 
     /// Stream up to `k` rows into the cache; returns how many were read.
@@ -454,9 +488,9 @@ impl<'a> PlannerCore<'a> {
         self.sigma
     }
 
-    /// Rows streamed so far.
+    /// Rows streamed so far (including any repair-scanned suffix rows).
     pub fn rows_read(&self) -> u64 {
-        self.scanner.rows_read() as u64
+        self.scanner.rows_read() as u64 + self.repair_rows
     }
 
     /// Sampling iterations performed so far.

@@ -133,16 +133,37 @@ impl InChunkPerm {
     }
 }
 
+/// One chunk of rows in a [`ScanOrder`]: where it starts, how many rows it
+/// covers, and its stable chunk id (the in-chunk permutation key). With
+/// append segments, chunk bases are no longer multiples of the chunk size —
+/// a sealed partial tail chunk ends its segment wherever the append
+/// happened — so the base is materialized per slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    base: usize,
+    len: u32,
+    id: u32,
+}
+
 /// The seeded two-level scan order over a table's rows: a shuffled
-/// permutation of chunk ids plus a per-chunk [`InChunkPerm`].
+/// permutation of chunk slots plus a per-chunk [`InChunkPerm`].
+///
+/// An order covers one or more **segments** (the seed load plus one
+/// segment per append batch). Each segment's chunks are shuffled among
+/// themselves with a seed derived from (scan seed, segment index) and the
+/// segments are concatenated, so the order of an appended table is the old
+/// order verbatim followed by a seeded sub-order of the suffix: a scan
+/// prefix of the old table plus a proportional prefix of the suffix is a
+/// uniform sample of the grown table, and cached progress vectors stay
+/// position-aligned (DESIGN.md §16).
 #[derive(Debug, Clone)]
 pub struct ScanOrder {
     rows: usize,
     chunk_size: usize,
     seed: u64,
-    /// Permuted chunk ids; position `p` in the scan visits chunk
-    /// `chunk_order[p]`.
-    chunk_order: Vec<u32>,
+    /// Permuted chunk slots; position `p` in the scan visits
+    /// `slots[p]`.
+    slots: Vec<Slot>,
     sequential: bool,
 }
 
@@ -155,23 +176,52 @@ impl ScanOrder {
     /// Seeded order with an explicit chunk size (exposed for property
     /// tests over arbitrary geometries).
     pub fn with_chunk_size(rows: usize, seed: u64, chunk_size: usize) -> Self {
+        Self::segmented(&[rows], seed, chunk_size)
+    }
+
+    /// Seeded order over a segmented table: `segment_rows[s]` rows were
+    /// appended in batch `s` (batch 0 is the seed load). Segment 0 is
+    /// chunked and shuffled exactly as a single-segment order of the same
+    /// row count, so appends never perturb the old-prefix permutation;
+    /// each later segment starts a fresh chunk at its first row (the
+    /// previous segment's partial tail chunk stays sealed) and is shuffled
+    /// with its own derived seed.
+    pub fn segmented(segment_rows: &[usize], seed: u64, chunk_size: usize) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
-        let n_chunks = rows.div_ceil(chunk_size);
-        let mut chunk_order: Vec<u32> = (0..n_chunks as u32).collect();
-        chunk_order.shuffle(&mut StdRng::seed_from_u64(splitmix64(seed)));
-        ScanOrder { rows, chunk_size, seed, chunk_order, sequential: false }
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut base = 0usize;
+        let mut next_id = 0u32;
+        for (s, &seg_rows) in segment_rows.iter().enumerate() {
+            let first = slots.len();
+            let mut remaining = seg_rows;
+            while remaining > 0 {
+                let len = remaining.min(chunk_size);
+                slots.push(Slot { base, len: len as u32, id: next_id });
+                base += len;
+                next_id += 1;
+                remaining -= len;
+            }
+            let seg_seed = if s == 0 {
+                splitmix64(seed)
+            } else {
+                splitmix64(splitmix64(seed).wrapping_add(s as u64))
+            };
+            slots[first..].shuffle(&mut StdRng::seed_from_u64(seg_seed));
+        }
+        ScanOrder { rows: base, chunk_size, seed, slots, sequential: false }
     }
 
     /// Storage order (identity at both levels).
     pub fn sequential(rows: usize) -> Self {
         let n_chunks = rows.div_ceil(CHUNK_ROWS);
-        ScanOrder {
-            rows,
-            chunk_size: CHUNK_ROWS,
-            seed: 0,
-            chunk_order: (0..n_chunks as u32).collect(),
-            sequential: true,
-        }
+        let slots = (0..n_chunks)
+            .map(|c| Slot {
+                base: c * CHUNK_ROWS,
+                len: CHUNK_ROWS.min(rows - c * CHUNK_ROWS) as u32,
+                id: c as u32,
+            })
+            .collect();
+        ScanOrder { rows, chunk_size: CHUNK_ROWS, seed: 0, slots, sequential: true }
     }
 
     /// Total rows covered.
@@ -179,42 +229,42 @@ impl ScanOrder {
         self.rows
     }
 
-    /// Rows per (non-tail) chunk.
+    /// Rows per (non-sealed) chunk.
     pub fn chunk_size(&self) -> usize {
         self.chunk_size
     }
 
     /// Number of chunk positions in the scan.
     pub fn n_chunks(&self) -> usize {
-        self.chunk_order.len()
+        self.slots.len()
     }
 
     /// Chunk id visited at scan position `pos`.
     pub fn chunk_id(&self, pos: usize) -> u32 {
-        self.chunk_order[pos]
+        self.slots[pos].id
     }
 
     /// First global row of the chunk at scan position `pos`.
     pub fn chunk_base(&self, pos: usize) -> usize {
-        self.chunk_order[pos] as usize * self.chunk_size
+        self.slots[pos].base
     }
 
     /// Rows in the chunk at scan position `pos` (the chunk holding the
-    /// final row may be shorter).
+    /// final row of a segment may be shorter).
     pub fn chunk_len(&self, pos: usize) -> u32 {
-        let base = self.chunk_base(pos);
-        self.chunk_size.min(self.rows - base) as u32
+        self.slots[pos].len
     }
 
     /// The in-chunk permutation for scan position `pos`, keyed by
-    /// (seed, chunk id) so every chunk mixes independently.
+    /// (seed, chunk id) so every chunk mixes independently. Chunk ids are
+    /// global across segments, so a chunk keeps its permutation after
+    /// appends.
     pub fn perm(&self, pos: usize) -> InChunkPerm {
-        let len = self.chunk_len(pos);
+        let slot = self.slots[pos];
         if self.sequential {
-            return InChunkPerm::identity(len);
+            return InChunkPerm::identity(slot.len);
         }
-        let chunk = self.chunk_order[pos] as u64;
-        InChunkPerm::new(len, splitmix64(self.seed).wrapping_add(splitmix64(chunk)))
+        InChunkPerm::new(slot.len, splitmix64(self.seed).wrapping_add(splitmix64(slot.id as u64)))
     }
 
     /// Global row index visited at (scan position, in-chunk rank) — the
@@ -223,10 +273,29 @@ impl ScanOrder {
         self.chunk_base(pos) + self.perm(pos).apply(rank) as usize
     }
 
-    /// Bytes held by the materialized chunk permutation (the only
-    /// materialized part of the order).
+    /// Number of leading scan positions whose chunks cover exactly the
+    /// first `rows` rows — because segments concatenate, these are the
+    /// positions an order over the first `rows` rows (same seed, same
+    /// segment boundaries) would visit, in the same order. `rows` must be
+    /// a segment boundary of this order.
+    ///
+    /// Cache repair uses this to mark an old snapshot's coverage as
+    /// consumed and scan only the appended suffix.
+    pub fn prefix_positions(&self, rows: usize) -> usize {
+        let mut covered = 0usize;
+        let mut n = 0usize;
+        while n < self.slots.len() && covered < rows {
+            covered += self.slots[n].len as usize;
+            n += 1;
+        }
+        assert_eq!(covered, rows, "rows is not a segment boundary of this order");
+        n
+    }
+
+    /// Bytes held by the materialized chunk slots (the only materialized
+    /// part of the order; in-chunk permutations are computed on the fly).
     pub fn approx_bytes(&self) -> usize {
-        self.chunk_order.len() * std::mem::size_of::<u32>()
+        self.slots.len() * std::mem::size_of::<Slot>()
     }
 }
 
@@ -385,6 +454,73 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s), "rows={rows} chunk={chunk_size}: rows missed");
         }
+    }
+
+    #[test]
+    fn segmented_order_keeps_the_old_prefix_stable() {
+        // The order of the grown table must start with the old order
+        // verbatim — cached progress vectors stay position-aligned.
+        let mut gen = StdRng::seed_from_u64(0xadd);
+        for _ in 0..32 {
+            let n0 = gen.gen_range(1usize..3_000);
+            let n1 = gen.gen_range(1usize..1_500);
+            let chunk = gen.gen_range(1usize..700);
+            let seed = gen.gen();
+            let old = ScanOrder::segmented(&[n0], seed, chunk);
+            let grown = ScanOrder::segmented(&[n0, n1], seed, chunk);
+            assert_eq!(grown.rows(), n0 + n1);
+            assert_eq!(grown.prefix_positions(n0), old.n_chunks());
+            for pos in 0..old.n_chunks() {
+                assert_eq!(grown.chunk_id(pos), old.chunk_id(pos));
+                assert_eq!(grown.chunk_base(pos), old.chunk_base(pos));
+                assert_eq!(grown.chunk_len(pos), old.chunk_len(pos));
+                for rank in 0..old.chunk_len(pos) {
+                    assert_eq!(grown.row_at(pos, rank), old.row_at(pos, rank));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_order_visits_every_row_exactly_once() {
+        let mut gen = StdRng::seed_from_u64(0x5e9);
+        for _ in 0..32 {
+            let n_segs = gen.gen_range(2usize..5);
+            let segs: Vec<usize> = (0..n_segs).map(|_| gen.gen_range(1usize..1_200)).collect();
+            let chunk = gen.gen_range(1usize..500);
+            let order = ScanOrder::segmented(&segs, gen.gen(), chunk);
+            let rows: usize = segs.iter().sum();
+            let mut seen = vec![false; rows];
+            for pos in 0..order.n_chunks() {
+                for rank in 0..order.chunk_len(pos) {
+                    let r = order.row_at(pos, rank);
+                    assert!(!seen[r], "row {r} visited twice");
+                    seen[r] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "segs={segs:?} chunk={chunk}: rows missed");
+        }
+    }
+
+    #[test]
+    fn single_segment_order_matches_with_chunk_size_exactly() {
+        // Appends disabled == byte-identical scan behavior to main.
+        for seed in [0u64, 7, 0xdead_beef] {
+            let a = ScanOrder::with_chunk_size(10_000, seed, 256);
+            let b = ScanOrder::segmented(&[10_000], seed, 256);
+            for pos in 0..a.n_chunks() {
+                assert_eq!(a.chunk_id(pos), b.chunk_id(pos));
+                assert_eq!(a.chunk_base(pos), b.chunk_base(pos));
+                assert_eq!(a.chunk_len(pos), b.chunk_len(pos));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment boundary")]
+    fn prefix_positions_rejects_non_boundaries() {
+        let order = ScanOrder::segmented(&[100, 50], 3, 10);
+        order.prefix_positions(95);
     }
 
     #[test]

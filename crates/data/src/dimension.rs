@@ -223,6 +223,71 @@ impl Dimension {
     pub fn predicate_phrase(&self, member: MemberId) -> String {
         format!("{} {}", self.context, self.members[member.index()].phrase)
     }
+
+    /// Child of `parent` whose phrase is `phrase`, if any. Lookup is
+    /// scoped to one parent so identical phrases in different subtrees
+    /// (e.g. two states sharing a city name) stay distinct.
+    pub fn child_by_phrase(&self, parent: MemberId, phrase: &str) -> Option<MemberId> {
+        self.members[parent.index()]
+            .children
+            .iter()
+            .copied()
+            .find(|c| self.members[c.index()].phrase == phrase)
+    }
+
+    /// Append a new member under `parent` (one level deeper), extending
+    /// the dictionary of a live dimension. Ids of existing members are
+    /// never disturbed — the new member takes the next dense id, so packed
+    /// fact columns referencing the old dictionary stay valid.
+    pub fn extend_member(&mut self, parent: MemberId, phrase: &str) -> Result<MemberId, DataError> {
+        let parent_level = self.members[parent.index()].level;
+        let level = LevelId(parent_level.0 + 1);
+        if level.index() >= self.level_names.len() {
+            return Err(DataError::LevelMismatch {
+                expected: self.leaf_level().index(),
+                actual: level.index(),
+            });
+        }
+        let id = MemberId(self.members.len() as u32);
+        self.members.push(Member {
+            phrase: phrase.to_string(),
+            level,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.members[parent.index()].children.push(id);
+        if level == self.leaf_level() {
+            self.leaves.push(id);
+        }
+        Ok(id)
+    }
+
+    /// Resolve a full level-1-to-leaf phrase path to a leaf member,
+    /// creating any members missing along the way. Returns the leaf id and
+    /// the number of members created.
+    pub fn resolve_or_extend_path(
+        &mut self,
+        path: &[impl AsRef<str>],
+    ) -> Result<(MemberId, usize), DataError> {
+        if path.len() != self.level_count() - 1 {
+            return Err(DataError::LengthMismatch {
+                expected: self.level_count() - 1,
+                actual: path.len(),
+            });
+        }
+        let mut cur = MemberId::ROOT;
+        let mut created = 0usize;
+        for phrase in path {
+            cur = match self.child_by_phrase(cur, phrase.as_ref()) {
+                Some(c) => c,
+                None => {
+                    created += 1;
+                    self.extend_member(cur, phrase.as_ref())?
+                }
+            };
+        }
+        Ok((cur, created))
+    }
 }
 
 /// Incremental builder for a [`Dimension`].

@@ -29,6 +29,7 @@ pub mod csv;
 pub mod dimension;
 pub mod error;
 pub mod flights;
+pub mod live;
 pub mod salary;
 pub mod schema;
 pub mod star;
@@ -38,7 +39,10 @@ pub mod table;
 pub use chunk::{InChunkPerm, Morsel, MorselPool, ScanOrder, CHUNK_ROWS};
 pub use dimension::{Dimension, DimensionBuilder, LevelId, Member, MemberId};
 pub use error::DataError;
+pub use live::{AppendReport, LiveTable};
 pub use schema::{DimId, Schema};
 pub use star::{DimensionTable, FactTable, StarSchema};
 pub use stats::DatasetStats;
-pub use table::{DimSlice, Row, RowBlock, RowScanner, Table, TableBuilder};
+pub use table::{
+    DimSlice, DimValue, IngestRow, Row, RowBlock, RowScanner, Table, TableBuilder, TableVersion,
+};

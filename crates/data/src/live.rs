@@ -1,0 +1,159 @@
+//! Live (append-capable) table handle.
+//!
+//! [`Table`] values are immutable — every scanner, cache and planner in the
+//! stack relies on that to pin a consistent revision for the duration of a
+//! query. [`LiveTable`] layers multi-version concurrency on top: readers
+//! [`LiveTable::snapshot`] an `Arc<Table>` (a version pin — the table they
+//! see cannot change mid-plan, and result layouts built against its
+//! dictionaries stay in bounds), while writers build the next version via
+//! [`Table::append_rows`] and swap it in atomically. Old pins drain
+//! naturally as in-flight queries finish.
+
+use std::sync::{Arc, RwLock};
+
+use crate::error::DataError;
+use crate::table::{IngestRow, Table, TableVersion};
+
+/// Outcome of one append batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Rows appended by this batch.
+    pub appended: usize,
+    /// Version of the table after the append.
+    pub version: TableVersion,
+    /// Total rows after the append.
+    pub total_rows: usize,
+    /// Dictionary members created by this batch.
+    pub new_members: usize,
+}
+
+/// Swap-on-append wrapper holding the current revision of a table.
+#[derive(Debug)]
+pub struct LiveTable {
+    current: RwLock<Arc<Table>>,
+}
+
+impl LiveTable {
+    /// Wrap a table as the live revision.
+    pub fn new(table: Table) -> Self {
+        LiveTable { current: RwLock::new(Arc::new(table)) }
+    }
+
+    /// Pin the current revision. The returned `Arc` stays valid (and
+    /// unchanged) however many appends land afterwards; queries hold one
+    /// pin from plan start to vocalization end.
+    pub fn snapshot(&self) -> Arc<Table> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Version of the current revision.
+    pub fn version(&self) -> TableVersion {
+        self.snapshot().version()
+    }
+
+    /// Append a batch of rows, atomically publishing the next revision.
+    /// Appenders serialize on the write lock; readers never block on the
+    /// (off-lock) column copy, only on the final pointer swap. An empty
+    /// batch is a no-op. Errors leave the current revision untouched.
+    pub fn append_rows(&self, rows: &[IngestRow]) -> Result<AppendReport, DataError> {
+        if rows.is_empty() {
+            let cur = self.snapshot();
+            return Ok(AppendReport {
+                appended: 0,
+                version: cur.version(),
+                total_rows: cur.row_count(),
+                new_members: 0,
+            });
+        }
+        let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let (next, new_members) = cur.append_rows(rows)?;
+        let report = AppendReport {
+            appended: rows.len(),
+            version: next.version(),
+            total_rows: next.row_count(),
+            new_members,
+        };
+        *cur = Arc::new(next);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::DimensionBuilder;
+    use crate::schema::{MeasureUnit, Schema};
+    use crate::table::{DimValue, TableBuilder};
+
+    fn live_table() -> LiveTable {
+        let mut b = DimensionBuilder::new("region", "in", "anywhere");
+        let l = b.add_level("region");
+        let ne = b.add_member(l, b.root(), "the North East");
+        let mw = b.add_member(l, b.root(), "the Midwest");
+        let dim = b.build();
+        let schema = Schema::new("t", vec![dim], "value", MeasureUnit::Plain);
+        let mut tb = TableBuilder::new(schema);
+        for (m, v) in [(ne, 1.0), (mw, 2.0), (ne, 3.0), (mw, 4.0)] {
+            tb.push_row(&[m], v).unwrap();
+        }
+        LiveTable::new(tb.build())
+    }
+
+    fn phrase_row(phrase: &str, v: f64) -> IngestRow {
+        IngestRow { dims: vec![DimValue::Phrase(phrase.into())], values: vec![v] }
+    }
+
+    #[test]
+    fn append_bumps_version_and_grows_rows() {
+        let live = live_table();
+        assert_eq!(live.version(), 0);
+        let before = live.snapshot();
+        let report = live
+            .append_rows(&[phrase_row("the North East", 5.0), phrase_row("the Midwest", 6.0)])
+            .unwrap();
+        assert_eq!(report, AppendReport { appended: 2, version: 1, total_rows: 6, new_members: 0 });
+        let after = live.snapshot();
+        assert_eq!(after.version(), 1);
+        assert_eq!(after.segments(), &[4, 2]);
+        assert_eq!(after.value_at(5), 6.0);
+        // The pinned old revision is untouched.
+        assert_eq!(before.version(), 0);
+        assert_eq!(before.row_count(), 4);
+    }
+
+    #[test]
+    fn path_rows_extend_the_dictionary() {
+        let live = live_table();
+        let report = live
+            .append_rows(&[IngestRow {
+                dims: vec![DimValue::Path(vec!["the South".into()])],
+                values: vec![7.0],
+            }])
+            .unwrap();
+        assert_eq!(report.new_members, 1);
+        let t = live.snapshot();
+        let d = t.schema().dimension(crate::schema::DimId(0));
+        let south = d.member_by_phrase("the South").unwrap();
+        assert_eq!(t.member_at(crate::schema::DimId(0), 4), south);
+    }
+
+    #[test]
+    fn bad_rows_leave_the_revision_untouched() {
+        let live = live_table();
+        let err = live.append_rows(&[phrase_row("Atlantis", 1.0)]).unwrap_err();
+        assert!(matches!(err, DataError::UnknownName { .. }));
+        assert_eq!(live.version(), 0);
+        assert_eq!(live.snapshot().row_count(), 4);
+        // Non-leaf phrases are rejected too.
+        let err = live.append_rows(&[phrase_row("anywhere", 1.0)]).unwrap_err();
+        assert!(matches!(err, DataError::LevelMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let live = live_table();
+        let report = live.append_rows(&[]).unwrap();
+        assert_eq!(report.version, 0);
+        assert_eq!(live.snapshot().segments(), &[4]);
+    }
+}

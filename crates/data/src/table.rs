@@ -13,8 +13,8 @@
 
 use std::sync::Arc;
 
-use crate::chunk::{Morsel, MorselPool, ScanOrder};
-use crate::dimension::MemberId;
+use crate::chunk::{Morsel, MorselPool, ScanOrder, CHUNK_ROWS};
+use crate::dimension::{Dimension, MemberId};
 use crate::error::DataError;
 use crate::schema::{DimId, MeasureId, Schema};
 
@@ -173,6 +173,52 @@ impl DimColumn {
             DimColumn::U32(v) => DimSlice::U32(&v[base..base + len]),
         }
     }
+
+    /// Re-pack to the narrowest width that holds ids of a dictionary with
+    /// `members` entries. Widths only ever grow (dictionary extension
+    /// never removes members), so existing ids transfer losslessly.
+    fn repacked_for_cardinality(self, members: usize) -> Self {
+        let needs_u16 = members > u8::MAX as usize + 1;
+        let needs_u32 = members > u16::MAX as usize + 1;
+        match self {
+            DimColumn::U8(v) if needs_u32 => {
+                DimColumn::U32(v.into_iter().map(|x| x as u32).collect())
+            }
+            DimColumn::U8(v) if needs_u16 => {
+                DimColumn::U16(v.into_iter().map(|x| x as u16).collect())
+            }
+            DimColumn::U16(v) if needs_u32 => {
+                DimColumn::U32(v.into_iter().map(|x| x as u32).collect())
+            }
+            other => other,
+        }
+    }
+}
+
+/// Monotonically increasing revision counter of a [`Table`]: the seed load
+/// is version 0 and every append batch produces a table one version
+/// higher. Caches stamp entries with the version they were computed
+/// against so stale results can be invalidated or repaired.
+pub type TableVersion = u64;
+
+/// One dimension value of an ingest row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimValue {
+    /// Phrase of an **existing leaf** member (e.g. `"Kahului HI"`).
+    Phrase(String),
+    /// Full level-1-to-leaf phrase path; members missing along the path
+    /// are created, extending the dimension's dictionary.
+    Path(Vec<String>),
+}
+
+/// One fact row to append: a dimension value per schema dimension plus a
+/// value per measure column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRow {
+    /// One value per dimension, in schema order.
+    pub dims: Vec<DimValue>,
+    /// One value per measure column, in schema order.
+    pub values: Vec<f64>,
 }
 
 /// An in-memory columnar fact table (one or more measure columns).
@@ -183,12 +229,105 @@ pub struct Table {
     dim_cols: Vec<DimColumn>,
     /// `measures[m][r]` = value of measure `m` in row `r`.
     measures: Vec<Vec<f64>>,
+    /// Revision of this table value (0 = seed load).
+    version: TableVersion,
+    /// Row counts of the seed load and every append batch, in order.
+    /// Scan orders chunk and shuffle per segment so the old-prefix
+    /// permutation survives appends.
+    segments: Vec<usize>,
 }
 
 impl Table {
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Revision of this table value (0 = seed load, +1 per append batch).
+    pub fn version(&self) -> TableVersion {
+        self.version
+    }
+
+    /// Row counts of the seed load and each append batch, in order.
+    pub fn segments(&self) -> &[usize] {
+        &self.segments
+    }
+
+    /// Append a batch of rows, producing the next version of the table.
+    ///
+    /// The storage is copied (readers keep scanning the old value
+    /// untouched — see [`crate::live::LiveTable`] for the swap-on-append
+    /// wrapper), the batch becomes a new sealed segment of the scan order,
+    /// and dictionaries grow for any [`DimValue::Path`] members not seen
+    /// before (packed columns re-widen when a dictionary outgrows its
+    /// integer width). Validation happens before any state is built, so an
+    /// error leaves nothing half-appended. Returns the grown table and the
+    /// number of dictionary members created.
+    pub fn append_rows(&self, rows: &[IngestRow]) -> Result<(Table, usize), DataError> {
+        let mut dims: Vec<Dimension> = self.schema.dimensions().to_vec();
+        let mut created = 0usize;
+        let mut resolved: Vec<(Vec<MemberId>, &[f64])> = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.dims.len() != dims.len() {
+                return Err(DataError::LengthMismatch {
+                    expected: dims.len(),
+                    actual: row.dims.len(),
+                });
+            }
+            if row.values.len() != self.measures.len() {
+                return Err(DataError::LengthMismatch {
+                    expected: self.measures.len(),
+                    actual: row.values.len(),
+                });
+            }
+            let mut members = Vec::with_capacity(dims.len());
+            for (dim, value) in dims.iter_mut().zip(&row.dims) {
+                let m = match value {
+                    DimValue::Phrase(p) => {
+                        let m = dim.member_by_phrase(p)?;
+                        if dim.member(m).level != dim.leaf_level() {
+                            return Err(DataError::LevelMismatch {
+                                expected: dim.leaf_level().index(),
+                                actual: dim.member(m).level.index(),
+                            });
+                        }
+                        m
+                    }
+                    DimValue::Path(path) => {
+                        let (m, new) = dim.resolve_or_extend_path(path)?;
+                        created += new;
+                        m
+                    }
+                };
+                members.push(m);
+            }
+            resolved.push((members, &row.values));
+        }
+
+        let schema =
+            Schema::with_measures(self.schema.name(), dims, self.schema.measures().to_vec());
+        let mut dim_cols: Vec<DimColumn> = self
+            .dim_cols
+            .iter()
+            .cloned()
+            .zip(schema.dimensions())
+            .map(|(col, d)| col.repacked_for_cardinality(d.member_count()))
+            .collect();
+        let mut measures = self.measures.clone();
+        for (members, values) in &resolved {
+            for (col, &m) in dim_cols.iter_mut().zip(members) {
+                col.push(m);
+            }
+            for (col, &v) in measures.iter_mut().zip(*values) {
+                col.push(v);
+            }
+        }
+        let mut segments = self.segments.clone();
+        if !rows.is_empty() {
+            segments.push(rows.len());
+        }
+        let table = Table { schema, dim_cols, measures, version: self.version + 1, segments };
+        Ok((table, created))
     }
 
     /// Number of fact rows.
@@ -221,13 +360,13 @@ impl Table {
 
     /// Approximate in-memory size in bytes (for dataset statistics):
     /// packed dimension columns, measure columns, and the materialized
-    /// chunk permutation one live scan order holds (the in-chunk
-    /// permutations are computed on the fly and take no memory).
+    /// chunk slots one live scan order holds (the in-chunk permutations
+    /// are computed on the fly and take no memory).
     pub fn approx_bytes(&self) -> usize {
         let rows = self.row_count();
         self.dim_cols.iter().map(|c| c.bytes_per_row() * rows).sum::<usize>()
             + self.measures.len() * rows * std::mem::size_of::<f64>()
-            + ScanOrder::new(rows, 0).approx_bytes()
+            + self.scan_order(0).approx_bytes()
     }
 
     /// Full primary-measure column (read-only).
@@ -240,9 +379,11 @@ impl Table {
         &self.measures[m.index()]
     }
 
-    /// The seeded two-level scan order over this table's rows.
+    /// The seeded two-level scan order over this table's rows, segmented
+    /// along append boundaries so old-prefix positions are stable across
+    /// appends.
     pub fn scan_order(&self, seed: u64) -> ScanOrder {
-        ScanOrder::new(self.row_count(), seed)
+        ScanOrder::segmented(&self.segments, seed, CHUNK_ROWS)
     }
 
     /// A shared morsel pool over the seeded scan order — the work source
@@ -543,9 +684,16 @@ impl TableBuilder {
         &self.schema
     }
 
-    /// Finalize the table.
+    /// Finalize the table (version 0, one seed segment).
     pub fn build(self) -> Table {
-        Table { schema: self.schema, dim_cols: self.dim_cols, measures: self.measures }
+        let rows = self.measures[0].len();
+        Table {
+            schema: self.schema,
+            dim_cols: self.dim_cols,
+            measures: self.measures,
+            version: 0,
+            segments: vec![rows],
+        }
     }
 }
 
@@ -582,8 +730,9 @@ mod tests {
     fn small_cardinality_dimensions_pack_to_one_byte() {
         let t = tiny_table();
         // 3 members (root + 2 leaves) -> u8 ids: 1 byte per dimension row
-        // plus 8 per measure row plus the (single-chunk) scan order entry.
-        assert_eq!(t.approx_bytes(), 4 * (1 + 8) + 4);
+        // plus 8 per measure row plus the (single-chunk) scan-order slot
+        // (base + len + id).
+        assert_eq!(t.approx_bytes(), 4 * (1 + 8) + 16);
     }
 
     #[test]

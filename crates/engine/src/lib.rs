@@ -37,6 +37,7 @@ pub mod error;
 pub mod exact;
 pub mod poison;
 pub mod query;
+pub mod repair;
 pub mod semantic;
 pub mod sharded;
 pub mod stratified;
@@ -48,6 +49,9 @@ pub use query::{
     decode_agg, AggFct, AggIdx, Query, QueryBuilder, QueryKey, ResultLayout, ScopeKey,
     AGG_OUT_OF_SCOPE,
 };
-pub use semantic::{CacheStats, ExactAggregates, LoggedRow, SampleSnapshot, SemanticCache};
+pub use repair::{repair_snapshot, RepairOutcome};
+pub use semantic::{
+    CacheStats, ExactAggregates, ExactLookup, LoggedRow, SampleSnapshot, SemanticCache,
+};
 pub use sharded::{IngestBatch, ShardedSampleCache};
 pub use stratified::{AggregateIndex, StratifiedScanner};

@@ -331,6 +331,18 @@ pub struct ScopeKey {
     filters: Vec<(DimId, MemberId)>,
 }
 
+impl ScopeKey {
+    /// The measure column the scoped rows carry.
+    pub fn measure(&self) -> MeasureId {
+        self.measure
+    }
+
+    /// Canonical filter restrictions defining the row set.
+    pub fn filters(&self) -> &[(DimId, MemberId)] {
+        &self.filters
+    }
+}
+
 /// Builder for [`Query`] — validates against a schema in
 /// [`QueryBuilder::build`].
 #[derive(Debug, Clone)]

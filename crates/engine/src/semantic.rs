@@ -78,12 +78,24 @@ pub struct SampleSnapshot {
     pub nr_read: u64,
     /// Every in-scope row observed within the prefix.
     pub rows: Vec<LoggedRow>,
+    /// Table version the sample was drawn against. A snapshot whose
+    /// version trails the live table is *repaired* — only the appended
+    /// suffix is scanned (see [`crate::repair`]) — never discarded.
+    pub version: u64,
+    /// Row count of that table version; repair uses it to locate the
+    /// appended suffix and size the proportional suffix read.
+    pub table_rows: u64,
 }
 
 impl SampleSnapshot {
     fn approx_bytes(&self) -> usize {
         let row = self.rows.first().map_or(0, LoggedRow::approx_bytes);
-        self.rows.len() * row + self.progress.len() * 4 + ENTRY_OVERHEAD
+        // Version + table-row stamps are counted so cache byte budgets
+        // stay honest after the versioned-ingest refactor.
+        self.rows.len() * row
+            + self.progress.len() * 4
+            + 2 * std::mem::size_of::<u64>()
+            + ENTRY_OVERHEAD
     }
 }
 
@@ -126,10 +138,34 @@ pub struct CacheStats {
     pub bytes_used: u64,
     /// Shards rebuilt (emptied) after lock poisoning or injected tears.
     pub poison_recoveries: u64,
+    /// Exact entries dropped because the table moved past their version.
+    pub exact_invalidations: u64,
+    /// Sample snapshots repaired by a suffix-only scan after an append.
+    pub snapshot_repairs: u64,
+    /// Suffix rows scanned by snapshot repairs (the repair cost).
+    pub repair_rows_read: u64,
+    /// Version-stale exact results served under §12 degradation, always
+    /// marked `stale` in the answer.
+    pub stale_serves: u64,
+}
+
+/// Outcome of a version-checked exact lookup.
+#[derive(Debug, Clone)]
+pub enum ExactLookup {
+    /// Entry computed against the queried table version — safe to serve.
+    Fresh(Arc<ExactAggregates>),
+    /// Entry from an older version. It is left in the cache: the caller
+    /// either serves it marked `stale` (§12 degradation ladder) or calls
+    /// [`SemanticCache::invalidate_exact`] and replans fresh.
+    Stale(Arc<ExactAggregates>),
+    /// No entry for this key.
+    Miss,
 }
 
 struct ExactEntry {
     data: Arc<ExactAggregates>,
+    /// Table version the aggregates were computed against.
+    version: u64,
     bytes: usize,
     last_used: u64,
 }
@@ -195,6 +231,10 @@ pub struct SemanticCache {
     admissions: AtomicU64,
     evictions: AtomicU64,
     poison_recoveries: AtomicU64,
+    exact_invalidations: AtomicU64,
+    snapshot_repairs: AtomicU64,
+    repair_rows_read: AtomicU64,
+    stale_serves: AtomicU64,
 }
 
 impl std::fmt::Debug for SemanticCache {
@@ -220,6 +260,10 @@ impl SemanticCache {
             admissions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
+            exact_invalidations: AtomicU64::new(0),
+            snapshot_repairs: AtomicU64::new(0),
+            repair_rows_read: AtomicU64::new(0),
+            stale_serves: AtomicU64::new(0),
         }
     }
 
@@ -268,16 +312,51 @@ impl SemanticCache {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Look up the exact result of a canonically identical earlier query.
-    pub fn lookup_exact(&self, key: &QueryKey) -> Option<Arc<ExactAggregates>> {
+    /// Look up the exact result of a canonically identical earlier query,
+    /// checked against the caller's pinned table version. A version-stale
+    /// entry is returned as [`ExactLookup::Stale`] and **left in place** —
+    /// the §12 ladder may serve it marked `stale` when the fresh path is
+    /// unavailable; the normal path calls
+    /// [`SemanticCache::invalidate_exact`] instead.
+    pub fn lookup_exact(&self, key: &QueryKey, version: u64) -> ExactLookup {
         let mut shard = self.lock_shard(self.shard_of(key));
         let tick = self.next_tick();
-        let entry = shard.exact.get_mut(key)?;
+        let Some(entry) = shard.exact.get_mut(key) else {
+            return ExactLookup::Miss;
+        };
         entry.last_used = tick;
         let data = entry.data.clone();
+        let fresh = entry.version == version;
         drop(shard);
-        self.exact_hits.fetch_add(1, Ordering::Relaxed);
-        Some(data)
+        if fresh {
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            ExactLookup::Fresh(data)
+        } else {
+            ExactLookup::Stale(data)
+        }
+    }
+
+    /// Drop a version-stale exact entry (the table moved past it and the
+    /// caller is replanning fresh).
+    pub fn invalidate_exact(&self, key: &QueryKey) {
+        let mut shard = self.lock_shard(self.shard_of(key));
+        if let Some(old) = shard.exact.remove(key) {
+            shard.bytes -= old.bytes;
+            drop(shard);
+            self.exact_invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a snapshot repair and the suffix rows it scanned.
+    pub fn note_repair(&self, rows_read: u64) {
+        self.snapshot_repairs.fetch_add(1, Ordering::Relaxed);
+        self.repair_rows_read.fetch_add(rows_read, Ordering::Relaxed);
+    }
+
+    /// Record that a version-stale exact result was served (marked) under
+    /// degradation.
+    pub fn note_stale_serve(&self) {
+        self.stale_serves.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Look up a warm-start donor for a query over `scope`: a snapshot is
@@ -305,14 +384,17 @@ impl SemanticCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Admit the exact per-aggregate counts and sums of a completed query.
-    pub fn admit_exact(&self, key: &QueryKey, counts: Vec<u64>, sums: Vec<f64>) {
+    /// Admit the exact per-aggregate counts and sums of a completed query,
+    /// stamped with the table version they were computed against.
+    pub fn admit_exact(&self, key: &QueryKey, version: u64, counts: Vec<u64>, sums: Vec<f64>) {
         let data = Arc::new(ExactAggregates { counts, sums });
-        let bytes = data.approx_bytes();
+        // The version stamp is counted toward the budget like any other
+        // entry metadata.
+        let bytes = data.approx_bytes() + std::mem::size_of::<u64>();
         let tick = self.next_tick();
         let mut shard = self.lock_shard(self.shard_of(key));
         if let Some(old) =
-            shard.exact.insert(key.clone(), ExactEntry { data, bytes, last_used: tick })
+            shard.exact.insert(key.clone(), ExactEntry { data, version, bytes, last_used: tick })
         {
             shard.bytes -= old.bytes;
         }
@@ -325,7 +407,9 @@ impl SemanticCache {
 
     /// Admit a sample snapshot for a query scope. An existing snapshot for
     /// the scope is replaced only by one covering at least as many rows
-    /// (deeper prefixes make strictly better donors).
+    /// (deeper prefixes make strictly better donors) or drawn against a
+    /// newer table version (repaired snapshots supersede their donor even
+    /// when the proportional suffix read rounded to zero rows).
     pub fn admit_snapshot(&self, scope: &ScopeKey, snap: SampleSnapshot) {
         let bytes = snap.approx_bytes();
         if bytes > self.shard_budget {
@@ -334,7 +418,10 @@ impl SemanticCache {
         let tick = self.next_tick();
         let mut shard = self.lock_shard(self.shard_of(scope));
         if let Some(existing) = shard.samples.get(scope) {
-            if existing.snap.seed == snap.seed && existing.snap.nr_read >= snap.nr_read {
+            if existing.snap.seed == snap.seed
+                && existing.snap.version >= snap.version
+                && existing.snap.nr_read >= snap.nr_read
+            {
                 return;
             }
         }
@@ -360,6 +447,10 @@ impl SemanticCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             bytes_used: bytes_used as u64,
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            exact_invalidations: self.exact_invalidations.load(Ordering::Relaxed),
+            snapshot_repairs: self.snapshot_repairs.load(Ordering::Relaxed),
+            repair_rows_read: self.repair_rows_read.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
         }
     }
 }
@@ -384,14 +475,23 @@ mod tests {
         ((0..len as u64).collect(), (0..len).map(|i| i as f64).collect())
     }
 
+    /// Collapse a version-checked lookup to its fresh payload (tests that
+    /// only care about hit-or-miss at one version).
+    fn fresh(l: ExactLookup) -> Option<Arc<ExactAggregates>> {
+        match l {
+            ExactLookup::Fresh(d) => Some(d),
+            _ => None,
+        }
+    }
+
     #[test]
     fn exact_roundtrip_and_counters() {
         let cache = SemanticCache::with_capacity_mb(1);
         let k = key(0);
-        assert!(cache.lookup_exact(&k).is_none());
+        assert!(fresh(cache.lookup_exact(&k, 0)).is_none());
         let (counts, sums) = exact_payload(4);
-        cache.admit_exact(&k, counts.clone(), sums.clone());
-        let hit = cache.lookup_exact(&k).expect("admitted entry is found");
+        cache.admit_exact(&k, 0, counts.clone(), sums.clone());
+        let hit = fresh(cache.lookup_exact(&k, 0)).expect("admitted entry is found");
         assert_eq!(hit.counts, counts);
         assert_eq!(hit.sums, sums);
         let r = hit.to_result(AggFct::Sum);
@@ -405,13 +505,48 @@ mod tests {
     }
 
     #[test]
+    fn version_stale_exact_is_reported_not_served_fresh() {
+        let cache = SemanticCache::with_capacity_mb(1);
+        let k = key(0);
+        let (counts, sums) = exact_payload(4);
+        cache.admit_exact(&k, 3, counts, sums);
+        assert!(fresh(cache.lookup_exact(&k, 3)).is_some(), "matching version hits");
+        // The table moved to version 4: the entry surfaces as Stale and
+        // stays in place for a possible marked stale-serve.
+        assert!(matches!(cache.lookup_exact(&k, 4), ExactLookup::Stale(_)));
+        assert!(matches!(cache.lookup_exact(&k, 4), ExactLookup::Stale(_)), "left in place");
+        // The fresh path invalidates instead.
+        cache.invalidate_exact(&k);
+        assert!(matches!(cache.lookup_exact(&k, 4), ExactLookup::Miss));
+        let stats = cache.stats();
+        assert_eq!(stats.exact_invalidations, 1);
+        assert_eq!(stats.exact_hits, 1, "stale lookups are not hits");
+        // Idempotent on a missing key.
+        cache.invalidate_exact(&k);
+        assert_eq!(cache.stats().exact_invalidations, 1);
+    }
+
+    #[test]
+    fn repair_and_stale_serve_counters_accumulate() {
+        let cache = SemanticCache::with_capacity_mb(1);
+        cache.note_repair(120);
+        cache.note_repair(30);
+        cache.note_stale_serve();
+        let stats = cache.stats();
+        assert_eq!(stats.snapshot_repairs, 2);
+        assert_eq!(stats.repair_rows_read, 150);
+        assert_eq!(stats.stale_serves, 1);
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used_first() {
         // Budget fits two exact entries per shard; with a deterministic
         // single-key-shard workload the third admission must evict the
         // least recently *used* entry, not the oldest inserted.
         let (counts, sums) = exact_payload(64);
         let probe = ExactAggregates { counts: counts.clone(), sums: sums.clone() };
-        let entry_bytes = probe.approx_bytes();
+        // Admitted entries carry an extra version stamp.
+        let entry_bytes = probe.approx_bytes() + std::mem::size_of::<u64>();
         let cache = SemanticCache::new(entry_bytes * 2 * N_SHARDS + N_SHARDS);
         // Find three keys hashing to the same shard so the budget math is
         // exercised within one lock.
@@ -433,15 +568,47 @@ mod tests {
             }
         }
         let [a, b, c] = <[QueryKey; 3]>::try_from(same_shard).expect("3 colliding keys");
-        cache.admit_exact(&a, counts.clone(), sums.clone());
-        cache.admit_exact(&b, counts.clone(), sums.clone());
+        cache.admit_exact(&a, 0, counts.clone(), sums.clone());
+        cache.admit_exact(&b, 0, counts.clone(), sums.clone());
         // Touch `a` so `b` becomes the least recently used.
-        assert!(cache.lookup_exact(&a).is_some());
-        cache.admit_exact(&c, counts, sums);
-        assert!(cache.lookup_exact(&a).is_some(), "recently used entry survives");
-        assert!(cache.lookup_exact(&b).is_none(), "LRU entry evicted");
-        assert!(cache.lookup_exact(&c).is_some(), "new entry admitted");
+        assert!(fresh(cache.lookup_exact(&a, 0)).is_some());
+        cache.admit_exact(&c, 0, counts, sums);
+        assert!(fresh(cache.lookup_exact(&a, 0)).is_some(), "recently used entry survives");
+        assert!(fresh(cache.lookup_exact(&b, 0)).is_none(), "LRU entry evicted");
+        assert!(fresh(cache.lookup_exact(&c, 0)).is_some(), "new entry admitted");
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn budget_enforcement_still_evicts_with_version_metadata() {
+        // The version/table-row stamps added for live ingest are counted
+        // toward entry sizes; a cache sized for roughly two snapshots must
+        // keep evicting (and stay within budget) as more are admitted.
+        let probe = SampleSnapshot {
+            seed: 1,
+            progress: vec![64; 16],
+            nr_read: 1_024,
+            rows: (0..64)
+                .map(|i| LoggedRow { members: Box::new([MemberId(i)]), value: i as f64 })
+                .collect(),
+            version: 9,
+            table_rows: 10_000,
+        };
+        let entry_bytes = probe.approx_bytes();
+        let cache = SemanticCache::new(entry_bytes * 2 * N_SHARDS);
+        for n in 0..32u8 {
+            let mut snap = probe.clone();
+            snap.seed = n as u64;
+            cache.admit_snapshot(&key(n).scope(), snap);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "budget enforcement must evict");
+        assert!(
+            stats.bytes_used <= cache.capacity_bytes() as u64,
+            "{} bytes exceed the {} budget",
+            stats.bytes_used,
+            cache.capacity_bytes()
+        );
     }
 
     #[test]
@@ -453,6 +620,8 @@ mod tests {
             progress: vec![100],
             nr_read: 100,
             rows: vec![LoggedRow { members: Box::new([MemberId(1)]), value: 1.0 }],
+            version: 0,
+            table_rows: 100,
         };
         cache.admit_snapshot(&scope, snap);
         assert!(cache.lookup_snapshot(&scope, 42).is_some());
@@ -466,19 +635,19 @@ mod tests {
         let cache = SemanticCache::with_capacity_mb(1);
         let k = key(0);
         let (counts, sums) = exact_payload(4);
-        cache.admit_exact(&k, counts, sums);
-        assert!(cache.lookup_exact(&k).is_some());
+        cache.admit_exact(&k, 0, counts, sums);
+        assert!(fresh(cache.lookup_exact(&k, 0)).is_some());
         // Simulate a holder dying mid-update on that entry's shard: the
         // next locker rebuilds the shard empty instead of panicking.
         cache.shard_of(&k).mark_torn();
-        assert!(cache.lookup_exact(&k).is_none(), "torn shard forgets its entries");
+        assert!(fresh(cache.lookup_exact(&k, 0)).is_none(), "torn shard forgets its entries");
         let stats = cache.stats();
         assert_eq!(stats.poison_recoveries, 1);
         assert_eq!(stats.bytes_used, 0, "rebuilt shard holds no bytes");
         // The cache keeps working after recovery.
         let (counts, sums) = exact_payload(4);
-        cache.admit_exact(&k, counts, sums);
-        assert!(cache.lookup_exact(&k).is_some());
+        cache.admit_exact(&k, 0, counts, sums);
+        assert!(fresh(cache.lookup_exact(&k, 0)).is_some());
     }
 
     #[test]
@@ -490,11 +659,37 @@ mod tests {
             progress: vec![nr_read as u32],
             nr_read,
             rows: Vec::new(),
+            version: 0,
+            table_rows: 1_000,
         };
         cache.admit_snapshot(&scope, make(200));
         cache.admit_snapshot(&scope, make(100));
         assert_eq!(cache.lookup_snapshot(&scope, 42).unwrap().nr_read, 200);
         cache.admit_snapshot(&scope, make(300));
         assert_eq!(cache.lookup_snapshot(&scope, 42).unwrap().nr_read, 300);
+    }
+
+    #[test]
+    fn newer_version_snapshot_replaces_equal_read_donor() {
+        // A repaired snapshot whose proportional suffix read rounded to
+        // zero has the same nr_read as its donor but a newer version — it
+        // must still replace the donor, or every warm start would re-repair.
+        let cache = SemanticCache::with_capacity_mb(1);
+        let scope = key(0).scope();
+        let make = |version: u64, table_rows: u64| SampleSnapshot {
+            seed: 42,
+            progress: vec![50],
+            nr_read: 50,
+            rows: Vec::new(),
+            version,
+            table_rows,
+        };
+        cache.admit_snapshot(&scope, make(0, 1_000));
+        cache.admit_snapshot(&scope, make(1, 1_001));
+        let got = cache.lookup_snapshot(&scope, 42).unwrap();
+        assert_eq!((got.version, got.table_rows), (1, 1_001));
+        // But an older version never displaces a newer one.
+        cache.admit_snapshot(&scope, make(0, 1_000));
+        assert_eq!(cache.lookup_snapshot(&scope, 42).unwrap().version, 1);
     }
 }

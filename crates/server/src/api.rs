@@ -24,7 +24,7 @@ use voxolap_core::unmerged::{Unmerged, UnmergedConfig};
 use voxolap_core::voice::{InstantVoice, VirtualVoice, VoiceOutput};
 use voxolap_core::CancelToken;
 use voxolap_data::stats::DatasetStats;
-use voxolap_data::Table;
+use voxolap_data::{DimValue, IngestRow, LiveTable, Table};
 use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
 use voxolap_faults::Resilience;
@@ -61,7 +61,11 @@ pub type SessionStore = Mutex<HashMap<String, SessionEntry>>;
 
 /// Shared application state.
 pub struct AppState {
-    table: Arc<Table>,
+    /// Live (append-capable) revision chain of the dataset. Every request
+    /// pins one [`LiveTable::snapshot`] for its whole run, so a query's
+    /// result layout stays consistent however many `POST /ingest` batches
+    /// land while it plans; the next request sees the new revision.
+    live: LiveTable,
     sessions: SessionStore,
     /// Planning threads used by the `parallel` approach.
     threads: usize,
@@ -91,6 +95,10 @@ pub struct AppState {
     gap_ms: Arc<Mutex<Vec<f64>>>,
     /// Streams aborted because the client hung up mid-stream.
     stream_cancellations: Arc<AtomicU64>,
+    /// Batches accepted by `POST /ingest`, for `/stats`.
+    ingest_batches: AtomicU64,
+    /// Rows appended by `POST /ingest`, for `/stats`.
+    ingest_rows: AtomicU64,
     /// Serving-layer counters shared with the HTTP pool (`None` when the
     /// state is exercised without a real server, e.g. in unit tests).
     http_metrics: Option<Arc<HttpMetrics>>,
@@ -155,6 +163,7 @@ struct AnswerResponse {
     rows_sampled: u64,
     planner_iterations: u64,
     degraded: bool,
+    stale: bool,
 }
 
 impl AnswerResponse {
@@ -169,6 +178,7 @@ impl AnswerResponse {
             rows_sampled: outcome.stats.rows_read,
             planner_iterations: outcome.stats.samples,
             degraded: outcome.stats.degraded,
+            stale: outcome.stats.stale,
         }
     }
 
@@ -187,6 +197,11 @@ impl AnswerResponse {
         // only on answers that actually degraded.
         if self.degraded {
             fields.push(("degraded", true.into()));
+        }
+        // Likewise only present when a version-stale cached result was
+        // served (fault or deadline blocked a fresh replan).
+        if self.stale {
+            fields.push(("stale", true.into()));
         }
         Value::obj(fields)
     }
@@ -271,7 +286,7 @@ impl AppState {
     pub fn new(table: Table) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         AppState {
-            table: Arc::new(table),
+            live: LiveTable::new(table),
             sessions: Mutex::new(HashMap::new()),
             threads,
             semantic: Some(Arc::new(SemanticCache::with_capacity_mb(DEFAULT_CACHE_MB))),
@@ -283,6 +298,8 @@ impl AppState {
             ttfs_ms: Arc::new(Mutex::new(Vec::new())),
             gap_ms: Arc::new(Mutex::new(Vec::new())),
             stream_cancellations: Arc::new(AtomicU64::new(0)),
+            ingest_batches: AtomicU64::new(0),
+            ingest_rows: AtomicU64::new(0),
             http_metrics: None,
             debug_routes: false,
             session_timing: (15_000, 120_000),
@@ -359,12 +376,15 @@ impl AppState {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_string()),
             ("GET", "/stats") => {
-                let stats = DatasetStats::of(&self.table);
+                let table = self.live.snapshot();
+                let stats = DatasetStats::of(&table);
                 let body = Value::obj([
                     ("name", stats.name.as_str().into()),
                     ("dimensions", stats.dimensions.clone().into()),
                     ("rows", stats.rows.into()),
                     ("bytes", stats.bytes.into()),
+                    ("version", table.version().into()),
+                    ("ingest", self.ingest_json()),
                     ("cache", self.cache_json()),
                     ("latency_ms", self.latency_json()),
                     ("degradation", self.degradation_json()),
@@ -377,6 +397,7 @@ impl AppState {
                 panic!("debug route: deliberate handler panic")
             }
             ("POST", "/ask") => self.handle_ask(req),
+            ("POST", "/ingest") => self.handle_ingest(req),
             ("POST", "/query/stream") => self.handle_query_stream(req),
             ("POST", path) => {
                 match path.strip_prefix("/session/").and_then(|rest| rest.strip_suffix("/input")) {
@@ -408,8 +429,20 @@ impl AppState {
             ("misses", s.misses.into()),
             ("admissions", s.admissions.into()),
             ("evictions", s.evictions.into()),
+            ("exact_invalidations", s.exact_invalidations.into()),
+            ("snapshot_repairs", s.snapshot_repairs.into()),
+            ("repair_rows_read", s.repair_rows_read.into()),
+            ("stale_serves", s.stale_serves.into()),
             ("bytes_used", s.bytes_used.into()),
             ("capacity_bytes", cache.capacity_bytes().into()),
+        ])
+    }
+
+    /// Ingest counters for `/stats`: accepted batches and appended rows.
+    fn ingest_json(&self) -> Value {
+        Value::obj([
+            ("batches", self.ingest_batches.load(Ordering::Relaxed).into()),
+            ("rows", self.ingest_rows.load(Ordering::Relaxed).into()),
         ])
     }
 
@@ -513,11 +546,12 @@ impl AppState {
     fn drive_stream(
         &self,
         vocalizer: &dyn Vocalizer,
+        table: &Table,
         query: &Query,
         voice: &mut dyn VoiceOutput,
     ) -> VocalizationOutcome {
         let t0 = Instant::now();
-        let mut stream = vocalizer.stream(&self.table, query, voice, CancelToken::never());
+        let mut stream = vocalizer.stream(table, query, voice, CancelToken::never());
         let mut last = t0;
         let mut first = true;
         while stream.next_sentence().is_some() {
@@ -533,6 +567,90 @@ impl AppState {
         stream.finish()
     }
 
+    /// `POST /ingest`: append a batch of fact rows to the live table,
+    /// one NDJSON object per line:
+    ///
+    /// ```text
+    /// {"dims": ["Kahului HI", "summer"], "values": [1.0, 0.0]}
+    /// ```
+    ///
+    /// A string dimension value names an existing leaf member; an array
+    /// is a full level-1-to-leaf phrase path, creating members missing
+    /// along the way (DESIGN.md §16). The batch is atomic: any malformed
+    /// line, unknown member, or arity mismatch 400s (naming the line)
+    /// and the table stays on its current version. Cached results are
+    /// not touched here — queries against the new version invalidate
+    /// stale exact entries and repair sample snapshots lazily, scanning
+    /// only the appended suffix.
+    fn handle_ingest(&self, req: &Request) -> Response {
+        let Ok(text) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "ingest body must be UTF-8 NDJSON");
+        };
+        let mut rows = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |msg: &str| Response::error(400, &format!("line {}: {msg}", no + 1));
+            let Ok(v) = Value::parse(line) else {
+                return bad("expected one JSON object per line");
+            };
+            let Some(dims) = v["dims"].as_array() else {
+                return bad("rows need a \"dims\" array");
+            };
+            let Some(values) = v["values"].as_array() else {
+                return bad("rows need a \"values\" array");
+            };
+            let mut row = IngestRow {
+                dims: Vec::with_capacity(dims.len()),
+                values: Vec::with_capacity(values.len()),
+            };
+            for d in dims {
+                if let Some(phrase) = d.as_str() {
+                    row.dims.push(DimValue::Phrase(phrase.to_string()));
+                } else if let Some(path) = d.as_array() {
+                    let mut steps = Vec::with_capacity(path.len());
+                    for step in path {
+                        let Some(s) = step.as_str() else {
+                            return bad("path steps must be strings");
+                        };
+                        steps.push(s.to_string());
+                    }
+                    row.dims.push(DimValue::Path(steps));
+                } else {
+                    return bad("dimension values are member phrases (string) or paths (array)");
+                }
+            }
+            for m in values {
+                let Some(x) = m.as_f64() else {
+                    return bad("measure values must be numbers");
+                };
+                row.values.push(x);
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Response::error(400, "empty ingest batch");
+        }
+        match self.live.append_rows(&rows) {
+            Ok(report) => {
+                self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+                self.ingest_rows.fetch_add(report.appended as u64, Ordering::Relaxed);
+                Response::ok(
+                    Value::obj([
+                        ("appended", report.appended.into()),
+                        ("version", report.version.into()),
+                        ("total_rows", report.total_rows.into()),
+                        ("new_members", report.new_members.into()),
+                    ])
+                    .to_string(),
+                )
+            }
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
     fn handle_ask(&self, req: &Request) -> Response {
         let Some(ask) = AskRequest::from_body(&req.body) else {
             return Response::error(400, "expected {\"question\": \"...\"}");
@@ -542,12 +660,15 @@ impl AppState {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
-        let query = match parse_question(self.table.schema(), &ask.question) {
+        // Pin one revision for parse + plan: the query's result layout
+        // must match the dictionaries it was parsed against.
+        let table = self.live.snapshot();
+        let query = match parse_question(table.schema(), &ask.question) {
             Ok(q) => q,
             Err(e) => return Response::error(400, &e.to_string()),
         };
         let mut voice = InstantVoice::default();
-        let outcome = self.drive_stream(vocalizer.as_ref(), &query, &mut voice);
+        let outcome = self.drive_stream(vocalizer.as_ref(), &table, &query, &mut voice);
         self.record_latency(&outcome);
         Response::ok(AnswerResponse::from_outcome(approach, &outcome).to_json().to_string())
     }
@@ -566,11 +687,13 @@ impl AppState {
             Ok(v) => v,
             Err(e) => return Response::error(400, &e),
         };
-        let query = match parse_question(self.table.schema(), &ask.question) {
+        // One pinned revision serves the whole stream, even if ingest
+        // batches land while sentences are still playing.
+        let table = self.live.snapshot();
+        let query = match parse_question(table.schema(), &ask.question) {
             Ok(q) => q,
             Err(e) => return Response::error(400, &e.to_string()),
         };
-        let table = Arc::clone(&self.table);
         let latencies = Arc::clone(&self.latencies_ms);
         let latencies_degraded = Arc::clone(&self.planning_degraded_ms);
         let latencies_clean = Arc::clone(&self.planning_clean_ms);
@@ -648,6 +771,9 @@ impl AppState {
             if outcome.stats.degraded {
                 fields.push(("degraded", true.into()));
             }
+            if outcome.stats.stale {
+                fields.push(("stale", true.into()));
+            }
             let done = Value::obj(fields);
             w.send(&format!("{done}\n"));
         })
@@ -667,9 +793,10 @@ impl AppState {
         // lock is held across vocalization to keep per-session ordering;
         // distinct sessions on distinct connections still run one request
         // at a time here (matching the paper's per-worker sessions).
+        let table = self.live.snapshot();
         let mut sessions = self.sessions.lock();
         let entry = sessions.entry(id.to_string()).or_default();
-        let mut session = Session::new(&self.table);
+        let mut session = Session::new(&table);
         for cmd in entry.log.iter() {
             let _ = session.input(cmd);
         }
@@ -830,7 +957,8 @@ impl AppState {
             let entry = sessions.entry(id.to_string()).or_default();
             (entry.log.clone(), entry.last_scope.clone())
         };
-        let mut session = Session::new(&self.table);
+        let table = self.live.snapshot();
+        let mut session = Session::new(&table);
         for cmd in log.iter() {
             let _ = session.input(cmd);
         }
@@ -921,6 +1049,9 @@ impl AppState {
                         // that were cut short (deadline → anytime path).
                         if outcome.stats.degraded {
                             done.push(("degraded", true.into()));
+                        }
+                        if outcome.stats.stale {
+                            done.push(("stale", true.into()));
                         }
                         sink.send_line(&Value::obj(done).to_string());
                         SessionVerdict::Continue
@@ -1176,6 +1307,88 @@ mod tests {
         assert!(stats["degradation"].is_null(), "{stats:?}");
         // And a malformed spec is rejected up front.
         assert!(raw_state().with_fault_plan("read=not-a-prob").is_err());
+    }
+
+    /// One NDJSON ingest line that clones `row` of the pinned table, so
+    /// tests can append rows that are valid under the flights schema.
+    fn echo_line(table: &Table, row: usize) -> String {
+        use voxolap_data::schema::{DimId, MeasureId};
+        let schema = table.schema();
+        let dims: Vec<Value> = (0..schema.dimensions().len())
+            .map(|d| {
+                let id = DimId(d as u8);
+                schema.dimension(id).member(table.member_at(id, row)).phrase.as_str().into()
+            })
+            .collect();
+        let values: Vec<Value> = (0..schema.measures().len())
+            .map(|m| table.measure_value(MeasureId(m as u8), row).into())
+            .collect();
+        Value::obj([("dims", Value::Array(dims)), ("values", Value::Array(values))]).to_string()
+    }
+
+    #[test]
+    fn ingest_appends_rows_and_bumps_version() {
+        let s = state();
+        let table = s.live.snapshot();
+        let batch = format!("{}\n{}\n", echo_line(&table, 0), echo_line(&table, 1));
+        let r = post(&s, "/ingest", &batch);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["appended"].as_u64(), Some(2), "{}", r.body);
+        assert_eq!(v["version"].as_u64(), Some(1));
+        assert_eq!(v["total_rows"].as_u64(), Some(8_002));
+        assert_eq!(v["new_members"].as_u64(), Some(0));
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert_eq!(stats["rows"].as_u64(), Some(8_002), "{stats:?}");
+        assert_eq!(stats["version"].as_u64(), Some(1));
+        assert_eq!(stats["ingest"]["batches"].as_u64(), Some(1));
+        assert_eq!(stats["ingest"]["rows"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn ingest_rejects_bad_batches_atomically() {
+        let s = state();
+        let table = s.live.snapshot();
+        // Malformed second line: the error names it, nothing is applied.
+        let batch = format!("{}\nnot json\n", echo_line(&table, 0));
+        let r = post(&s, "/ingest", &batch);
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("line 2"), "{}", r.body);
+        // Unknown member phrase: rejected by the dictionary, atomically.
+        let r = post(&s, "/ingest", "{\"dims\": [\"Atlantis\"], \"values\": [1.0]}");
+        assert_eq!(r.status, 400, "{}", r.body);
+        // Empty batches are refused too.
+        assert_eq!(post(&s, "/ingest", "\n\n").status, 400);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert_eq!(stats["version"].as_u64(), Some(0), "{stats:?}");
+        assert_eq!(stats["rows"].as_u64(), Some(8_000));
+        assert_eq!(stats["ingest"]["batches"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn append_invalidates_exact_answers_and_repairs_snapshots() {
+        let s = state();
+        let ask = "{\"question\": \"cancellation probability by season\"}";
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        let table = s.live.snapshot();
+        let batch: String = (0..6).map(|r| format!("{}\n", echo_line(&table, r))).collect();
+        assert_eq!(post(&s, "/ingest", &batch).status, 200);
+        // The repeat is no longer an exact hit: the entry is version-stale,
+        // so the planner invalidates it and replans, repairing the cached
+        // sample snapshot by scanning only the 6 appended rows.
+        let r = post(&s, "/ask", ask);
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(!r.body.contains("\"stale\""), "{}", r.body);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        let cache = &stats["cache"];
+        assert_eq!(cache["exact_invalidations"].as_u64(), Some(1), "{stats:?}");
+        assert!(cache["snapshot_repairs"].as_u64().unwrap() >= 1, "{stats:?}");
+        assert!(cache["repair_rows_read"].as_u64().unwrap() >= 6, "{stats:?}");
+        assert_eq!(cache["stale_serves"].as_u64(), Some(0), "{stats:?}");
+        // Same question again, no append in between: exact hit.
+        assert_eq!(post(&s, "/ask", ask).status, 200);
+        let stats = Value::parse(&get(&s, "/stats").body).unwrap();
+        assert_eq!(stats["cache"]["exact_hits"].as_u64(), Some(1), "{stats:?}");
     }
 
     #[test]

@@ -257,6 +257,115 @@ fn total_read_outage_on_the_morsel_path_still_answers() {
     }
 }
 
+/// Fault schedules firing while append + repair traffic flows (DESIGN.md
+/// §16): every iteration fills a shared cache clean, appends a batch —
+/// making all cached entries version-stale — and replans under a
+/// randomized fault plan. The cache must never pass a wrong-version
+/// result off as fresh: a stale entry never counts as an exact hit, and
+/// any stale serve must surface on the answer as `stale: true` (riding
+/// the degradation ladder, so it is also marked degraded). No schedule
+/// may let a panic escape the append/repair path.
+#[test]
+fn append_chaos_never_serves_wrong_version_results_unmarked() {
+    use voxolap_data::schema::MeasureId;
+    use voxolap_data::{DimValue, IngestRow, LiveTable};
+    use voxolap_engine::semantic::SemanticCache;
+
+    let base = table();
+    let live = LiveTable::new(base.clone());
+    let echo = |start: usize, n: usize| -> Vec<IngestRow> {
+        let schema = base.schema();
+        (0..n)
+            .map(|i| {
+                let row = (start + i) % base.row_count();
+                IngestRow {
+                    dims: (0..schema.dimensions().len())
+                        .map(|d| {
+                            let id = DimId(d as u8);
+                            let member = base.member_at(id, row);
+                            DimValue::Phrase(schema.dimension(id).member(member).phrase.clone())
+                        })
+                        .collect(),
+                    values: (0..schema.measures().len())
+                        .map(|m| base.measure_value(MeasureId(m as u8), row))
+                        .collect(),
+                }
+            })
+            .collect()
+    };
+
+    let mut repairs_total = 0u64;
+    let mut stale_total = 0u64;
+    for seed in 0..40u64 {
+        let cache = Arc::new(SemanticCache::with_capacity_mb(16));
+        let config = HolisticConfig {
+            min_samples_per_sentence: 200,
+            max_tree_nodes: 30_000,
+            seed,
+            ..HolisticConfig::default()
+        };
+        let engine = |res: Option<Arc<Resilience>>| -> Box<dyn Vocalizer> {
+            if seed.is_multiple_of(2) {
+                let mut v = Holistic::new(config.clone()).with_cache(Arc::clone(&cache));
+                if let Some(res) = res {
+                    v = v.with_resilience(res);
+                }
+                Box::new(v)
+            } else {
+                let mut v = ParallelHolistic::new(config.clone())
+                    .with_threads(2)
+                    .with_cache(Arc::clone(&cache));
+                if let Some(res) = res {
+                    v = v.with_resilience(res);
+                }
+                Box::new(v)
+            }
+        };
+        let two_dims = seed % 3 != 0;
+        // Fault-free warm-up on the current revision fills the cache.
+        {
+            let snap = live.snapshot();
+            let q = query(&snap, two_dims);
+            let mut voice = InstantVoice::default();
+            engine(None).vocalize(&snap, &q, &mut voice);
+        }
+        let before = cache.stats();
+        live.append_rows(&echo(seed as usize * 100, 100)).expect("append");
+        let res = chaos_resilience(seed);
+        let snap = live.snapshot();
+        let q = query(&snap, two_dims);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut voice = InstantVoice::default();
+            engine(Some(Arc::clone(&res))).vocalize(&snap, &q, &mut voice)
+        }))
+        .unwrap_or_else(|e| {
+            record_failure_seed(seed, "panic escaped the append/repair path");
+            std::panic::resume_unwind(e);
+        });
+        let after = cache.stats();
+        let stale_serves = after.stale_serves - before.stale_serves;
+        if stale_serves > 0 && !outcome.stats.stale {
+            record_failure_seed(seed, "stale serve not marked on the answer");
+            panic!("seed {seed}: {stale_serves} stale serves but the answer is unmarked");
+        }
+        if outcome.stats.stale && !outcome.stats.degraded {
+            record_failure_seed(seed, "stale answer not marked degraded");
+            panic!("seed {seed}: a stale answer must ride the degradation ladder");
+        }
+        if after.exact_hits != before.exact_hits {
+            record_failure_seed(seed, "version-stale exact entry served as a fresh hit");
+            panic!("seed {seed}: a wrong-version exact entry was counted as a fresh hit");
+        }
+        repairs_total += after.snapshot_repairs - before.snapshot_repairs;
+        stale_total += stale_serves;
+    }
+    // The schedule mix must exercise both outcomes: snapshots repaired
+    // under fire, and at least one schedule harsh enough that the ladder
+    // fell back to the (marked) stale exact answer.
+    assert!(repairs_total > 0, "no snapshot was ever repaired under chaos");
+    assert!(stale_total > 0, "no schedule forced a stale exact serve");
+}
+
 #[test]
 fn inert_resilience_is_bit_identical_to_no_resilience() {
     // The zero-cost-when-disabled guarantee, end to end: an attached but

@@ -248,6 +248,128 @@ fn prefix_sample_means_respect_the_estimator_error_bound() {
     );
 }
 
+/// Segmented scan orders (DESIGN.md §16) must stay permutations after
+/// appends: every row of the grown table visited exactly once, and the
+/// old-prefix sub-order byte-identical to the order of the table before
+/// the append (so cached sample snapshots remain resumable).
+#[test]
+fn segmented_scan_order_visits_grown_tables_exactly_once() {
+    let mut gen = StdRng::seed_from_u64(0xca5e_0007);
+    for _ in 0..CASES {
+        let n0 = gen.gen_range(1usize..400);
+        let n1 = gen.gen_range(1usize..200);
+        let n2 = gen.gen_range(0usize..100);
+        let chunk = gen.gen_range(1usize..64);
+        let seed = gen.gen_range(0u64..1 << 20);
+        let segments: Vec<usize> = [n0, n1, n2].into_iter().filter(|&s| s > 0).collect();
+        let total: usize = segments.iter().sum();
+        let order = voxolap_data::ScanOrder::segmented(&segments, seed, chunk);
+
+        let mut visited = vec![0u32; total];
+        let mut sequence = Vec::with_capacity(total);
+        for pos in 0..order.n_chunks() {
+            for rank in 0..order.chunk_len(pos) {
+                let row = order.row_at(pos, rank);
+                visited[row] += 1;
+                sequence.push(row);
+            }
+        }
+        assert!(visited.iter().all(|&v| v == 1), "not a permutation of 0..{total}");
+
+        // Old-prefix stability: the pre-append order is a literal prefix.
+        let old = voxolap_data::ScanOrder::segmented(&segments[..1], seed, chunk);
+        let mut old_sequence = Vec::with_capacity(n0);
+        for pos in 0..old.n_chunks() {
+            for rank in 0..old.chunk_len(pos) {
+                old_sequence.push(old.row_at(pos, rank));
+            }
+        }
+        assert_eq!(&sequence[..n0], &old_sequence[..], "old prefix reordered by append");
+        // And the boundary is recognized where repairs resume.
+        assert_eq!(order.prefix_positions(n0), old.n_chunks());
+    }
+}
+
+/// Repairing a version-stale snapshot (scanning only the appended suffix
+/// at the donor's inclusion rate) must leave a sample as good as a fresh
+/// scan of the grown table: across 50 seeds, the repaired sample mean
+/// stays within the estimator's 4σ bound of the grown table's true mean,
+/// and the cross-seed average is unbiased.
+#[test]
+fn repaired_snapshot_estimates_match_the_fresh_sample_bound() {
+    use voxolap_engine::repair::repair_snapshot;
+    use voxolap_engine::semantic::{LoggedRow, SampleSnapshot};
+
+    let old = SalaryConfig { rows: 20_000, seed: 9 }.generate();
+    // Append a 4,000-row suffix echoing early rows (no new members).
+    let suffix: Vec<voxolap_data::IngestRow> = (0..4_000)
+        .map(|i| voxolap_data::IngestRow {
+            dims: (0..old.schema().dimensions().len())
+                .map(|d| {
+                    let id = DimId(d as u8);
+                    let m = old.member_at(id, i);
+                    voxolap_data::DimValue::Phrase(
+                        old.schema().dimension(id).member(m).phrase.clone(),
+                    )
+                })
+                .collect(),
+            values: vec![old.value_at(i)],
+        })
+        .collect();
+    let (new, _) = old.append_rows(&suffix).unwrap();
+    let n = new.row_count();
+    let values = new.measure();
+    let truth = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - truth).powi(2)).sum::<f64>() / n as f64;
+
+    // Unfiltered scope: every scanned row lands in the snapshot's row log.
+    let scope = Query::builder(AggFct::Avg)
+        .group_by(DimId(0), LevelId(1))
+        .build(old.schema())
+        .unwrap()
+        .key()
+        .scope();
+
+    let k0 = 2_000u64;
+    let k = k0 + 400; // k1 = round(4000 * 2000/20000)
+    let fpc = (((n as u64 - k) as f64) / ((n - 1) as f64)).sqrt();
+    let se = (var / k as f64).sqrt() * fpc;
+
+    let mut means = Vec::with_capacity(50);
+    for seed in 0..50u64 {
+        let mut scan = old.scan_shuffled_measure(seed, scope.measure());
+        let mut rows = Vec::new();
+        for _ in 0..k0 {
+            let r = scan.next_row().expect("old table has k0 rows");
+            rows.push(LoggedRow { members: r.members.into(), value: r.value });
+        }
+        let donor = SampleSnapshot {
+            seed,
+            progress: scan.progress(),
+            nr_read: k0,
+            rows,
+            version: old.version(),
+            table_rows: old.row_count() as u64,
+        };
+        let out = repair_snapshot(&donor, &new, &scope).expect("repairable");
+        assert_eq!(out.snapshot.nr_read, k, "proportional suffix read");
+        assert!(out.rows_read <= 4_000, "repair read past the suffix");
+        let mean =
+            out.snapshot.rows.iter().map(|r| r.value).sum::<f64>() / out.snapshot.rows.len() as f64;
+        assert!(
+            (mean - truth).abs() <= 4.0 * se,
+            "seed {seed}: repaired mean {mean} vs true mean {truth} (4 sigma = {:.4})",
+            4.0 * se
+        );
+        means.push(mean);
+    }
+    let avg = means.iter().sum::<f64>() / means.len() as f64;
+    assert!(
+        (avg - truth).abs() <= 4.0 * se / (means.len() as f64).sqrt(),
+        "biased repair: cross-seed mean {avg} vs true mean {truth}"
+    );
+}
+
 #[test]
 fn exact_evaluation_matches_brute_force() {
     for seed in 0u64..16 {
