@@ -13,26 +13,42 @@
 //!    the appended suffix (a few batches), not the table size.
 //! 3. **Latency** — cold (empty cache) vs post-append warm p50s.
 //!
+//! 4. **Durability overhead** — a wal-on vs wal-off ingest series
+//!    (DESIGN.md §17): the same append stream committed through the
+//!    write-ahead log (at the header's `fsync_mode`) and straight into
+//!    memory, so the record prices what `--data-dir` costs per batch.
+//!
 //! ```text
 //! cargo run --release --bin mixed_workload \
 //!     [--rows N] [--rounds N] [--batch N] [--drivers N] [--smoke] [--out PATH]
+//!     [--data-dir PATH] [--fsync-mode always|batch|off]
 //! ```
+//!
+//! Appends that fail with a transient WAL error back off and retry under
+//! the shared [`RetryPolicy`] (the in-process analog of the server's
+//! `503` + `Retry-After`) instead of aborting the run; retries are
+//! counted in the record's `ingest` section.
 //!
 //! `--smoke` shrinks the run for CI and exits non-zero after writing the
 //! record if no snapshot was repaired, a repair read more than its
 //! possible suffix, or a stale serve went unmarked on the answer.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use voxolap_bench::experiments::stream::percentile;
 use voxolap_bench::{arg_usize, experiment_holistic, fig3_queries, flights_table, HostInfo};
 use voxolap_core::approach::Vocalizer;
 use voxolap_core::voice::InstantVoice;
 use voxolap_data::schema::MeasureId;
-use voxolap_data::{DimId, DimValue, IngestRow, LiveTable, Table};
+use voxolap_data::{
+    DataError, DimId, DimValue, DurabilityOptions, DurableTable, FsyncMode, IngestRow, LiveTable,
+    Table,
+};
 use voxolap_engine::semantic::SemanticCache;
+use voxolap_faults::RetryPolicy;
 use voxolap_json::Value;
 
 /// Clone `n` existing rows (cycling from `start`) as an ingest batch, so
@@ -71,6 +87,65 @@ fn run_query(live: &LiveTable, cache: &Arc<SemanticCache>, scope_idx: usize) -> 
     (t0.elapsed().as_secs_f64() * 1e3, outcome.stats.rows_read, outcome.stats.stale)
 }
 
+/// The backoff shared with the HTTP bench clients: transient WAL errors
+/// are the in-process face of the server's `503` + `Retry-After`.
+fn bench_retry_policy() -> RetryPolicy {
+    RetryPolicy { max_retries: 4, base: Duration::from_millis(20), cap: Duration::from_millis(250) }
+}
+
+/// Append with jittered-backoff retries on transient WAL errors. A
+/// poisoned log (failed fsync) keeps erroring, so retries exhaust fast
+/// and the error still surfaces.
+fn append_with_retry(
+    table: &DurableTable,
+    rows: &[IngestRow],
+    policy: &RetryPolicy,
+    token: u64,
+    retries: &AtomicU64,
+) -> Result<(), DataError> {
+    let mut attempt = 0;
+    loop {
+        match table.append_rows(rows) {
+            Err(DataError::Wal { .. }) if attempt < policy.max_retries => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(policy.delay(attempt, token));
+                attempt += 1;
+            }
+            other => return other.map(|_| ()),
+        }
+    }
+}
+
+/// Drive `batches` appends of `batch` rows into `table`, timing each
+/// publish; returns (per-append ms samples, wall seconds).
+fn drive_ingest(
+    table: &DurableTable,
+    base: &Table,
+    batch: usize,
+    batches: usize,
+    policy: &RetryPolicy,
+    retries: &AtomicU64,
+) -> (Vec<f64>, f64) {
+    let mut per_append_ms = Vec::with_capacity(batches);
+    let t0 = Instant::now();
+    for b in 0..batches {
+        let rows = echo_rows(base, b * batch, batch);
+        let a0 = Instant::now();
+        append_with_retry(table, &rows, policy, b as u64, retries).expect("ingest-series append");
+        per_append_ms.push(a0.elapsed().as_secs_f64() * 1e3);
+    }
+    (per_append_ms, t0.elapsed().as_secs_f64())
+}
+
+fn ingest_mode_json(per_append_ms: &[f64], wall_s: f64, batch: usize) -> Value {
+    let rows = (per_append_ms.len() * batch) as f64;
+    Value::obj([
+        ("batches", per_append_ms.len().into()),
+        ("append_ms", dist_json(per_append_ms)),
+        ("rows_per_s", (rows / wall_s).into()),
+    ])
+}
+
 fn dist_json(samples: &[f64]) -> Value {
     Value::obj([
         ("count", samples.len().into()),
@@ -89,17 +164,43 @@ fn main() {
     // The first six Figure-3 scopes are the narrow ones (tens of
     // aggregates); one driver thread per scope keeps repairs attributable.
     let drivers = arg_usize("--drivers", host.cores.clamp(2, 6)).clamp(1, 6);
-    let out = {
+    let arg_str = |key: &str| {
         let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_ingest.json".to_string())
+        args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
     };
-    eprintln!("mixed_workload: rows={rows} rounds={rounds} batch={batch} drivers={drivers}");
+    let out = arg_str("--out").unwrap_or_else(|| "BENCH_ingest.json".to_string());
+    let fsync_mode = match FsyncMode::parse(arg_str("--fsync-mode").as_deref().unwrap_or("batch")) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let data_dir = arg_str("--data-dir").map(PathBuf::from);
+    eprintln!(
+        "mixed_workload: rows={rows} rounds={rounds} batch={batch} drivers={drivers} fsync={}",
+        fsync_mode.name()
+    );
 
     let base = flights_table(rows);
-    let live = LiveTable::new(base.clone());
+    let durable = match &data_dir {
+        Some(dir) => {
+            let options = DurabilityOptions { fsync_mode, ..DurabilityOptions::default() };
+            let (durable, recovery) =
+                DurableTable::open(base.clone(), dir, options).expect("open data dir");
+            eprintln!(
+                "durability: data-dir={} recovered version={} ({} wal batches)",
+                dir.display(),
+                recovery.version,
+                recovery.replayed_batches
+            );
+            durable
+        }
+        None => DurableTable::memory(base.clone()),
+    };
+    let live: &LiveTable = durable.live();
+    let retry_policy = bench_retry_policy();
+    let append_retries = AtomicU64::new(0);
     let cache = Arc::new(SemanticCache::with_capacity_mb(64));
     let marked_stale = AtomicU64::new(0);
 
@@ -135,7 +236,14 @@ fn main() {
     let mut warm_rows = Vec::with_capacity(rounds * drivers);
     let mixed_t0 = Instant::now();
     for round in 0..rounds {
-        live.append_rows(&echo_rows(&base, appended_total, batch)).expect("append");
+        append_with_retry(
+            &durable,
+            &echo_rows(&base, appended_total, batch),
+            &retry_policy,
+            round as u64,
+            &append_retries,
+        )
+        .expect("append");
         appended_total += batch;
         batches += 1;
         let mid = echo_rows(&base, appended_total, batch);
@@ -150,7 +258,8 @@ fn main() {
             // Publish the next revision while the round's queries plan:
             // their pinned snapshots are unaffected, and the next round
             // repairs across both batches.
-            live.append_rows(&mid).expect("mid-round append");
+            append_with_retry(&durable, &mid, &retry_policy, round as u64, &append_retries)
+                .expect("mid-round append");
             handles.into_iter().map(|h| h.join().expect("driver")).collect::<Vec<_>>()
         });
         appended_total += batch;
@@ -170,6 +279,40 @@ fn main() {
         );
     }
     let mixed_s = mixed_t0.elapsed().as_secs_f64();
+
+    // ---- Phase 3: wal-on vs wal-off ingest series ----------------------
+    // The same append stream, once straight into memory and once
+    // committed through the WAL at the chosen fsync mode, prices the
+    // durability overhead per batch (DESIGN.md §17).
+    let series_batches = if smoke { 4 } else { 16 };
+    let wal_off_table = DurableTable::memory(base.clone());
+    let (off_ms, off_s) =
+        drive_ingest(&wal_off_table, &base, batch, series_batches, &retry_policy, &append_retries);
+    let series_dir = data_dir
+        .as_ref()
+        .map(|d| d.join("ingest-series"))
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("voxolap-ingest-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&series_dir);
+    let wal_on_table = DurableTable::open(
+        base.clone(),
+        &series_dir,
+        DurabilityOptions { fsync_mode, ..DurabilityOptions::default() },
+    )
+    .expect("open ingest-series dir")
+    .0;
+    let (on_ms, on_s) =
+        drive_ingest(&wal_on_table, &base, batch, series_batches, &retry_policy, &append_retries);
+    let wal_bytes = wal_on_table.stats().map(|s| s.wal_bytes).unwrap_or(0);
+    let fsyncs = wal_on_table.stats().map(|s| s.fsyncs).unwrap_or(0);
+    drop(wal_on_table);
+    let _ = std::fs::remove_dir_all(&series_dir);
+    let off_p50 = percentile(&off_ms, 50.0);
+    let on_p50 = percentile(&on_ms, 50.0);
+    eprintln!(
+        "ingest series ({series_batches}x{batch} rows): wal-off p50 {off_p50:.2} ms, \
+         wal-on[{}] p50 {on_p50:.2} ms ({wal_bytes} wal bytes, {fsyncs} fsyncs)",
+        fsync_mode.name()
+    );
 
     // ---- Analysis ------------------------------------------------------
     let stats = cache.stats();
@@ -200,6 +343,8 @@ fn main() {
         ("smoke", smoke.into()),
         ("host_cores", (host.cores as u64).into()),
         ("host_ram_bytes", host.ram_bytes.into()),
+        ("fsync_mode", fsync_mode.name().into()),
+        ("durable_workload", durable.is_durable().into()),
         (
             "workload",
             Value::obj([
@@ -242,6 +387,26 @@ fn main() {
                 ("unmarked_stale_answers", unmarked_stale.into()),
             ]),
         ),
+        (
+            "ingest",
+            Value::obj([
+                ("batch_rows", batch.into()),
+                ("wal_off", ingest_mode_json(&off_ms, off_s, batch)),
+                ("wal_on", ingest_mode_json(&on_ms, on_s, batch)),
+                ("wal_on_overhead_x", (on_p50 / off_p50.max(1e-9)).into()),
+                ("wal_bytes", wal_bytes.into()),
+                ("fsyncs", fsyncs.into()),
+                (
+                    "retry",
+                    Value::obj([
+                        ("max_retries", retry_policy.max_retries.into()),
+                        ("base_ms", (retry_policy.base.as_secs_f64() * 1e3).into()),
+                        ("cap_ms", (retry_policy.cap.as_secs_f64() * 1e3).into()),
+                        ("wal_retries", append_retries.load(Ordering::Relaxed).into()),
+                    ]),
+                ),
+            ]),
+        ),
     ]);
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark record");
     eprintln!("wrote {out}");
@@ -257,6 +422,9 @@ fn main() {
     println!("| exact invalidations | {} |", stats.exact_invalidations);
     println!("| warm hits | {} |", stats.warm_hits);
     println!("| unmarked stale answers | {unmarked_stale} |");
+    println!("| wal-off append p50 | {off_p50:.2} ms |");
+    println!("| wal-on ({}) append p50 | {on_p50:.2} ms |", fsync_mode.name());
+    println!("| wal append retries | {} |", append_retries.load(Ordering::Relaxed));
 
     if smoke {
         let mut failures = Vec::new();

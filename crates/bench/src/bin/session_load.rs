@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use voxolap_bench::experiments::stream::percentile;
 use voxolap_bench::{arg_usize, flights_table, HostInfo};
 use voxolap_engine::poison::RecoveringMutex;
+use voxolap_faults::RetryPolicy;
 use voxolap_json::Value;
 use voxolap_server::{raise_nofile_limit, serve_with, AppState, HttpMetrics, ServerConfig};
 use voxolap_simuser::{utterance_script, ScriptConfig};
@@ -204,6 +205,44 @@ fn drive_utterance(conn: &mut Conn, text: &str) -> std::io::Result<Option<f64>> 
     }
 }
 
+/// Backoff for `503` + `Retry-After` admission rejections: the server
+/// sheds load when its queue saturates, and a well-behaved client retries
+/// with jitter instead of declaring the session dropped.
+fn bench_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(250),
+    }
+}
+
+/// Whether an I/O error wraps a `503` response (our request helpers embed
+/// the status code in the error text).
+fn is_503(e: &std::io::Error) -> bool {
+    e.to_string().contains("503")
+}
+
+/// Run `op`, retrying `503` rejections per `policy` with deterministic
+/// per-token jitter; every other error (and exhaustion) passes through.
+fn with_retry_503<T>(
+    policy: &RetryPolicy,
+    token: u64,
+    retries: &AtomicU64,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(e) if is_503(&e) && attempt < policy.max_retries => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(policy.delay(attempt, token));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Resident set size of this process in bytes (`0` where undetectable).
 fn vm_rss_bytes() -> u64 {
     std::fs::read_to_string("/proc/self/status")
@@ -296,6 +335,8 @@ fn main() {
 
     // ---- Phase 1: keep-alive warm start vs cold connection ------------
     let io_timeout = Duration::from_secs(60);
+    let retry_policy = bench_retry_policy();
+    let retries_503 = Arc::new(AtomicU64::new(0));
     {
         // Warm the vocalizer + planner caches once, uncounted.
         let mut warmup = Conn::connect(addr, io_timeout).expect("warmup connect");
@@ -303,12 +344,20 @@ fn main() {
     }
     let mut cold_ttfs = Vec::with_capacity(runs);
     let mut warm_ttfs = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let mut conn = Conn::connect(addr, io_timeout).expect("cold connect");
-        cold_ttfs.push(stream_ttfs(&mut conn, Q_COLD).expect("cold stream"));
-        // Same connection, same scope: keep-alive reuse + semantic warm
-        // start.
-        warm_ttfs.push(stream_ttfs(&mut conn, Q_WARM).expect("warm stream"));
+    for r in 0..runs {
+        // A 503 mid-pair retries the whole cold+warm pair on a fresh
+        // connection (a rejected response leaves the old framing dirty).
+        let (cold, warm) = with_retry_503(&retry_policy, r as u64, &retries_503, || {
+            let mut conn = Conn::connect(addr, io_timeout)?;
+            let cold = stream_ttfs(&mut conn, Q_COLD)?;
+            // Same connection, same scope: keep-alive reuse + semantic
+            // warm start.
+            let warm = stream_ttfs(&mut conn, Q_WARM)?;
+            Ok((cold, warm))
+        })
+        .expect("keep-alive pair");
+        cold_ttfs.push(cold);
+        warm_ttfs.push(warm);
     }
     let cold_p50 = percentile(&cold_ttfs, 50.0);
     let warm_p50 = percentile(&warm_ttfs, 50.0);
@@ -337,6 +386,7 @@ fn main() {
         let all_ttfs = Arc::clone(&all_ttfs);
         let all_attach = Arc::clone(&all_attach);
         let barrier = Arc::clone(&barrier);
+        let retries_503 = Arc::clone(&retries_503);
         threads.push(std::thread::spawn(move || {
             let mine: Vec<usize> = (d..sessions).step_by(drivers).collect();
             let mut attach_local = Vec::with_capacity(mine.len());
@@ -344,7 +394,13 @@ fn main() {
                 .iter()
                 .map(|&i| {
                     let t0 = Instant::now();
-                    match attach(addr, &format!("s{i}"), io_timeout) {
+                    // Admission 503s (each attach attempt dials a fresh
+                    // connection) back off and retry before counting a
+                    // drop.
+                    let attached = with_retry_503(&retry_policy, i as u64, &retries_503, || {
+                        attach(addr, &format!("s{i}"), io_timeout)
+                    });
+                    match attached {
                         Ok(conn) => {
                             attach_local.push(t0.elapsed().as_secs_f64() * 1e3);
                             opened.fetch_add(1, Ordering::Relaxed);
@@ -439,6 +495,7 @@ fn main() {
     handle.shutdown();
 
     // ---- Record ------------------------------------------------------
+    let total_retries_503 = retries_503.load(Ordering::Relaxed);
     let json = Value::obj([
         ("bench", "session_load".into()),
         ("dataset", "flights".into()),
@@ -447,6 +504,15 @@ fn main() {
         ("host_cores", (host.cores as u64).into()),
         ("host_ram_bytes", host.ram_bytes.into()),
         ("fd_limit", fd_limit.into()),
+        (
+            "retry",
+            Value::obj([
+                ("max_retries", retry_policy.max_retries.into()),
+                ("base_ms", (retry_policy.base.as_secs_f64() * 1e3).into()),
+                ("cap_ms", (retry_policy.cap.as_secs_f64() * 1e3).into()),
+                ("retries_503", total_retries_503.into()),
+            ]),
+        ),
         (
             "keepalive",
             Value::obj([

@@ -25,6 +25,12 @@
 //!                           skipping it (lenient-skip is the default)
 //!   --fault-plan SPEC       deterministic fault injection + degradation
 //!                           ladder, e.g. "seed=7,read=0.05,budget=64"
+//!   --data-dir PATH         recover ingested batches from a durable store
+//!                           (WAL + snapshots, DESIGN.md §17) on top of the
+//!                           generated/loaded seed before answering; a
+//!                           clean-shutdown marker is written on exit
+//!   --fsync-mode MODE       always|batch|off (default batch); only
+//!                           meaningful with --data-dir
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -42,7 +48,7 @@ use voxolap_core::CancelToken;
 use voxolap_data::flights::FlightsConfig;
 use voxolap_data::salary::SalaryConfig;
 use voxolap_data::stats::DatasetStats;
-use voxolap_data::Table;
+use voxolap_data::{DurabilityOptions, DurableTable, FsyncMode, Table};
 use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
 use voxolap_faults::Resilience;
@@ -63,6 +69,8 @@ struct Options {
     cache_mb: usize,
     strict: bool,
     fault_plan: Option<String>,
+    data_dir: Option<String>,
+    fsync_mode: FsyncMode,
     command: String,
     args: Vec<String>,
 }
@@ -82,7 +90,9 @@ fn usage() -> &'static str {
        --cache-mb N            semantic-cache budget in MiB (default 64; 0 disables)\n\
        --strict                fail on the first malformed CSV row (default: skip + count)\n\
        --fault-plan SPEC       fault injection + degradation ladder, e.g.\n\
-                               \"seed=7,read=0.05,sample=0.01,budget=64,breaker=5\""
+                               \"seed=7,read=0.05,sample=0.01,budget=64,breaker=5\"\n\
+       --data-dir PATH         recover durable ingest state (WAL + snapshots) over the seed\n\
+       --fsync-mode MODE       always|batch|off (default batch); with --data-dir"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -98,6 +108,8 @@ fn parse_options() -> Result<Options, String> {
         cache_mb: 64,
         strict: false,
         fault_plan: None,
+        data_dir: None,
+        fsync_mode: FsyncMode::Batch,
         command: String::new(),
         args: Vec::new(),
     };
@@ -155,6 +167,8 @@ fn parse_options() -> Result<Options, String> {
             }
             "--strict" => opts.strict = true,
             "--fault-plan" => opts.fault_plan = Some(take_value(&mut i)?),
+            "--data-dir" => opts.data_dir = Some(take_value(&mut i)?),
+            "--fsync-mode" => opts.fsync_mode = FsyncMode::parse(&take_value(&mut i)?)?,
             "--help" | "-h" => return Err(usage().to_string()),
             arg if opts.command.is_empty() => opts.command = arg.to_string(),
             arg => opts.args.push(arg.to_string()),
@@ -374,6 +388,8 @@ fn clone_options(o: &Options) -> Options {
         cache_mb: o.cache_mb,
         strict: o.strict,
         fault_plan: o.fault_plan.clone(),
+        data_dir: o.data_dir.clone(),
+        fsync_mode: o.fsync_mode,
         command: o.command.clone(),
         args: o.args.clone(),
     }
@@ -457,23 +473,57 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let table = match load_table(&opts) {
+    let seed = match load_table(&opts) {
         Ok(t) => t,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::FAILURE;
         }
     };
+    // With --data-dir, replay durably ingested batches (e.g. from a
+    // voxolap-server run against the same directory) on top of the seed
+    // before answering anything.
+    let durable = match &opts.data_dir {
+        Some(dir) => {
+            let options =
+                DurabilityOptions { fsync_mode: opts.fsync_mode, ..DurabilityOptions::default() };
+            match DurableTable::open(seed, dir, options) {
+                Ok((durable, recovery)) => {
+                    eprintln!(
+                        "recovered {} batch(es), {} row(s) from {dir} \
+                         (version {}, torn_truncations {}, {:.1}ms)",
+                        recovery.snapshot_batches + recovery.replayed_batches,
+                        recovery.replayed_rows,
+                        recovery.version,
+                        recovery.torn_tail_truncations,
+                        recovery.recovery_ms,
+                    );
+                    durable
+                }
+                Err(e) => {
+                    eprintln!("error: recovery from {dir} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => DurableTable::memory(seed),
+    };
+    let table = durable.snapshot();
+    let table = table.as_ref();
     let result = match opts.command.as_str() {
-        "ask" => cmd_ask(&opts, &table),
-        "compare" => cmd_compare(&opts, &table),
+        "ask" => cmd_ask(&opts, table),
+        "compare" => cmd_compare(&opts, table),
         "stats" => {
-            cmd_stats(&table);
+            cmd_stats(table);
             Ok(())
         }
-        "repl" => cmd_repl(&opts, &table),
+        "repl" => cmd_repl(&opts, table),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
+    // Leave a clean-shutdown marker so the next open skips tail scanning.
+    if let Err(e) = durable.shutdown_clean() {
+        eprintln!("warning: could not write clean-shutdown marker: {e}");
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

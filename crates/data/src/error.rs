@@ -34,6 +34,16 @@ pub enum DataError {
         /// Observed level index.
         actual: usize,
     },
+    /// The durability layer failed: a write-ahead-log append or fsync, a
+    /// snapshot write, or recovery found the on-disk state unusable. The
+    /// in-memory revision is left untouched when this surfaces from an
+    /// append.
+    Wal {
+        /// What failed (e.g. `"append"`, `"fsync"`, `"recovery"`).
+        op: &'static str,
+        /// Description of the failure.
+        message: String,
+    },
     /// A malformed CSV line was encountered.
     Csv {
         /// 1-based line number.
@@ -59,6 +69,7 @@ impl fmt::Display for DataError {
             DataError::LevelMismatch { expected, actual } => {
                 write!(f, "member at level {actual}, expected level {expected}")
             }
+            DataError::Wal { op, message } => write!(f, "wal {op} failed: {message}"),
             DataError::Csv { line, column, message } => match column {
                 Some(col) => write!(f, "csv error at line {line}, column {col:?}: {message}"),
                 None => write!(f, "csv error at line {line}: {message}"),

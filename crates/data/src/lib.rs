@@ -27,6 +27,7 @@
 pub mod chunk;
 pub mod csv;
 pub mod dimension;
+pub mod durable;
 pub mod error;
 pub mod flights;
 pub mod live;
@@ -35,11 +36,16 @@ pub mod schema;
 pub mod star;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
 pub use chunk::{InChunkPerm, Morsel, MorselPool, ScanOrder, CHUNK_ROWS};
 pub use dimension::{Dimension, DimensionBuilder, LevelId, Member, MemberId};
+pub use durable::{
+    DurabilityOptions, DurabilitySnapshot, DurabilityStats, DurableTable, RecoveryReport,
+};
 pub use error::DataError;
 pub use live::{AppendReport, LiveTable};
+pub use wal::{FsyncMode, WalBatch};
 pub use schema::{DimId, Schema};
 pub use star::{DimensionTable, FactTable, StarSchema};
 pub use stats::DatasetStats;

@@ -56,6 +56,21 @@ impl LiveTable {
     /// (off-lock) column copy, only on the final pointer swap. An empty
     /// batch is a no-op. Errors leave the current revision untouched.
     pub fn append_rows(&self, rows: &[IngestRow]) -> Result<AppendReport, DataError> {
+        self.append_rows_with(rows, |_, _| Ok(()))
+    }
+
+    /// [`LiveTable::append_rows`] with a persistence hook: `persist` runs
+    /// after the next revision is fully built and validated but *before*
+    /// the pointer swap, still under the writer lock. The durability
+    /// layer commits the batch to the write-ahead log here — if `persist`
+    /// errors, the revision is discarded and readers never see it, so a
+    /// batch is published iff it is logged. The hook is skipped for empty
+    /// (no-op) batches.
+    pub fn append_rows_with(
+        &self,
+        rows: &[IngestRow],
+        persist: impl FnOnce(&AppendReport, &[IngestRow]) -> Result<(), DataError>,
+    ) -> Result<AppendReport, DataError> {
         if rows.is_empty() {
             let cur = self.snapshot();
             return Ok(AppendReport {
@@ -73,6 +88,7 @@ impl LiveTable {
             total_rows: next.row_count(),
             new_members,
         };
+        persist(&report, rows)?;
         *cur = Arc::new(next);
         Ok(report)
     }
@@ -147,6 +163,21 @@ mod tests {
         // Non-leaf phrases are rejected too.
         let err = live.append_rows(&[phrase_row("anywhere", 1.0)]).unwrap_err();
         assert!(matches!(err, DataError::LevelMismatch { .. }));
+    }
+
+    #[test]
+    fn persist_failure_discards_the_revision() {
+        let live = live_table();
+        let err = live
+            .append_rows_with(&[phrase_row("the North East", 9.0)], |report, rows| {
+                assert_eq!(report.version, 1);
+                assert_eq!(rows.len(), 1);
+                Err(DataError::Wal { op: "append", message: "disk full".into() })
+            })
+            .unwrap_err();
+        assert!(matches!(err, DataError::Wal { .. }));
+        assert_eq!(live.version(), 0, "unlogged batch must never publish");
+        assert_eq!(live.snapshot().row_count(), 4);
     }
 
     #[test]

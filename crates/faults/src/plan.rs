@@ -17,15 +17,33 @@ pub enum FaultSite {
     Sample = 2,
     /// Starting a committed sentence on the voice output — Emit stage.
     Emit = 3,
+    /// A write-ahead-log record write during a durable ingest commit —
+    /// Storage stage (transient: the batch fails but the log stays
+    /// usable).
+    WalAppend = 4,
+    /// A WAL fsync — Storage stage. Fatal for the log by the fsyncgate
+    /// rule: a failed fsync may have lost pages silently, so the log is
+    /// poisoned rather than retried.
+    WalFsync = 5,
+    /// A snapshot compaction write — Storage stage (non-fatal: the WAL
+    /// keeps the data and compaction is retried at the next interval).
+    SnapshotWrite = 6,
 }
 
 /// Number of distinct fault sites.
-pub const N_SITES: usize = 4;
+pub const N_SITES: usize = 7;
 
 impl FaultSite {
     /// All sites, in wire order.
-    pub const ALL: [FaultSite; N_SITES] =
-        [FaultSite::DataRead, FaultSite::CacheShard, FaultSite::Sample, FaultSite::Emit];
+    pub const ALL: [FaultSite; N_SITES] = [
+        FaultSite::DataRead,
+        FaultSite::CacheShard,
+        FaultSite::Sample,
+        FaultSite::Emit,
+        FaultSite::WalAppend,
+        FaultSite::WalFsync,
+        FaultSite::SnapshotWrite,
+    ];
 
     /// Stable short name (used by the `--fault-plan` spec).
     pub fn name(self) -> &'static str {
@@ -34,14 +52,24 @@ impl FaultSite {
             FaultSite::CacheShard => "shard",
             FaultSite::Sample => "sample",
             FaultSite::Emit => "emit",
+            FaultSite::WalAppend => "wal",
+            FaultSite::WalFsync => "fsync",
+            FaultSite::SnapshotWrite => "snap",
         }
     }
 
     /// Per-site hash salt so the same counter value rolls independently
     /// at different sites.
     fn salt(self) -> u64 {
-        [0xA076_1D64_78BD_642F, 0xE703_7ED1_A0B4_28DB, 0x8EBC_6AF0_9C88_C6E3, 0x5899_65CC_7537_4CC3]
-            [self as usize]
+        [
+            0xA076_1D64_78BD_642F,
+            0xE703_7ED1_A0B4_28DB,
+            0x8EBC_6AF0_9C88_C6E3,
+            0x5899_65CC_7537_4CC3,
+            0x1D8E_4E27_C47D_124F,
+            0xEB44_ACCA_B455_D165,
+            0x9E6C_63D0_76CC_4391,
+        ][self as usize]
     }
 }
 
@@ -99,7 +127,8 @@ impl FaultPlan {
     /// Parse a `--fault-plan` spec: comma-separated `key=value` pairs.
     ///
     /// Plan keys: `seed=N`, per-site probabilities `read=P`, `shard=P`,
-    /// `sample=P`, `emit=P` (each in `[0,1]`), `latency_us=N` (stall added
+    /// `sample=P`, `emit=P`, `wal=P`, `fsync=P`, `snap=P` (each in
+    /// `[0,1]`), `latency_us=N` (stall added
     /// to every enabled site), and `latency_only` (faults stall but do not
     /// error). Unknown keys are rejected so typos surface immediately.
     ///
@@ -289,6 +318,21 @@ mod tests {
         assert_eq!(read.latency, Duration::from_micros(250));
         assert!(read.error);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn parse_storage_sites() {
+        let plan = FaultPlan::parse("seed=4,wal=0.2,fsync=0.1,snap=0.5").unwrap();
+        assert_eq!(plan.site(FaultSite::WalAppend).unwrap().probability, 0.2);
+        assert_eq!(plan.site(FaultSite::WalFsync).unwrap().probability, 0.1);
+        assert_eq!(plan.site(FaultSite::SnapshotWrite).unwrap().probability, 0.5);
+        assert!(plan.site(FaultSite::DataRead).is_none());
+        let inj = FaultInjector::new(FaultPlan::new(1).with_site(
+            FaultSite::WalFsync,
+            SiteSchedule::error(1.0),
+        ));
+        assert!(inj.roll(FaultSite::WalFsync).is_some());
+        assert!(inj.roll(FaultSite::WalAppend).is_none(), "storage sites roll independently");
     }
 
     #[test]

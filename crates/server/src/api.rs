@@ -24,10 +24,10 @@ use voxolap_core::unmerged::{Unmerged, UnmergedConfig};
 use voxolap_core::voice::{InstantVoice, VirtualVoice, VoiceOutput};
 use voxolap_core::CancelToken;
 use voxolap_data::stats::DatasetStats;
-use voxolap_data::{DimValue, IngestRow, LiveTable, Table};
+use voxolap_data::{DataError, DimValue, DurableTable, IngestRow, Table};
 use voxolap_engine::query::Query;
 use voxolap_engine::semantic::SemanticCache;
-use voxolap_faults::Resilience;
+use voxolap_faults::{BreakerState, CircuitBreaker, Resilience};
 use voxolap_voice::question::parse_question;
 use voxolap_voice::session::{Response as SessionResponse, Session};
 use voxolap_voice::tts::RealTimeVoice;
@@ -61,11 +61,17 @@ pub type SessionStore = Mutex<HashMap<String, SessionEntry>>;
 
 /// Shared application state.
 pub struct AppState {
-    /// Live (append-capable) revision chain of the dataset. Every request
-    /// pins one [`LiveTable::snapshot`] for its whole run, so a query's
-    /// result layout stays consistent however many `POST /ingest` batches
-    /// land while it plans; the next request sees the new revision.
-    live: LiveTable,
+    /// Live (append-capable) revision chain of the dataset, optionally
+    /// backed by a write-ahead log (DESIGN.md §17). Every request pins one
+    /// snapshot for its whole run, so a query's result layout stays
+    /// consistent however many `POST /ingest` batches land while it
+    /// plans; the next request sees the new revision. In durable mode an
+    /// ingest acknowledges only after the WAL commit lands.
+    live: DurableTable,
+    /// Trips on the first storage failure (fsyncgate: a failed fsync may
+    /// have lost pages, so ingest stops acknowledging immediately) and
+    /// probes again after a short cooldown. Queries are unaffected.
+    ingest_breaker: CircuitBreaker,
     sessions: SessionStore,
     /// Planning threads used by the `parallel` approach.
     threads: usize,
@@ -282,11 +288,19 @@ fn dist_json(samples: &Mutex<Vec<f64>>) -> Value {
 
 impl AppState {
     /// Create state over one dataset, with all cores available to the
-    /// `parallel` approach and a default-sized semantic cache.
+    /// `parallel` approach and a default-sized semantic cache. Appends
+    /// stay purely in memory; use [`AppState::durable`] for crash safety.
     pub fn new(table: Table) -> Self {
+        Self::durable(DurableTable::memory(table))
+    }
+
+    /// Create state over an already-opened durable table (recovery runs in
+    /// [`DurableTable::open`], *before* this state ever serves a request).
+    pub fn durable(table: DurableTable) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         AppState {
-            live: LiveTable::new(table),
+            live: table,
+            ingest_breaker: CircuitBreaker::new(1, Duration::from_millis(500)),
             sessions: Mutex::new(HashMap::new()),
             threads,
             semantic: Some(Arc::new(SemanticCache::with_capacity_mb(DEFAULT_CACHE_MB))),
@@ -355,6 +369,14 @@ impl AppState {
         Ok(self)
     }
 
+    /// Attach an already-built resilience policy. The server binary uses
+    /// this to share one fault injector between the durability layer
+    /// (which needs it before the table opens) and the planner.
+    pub fn with_resilience(mut self, resilience: Arc<Resilience>) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
     /// Attach the serving-layer counter block so `GET /stats` can report
     /// it. Pass the same `Arc` to [`crate::http::serve_with`].
     pub fn with_http_metrics(mut self, metrics: Arc<HttpMetrics>) -> Self {
@@ -388,6 +410,7 @@ impl AppState {
                     ("cache", self.cache_json()),
                     ("latency_ms", self.latency_json()),
                     ("degradation", self.degradation_json()),
+                    ("durability", self.durability_json()),
                     ("http", self.http_json()),
                     ("sessions", Value::obj([("active", self.sessions.lock().len().into())])),
                 ]);
@@ -452,16 +475,51 @@ impl AppState {
     fn degradation_json(&self) -> Value {
         let Some(res) = &self.resilience else { return Value::Null };
         let s = res.stats().snapshot();
+        // Serving-layer lock recoveries (http pool) count under the same
+        // stat as engine-side ones: one number answers "how often did a
+        // poisoned lock get rebuilt instead of crashing something".
+        let http_recoveries =
+            self.http_metrics.as_ref().map_or(0, |m| m.snapshot().poison_recoveries);
         Value::obj([
             ("retries", s.retries.into()),
             ("breaker_trips", s.breaker_trips.into()),
             ("cache_fallbacks", s.cache_fallbacks.into()),
-            ("poison_recoveries", s.poison_recoveries.into()),
+            ("poison_recoveries", (s.poison_recoveries + http_recoveries).into()),
             ("degraded_answers", s.degraded_answers.into()),
             ("clean_answers", s.clean_answers.into()),
             ("planning_ms_degraded", dist_json(&self.planning_degraded_ms)),
             ("planning_ms_clean", dist_json(&self.planning_clean_ms)),
         ])
+    }
+
+    /// Storage counters for `/stats` (`null` when the table is purely
+    /// in-memory): WAL and snapshot activity, what boot recovery did, and
+    /// the ingest breaker's state.
+    fn durability_json(&self) -> Value {
+        let Some(s) = self.live.stats() else { return Value::Null };
+        Value::obj([
+            ("fsync_mode", s.fsync_mode.into()),
+            ("wal_bytes", s.wal_bytes.into()),
+            ("wal_appends", s.wal_appends.into()),
+            ("fsyncs", s.fsyncs.into()),
+            ("fsync_failures", s.fsync_failures.into()),
+            ("snapshots_written", s.snapshots_written.into()),
+            ("snapshot_failures", s.snapshot_failures.into()),
+            ("replayed_batches", s.replayed_batches.into()),
+            ("replayed_rows", s.replayed_rows.into()),
+            ("torn_tail_truncations", s.torn_tail_truncations.into()),
+            ("clean_start", s.clean_start.into()),
+            ("recovery_ms", s.recovery_ms.into()),
+            ("breaker_open", (self.ingest_breaker.state() != BreakerState::Closed).into()),
+            ("breaker_trips", self.ingest_breaker.trips().into()),
+        ])
+    }
+
+    /// Flush and fsync the WAL and write the clean-shutdown marker; part
+    /// of graceful shutdown, after the serving layer drained. A no-op for
+    /// in-memory tables.
+    pub fn shutdown_durability(&self) -> Result<(), DataError> {
+        self.live.shutdown_clean()
     }
 
     /// Serving-layer counters for `/stats` (`null` when the state runs
@@ -491,6 +549,7 @@ impl AppState {
             ("bytes_out", s.bytes_out.into()),
             ("queue_wait_ms_total", (s.queue_wait_us as f64 / 1e3).into()),
             ("handler_ms_total", (s.handle_us as f64 / 1e3).into()),
+            ("poison_recoveries", s.poison_recoveries.into()),
         ])
     }
 
@@ -633,8 +692,16 @@ impl AppState {
         if rows.is_empty() {
             return Response::error(400, "empty ingest batch");
         }
+        // fsyncgate gate: after a storage failure the breaker refuses
+        // ingest outright (503 + Retry-After) until a cooldown probe gets
+        // through. A poisoned WAL keeps failing probes, keeping the
+        // breaker open until the operator restarts into recovery.
+        if !self.ingest_breaker.allow() {
+            return Response::error(503, "ingest unavailable: storage breaker open");
+        }
         match self.live.append_rows(&rows) {
             Ok(report) => {
+                self.ingest_breaker.on_success();
                 self.ingest_batches.fetch_add(1, Ordering::Relaxed);
                 self.ingest_rows.fetch_add(report.appended as u64, Ordering::Relaxed);
                 Response::ok(
@@ -647,7 +714,24 @@ impl AppState {
                     .to_string(),
                 )
             }
-            Err(e) => Response::error(400, &e.to_string()),
+            Err(e @ DataError::Wal { .. }) => {
+                // The batch is NOT acknowledged: it never published and
+                // (per the fsyncgate rule) is never retried here — the
+                // client owns the retry, after Retry-After, against a
+                // recovered process.
+                self.ingest_breaker.on_failure();
+                Response::error(503, &format!("ingest not durable: {e}"))
+            }
+            Err(e) => {
+                // Validation failure — storage was never touched. If we
+                // held the half-open probe slot, return it (closing the
+                // breaker: with threshold 1 a still-broken disk re-trips
+                // on the next real append).
+                if self.ingest_breaker.state() == BreakerState::HalfOpen {
+                    self.ingest_breaker.on_success();
+                }
+                Response::error(400, &e.to_string())
+            }
         }
     }
 

@@ -36,8 +36,10 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
+
+use voxolap_engine::poison::RecoveringMutex;
 
 use crate::reactor::{Event, Interest, Poller};
 
@@ -447,6 +449,9 @@ pub struct HttpMetrics {
     pub queue_wait_us: AtomicU64,
     /// Total time spent handling + responding, in microseconds.
     pub handle_us: AtomicU64,
+    /// Shared-state locks (job queue, return lane) found poisoned or torn
+    /// and rebuilt by the next locker instead of crashing the pool.
+    pub poison_recoveries: AtomicU64,
 }
 
 /// A plain-integer copy of [`HttpMetrics`] at one point in time.
@@ -473,6 +478,7 @@ pub struct HttpMetricsSnapshot {
     pub bytes_out: u64,
     pub queue_wait_us: u64,
     pub handle_us: u64,
+    pub poison_recoveries: u64,
 }
 
 impl HttpMetrics {
@@ -520,6 +526,7 @@ impl HttpMetrics {
             bytes_out: get(&self.bytes_out),
             queue_wait_us: get(&self.queue_wait_us),
             handle_us: get(&self.handle_us),
+            poison_recoveries: get(&self.poison_recoveries),
         }
     }
 }
@@ -662,7 +669,7 @@ struct Returned {
 
 /// State shared between the reactor, the workers, and the handle.
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: RecoveringMutex<VecDeque<Job>>,
     /// Signaled when work is pushed (workers wait here).
     ready: Condvar,
     /// Signaled when the queue becomes empty (shutdown drains wait here —
@@ -671,7 +678,7 @@ struct Shared {
     stop: AtomicBool,
     /// Connections coming back from workers for keep-alive / session
     /// parking; the reactor drains this after every `notify`.
-    returns: Mutex<Vec<Returned>>,
+    returns: RecoveringMutex<Vec<Returned>>,
     poller: Poller,
     config: ServerConfig,
     metrics: Arc<HttpMetrics>,
@@ -680,12 +687,21 @@ struct Shared {
 impl Shared {
     fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
         // Handlers run under catch_unwind and the lock is never held
-        // across them, so poisoning is unreachable; recover regardless.
-        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+        // across them, so poisoning should be unreachable; if a holder
+        // dies anyway, the torn queue is dropped (each pending connection
+        // closes, clients see a reset and retry) and the pool keeps
+        // serving — counted, not fatal.
+        self.queue.lock_recovering(|q| {
+            q.clear();
+            HttpMetrics::add(&self.metrics.poison_recoveries, 1);
+        })
     }
 
     fn lock_returns(&self) -> std::sync::MutexGuard<'_, Vec<Returned>> {
-        self.returns.lock().unwrap_or_else(|e| e.into_inner())
+        self.returns.lock_recovering(|r| {
+            r.clear();
+            HttpMetrics::add(&self.metrics.poison_recoveries, 1);
+        })
     }
 
     fn stopped(&self) -> bool {
@@ -1632,11 +1648,11 @@ where
     let bound = listener.local_addr()?;
     let poller = Poller::new()?;
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
+        queue: RecoveringMutex::new(VecDeque::new()),
         ready: Condvar::new(),
         drained: Condvar::new(),
         stop: AtomicBool::new(false),
-        returns: Mutex::new(Vec::new()),
+        returns: RecoveringMutex::new(Vec::new()),
         poller,
         config: ServerConfig { threads: config.threads.max(1), ..config },
         metrics: metrics.clone(),
@@ -1679,6 +1695,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn start_echo() -> ServerHandle {
         serve("127.0.0.1:0", |req| {

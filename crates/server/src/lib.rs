@@ -33,4 +33,4 @@ pub use http::{
     serve, serve_with, BodyWriter, HttpMetrics, HttpMetricsSnapshot, Request, Response,
     ServerConfig, ServerHandle, SessionSink, SessionUpgrade, SessionVerdict, StreamBody,
 };
-pub use reactor::raise_nofile_limit;
+pub use reactor::{install_shutdown_signals, raise_nofile_limit};

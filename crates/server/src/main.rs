@@ -6,8 +6,23 @@
 //!                [--fault-plan SPEC] [--http-threads N] [--http-queue N]
 //!                [--http-timeout-ms N] [--http-idle-ms N] [--max-conns N]
 //!                [--session-idle-ms N] [--heartbeat-ms N] [--no-keep-alive]
-//!                [--utterance-deadline-ms N]
+//!                [--utterance-deadline-ms N] [--data-dir PATH]
+//!                [--fsync-mode always|batch|off] [--snapshot-every N]
+//!                [--shutdown-drain-ms N]
 //! ```
+//!
+//! `--data-dir` makes ingest crash-safe (DESIGN.md §17): acknowledged
+//! batches are committed to a write-ahead log in that directory before
+//! they become visible, periodically compacted into snapshot files, and
+//! recovered on boot — *before* the listener accepts its first
+//! connection. `--fsync-mode` picks the log's durability/throughput
+//! trade (default `batch` group-commit), `--snapshot-every` the
+//! compaction interval in batches (default 32, `0` disables). On
+//! `SIGTERM`/`SIGINT` the server drains in-flight requests (bounded by
+//! `--shutdown-drain-ms`, default 2000), flushes + fsyncs the WAL, and
+//! writes a clean-shutdown marker so the next boot skips tail scanning.
+//! Without `--data-dir` the table is purely in-memory, exactly as
+//! before.
 //!
 //! `--scale-rows` selects the paper-scale synthetic scale-up (5.3M–50M
 //! flights rows) and takes precedence over `--rows`.
@@ -50,10 +65,14 @@
 //!   -d '{"text": "break down by region", "approach": "prior"}'
 //! ```
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 use voxolap_data::flights::FlightsConfig;
 use voxolap_data::salary::SalaryConfig;
+use voxolap_data::{DurabilityOptions, DurableTable, FsyncMode};
+use voxolap_faults::Resilience;
 use voxolap_server::{serve_with, AppState, HttpMetrics, ServerConfig};
 
 fn arg(key: &str) -> Option<String> {
@@ -105,11 +124,73 @@ fn main() {
             FlightsConfig { rows, seed: 42 }.generate()
         }
     };
+
+    // The fault plan is parsed before the durable table opens so the
+    // storage sites (wal/fsync/snap) share the planner's injector.
+    let resilience = arg("--fault-plan").map(|spec| {
+        match Resilience::from_spec(&spec) {
+            Ok(r) => {
+                eprintln!("fault plan attached: {spec}");
+                Arc::new(r)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
+    // Recovery runs here, before the listener exists: no request can
+    // observe a partially recovered table.
+    let durable = match arg("--data-dir") {
+        Some(dir) => {
+            let fsync_mode = match FsyncMode::parse(
+                arg("--fsync-mode").as_deref().unwrap_or("batch"),
+            ) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let options = DurabilityOptions {
+                fsync_mode,
+                snapshot_every_batches: arg("--snapshot-every")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(32),
+                faults: resilience.as_ref().and_then(|r| r.injector().cloned()),
+            };
+            match DurableTable::open(table, &dir, options) {
+                Ok((durable, recovery)) => {
+                    eprintln!(
+                        "durability: data-dir={dir} fsync={} recovered version={} rows={} \
+                         (snapshot_batches={} wal_batches={} torn_truncations={} clean={} {:.1}ms)",
+                        fsync_mode.name(),
+                        recovery.version,
+                        recovery.total_rows,
+                        recovery.snapshot_batches,
+                        recovery.replayed_batches,
+                        recovery.torn_tail_truncations,
+                        recovery.clean_start,
+                        recovery.recovery_ms,
+                    );
+                    durable
+                }
+                Err(e) => {
+                    eprintln!("error: recovery from {dir} failed: {e}");
+                    std::process::exit(3);
+                }
+            }
+        }
+        None => DurableTable::memory(table),
+    };
+
     let metrics = HttpMetrics::new();
-    let mut state = AppState::new(table).with_http_metrics(metrics.clone()).with_session_timing(
-        config.heartbeat.as_millis() as u64,
-        config.session_idle_timeout.as_millis() as u64,
-    );
+    let mut state =
+        AppState::durable(durable).with_http_metrics(metrics.clone()).with_session_timing(
+            config.heartbeat.as_millis() as u64,
+            config.session_idle_timeout.as_millis() as u64,
+        );
     if let Some(threads) = arg("--threads").and_then(|v| v.parse().ok()) {
         state = state.with_threads(threads);
     }
@@ -119,18 +200,13 @@ fn main() {
     if let Some(mb) = arg("--cache-mb").and_then(|v| v.parse().ok()) {
         state = state.with_cache_mb(mb);
     }
-    if let Some(spec) = arg("--fault-plan") {
-        state = match state.with_fault_plan(&spec) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
-        };
-        eprintln!("fault plan attached: {spec}");
+    if let Some(resilience) = resilience {
+        state = state.with_resilience(resilience);
     }
     let state = Arc::new(state);
+    let state_for_shutdown = Arc::clone(&state);
 
+    let shutdown = voxolap_server::install_shutdown_signals();
     let handle = serve_with(&format!("127.0.0.1:{port}"), config.clone(), metrics, move |req| {
         state.handle(req)
     })
@@ -144,8 +220,21 @@ fn main() {
         config.keep_alive,
         fd_limit,
     );
-    // Serve until the process is killed.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+
+    // Serve until SIGTERM/SIGINT requests a graceful exit (or the process
+    // is SIGKILLed, in which case the next boot recovers from the WAL).
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let drain =
+        Duration::from_millis(arg("--shutdown-drain-ms").and_then(|v| v.parse().ok()).unwrap_or(2000));
+    eprintln!("shutdown: draining in-flight requests (up to {}ms)...", drain.as_millis());
+    handle.shutdown_within(drain);
+    match state_for_shutdown.shutdown_durability() {
+        Ok(()) => eprintln!("shutdown: WAL flushed, clean marker written"),
+        Err(e) => {
+            eprintln!("shutdown: WAL flush failed ({e}); next boot will scan the tail");
+            std::process::exit(1);
+        }
     }
 }

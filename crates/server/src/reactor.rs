@@ -63,6 +63,35 @@ extern "C" {
     fn close(fd: c_int) -> c_int;
     fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
     fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+}
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+/// Set by the `SIGTERM`/`SIGINT` handler installed by
+/// [`install_shutdown_signals`].
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn note_shutdown(_signum: c_int) {
+    // A relaxed atomic store is async-signal-safe; everything else
+    // (draining, WAL flush, marker write) happens on the main thread.
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Install `SIGTERM`/`SIGINT` handlers that request a graceful shutdown
+/// instead of killing the process outright, and return the flag the main
+/// loop polls. Graceful shutdown is what lets the server drain in-flight
+/// requests, flush + fsync the WAL, and write the clean-shutdown marker
+/// (DESIGN.md §17) — a `SIGKILL` skips all of that and exercises the
+/// recovery path instead.
+pub fn install_shutdown_signals() -> &'static std::sync::atomic::AtomicBool {
+    unsafe {
+        signal(SIGINT, note_shutdown);
+        signal(SIGTERM, note_shutdown);
+    }
+    &SHUTDOWN_REQUESTED
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
